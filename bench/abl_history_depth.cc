@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: miss-history window depth m. The paper sets m to the
+ * associativity (8) "or a small multiple of it" (Sec. 2.2); this
+ * sweep shows how shallow windows dither and deep windows adapt
+ * sluggishly across phase changes.
+ */
+
+#include "common.hh"
+
+using namespace adcache;
+
+int
+main()
+{
+    printConfigBanner(SystemConfig{},
+                      "Ablation - miss history depth m");
+
+    std::vector<L2Spec> variants;
+    std::vector<std::string> names;
+    for (unsigned m : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        AdaptiveConfig c =
+            AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU);
+        c.historyDepth = m;
+        variants.push_back(L2Spec::fromAdaptive(c));
+        names.push_back("m=" + std::to_string(m));
+    }
+    {
+        AdaptiveConfig c =
+            AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU);
+        c.exactCounters = true;
+        variants.push_back(L2Spec::fromAdaptive(c));
+        names.push_back("exact");
+    }
+    variants.push_back(L2Spec::lru());
+    names.push_back("LRU");
+
+    const auto rows = runSuite(primaryBenchmarks(), variants,
+                               instrBudget(), /*timed=*/false);
+    const auto avg = averageOf(rows, metricL2Mpki);
+
+    TextTable table({"history", "avg MPKI", "red vs LRU %"});
+    const double lru = avg.back();
+    for (std::size_t v = 0; v < names.size(); ++v)
+        table.addRow({names[v], TextTable::num(avg[v], 2),
+                      TextTable::num(percentImprovement(lru, avg[v]),
+                                     2)});
+    table.print();
+    std::printf("(paper default m = associativity = 8)\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: number of SBAR leader sets. More leaders give the global
+ * selector more evidence (and per-set adaptivity in more sets) at a
+ * proportional storage cost.
+ */
+
+#include "common.hh"
+#include "core/overhead.hh"
+
+using namespace adcache;
+
+int
+main()
+{
+    printConfigBanner(SystemConfig{}, "Ablation - SBAR leader count");
+
+    std::vector<L2Spec> variants;
+    std::vector<std::string> names;
+    const std::vector<unsigned> leader_counts = {8, 16, 32, 64, 128};
+    for (unsigned n : leader_counts) {
+        SbarConfig c;
+        c.numLeaders = n;
+        variants.push_back(L2Spec::fromSbar(c));
+        names.push_back(std::to_string(n));
+    }
+    variants.push_back(L2Spec::lru());
+    variants.push_back(L2Spec::adaptiveLruLfu());
+
+    const auto rows = runSuite(primaryBenchmarks(), variants,
+                               instrBudget(), /*timed=*/false);
+    const auto avg = averageOf(rows, metricL2Mpki);
+    const double lru = avg[leader_counts.size()];
+    const double full = avg[leader_counts.size() + 1];
+
+    const auto g = CacheGeometry::fromSize(512 * 1024, 8, 64);
+    const auto base = conventionalStorage(g);
+
+    TextTable table(
+        {"leaders", "avg MPKI", "red vs LRU %", "storage +%"});
+    for (std::size_t v = 0; v < leader_counts.size(); ++v) {
+        table.addRow(
+            {names[v], TextTable::num(avg[v], 2),
+             TextTable::num(percentImprovement(lru, avg[v]), 2),
+             TextTable::num(
+                 overheadPercent(base,
+                                 sbarStorage(g, leader_counts[v], 0,
+                                             8)),
+                 3)});
+    }
+    table.print();
+    std::printf("reference: LRU %.2f MPKI, full adaptive %.2f MPKI "
+                "(paper uses 32 leaders)\n",
+                lru, full);
+    return 0;
+}

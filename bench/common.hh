@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harness. Every
+ * binary prints the Table 1 banner, runs its experiment at the
+ * ADCACHE_INSTRS budget, prints the paper-style rows, and closes with
+ * a paper-vs-measured summary line EXPERIMENTS.md records.
+ */
+
+#ifndef ADCACHE_BENCH_COMMON_HH
+#define ADCACHE_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace adcache::bench
+{
+
+/** Print per-benchmark metric rows for a set of variants. */
+inline void
+printSuiteTable(const std::vector<SuiteRow> &rows,
+                const std::vector<std::string> &variant_names,
+                double (*metric)(const SimResult &),
+                const std::string &metric_name, int precision = 2)
+{
+    std::vector<std::string> header{"benchmark"};
+    for (const auto &n : variant_names)
+        header.push_back(n + " " + metric_name);
+    TextTable table(header);
+    for (const auto &row : rows) {
+        std::vector<std::string> cells{row.benchmark};
+        for (const auto &res : row.results)
+            cells.push_back(TextTable::num(metric(res), precision));
+        table.addRow(cells);
+    }
+    const auto avg = averageOf(rows, metric);
+    std::vector<std::string> cells{"AVERAGE"};
+    for (double a : avg)
+        cells.push_back(TextTable::num(a, precision));
+    table.addRow(cells);
+    table.print();
+}
+
+/** "paper: X, measured: Y" summary line. */
+inline void
+paperVsMeasured(const std::string &what, const std::string &paper,
+                double measured, const std::string &unit)
+{
+    std::printf("[paper-vs-measured] %s: paper %s, measured %.2f%s\n",
+                what.c_str(), paper.c_str(), measured, unit.c_str());
+}
+
+/** Worst per-benchmark deterioration of variant b vs variant a. */
+inline std::pair<std::string, double>
+worstDeterioration(const std::vector<SuiteRow> &rows, std::size_t a,
+                   std::size_t b, double (*metric)(const SimResult &))
+{
+    std::string bench = "-";
+    double worst = -1e300;
+    for (const auto &row : rows) {
+        const double base = metric(row.results[a]);
+        const double val = metric(row.results[b]);
+        if (base <= 0.0)
+            continue;
+        const double delta = 100.0 * (val - base) / base;
+        if (delta > worst) {
+            worst = delta;
+            bench = row.benchmark;
+        }
+    }
+    return {bench, worst};
+}
+
+} // namespace adcache::bench
+
+#endif // ADCACHE_BENCH_COMMON_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 10: sensitivity of the adaptive benefit to store buffer
+ * capacity. Part of the CPI win comes from fewer store-buffer-full
+ * retirement stalls; growing the buffer removes those stalls, so the
+ * benefit decays gracefully — but over half of it remains even at an
+ * unrealistically large 256 entries (paper).
+ */
+
+#include "common.hh"
+
+using namespace adcache;
+
+int
+main()
+{
+    printConfigBanner(SystemConfig{},
+                      "Fig. 10 - store buffer size sensitivity");
+
+    TextTable table({"entries", "LRU CPI", "Adapt CPI", "impr %",
+                     "stall kcycles"});
+    double impr_at_4 = 0, impr_at_256 = 0;
+
+    for (unsigned entries : {1u, 2u, 4u, 16u, 64u, 256u}) {
+        SystemConfig base;
+        base.core.storeBufferEntries = entries;
+        const std::vector<L2Spec> variants = {
+            L2Spec::lru(), L2Spec::adaptiveLruLfu()};
+        const auto rows = runSuite(primaryBenchmarks(), variants,
+                                   instrBudget(), /*timed=*/true,
+                                   base);
+        const auto cpi = averageOf(rows, metricCpi);
+        const double impr = percentImprovement(cpi[0], cpi[1]);
+        std::uint64_t stall_cycles = 0;
+        for (const auto &row : rows)
+            stall_cycles += row.results[0].core.storeBuffer.stallCycles;
+        table.addRow({std::to_string(entries),
+                      TextTable::num(cpi[0], 3),
+                      TextTable::num(cpi[1], 3),
+                      TextTable::num(impr, 2),
+                      TextTable::num(double(stall_cycles) / 1000.0,
+                                     0)});
+        if (entries == 4)
+            impr_at_4 = impr;
+        if (entries == 256)
+            impr_at_256 = impr;
+        std::printf("... %u entries done\n", entries);
+    }
+    table.print();
+
+    bench::paperVsMeasured(
+        "fraction of the 4-entry benefit left at 256 entries", ">50%",
+        impr_at_4 > 0 ? 100.0 * impr_at_256 / impr_at_4 : 0.0, "%");
+    std::printf("note: the synthetic suite exposes less store-buffer "
+                "pressure than MASE's SPEC runs — retirement stalls "
+                "concentrate at 1-2 entries here (see the stall "
+                "column), so the paper's gentle 4->256 decay shows up "
+                "compressed at the small end while the adaptive "
+                "benefit itself persists at every size.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark micro suite: raw throughput of the simulator's
+ * hot paths. Useful for judging the cost of the adaptive machinery
+ * itself (shadow updates, victim search) against a conventional
+ * cache model, and for catching performance regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/adaptive_cache.hh"
+#include "core/sbar_cache.hh"
+#include "cpu/branch_predictor.hh"
+#include "sim/experiment.hh"
+
+using namespace adcache;
+
+namespace
+{
+
+/** Pre-generated pseudo-random block addresses. */
+const std::vector<Addr> &
+addressStream()
+{
+    static const std::vector<Addr> stream = [] {
+        std::vector<Addr> v(1 << 18);
+        Rng rng(42);
+        for (auto &a : v)
+            a = rng.below(1 << 15) * 64;
+        return v;
+    }();
+    return stream;
+}
+
+void
+BM_ConventionalCacheAccess(benchmark::State &state)
+{
+    CacheConfig conf;
+    conf.policy = static_cast<PolicyType>(state.range(0));
+    Cache cache(conf);
+    const auto &stream = addressStream();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(stream[i++ & (stream.size() - 1)], false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_AdaptiveCacheAccess(benchmark::State &state)
+{
+    AdaptiveConfig conf =
+        AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU);
+    conf.partialTagBits = unsigned(state.range(0));
+    AdaptiveCache cache(conf);
+    const auto &stream = addressStream();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(stream[i++ & (stream.size() - 1)], false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_FivePolicyAccess(benchmark::State &state)
+{
+    AdaptiveCache cache(AdaptiveConfig::fivePolicy());
+    const auto &stream = addressStream();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(stream[i++ & (stream.size() - 1)], false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_SbarCacheAccess(benchmark::State &state)
+{
+    SbarCache cache(SbarConfig{});
+    const auto &stream = addressStream();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(stream[i++ & (stream.size() - 1)], false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_BranchPredictorUpdate(benchmark::State &state)
+{
+    BranchPredictor bp;
+    Rng rng(7);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.update(pc, rng.chance(0.7)));
+        pc += 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto src = makeBenchmark(*findBenchmark("art-1"));
+    TraceInstr instr;
+    for (auto _ : state) {
+        src->next(instr);
+        benchmark::DoNotOptimize(instr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_TimedSimulation(benchmark::State &state)
+{
+    // End-to-end simulated instructions per second.
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.l2 = L2Spec::adaptiveLruLfu();
+        System sys(cfg);
+        auto src = makeBenchmark(*findBenchmark("parser"));
+        benchmark::DoNotOptimize(sys.runTimed(*src, 200'000));
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+}
+
+BENCHMARK(BM_ConventionalCacheAccess)
+    ->Arg(int(PolicyType::LRU))
+    ->Arg(int(PolicyType::LFU))
+    ->Arg(int(PolicyType::Random));
+BENCHMARK(BM_AdaptiveCacheAccess)->Arg(0)->Arg(8);
+BENCHMARK(BM_FivePolicyAccess);
+BENCHMARK(BM_SbarCacheAccess);
+BENCHMARK(BM_BranchPredictorUpdate);
+BENCHMARK(BM_WorkloadGeneration);
+BENCHMARK(BM_TimedSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

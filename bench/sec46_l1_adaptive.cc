@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sec. 4.6: adaptivity at the L1 level. Paper: an adaptive 16KB
+ * I-cache cuts its MPKI by ~12 %, the adaptive L1 data cache moves
+ * by less than 1 % (capacity-dominated), and neither translates into
+ * a meaningful CPI change (<0.1 %) because the out-of-order core
+ * hides the short L1 miss latencies.
+ */
+
+#include "common.hh"
+
+using namespace adcache;
+
+int
+main()
+{
+    printConfigBanner(SystemConfig{},
+                      "Sec. 4.6 - adaptive L1 caches");
+
+    SystemConfig baseline;
+    SystemConfig adaptive_l1 = baseline;
+    adaptive_l1.adaptiveL1i = true;
+    adaptive_l1.adaptiveL1d = true;
+
+    RunningStat l1i_base, l1i_adapt, l1d_base, l1d_adapt;
+    RunningStat cpi_base, cpi_adapt;
+    for (const auto *bench : primaryBenchmarks()) {
+        const auto rb = runTimed(baseline, *bench, instrBudget());
+        const auto ra = runTimed(adaptive_l1, *bench, instrBudget());
+        l1i_base.add(rb.l1iMpki);
+        l1i_adapt.add(ra.l1iMpki);
+        l1d_base.add(rb.l1dMpki);
+        l1d_adapt.add(ra.l1dMpki);
+        cpi_base.add(rb.cpi);
+        cpi_adapt.add(ra.cpi);
+    }
+
+    TextTable table({"cache", "LRU MPKI", "adaptive MPKI", "red %"});
+    table.addRow({"L1 instruction", TextTable::num(l1i_base.mean(), 3),
+                  TextTable::num(l1i_adapt.mean(), 3),
+                  TextTable::num(percentImprovement(l1i_base.mean(),
+                                                    l1i_adapt.mean()),
+                                 2)});
+    table.addRow({"L1 data", TextTable::num(l1d_base.mean(), 3),
+                  TextTable::num(l1d_adapt.mean(), 3),
+                  TextTable::num(percentImprovement(l1d_base.mean(),
+                                                    l1d_adapt.mean()),
+                                 2)});
+    table.print();
+
+    bench::paperVsMeasured("L1I MPKI reduction", "~12%",
+                           percentImprovement(l1i_base.mean(),
+                                              l1i_adapt.mean()),
+                           "%");
+    bench::paperVsMeasured("L1D MPKI reduction", "<1%",
+                           percentImprovement(l1d_base.mean(),
+                                              l1d_adapt.mean()),
+                           "%");
+    bench::paperVsMeasured("CPI change from adaptive L1s", "<0.1%",
+                           percentImprovement(cpi_base.mean(),
+                                              cpi_adapt.mean()),
+                           "%");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces the storage accounting of Sec. 3.1-3.2 and Sec. 4.7:
+ * conventional vs adaptive (full / partial tags) vs SBAR overheads,
+ * and the cost of simply growing a conventional cache (Fig. 6's
+ * premise).
+ */
+
+#include "common.hh"
+#include "core/overhead.hh"
+
+using namespace adcache;
+
+int
+main()
+{
+    printConfigBanner(SystemConfig{}, "Sec. 3 storage overhead model");
+
+    const auto g64 = CacheGeometry::fromSize(512 * 1024, 8, 64);
+    const auto g128 = CacheGeometry::fromSize(512 * 1024, 8, 128);
+    const auto base64 = conventionalStorage(g64);
+    const auto base128 = conventionalStorage(g128);
+
+    TextTable table({"organisation", "total KB", "overhead %"});
+    auto row = [&](const std::string &name, const StorageBits &s,
+                   const StorageBits &base) {
+        table.addRow({name, TextTable::num(s.totalKB(), 1),
+                      TextTable::num(overheadPercent(base, s), 2)});
+    };
+
+    row("conventional 512KB 8-way (64B lines)", base64, base64);
+    row("adaptive, full tags, m=8", adaptiveStorage(g64, 2, 0, 8),
+        base64);
+    for (unsigned bits : {12u, 10u, 8u, 6u, 4u})
+        row("adaptive, " + std::to_string(bits) + "-bit partial tags",
+            adaptiveStorage(g64, 2, bits, 8), base64);
+    row("adaptive, 8-bit tags, 128B lines",
+        adaptiveStorage(g128, 2, 8, 8), base128);
+    row("5-policy adaptive, 8-bit tags, m=16",
+        adaptiveStorage(g64, 5, 8, 16), base64);
+    row("conventional 576KB 9-way",
+        conventionalStorage(CacheGeometry::fromSize(576 * 1024, 9, 64)),
+        base64);
+    row("conventional 640KB 10-way",
+        conventionalStorage(CacheGeometry::fromSize(640 * 1024, 10, 64)),
+        base64);
+    row("SBAR, 32 full-tag leaders", sbarStorage(g64, 32, 0, 8),
+        base64);
+    row("SBAR, 32 8-bit leaders", sbarStorage(g64, 32, 8, 8), base64);
+    table.print();
+
+    const auto full = adaptiveStorage(g64, 2, 0, 8);
+    const auto partial = adaptiveStorage(g64, 2, 8, 8);
+    bench::paperVsMeasured("full-tag adaptive overhead", "+9.9%",
+                           overheadPercent(base64, full), "%");
+    bench::paperVsMeasured("8-bit adaptive overhead", "+4.0%",
+                           overheadPercent(base64, partial), "%");
+    bench::paperVsMeasured("8-bit adaptive overhead, 128B lines",
+                           "+2.1%",
+                           overheadPercent(base128,
+                                           adaptiveStorage(g128, 2, 8,
+                                                           8)),
+                           "%");
+    bench::paperVsMeasured("SBAR full-tag overhead", "+0.16%",
+                           overheadPercent(base64,
+                                           sbarStorage(g64, 32, 0, 8)),
+                           "%");
+    return 0;
+}

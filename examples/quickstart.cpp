@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: build an adaptive cache, feed it a reference stream,
+ * and compare it against its component policies — the library's
+ * three core concepts (CacheModel, AdaptiveCache, ShadowCache) in
+ * thirty lines of user code.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "cache/cache.hh"
+#include "core/adaptive_cache.hh"
+
+using namespace adcache;
+
+int
+main()
+{
+    // A 64KB 8-way cache adapting between LRU and LFU, with the
+    // paper's 8-bit partial shadow tags.
+    AdaptiveConfig config = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::LFU, 64 * 1024, 8, 64);
+    config.partialTagBits = 8;
+    AdaptiveCache cache(config);
+
+    // Baselines with the same geometry.
+    CacheConfig base;
+    base.sizeBytes = 64 * 1024;
+    base.assoc = 8;
+    Cache lru(base);
+    base.policy = PolicyType::LFU;
+    Cache lfu(base);
+
+    // A media-like stream: a reused 32KB table interleaved with a
+    // long one-touch scan. LRU keeps getting its table flushed; LFU
+    // pins it; the adaptive cache figures that out on its own.
+    Rng rng(1);
+    for (int i = 0; i < 2'000'000; ++i) {
+        Addr addr;
+        if (rng.chance(0.5))
+            addr = rng.below(512) * 64;             // hot table
+        else
+            addr = (512 + (Addr(i) % 65536)) * 64;  // scan
+        cache.access(addr, false);
+        lru.access(addr, false);
+        lfu.access(addr, false);
+    }
+
+    std::printf("%-45s miss rate %.2f%%\n", lru.describe().c_str(),
+                100.0 * lru.stats().missRate());
+    std::printf("%-45s miss rate %.2f%%\n", lfu.describe().c_str(),
+                100.0 * lfu.stats().missRate());
+    std::printf("%-45s miss rate %.2f%%\n", cache.describe().c_str(),
+                100.0 * cache.stats().missRate());
+    std::printf("\ncomponent misses seen by the shadows: LRU %llu, "
+                "LFU %llu\n",
+                static_cast<unsigned long long>(cache.shadowMisses(0)),
+                static_cast<unsigned long long>(cache.shadowMisses(1)));
+    return 0;
+}

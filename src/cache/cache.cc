@@ -1,0 +1,115 @@
+#include "cache/cache.hh"
+
+#include <sstream>
+
+namespace adcache
+{
+
+CacheGeometry
+CacheGeometry::fromSize(std::uint64_t size_bytes, unsigned assoc,
+                        unsigned line_size)
+{
+    adcache_assert(assoc >= 1 && line_size >= 1);
+    const std::uint64_t line_capacity =
+        std::uint64_t(line_size) * assoc;
+    adcache_assert(size_bytes % line_capacity == 0);
+    CacheGeometry g;
+    g.lineSize = line_size;
+    g.assoc = assoc;
+    g.numSets = unsigned(size_bytes / line_capacity);
+    g.validate();
+    return g;
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), geom_(config.geometry()), rng_(config.rngSeed),
+      tags_(geom_.numSets, geom_.assoc)
+{
+    policies_.reserve(geom_.numSets);
+    for (unsigned s = 0; s < geom_.numSets; ++s)
+        policies_.push_back(
+            makePolicy(config.policy, geom_.assoc, &rng_));
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    AccessResult result;
+    ++stats_.accesses;
+
+    const unsigned set = geom_.setIndex(addr);
+    const Addr tag = geom_.tag(addr);
+    auto &policy = *policies_[set];
+
+    if (auto way = tags_.findWay(set, tag)) {
+        ++stats_.hits;
+        policy.onHit(*way);
+        if (is_write)
+            tags_.entry(set, *way).dirty = true;
+        result.hit = true;
+        return result;
+    }
+
+    ++stats_.misses;
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    unsigned fill_way;
+    if (auto invalid = tags_.findInvalidWay(set)) {
+        fill_way = *invalid;
+    } else {
+        fill_way = policy.victim();
+        const auto &victim = tags_.entry(set, fill_way);
+        ++stats_.evictions;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            result.writebackAddr =
+                geom_.reconstruct(set, victim.tag);
+        }
+        policy.onInvalidate(fill_way);
+    }
+
+    tags_.fill(set, fill_way, tag);
+    policy.onFill(fill_way);
+    if (is_write)
+        tags_.entry(set, fill_way).dirty = true;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return tags_.findWay(geom_.setIndex(addr), geom_.tag(addr))
+        .has_value();
+}
+
+void
+Cache::invalidateBlock(Addr addr)
+{
+    const unsigned set = geom_.setIndex(addr);
+    if (auto way = tags_.findWay(set, geom_.tag(addr))) {
+        tags_.invalidate(set, *way);
+        policies_[set]->onInvalidate(*way);
+    }
+}
+
+ReplacementPolicy &
+Cache::policyOf(unsigned set)
+{
+    return *policies_.at(set);
+}
+
+std::string
+Cache::describe() const
+{
+    std::ostringstream out;
+    out << policyName(config_.policy) << " ("
+        << (geom_.sizeBytes() / 1024) << "KB, " << geom_.assoc
+        << "-way, " << geom_.lineSize << "B lines)";
+    return out.str();
+}
+
+} // namespace adcache

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The common interface every cache organisation implements —
+ * conventional set-associative (cache/cache.hh), adaptive
+ * (core/adaptive_cache.hh), and SBAR-like (core/sbar_cache.hh) — plus
+ * shared geometry and statistics types.
+ *
+ * Cache models are purely functional hit/miss machines; access
+ * latency and bus occupancy are composed on top by sim/system.
+ */
+
+#ifndef ADCACHE_CACHE_CACHE_MODEL_HH
+#define ADCACHE_CACHE_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/** Address decomposition for a numSets x assoc x lineSize cache. */
+struct CacheGeometry
+{
+    unsigned lineSize = 64;
+    unsigned numSets = 1024;
+    unsigned assoc = 8;
+
+    /** Derive geometry from capacity; numSets = size/(line*assoc). */
+    static CacheGeometry fromSize(std::uint64_t size_bytes,
+                                  unsigned assoc, unsigned line_size);
+
+    unsigned offsetBits() const { return floorLog2(lineSize); }
+    unsigned indexBits() const { return floorLog2(numSets); }
+
+    std::uint64_t
+    sizeBytes() const
+    {
+        return std::uint64_t(lineSize) * numSets * assoc;
+    }
+
+    /** Block-aligned address. */
+    Addr blockAddr(Addr a) const { return a & ~Addr(lineSize - 1); }
+
+    unsigned
+    setIndex(Addr a) const
+    {
+        return unsigned((a >> offsetBits()) & lowMask(indexBits()));
+    }
+
+    /** Full tag: the address above offset+index bits. */
+    Addr tag(Addr a) const { return a >> (offsetBits() + indexBits()); }
+
+    /** Reconstruct a block address from (set, full tag). */
+    Addr
+    reconstruct(unsigned set, Addr tag_value) const
+    {
+        return (tag_value << (offsetBits() + indexBits())) |
+               (Addr(set) << offsetBits());
+    }
+
+    /** Width of a full tag given the physical address size. */
+    unsigned
+    tagBits() const
+    {
+        return physAddrBits - offsetBits() - indexBits();
+    }
+
+    void
+    validate() const
+    {
+        adcache_assert(isPowerOfTwo(lineSize));
+        adcache_assert(isPowerOfTwo(numSets));
+        adcache_assert(assoc >= 1);
+    }
+};
+
+/** Event counters common to all cache organisations. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : double(misses) / double(accesses);
+    }
+};
+
+/** Outcome of one cache access, as seen by the level above. */
+struct AccessResult
+{
+    bool hit = false;
+    /** A dirty victim was evicted and must be written back below. */
+    bool writeback = false;
+    /** Block address of the dirty victim (valid iff writeback). */
+    Addr writebackAddr = 0;
+};
+
+/**
+ * Abstract cache organisation. access() performs the lookup, updates
+ * replacement state, and on a miss performs the fill (allocate-on-
+ * miss, write-back, write-allocate for all models).
+ */
+class CacheModel
+{
+  public:
+    virtual ~CacheModel() = default;
+
+    /** Perform one reference to @p addr. */
+    virtual AccessResult access(Addr addr, bool is_write) = 0;
+
+    /** Aggregate counters since construction. */
+    virtual const CacheStats &stats() const = 0;
+
+    /** Geometry of the real (data-holding) structure. */
+    virtual const CacheGeometry &geometry() const = 0;
+
+    /** Human-readable description for bench headers. */
+    virtual std::string describe() const = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_CACHE_CACHE_MODEL_HH

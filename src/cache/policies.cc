@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Concrete replacement policies. Each instance manages one set.
+ */
+
+#include "cache/replacement.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/sat_counter.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+/**
+ * Shared base: keeps associativity and a monotonically increasing
+ * event stamp used by stamp-ordered policies.
+ */
+class BasePolicy : public ReplacementPolicy
+{
+  public:
+    explicit BasePolicy(unsigned assoc) : assoc_(assoc)
+    {
+        adcache_assert(assoc >= 1);
+    }
+
+    unsigned assoc() const override { return assoc_; }
+
+  protected:
+    unsigned assoc_;
+    std::uint64_t clock_ = 0;
+};
+
+/** LRU / MRU via last-use stamps; victim is min (LRU) or max (MRU). */
+class RecencyPolicy : public BasePolicy
+{
+  public:
+    RecencyPolicy(unsigned assoc, bool evict_most_recent)
+        : BasePolicy(assoc), evictMostRecent_(evict_most_recent),
+          stamp_(assoc, 0)
+    {
+    }
+
+    void onFill(unsigned way) override { stamp_.at(way) = ++clock_; }
+    void onHit(unsigned way) override { stamp_.at(way) = ++clock_; }
+    void onInvalidate(unsigned way) override { stamp_.at(way) = 0; }
+
+    unsigned victim() override { return peekVictim(); }
+
+    unsigned
+    peekVictim() const override
+    {
+        unsigned best = 0;
+        for (unsigned w = 1; w < assoc_; ++w) {
+            const bool better = evictMostRecent_
+                                    ? stamp_[w] > stamp_[best]
+                                    : stamp_[w] < stamp_[best];
+            if (better)
+                best = w;
+        }
+        return best;
+    }
+
+  private:
+    bool evictMostRecent_;
+    std::vector<std::uint64_t> stamp_;
+};
+
+/** FIFO: victim is the oldest fill; hits do not refresh. */
+class FifoPolicy : public BasePolicy
+{
+  public:
+    explicit FifoPolicy(unsigned assoc)
+        : BasePolicy(assoc), fillStamp_(assoc, 0)
+    {
+    }
+
+    void onFill(unsigned way) override { fillStamp_.at(way) = ++clock_; }
+    void onHit(unsigned) override {}
+    void onInvalidate(unsigned way) override { fillStamp_.at(way) = 0; }
+
+    unsigned victim() override { return peekVictim(); }
+
+    unsigned
+    peekVictim() const override
+    {
+        unsigned best = 0;
+        for (unsigned w = 1; w < assoc_; ++w)
+            if (fillStamp_[w] < fillStamp_[best])
+                best = w;
+        return best;
+    }
+
+  private:
+    std::vector<std::uint64_t> fillStamp_;
+};
+
+/**
+ * LFU with 5-bit saturating frequency counters (Table 1). A fill
+ * resets the counter to 1; hits increment. Victim is the minimum
+ * count, tie-broken by oldest fill so that a stream of once-used
+ * blocks cycles through a victim way instead of pinning way 0.
+ */
+class LfuPolicy : public BasePolicy
+{
+  public:
+    static constexpr unsigned counterBits = 5;
+
+    explicit LfuPolicy(unsigned assoc)
+        : BasePolicy(assoc), count_(assoc, SatCounter(counterBits, 0)),
+          fillStamp_(assoc, 0)
+    {
+    }
+
+    void
+    onFill(unsigned way) override
+    {
+        count_.at(way).set(1);
+        fillStamp_.at(way) = ++clock_;
+    }
+
+    void onHit(unsigned way) override { count_.at(way).increment(); }
+
+    void
+    onInvalidate(unsigned way) override
+    {
+        count_.at(way).set(0);
+        fillStamp_.at(way) = 0;
+    }
+
+    unsigned victim() override { return peekVictim(); }
+
+    unsigned
+    peekVictim() const override
+    {
+        unsigned best = 0;
+        for (unsigned w = 1; w < assoc_; ++w) {
+            const auto cw = count_[w].value();
+            const auto cb = count_[best].value();
+            if (cw < cb ||
+                (cw == cb && fillStamp_[w] < fillStamp_[best])) {
+                best = w;
+            }
+        }
+        return best;
+    }
+
+  private:
+    std::vector<SatCounter> count_;
+    std::vector<std::uint64_t> fillStamp_;
+};
+
+/**
+ * Random replacement. The upcoming victim is drawn lazily and cached
+ * so that peekVictim() agrees with the following victim() call.
+ */
+class RandomPolicy : public BasePolicy
+{
+  public:
+    RandomPolicy(unsigned assoc, Rng *rng) : BasePolicy(assoc), rng_(rng)
+    {
+        adcache_assert(rng != nullptr);
+    }
+
+    void onFill(unsigned) override {}
+    void onHit(unsigned) override {}
+    void onInvalidate(unsigned) override {}
+
+    unsigned
+    victim() override
+    {
+        const unsigned v = peekVictim();
+        pendingValid_ = false;
+        return v;
+    }
+
+    unsigned
+    peekVictim() const override
+    {
+        if (!pendingValid_) {
+            pending_ = unsigned(rng_->below(assoc_));
+            pendingValid_ = true;
+        }
+        return pending_;
+    }
+
+  private:
+    Rng *rng_;
+    mutable unsigned pending_ = 0;
+    mutable bool pendingValid_ = false;
+};
+
+/** Tree pseudo-LRU over a power-of-two associativity. */
+class TreePlruPolicy : public BasePolicy
+{
+  public:
+    explicit TreePlruPolicy(unsigned assoc)
+        : BasePolicy(assoc), bits_(assoc > 1 ? assoc - 1 : 1, false)
+    {
+        adcache_assert(isPowerOfTwo(assoc));
+    }
+
+    void onFill(unsigned way) override { touch(way); }
+    void onHit(unsigned way) override { touch(way); }
+    void onInvalidate(unsigned) override {}
+
+    unsigned victim() override { return peekVictim(); }
+
+    unsigned
+    peekVictim() const override
+    {
+        if (assoc_ == 1)
+            return 0;
+        unsigned node = 0;
+        unsigned lo = 0, span = assoc_;
+        while (span > 1) {
+            const bool right = bits_[node];
+            span /= 2;
+            if (right)
+                lo += span;
+            node = 2 * node + (right ? 2 : 1);
+        }
+        return lo;
+    }
+
+  private:
+    void
+    touch(unsigned way)
+    {
+        if (assoc_ == 1)
+            return;
+        unsigned node = 0;
+        unsigned lo = 0, span = assoc_;
+        while (span > 1) {
+            span /= 2;
+            const bool in_right = way >= lo + span;
+            // Point away from the touched half.
+            bits_[node] = !in_right;
+            if (in_right)
+                lo += span;
+            node = 2 * node + (in_right ? 2 : 1);
+        }
+    }
+
+    // Heap-indexed tree bits: true means "victim is in right half".
+    mutable std::vector<bool> bits_;
+};
+
+/** Static RRIP with 2-bit re-reference prediction values. */
+class SrripPolicy : public BasePolicy
+{
+  public:
+    static constexpr unsigned maxRrpv = 3;
+
+    explicit SrripPolicy(unsigned assoc)
+        : BasePolicy(assoc), rrpv_(assoc, maxRrpv)
+    {
+    }
+
+    void onFill(unsigned way) override { rrpv_.at(way) = maxRrpv - 1; }
+    void onHit(unsigned way) override { rrpv_.at(way) = 0; }
+    void onInvalidate(unsigned way) override { rrpv_.at(way) = maxRrpv; }
+
+    unsigned
+    victim() override
+    {
+        for (;;) {
+            for (unsigned w = 0; w < assoc_; ++w)
+                if (rrpv_[w] == maxRrpv)
+                    return w;
+            for (auto &r : rrpv_)
+                ++r;
+        }
+    }
+
+    unsigned
+    peekVictim() const override
+    {
+        // Same search as victim(), but on a scratch copy (SRRIP's
+        // aging mutates state; preview must not).
+        auto scratch = rrpv_;
+        for (;;) {
+            for (unsigned w = 0; w < assoc_; ++w)
+                if (scratch[w] == maxRrpv)
+                    return w;
+            for (auto &r : scratch)
+                ++r;
+        }
+    }
+
+  private:
+    std::vector<unsigned> rrpv_;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyType type, unsigned assoc, Rng *rng)
+{
+    switch (type) {
+      case PolicyType::LRU:
+        return std::make_unique<RecencyPolicy>(assoc, false);
+      case PolicyType::MRU:
+        return std::make_unique<RecencyPolicy>(assoc, true);
+      case PolicyType::FIFO:
+        return std::make_unique<FifoPolicy>(assoc);
+      case PolicyType::LFU:
+        return std::make_unique<LfuPolicy>(assoc);
+      case PolicyType::Random:
+        return std::make_unique<RandomPolicy>(assoc, rng);
+      case PolicyType::TreePLRU:
+        return std::make_unique<TreePlruPolicy>(assoc);
+      case PolicyType::SRRIP:
+        return std::make_unique<SrripPolicy>(assoc);
+    }
+    panic("unknown policy type %d", int(type));
+}
+
+} // namespace adcache

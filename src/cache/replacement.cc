@@ -1,0 +1,72 @@
+#include "cache/replacement.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+PolicyType
+parsePolicyType(const std::string &name)
+{
+    std::string n;
+    for (char c : name)
+        n.push_back(char(std::tolower(static_cast<unsigned char>(c))));
+    if (n == "lru")
+        return PolicyType::LRU;
+    if (n == "lfu")
+        return PolicyType::LFU;
+    if (n == "fifo")
+        return PolicyType::FIFO;
+    if (n == "mru")
+        return PolicyType::MRU;
+    if (n == "random" || n == "rand")
+        return PolicyType::Random;
+    if (n == "plru" || n == "treeplru")
+        return PolicyType::TreePLRU;
+    if (n == "srrip")
+        return PolicyType::SRRIP;
+    fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+const char *
+policyName(PolicyType type)
+{
+    switch (type) {
+      case PolicyType::LRU: return "LRU";
+      case PolicyType::LFU: return "LFU";
+      case PolicyType::FIFO: return "FIFO";
+      case PolicyType::MRU: return "MRU";
+      case PolicyType::Random: return "Random";
+      case PolicyType::TreePLRU: return "TreePLRU";
+      case PolicyType::SRRIP: return "SRRIP";
+    }
+    return "?";
+}
+
+unsigned
+policyMetaBits(PolicyType type, unsigned assoc)
+{
+    const unsigned recency_bits =
+        assoc <= 1 ? 1 : floorLog2(assoc - 1) + 1;
+    switch (type) {
+      case PolicyType::LRU:
+      case PolicyType::MRU:
+      case PolicyType::FIFO:
+        return recency_bits;  // full ordering kept as per-way stamps
+      case PolicyType::LFU:
+        return 5;  // 5-bit frequency counters (Table 1)
+      case PolicyType::Random:
+        return 0;
+      case PolicyType::TreePLRU:
+        return 1;  // amortised: assoc-1 tree bits per set
+      case PolicyType::SRRIP:
+        return 2;
+    }
+    return 0;
+}
+
+} // namespace adcache

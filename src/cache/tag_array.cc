@@ -1,0 +1,80 @@
+#include "cache/tag_array.hh"
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+TagArray::TagArray(unsigned num_sets, unsigned assoc)
+    : numSets_(num_sets), assoc_(assoc),
+      entries_(std::size_t(num_sets) * assoc)
+{
+    adcache_assert(num_sets >= 1 && assoc >= 1);
+}
+
+std::optional<unsigned>
+TagArray::findWay(unsigned set, Addr tag) const
+{
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const auto &e = entries_[index(set, w)];
+        if (e.valid && e.tag == tag)
+            return w;
+    }
+    return std::nullopt;
+}
+
+std::optional<unsigned>
+TagArray::findInvalidWay(unsigned set) const
+{
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (!entries_[index(set, w)].valid)
+            return w;
+    return std::nullopt;
+}
+
+bool
+TagArray::setFull(unsigned set) const
+{
+    return !findInvalidWay(set).has_value();
+}
+
+TagEntry &
+TagArray::entry(unsigned set, unsigned way)
+{
+    return entries_.at(index(set, way));
+}
+
+const TagEntry &
+TagArray::entry(unsigned set, unsigned way) const
+{
+    return entries_.at(index(set, way));
+}
+
+void
+TagArray::fill(unsigned set, unsigned way, Addr tag)
+{
+    auto &e = entries_.at(index(set, way));
+    e.tag = tag;
+    e.valid = true;
+    e.dirty = false;
+}
+
+void
+TagArray::invalidate(unsigned set, unsigned way)
+{
+    auto &e = entries_.at(index(set, way));
+    e.valid = false;
+    e.dirty = false;
+    e.tag = 0;
+}
+
+std::uint64_t
+TagArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace adcache

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A plain tag array: per-way tag/valid/dirty for every set. Used by
+ * the real cache and (with transformed partial tags) by the shadow
+ * tag structures of the adaptive scheme.
+ */
+
+#ifndef ADCACHE_CACHE_TAG_ARRAY_HH
+#define ADCACHE_CACHE_TAG_ARRAY_HH
+
+#include <optional>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/** State of one cache line's tag entry. */
+struct TagEntry
+{
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+};
+
+/**
+ * Tags for a numSets x assoc structure. The array stores whatever tag
+ * value the caller provides — full tags or partial (folded) tags —
+ * and has no knowledge of address decomposition.
+ */
+class TagArray
+{
+  public:
+    TagArray(unsigned num_sets, unsigned assoc);
+
+    /** Way holding @p tag in @p set, if any. */
+    std::optional<unsigned> findWay(unsigned set, Addr tag) const;
+
+    /** Any invalid way in @p set, lowest index first. */
+    std::optional<unsigned> findInvalidWay(unsigned set) const;
+
+    /** True iff every way in @p set is valid. */
+    bool setFull(unsigned set) const;
+
+    /** Direct entry access. */
+    TagEntry &entry(unsigned set, unsigned way);
+    const TagEntry &entry(unsigned set, unsigned way) const;
+
+    /** Install @p tag into (set, way), marking it valid and clean. */
+    void fill(unsigned set, unsigned way, Addr tag);
+
+    /** Invalidate (set, way). */
+    void invalidate(unsigned set, unsigned way);
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Count of valid entries across the whole array. */
+    std::uint64_t validCount() const;
+
+  private:
+    unsigned numSets_;
+    unsigned assoc_;
+    std::vector<TagEntry> entries_;  // set-major
+
+    std::size_t
+    index(unsigned set, unsigned way) const
+    {
+        return std::size_t(set) * assoc_ + way;
+    }
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_CACHE_TAG_ARRAY_HH

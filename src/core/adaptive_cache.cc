@@ -1,0 +1,206 @@
+#include "core/adaptive_cache.hh"
+
+#include <sstream>
+
+namespace adcache
+{
+
+AdaptiveConfig
+AdaptiveConfig::fivePolicy(std::uint64_t size_bytes, unsigned assoc,
+                           unsigned line_size)
+{
+    AdaptiveConfig c;
+    c.sizeBytes = size_bytes;
+    c.assoc = assoc;
+    c.lineSize = line_size;
+    c.policies = {PolicyType::LRU, PolicyType::LFU, PolicyType::FIFO,
+                  PolicyType::MRU, PolicyType::Random};
+    // With five components a deeper window separates them better.
+    c.historyDepth = 2 * assoc;
+    return c;
+}
+
+AdaptiveCache::AdaptiveCache(const AdaptiveConfig &config)
+    : config_(config), geom_(config.geometry()), rng_(config.rngSeed),
+      tags_(geom_.numSets, geom_.assoc)
+{
+    adcache_assert(config.policies.size() >= 2 &&
+                   config.policies.size() <= 32);
+
+    for (PolicyType p : config.policies)
+        shadows_.push_back(std::make_unique<ShadowCache>(
+            geom_, p, config.partialTagBits, config.xorFoldTags, &rng_));
+
+    const unsigned depth =
+        config.historyDepth != 0 ? config.historyDepth : geom_.assoc;
+    const auto num_policies = unsigned(config.policies.size());
+    history_.reserve(geom_.numSets);
+    for (unsigned s = 0; s < geom_.numSets; ++s)
+        history_.push_back(
+            makeHistory(config.exactCounters, depth, num_policies));
+
+    decisions_.assign(geom_.numSets,
+                      std::vector<std::uint64_t>(num_policies, 0));
+    fallbackPtr_.assign(geom_.numSets, 0);
+}
+
+std::uint64_t
+AdaptiveCache::shadowMisses(unsigned k) const
+{
+    return shadows_.at(k)->misses();
+}
+
+PolicyType
+AdaptiveCache::componentPolicy(unsigned k) const
+{
+    return shadows_.at(k)->policyType();
+}
+
+bool
+AdaptiveCache::contains(Addr addr) const
+{
+    return tags_.findWay(geom_.setIndex(addr), geom_.tag(addr))
+        .has_value();
+}
+
+const std::vector<std::uint64_t> &
+AdaptiveCache::decisionsFor(unsigned set) const
+{
+    return decisions_.at(set);
+}
+
+void
+AdaptiveCache::clearDecisions()
+{
+    for (auto &per_set : decisions_)
+        for (auto &c : per_set)
+            c = 0;
+}
+
+unsigned
+AdaptiveCache::chooseVictimWay(unsigned set, unsigned winner,
+                               const ShadowOutcome &winner_outcome)
+{
+    ShadowCache &shadow = *shadows_[winner];
+
+    // Case 1: the imitated component also missed and displaced a
+    // block; if that block is resident here, evict the same block.
+    if (winner_outcome.evicted) {
+        for (unsigned w = 0; w < geom_.assoc; ++w) {
+            const auto &e = tags_.entry(set, w);
+            if (e.valid &&
+                shadow.foldTag(e.tag) == winner_outcome.evictedTag) {
+                return w;
+            }
+        }
+    }
+
+    // Case 2: evict any resident block not present in the imitated
+    // component's shadow contents. With full tags such a block is
+    // guaranteed to exist whenever case 1 did not apply.
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        const auto &e = tags_.entry(set, w);
+        if (e.valid && !shadow.containsTag(set, shadow.foldTag(e.tag)))
+            return w;
+    }
+
+    // Case 3: partial-tag aliasing defeated both searches — pick an
+    // arbitrary block (Sec. 3.1). A per-set rotating pointer keeps
+    // the arbitrary choice from pinning a single way.
+    ++fallbacks_;
+    const unsigned w = fallbackPtr_[set];
+    fallbackPtr_[set] = (w + 1) % geom_.assoc;
+    return w;
+}
+
+AccessResult
+AdaptiveCache::access(Addr addr, bool is_write)
+{
+    AccessResult result;
+    ++stats_.accesses;
+
+    const unsigned set = geom_.setIndex(addr);
+    const Addr tag = geom_.tag(addr);
+    const auto num_policies = unsigned(shadows_.size());
+
+    // Update every component simulation for this reference and build
+    // the differentiating-miss mask (Sec. 2.3: "On every memory block
+    // reference, we update the parallel tag structures").
+    std::vector<ShadowOutcome> outcomes(num_policies);
+    std::uint32_t miss_mask = 0;
+    for (unsigned k = 0; k < num_policies; ++k) {
+        outcomes[k] = shadows_[k]->access(addr);
+        if (outcomes[k].miss)
+            miss_mask |= 1u << k;
+    }
+
+    // Record only differentiating misses: if all components missed
+    // (or none did) the event carries no preference information.
+    const std::uint32_t all = (num_policies >= 32)
+                                  ? ~std::uint32_t{0}
+                                  : (1u << num_policies) - 1;
+    if (miss_mask != 0 && miss_mask != all)
+        history_[set]->record(miss_mask);
+
+    // Real cache lookup. Hits never consult the adaptivity logic and
+    // leave the critical path untouched (Sec. 3.3).
+    if (auto way = tags_.findWay(set, tag)) {
+        ++stats_.hits;
+        if (is_write)
+            tags_.entry(set, way.value()).dirty = true;
+        result.hit = true;
+        return result;
+    }
+
+    ++stats_.misses;
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    unsigned fill_way;
+    if (auto invalid = tags_.findInvalidWay(set)) {
+        fill_way = *invalid;
+    } else {
+        const unsigned winner = history_[set]->best(num_policies);
+        ++decisions_[set][winner];
+        fill_way = chooseVictimWay(set, winner, outcomes[winner]);
+
+        const auto &victim = tags_.entry(set, fill_way);
+        ++stats_.evictions;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            result.writebackAddr = geom_.reconstruct(set, victim.tag);
+        }
+    }
+
+    tags_.fill(set, fill_way, tag);
+    if (is_write)
+        tags_.entry(set, fill_way).dirty = true;
+    return result;
+}
+
+std::string
+AdaptiveCache::describe() const
+{
+    std::ostringstream out;
+    out << "Adaptive[";
+    for (std::size_t k = 0; k < config_.policies.size(); ++k) {
+        if (k)
+            out << "+";
+        out << policyName(config_.policies[k]);
+    }
+    out << "] (" << (geom_.sizeBytes() / 1024) << "KB, " << geom_.assoc
+        << "-way, ";
+    if (config_.partialTagBits == 0)
+        out << "full tags";
+    else
+        out << config_.partialTagBits << "-bit tags";
+    if (config_.exactCounters)
+        out << ", exact counters";
+    out << ")";
+    return out.str();
+}
+
+} // namespace adcache

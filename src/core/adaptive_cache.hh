@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The paper's primary contribution: a set-associative cache that
+ * adapts between component replacement policies (Algorithm 1).
+ *
+ * One shadow tag array per component policy tracks what each
+ * component cache would contain; a per-set miss history buffer tracks
+ * which component recently missed less; on every real miss the cache
+ * imitates the currently-better component:
+ *
+ *   1. if the imitated policy also missed and the block it just
+ *      evicted is resident in the adaptive cache, evict that block;
+ *   2. otherwise evict any resident block that is *not* in the
+ *      imitated policy's (shadow) contents;
+ *   3. with partial tags both searches can fail due to aliasing, in
+ *      which case an arbitrary block is evicted (Sec. 3.1).
+ *
+ * The class supports any number of component policies >= 2; the
+ * two-policy LRU/LFU instance is the paper's headline configuration,
+ * and the five-policy instance reproduces Sec. 4.4.
+ */
+
+#ifndef ADCACHE_CORE_ADAPTIVE_CACHE_HH
+#define ADCACHE_CORE_ADAPTIVE_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_model.hh"
+#include "cache/replacement.hh"
+#include "cache/tag_array.hh"
+#include "core/miss_history.hh"
+#include "core/shadow_cache.hh"
+
+namespace adcache
+{
+
+/** Configuration of an adaptive cache. */
+struct AdaptiveConfig
+{
+    std::uint64_t sizeBytes = 512 * 1024;
+    unsigned assoc = 8;
+    unsigned lineSize = 64;
+
+    /** Component policies, in priority (tie-break) order. */
+    std::vector<PolicyType> policies{PolicyType::LRU, PolicyType::LFU};
+
+    /** 0 = full tags; else stored shadow-tag width in bits. */
+    unsigned partialTagBits = 0;
+
+    /** Fold tags by XOR of bit groups instead of low-order bits. */
+    bool xorFoldTags = false;
+
+    /** Miss-history window depth m; 0 selects the paper default, the
+     *  cache associativity. Ignored when exactCounters is set. */
+    unsigned historyDepth = 0;
+
+    /** Use exact since-start counters (the theory variant). */
+    bool exactCounters = false;
+
+    std::uint64_t rngSeed = 1;
+
+    CacheGeometry
+    geometry() const
+    {
+        return CacheGeometry::fromSize(sizeBytes, assoc, lineSize);
+    }
+
+    /** Convenience two-policy constructor helper. */
+    static AdaptiveConfig
+    dual(PolicyType a, PolicyType b, std::uint64_t size_bytes = 512 * 1024,
+         unsigned assoc = 8, unsigned line_size = 64)
+    {
+        AdaptiveConfig c;
+        c.sizeBytes = size_bytes;
+        c.assoc = assoc;
+        c.lineSize = line_size;
+        c.policies = {a, b};
+        return c;
+    }
+
+    /** The five-policy configuration of Sec. 4.4. */
+    static AdaptiveConfig fivePolicy(std::uint64_t size_bytes = 512 * 1024,
+                                     unsigned assoc = 8,
+                                     unsigned line_size = 64);
+};
+
+/** The adaptive cache (Algorithm 1). */
+class AdaptiveCache : public CacheModel
+{
+  public:
+    explicit AdaptiveCache(const AdaptiveConfig &config);
+
+    AccessResult access(Addr addr, bool is_write) override;
+    const CacheStats &stats() const override { return stats_; }
+    const CacheGeometry &geometry() const override { return geom_; }
+    std::string describe() const override;
+
+    /** Number of component policies. */
+    unsigned numPolicies() const { return unsigned(shadows_.size()); }
+
+    /** Misses suffered so far by component @p k's shadow. */
+    std::uint64_t shadowMisses(unsigned k) const;
+
+    /** Component policy type of shadow @p k. */
+    PolicyType componentPolicy(unsigned k) const;
+
+    /** True iff the block containing @p addr is resident. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Replacement decisions made in @p set, by imitated component,
+     * since the last clearDecisions(). Drives the Fig. 7 phase maps.
+     */
+    const std::vector<std::uint64_t> &decisionsFor(unsigned set) const;
+
+    /** Reset the per-set decision counters (per sampling quantum). */
+    void clearDecisions();
+
+    /** Times the partial-tag fallback ("arbitrary victim") fired. */
+    std::uint64_t fallbackEvictions() const { return fallbacks_; }
+
+    const AdaptiveConfig &config() const { return config_; }
+
+  private:
+    unsigned chooseVictimWay(unsigned set, unsigned winner,
+                             const ShadowOutcome &winner_outcome);
+
+    AdaptiveConfig config_;
+    CacheGeometry geom_;
+    Rng rng_;
+    TagArray tags_;
+    std::vector<std::unique_ptr<ShadowCache>> shadows_;
+    std::vector<std::unique_ptr<MissHistory>> history_;  // per set
+    std::vector<std::vector<std::uint64_t>> decisions_;  // [set][k]
+    std::vector<unsigned> fallbackPtr_;                  // per set
+    CacheStats stats_;
+    std::uint64_t fallbacks_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_CORE_ADAPTIVE_CACHE_HH

@@ -1,0 +1,83 @@
+#include "core/miss_history.hh"
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+unsigned
+MissHistory::best(unsigned num_policies) const
+{
+    adcache_assert(num_policies >= 1);
+    unsigned best_policy = 0;
+    std::uint64_t best_count = count(0);
+    for (unsigned p = 1; p < num_policies; ++p) {
+        const std::uint64_t c = count(p);
+        if (c < best_count) {
+            best_count = c;
+            best_policy = p;
+        }
+    }
+    return best_policy;
+}
+
+WindowHistory::WindowHistory(unsigned depth, unsigned num_policies)
+    : depth_(depth), ring_(depth, 0), counts_(num_policies, 0)
+{
+    adcache_assert(depth >= 1);
+    adcache_assert(num_policies >= 1 && num_policies <= 32);
+}
+
+void
+WindowHistory::record(std::uint32_t miss_mask)
+{
+    if (filled_ == depth_) {
+        const std::uint32_t old = ring_[head_];
+        for (unsigned p = 0; p < counts_.size(); ++p)
+            if (old & (1u << p))
+                --counts_[p];
+    } else {
+        ++filled_;
+    }
+    ring_[head_] = miss_mask;
+    head_ = (head_ + 1) % depth_;
+    for (unsigned p = 0; p < counts_.size(); ++p)
+        if (miss_mask & (1u << p))
+            ++counts_[p];
+}
+
+std::uint64_t
+WindowHistory::count(unsigned policy) const
+{
+    return counts_.at(policy);
+}
+
+CounterHistory::CounterHistory(unsigned num_policies)
+    : counts_(num_policies, 0)
+{
+    adcache_assert(num_policies >= 1 && num_policies <= 32);
+}
+
+void
+CounterHistory::record(std::uint32_t miss_mask)
+{
+    for (unsigned p = 0; p < counts_.size(); ++p)
+        if (miss_mask & (1u << p))
+            ++counts_[p];
+}
+
+std::uint64_t
+CounterHistory::count(unsigned policy) const
+{
+    return counts_.at(policy);
+}
+
+std::unique_ptr<MissHistory>
+makeHistory(bool exact_counters, unsigned depth, unsigned num_policies)
+{
+    if (exact_counters)
+        return std::make_unique<CounterHistory>(num_policies);
+    return std::make_unique<WindowHistory>(depth, num_policies);
+}
+
+} // namespace adcache

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-set miss history buffers (Sec. 2.2). The adaptive algorithm
+ * records "differentiating" misses — references missed by a proper,
+ * non-empty subset of the component policies — and imitates the
+ * policy with the fewest recorded misses.
+ *
+ * Two representations are provided:
+ *  - WindowHistory: the hardware design, an m-entry ring of miss
+ *    bitmasks (for two policies this is exactly the paper's m-bit
+ *    vector).
+ *  - CounterHistory: exact integer counters of all misses so far, the
+ *    version used by the theoretical 2x bound in the Appendix.
+ */
+
+#ifndef ADCACHE_CORE_MISS_HISTORY_HH
+#define ADCACHE_CORE_MISS_HISTORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace adcache
+{
+
+/** History of component-policy misses for one cache set. */
+class MissHistory
+{
+  public:
+    virtual ~MissHistory() = default;
+
+    /**
+     * Record one differentiating miss event.
+     * @param miss_mask bit k set iff component policy k missed.
+     *                  Callers only pass proper non-empty subsets.
+     */
+    virtual void record(std::uint32_t miss_mask) = 0;
+
+    /** Recorded miss weight of component @p policy. */
+    virtual std::uint64_t count(unsigned policy) const = 0;
+
+    /**
+     * Index of the policy with the fewest recorded misses; ties break
+     * toward the lowest index (so policy A wins a fresh buffer).
+     */
+    unsigned best(unsigned num_policies) const;
+};
+
+/** Ring buffer of the last m differentiating-miss bitmasks. */
+class WindowHistory : public MissHistory
+{
+  public:
+    /**
+     * @param depth        window length m (paper default: the cache
+     *                     associativity, Sec. 2.2).
+     * @param num_policies number of component policies.
+     */
+    WindowHistory(unsigned depth, unsigned num_policies);
+
+    void record(std::uint32_t miss_mask) override;
+    std::uint64_t count(unsigned policy) const override;
+
+    unsigned depth() const { return depth_; }
+
+  private:
+    unsigned depth_;
+    std::vector<std::uint32_t> ring_;
+    unsigned head_ = 0;
+    unsigned filled_ = 0;
+    std::vector<std::uint64_t> counts_;
+};
+
+/** Exact since-reset counters (theory variant). */
+class CounterHistory : public MissHistory
+{
+  public:
+    explicit CounterHistory(unsigned num_policies);
+
+    void record(std::uint32_t miss_mask) override;
+    std::uint64_t count(unsigned policy) const override;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+};
+
+/** Build the selected representation. */
+std::unique_ptr<MissHistory>
+makeHistory(bool exact_counters, unsigned depth, unsigned num_policies);
+
+} // namespace adcache
+
+#endif // ADCACHE_CORE_MISS_HISTORY_HH

@@ -1,0 +1,75 @@
+#include "core/overhead.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+std::uint64_t
+lineCount(const CacheGeometry &geom)
+{
+    return std::uint64_t(geom.numSets) * geom.assoc;
+}
+
+} // namespace
+
+StorageBits
+conventionalStorage(const CacheGeometry &geom)
+{
+    StorageBits s;
+    const std::uint64_t lines = lineCount(geom);
+    s.dataBits = lines * geom.lineSize * 8;
+    s.tagBits = lines * (geom.tagBits() + mainArrayMiscBits);
+    return s;
+}
+
+StorageBits
+adaptiveStorage(const CacheGeometry &geom, unsigned num_policies,
+                unsigned partial_tag_bits, unsigned history_depth)
+{
+    StorageBits s = conventionalStorage(geom);
+    const std::uint64_t lines = lineCount(geom);
+
+    const unsigned stored_tag =
+        partial_tag_bits == 0 ? geom.tagBits() : partial_tag_bits;
+    s.shadowBits = std::uint64_t(num_policies) * lines *
+                   (stored_tag + shadowPolicyMetaBits);
+
+    // The main array's own replacement-state bits are subsumed by the
+    // component arrays' metadata; avoid double counting (Sec. 3.1).
+    s.shadowBits -= lines * mainArrayReplBits;
+
+    s.historyBits = std::uint64_t(geom.numSets) * history_depth;
+    return s;
+}
+
+StorageBits
+sbarStorage(const CacheGeometry &geom, unsigned num_leaders,
+            unsigned partial_tag_bits, unsigned history_depth)
+{
+    StorageBits s = conventionalStorage(geom);
+    const unsigned stored_tag =
+        partial_tag_bits == 0 ? geom.tagBits() : partial_tag_bits;
+    const std::uint64_t leader_lines =
+        std::uint64_t(num_leaders) * geom.assoc;
+    // One auxiliary tag directory per leader set (Qureshi-style): the
+    // main array, which keeps both components' metadata on the real
+    // blocks, doubles as the currently-followed component's contents.
+    // This matches the paper's 0.16 % figure for 32 full-tag leaders.
+    s.shadowBits = leader_lines * (stored_tag + shadowPolicyMetaBits);
+    s.historyBits = std::uint64_t(num_leaders) * history_depth;
+    return s;
+}
+
+double
+overheadPercent(const StorageBits &baseline,
+                const StorageBits &organisation)
+{
+    const double base = double(baseline.totalBits());
+    if (base == 0.0)
+        return 0.0;
+    return 100.0 * (double(organisation.totalBits()) - base) / base;
+}
+
+} // namespace adcache

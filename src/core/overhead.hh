@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analytic SRAM storage model reproducing the bit accounting of
+ * Sec. 3.1–3.2: the +9.9 % full-tag / +4.0 % 8-bit-partial-tag
+ * overheads of the 512 KB adaptive cache, the +2.1 % figure for
+ * 128-byte lines, the +12.5 %/+25 % cost of growing a conventional
+ * cache to 9/10 ways, and the ~0.16 %/0.09 % SBAR overheads.
+ */
+
+#ifndef ADCACHE_CORE_OVERHEAD_HH
+#define ADCACHE_CORE_OVERHEAD_HH
+
+#include <cstdint>
+
+#include "cache/cache_model.hh"
+#include "cache/replacement.hh"
+
+namespace adcache
+{
+
+/**
+ * Per-line miscellaneous metadata bits of the main tag array beyond
+ * the tag itself: LRU/replacement state, valid, dirty, coherence —
+ * the paper budgets 8 bits total (footnote 2).
+ */
+constexpr unsigned mainArrayMiscBits = 8;
+
+/** Of those, bits holding the replacement (LRU) state (footnote 3:
+ *  the component array need not replicate them — "minus 3KB"). */
+constexpr unsigned mainArrayReplBits = 3;
+
+/** Per-line policy metadata budget in a shadow array ("4 +/- bits for
+ *  policy-specific meta-data", footnote 3/4). */
+constexpr unsigned shadowPolicyMetaBits = 4;
+
+/** Storage of one cache organisation, in bits. */
+struct StorageBits
+{
+    std::uint64_t dataBits = 0;
+    std::uint64_t tagBits = 0;     //!< main tags + misc metadata
+    std::uint64_t shadowBits = 0;  //!< parallel tag arrays
+    std::uint64_t historyBits = 0; //!< miss history buffers
+
+    std::uint64_t
+    totalBits() const
+    {
+        return dataBits + tagBits + shadowBits + historyBits;
+    }
+
+    double totalKB() const { return double(totalBits()) / 8.0 / 1024.0; }
+};
+
+/** Conventional cache: data + main tag array. */
+StorageBits conventionalStorage(const CacheGeometry &geom);
+
+/**
+ * Two-policy adaptive cache storage.
+ * @param partial_tag_bits 0 for full shadow tags.
+ * @param history_depth    per-set miss-history bits m.
+ * Applies the paper's LRU-state dedup credit (footnote: the main
+ * array's replacement bits are not double-counted).
+ */
+StorageBits adaptiveStorage(const CacheGeometry &geom,
+                            unsigned num_policies,
+                            unsigned partial_tag_bits,
+                            unsigned history_depth);
+
+/**
+ * SBAR-like cache storage: duplicate tags and history only for
+ * @p num_leaders sets.
+ */
+StorageBits sbarStorage(const CacheGeometry &geom, unsigned num_leaders,
+                        unsigned partial_tag_bits,
+                        unsigned history_depth);
+
+/** Percent overhead of @p organisation relative to @p baseline. */
+double overheadPercent(const StorageBits &baseline,
+                       const StorageBits &organisation);
+
+} // namespace adcache
+
+#endif // ADCACHE_CORE_OVERHEAD_HH

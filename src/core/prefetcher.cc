@@ -1,0 +1,235 @@
+#include "core/prefetcher.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+PrefetcherType
+parsePrefetcherType(const std::string &name)
+{
+    std::string n;
+    for (char c : name)
+        n.push_back(char(std::tolower(static_cast<unsigned char>(c))));
+    if (n == "none" || n.empty())
+        return PrefetcherType::None;
+    if (n == "nextline" || n == "next-line")
+        return PrefetcherType::NextLine;
+    if (n == "stride" || n == "stream")
+        return PrefetcherType::Stride;
+    if (n == "adaptive" || n == "hybrid")
+        return PrefetcherType::AdaptiveHybrid;
+    fatal("unknown prefetcher '%s'", name.c_str());
+}
+
+const char *
+prefetcherName(PrefetcherType type)
+{
+    switch (type) {
+      case PrefetcherType::None: return "none";
+      case PrefetcherType::NextLine: return "next-line";
+      case PrefetcherType::Stride: return "stride";
+      case PrefetcherType::AdaptiveHybrid: return "adaptive-hybrid";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------
+// NextLinePrefetcher
+// ---------------------------------------------------------------
+
+NextLinePrefetcher::NextLinePrefetcher(unsigned line_size,
+                                       unsigned degree)
+    : lineSize_(line_size), degree_(degree)
+{
+    adcache_assert(isPowerOfTwo(line_size));
+    adcache_assert(degree >= 1);
+}
+
+void
+NextLinePrefetcher::observe(Addr block_addr, bool miss,
+                            std::vector<Addr> &out)
+{
+    if (!miss)
+        return;
+    for (unsigned d = 1; d <= degree_; ++d)
+        out.push_back(block_addr + Addr(d) * lineSize_);
+}
+
+std::string
+NextLinePrefetcher::describe() const
+{
+    return "next-" + std::to_string(degree_) + "-lines";
+}
+
+// ---------------------------------------------------------------
+// StridePrefetcher
+// ---------------------------------------------------------------
+
+StridePrefetcher::StridePrefetcher(unsigned line_size,
+                                   unsigned table_entries,
+                                   unsigned degree)
+    : lineSize_(line_size), degree_(degree), table_(table_entries)
+{
+    adcache_assert(isPowerOfTwo(line_size));
+    adcache_assert(table_entries >= 1 && degree >= 1);
+}
+
+void
+StridePrefetcher::observe(Addr block_addr, bool /*miss*/,
+                          std::vector<Addr> &out)
+{
+    // Train on all demand traffic; 4KB regions localise streams.
+    const Addr region = block_addr >> 12;
+    Entry &e = table_[region % table_.size()];
+
+    if (!e.valid || e.regionTag != region) {
+        e.regionTag = region;
+        e.lastBlock = block_addr;
+        e.delta = 0;
+        e.confidence = 0;
+        e.valid = true;
+        return;
+    }
+
+    const std::int64_t delta =
+        std::int64_t(block_addr) - std::int64_t(e.lastBlock);
+    if (delta == 0)
+        return;
+    if (delta == e.delta) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        e.delta = delta;
+        e.confidence = 1;
+    }
+    e.lastBlock = block_addr;
+
+    if (e.confidence >= 2) {
+        for (unsigned d = 1; d <= degree_; ++d) {
+            const std::int64_t target =
+                std::int64_t(block_addr) +
+                e.delta * std::int64_t(d);
+            if (target > 0)
+                out.push_back(Addr(target) & ~Addr(lineSize_ - 1));
+        }
+    }
+}
+
+std::string
+StridePrefetcher::describe() const
+{
+    return "stride-" + std::to_string(degree_);
+}
+
+// ---------------------------------------------------------------
+// AdaptiveHybridPrefetcher
+// ---------------------------------------------------------------
+
+AdaptiveHybridPrefetcher::AdaptiveHybridPrefetcher(unsigned line_size,
+                                                   unsigned window_depth,
+                                                   unsigned tracker_size)
+    : uselessness_(window_depth, 2), trackerSize_(tracker_size)
+{
+    adcache_assert(tracker_size >= 1);
+    components_[0] = std::make_unique<NextLinePrefetcher>(line_size, 2);
+    components_[1] = std::make_unique<StridePrefetcher>(line_size, 64,
+                                                        2);
+}
+
+unsigned
+AdaptiveHybridPrefetcher::activeComponent() const
+{
+    // Fewest recently-useless suggestions wins (ties: next-line).
+    return uselessness_.best(2);
+}
+
+const PrefetcherStats &
+AdaptiveHybridPrefetcher::componentStats(unsigned k) const
+{
+    adcache_assert(k < 2);
+    return stats_[k];
+}
+
+void
+AdaptiveHybridPrefetcher::track(unsigned k, Addr block)
+{
+    auto &ring = outstanding_[k];
+    // Already tracked: nothing to do.
+    for (const auto &t : ring)
+        if (t.block == block)
+            return;
+    if (ring.size() >= trackerSize_) {
+        // The oldest suggestion retires; judge it.
+        const Tracked old = ring.front();
+        ring.pop_front();
+        if (old.used) {
+            ++stats_[k].useful;
+        } else {
+            ++stats_[k].useless;
+            // Record a "useless" event against component k — the
+            // prefetch analogue of a differentiating miss.
+            uselessness_.record(1u << k);
+        }
+    }
+    ring.push_back({block, false});
+    ++stats_[k].issued;
+}
+
+void
+AdaptiveHybridPrefetcher::noteDemand(unsigned k, Addr block)
+{
+    for (auto &t : outstanding_[k])
+        if (t.block == block)
+            t.used = true;
+}
+
+void
+AdaptiveHybridPrefetcher::observe(Addr block_addr, bool miss,
+                                  std::vector<Addr> &out)
+{
+    // Credit suggestions the demand stream just validated.
+    noteDemand(0, block_addr);
+    noteDemand(1, block_addr);
+
+    const unsigned active = activeComponent();
+    for (unsigned k = 0; k < 2; ++k) {
+        scratch_.clear();
+        components_[k]->observe(block_addr, miss, scratch_);
+        for (Addr a : scratch_) {
+            track(k, a);
+            if (k == active)
+                out.push_back(a);
+        }
+    }
+}
+
+std::string
+AdaptiveHybridPrefetcher::describe() const
+{
+    return "adaptive[" + components_[0]->describe() + "+" +
+           components_[1]->describe() + "]";
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherType type, unsigned line_size, unsigned degree)
+{
+    switch (type) {
+      case PrefetcherType::None:
+        return nullptr;
+      case PrefetcherType::NextLine:
+        return std::make_unique<NextLinePrefetcher>(line_size, degree);
+      case PrefetcherType::Stride:
+        return std::make_unique<StridePrefetcher>(line_size, 64,
+                                                  degree);
+      case PrefetcherType::AdaptiveHybrid:
+        return std::make_unique<AdaptiveHybridPrefetcher>(line_size);
+    }
+    panic("unknown prefetcher type");
+}
+
+} // namespace adcache

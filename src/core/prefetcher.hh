@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Hardware prefetchers and the adaptive hybrid the paper sketches as
+ * future work (Sec. 6): "Our adaptation technique could possibly be
+ * modified to improve hybrid hardware prefetchers as well (hit/miss
+ * is replaced with useful/not-useful prefetch)."
+ *
+ * Two classic component prefetchers are provided — next-N-lines and
+ * a stream/stride detector — plus AdaptiveHybridPrefetcher, which
+ * trains both components on the demand stream, scores each by the
+ * recent *uselessness* of its suggestions (a windowed history, the
+ * exact structure the adaptive cache uses for misses), and issues
+ * only the currently-better component's prefetches.
+ */
+
+#ifndef ADCACHE_CORE_PREFETCHER_HH
+#define ADCACHE_CORE_PREFETCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/miss_history.hh"
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/** Which prefetcher drives the L2 (sim/config.hh plumbs this). */
+enum class PrefetcherType
+{
+    None,
+    NextLine,
+    Stride,
+    AdaptiveHybrid,
+};
+
+/** Parse a prefetcher name; fatal() on unknown names. */
+PrefetcherType parsePrefetcherType(const std::string &name);
+
+/** Printable prefetcher name. */
+const char *prefetcherName(PrefetcherType type);
+
+/** Counters every prefetcher keeps. */
+struct PrefetcherStats
+{
+    std::uint64_t issued = 0;
+    std::uint64_t useful = 0;   //!< demand-referenced before expiry
+    std::uint64_t useless = 0;  //!< expired without a demand use
+
+    double
+    accuracy() const
+    {
+        const auto judged = useful + useless;
+        return judged == 0 ? 0.0 : double(useful) / double(judged);
+    }
+};
+
+/**
+ * A prefetcher observes the demand miss stream of a cache level and
+ * suggests block addresses to fetch ahead of time.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe one demand access.
+     * @param block_addr block-aligned demand address.
+     * @param miss       whether the demand access missed.
+     * @param out        candidate block addresses to prefetch.
+     */
+    virtual void observe(Addr block_addr, bool miss,
+                         std::vector<Addr> &out) = 0;
+
+    /** Short label for reports. */
+    virtual std::string describe() const = 0;
+};
+
+/** Prefetch the next @p degree sequential lines on a miss. */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned line_size, unsigned degree = 1);
+
+    void observe(Addr block_addr, bool miss,
+                 std::vector<Addr> &out) override;
+    std::string describe() const override;
+
+  private:
+    unsigned lineSize_;
+    unsigned degree_;
+};
+
+/**
+ * Region-based stream/stride detector: tracks the last block and
+ * delta per 4KB region with a 2-bit confidence counter; a confirmed
+ * stride prefetches the next @p degree strided blocks.
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    StridePrefetcher(unsigned line_size, unsigned table_entries = 64,
+                     unsigned degree = 2);
+
+    void observe(Addr block_addr, bool miss,
+                 std::vector<Addr> &out) override;
+    std::string describe() const override;
+
+  private:
+    struct Entry
+    {
+        Addr regionTag = 0;
+        Addr lastBlock = 0;
+        std::int64_t delta = 0;
+        unsigned confidence = 0;
+        bool valid = false;
+    };
+
+    unsigned lineSize_;
+    unsigned degree_;
+    std::vector<Entry> table_;
+};
+
+/**
+ * The future-work hybrid: both components train on every access; a
+ * windowed uselessness history (per Sec. 2.2's miss history, with
+ * "useless prefetch" in place of "miss") selects which component's
+ * suggestions are actually issued.
+ */
+class AdaptiveHybridPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param line_size    cache line size.
+     * @param window_depth uselessness history depth (default 16).
+     * @param tracker_size outstanding-prefetch tracker entries per
+     *                     component.
+     */
+    AdaptiveHybridPrefetcher(unsigned line_size,
+                             unsigned window_depth = 16,
+                             unsigned tracker_size = 64);
+
+    void observe(Addr block_addr, bool miss,
+                 std::vector<Addr> &out) override;
+    std::string describe() const override;
+
+    /** Component currently allowed to issue (0 = next-line,
+     *  1 = stride). */
+    unsigned activeComponent() const;
+
+    /** Per-component usefulness counters. */
+    const PrefetcherStats &componentStats(unsigned k) const;
+
+  private:
+    struct Tracked
+    {
+        Addr block;
+        bool used;
+    };
+
+    void track(unsigned k, Addr block);
+    void noteDemand(unsigned k, Addr block);
+
+    std::unique_ptr<Prefetcher> components_[2];
+    std::deque<Tracked> outstanding_[2];
+    PrefetcherStats stats_[2];
+    WindowHistory uselessness_;
+    unsigned trackerSize_;
+    std::vector<Addr> scratch_;
+};
+
+/** Build a prefetcher; returns nullptr for PrefetcherType::None. */
+std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherType type,
+                                           unsigned line_size,
+                                           unsigned degree = 2);
+
+} // namespace adcache
+
+#endif // ADCACHE_CORE_PREFETCHER_HH

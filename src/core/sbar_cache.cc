@@ -1,0 +1,183 @@
+#include "core/sbar_cache.hh"
+
+#include <sstream>
+
+namespace adcache
+{
+
+SbarCache::SbarCache(const SbarConfig &config)
+    : config_(config), geom_(config.geometry()), rng_(config.rngSeed),
+      tags_(geom_.numSets, geom_.assoc),
+      psel_(config.pselBits, (1u << config.pselBits) / 2)
+{
+    adcache_assert(config.numLeaders >= 1 &&
+                   config.numLeaders <= geom_.numSets);
+
+    policyA_.reserve(geom_.numSets);
+    policyB_.reserve(geom_.numSets);
+    for (unsigned s = 0; s < geom_.numSets; ++s) {
+        policyA_.push_back(
+            makePolicy(config.policyA, geom_.assoc, &rng_));
+        policyB_.push_back(
+            makePolicy(config.policyB, geom_.assoc, &rng_));
+    }
+
+    // Shadow structures are sized for the full set count but only
+    // leader sets ever touch them; a hardware implementation would
+    // provision numLeaders sets (the overhead model accounts bits
+    // that way, see core/overhead.cc).
+    shadowA_ = std::make_unique<ShadowCache>(geom_, config.policyA,
+                                             config.partialTagBits,
+                                             config.xorFoldTags, &rng_);
+    shadowB_ = std::make_unique<ShadowCache>(geom_, config.policyB,
+                                             config.partialTagBits,
+                                             config.xorFoldTags, &rng_);
+
+    leaderSpacing_ = geom_.numSets / config.numLeaders;
+    adcache_assert(leaderSpacing_ >= 1);
+    leaderOrdinal_.assign(geom_.numSets, -1);
+    const unsigned depth =
+        config.historyDepth != 0 ? config.historyDepth : geom_.assoc;
+    unsigned ordinal = 0;
+    for (unsigned s = 0; s < geom_.numSets; s += leaderSpacing_) {
+        if (ordinal >= config.numLeaders)
+            break;
+        leaderOrdinal_[s] = int(ordinal++);
+        leaderHistory_.push_back(makeHistory(false, depth, 2));
+    }
+    fallbackPtr_.assign(geom_.numSets, 0);
+}
+
+bool
+SbarCache::isLeader(unsigned set) const
+{
+    return leaderOrdinal_.at(set) >= 0;
+}
+
+unsigned
+SbarCache::globalChoice() const
+{
+    // High half of the counter range means "A has been missing more;
+    // prefer B".
+    return psel_.high() ? 1 : 0;
+}
+
+unsigned
+SbarCache::leaderVictim(unsigned set, unsigned winner,
+                        const ShadowOutcome &winner_outcome)
+{
+    ShadowCache &shadow = winner == 0 ? *shadowA_ : *shadowB_;
+
+    if (winner_outcome.evicted) {
+        for (unsigned w = 0; w < geom_.assoc; ++w) {
+            const auto &e = tags_.entry(set, w);
+            if (e.valid &&
+                shadow.foldTag(e.tag) == winner_outcome.evictedTag) {
+                return w;
+            }
+        }
+    }
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        const auto &e = tags_.entry(set, w);
+        if (e.valid && !shadow.containsTag(set, shadow.foldTag(e.tag)))
+            return w;
+    }
+    const unsigned w = fallbackPtr_[set];
+    fallbackPtr_[set] = (w + 1) % geom_.assoc;
+    return w;
+}
+
+AccessResult
+SbarCache::access(Addr addr, bool is_write)
+{
+    AccessResult result;
+    ++stats_.accesses;
+
+    const unsigned set = geom_.setIndex(addr);
+    const Addr tag = geom_.tag(addr);
+    const int ordinal = leaderOrdinal_[set];
+
+    ShadowOutcome out_a, out_b;
+    if (ordinal >= 0) {
+        out_a = shadowA_->access(addr);
+        out_b = shadowB_->access(addr);
+        if (out_a.miss != out_b.miss) {
+            leaderHistory_[ordinal]->record(out_a.miss ? 0b01 : 0b10);
+            const unsigned before = globalChoice();
+            if (out_a.miss)
+                psel_.increment();  // A missing -> drift toward B
+            else
+                psel_.decrement();
+            if (globalChoice() != before)
+                ++flips_;
+        }
+    }
+
+    if (auto way = tags_.findWay(set, tag)) {
+        ++stats_.hits;
+        policyA_[set]->onHit(*way);
+        policyB_[set]->onHit(*way);
+        if (is_write)
+            tags_.entry(set, *way).dirty = true;
+        result.hit = true;
+        return result;
+    }
+
+    ++stats_.misses;
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    unsigned fill_way;
+    if (auto invalid = tags_.findInvalidWay(set)) {
+        fill_way = *invalid;
+    } else {
+        unsigned winner;
+        if (ordinal >= 0) {
+            winner = leaderHistory_[ordinal]->best(2);
+            fill_way = leaderVictim(set, winner,
+                                    winner == 0 ? out_a : out_b);
+        } else {
+            winner = globalChoice();
+            // The follower runs the selected algorithm on whatever
+            // blocks are currently resident (Sec. 4.7).
+            fill_way = winner == 0 ? policyA_[set]->victim()
+                                   : policyB_[set]->victim();
+        }
+
+        const auto &victim = tags_.entry(set, fill_way);
+        ++stats_.evictions;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            result.writebackAddr = geom_.reconstruct(set, victim.tag);
+        }
+        policyA_[set]->onInvalidate(fill_way);
+        policyB_[set]->onInvalidate(fill_way);
+    }
+
+    tags_.fill(set, fill_way, tag);
+    policyA_[set]->onFill(fill_way);
+    policyB_[set]->onFill(fill_way);
+    if (is_write)
+        tags_.entry(set, fill_way).dirty = true;
+    return result;
+}
+
+std::string
+SbarCache::describe() const
+{
+    std::ostringstream out;
+    out << "SBAR[" << policyName(config_.policyA) << "+"
+        << policyName(config_.policyB) << "] ("
+        << (geom_.sizeBytes() / 1024) << "KB, " << geom_.assoc
+        << "-way, " << config_.numLeaders << " leaders, ";
+    if (config_.partialTagBits == 0)
+        out << "full-tag leaders)";
+    else
+        out << config_.partialTagBits << "-bit leaders)";
+    return out.str();
+}
+
+} // namespace adcache

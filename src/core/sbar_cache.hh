@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SBAR-like set-sampling adaptive cache (Sec. 4.7, after Qureshi,
+ * Lynch, Mutlu and Patt).
+ *
+ * Only a few evenly-spaced *leader* sets carry the duplicate (shadow)
+ * tag structures and a local miss history; they behave like the
+ * regular adaptive cache. Leader-set differentiating misses also
+ * train a global policy-selection counter. The remaining *follower*
+ * sets keep both components' replacement metadata on the real blocks
+ * at all times (recency order and frequency counts), and on a miss
+ * simply evict whichever block the globally-selected policy would
+ * evict from the blocks currently in the cache. Followers therefore
+ * lose the theoretical guarantee — when the selection flips, the
+ * newly-selected policy starts from the current contents rather than
+ * its own simulated contents — but the hardware overhead collapses to
+ * a fraction of a percent.
+ */
+
+#ifndef ADCACHE_CORE_SBAR_CACHE_HH
+#define ADCACHE_CORE_SBAR_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_model.hh"
+#include "cache/replacement.hh"
+#include "cache/tag_array.hh"
+#include "core/miss_history.hh"
+#include "core/shadow_cache.hh"
+#include "util/sat_counter.hh"
+
+namespace adcache
+{
+
+/** Configuration of the SBAR-like cache. */
+struct SbarConfig
+{
+    std::uint64_t sizeBytes = 512 * 1024;
+    unsigned assoc = 8;
+    unsigned lineSize = 64;
+    PolicyType policyA = PolicyType::LRU;
+    PolicyType policyB = PolicyType::LFU;
+    /** Number of leader sets (evenly spaced). */
+    unsigned numLeaders = 32;
+    /** Partial-tag width for the leader shadows (0 = full). */
+    unsigned partialTagBits = 0;
+    bool xorFoldTags = false;
+    /** Leader-set local history depth; 0 = associativity. */
+    unsigned historyDepth = 0;
+    /** Width of the global policy-selection counter. */
+    unsigned pselBits = 10;
+    std::uint64_t rngSeed = 1;
+
+    CacheGeometry
+    geometry() const
+    {
+        return CacheGeometry::fromSize(sizeBytes, assoc, lineSize);
+    }
+};
+
+/** The SBAR-like adaptive cache. */
+class SbarCache : public CacheModel
+{
+  public:
+    explicit SbarCache(const SbarConfig &config);
+
+    AccessResult access(Addr addr, bool is_write) override;
+    const CacheStats &stats() const override { return stats_; }
+    const CacheGeometry &geometry() const override { return geom_; }
+    std::string describe() const override;
+
+    /** True iff @p set is a leader set. */
+    bool isLeader(unsigned set) const;
+
+    /** Current globally-selected policy (0 = A, 1 = B). */
+    unsigned globalChoice() const;
+
+    /** Times the global selection changed sides. */
+    std::uint64_t selectionFlips() const { return flips_; }
+
+    const SbarConfig &config() const { return config_; }
+
+  private:
+    unsigned leaderVictim(unsigned set, unsigned winner,
+                          const ShadowOutcome &winner_outcome);
+
+    SbarConfig config_;
+    CacheGeometry geom_;
+    Rng rng_;
+    TagArray tags_;
+    // Both components' metadata maintained on the real blocks of
+    // every set ("policy-specific meta-data are kept at all times").
+    std::vector<std::unique_ptr<ReplacementPolicy>> policyA_;
+    std::vector<std::unique_ptr<ReplacementPolicy>> policyB_;
+    // Leader-only structures, indexed by leader ordinal.
+    std::unique_ptr<ShadowCache> shadowA_;
+    std::unique_ptr<ShadowCache> shadowB_;
+    std::vector<std::unique_ptr<MissHistory>> leaderHistory_;
+    std::vector<int> leaderOrdinal_;  // -1 for followers
+    unsigned leaderSpacing_;
+    SatCounter psel_;
+    std::vector<unsigned> fallbackPtr_;
+    CacheStats stats_;
+    std::uint64_t flips_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_CORE_SBAR_CACHE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parallel (shadow) tag structure: tracks what the cache contents
+ * would be if a single component policy managed it (Sec. 2.2). Holds
+ * tags only — full tags or partial tags of a configurable width
+ * (Sec. 3.1) — never data.
+ */
+
+#ifndef ADCACHE_CORE_SHADOW_CACHE_HH
+#define ADCACHE_CORE_SHADOW_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_model.hh"
+#include "cache/replacement.hh"
+#include "cache/tag_array.hh"
+
+namespace adcache
+{
+
+/** Result of presenting one reference to a shadow cache. */
+struct ShadowOutcome
+{
+    bool miss = false;
+    /** A (valid) block was displaced to make room. */
+    bool evicted = false;
+    /** Stored tag of the displaced block, in this shadow's domain. */
+    Addr evictedTag = 0;
+};
+
+/**
+ * A tag-only simulation of one component replacement policy.
+ *
+ * The shadow shares the real cache's geometry (same sets, same
+ * associativity). With partialTagBits > 0 stored tags are folded, so
+ * aliasing can make two distinct blocks indistinguishable; the
+ * adaptive algorithm tolerates this (Sec. 3.1).
+ */
+class ShadowCache
+{
+  public:
+    /**
+     * @param geom        geometry shared with the real cache.
+     * @param policy      the component policy this shadow simulates.
+     * @param partial_bits 0 for full tags, else stored tag width.
+     * @param xor_fold    fold via XOR of tag groups instead of
+     *                    keeping the low-order bits.
+     * @param rng         shared generator for stochastic policies.
+     */
+    ShadowCache(const CacheGeometry &geom, PolicyType policy,
+                unsigned partial_bits, bool xor_fold, Rng *rng);
+
+    /** Simulate the component policy for one reference. */
+    ShadowOutcome access(Addr addr);
+
+    /** Map a full address to this shadow's stored-tag domain. */
+    Addr transformTag(Addr addr) const;
+
+    /** Fold an already-extracted full tag into the stored domain. */
+    Addr foldTag(Addr full_tag) const;
+
+    /** Membership test in the stored-tag domain. */
+    bool containsTag(unsigned set, Addr stored_tag) const;
+
+    /** Total misses this shadow has suffered. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Total accesses presented. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    PolicyType policyType() const { return policyType_; }
+    unsigned partialTagBits() const { return partialBits_; }
+
+  private:
+    CacheGeometry geom_;
+    PolicyType policyType_;
+    unsigned partialBits_;
+    bool xorFold_;
+    TagArray tags_;
+    std::vector<std::unique_ptr<ReplacementPolicy>> policies_;
+    std::uint64_t misses_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_CORE_SHADOW_CACHE_HH

@@ -1,0 +1,76 @@
+#include "cpu/branch_predictor.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : config_(config),
+      bimodal_(config.tableEntries, SatCounter(2, 1)),
+      gshare_(config.tableEntries, SatCounter(2, 1)),
+      meta_(config.tableEntries, SatCounter(2, 2))
+{
+    adcache_assert(isPowerOfTwo(config.tableEntries));
+    adcache_assert(config.historyBits <= 32);
+}
+
+unsigned
+BranchPredictor::bimodalIndex(Addr pc) const
+{
+    return unsigned((pc >> 2) & (config_.tableEntries - 1));
+}
+
+unsigned
+BranchPredictor::gshareIndex(Addr pc) const
+{
+    const Addr h = history_ & lowMask(config_.historyBits);
+    return unsigned(((pc >> 2) ^ h) & (config_.tableEntries - 1));
+}
+
+bool
+BranchPredictor::predict(Addr pc) const
+{
+    const bool bimodal_pred = bimodal_[bimodalIndex(pc)].high();
+    const bool gshare_pred = gshare_[gshareIndex(pc)].high();
+    const bool use_gshare = meta_[bimodalIndex(pc)].high();
+    return use_gshare ? gshare_pred : bimodal_pred;
+}
+
+bool
+BranchPredictor::update(Addr pc, bool taken)
+{
+    ++stats_.lookups;
+    const unsigned bi = bimodalIndex(pc);
+    const unsigned gi = gshareIndex(pc);
+
+    const bool bimodal_pred = bimodal_[bi].high();
+    const bool gshare_pred = gshare_[gi].high();
+    const bool use_gshare = meta_[bi].high();
+    const bool pred = use_gshare ? gshare_pred : bimodal_pred;
+    const bool mispredict = pred != taken;
+    if (mispredict)
+        ++stats_.mispredicts;
+
+    // Train the chooser only when the components disagree.
+    if (bimodal_pred != gshare_pred) {
+        if (gshare_pred == taken)
+            meta_[bi].increment();
+        else
+            meta_[bi].decrement();
+    }
+
+    if (taken) {
+        bimodal_[bi].increment();
+        gshare_[gi].increment();
+    } else {
+        bimodal_[bi].decrement();
+        gshare_[gi].decrement();
+    }
+
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+    return mispredict;
+}
+
+} // namespace adcache

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The hybrid branch predictor of Table 1: 16 KB gshare + 16 KB
+ * bimodal + 16 KB meta chooser. 16 KB of 2-bit counters = 64 K
+ * entries per table.
+ */
+
+#ifndef ADCACHE_CPU_BRANCH_PREDICTOR_HH
+#define ADCACHE_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sat_counter.hh"
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/** Predictor sizing. */
+struct BranchPredictorConfig
+{
+    unsigned tableEntries = 64 * 1024;  //!< per component (16KB @2b)
+    unsigned historyBits = 16;          //!< gshare global history
+};
+
+/** Accuracy counters. */
+struct BranchPredictorStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t mispredicts = 0;
+
+    double
+    accuracy() const
+    {
+        return lookups == 0
+                   ? 1.0
+                   : 1.0 - double(mispredicts) / double(lookups);
+    }
+};
+
+/** gshare/bimodal/meta hybrid direction predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config = {});
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /**
+     * Train with the resolved outcome and update global history.
+     * @return true iff the pre-update prediction was wrong.
+     */
+    bool update(Addr pc, bool taken);
+
+    const BranchPredictorStats &stats() const { return stats_; }
+
+  private:
+    unsigned bimodalIndex(Addr pc) const;
+    unsigned gshareIndex(Addr pc) const;
+
+    BranchPredictorConfig config_;
+    std::vector<SatCounter> bimodal_;
+    std::vector<SatCounter> gshare_;
+    std::vector<SatCounter> meta_;  //!< high = trust gshare
+    std::uint64_t history_ = 0;
+    mutable BranchPredictorStats stats_;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_CPU_BRANCH_PREDICTOR_HH

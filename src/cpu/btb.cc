@@ -1,0 +1,77 @@
+#include "cpu/btb.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+Btb::Btb(const BtbConfig &config)
+    : config_(config), numSets_(config.entries / config.assoc),
+      entries_(config.entries)
+{
+    adcache_assert(config.assoc >= 1);
+    adcache_assert(config.entries % config.assoc == 0);
+    adcache_assert(isPowerOfTwo(numSets_));
+}
+
+unsigned
+Btb::setIndex(Addr pc) const
+{
+    return unsigned((pc >> 2) & (numSets_ - 1));
+}
+
+Addr
+Btb::tagOf(Addr pc) const
+{
+    return (pc >> 2) / numSets_;
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    ++stats_.lookups;
+    const unsigned set = setIndex(pc);
+    const Addr tag = tagOf(pc);
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        auto &e = entries_[std::size_t(set) * config_.assoc + w];
+        if (e.valid && e.tag == tag) {
+            ++stats_.hits;
+            e.lastUse = ++clock_;
+            return e.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    const unsigned set = setIndex(pc);
+    const Addr tag = tagOf(pc);
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        auto &e = entries_[std::size_t(set) * config_.assoc + w];
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lastUse = ++clock_;
+            return;
+        }
+    }
+    // Miss: fill an invalid way, else the least recently used one.
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        auto &e = entries_[std::size_t(set) * config_.assoc + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->tag = tag;
+    victim->target = target;
+    victim->valid = true;
+    victim->lastUse = ++clock_;
+}
+
+} // namespace adcache

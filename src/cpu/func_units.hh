@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Functional-unit pools matching Table 1: 4 integer ALUs (1 cycle),
+ * 4 integer mult/div (8 cycles), 4 FP ALUs (4 cycles), 4 FP mult/div
+ * (16 cycles) and 2 memory ports. Each pool schedules the earliest
+ * available unit at or after an instruction's ready time.
+ */
+
+#ifndef ADCACHE_CPU_FUNC_UNITS_HH
+#define ADCACHE_CPU_FUNC_UNITS_HH
+
+#include <array>
+#include <vector>
+
+#include "trace/instr.hh"
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/** Per-class unit counts and execution latencies. */
+struct FuncUnitConfig
+{
+    unsigned intAluCount = 4;
+    unsigned intMultCount = 4;
+    unsigned fpAddCount = 4;
+    unsigned fpDivCount = 4;
+    unsigned memPortCount = 2;
+
+    Cycle intAluLatency = 1;
+    Cycle intMultLatency = 8;
+    Cycle fpAddLatency = 4;
+    Cycle fpDivLatency = 16;
+};
+
+/**
+ * Tracks busy-until times of every unit and assigns work greedily.
+ * Units are fully pipelined except for their issue slot: a unit can
+ * accept a new operation one cycle after the previous one issued,
+ * which approximates the pipelined FUs of the modelled machine while
+ * still creating structural hazards under bursts.
+ */
+class FuncUnits
+{
+  public:
+    explicit FuncUnits(const FuncUnitConfig &config = {});
+
+    /**
+     * Schedule an operation of class @p cls that becomes ready at
+     * @p ready.
+     * @return the cycle the operation issues (>= ready).
+     *
+     * Loads/stores schedule their address-generation/memory-port slot
+     * here; the cache latency is added by the caller.
+     */
+    Cycle issue(InstrClass cls, Cycle ready);
+
+    /** Execution latency of class @p cls (1 for loads/stores: port
+     *  occupancy only; memory time is modelled by the hierarchy). */
+    Cycle latency(InstrClass cls) const;
+
+  private:
+    std::vector<Cycle> &poolFor(InstrClass cls);
+
+    FuncUnitConfig config_;
+    std::vector<Cycle> intAlu_;
+    std::vector<Cycle> intMult_;
+    std::vector<Cycle> fpAdd_;
+    std::vector<Cycle> fpDiv_;
+    std::vector<Cycle> memPort_;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_CPU_FUNC_UNITS_HH

@@ -1,0 +1,35 @@
+#include "mem/bus.hh"
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+SplitTransactionBus::SplitTransactionBus(const BusConfig &config)
+    : config_(config)
+{
+    adcache_assert(config.bytesPerBeat >= 1);
+    adcache_assert(config.cpuCyclesPerBeat >= 1);
+}
+
+Cycle
+SplitTransactionBus::transferCycles(unsigned bytes) const
+{
+    const unsigned beats =
+        (bytes + config_.bytesPerBeat - 1) / config_.bytesPerBeat;
+    return Cycle(beats) * config_.cpuCyclesPerBeat;
+}
+
+Cycle
+SplitTransactionBus::acquire(Cycle earliest, unsigned bytes)
+{
+    const Cycle start = earliest > freeAt_ ? earliest : freeAt_;
+    queueCycles_ += start - earliest;
+    const Cycle duration = transferCycles(bytes);
+    freeAt_ = start + duration;
+    busyCycles_ += duration;
+    ++transactions_;
+    return start;
+}
+
+} // namespace adcache

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The processor-memory bus of Table 1: 8-byte-wide, split-transaction,
+ * clocked at 1/8 of the core frequency. Modelled as a single shared
+ * resource whose occupancy creates queuing delay — the mechanism that
+ * limits memory-level parallelism when misses cluster.
+ */
+
+#ifndef ADCACHE_MEM_BUS_HH
+#define ADCACHE_MEM_BUS_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/** Configuration of the split-transaction bus. */
+struct BusConfig
+{
+    unsigned bytesPerBeat = 8;  //!< bus width (Table 1: 8B)
+    unsigned cpuCyclesPerBeat = 8;  //!< CPU:bus frequency ratio 8:1
+};
+
+/** A single-master-at-a-time bus with FIFO arbitration. */
+class SplitTransactionBus
+{
+  public:
+    explicit SplitTransactionBus(const BusConfig &config);
+
+    /**
+     * Reserve the bus for a transfer.
+     * @param earliest request time (CPU cycles).
+     * @param bytes    payload size.
+     * @return cycle at which the transfer *starts* (>= earliest).
+     *
+     * The bus is then busy until start + transferCycles(bytes).
+     */
+    Cycle acquire(Cycle earliest, unsigned bytes);
+
+    /** CPU cycles needed to move @p bytes across the bus. */
+    Cycle transferCycles(unsigned bytes) const;
+
+    /** Next cycle at which the bus is free. */
+    Cycle freeAt() const { return freeAt_; }
+
+    /** Total cycles of bus occupancy so far. */
+    Cycle busyCycles() const { return busyCycles_; }
+
+    /** Total cycles requests spent waiting for the bus. */
+    Cycle queueCycles() const { return queueCycles_; }
+
+    std::uint64_t transactions() const { return transactions_; }
+
+  private:
+    BusConfig config_;
+    Cycle freeAt_ = 0;
+    Cycle busyCycles_ = 0;
+    Cycle queueCycles_ = 0;
+    std::uint64_t transactions_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_MEM_BUS_HH

@@ -1,0 +1,43 @@
+#include "mem/main_memory.hh"
+
+namespace adcache
+{
+
+MainMemory::MainMemory(const MemoryConfig &config)
+    : config_(config), bus_(config.bus)
+{
+}
+
+Cycle
+MainMemory::readLine(Cycle now, unsigned bytes)
+{
+    ++stats_.reads;
+    // Split transaction: the address phase uses its own narrow
+    // request channel (one beat, never blocked by in-flight data),
+    // so independent misses overlap in DRAM — the data phases then
+    // serialise on the shared data bus. This is what bounds
+    // memory-level parallelism by bandwidth rather than latency.
+    const Cycle dram_done =
+        now + config_.bus.cpuCyclesPerBeat + config_.accessLatency;
+    const Cycle data_start = bus_.acquire(dram_done, bytes);
+    return data_start + bus_.transferCycles(bytes);
+}
+
+Cycle
+MainMemory::writeLine(Cycle now, unsigned bytes)
+{
+    ++stats_.writes;
+    const Cycle start = bus_.acquire(now, bytes);
+    return start + bus_.transferCycles(bytes);
+}
+
+MemoryStats
+MainMemory::stats() const
+{
+    MemoryStats s = stats_;
+    s.busBusyCycles = bus_.busyCycles();
+    s.busQueueCycles = bus_.queueCycles();
+    return s;
+}
+
+} // namespace adcache

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Main memory behind the split-transaction bus. Reads return a
+ * completion time (when the requested line has arrived at the L2);
+ * writebacks are fire-and-forget but consume bus bandwidth, so heavy
+ * dirty-eviction traffic delays demand fills — one of the effects the
+ * paper's store-buffer experiments (Fig. 10) exercise.
+ */
+
+#ifndef ADCACHE_MEM_MAIN_MEMORY_HH
+#define ADCACHE_MEM_MAIN_MEMORY_HH
+
+#include "mem/bus.hh"
+
+namespace adcache
+{
+
+/** Configuration of the memory + bus back end. */
+struct MemoryConfig
+{
+    /**
+     * DRAM access latency in CPU cycles. Table 1 lists the memory
+     * latency and a 15-cycle L2; mid-2000s studies put the round trip
+     * in the low hundreds of cycles, so the default is 120.
+     */
+    Cycle accessLatency = 120;
+    BusConfig bus;
+};
+
+/** Statistics of the memory back end. */
+struct MemoryStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    Cycle busBusyCycles = 0;
+    Cycle busQueueCycles = 0;
+};
+
+/** The DRAM + bus model. */
+class MainMemory
+{
+  public:
+    explicit MainMemory(const MemoryConfig &config);
+
+    /**
+     * Fetch a line of @p bytes. The address phase arbitrates for the
+     * bus, DRAM takes accessLatency, then the data phase streams the
+     * line back over the bus.
+     * @return CPU cycle at which the full line is available.
+     */
+    Cycle readLine(Cycle now, unsigned bytes);
+
+    /**
+     * Write a line back. Occupies the bus for the data transfer;
+     * the caller does not wait.
+     * @return CPU cycle at which the transfer completes.
+     */
+    Cycle writeLine(Cycle now, unsigned bytes);
+
+    MemoryStats stats() const;
+
+    const MemoryConfig &config() const { return config_; }
+
+  private:
+    MemoryConfig config_;
+    SplitTransactionBus bus_;
+    MemoryStats stats_;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_MEM_MAIN_MEMORY_HH

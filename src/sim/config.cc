@@ -1,0 +1,116 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+std::unique_ptr<CacheModel>
+L2Spec::make() const
+{
+    switch (kind) {
+      case Kind::Conventional:
+        return std::make_unique<Cache>(conventional);
+      case Kind::Adaptive:
+        return std::make_unique<AdaptiveCache>(adaptive);
+      case Kind::Sbar:
+        return std::make_unique<SbarCache>(sbar);
+    }
+    panic("unknown L2 kind");
+}
+
+std::string
+L2Spec::label() const
+{
+    // Delegate to the model's own description.
+    return make()->describe();
+}
+
+L2Spec
+L2Spec::lru(std::uint64_t size, unsigned assoc, unsigned line)
+{
+    return policy(PolicyType::LRU, size, assoc, line);
+}
+
+L2Spec
+L2Spec::policy(PolicyType type, std::uint64_t size, unsigned assoc,
+               unsigned line)
+{
+    L2Spec spec;
+    spec.kind = Kind::Conventional;
+    spec.conventional.sizeBytes = size;
+    spec.conventional.assoc = assoc;
+    spec.conventional.lineSize = line;
+    spec.conventional.policy = type;
+    return spec;
+}
+
+L2Spec
+L2Spec::adaptiveLruLfu(unsigned partial_tag_bits, std::uint64_t size,
+                       unsigned assoc, unsigned line)
+{
+    return adaptiveDual(PolicyType::LRU, PolicyType::LFU,
+                        partial_tag_bits, size, assoc, line);
+}
+
+L2Spec
+L2Spec::adaptiveDual(PolicyType a, PolicyType b,
+                     unsigned partial_tag_bits, std::uint64_t size,
+                     unsigned assoc, unsigned line)
+{
+    L2Spec spec;
+    spec.kind = Kind::Adaptive;
+    spec.adaptive = AdaptiveConfig::dual(a, b, size, assoc, line);
+    spec.adaptive.partialTagBits = partial_tag_bits;
+    return spec;
+}
+
+L2Spec
+L2Spec::fromAdaptive(const AdaptiveConfig &config)
+{
+    L2Spec spec;
+    spec.kind = Kind::Adaptive;
+    spec.adaptive = config;
+    return spec;
+}
+
+L2Spec
+L2Spec::fromSbar(const SbarConfig &config)
+{
+    L2Spec spec;
+    spec.kind = Kind::Sbar;
+    spec.sbar = config;
+    return spec;
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream out;
+    out << "Instruction cache : " << (l1i.sizeBytes / 1024) << "KB, "
+        << l1i.lineSize << "B lines, " << l1i.assoc << "-way "
+        << policyName(l1i.policy) << ", " << l1iHitLatency
+        << " cycles" << (adaptiveL1i ? " (adaptive)" : "") << "\n";
+    out << "Data cache        : " << (l1d.sizeBytes / 1024) << "KB, "
+        << l1d.lineSize << "B lines, " << l1d.assoc << "-way "
+        << policyName(l1d.policy) << ", " << l1dHitLatency
+        << " cycles" << (adaptiveL1d ? " (adaptive)" : "") << "\n";
+    out << "Unified L2 cache  : " << l2.label() << ", "
+        << l2HitLatency << "-cycle hits, "
+        << core.storeBufferEntries << "-entry store buffer\n";
+    out << "Core              : " << core.fetchWidth << "-wide, "
+        << core.rsSize << " RS, " << core.robSize
+        << " ROB; 4 IALU(1) 4 IMUL(8) 4 FPADD(4) 4 FPDIV(16), "
+        << "2 memory ports\n";
+    out << "Branch predictor  : 16KB gshare / 16KB bimodal / 16KB "
+        << "meta; 4K-entry 4-way BTB\n";
+    out << "Memory            : " << memory.accessLatency
+        << "-cycle latency; " << memory.bus.bytesPerBeat
+        << "B-wide split-transaction bus, "
+        << memory.bus.cpuCyclesPerBeat << ":1 frequency ratio\n";
+    return out.str();
+}
+
+} // namespace adcache

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Whole-system configuration mirroring Table 1 of the paper, plus the
+ * L2 organisation variants every experiment swaps in.
+ */
+
+#ifndef ADCACHE_SIM_CONFIG_HH
+#define ADCACHE_SIM_CONFIG_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+#include "core/adaptive_cache.hh"
+#include "core/prefetcher.hh"
+#include "core/sbar_cache.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/main_memory.hh"
+
+namespace adcache
+{
+
+/** Which organisation implements the L2 (or an adaptive L1). */
+struct L2Spec
+{
+    enum class Kind
+    {
+        Conventional,
+        Adaptive,
+        Sbar,
+    };
+
+    Kind kind = Kind::Conventional;
+    CacheConfig conventional;  //!< used when kind == Conventional
+    AdaptiveConfig adaptive;   //!< used when kind == Adaptive
+    SbarConfig sbar;           //!< used when kind == Sbar
+
+    /** Instantiate the configured cache model. */
+    std::unique_ptr<CacheModel> make() const;
+
+    /** Short label for tables. */
+    std::string label() const;
+
+    // --- factories ---------------------------------------------------
+    static L2Spec lru(std::uint64_t size = 512 * 1024,
+                      unsigned assoc = 8, unsigned line = 64);
+    static L2Spec policy(PolicyType type,
+                         std::uint64_t size = 512 * 1024,
+                         unsigned assoc = 8, unsigned line = 64);
+    static L2Spec adaptiveLruLfu(unsigned partial_tag_bits = 0,
+                                 std::uint64_t size = 512 * 1024,
+                                 unsigned assoc = 8, unsigned line = 64);
+    static L2Spec adaptiveDual(PolicyType a, PolicyType b,
+                               unsigned partial_tag_bits = 0,
+                               std::uint64_t size = 512 * 1024,
+                               unsigned assoc = 8, unsigned line = 64);
+    static L2Spec fromAdaptive(const AdaptiveConfig &config);
+    static L2Spec fromSbar(const SbarConfig &config);
+};
+
+/** Table 1: the simulated processor configuration. */
+struct SystemConfig
+{
+    // 16KB, 64B lines, 4-way, LRU, 2-cycle L1s.
+    CacheConfig l1i{16 * 1024, 4, 64, PolicyType::LRU, 1};
+    CacheConfig l1d{16 * 1024, 4, 64, PolicyType::LRU, 1};
+    Cycle l1iHitLatency = 2;
+    Cycle l1dHitLatency = 2;
+
+    /** Adaptive L1s for the Sec. 4.6 experiment. */
+    bool adaptiveL1i = false;
+    bool adaptiveL1d = false;
+
+    /** Unified L2: 512KB, 64B lines, 8-way, 15-cycle hits. */
+    L2Spec l2 = L2Spec::lru();
+    Cycle l2HitLatency = 15;
+
+    /** Optional L2 prefetcher (extension; the paper's future work
+     *  suggests adapting over hybrid prefetchers). */
+    PrefetcherType l2Prefetcher = PrefetcherType::None;
+    unsigned prefetchDegree = 2;
+
+    MemoryConfig memory;
+    CoreConfig core;
+
+    /** Render the Table 1-style configuration summary. */
+    std::string describe() const;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_SIM_CONFIG_HH

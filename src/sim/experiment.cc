@@ -1,0 +1,120 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+InstCount
+instrBudget()
+{
+    if (const char *env = std::getenv("ADCACHE_INSTRS")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return InstCount(v);
+        warn("ignoring malformed ADCACHE_INSTRS='%s'", env);
+    }
+    return 3'000'000;
+}
+
+SimResult
+runTimed(const SystemConfig &config, const BenchmarkDef &def,
+         InstCount instrs)
+{
+    System system(config);
+    auto source = makeBenchmark(def);
+    SimResult res = system.runTimed(*source, instrs);
+    res.benchmark = def.name;
+    return res;
+}
+
+SimResult
+runFunctional(const SystemConfig &config, const BenchmarkDef &def,
+              InstCount instrs)
+{
+    System system(config);
+    auto source = makeBenchmark(def);
+    SimResult res = system.runFunctional(*source, instrs);
+    res.benchmark = def.name;
+    return res;
+}
+
+std::vector<SuiteRow>
+runSuite(const std::vector<const BenchmarkDef *> &benchmarks,
+         const std::vector<L2Spec> &variants, InstCount instrs,
+         bool timed, const SystemConfig &base)
+{
+    std::vector<SuiteRow> rows;
+    rows.reserve(benchmarks.size());
+    for (const BenchmarkDef *def : benchmarks) {
+        SuiteRow row;
+        row.benchmark = def->name;
+        for (const L2Spec &variant : variants) {
+            SystemConfig config = base;
+            config.l2 = variant;
+            row.results.push_back(
+                timed ? runTimed(config, *def, instrs)
+                      : runFunctional(config, *def, instrs));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<double>
+averageOf(const std::vector<SuiteRow> &rows,
+          double (*metric)(const SimResult &))
+{
+    std::vector<double> avg;
+    if (rows.empty())
+        return avg;
+    avg.assign(rows.front().results.size(), 0.0);
+    for (const auto &row : rows) {
+        adcache_assert(row.results.size() == avg.size());
+        for (std::size_t v = 0; v < avg.size(); ++v)
+            avg[v] += metric(row.results[v]);
+    }
+    for (auto &a : avg)
+        a /= double(rows.size());
+    return avg;
+}
+
+double
+metricCpi(const SimResult &r)
+{
+    return r.cpi;
+}
+
+double
+metricL2Mpki(const SimResult &r)
+{
+    return r.l2Mpki;
+}
+
+double
+metricL1iMpki(const SimResult &r)
+{
+    return r.l1iMpki;
+}
+
+double
+metricL1dMpki(const SimResult &r)
+{
+    return r.l1dMpki;
+}
+
+void
+printConfigBanner(const SystemConfig &config,
+                  const std::string &experiment)
+{
+    std::printf("=== %s ===\n", experiment.c_str());
+    std::printf("%s", config.describe().c_str());
+    std::printf("instruction budget per run: %llu (ADCACHE_INSTRS)\n\n",
+                static_cast<unsigned long long>(instrBudget()));
+}
+
+} // namespace adcache

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment-running helpers shared by the bench harness: run suites
+ * of benchmarks under L2 variants, average linear metrics the way the
+ * paper does (arithmetic mean of CPI/MPKI, footnote 7), and format
+ * rows.
+ */
+
+#ifndef ADCACHE_SIM_EXPERIMENT_HH
+#define ADCACHE_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+namespace adcache
+{
+
+/**
+ * Per-run instruction budget: env ADCACHE_INSTRS, default 3,000,000
+ * (the paper simulates 100 M-instruction SimPoint samples; the
+ * synthetic workloads are stationary within phases, so shapes are
+ * stable at far smaller budgets).
+ */
+InstCount instrBudget();
+
+/** Run one benchmark on one configuration (timing simulation). */
+SimResult runTimed(const SystemConfig &config, const BenchmarkDef &def,
+                   InstCount instrs);
+
+/** Run one benchmark on one configuration, miss rates only. */
+SimResult runFunctional(const SystemConfig &config,
+                        const BenchmarkDef &def, InstCount instrs);
+
+/** Results of one benchmark across several L2 variants. */
+struct SuiteRow
+{
+    std::string benchmark;
+    std::vector<SimResult> results;  //!< one per variant, same order
+};
+
+/**
+ * Run @p benchmarks against @p variants.
+ * @param timed false runs the fast functional model (MPKI only).
+ */
+std::vector<SuiteRow>
+runSuite(const std::vector<const BenchmarkDef *> &benchmarks,
+         const std::vector<L2Spec> &variants, InstCount instrs,
+         bool timed, const SystemConfig &base = SystemConfig{});
+
+/** Arithmetic mean of a metric across rows, per variant. */
+std::vector<double>
+averageOf(const std::vector<SuiteRow> &rows,
+          double (*metric)(const SimResult &));
+
+/** Metric extractors for averageOf. */
+double metricCpi(const SimResult &r);
+double metricL2Mpki(const SimResult &r);
+double metricL1iMpki(const SimResult &r);
+double metricL1dMpki(const SimResult &r);
+
+/** Table 1 banner printed at the top of each bench binary. */
+void printConfigBanner(const SystemConfig &config,
+                       const std::string &experiment);
+
+} // namespace adcache
+
+#endif // ADCACHE_SIM_EXPERIMENT_HH

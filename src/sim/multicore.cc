@@ -1,0 +1,128 @@
+#include "sim/multicore.hh"
+
+#include "util/logging.hh"
+#include "workloads/suite.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+/** One core's private front end: L1s + its instruction stream. */
+struct Core
+{
+    std::unique_ptr<TraceSource> source;
+    std::unique_ptr<Cache> l1i;
+    std::unique_ptr<Cache> l1d;
+    Addr addressOffset = 0;
+    InstCount instructions = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    Addr lastFetchLine = ~Addr(0);
+    bool done = false;
+};
+
+} // namespace
+
+SharedL2Result
+runSharedL2(const SharedL2Config &config, InstCount total_instrs)
+{
+    adcache_assert(!config.workloads.empty());
+
+    auto l2 = config.l2.make();
+    const unsigned line_shift = l2->geometry().offsetBits();
+
+    std::vector<Core> cores;
+    for (std::size_t i = 0; i < config.workloads.size(); ++i) {
+        const auto *def = findBenchmark(config.workloads[i]);
+        if (!def)
+            fatal("unknown benchmark '%s'",
+                  config.workloads[i].c_str());
+        Core core;
+        core.source = makeBenchmark(*def);
+        core.l1i = std::make_unique<Cache>(config.l1i);
+        core.l1d = std::make_unique<Cache>(config.l1d);
+        // High-bit offset: distinct address spaces, identical set
+        // mapping — maximal (realistic) set contention.
+        core.addressOffset = Addr(i) << 48;
+        cores.push_back(std::move(core));
+    }
+
+    auto access_l2 = [&](Core &core, Addr addr, bool is_write) {
+        ++core.l2Accesses;
+        const auto r = l2->access(addr, is_write);
+        if (!r.hit)
+            ++core.l2Misses;
+        if (r.writeback) {
+            // Writebacks below the L2 leave the model; nothing to
+            // account functionally.
+        }
+    };
+
+    auto run_one = [&](Core &core) {
+        TraceInstr instr;
+        if (!core.source->next(instr)) {
+            core.done = true;
+            return;
+        }
+        ++core.instructions;
+        const Addr pc = instr.pc + core.addressOffset;
+        const Addr line = pc >> line_shift;
+        if (line != core.lastFetchLine) {
+            core.lastFetchLine = line;
+            const auto r = core.l1i->access(pc, false);
+            if (!r.hit)
+                access_l2(core, pc, false);
+            if (r.writeback)
+                access_l2(core, r.writebackAddr, true);
+        }
+        if (instr.isMem()) {
+            const Addr addr = instr.memAddr + core.addressOffset;
+            const auto r = core.l1d->access(addr, instr.isStore());
+            if (!r.hit)
+                access_l2(core, addr, false);
+            if (r.writeback)
+                access_l2(core, r.writebackAddr, true);
+        }
+    };
+
+    InstCount executed = 0;
+    std::size_t next_core = 0;
+    unsigned live = unsigned(cores.size());
+    while (executed < total_instrs && live > 0) {
+        Core &core = cores[next_core];
+        next_core = (next_core + 1) % cores.size();
+        if (core.done)
+            continue;
+        const bool was_done = core.done;
+        run_one(core);
+        if (!was_done && core.done)
+            --live;
+        else
+            ++executed;
+    }
+
+    SharedL2Result result;
+    result.l2Label = l2->describe();
+    result.totalInstructions = executed;
+    result.l2 = l2->stats();
+    result.l2Mpki = executed == 0 ? 0.0
+                                  : 1000.0 * double(result.l2.misses) /
+                                        double(executed);
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        SharedL2Result::PerCore pc;
+        pc.workload = config.workloads[i];
+        pc.instructions = cores[i].instructions;
+        pc.l2Accesses = cores[i].l2Accesses;
+        pc.l2Misses = cores[i].l2Misses;
+        pc.l2Mpki = pc.instructions == 0
+                        ? 0.0
+                        : 1000.0 * double(pc.l2Misses) /
+                              double(pc.instructions);
+        result.cores.push_back(pc);
+    }
+    return result;
+}
+
+} // namespace adcache

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multi-programmed shared-L2 simulation — the paper's first future
+ * work item: "We plan on evaluating adaptive caching policies for
+ * shared last-level caches in a multi-core environment. We believe
+ * that the combination of memory traffic from dissimilar threads or
+ * applications will provide even more opportunities for the adaptive
+ * mechanism to help performance."
+ *
+ * The model runs N workloads round-robin, each through its own
+ * private L1I/L1D pair, all sharing one L2. Address spaces are
+ * disambiguated with a per-core high-bit offset, which leaves the
+ * set index untouched — the workloads fight for exactly the same
+ * sets, as co-scheduled programs do. The simulation is functional
+ * (miss rates, not CPI): the single-core timing model does not
+ * extend to cycle-interleaved multi-core execution.
+ */
+
+#ifndef ADCACHE_SIM_MULTICORE_HH
+#define ADCACHE_SIM_MULTICORE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "trace/source.hh"
+
+namespace adcache
+{
+
+/** Configuration of a shared-L2 multi-programmed run. */
+struct SharedL2Config
+{
+    /** Benchmark names (one per core). */
+    std::vector<std::string> workloads;
+    /** The shared L2 organisation. */
+    L2Spec l2 = L2Spec::lru();
+    /** Private L1 configuration (replicated per core). */
+    CacheConfig l1i{16 * 1024, 4, 64, PolicyType::LRU, 1};
+    CacheConfig l1d{16 * 1024, 4, 64, PolicyType::LRU, 1};
+};
+
+/** Per-core and aggregate results of a shared-L2 run. */
+struct SharedL2Result
+{
+    std::string l2Label;
+    InstCount totalInstructions = 0;
+    CacheStats l2;
+    double l2Mpki = 0.0;  //!< misses per 1000 total instructions
+
+    struct PerCore
+    {
+        std::string workload;
+        InstCount instructions = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Misses = 0;
+        double l2Mpki = 0.0;  //!< per-core misses / per-core kilo-inst
+    };
+    std::vector<PerCore> cores;
+};
+
+/**
+ * Run @p total_instrs dynamic instructions, round-robin across the
+ * configured workloads, against the shared L2.
+ */
+SharedL2Result runSharedL2(const SharedL2Config &config,
+                           InstCount total_instrs);
+
+} // namespace adcache
+
+#endif // ADCACHE_SIM_MULTICORE_HH

@@ -1,0 +1,173 @@
+#include "sim/system.hh"
+
+#include "util/stats.hh"
+
+namespace adcache
+{
+
+System::System(const SystemConfig &config)
+    : config_(config),
+      l1i_(makeL1(config.l1i, config.adaptiveL1i)),
+      l1d_(makeL1(config.l1d, config.adaptiveL1d)),
+      l2_(config.l2.make()), memory_(config.memory),
+      core_(config.core),
+      prefetcher_(makePrefetcher(config.l2Prefetcher,
+                                 l2_->geometry().lineSize,
+                                 config.prefetchDegree))
+{
+}
+
+std::unique_ptr<CacheModel>
+System::makeL1(const CacheConfig &conf, bool adaptive) const
+{
+    if (!adaptive)
+        return std::make_unique<Cache>(conf);
+    AdaptiveConfig a = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::LFU, conf.sizeBytes, conf.assoc,
+        conf.lineSize);
+    return std::make_unique<AdaptiveCache>(a);
+}
+
+Cycle
+System::accessL2(Addr addr, bool is_write, Cycle now, bool demand)
+{
+    const auto r = l2_->access(addr, is_write);
+    if (demand) {
+        ++l2DemandAccesses_;
+        if (!r.hit)
+            ++l2DemandMisses_;
+        // The prefetcher trains on demand traffic only (not on
+        // writebacks or its own fills).
+        if (prefetcher_ && !is_write)
+            runPrefetcher(l2_->geometry().blockAddr(addr), !r.hit,
+                          now);
+    }
+    if (r.writeback) {
+        // Dirty victim drains to memory; occupies the bus only.
+        memory_.writeLine(now, l2_->geometry().lineSize);
+    }
+    if (r.hit)
+        return now + config_.l2HitLatency;
+    // Tag check first, then the line fetch from memory.
+    return memory_.readLine(now + config_.l2HitLatency,
+                            l2_->geometry().lineSize);
+}
+
+void
+System::runPrefetcher(Addr block_addr, bool missed, Cycle now)
+{
+    prefetchScratch_.clear();
+    prefetcher_->observe(block_addr, missed, prefetchScratch_);
+    for (Addr candidate : prefetchScratch_) {
+        ++prefetchesIssued_;
+        const auto r = l2_->access(candidate, false);
+        if (r.writeback)
+            memory_.writeLine(now, l2_->geometry().lineSize);
+        if (!r.hit) {
+            // The fill occupies the bus like any other line fetch;
+            // nobody waits on its completion.
+            memory_.readLine(now + config_.l2HitLatency,
+                             l2_->geometry().lineSize);
+        }
+    }
+}
+
+Cycle
+System::fetch(Addr pc, Cycle now)
+{
+    const auto r = l1i_->access(pc, false);
+    if (r.hit)
+        return now;  // pipelined L1I hits are fully hidden
+    const Cycle done =
+        accessL2(pc, false, now + config_.l1iHitLatency);
+    if (r.writeback)
+        accessL2(r.writebackAddr, true, now);
+    return done;
+}
+
+Cycle
+System::load(Addr addr, Cycle now)
+{
+    const auto r = l1d_->access(addr, false);
+    if (r.hit)
+        return now + config_.l1dHitLatency;
+    const Cycle done =
+        accessL2(addr, false, now + config_.l1dHitLatency);
+    if (r.writeback)
+        accessL2(r.writebackAddr, true, now);
+    return done;
+}
+
+Cycle
+System::store(Addr addr, Cycle now)
+{
+    const auto r = l1d_->access(addr, true);
+    if (r.hit)
+        return now + config_.l1dHitLatency;
+    const Cycle done =
+        accessL2(addr, false, now + config_.l1dHitLatency);
+    if (r.writeback)
+        accessL2(r.writebackAddr, true, now);
+    return done;
+}
+
+SimResult
+System::gatherResult(const CoreStats &core_stats) const
+{
+    SimResult res;
+    res.l2Label = l2_->describe();
+    res.core = core_stats;
+    res.l1i = l1i_->stats();
+    res.l1d = l1d_->stats();
+    res.l2 = l2_->stats();
+    res.memory = memory_.stats();
+    res.cpi = core_stats.cpi();
+    res.l2Mpki = mpki(res.l2.misses, core_stats.instructions);
+    res.l1iMpki = mpki(res.l1i.misses, core_stats.instructions);
+    res.l1dMpki = mpki(res.l1d.misses, core_stats.instructions);
+    res.l2DemandAccesses = l2DemandAccesses_;
+    res.l2DemandMisses = l2DemandMisses_;
+    res.l2DemandMpki =
+        mpki(l2DemandMisses_, core_stats.instructions);
+    res.prefetchesIssued = prefetchesIssued_;
+    return res;
+}
+
+SimResult
+System::runTimed(TraceSource &source, InstCount max_instrs)
+{
+    const CoreStats stats = core_.run(source, *this, max_instrs);
+    return gatherResult(stats);
+}
+
+SimResult
+System::runFunctional(TraceSource &source, InstCount max_instrs)
+{
+    CoreStats stats;
+    TraceInstr instr;
+    Addr last_fetch_line = ~Addr(0);
+    constexpr unsigned fetch_line_shift = 6;
+    InstCount n = 0;
+    while (n < max_instrs && source.next(instr)) {
+        ++n;
+        const Addr line = instr.pc >> fetch_line_shift;
+        if (line != last_fetch_line) {
+            fetch(instr.pc, 0);
+            last_fetch_line = line;
+        }
+        if (instr.isLoad()) {
+            ++stats.loads;
+            load(instr.memAddr, 0);
+        } else if (instr.isStore()) {
+            ++stats.stores;
+            store(instr.memAddr, 0);
+        } else if (instr.isBranch()) {
+            ++stats.branches;
+        }
+    }
+    stats.instructions = n;
+    stats.cycles = 0;
+    return gatherResult(stats);
+}
+
+} // namespace adcache

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The simulated system: out-of-order core + L1I/L1D + unified L2 +
+ * bus/memory, wired per Table 1. Implements the core's
+ * MemoryInterface so the CPU model stays independent of cache
+ * internals.
+ */
+
+#ifndef ADCACHE_SIM_SYSTEM_HH
+#define ADCACHE_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/config.hh"
+#include "trace/source.hh"
+
+namespace adcache
+{
+
+/** Everything a run produces. */
+struct SimResult
+{
+    std::string benchmark;
+    std::string l2Label;
+    CoreStats core;
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    MemoryStats memory;
+
+    double cpi = 0.0;
+    double l2Mpki = 0.0;
+    double l1iMpki = 0.0;
+    double l1dMpki = 0.0;
+
+    // Demand-only L2 accounting (differs from the raw cache stats
+    // only when a prefetcher injects extra L2 traffic).
+    std::uint64_t l2DemandAccesses = 0;
+    std::uint64_t l2DemandMisses = 0;
+    double l2DemandMpki = 0.0;
+    std::uint64_t prefetchesIssued = 0;
+};
+
+/** One simulated machine instance (single-use per run). */
+class System : public MemoryInterface
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    /**
+     * Full timing simulation: CPI and miss rates.
+     * @param source   instruction stream (consumed, not reset).
+     * @param max_instrs dynamic instruction budget.
+     */
+    SimResult runTimed(TraceSource &source, InstCount max_instrs);
+
+    /**
+     * Functional-only simulation: drives the caches with the same
+     * program-order reference stream but skips the core timing model.
+     * CPI fields are zero. Several times faster; used by miss-rate
+     * experiments and tests.
+     */
+    SimResult runFunctional(TraceSource &source, InstCount max_instrs);
+
+    // MemoryInterface ------------------------------------------------
+    Cycle fetch(Addr pc, Cycle now) override;
+    Cycle load(Addr addr, Cycle now) override;
+    Cycle store(Addr addr, Cycle now) override;
+
+    /** The L2 model (for instrumentation, e.g. Fig. 7 sampling). */
+    CacheModel &l2() { return *l2_; }
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    Cycle accessL2(Addr addr, bool is_write, Cycle now,
+                   bool demand = true);
+    void runPrefetcher(Addr addr, bool missed, Cycle now);
+    std::unique_ptr<CacheModel> makeL1(const CacheConfig &conf,
+                                       bool adaptive) const;
+    SimResult gatherResult(const CoreStats &core_stats) const;
+
+    SystemConfig config_;
+    std::unique_ptr<CacheModel> l1i_;
+    std::unique_ptr<CacheModel> l1d_;
+    std::unique_ptr<CacheModel> l2_;
+    MainMemory memory_;
+    OooCore core_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::vector<Addr> prefetchScratch_;
+    std::uint64_t l2DemandAccesses_ = 0;
+    std::uint64_t l2DemandMisses_ = 0;
+    std::uint64_t prefetchesIssued_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_SIM_SYSTEM_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The instruction record consumed by the timing model.
+ *
+ * The original paper drives MASE/SimpleScalar with Alpha binaries; our
+ * substitute substrate is trace-driven: synthetic workload generators
+ * (src/workloads) emit streams of TraceInstr records carrying exactly
+ * the information the out-of-order timing model needs — operation
+ * class, register dependences, memory address, and branch outcome.
+ */
+
+#ifndef ADCACHE_TRACE_INSTR_HH
+#define ADCACHE_TRACE_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/** Operation classes, mirroring Table 1's functional-unit mix. */
+enum class InstrClass : std::uint8_t
+{
+    IntAlu,   //!< 1-cycle integer op
+    IntMult,  //!< 8-cycle integer multiply/divide
+    FpAdd,    //!< 4-cycle FP add/compare
+    FpDiv,    //!< 16-cycle FP multiply/divide
+    Load,     //!< memory read through the data cache
+    Store,    //!< memory write through the store buffer
+    Branch,   //!< conditional branch (predicted, may flush)
+    NumClasses
+};
+
+/** Printable name of an instruction class. */
+const char *instrClassName(InstrClass cls);
+
+/** Number of architectural registers in the trace ISA. */
+constexpr unsigned numArchRegs = 64;
+
+/** Register id 0 means "no register" and is always ready. */
+constexpr std::uint8_t noReg = 0;
+
+/**
+ * One dynamic instruction. 32 bytes, fixed layout, suitable for
+ * direct binary serialisation (see trace/trace_io.hh).
+ */
+struct TraceInstr
+{
+    Addr pc = 0;           //!< instruction address (feeds the I-cache)
+    Addr memAddr = 0;      //!< effective address for Load/Store
+    Addr target = 0;       //!< branch target for Branch
+    InstrClass cls = InstrClass::IntAlu;
+    std::uint8_t src1 = noReg;  //!< first source register (0 = none)
+    std::uint8_t src2 = noReg;  //!< second source register (0 = none)
+    std::uint8_t dst = noReg;   //!< destination register (0 = none)
+    std::uint8_t memSize = 0;   //!< access size in bytes for Load/Store
+    bool taken = false;         //!< branch outcome for Branch
+
+    bool isMem() const
+    {
+        return cls == InstrClass::Load || cls == InstrClass::Store;
+    }
+    bool isLoad() const { return cls == InstrClass::Load; }
+    bool isStore() const { return cls == InstrClass::Store; }
+    bool isBranch() const { return cls == InstrClass::Branch; }
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_TRACE_INSTR_HH

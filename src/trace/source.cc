@@ -1,0 +1,75 @@
+#include "trace/source.hh"
+
+namespace adcache
+{
+
+const char *
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::IntAlu: return "IntAlu";
+      case InstrClass::IntMult: return "IntMult";
+      case InstrClass::FpAdd: return "FpAdd";
+      case InstrClass::FpDiv: return "FpDiv";
+      case InstrClass::Load: return "Load";
+      case InstrClass::Store: return "Store";
+      case InstrClass::Branch: return "Branch";
+      default: return "?";
+    }
+}
+
+VectorSource::VectorSource(std::vector<TraceInstr> instrs)
+    : instrs_(std::move(instrs))
+{
+}
+
+bool
+VectorSource::next(TraceInstr &out)
+{
+    if (pos_ >= instrs_.size())
+        return false;
+    out = instrs_[pos_++];
+    return true;
+}
+
+void
+VectorSource::reset()
+{
+    pos_ = 0;
+}
+
+LimitSource::LimitSource(std::unique_ptr<TraceSource> inner,
+                         std::uint64_t limit)
+    : inner_(std::move(inner)), limit_(limit)
+{
+}
+
+bool
+LimitSource::next(TraceInstr &out)
+{
+    if (emitted_ >= limit_)
+        return false;
+    if (!inner_->next(out))
+        return false;
+    ++emitted_;
+    return true;
+}
+
+void
+LimitSource::reset()
+{
+    inner_->reset();
+    emitted_ = 0;
+}
+
+std::vector<TraceInstr>
+drain(TraceSource &src, std::uint64_t max)
+{
+    std::vector<TraceInstr> out;
+    TraceInstr instr;
+    while (out.size() < max && src.next(instr))
+        out.push_back(instr);
+    return out;
+}
+
+} // namespace adcache

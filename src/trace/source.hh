@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Abstract instruction stream plus small composable adapters.
+ */
+
+#ifndef ADCACHE_TRACE_SOURCE_HH
+#define ADCACHE_TRACE_SOURCE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/instr.hh"
+
+namespace adcache
+{
+
+/**
+ * A stream of dynamic instructions. Implementations include the
+ * synthetic workload generators and the binary trace file reader.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction.
+     * @param out filled on success.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(TraceInstr &out) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+};
+
+/** Replays a fixed vector of instructions. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<TraceInstr> instrs);
+
+    bool next(TraceInstr &out) override;
+    void reset() override;
+
+    std::size_t size() const { return instrs_.size(); }
+
+  private:
+    std::vector<TraceInstr> instrs_;
+    std::size_t pos_ = 0;
+};
+
+/** Caps an underlying source at a maximum instruction count. */
+class LimitSource : public TraceSource
+{
+  public:
+    LimitSource(std::unique_ptr<TraceSource> inner, std::uint64_t limit);
+
+    bool next(TraceInstr &out) override;
+    void reset() override;
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::uint64_t limit_;
+    std::uint64_t emitted_ = 0;
+};
+
+/** Drains a source into a vector (for tests and trace capture). */
+std::vector<TraceInstr> drain(TraceSource &src,
+                              std::uint64_t max = UINT64_MAX);
+
+} // namespace adcache
+
+#endif // ADCACHE_TRACE_SOURCE_HH

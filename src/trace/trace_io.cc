@@ -1,0 +1,167 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'A', 'D', 'C', 'T'};
+constexpr std::size_t recordSize = 32;
+constexpr std::size_t headerSize = 16;
+
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void
+putU64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+void
+encodeRecord(const TraceInstr &instr, unsigned char *p)
+{
+    putU64(p + 0, instr.pc);
+    putU64(p + 8, instr.memAddr);
+    putU64(p + 16, instr.target);
+    p[24] = static_cast<unsigned char>(instr.cls);
+    p[25] = instr.src1;
+    p[26] = instr.src2;
+    p[27] = instr.dst;
+    p[28] = instr.memSize;
+    p[29] = instr.taken ? 1 : 0;
+    p[30] = 0;
+    p[31] = 0;
+}
+
+bool
+decodeRecord(const unsigned char *p, TraceInstr &instr)
+{
+    instr.pc = getU64(p + 0);
+    instr.memAddr = getU64(p + 8);
+    instr.target = getU64(p + 16);
+    if (p[24] >= static_cast<unsigned char>(InstrClass::NumClasses))
+        return false;
+    instr.cls = static_cast<InstrClass>(p[24]);
+    instr.src1 = p[25];
+    instr.src2 = p[26];
+    instr.dst = p[27];
+    instr.memSize = p[28];
+    instr.taken = p[29] != 0;
+    return true;
+}
+
+} // namespace
+
+bool
+writeTrace(const std::string &path, const std::vector<TraceInstr> &instrs)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+
+    unsigned char header[headerSize];
+    std::memcpy(header, traceMagic, 4);
+    putU32(header + 4, traceFormatVersion);
+    putU64(header + 8, instrs.size());
+    bool ok = std::fwrite(header, 1, headerSize, f) == headerSize;
+
+    unsigned char rec[recordSize];
+    for (const auto &instr : instrs) {
+        if (!ok)
+            break;
+        encodeRecord(instr, rec);
+        ok = std::fwrite(rec, 1, recordSize, f) == recordSize;
+    }
+    ok = (std::fclose(f) == 0) && ok;
+    return ok;
+}
+
+std::vector<TraceInstr>
+readTrace(const std::string &path)
+{
+    FileTraceSource src(path);
+    std::vector<TraceInstr> out;
+    out.reserve(src.recordCount());
+    TraceInstr instr;
+    while (src.next(instr))
+        out.push_back(instr);
+    return out;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    unsigned char header[headerSize];
+    if (std::fread(header, 1, headerSize, file_) != headerSize)
+        fatal("trace file '%s': truncated header", path.c_str());
+    if (std::memcmp(header, traceMagic, 4) != 0)
+        fatal("trace file '%s': bad magic", path.c_str());
+    const std::uint32_t version = getU32(header + 4);
+    if (version != traceFormatVersion)
+        fatal("trace file '%s': unsupported version %u", path.c_str(),
+              version);
+    count_ = getU64(header + 8);
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+FileTraceSource::next(TraceInstr &out)
+{
+    if (pos_ >= count_)
+        return false;
+    unsigned char rec[recordSize];
+    if (std::fread(rec, 1, recordSize, file_) != recordSize)
+        fatal("trace file: truncated record %llu",
+              static_cast<unsigned long long>(pos_));
+    if (!decodeRecord(rec, out))
+        fatal("trace file: corrupt record %llu",
+              static_cast<unsigned long long>(pos_));
+    ++pos_;
+    return true;
+}
+
+void
+FileTraceSource::reset()
+{
+    std::fseek(file_, headerSize, SEEK_SET);
+    pos_ = 0;
+}
+
+} // namespace adcache

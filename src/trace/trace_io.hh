@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Binary trace file format: fixed 32-byte little-endian records behind
+ * a small header, so captured synthetic workloads can be stored and
+ * replayed (examples/trace_tool.cc).
+ *
+ * Layout:
+ *   bytes 0..3   magic "ADCT"
+ *   bytes 4..7   version (uint32)
+ *   bytes 8..15  record count (uint64)
+ *   then count * 32-byte records:
+ *     pc(8) memAddr(8) target(8) cls(1) src1(1) src2(1) dst(1)
+ *     memSize(1) taken(1) pad(2)
+ */
+
+#ifndef ADCACHE_TRACE_TRACE_IO_HH
+#define ADCACHE_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace adcache
+{
+
+/** Current trace file format version. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/** Write @p instrs to @p path. @return false on I/O failure. */
+bool writeTrace(const std::string &path,
+                const std::vector<TraceInstr> &instrs);
+
+/**
+ * Read an entire trace file.
+ * Calls fatal() on malformed files; returns empty only for an empty
+ * (but valid) trace.
+ */
+std::vector<TraceInstr> readTrace(const std::string &path);
+
+/** Streaming reader implementing TraceSource. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /** Open @p path; fatal() on missing/malformed file. */
+    explicit FileTraceSource(const std::string &path);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    bool next(TraceInstr &out) override;
+    void reset() override;
+
+    std::uint64_t recordCount() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_TRACE_TRACE_IO_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by tag arrays and predictors.
+ */
+
+#ifndef ADCACHE_UTIL_BITS_HH
+#define ADCACHE_UTIL_BITS_HH
+
+#include <cstdint>
+
+namespace adcache
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)). @pre v > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** A mask with the low @p n bits set (n may be 0..64). */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [lo, lo+n) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned n)
+{
+    return (v >> lo) & lowMask(n);
+}
+
+/**
+ * Fold @p v down to @p n bits by XOR-ing successive n-bit groups.
+ * Used for the XOR variant of partial tags (Sec. 3.1 mentions "XOR of
+ * bit groups" as an alternative to low-order bits).
+ */
+constexpr std::uint64_t
+xorFold(std::uint64_t v, unsigned n)
+{
+    if (n == 0)
+        return 0;
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & lowMask(n);
+        v >>= n;
+    }
+    return r;
+}
+
+} // namespace adcache
+
+#endif // ADCACHE_UTIL_BITS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error/status reporting in the gem5 tradition: panic() for internal
+ * invariant violations, fatal() for user errors, warn()/inform() for
+ * status messages.
+ */
+
+#ifndef ADCACHE_UTIL_LOGGING_HH
+#define ADCACHE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace adcache
+{
+
+/**
+ * Abort with a message. Call when an internal invariant is violated,
+ * i.e. a simulator bug regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with an error message. Call when the simulation cannot continue
+ * due to a user-visible configuration or input error.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * panic() if @p cond is false. Cheap enough to leave on in release
+ * builds; used for structural invariants, not per-access hot paths.
+ */
+#define adcache_assert(cond, ...)                                         \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::adcache::panic("assertion '%s' failed at %s:%d", #cond,     \
+                             __FILE__, __LINE__);                         \
+    } while (0)
+
+} // namespace adcache
+
+#endif // ADCACHE_UTIL_LOGGING_HH

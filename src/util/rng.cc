@@ -1,0 +1,104 @@
+#include "util/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s_)
+        word = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    adcache_assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::zipfApprox(std::uint64_t n, double s)
+{
+    adcache_assert(n > 0);
+    // Inverse-power approximation: crude but monotone; fine for tests.
+    const double u = uniform();
+    const double r = std::pow(u, 1.0 / (1.0 - std::min(s, 0.99)));
+    auto rank = static_cast<std::uint64_t>(r * static_cast<double>(n));
+    return std::min(rank, n - 1);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n)
+{
+    adcache_assert(n > 0);
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = total;
+    }
+    for (auto &c : cdf_)
+        c /= total;
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace adcache

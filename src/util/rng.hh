@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (Random replacement,
+ * synthetic workload generation) flows through Rng so that every
+ * experiment is exactly reproducible from its seed.
+ */
+
+#ifndef ADCACHE_UTIL_RNG_HH
+#define ADCACHE_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace adcache
+{
+
+/**
+ * xoshiro256** generator seeded via splitmix64. Fast, high quality,
+ * and fully deterministic across platforms (unlike std::mt19937
+ * paired with std:: distributions, whose outputs are
+ * implementation-defined).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; any value (including 0) is fine. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent @p s, via inverted
+     * CDF over a precomputed-free rejection-ish scheme (exact inverse
+     * is computed lazily by the caller-visible ZipfSampler; this is a
+     * cheap approximation suitable only for tests).
+     */
+    std::uint64_t zipfApprox(std::uint64_t n, double s);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Exact Zipf sampler over ranks [0, n) with exponent s, using a
+ * precomputed cumulative table and binary search. O(log n) per draw.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw one rank using @p rng. */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t size() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    // Cumulative probabilities, cdf_[i] = P(rank <= i).
+    std::vector<double> cdf_;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_UTIL_RNG_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Saturating up/down counter, the workhorse of branch predictors and
+ * the paper's 5-bit LFU frequency counters (Table 1).
+ */
+
+#ifndef ADCACHE_UTIL_SAT_COUNTER_HH
+#define ADCACHE_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+/** An n-bit saturating counter (n <= 31). */
+class SatCounter
+{
+  public:
+    /** @param bits counter width; @param initial starting value. */
+    explicit SatCounter(unsigned bits = 2, std::uint32_t initial = 0)
+        : max_((1u << bits) - 1), value_(initial)
+    {
+        adcache_assert(bits >= 1 && bits <= 31);
+        adcache_assert(initial <= max_);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Halve the value (used for LFU aging). */
+    void halve() { value_ >>= 1; }
+
+    /** Reset to an explicit value. */
+    void
+    set(std::uint32_t v)
+    {
+        adcache_assert(v <= max_);
+        value_ = v;
+    }
+
+    std::uint32_t value() const { return value_; }
+    std::uint32_t max() const { return max_; }
+    bool saturated() const { return value_ == max_; }
+
+    /** True in the "taken"/upper half of the range. */
+    bool high() const { return value_ > max_ / 2; }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t value_;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_UTIL_SAT_COUNTER_HH

@@ -1,0 +1,100 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+percentDelta(double base, double value)
+{
+    if (base == 0.0)
+        return 0.0;
+    return 100.0 * (value - base) / base;
+}
+
+double
+percentImprovement(double base, double value)
+{
+    return -percentDelta(base, value);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+mpki(std::uint64_t misses, std::uint64_t instructions)
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(misses) /
+           static_cast<double>(instructions);
+}
+
+Histogram::Histogram(double lo, double hi, unsigned buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    adcache_assert(hi > lo && buckets > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<unsigned>(frac * counts_.size());
+    if (idx >= counts_.size())
+        idx = unsigned(counts_.size()) - 1;
+    ++counts_[idx];
+}
+
+} // namespace adcache

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by every simulated
+ * component, plus the averaging helpers the paper's evaluation uses
+ * (arithmetic means of linear cost metrics, percent deltas).
+ */
+
+#ifndef ADCACHE_UTIL_STATS_HH
+#define ADCACHE_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adcache
+{
+
+/** Running mean / min / max / count over double samples. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentage change from @p base to @p value: positive means @p value
+ * is larger. Returns 0 for a zero base.
+ */
+double percentDelta(double base, double value);
+
+/**
+ * Percentage improvement of @p value over @p base for a cost metric
+ * (CPI, MPKI): positive means @p value is lower/better.
+ */
+double percentImprovement(double base, double value);
+
+/** Arithmetic mean of a vector (0 if empty). */
+double mean(const std::vector<double> &xs);
+
+/** Misses-per-kilo-instruction. */
+double mpki(std::uint64_t misses, std::uint64_t instructions);
+
+/** A fixed-width histogram over [lo, hi) with overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned buckets);
+
+    void add(double x);
+
+    std::uint64_t bucketCount(unsigned i) const { return counts_.at(i); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    unsigned buckets() const { return unsigned(counts_.size()); }
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_UTIL_STATS_HH

@@ -1,0 +1,70 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    adcache_assert(!header_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    adcache_assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row, bool left_first) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const auto pad = width[c] - row[c].size();
+            if (c == 0 && left_first) {
+                out << row[c] << std::string(pad, ' ');
+            } else {
+                out << std::string(pad, ' ') << row[c];
+            }
+            out << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit(header_, true);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row, true);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace adcache

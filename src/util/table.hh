@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table formatting for bench/example output. Every bench
+ * binary prints paper-style rows through this so the harness output is
+ * uniform and diffable.
+ */
+
+#ifndef ADCACHE_UTIL_TABLE_HH
+#define ADCACHE_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace adcache
+{
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** @param header column titles; defines the column count. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must match the column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render with single-space-padded, right-aligned numeric look. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_UTIL_TABLE_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef ADCACHE_UTIL_TYPES_HH
+#define ADCACHE_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace adcache
+{
+
+/** A physical/virtual byte address. The paper assumes 40-bit physical. */
+using Addr = std::uint64_t;
+
+/** A CPU clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A retired-instruction count. */
+using InstCount = std::uint64_t;
+
+/** Width of the modelled physical address space, in bits (Sec. 3.1). */
+constexpr unsigned physAddrBits = 40;
+
+} // namespace adcache
+
+#endif // ADCACHE_UTIL_TYPES_HH

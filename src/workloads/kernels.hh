@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Memory access-pattern kernels: the building blocks from which the
+ * synthetic benchmark suite (suite.cc) composes SPEC-like behaviour.
+ *
+ * Each kernel is a deterministic (seeded) generator of data addresses
+ * embodying one archetype the paper calls out in Sec. 2.1:
+ *
+ *  - LinearLoop / SetColoredLoop: "a linear loop slightly larger than
+ *    the cache is bad for a set-associative, LRU-managed cache" —
+ *    cyclic per-set reuse at depth > associativity, where MRU shines
+ *    and LRU degenerates.
+ *  - HotCold: "LFU is ideal for separating large regions of blocks
+ *    that are only used once from commonly accessed data — a common
+ *    pattern in media-management applications."
+ *  - Zipf / DriftingZipf: "traditional code that manipulates
+ *    scattered data with good temporal locality performs almost
+ *    optimally with LRU ... yet causes LFU to underperform" (drift
+ *    makes stale frequency counts poisonous).
+ *  - PointerChase: dependent, low-locality traversals (mcf-like).
+ *  - StridedSweep: mgrid-like array sweeps that skip elements but
+ *    touch neighbours (the RPRJ3 pattern of Sec. 4.4).
+ */
+
+#ifndef ADCACHE_WORKLOADS_KERNELS_HH
+#define ADCACHE_WORKLOADS_KERNELS_HH
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/**
+ * Address period that maps one block to every set of the reference
+ * L2 (1024 sets x 64 B). Set-targeted kernels use it to confine
+ * their footprint to a set range of the reference geometry.
+ */
+constexpr std::uint64_t referenceSetPeriod = 1024 * 64;
+constexpr unsigned referenceLineSize = 64;
+constexpr unsigned referenceNumSets = 1024;
+
+/** A deterministic stream of data addresses. */
+class AccessKernel
+{
+  public:
+    virtual ~AccessKernel() = default;
+
+    /** Produce the next data address. */
+    virtual Addr next(Rng &rng) = 0;
+};
+
+/** Declarative kernel description (so workloads are value types). */
+struct KernelSpec
+{
+    enum class Type
+    {
+        LinearLoop,     //!< sequential sweep over [base, base+bytes)
+        SetColoredLoop, //!< per-set cyclic loop of a given depth
+        HotCold,        //!< zipf hot region + one-touch cold stream
+        Zipf,           //!< zipf-distributed blocks over a region
+        DriftingZipf,   //!< zipf whose hot set slides over time
+        PointerChase,   //!< random-permutation cycle traversal
+        UniformRandom,  //!< uniform random blocks over a region
+        StridedSweep,   //!< strided pass touching neighbours
+    };
+
+    Type type = Type::Zipf;
+    double weight = 1.0;   //!< mixture weight within a phase
+
+    Addr base = 0;         //!< region base address
+    std::uint64_t bytes = 1 << 20;  //!< region footprint
+
+    // LinearLoop / StridedSweep
+    std::uint64_t stride = 64;
+    unsigned neighbours = 0;  //!< extra +-line touches per element
+
+    // SetColoredLoop; spanSets also confines a HotCold kernel's hot
+    // region to the first spanSets sets of the reference geometry.
+    unsigned firstSet = 0;
+    unsigned spanSets = referenceNumSets;
+    unsigned depth = 12;   //!< blocks cycled per set
+
+    // HotCold
+    std::uint64_t hotBytes = 256 * 1024;
+    double hotProb = 0.5;
+    /**
+     * Burst mode: > 0 alternates deterministic runs of hot and cold
+     * references instead of per-reference Bernoulli draws. Cold
+     * bursts long enough to sweep more lines per set than the
+     * associativity flush an LRU cache, which LFU's frequency
+     * protection survives — the paper's media pattern at its
+     * sharpest.
+     */
+    std::uint64_t hotRunLen = 0;
+    std::uint64_t coldRunLen = 0;
+    /**
+     * Sequential hot mode: sweep the hot region cyclically instead of
+     * drawing Zipf samples, so every hot block is reused uniformly —
+     * LFU then pins the whole region across cold bursts while LRU
+     * refetches all of it after every flush.
+     */
+    bool hotSequential = false;
+    /** Cold-stream stride; word strides (8) touch each line several
+     *  times so the L1 filters the stream and L2 MPKI stays real. */
+    std::uint64_t coldStride = 64;
+
+    // Zipf family
+    double zipfS = 0.8;
+    std::uint64_t driftPeriod = 200 * 1000;  //!< refs per drift step
+    std::uint64_t driftStep = 128 * 1024;    //!< bytes per step
+
+    // --- convenience factories -------------------------------------
+    static KernelSpec linearLoop(Addr base, std::uint64_t bytes,
+                                 std::uint64_t stride = 64);
+    static KernelSpec setColoredLoop(Addr base, unsigned first_set,
+                                     unsigned span_sets, unsigned depth);
+    static KernelSpec hotCold(Addr base, std::uint64_t hot_bytes,
+                              std::uint64_t cold_bytes, double hot_prob,
+                              double zipf_s = 0.6);
+    static KernelSpec burstyHotCold(Addr base, std::uint64_t hot_bytes,
+                                    std::uint64_t cold_bytes,
+                                    std::uint64_t hot_run,
+                                    std::uint64_t cold_run,
+                                    std::uint64_t cold_stride = 8,
+                                    double zipf_s = 0.6);
+    static KernelSpec zipf(Addr base, std::uint64_t bytes, double s);
+    static KernelSpec driftingZipf(Addr base, std::uint64_t bytes,
+                                   double s, std::uint64_t period,
+                                   std::uint64_t step);
+    static KernelSpec pointerChase(Addr base, std::uint64_t bytes);
+    static KernelSpec uniformRandom(Addr base, std::uint64_t bytes);
+    static KernelSpec stridedSweep(Addr base, std::uint64_t bytes,
+                                   std::uint64_t stride,
+                                   unsigned neighbours);
+};
+
+/** Instantiate the kernel described by @p spec (seeded via @p rng). */
+std::unique_ptr<AccessKernel> makeKernel(const KernelSpec &spec,
+                                         Rng &rng);
+
+} // namespace adcache
+
+#endif // ADCACHE_WORKLOADS_KERNELS_HH

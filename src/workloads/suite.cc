@@ -1,0 +1,688 @@
+#include "workloads/suite.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+constexpr std::uint64_t KB = 1024;
+constexpr std::uint64_t MB = 1024 * 1024;
+
+/** Instruction-mix archetypes. */
+enum class Mix
+{
+    Int,    //!< SPECint-like: branchy, pointer-ish
+    Fp,     //!< SPECfp-like: FP heavy, predictable branches, high ILP
+    Media,  //!< streaming media: loads + moderate branching
+};
+
+void
+applyMix(PhaseSpec &p, Mix mix)
+{
+    switch (mix) {
+      case Mix::Int:
+        p.loadFrac = 0.26;
+        p.storeFrac = 0.11;
+        p.branchFrac = 0.14;
+        p.fpAddFrac = 0.0;
+        p.fpDivFrac = 0.0;
+        p.intMultFrac = 0.02;
+        p.branchRandomFrac = 0.08;
+        p.depWindow = 12;
+        p.codeFootprint = 24 * KB;
+        break;
+      case Mix::Fp:
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.12;
+        p.branchFrac = 0.06;
+        p.fpAddFrac = 0.20;
+        p.fpDivFrac = 0.01;
+        p.intMultFrac = 0.02;
+        p.branchRandomFrac = 0.02;
+        p.depWindow = 28;
+        p.codeFootprint = 12 * KB;
+        break;
+      case Mix::Media:
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.10;
+        p.branchFrac = 0.10;
+        p.fpAddFrac = 0.05;
+        p.fpDivFrac = 0.0;
+        p.intMultFrac = 0.03;
+        p.branchRandomFrac = 0.04;
+        p.depWindow = 20;
+        p.codeFootprint = 12 * KB;
+        break;
+    }
+}
+
+/** A region allocator keeping kernels of one workload disjoint. */
+class Layout
+{
+  public:
+    /** Reserve @p bytes, aligned to the reference set period so
+     *  set-coloured kernels land on set 0 of the reference L2. */
+    Addr
+    alloc(std::uint64_t bytes)
+    {
+        const Addr base = cursor_;
+        const std::uint64_t aligned =
+            (bytes + referenceSetPeriod - 1) / referenceSetPeriod *
+            referenceSetPeriod;
+        cursor_ += aligned + referenceSetPeriod;
+        return base;
+    }
+
+  private:
+    Addr cursor_ = 0x1000'0000;
+};
+
+/**
+ * Every program gets a high-locality "stack/locals" region absorbing
+ * the bulk of its data references — this is what keeps the synthetic
+ * L2 MPKI in the paper's 1–60 range instead of the pathological
+ * hundreds an unfiltered miss-kernel would produce.
+ */
+void
+addLocal(PhaseSpec &p, Layout &layout, double weight)
+{
+    auto local = KernelSpec::zipf(layout.alloc(16 * KB), 16 * KB, 1.2);
+    local.weight = weight;
+    p.kernels.push_back(local);
+}
+
+/** Seed derived from the benchmark name so every program differs. */
+std::uint64_t
+nameSeed(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= std::uint8_t(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+BenchmarkDef
+newBench(const std::string &name)
+{
+    BenchmarkDef def;
+    def.name = name;
+    def.spec.name = name;
+    def.spec.seed = nameSeed(name);
+    return def;
+}
+
+// ---------------------------------------------------------------
+// Archetype builders. `main_weight` is the fraction of data
+// references going to the distinctive kernels; the rest hit the
+// local region.
+// ---------------------------------------------------------------
+
+/**
+ * Stationary or drifting Zipf temporal locality: LRU-optimal;
+ * drifting variants poison LFU's stale frequency counts.
+ */
+BenchmarkDef
+zipfBench(const std::string &name, Mix mix, std::uint64_t bytes,
+          double s, double main_weight, bool drifting,
+          std::uint64_t drift_period = 6'000,
+          std::uint64_t drift_step = 8 * KB)
+{
+    BenchmarkDef def = newBench(name);
+    Layout layout;
+    PhaseSpec p;
+    applyMix(p, mix);
+    p.instructions = 1'000'000;
+    KernelSpec k =
+        drifting ? KernelSpec::driftingZipf(layout.alloc(bytes), bytes,
+                                            s, drift_period, drift_step)
+                 : KernelSpec::zipf(layout.alloc(bytes), bytes, s);
+    k.weight = main_weight;
+    p.kernels.push_back(k);
+    addLocal(p, layout, 1.0 - main_weight);
+    def.spec.phases.push_back(p);
+    return def;
+}
+
+/**
+ * Media-style hot/cold with bursty cold scans: LFU pins the reused
+ * region while periodic scans flush LRU.
+ */
+BenchmarkDef
+burstyBench(const std::string &name, Mix mix, std::uint64_t hot_bytes,
+            std::uint64_t hot_run, std::uint64_t cold_run,
+            double main_weight, std::uint64_t cold_stride = 64)
+{
+    BenchmarkDef def = newBench(name);
+    Layout layout;
+    PhaseSpec p;
+    applyMix(p, mix);
+    p.instructions = 1'000'000;
+    auto hc = KernelSpec::burstyHotCold(
+        layout.alloc(hot_bytes + 16 * MB), hot_bytes, 16 * MB, hot_run,
+        cold_run, cold_stride, 0.55);
+    hc.hotSequential = true;
+    hc.weight = main_weight;
+    p.kernels.push_back(hc);
+    addLocal(p, layout, 1.0 - main_weight);
+    def.spec.phases.push_back(p);
+    return def;
+}
+
+/** Bernoulli hot/cold (gentler LFU preference). */
+BenchmarkDef
+hotColdBench(const std::string &name, Mix mix, std::uint64_t hot_bytes,
+             std::uint64_t cold_bytes, double hot_prob,
+             double main_weight, std::uint64_t cold_stride = 64)
+{
+    BenchmarkDef def = newBench(name);
+    Layout layout;
+    PhaseSpec p;
+    applyMix(p, mix);
+    p.instructions = 1'000'000;
+    auto hc = KernelSpec::hotCold(layout.alloc(hot_bytes + cold_bytes),
+                                  hot_bytes, cold_bytes, hot_prob, 0.5);
+    hc.coldStride = cold_stride;
+    hc.weight = main_weight;
+    p.kernels.push_back(hc);
+    addLocal(p, layout, 1.0 - main_weight);
+    def.spec.phases.push_back(p);
+    return def;
+}
+
+/**
+ * Pointer-chasing plus background noise (mcf/ft-like). The chase
+ * floods every policy equally; a small reused table (hot_weight > 0)
+ * is what frequency protection can save from the flood, giving the
+ * adaptive cache something to win.
+ */
+BenchmarkDef
+pointerBench(const std::string &name, std::uint64_t chase_bytes,
+             double chase_weight, std::uint64_t noise_bytes,
+             double noise_weight, double hot_weight = 0.0)
+{
+    BenchmarkDef def = newBench(name);
+    Layout layout;
+    PhaseSpec p;
+    applyMix(p, Mix::Int);
+    p.instructions = 1'000'000;
+    p.depWindow = 6;  // dependent chains: little ILP to hide misses
+    auto chase =
+        KernelSpec::pointerChase(layout.alloc(chase_bytes), chase_bytes);
+    chase.weight = chase_weight;
+    p.kernels.push_back(chase);
+    auto noise =
+        KernelSpec::zipf(layout.alloc(noise_bytes), noise_bytes, 0.9);
+    noise.weight = noise_weight;
+    p.kernels.push_back(noise);
+    if (hot_weight > 0.0) {
+        auto hot = KernelSpec::burstyHotCold(layout.alloc(17 * MB),
+                                             256 * KB, 16 * MB, 12'000,
+                                             49'152, 8, 0.5);
+        hot.hotSequential = true;
+        hot.weight = hot_weight;
+        p.kernels.push_back(hot);
+    }
+    addLocal(p, layout,
+             1.0 - chase_weight - noise_weight - hot_weight);
+    def.spec.phases.push_back(p);
+    return def;
+}
+
+/**
+ * Linear-loop benchmark: per-set cyclic reuse slightly deeper than
+ * the associativity — the pattern where LRU/FIFO collapse and
+ * MRU (Fig. 8) or frequency-protection win.
+ */
+BenchmarkDef
+loopBench(const std::string &name, Mix mix, unsigned depth,
+          double loop_weight, std::uint64_t hot_bytes,
+          double hot_weight)
+{
+    BenchmarkDef def = newBench(name);
+    Layout layout;
+    PhaseSpec p;
+    applyMix(p, mix);
+    p.instructions = 1'000'000;
+    auto loop = KernelSpec::setColoredLoop(
+        layout.alloc(std::uint64_t(depth) * referenceSetPeriod), 0,
+        referenceNumSets, depth);
+    loop.weight = loop_weight;
+    p.kernels.push_back(loop);
+    auto hot = KernelSpec::zipf(layout.alloc(hot_bytes), hot_bytes, 1.0);
+    hot.weight = hot_weight;
+    p.kernels.push_back(hot);
+    addLocal(p, layout, 1.0 - loop_weight - hot_weight);
+    def.spec.phases.push_back(p);
+    return def;
+}
+
+/**
+ * ammp-like phase switcher (Fig. 7a): a spatially split prologue,
+ * an LFU-dominant middle, an LRU-dominant tail.
+ */
+BenchmarkDef
+ammpBench()
+{
+    BenchmarkDef def = newBench("ammp");
+    Layout layout;
+    const Addr hc1 = layout.alloc(17 * MB);
+    const Addr dz1 = layout.alloc(2 * MB);
+    const Addr lru_region = layout.alloc(2 * MB);
+    const Addr local1 = layout.alloc(32 * KB);
+    const Addr local2 = layout.alloc(32 * KB);
+    const Addr local3 = layout.alloc(32 * KB);
+
+    // Phase 1: the replacement preference is split *spatially* —
+    // a bursty reused region confined to the lower half of the sets
+    // (LFU territory) runs against drifting temporal locality
+    // confined to the upper half (LRU territory), reproducing the
+    // mottled prologue of Fig. 7a. Per-set adaptivity wins both
+    // halves, which is how the adaptive cache beats either component
+    // policy on ammp.
+    PhaseSpec p1;
+    applyMix(p1, Mix::Fp);
+    p1.instructions = 1'600'000;
+    {
+        auto hc = KernelSpec::burstyHotCold(
+            hc1, 512 * 7 * referenceLineSize, 16 * MB, 12'000, 24'576,
+            8, 0.5);  // cold confined below -> 6 lines/set per burst
+        hc.hotSequential = true;
+        hc.spanSets = 512;
+        hc.weight = 0.20;
+        p1.kernels.push_back(hc);
+        auto dz = KernelSpec::driftingZipf(dz1, 1280 * KB, 1.0,
+                                           8'000, 64 * KB);
+        dz.firstSet = 512;
+        dz.spanSets = 512;
+        dz.weight = 0.20;
+        p1.kernels.push_back(dz);
+        auto local = KernelSpec::zipf(local1, 16 * KB, 1.2);
+        local.weight = 0.60;
+        p1.kernels.push_back(local);
+    }
+    def.spec.phases.push_back(p1);
+
+    // Phase 2: LFU-dominant. The program keeps working on the same
+    // reused array as phase 1 (so the frequency state carries over)
+    // but the drifting traffic pauses: the reuse pattern now owns
+    // the machine and LFU wins across the touched sets.
+    PhaseSpec p2;
+    applyMix(p2, Mix::Fp);
+    p2.instructions = 700'000;
+    {
+        auto hc = KernelSpec::burstyHotCold(
+            hc1, 512 * 7 * referenceLineSize, 16 * MB, 12'000, 24'576,
+            8, 0.5);
+        hc.hotSequential = true;
+        hc.spanSets = 512;
+        hc.weight = 0.30;
+        p2.kernels.push_back(hc);
+        auto local = KernelSpec::zipf(local2, 16 * KB, 1.2);
+        local.weight = 0.70;
+        p2.kernels.push_back(local);
+    }
+    def.spec.phases.push_back(p2);
+
+    // Phase 3: LRU-dominant drifting temporal locality.
+    PhaseSpec p3;
+    applyMix(p3, Mix::Fp);
+    p3.instructions = 600'000;
+    {
+        auto dz = KernelSpec::driftingZipf(lru_region, 1280 * KB, 1.0,
+                                           8'000, 32 * KB);
+        dz.weight = 0.26;
+        p3.kernels.push_back(dz);
+        auto local = KernelSpec::zipf(local3, 16 * KB, 1.2);
+        local.weight = 0.74;
+        p3.kernels.push_back(local);
+    }
+    def.spec.phases.push_back(p3);
+    return def;
+}
+
+/**
+ * mgrid-like spatial drift (Fig. 7b): LFU-favourable sweeps whose
+ * share recedes phase by phase while LRU-friendly temporal locality
+ * takes over.
+ */
+BenchmarkDef
+mgridBench()
+{
+    BenchmarkDef def = newBench("mgrid");
+    Layout layout;
+    const Addr hot_region = layout.alloc(17 * MB);
+    const Addr scan_region = layout.alloc(16 * MB);
+    const Addr lru_region = layout.alloc(3 * MB);
+    const Addr local = layout.alloc(32 * KB);
+
+    const unsigned steps = 4;
+    for (unsigned step = 0; step < steps; ++step) {
+        PhaseSpec p;
+        applyMix(p, Mix::Fp);
+        p.instructions = 240'000;
+        // The LFU-favourable region recedes from all sets toward the
+        // low sets (Fig. 7b's spatially varying transition): each
+        // step confines the reused array to fewer sets while the
+        // LRU-friendly traversal takes over the rest.
+        const unsigned span = referenceNumSets - 192 * step;
+        const double lfu_share = 0.26 * (1.0 - 0.22 * step);
+        auto hc = KernelSpec::burstyHotCold(
+            hot_region, std::uint64_t(span) * 7 * referenceLineSize,
+            16 * MB, 16'000, 49'152, 8, 0.5);
+        hc.hotSequential = true;
+        hc.spanSets = span;
+        hc.weight = lfu_share * 0.85;
+        p.kernels.push_back(hc);
+        auto sweep = KernelSpec::stridedSweep(
+            scan_region, 8 * MB, 3 * referenceLineSize, 2);
+        sweep.weight = lfu_share * 0.15;
+        p.kernels.push_back(sweep);
+        auto dz = KernelSpec::driftingZipf(lru_region, 1280 * KB, 1.0,
+                                           8'000, 64 * KB);
+        dz.weight = 0.26 - lfu_share;
+        p.kernels.push_back(dz);
+        auto loc = KernelSpec::zipf(local, 16 * KB, 1.2);
+        loc.weight = 0.74;
+        p.kernels.push_back(loc);
+        def.spec.phases.push_back(p);
+    }
+    return def;
+}
+
+/**
+ * Dithering adversary (unepic/tigr): micro-phases alternate between
+ * LRU- and LFU-friendly faster than the miss history can settle, so
+ * adaptivity pays a small switching tax — the paper's worst cases
+ * (+1.2 % CPI unepic, +2.7 % misses tigr).
+ */
+BenchmarkDef
+ditherBench(const std::string &name, Mix mix,
+            std::uint64_t micro_phase, double main_weight)
+{
+    BenchmarkDef def = newBench(name);
+    Layout layout;
+    const Addr hc_region = layout.alloc(9 * MB);
+    const Addr dz_region = layout.alloc(1 * MB);
+    const Addr local = layout.alloc(32 * KB);
+
+    PhaseSpec a;
+    applyMix(a, mix);
+    a.instructions = micro_phase;
+    {
+        auto hc = KernelSpec::burstyHotCold(hc_region, 256 * KB, 8 * MB,
+                                            12'000, 49'152, 8, 0.5);
+        hc.hotSequential = true;
+        hc.weight = main_weight;
+        a.kernels.push_back(hc);
+        auto loc = KernelSpec::zipf(local, 16 * KB, 1.2);
+        loc.weight = 1.0 - main_weight;
+        a.kernels.push_back(loc);
+    }
+
+    PhaseSpec b = a;
+    b.kernels.clear();
+    {
+        auto dz = KernelSpec::driftingZipf(dz_region, 768 * KB, 1.0,
+                                           8'000, 64 * KB);
+        dz.weight = main_weight;
+        b.kernels.push_back(dz);
+        auto loc = KernelSpec::zipf(local, 16 * KB, 1.2);
+        loc.weight = 1.0 - main_weight;
+        b.kernels.push_back(loc);
+    }
+
+    def.spec.phases = {a, b};
+    return def;
+}
+
+/** Streaming sweeps (swim-like): every policy thrashes equally. */
+BenchmarkDef
+streamBench(const std::string &name, Mix mix, std::uint64_t bytes,
+            double main_weight)
+{
+    BenchmarkDef def = newBench(name);
+    Layout layout;
+    PhaseSpec p;
+    applyMix(p, mix);
+    p.instructions = 1'000'000;
+    auto a = KernelSpec::linearLoop(layout.alloc(bytes), bytes, 8);
+    a.weight = main_weight;
+    p.kernels.push_back(a);
+    addLocal(p, layout, 1.0 - main_weight);
+    def.spec.phases.push_back(p);
+    return def;
+}
+
+/** Cache-resident extended-set program: negligible L2 misses. */
+BenchmarkDef
+residentBench(const std::string &name, Mix mix, std::uint64_t bytes)
+{
+    BenchmarkDef def = newBench(name);
+    Layout layout;
+    PhaseSpec p;
+    applyMix(p, mix);
+    p.instructions = 1'000'000;
+    auto main = KernelSpec::zipf(layout.alloc(bytes), bytes, 0.9);
+    main.weight = 0.4;
+    p.kernels.push_back(main);
+    addLocal(p, layout, 0.6);
+    def.spec.phases.push_back(p);
+    return def;
+}
+
+std::vector<BenchmarkDef>
+buildSuite()
+{
+    std::vector<BenchmarkDef> suite;
+    auto add = [&](BenchmarkDef def, bool primary) {
+        def.primary = primary;
+        suite.push_back(std::move(def));
+    };
+
+    // ---------------- Primary set (26 programs, paper order) -------
+    add(ammpBench(), true);
+    add(zipfBench("applu", Mix::Fp, 3 * MB, 0.95, 0.16, false),
+        true);
+    add(burstyBench("art-1", Mix::Fp, 448 * KB, 22'000, 49'152, 0.30,
+                    8),
+        true);
+    add(burstyBench("art-2", Mix::Fp, 384 * KB, 18'000, 49'152, 0.28,
+                    8),
+        true);
+    add(zipfBench("bzip2", Mix::Int, 2 * MB, 1.0, 0.13, true, 12'000,
+                  32 * KB),
+        true);
+    add(zipfBench("equake", Mix::Fp, 3 * MB, 0.95, 0.16, false),
+        true);
+    add(burstyBench("facerec", Mix::Fp, 320 * KB, 15'000, 49'152,
+                    0.18, 8),
+        true);
+    add(zipfBench("fma3d", Mix::Fp, 2560 * KB, 0.95, 0.16, true,
+                  12'000, 32 * KB),
+        true);
+    add(pointerBench("ft", 1536 * KB, 0.05, 768 * KB, 0.10), true);
+    add(zipfBench("gap", Mix::Int, 2 * MB, 1.0, 0.12, false), true);
+    add(loopBench("gcc-1", Mix::Int, 12, 0.10, 384 * KB, 0.10), true);
+    add(zipfBench("gcc-2", Mix::Int, 2 * MB, 0.95, 0.18, true, 10'000,
+                  48 * KB),
+        true);
+    add(zipfBench("lucas", Mix::Fp, 2560 * KB, 1.0, 0.20, true,
+                  10'000, 64 * KB),
+        true);
+    add(pointerBench("mcf", 6 * MB, 0.08, 2 * MB, 0.08, 0.10), true);
+    add(mgridBench(), true);
+    add(zipfBench("parser", Mix::Int, 1536 * KB, 1.0, 0.13, false),
+        true);
+    add(streamBench("swim", Mix::Fp, 2 * MB, 0.35), true);
+    add(burstyBench("tiff2rgba", Mix::Media, 320 * KB, 15'000, 49'152,
+                    0.22, 8),
+        true);
+    add(pointerBench("twolf", 1 * MB, 0.03, 768 * KB, 0.08, 0.08), true);
+    add(ditherBench("unepic", Mix::Media, 80'000, 0.14), true);
+    add(zipfBench("vpr-1", Mix::Int, 2 * MB, 0.95, 0.14, false), true);
+    add(zipfBench("vpr-2", Mix::Int, 2560 * KB, 0.95, 0.14, false),
+        true);
+    add(zipfBench("wupwise", Mix::Fp, 2 * MB, 0.95, 0.12, false), true);
+    add(burstyBench("x11quake-1", Mix::Media, 384 * KB, 19'000,
+                    49'152, 0.28, 8),
+        true);
+    add(burstyBench("x11quake-2", Mix::Media, 320 * KB, 16'000,
+                    49'152, 0.26, 8),
+        true);
+
+    // xanim: a lighter two-phase switcher.
+    {
+        BenchmarkDef def = newBench("xanim");
+        Layout layout;
+        const Addr r1 = layout.alloc(9 * MB);
+        const Addr r2 = layout.alloc(2 * MB);
+        const Addr local = layout.alloc(32 * KB);
+        PhaseSpec p1;
+        applyMix(p1, Mix::Media);
+        p1.instructions = 300'000;
+        {
+            auto hc = KernelSpec::burstyHotCold(r1, 320 * KB, 8 * MB,
+                                                15'000, 49'152, 8, 0.5);
+            hc.hotSequential = true;
+            hc.weight = 0.24;
+            p1.kernels.push_back(hc);
+            auto loc = KernelSpec::zipf(local, 16 * KB, 1.2);
+            loc.weight = 0.76;
+            p1.kernels.push_back(loc);
+        }
+        PhaseSpec p2 = p1;
+        p2.kernels.clear();
+        {
+            auto dz = KernelSpec::driftingZipf(r2, 1280 * KB, 1.0,
+                                               8'000, 64 * KB);
+            dz.weight = 0.24;
+            p2.kernels.push_back(dz);
+            auto loc = KernelSpec::zipf(local, 16 * KB, 1.2);
+            loc.weight = 0.76;
+            p2.kernels.push_back(loc);
+        }
+        def.spec.phases = {p1, p2};
+        add(std::move(def), true);
+    }
+
+    // ---------------- Extended set ---------------------------------
+    // Cache-resident and low-intensity programs from the remaining
+    // suites; names follow the paper's sources (SPEC 2000 programs
+    // not in the primary set, MediaBench, MiBench, BioBench,
+    // pointer-intensive and graphics workloads).
+    struct Resident
+    {
+        const char *name;
+        Mix mix;
+        unsigned kb;
+    };
+    const Resident residents[] = {
+        {"crafty", Mix::Int, 256},    {"eon-1", Mix::Int, 192},
+        {"eon-2", Mix::Int, 224},     {"gzip-1", Mix::Int, 320},
+        {"gzip-2", Mix::Int, 288},    {"gzip-3", Mix::Int, 352},
+        {"gzip-4", Mix::Int, 256},    {"gzip-5", Mix::Int, 384},
+        {"perlbmk-1", Mix::Int, 288}, {"perlbmk-2", Mix::Int, 320},
+        {"vortex-1", Mix::Int, 416},  {"vortex-2", Mix::Int, 384},
+        {"vortex-3", Mix::Int, 448},  {"mesa", Mix::Fp, 320},
+        {"galgel", Mix::Fp, 448},     {"sixtrack", Mix::Fp, 384},
+        {"apsi", Mix::Fp, 448},       {"mp3dec", Mix::Media, 192},
+        {"mp3enc", Mix::Media, 256},  {"adpcm-enc", Mix::Media, 64},
+        {"adpcm-dec", Mix::Media, 64},{"g721-enc", Mix::Media, 96},
+        {"g721-dec", Mix::Media, 96}, {"gsm-enc", Mix::Media, 128},
+        {"gsm-dec", Mix::Media, 128}, {"jpeg-enc", Mix::Media, 224},
+        {"jpeg-dec", Mix::Media, 192},{"mpeg2-enc", Mix::Media, 288},
+        {"mpeg2-dec", Mix::Media, 256},{"pegwit-enc", Mix::Media, 160},
+        {"pegwit-dec", Mix::Media, 160},{"rasta", Mix::Media, 192},
+        {"basicmath", Mix::Int, 96},  {"bitcount", Mix::Int, 64},
+        {"qsort", Mix::Int, 256},     {"susan-s", Mix::Media, 192},
+        {"susan-e", Mix::Media, 224}, {"susan-c", Mix::Media, 208},
+        {"dijkstra", Mix::Int, 160},  {"patricia", Mix::Int, 288},
+        {"stringsearch", Mix::Int, 96},{"blowfish-enc", Mix::Int, 128},
+        {"blowfish-dec", Mix::Int, 128},{"rijndael-enc", Mix::Int, 160},
+        {"rijndael-dec", Mix::Int, 160},{"sha", Mix::Int, 96},
+        {"crc32", Mix::Int, 64},      {"fft", Mix::Fp, 320},
+        {"fft-inv", Mix::Fp, 320},    {"lame", Mix::Media, 352},
+        {"typeset", Mix::Int, 416},   {"ispell", Mix::Int, 224},
+        {"mummer", Mix::Int, 448},    {"clustalw", Mix::Int, 384},
+        {"hmmer", Mix::Int, 416},     {"blastp", Mix::Int, 448},
+        {"fasta-dna", Mix::Int, 352}, {"phylip", Mix::Fp, 320},
+        {"bc", Mix::Int, 192},        {"yacr2", Mix::Int, 256},
+        {"ks", Mix::Int, 224},        {"anagram", Mix::Int, 160},
+        {"tsp", Mix::Int, 384},       {"bh", Mix::Fp, 352},
+        {"em3d", Mix::Int, 448},      {"perimeter", Mix::Int, 320},
+        {"treeadd", Mix::Int, 288},   {"tachyon", Mix::Fp, 416},
+        {"povray", Mix::Fp, 448},     {"quake3-demo", Mix::Media, 384},
+        {"doom3-timedemo", Mix::Media, 448},
+    };
+    for (const auto &r : residents)
+        add(residentBench(r.name, r.mix, std::uint64_t(r.kb) * KB),
+            false);
+
+    // tigr: the extended-set worst case for misses (+2.7 % in the
+    // paper) — a mild dithering adversary with modest traffic.
+    add(ditherBench("tigr", Mix::Int, 80'000, 0.08), false);
+
+    // A few moderate-traffic extended programs near the 1 MPKI
+    // threshold, to keep the extended-set averages honest.
+    add(zipfBench("mesa-tex", Mix::Fp, 640 * KB, 0.95, 0.18, false),
+        false);
+    add(zipfBench("epic", Mix::Media, 704 * KB, 0.95, 0.15, false),
+        false);
+    add(hotColdBench("ghostscript", Mix::Int, 96 * KB, 2 * MB, 0.55,
+                     0.12, 16),
+        false);
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkDef> &
+benchmarkSuite()
+{
+    static const std::vector<BenchmarkDef> suite = buildSuite();
+    return suite;
+}
+
+std::vector<const BenchmarkDef *>
+primaryBenchmarks()
+{
+    std::vector<const BenchmarkDef *> out;
+    for (const auto &b : benchmarkSuite())
+        if (b.primary)
+            out.push_back(&b);
+    return out;
+}
+
+std::vector<const BenchmarkDef *>
+allBenchmarks()
+{
+    std::vector<const BenchmarkDef *> out;
+    for (const auto &b : benchmarkSuite())
+        out.push_back(&b);
+    return out;
+}
+
+const BenchmarkDef *
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : benchmarkSuite())
+        if (b.name == name)
+            return &b;
+    return nullptr;
+}
+
+std::unique_ptr<TraceSource>
+makeBenchmark(const BenchmarkDef &def)
+{
+    return std::make_unique<WorkloadGenerator>(def.spec);
+}
+
+} // namespace adcache

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The synthetic benchmark suite standing in for the paper's 100+
+ * traces (SPECcpu2000, MediaBench, MiBench, BioBench, pointer-
+ * intensive and graphics programs; Sec. 4.1).
+ *
+ * Each benchmark is a WorkloadSpec whose kernels were chosen to match
+ * the qualitative replacement-policy preference the paper reports for
+ * the program of the same name (e.g. lucas: strongly LRU-friendly;
+ * art: strongly LFU-friendly; ammp/mgrid: phase- and set-varying).
+ * The *primary set* mirrors the paper's 26 programs with > 1 MPKI in
+ * a 512 KB LRU L2; the *extended set* adds the cache-resident
+ * programs used to demonstrate stability.
+ */
+
+#ifndef ADCACHE_WORKLOADS_SUITE_HH
+#define ADCACHE_WORKLOADS_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace adcache
+{
+
+/** One named benchmark of the suite. */
+struct BenchmarkDef
+{
+    std::string name;
+    bool primary = false;  //!< in the paper's 26-program primary set
+    WorkloadSpec spec;
+};
+
+/** The full suite (primary first, then extended), built once. */
+const std::vector<BenchmarkDef> &benchmarkSuite();
+
+/** Pointers to the 26 primary-set benchmarks, in paper order. */
+std::vector<const BenchmarkDef *> primaryBenchmarks();
+
+/** Pointers to every benchmark (the extended evaluation set). */
+std::vector<const BenchmarkDef *> allBenchmarks();
+
+/** Find a benchmark by name; nullptr if absent. */
+const BenchmarkDef *findBenchmark(const std::string &name);
+
+/** Instantiate the generator for @p def. */
+std::unique_ptr<TraceSource> makeBenchmark(const BenchmarkDef &def);
+
+} // namespace adcache
+
+#endif // ADCACHE_WORKLOADS_SUITE_HH

@@ -1,0 +1,228 @@
+#include "cache/cache.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+CacheConfig
+tinyConfig(PolicyType policy = PolicyType::LRU)
+{
+    CacheConfig c;
+    c.sizeBytes = 4 * 1024;  // 16 sets x 4 ways x 64B
+    c.assoc = 4;
+    c.lineSize = 64;
+    c.policy = policy;
+    return c;
+}
+
+TEST(CacheGeometry, Derivation)
+{
+    const auto g = CacheGeometry::fromSize(512 * 1024, 8, 64);
+    EXPECT_EQ(g.numSets, 1024u);
+    EXPECT_EQ(g.offsetBits(), 6u);
+    EXPECT_EQ(g.indexBits(), 10u);
+    EXPECT_EQ(g.tagBits(), physAddrBits - 16);
+    EXPECT_EQ(g.sizeBytes(), 512u * 1024);
+}
+
+TEST(CacheGeometry, NonPowerOfTwoAssoc)
+{
+    // The 9-way 576KB cache of Fig. 6.
+    const auto g = CacheGeometry::fromSize(576 * 1024, 9, 64);
+    EXPECT_EQ(g.numSets, 1024u);
+    EXPECT_EQ(g.assoc, 9u);
+}
+
+TEST(CacheGeometry, AddressRoundTrip)
+{
+    const auto g = CacheGeometry::fromSize(512 * 1024, 8, 64);
+    const Addr addr = 0x12345678;
+    const Addr block = g.blockAddr(addr);
+    EXPECT_EQ(block % 64, 0u);
+    const Addr rebuilt = g.reconstruct(g.setIndex(addr), g.tag(addr));
+    EXPECT_EQ(rebuilt, block);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(tinyConfig());
+    auto r1 = cache.access(0x1000, false);
+    EXPECT_FALSE(r1.hit);
+    auto r2 = cache.access(0x1000, false);
+    EXPECT_TRUE(r2.hit);
+    // Same line, different word: still a hit.
+    auto r3 = cache.access(0x1008, false);
+    EXPECT_TRUE(r3.hit);
+    EXPECT_EQ(cache.stats().accesses, 3u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(Cache, EvictionAfterAssocExceeded)
+{
+    Cache cache(tinyConfig());
+    const auto &g = cache.geometry();
+    // 5 distinct blocks mapping to set 0 in a 4-way cache.
+    for (int i = 0; i < 5; ++i)
+        cache.access(Addr(i) * g.numSets * g.lineSize, false);
+    EXPECT_EQ(cache.stats().misses, 5u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    // LRU: block 0 was evicted, blocks 1..4 remain.
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(1ull * g.numSets * g.lineSize));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache cache(tinyConfig());
+    const auto &g = cache.geometry();
+    const Addr conflict = Addr(g.numSets) * g.lineSize;
+    cache.access(0x0, true);  // dirty fill of set 0
+    for (int i = 1; i <= 4; ++i) {
+        auto r = cache.access(Addr(i) * conflict, false);
+        if (i < 4) {
+            EXPECT_FALSE(r.writeback);
+        } else {
+            // Fifth block evicts the dirty block 0.
+            EXPECT_TRUE(r.writeback);
+            EXPECT_EQ(r.writebackAddr, 0u);
+        }
+    }
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache cache(tinyConfig());
+    const auto &g = cache.geometry();
+    for (int i = 0; i <= 4; ++i) {
+        auto r = cache.access(Addr(i) * g.numSets * g.lineSize, false);
+        EXPECT_FALSE(r.writeback);
+    }
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteAllocates)
+{
+    Cache cache(tinyConfig());
+    auto r = cache.access(0x40, true);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(cache.contains(0x40));
+    EXPECT_EQ(cache.stats().writeMisses, 1u);
+    EXPECT_EQ(cache.stats().readMisses, 0u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache cache(tinyConfig());
+    const auto &g = cache.geometry();
+    cache.access(0x0, false);  // clean fill
+    cache.access(0x0, true);   // write hit -> dirty
+    // Evict it and expect a writeback.
+    bool saw_writeback = false;
+    for (int i = 1; i <= 4; ++i) {
+        auto r = cache.access(Addr(i) * g.numSets * g.lineSize, false);
+        saw_writeback |= r.writeback;
+    }
+    EXPECT_TRUE(saw_writeback);
+}
+
+TEST(Cache, InvalidateBlock)
+{
+    Cache cache(tinyConfig());
+    cache.access(0x1000, true);
+    EXPECT_TRUE(cache.contains(0x1000));
+    cache.invalidateBlock(0x1000);
+    EXPECT_FALSE(cache.contains(0x1000));
+    auto r = cache.access(0x1000, false);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache cache(tinyConfig());
+    // Fill set 0 far past capacity; set 1 must be untouched.
+    const auto &g = cache.geometry();
+    cache.access(g.lineSize, false);  // set 1
+    for (int i = 0; i < 20; ++i)
+        cache.access(Addr(i) * g.numSets * g.lineSize, false);
+    EXPECT_TRUE(cache.contains(g.lineSize));
+}
+
+TEST(Cache, LruStackProperty)
+{
+    // Inclusion: an 8-way LRU set contains everything a 4-way LRU set
+    // holds under the same reference stream (per-set stack property).
+    CacheConfig small = tinyConfig();
+    small.sizeBytes = 2 * 1024;  // 8 sets x 4 ways
+    small.assoc = 4;
+    CacheConfig big = tinyConfig();
+    big.sizeBytes = 4 * 1024;  // 8 sets x 8 ways
+    big.assoc = 8;
+    Cache small_cache(small), big_cache(big);
+    ASSERT_EQ(small_cache.geometry().numSets,
+              big_cache.geometry().numSets);
+
+    Rng rng(3);
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 64; ++i)
+        blocks.push_back(Addr(i) * 64);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = blocks[rng.below(blocks.size())];
+        small_cache.access(a, false);
+        big_cache.access(a, false);
+    }
+    for (const Addr a : blocks) {
+        if (small_cache.contains(a))
+            EXPECT_TRUE(big_cache.contains(a)) << "block " << a;
+    }
+    EXPECT_LE(big_cache.stats().misses, small_cache.stats().misses);
+}
+
+TEST(Cache, MruKeepsLoopResident)
+{
+    // A cyclic loop of 6 blocks through a 4-way set: LRU misses every
+    // reference in steady state while MRU retains 3 of the blocks
+    // (Sec. 2.1's linear-loop motivation).
+    CacheConfig lru_conf = tinyConfig(PolicyType::LRU);
+    lru_conf.sizeBytes = 256;  // 1 set x 4 ways
+    lru_conf.assoc = 4;
+    CacheConfig mru_conf = lru_conf;
+    mru_conf.policy = PolicyType::MRU;
+    Cache lru(lru_conf), mru(mru_conf);
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        for (int b = 0; b < 6; ++b) {
+            lru.access(Addr(b) * 64, false);
+            mru.access(Addr(b) * 64, false);
+        }
+    }
+    EXPECT_GT(double(mru.stats().hits), 0.0);
+    EXPECT_LT(mru.stats().misses, lru.stats().misses);
+    // LRU thrashs: hits only during the first pass warmup.
+    EXPECT_EQ(lru.stats().hits, 0u);
+}
+
+TEST(Cache, DescribeMentionsPolicyAndSize)
+{
+    Cache cache(tinyConfig(PolicyType::LFU));
+    const std::string d = cache.describe();
+    EXPECT_NE(d.find("LFU"), std::string::npos);
+    EXPECT_NE(d.find("4KB"), std::string::npos);
+}
+
+TEST(Cache, StatsMissBreakdown)
+{
+    Cache cache(tinyConfig());
+    cache.access(0x0, false);
+    cache.access(0x40, true);
+    cache.access(0x80, false);
+    EXPECT_EQ(cache.stats().readMisses, 2u);
+    EXPECT_EQ(cache.stats().writeMisses, 1u);
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 1.0);
+}
+
+} // namespace
+} // namespace adcache

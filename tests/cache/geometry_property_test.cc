@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Property sweeps over cache geometry: address decomposition must be
+ * lossless and consistent for every (size, assoc, line) combination
+ * the experiments use — including the non-power-of-two
+ * associativities of Fig. 6 and the 128-byte lines of Sec. 3.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.hh"
+#include "util/rng.hh"
+
+namespace adcache
+{
+namespace
+{
+
+struct GeomCase
+{
+    std::uint64_t size;
+    unsigned assoc;
+    unsigned line;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeomCase>
+{
+};
+
+TEST_P(GeometrySweep, DecompositionRoundTrips)
+{
+    const auto c = GetParam();
+    const auto g = CacheGeometry::fromSize(c.size, c.assoc, c.line);
+    EXPECT_EQ(g.sizeBytes(), c.size);
+
+    Rng rng(123);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = rng.below(Addr(1) << physAddrBits);
+        const unsigned set = g.setIndex(addr);
+        const Addr tag = g.tag(addr);
+        ASSERT_LT(set, g.numSets);
+        const Addr rebuilt = g.reconstruct(set, tag);
+        EXPECT_EQ(rebuilt, g.blockAddr(addr));
+        // Two addresses in one block agree on (set, tag).
+        const Addr sibling = g.blockAddr(addr) + (addr % g.lineSize);
+        EXPECT_EQ(g.setIndex(sibling), set);
+        EXPECT_EQ(g.tag(sibling), tag);
+    }
+}
+
+TEST_P(GeometrySweep, TagBitsConsistent)
+{
+    const auto c = GetParam();
+    const auto g = CacheGeometry::fromSize(c.size, c.assoc, c.line);
+    EXPECT_EQ(g.tagBits() + g.indexBits() + g.offsetBits(),
+              physAddrBits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, GeometrySweep,
+    ::testing::Values(GeomCase{512 * 1024, 8, 64},    // Table 1 L2
+                      GeomCase{512 * 1024, 8, 128},   // Sec. 3.2
+                      GeomCase{576 * 1024, 9, 64},    // Fig. 6
+                      GeomCase{640 * 1024, 10, 64},   // Fig. 6
+                      GeomCase{512 * 1024, 4, 64},    // Fig. 9
+                      GeomCase{512 * 1024, 16, 64},   // Fig. 9
+                      GeomCase{512 * 1024, 32, 64},   // Fig. 9
+                      GeomCase{16 * 1024, 4, 64},     // L1s
+                      GeomCase{64, 1, 64},            // degenerate
+                      GeomCase{8 * 1024 * 1024, 16, 128}),
+    [](const auto &info) {
+        const auto &c = info.param;
+        return std::to_string(c.size / 1024) + "K_w" +
+               std::to_string(c.assoc) + "_l" +
+               std::to_string(c.line);
+    });
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,88 @@
+#include "cache/tag_array.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(TagArray, StartsInvalid)
+{
+    TagArray tags(4, 2);
+    EXPECT_EQ(tags.validCount(), 0u);
+    for (unsigned s = 0; s < 4; ++s) {
+        EXPECT_FALSE(tags.setFull(s));
+        EXPECT_EQ(tags.findInvalidWay(s).value(), 0u);
+    }
+}
+
+TEST(TagArray, FillAndFind)
+{
+    TagArray tags(4, 2);
+    tags.fill(1, 0, 0xAB);
+    EXPECT_TRUE(tags.findWay(1, 0xAB).has_value());
+    EXPECT_EQ(tags.findWay(1, 0xAB).value(), 0u);
+    EXPECT_FALSE(tags.findWay(0, 0xAB).has_value());
+    EXPECT_FALSE(tags.findWay(1, 0xAC).has_value());
+}
+
+TEST(TagArray, SetFull)
+{
+    TagArray tags(2, 2);
+    tags.fill(0, 0, 1);
+    EXPECT_FALSE(tags.setFull(0));
+    tags.fill(0, 1, 2);
+    EXPECT_TRUE(tags.setFull(0));
+    EXPECT_FALSE(tags.findInvalidWay(0).has_value());
+}
+
+TEST(TagArray, FillClearsDirty)
+{
+    TagArray tags(1, 1);
+    tags.fill(0, 0, 7);
+    tags.entry(0, 0).dirty = true;
+    tags.fill(0, 0, 8);
+    EXPECT_FALSE(tags.entry(0, 0).dirty);
+    EXPECT_EQ(tags.entry(0, 0).tag, 8u);
+}
+
+TEST(TagArray, Invalidate)
+{
+    TagArray tags(2, 2);
+    tags.fill(1, 1, 5);
+    tags.entry(1, 1).dirty = true;
+    tags.invalidate(1, 1);
+    EXPECT_FALSE(tags.findWay(1, 5).has_value());
+    EXPECT_FALSE(tags.entry(1, 1).dirty);
+    EXPECT_EQ(tags.validCount(), 0u);
+}
+
+TEST(TagArray, InvalidEntryNeverMatches)
+{
+    TagArray tags(1, 2);
+    tags.fill(0, 0, 0);
+    tags.invalidate(0, 0);
+    // Tag value 0 on an invalid entry must not match.
+    EXPECT_FALSE(tags.findWay(0, 0).has_value());
+}
+
+TEST(TagArray, ValidCount)
+{
+    TagArray tags(4, 4);
+    for (unsigned s = 0; s < 4; ++s)
+        for (unsigned w = 0; w < s; ++w)
+            tags.fill(s, w, w + 1);
+    EXPECT_EQ(tags.validCount(), 0u + 1 + 2 + 3);
+}
+
+TEST(TagArray, DuplicateTagReturnsLowestWay)
+{
+    TagArray tags(1, 4);
+    tags.fill(0, 2, 9);
+    tags.fill(0, 1, 9);
+    EXPECT_EQ(tags.findWay(0, 9).value(), 1u);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,129 @@
+#include "core/miss_history.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace adcache
+{
+namespace
+{
+
+TEST(WindowHistory, EmptyCountsZero)
+{
+    WindowHistory h(8, 2);
+    EXPECT_EQ(h.count(0), 0u);
+    EXPECT_EQ(h.count(1), 0u);
+    EXPECT_EQ(h.best(2), 0u) << "ties break toward policy 0";
+}
+
+TEST(WindowHistory, CountsRecordedMisses)
+{
+    WindowHistory h(8, 2);
+    h.record(0b01);
+    h.record(0b01);
+    h.record(0b10);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.best(2), 1u) << "policy 1 missed less";
+}
+
+TEST(WindowHistory, OldEntriesExpire)
+{
+    WindowHistory h(4, 2);
+    for (int i = 0; i < 4; ++i)
+        h.record(0b01);
+    EXPECT_EQ(h.count(0), 4u);
+    // Four newer events push the old ones out.
+    for (int i = 0; i < 4; ++i)
+        h.record(0b10);
+    EXPECT_EQ(h.count(0), 0u);
+    EXPECT_EQ(h.count(1), 4u);
+    EXPECT_EQ(h.best(2), 0u);
+}
+
+TEST(WindowHistory, PartialExpiry)
+{
+    WindowHistory h(4, 2);
+    h.record(0b01);
+    h.record(0b01);
+    h.record(0b10);
+    h.record(0b10);
+    h.record(0b10);  // expires the first 0b01
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 3u);
+}
+
+TEST(WindowHistory, MultiPolicyMask)
+{
+    WindowHistory h(8, 4);
+    h.record(0b0110);  // policies 1 and 2 missed
+    h.record(0b0010);
+    EXPECT_EQ(h.count(0), 0u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(3), 0u);
+    EXPECT_EQ(h.best(4), 0u);
+}
+
+TEST(WindowHistory, DepthOne)
+{
+    WindowHistory h(1, 2);
+    h.record(0b01);
+    EXPECT_EQ(h.best(2), 1u);
+    h.record(0b10);
+    EXPECT_EQ(h.best(2), 0u);
+}
+
+TEST(CounterHistory, NeverForgets)
+{
+    CounterHistory h(2);
+    for (int i = 0; i < 100; ++i)
+        h.record(0b01);
+    h.record(0b10);
+    EXPECT_EQ(h.count(0), 100u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.best(2), 1u);
+}
+
+TEST(CounterHistory, TieGoesToFirst)
+{
+    CounterHistory h(3);
+    h.record(0b001);
+    h.record(0b010);
+    h.record(0b100);
+    EXPECT_EQ(h.best(3), 0u);
+}
+
+TEST(MakeHistory, SelectsRepresentation)
+{
+    auto window = makeHistory(false, 8, 2);
+    auto counter = makeHistory(true, 8, 2);
+    for (int i = 0; i < 20; ++i) {
+        window->record(0b01);
+        counter->record(0b01);
+    }
+    EXPECT_EQ(window->count(0), 8u) << "window saturates at depth";
+    EXPECT_EQ(counter->count(0), 20u) << "counters are exact";
+}
+
+class WindowDepthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WindowDepthSweep, CountNeverExceedsDepth)
+{
+    const unsigned depth = GetParam();
+    WindowHistory h(depth, 2);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        h.record(rng.chance(0.5) ? 0b01 : 0b10);
+        EXPECT_LE(h.count(0) + h.count(1), depth);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, WindowDepthSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 64u));
+
+} // namespace
+} // namespace adcache

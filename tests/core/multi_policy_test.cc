@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The generalised N-policy adaptivity of Sec. 4.4 (five components:
+ * LRU, LFU, FIFO, MRU, Random).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "core/adaptive_cache.hh"
+
+namespace adcache
+{
+namespace
+{
+
+TEST(MultiPolicy, FivePolicyPresetShape)
+{
+    const auto c = AdaptiveConfig::fivePolicy();
+    EXPECT_EQ(c.policies.size(), 5u);
+    EXPECT_EQ(c.policies[0], PolicyType::LRU);
+    EXPECT_EQ(c.policies[4], PolicyType::Random);
+    AdaptiveCache cache(c);
+    EXPECT_EQ(cache.numPolicies(), 5u);
+}
+
+TEST(MultiPolicy, RunsAndCounts)
+{
+    AdaptiveConfig c = AdaptiveConfig::fivePolicy(64 * 1024, 8, 64);
+    AdaptiveCache cache(c);
+    Rng rng(3);
+    for (int i = 0; i < 100'000; ++i)
+        cache.access(rng.below(4096) * 64, rng.chance(0.25));
+    EXPECT_EQ(cache.stats().accesses, 100'000u);
+    for (unsigned k = 0; k < 5; ++k)
+        EXPECT_GT(cache.shadowMisses(k), 0u);
+}
+
+TEST(MultiPolicy, TracksBestOfFiveOnLoop)
+{
+    // Cyclic loop: MRU is by far the best of the five; the 5-policy
+    // adaptive cache must land well below LRU/FIFO.
+    AdaptiveConfig c = AdaptiveConfig::fivePolicy(64 * 4, 4, 64);
+    AdaptiveCache cache(c);
+    for (int cyc = 0; cyc < 2000; ++cyc)
+        for (int b = 0; b < 6; ++b)
+            cache.access(Addr(b) * 64, false);
+
+    std::uint64_t best = cache.shadowMisses(0);
+    std::uint64_t worst = best;
+    for (unsigned k = 1; k < 5; ++k) {
+        best = std::min(best, cache.shadowMisses(k));
+        worst = std::max(worst, cache.shadowMisses(k));
+    }
+    ASSERT_LT(best, worst / 2) << "precondition: components differ";
+    EXPECT_LT(cache.stats().misses, (best + worst) / 2);
+}
+
+TEST(MultiPolicy, ThreePolicies)
+{
+    AdaptiveConfig c;
+    c.sizeBytes = 32 * 1024;
+    c.assoc = 4;
+    c.policies = {PolicyType::LRU, PolicyType::LFU, PolicyType::FIFO};
+    AdaptiveCache cache(c);
+    Rng rng(7);
+    for (int i = 0; i < 50'000; ++i)
+        cache.access(rng.below(2048) * 64, false);
+    EXPECT_EQ(cache.numPolicies(), 3u);
+    EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(MultiPolicy, FiveCloseToDualOnMixedStream)
+{
+    // Sec. 4.4's conclusion: five-way adaptivity is not clearly
+    // superior to LRU/LFU adaptivity; they should land in the same
+    // neighbourhood on a mixed stream.
+    const std::uint64_t size = 64 * 1024;
+    AdaptiveCache five(AdaptiveConfig::fivePolicy(size, 8, 64));
+    AdaptiveCache dual(AdaptiveConfig::dual(PolicyType::LRU,
+                                            PolicyType::LFU, size, 8,
+                                            64));
+    Rng rng(13);
+    for (int i = 0; i < 300'000; ++i) {
+        Addr a;
+        const int phase = (i / 30'000) % 2;
+        if (phase == 0 && rng.chance(0.5))
+            a = rng.below(768) * 64;
+        else if (phase == 0)
+            a = (768 + std::uint64_t(i) % 8192) * 64;
+        else
+            a = rng.below(3072) * 64;
+        five.access(a, false);
+        dual.access(a, false);
+    }
+    const double ratio =
+        double(five.stats().misses) / double(dual.stats().misses);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.25);
+}
+
+TEST(MultiPolicy, DescribeListsAllComponents)
+{
+    AdaptiveCache cache(AdaptiveConfig::fivePolicy());
+    const std::string d = cache.describe();
+    for (const char *name :
+         {"LRU", "LFU", "FIFO", "MRU", "Random"})
+        EXPECT_NE(d.find(name), std::string::npos) << name;
+}
+
+} // namespace
+} // namespace adcache

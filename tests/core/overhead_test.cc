@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The storage model must reproduce the paper's bit accounting
+ * exactly: Sec. 3.1's 544/598/566 KB totals, the +9.9 %/+4.0 %/+2.1 %
+ * adaptive overheads, Fig. 6's +12.5 %/+25 % conventional growth, and
+ * Sec. 4.7's sub-0.2 % SBAR overheads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/overhead.hh"
+
+namespace adcache
+{
+namespace
+{
+
+CacheGeometry
+paperL2(unsigned line = 64)
+{
+    return CacheGeometry::fromSize(512 * 1024, 8, line);
+}
+
+TEST(Overhead, ConventionalBaselineIs544KB)
+{
+    // 8K lines x (24-bit tag + 8 misc bits) = 32KB of metadata on
+    // 512KB of data (footnote 2).
+    const auto s = conventionalStorage(paperL2());
+    EXPECT_EQ(s.dataBits, 512ull * 1024 * 8);
+    EXPECT_EQ(s.tagBits, 8192ull * 32);
+    EXPECT_NEAR(s.totalKB(), 544.0, 0.01);
+}
+
+TEST(Overhead, FullTagAdaptiveIs598KB)
+{
+    // Two 28KB parallel arrays + 1KB history - 3KB LRU dedup.
+    const auto base = conventionalStorage(paperL2());
+    const auto a = adaptiveStorage(paperL2(), 2, 0, 8);
+    EXPECT_NEAR(a.totalKB(), 598.0, 0.01);
+    EXPECT_NEAR(overheadPercent(base, a), 9.9, 0.05);
+}
+
+TEST(Overhead, EightBitPartialTagsIs566KB)
+{
+    const auto base = conventionalStorage(paperL2());
+    const auto a = adaptiveStorage(paperL2(), 2, 8, 8);
+    EXPECT_NEAR(a.totalKB(), 566.0, 0.01);
+    EXPECT_NEAR(overheadPercent(base, a), 4.0, 0.1);
+}
+
+TEST(Overhead, OneTwentyEightByteLinesIsTwoPercent)
+{
+    const auto g = paperL2(128);
+    const auto base = conventionalStorage(g);
+    const auto a = adaptiveStorage(g, 2, 8, 8);
+    EXPECT_NEAR(overheadPercent(base, a), 2.1, 0.2);
+}
+
+TEST(Overhead, BiggerConventionalCaches)
+{
+    // Fig. 6: 576KB 9-way = 612KB total (+12.5 %), 640KB 10-way =
+    // 680KB total (+25 %).
+    const auto base = conventionalStorage(paperL2());
+    const auto nine =
+        conventionalStorage(CacheGeometry::fromSize(576 * 1024, 9, 64));
+    const auto ten =
+        conventionalStorage(CacheGeometry::fromSize(640 * 1024, 10, 64));
+    EXPECT_NEAR(nine.totalKB(), 612.0, 0.01);
+    EXPECT_NEAR(ten.totalKB(), 680.0, 0.01);
+    EXPECT_NEAR(overheadPercent(base, nine), 12.5, 0.01);
+    EXPECT_NEAR(overheadPercent(base, ten), 25.0, 0.01);
+}
+
+TEST(Overhead, SbarIsTinyFraction)
+{
+    // Sec. 4.7: ~0.16 % with full-tag leaders, under 0.1 % with
+    // 8-bit partial-tag leaders (32 leader sets).
+    const auto base = conventionalStorage(paperL2());
+    const auto full = sbarStorage(paperL2(), 32, 0, 8);
+    const auto partial = sbarStorage(paperL2(), 32, 8, 8);
+    EXPECT_NEAR(overheadPercent(base, full), 0.16, 0.02);
+    EXPECT_LT(overheadPercent(base, partial), 0.1);
+    EXPECT_GT(overheadPercent(base, partial), 0.0);
+}
+
+TEST(Overhead, MoreLeadersCostMore)
+{
+    const auto g = paperL2();
+    const auto s32 = sbarStorage(g, 32, 8, 8);
+    const auto s128 = sbarStorage(g, 128, 8, 8);
+    EXPECT_GT(s128.totalBits(), s32.totalBits());
+}
+
+TEST(Overhead, PartialWidthScalesShadowCost)
+{
+    const auto g = paperL2();
+    const auto a4 = adaptiveStorage(g, 2, 4, 8);
+    const auto a12 = adaptiveStorage(g, 2, 12, 8);
+    EXPECT_LT(a4.shadowBits, a12.shadowBits);
+    // Difference is exactly 2 arrays x 8K lines x 8 bits.
+    EXPECT_EQ(a12.shadowBits - a4.shadowBits, 2ull * 8192 * 8);
+}
+
+TEST(Overhead, FivePolicyCostsFiveArrays)
+{
+    const auto g = paperL2();
+    const auto two = adaptiveStorage(g, 2, 8, 8);
+    const auto five = adaptiveStorage(g, 5, 8, 16);
+    EXPECT_GT(five.shadowBits, 2 * two.shadowBits);
+}
+
+} // namespace
+} // namespace adcache

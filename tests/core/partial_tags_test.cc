@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Partial-tag behaviour (Sec. 3.1): wide partial tags must reproduce
+ * full-tag adaptivity almost exactly; narrow ones degrade gracefully
+ * and may trigger the arbitrary-eviction fallback, never corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_cache.hh"
+
+namespace adcache
+{
+namespace
+{
+
+AdaptiveConfig
+config(unsigned partial_bits, bool xor_fold = false)
+{
+    AdaptiveConfig c = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::LFU, 64 * 1024, 8, 64);
+    c.partialTagBits = partial_bits;
+    c.xorFoldTags = xor_fold;
+    return c;
+}
+
+std::uint64_t
+runMisses(const AdaptiveConfig &c, std::uint64_t seed,
+          std::uint64_t *fallbacks = nullptr)
+{
+    AdaptiveCache cache(c);
+    Rng rng(seed);
+    for (int i = 0; i < 200'000; ++i) {
+        Addr a;
+        if (rng.chance(0.5))
+            a = rng.below(512) * 64;  // hot
+        else
+            a = (512 + std::uint64_t(i) % 8192) * 64;  // stream
+        cache.access(a, rng.chance(0.2));
+    }
+    if (fallbacks)
+        *fallbacks = cache.fallbackEvictions();
+    return cache.stats().misses;
+}
+
+TEST(PartialTags, WideTagsMatchFullTagsClosely)
+{
+    const auto full = runMisses(config(0), 1);
+    for (unsigned bits : {12u, 10u}) {
+        const auto partial = runMisses(config(bits), 1);
+        const double delta =
+            std::abs(double(partial) - double(full)) / double(full);
+        EXPECT_LT(delta, 0.02)
+            << bits << "-bit tags diverge from full tags";
+    }
+}
+
+TEST(PartialTags, DegradationIsMonotoneInSpirit)
+{
+    // 4-bit tags must be no better than a small tolerance below
+    // 8-bit tags, and far above them in fallback usage.
+    std::uint64_t fb8 = 0, fb4 = 0;
+    const auto m8 = runMisses(config(8), 2, &fb8);
+    const auto m4 = runMisses(config(4), 2, &fb4);
+    EXPECT_GE(double(m4) * 1.02, double(m8))
+        << "4-bit tags should not beat 8-bit tags meaningfully";
+    EXPECT_GE(fb4, fb8);
+}
+
+TEST(PartialTags, FallbackOnlyWithNarrowTags)
+{
+    std::uint64_t fb_full = 0;
+    runMisses(config(0), 3, &fb_full);
+    EXPECT_EQ(fb_full, 0u)
+        << "full tags guarantee a legal victim (Sec. 3.1)";
+}
+
+TEST(PartialTags, XorFoldWorksAsAlternative)
+{
+    // The XOR-folded hash must be functional and close to the
+    // low-order-bits hash in quality at 8 bits.
+    const auto low = runMisses(config(8, false), 4);
+    const auto xored = runMisses(config(8, true), 4);
+    const double rel =
+        std::abs(double(low) - double(xored)) / double(low);
+    EXPECT_LT(rel, 0.05);
+}
+
+TEST(PartialTags, NarrowTagsNeverCorrupt)
+{
+    // Even 2-bit tags must keep the cache functionally correct: a
+    // resident block is always a hit on re-access.
+    AdaptiveConfig c = config(2);
+    AdaptiveCache cache(c);
+    cache.access(0x1234 * 64, false);
+    EXPECT_TRUE(cache.access(0x1234 * 64, false).hit);
+}
+
+class PartialWidthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PartialWidthSweep, MissesWithinEnvelopeOfFull)
+{
+    const auto full = runMisses(config(0), 5);
+    const auto partial = runMisses(config(GetParam()), 5);
+    // Partial tags may wander either way (aliasing can even hide
+    // misses), but must stay within a generous envelope.
+    EXPECT_LT(double(partial), 1.35 * double(full));
+    EXPECT_GT(double(partial), 0.65 * double(full));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PartialWidthSweep,
+                         ::testing::Values(4u, 6u, 8u, 10u, 12u),
+                         [](const auto &info) {
+                             return "bits" +
+                                    std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace adcache

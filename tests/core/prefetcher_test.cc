@@ -1,0 +1,144 @@
+#include "core/prefetcher.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace adcache
+{
+namespace
+{
+
+std::vector<Addr>
+observeOne(Prefetcher &p, Addr addr, bool miss)
+{
+    std::vector<Addr> out;
+    p.observe(addr, miss, out);
+    return out;
+}
+
+TEST(PrefetcherFactory, ParseAndNames)
+{
+    EXPECT_EQ(parsePrefetcherType("none"), PrefetcherType::None);
+    EXPECT_EQ(parsePrefetcherType("nextline"),
+              PrefetcherType::NextLine);
+    EXPECT_EQ(parsePrefetcherType("stride"), PrefetcherType::Stride);
+    EXPECT_EQ(parsePrefetcherType("adaptive"),
+              PrefetcherType::AdaptiveHybrid);
+    EXPECT_STREQ(prefetcherName(PrefetcherType::Stride), "stride");
+    EXPECT_EQ(makePrefetcher(PrefetcherType::None, 64), nullptr);
+    EXPECT_NE(makePrefetcher(PrefetcherType::AdaptiveHybrid, 64),
+              nullptr);
+}
+
+TEST(NextLine, PrefetchesSequentialLinesOnMiss)
+{
+    NextLinePrefetcher p(64, 2);
+    const auto out = observeOne(p, 0x1000, true);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0x1040u);
+    EXPECT_EQ(out[1], 0x1080u);
+}
+
+TEST(NextLine, SilentOnHits)
+{
+    NextLinePrefetcher p(64, 2);
+    EXPECT_TRUE(observeOne(p, 0x1000, false).empty());
+}
+
+TEST(Stride, DetectsForwardStride)
+{
+    StridePrefetcher p(64, 64, 1);
+    // Three accesses with a +128 stride within one 4KB region.
+    observeOne(p, 0x1000, true);
+    observeOne(p, 0x1080, true);  // stride learned, confidence 1
+    const auto out = observeOne(p, 0x1100, true);  // confirmed
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x1180u);
+}
+
+TEST(Stride, DetectsBackwardStride)
+{
+    StridePrefetcher p(64, 64, 1);
+    observeOne(p, 0x1400, true);
+    observeOne(p, 0x1380, true);
+    const auto out = observeOne(p, 0x1300, true);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x1280u);
+}
+
+TEST(Stride, NoPrefetchWithoutPattern)
+{
+    StridePrefetcher p(64, 64, 2);
+    observeOne(p, 0x1000, true);
+    observeOne(p, 0x1240, true);
+    const auto out = observeOne(p, 0x1080, true);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, RegionChangeResets)
+{
+    StridePrefetcher p(64, 64, 1);
+    observeOne(p, 0x1000, true);
+    observeOne(p, 0x1040, true);
+    // Jump to a different region mapping to the same table entry
+    // count: a fresh region must not inherit the old stride.
+    const Addr far = 0x1000 + (Addr(64) << 12);
+    EXPECT_TRUE(observeOne(p, far, true).empty());
+}
+
+TEST(AdaptiveHybrid, IssuesOnlyActiveComponent)
+{
+    AdaptiveHybridPrefetcher p(64);
+    // Fresh history: ties go to component 0 (next-line).
+    EXPECT_EQ(p.activeComponent(), 0u);
+    const auto out = observeOne(p, 0x2000, true);
+    // Active next-line issues its two sequential lines.
+    ASSERT_GE(out.size(), 2u);
+    EXPECT_TRUE(std::find(out.begin(), out.end(), Addr(0x2040)) !=
+                out.end());
+}
+
+TEST(AdaptiveHybrid, SwitchesAwayFromUselessComponent)
+{
+    AdaptiveHybridPrefetcher p(64, 8, 4);
+    // A strided stream with a gap larger than next-line's reach:
+    // next-line suggestions (addr+64, addr+128) are never used while
+    // stride's (+256) are. After the trackers churn, the stride
+    // component must become active.
+    Addr a = 0x10000;
+    for (int i = 0; i < 400; ++i) {
+        std::vector<Addr> out;
+        p.observe(a, true, out);
+        a += 256;
+    }
+    EXPECT_EQ(p.activeComponent(), 1u)
+        << "stride should win a strided stream";
+    EXPECT_GT(p.componentStats(1).useful, p.componentStats(1).useless);
+    EXPECT_GT(p.componentStats(0).useless, 0u);
+}
+
+TEST(AdaptiveHybrid, TracksUsefulness)
+{
+    AdaptiveHybridPrefetcher p(64, 8, 2);
+    // Sequential misses: next-line suggestions are always used.
+    Addr a = 0x4000;
+    for (int i = 0; i < 100; ++i) {
+        std::vector<Addr> out;
+        p.observe(a, true, out);
+        a += 64;
+    }
+    EXPECT_GT(p.componentStats(0).useful, 0u);
+    EXPECT_EQ(p.activeComponent(), 0u);
+}
+
+TEST(AdaptiveHybrid, DescribeMentionsBothComponents)
+{
+    AdaptiveHybridPrefetcher p(64);
+    const std::string d = p.describe();
+    EXPECT_NE(d.find("next"), std::string::npos);
+    EXPECT_NE(d.find("stride"), std::string::npos);
+}
+
+} // namespace
+} // namespace adcache

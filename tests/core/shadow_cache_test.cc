@@ -1,0 +1,144 @@
+#include "core/shadow_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace adcache
+{
+namespace
+{
+
+CacheGeometry
+tinyGeom()
+{
+    return CacheGeometry::fromSize(4 * 1024, 4, 64);  // 16 sets
+}
+
+TEST(ShadowCache, MissThenHit)
+{
+    Rng rng(1);
+    ShadowCache shadow(tinyGeom(), PolicyType::LRU, 0, false, &rng);
+    auto o1 = shadow.access(0x1000);
+    EXPECT_TRUE(o1.miss);
+    EXPECT_FALSE(o1.evicted);
+    auto o2 = shadow.access(0x1000);
+    EXPECT_FALSE(o2.miss);
+    EXPECT_EQ(shadow.misses(), 1u);
+    EXPECT_EQ(shadow.accesses(), 2u);
+}
+
+TEST(ShadowCache, EvictionReportsDisplacedTag)
+{
+    Rng rng(1);
+    const auto g = tinyGeom();
+    ShadowCache shadow(g, PolicyType::LRU, 0, false, &rng);
+    // Fill set 0 with 4 blocks, then a 5th forces an LRU eviction.
+    for (int i = 0; i < 4; ++i) {
+        auto o = shadow.access(Addr(i) * g.numSets * g.lineSize);
+        EXPECT_FALSE(o.evicted);
+    }
+    auto o = shadow.access(Addr(4) * g.numSets * g.lineSize);
+    EXPECT_TRUE(o.miss);
+    EXPECT_TRUE(o.evicted);
+    EXPECT_EQ(o.evictedTag, shadow.transformTag(0));
+}
+
+TEST(ShadowCache, MirrorsConventionalCacheMisses)
+{
+    // With full tags, a shadow cache is a conventional cache minus
+    // the data: identical miss counts under any reference stream.
+    Rng rng(1);
+    const auto g = tinyGeom();
+    ShadowCache shadow(g, PolicyType::LRU, 0, false, &rng);
+    CacheConfig conf;
+    conf.sizeBytes = g.sizeBytes();
+    conf.assoc = g.assoc;
+    conf.lineSize = g.lineSize;
+    conf.policy = PolicyType::LRU;
+    Cache real(conf);
+
+    Rng stim(17);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = stim.below(256) * 64;
+        shadow.access(a);
+        real.access(a, false);
+    }
+    EXPECT_EQ(shadow.misses(), real.stats().misses);
+}
+
+TEST(ShadowCache, ContainsTag)
+{
+    Rng rng(1);
+    const auto g = tinyGeom();
+    ShadowCache shadow(g, PolicyType::LRU, 0, false, &rng);
+    shadow.access(0x2000);
+    const unsigned set = g.setIndex(0x2000);
+    EXPECT_TRUE(shadow.containsTag(set, shadow.transformTag(0x2000)));
+    EXPECT_FALSE(shadow.containsTag(set, shadow.transformTag(0x2000) + 1));
+}
+
+TEST(ShadowCache, PartialTagFolding)
+{
+    Rng rng(1);
+    const auto g = tinyGeom();
+    ShadowCache low(g, PolicyType::LRU, 8, false, &rng);
+    ShadowCache xored(g, PolicyType::LRU, 8, true, &rng);
+    EXPECT_LE(low.transformTag(0xFFFFFFFF), 0xFFu);
+    EXPECT_LE(xored.transformTag(0xFFFFFFFF), 0xFFu);
+    // Low-order folding truncates; XOR folding mixes high bits in.
+    const Addr tag = g.tag(0x5A3C0000);
+    ASSERT_GT(tag, 0xFFu);  // enough entropy to differ
+    EXPECT_NE(low.foldTag(tag), xored.foldTag(tag));
+}
+
+TEST(ShadowCache, PartialTagAliasingCausesFalseHits)
+{
+    // Two blocks whose tags agree in the low 4 bits alias in a 4-bit
+    // shadow: the second access is (incorrectly but harmlessly)
+    // treated as a hit.
+    Rng rng(1);
+    const auto g = tinyGeom();
+    ShadowCache shadow(g, PolicyType::LRU, 4, false, &rng);
+    const Addr a = 0;  // tag 0
+    const Addr b =
+        (Addr(16) << (g.offsetBits() + g.indexBits()));  // tag 16
+    ASSERT_EQ(shadow.transformTag(a), shadow.transformTag(b));
+    auto o1 = shadow.access(a);
+    EXPECT_TRUE(o1.miss);
+    auto o2 = shadow.access(b);
+    EXPECT_FALSE(o2.miss) << "aliased block must report a (false) hit";
+}
+
+TEST(ShadowCache, FullTagNeverAliases)
+{
+    Rng rng(1);
+    const auto g = tinyGeom();
+    ShadowCache shadow(g, PolicyType::LRU, 0, false, &rng);
+    const Addr a = 0;
+    const Addr b = Addr(16) << (g.offsetBits() + g.indexBits());
+    shadow.access(a);
+    auto o = shadow.access(b);
+    EXPECT_TRUE(o.miss);
+}
+
+TEST(ShadowCache, LfuPolicyRespected)
+{
+    Rng rng(1);
+    const auto g = tinyGeom();
+    ShadowCache shadow(g, PolicyType::LFU, 0, false, &rng);
+    const Addr stride = Addr(g.numSets) * g.lineSize;
+    // Blocks 0..3 fill set 0; block 0 becomes frequent.
+    for (int i = 0; i < 4; ++i)
+        shadow.access(Addr(i) * stride);
+    for (int i = 0; i < 5; ++i)
+        shadow.access(0);
+    // New block evicts a count-1 block, not block 0.
+    auto o = shadow.access(4 * stride);
+    EXPECT_TRUE(o.evicted);
+    EXPECT_NE(o.evictedTag, shadow.transformTag(0));
+    EXPECT_FALSE(shadow.access(0).miss);
+}
+
+} // namespace
+} // namespace adcache

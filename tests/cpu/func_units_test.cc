@@ -1,0 +1,76 @@
+#include "cpu/func_units.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(FuncUnits, Latencies)
+{
+    FuncUnits fus;
+    EXPECT_EQ(fus.latency(InstrClass::IntAlu), 1u);
+    EXPECT_EQ(fus.latency(InstrClass::IntMult), 8u);
+    EXPECT_EQ(fus.latency(InstrClass::FpAdd), 4u);
+    EXPECT_EQ(fus.latency(InstrClass::FpDiv), 16u);
+    EXPECT_EQ(fus.latency(InstrClass::Load), 1u);
+    EXPECT_EQ(fus.latency(InstrClass::Branch), 1u);
+}
+
+TEST(FuncUnits, IssuesAtReadyWhenIdle)
+{
+    FuncUnits fus;
+    EXPECT_EQ(fus.issue(InstrClass::IntAlu, 10), 10u);
+}
+
+TEST(FuncUnits, FourAluOpsPerCycleThenStall)
+{
+    FuncUnits fus;
+    // Four ALUs: four ops issue at cycle 5; the fifth waits a cycle.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(fus.issue(InstrClass::IntAlu, 5), 5u);
+    EXPECT_EQ(fus.issue(InstrClass::IntAlu, 5), 6u);
+}
+
+TEST(FuncUnits, TwoMemoryPorts)
+{
+    FuncUnits fus;
+    EXPECT_EQ(fus.issue(InstrClass::Load, 0), 0u);
+    EXPECT_EQ(fus.issue(InstrClass::Store, 0), 0u);
+    EXPECT_EQ(fus.issue(InstrClass::Load, 0), 1u)
+        << "third memory op must wait for a port";
+}
+
+TEST(FuncUnits, PoolsAreIndependent)
+{
+    FuncUnits fus;
+    for (int i = 0; i < 4; ++i)
+        fus.issue(InstrClass::IntAlu, 0);
+    // ALUs saturated at cycle 0, but FP units are free.
+    EXPECT_EQ(fus.issue(InstrClass::FpAdd, 0), 0u);
+    EXPECT_EQ(fus.issue(InstrClass::IntMult, 0), 0u);
+}
+
+TEST(FuncUnits, PipelinedUnitsAcceptNextCycle)
+{
+    FuncUnitConfig c;
+    c.intMultCount = 1;
+    FuncUnits fus(c);
+    EXPECT_EQ(fus.issue(InstrClass::IntMult, 0), 0u);
+    // Pipelined: the single multiplier takes a new op next cycle,
+    // not after its full 8-cycle latency.
+    EXPECT_EQ(fus.issue(InstrClass::IntMult, 0), 1u);
+}
+
+TEST(FuncUnits, CustomCounts)
+{
+    FuncUnitConfig c;
+    c.memPortCount = 1;
+    FuncUnits fus(c);
+    EXPECT_EQ(fus.issue(InstrClass::Load, 0), 0u);
+    EXPECT_EQ(fus.issue(InstrClass::Load, 0), 1u);
+}
+
+} // namespace
+} // namespace adcache

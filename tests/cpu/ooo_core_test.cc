@@ -1,0 +1,286 @@
+#include "cpu/ooo_core.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace adcache
+{
+namespace
+{
+
+/** Fixed-latency memory stub. */
+class FakeMem : public MemoryInterface
+{
+  public:
+    Cycle loadLat = 10;
+    Cycle storeLat = 10;
+    Cycle fetchPenalty = 0;
+    std::uint64_t fetches = 0;
+
+    Cycle
+    fetch(Addr, Cycle now) override
+    {
+        ++fetches;
+        return now + fetchPenalty;
+    }
+
+    Cycle load(Addr, Cycle now) override { return now + loadLat; }
+    Cycle store(Addr, Cycle now) override { return now + storeLat; }
+};
+
+TraceInstr
+alu(Addr pc, std::uint8_t dst = noReg, std::uint8_t src = noReg)
+{
+    TraceInstr i;
+    i.pc = pc;
+    i.cls = InstrClass::IntAlu;
+    i.dst = dst;
+    i.src1 = src;
+    return i;
+}
+
+/** n independent single-cycle ALU ops. */
+std::vector<TraceInstr>
+independentAlus(int n)
+{
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(alu(0x1000 + 4 * (i % 8),
+                        std::uint8_t(1 + i % 32)));
+    return v;
+}
+
+double
+cpiOf(std::vector<TraceInstr> instrs, FakeMem &mem,
+      CoreConfig config = {})
+{
+    OooCore core(config);
+    VectorSource src(std::move(instrs));
+    const auto stats = core.run(src, mem, UINT64_MAX);
+    return stats.cpi();
+}
+
+TEST(OooCore, IndependentAlusBoundByAluCount)
+{
+    FakeMem mem;
+    const double cpi = cpiOf(independentAlus(20000), mem);
+    // 4 ALUs: best case 0.25 CPI; allow pipeline slack.
+    EXPECT_GT(cpi, 0.2);
+    EXPECT_LT(cpi, 0.5);
+}
+
+TEST(OooCore, DependentChainSerialises)
+{
+    FakeMem mem;
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 5000; ++i)
+        v.push_back(alu(0x1000, 5, 5));  // each reads its precursor
+    const double cpi = cpiOf(std::move(v), mem);
+    EXPECT_NEAR(cpi, 1.0, 0.15);
+}
+
+TEST(OooCore, FpDivChainCostsItsLatency)
+{
+    FakeMem mem;
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 2000; ++i) {
+        TraceInstr instr = alu(0x1000, 7, 7);
+        instr.cls = InstrClass::FpDiv;
+        v.push_back(instr);
+    }
+    const double cpi = cpiOf(std::move(v), mem);
+    EXPECT_NEAR(cpi, 16.0, 1.0);
+}
+
+TEST(OooCore, DependentLoadsExposeLatency)
+{
+    FakeMem mem;
+    mem.loadLat = 50;
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 2000; ++i) {
+        TraceInstr instr;
+        instr.pc = 0x1000;
+        instr.cls = InstrClass::Load;
+        instr.memAddr = 0x100000 + 64 * i;
+        instr.dst = 9;
+        instr.src1 = 9;  // pointer chase
+        v.push_back(instr);
+    }
+    const double cpi = cpiOf(std::move(v), mem);
+    EXPECT_NEAR(cpi, 50.0, 5.0);
+}
+
+TEST(OooCore, IndependentLoadsOverlap)
+{
+    FakeMem mem;
+    mem.loadLat = 50;
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 2000; ++i) {
+        TraceInstr instr;
+        instr.pc = 0x1000;
+        instr.cls = InstrClass::Load;
+        instr.memAddr = 0x100000 + 64 * i;
+        instr.dst = std::uint8_t(1 + i % 32);
+        v.push_back(instr);
+    }
+    const double cpi = cpiOf(std::move(v), mem);
+    // Two ports and a 64-entry window: misses overlap heavily.
+    EXPECT_LT(cpi, 5.0);
+    EXPECT_GE(cpi, 0.5);
+}
+
+TEST(OooCore, RobLimitsOverlapOfVeryLongMisses)
+{
+    // With loads taking 400 cycles and only 64 ROB entries, at most
+    // ~64 instructions (≈32 loads here) can be in flight, bounding
+    // the achievable overlap.
+    FakeMem mem;
+    mem.loadLat = 400;
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 4000; ++i) {
+        if (i % 2 == 0) {
+            TraceInstr instr;
+            instr.pc = 0x1000;
+            instr.cls = InstrClass::Load;
+            instr.memAddr = 0x100000 + 64 * i;
+            instr.dst = std::uint8_t(1 + i % 32);
+            v.push_back(instr);
+        } else {
+            v.push_back(alu(0x1004, std::uint8_t(33 + i % 16)));
+        }
+    }
+    CoreConfig small, big;
+    small.robSize = 16;
+    big.robSize = 256;
+    FakeMem mem2;
+    mem2.loadLat = 400;
+    const double cpi_small = cpiOf(v, mem, small);
+    const double cpi_big = cpiOf(v, mem2, big);
+    EXPECT_GT(cpi_small, 1.5 * cpi_big)
+        << "a bigger window must expose more MLP";
+}
+
+TEST(OooCore, StoreBufferSizeMatters)
+{
+    // Slow-draining stores: a 1-entry buffer stalls retirement, a
+    // large buffer hides the drain (Fig. 10's mechanism).
+    auto make = [] {
+        std::vector<TraceInstr> v;
+        for (int i = 0; i < 3000; ++i) {
+            if (i % 4 == 0) {
+                TraceInstr instr;
+                instr.pc = 0x1000;
+                instr.cls = InstrClass::Store;
+                instr.memAddr = 0x200000 + 64 * i;
+                v.push_back(instr);
+            } else {
+                v.push_back(alu(0x1004, std::uint8_t(1 + i % 32)));
+            }
+        }
+        return v;
+    };
+    CoreConfig tiny, roomy;
+    tiny.storeBufferEntries = 1;
+    roomy.storeBufferEntries = 64;
+    FakeMem mem1, mem2;
+    mem1.storeLat = 200;
+    mem2.storeLat = 200;
+    const double cpi_tiny = cpiOf(make(), mem1, tiny);
+    const double cpi_roomy = cpiOf(make(), mem2, roomy);
+    EXPECT_GT(cpi_tiny, 1.3 * cpi_roomy);
+}
+
+TEST(OooCore, MispredictsSlowExecution)
+{
+    auto branches = [](bool predictable) {
+        std::vector<TraceInstr> v;
+        Rng rng(3);
+        for (int i = 0; i < 8000; ++i) {
+            TraceInstr instr;
+            instr.pc = 0x1000 + 4 * (i % 4);
+            instr.cls = InstrClass::Branch;
+            instr.taken = predictable ? true : rng.chance(0.5);
+            instr.target = 0x1000;
+            v.push_back(instr);
+        }
+        return v;
+    };
+    FakeMem mem1, mem2;
+    const double cpi_pred = cpiOf(branches(true), mem1);
+    const double cpi_rand = cpiOf(branches(false), mem2);
+    EXPECT_GT(cpi_rand, 2.0 * cpi_pred);
+}
+
+TEST(OooCore, MispredictStatsCounted)
+{
+    FakeMem mem;
+    OooCore core{CoreConfig{}};
+    std::vector<TraceInstr> v;
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        TraceInstr instr;
+        instr.pc = 0x1000;
+        instr.cls = InstrClass::Branch;
+        instr.taken = rng.chance(0.5);
+        instr.target = 0x1000;
+        v.push_back(instr);
+    }
+    VectorSource src(std::move(v));
+    const auto stats = core.run(src, mem, UINT64_MAX);
+    EXPECT_EQ(stats.branches, 2000u);
+    EXPECT_GT(stats.mispredicts, 500u);
+    EXPECT_LT(stats.mispredicts, 1500u);
+}
+
+TEST(OooCore, ICacheStallsReduceFetch)
+{
+    FakeMem fast, slow;
+    slow.fetchPenalty = 30;
+    // Instructions spread across many lines to force line fetches.
+    auto spread = [] {
+        std::vector<TraceInstr> v;
+        for (int i = 0; i < 4000; ++i)
+            v.push_back(alu(Addr(i) * 64, std::uint8_t(1 + i % 32)));
+        return v;
+    };
+    const double cpi_fast = cpiOf(spread(), fast);
+    const double cpi_slow = cpiOf(spread(), slow);
+    EXPECT_GT(cpi_slow, 5.0 * cpi_fast);
+}
+
+TEST(OooCore, FetchOncePerLine)
+{
+    FakeMem mem;
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 16; ++i)
+        v.push_back(alu(0x1000 + 4 * i, std::uint8_t(i + 1)));
+    OooCore core{CoreConfig{}};
+    VectorSource src(std::move(v));
+    core.run(src, mem, UINT64_MAX);
+    EXPECT_EQ(mem.fetches, 1u) << "16 sequential 4B instrs = 1 line";
+}
+
+TEST(OooCore, RespectsInstructionLimit)
+{
+    FakeMem mem;
+    OooCore core{CoreConfig{}};
+    VectorSource src(independentAlus(1000));
+    const auto stats = core.run(src, mem, 123);
+    EXPECT_EQ(stats.instructions, 123u);
+}
+
+TEST(OooCore, CyclesMonotoneWithWork)
+{
+    FakeMem mem1, mem2;
+    OooCore core{CoreConfig{}};
+    VectorSource small(independentAlus(100));
+    VectorSource large(independentAlus(10000));
+    const auto s1 = core.run(small, mem1, UINT64_MAX);
+    OooCore core2{CoreConfig{}};
+    const auto s2 = core2.run(large, mem2, UINT64_MAX);
+    EXPECT_GT(s2.cycles, s1.cycles);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,62 @@
+#include "mem/bus.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(Bus, TransferCycles)
+{
+    SplitTransactionBus bus({8, 8});
+    // 64 bytes over an 8B bus at 8 CPU cycles per beat = 64 cycles.
+    EXPECT_EQ(bus.transferCycles(64), 64u);
+    EXPECT_EQ(bus.transferCycles(8), 8u);
+    // Partial beats round up.
+    EXPECT_EQ(bus.transferCycles(9), 16u);
+    EXPECT_EQ(bus.transferCycles(1), 8u);
+}
+
+TEST(Bus, GrantsImmediatelyWhenIdle)
+{
+    SplitTransactionBus bus({8, 8});
+    EXPECT_EQ(bus.acquire(100, 64), 100u);
+    EXPECT_EQ(bus.freeAt(), 164u);
+}
+
+TEST(Bus, QueuesWhenBusy)
+{
+    SplitTransactionBus bus({8, 8});
+    bus.acquire(0, 64);  // busy until 64
+    EXPECT_EQ(bus.acquire(10, 64), 64u) << "second request waits";
+    EXPECT_EQ(bus.freeAt(), 128u);
+    EXPECT_EQ(bus.queueCycles(), 54u);
+}
+
+TEST(Bus, NoQueueDelayAfterIdleGap)
+{
+    SplitTransactionBus bus({8, 8});
+    bus.acquire(0, 8);
+    EXPECT_EQ(bus.acquire(1000, 8), 1000u);
+    EXPECT_EQ(bus.queueCycles(), 0u);
+}
+
+TEST(Bus, TracksBusyCyclesAndTransactions)
+{
+    SplitTransactionBus bus({8, 8});
+    bus.acquire(0, 64);
+    bus.acquire(0, 32);
+    EXPECT_EQ(bus.transactions(), 2u);
+    EXPECT_EQ(bus.busyCycles(), 64u + 32u);
+}
+
+TEST(Bus, WiderBusIsFaster)
+{
+    SplitTransactionBus narrow({8, 8});
+    SplitTransactionBus wide({16, 8});
+    EXPECT_GT(narrow.transferCycles(64), wide.transferCycles(64));
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,87 @@
+#include "mem/main_memory.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+MemoryConfig
+defaultConfig()
+{
+    MemoryConfig c;
+    c.accessLatency = 120;
+    c.bus = {8, 8};
+    return c;
+}
+
+TEST(MainMemory, ReadLatencyBreakdown)
+{
+    MainMemory mem(defaultConfig());
+    // Idle system: 8 (address beat) + 120 (DRAM) + 64 (line transfer).
+    EXPECT_EQ(mem.readLine(0, 64), 8u + 120 + 64);
+}
+
+TEST(MainMemory, ReadAtLaterTimeShifts)
+{
+    MainMemory mem(defaultConfig());
+    EXPECT_EQ(mem.readLine(1000, 64), 1000u + 8 + 120 + 64);
+}
+
+TEST(MainMemory, BackToBackReadsQueueOnBus)
+{
+    MainMemory mem(defaultConfig());
+    const Cycle first = mem.readLine(0, 64);
+    const Cycle second = mem.readLine(0, 64);
+    EXPECT_GT(second, first) << "bus contention must serialise data";
+}
+
+TEST(MainMemory, OverlappingReadsExposeMlp)
+{
+    // Two simultaneous misses: the second finishes soon after the
+    // first (DRAM latency overlapped), not a full latency later.
+    MainMemory mem(defaultConfig());
+    const Cycle first = mem.readLine(0, 64);
+    const Cycle second = mem.readLine(0, 64);
+    EXPECT_LT(second - first, 120u)
+        << "latencies should overlap (memory-level parallelism)";
+}
+
+TEST(MainMemory, WritebackTrafficDelaysReads)
+{
+    MainMemory a(defaultConfig()), b(defaultConfig());
+    // Enough writeback traffic to outlast the DRAM latency window
+    // must push the demand fill's data phase out.
+    for (int i = 0; i < 3; ++i)
+        b.writeLine(0, 64);
+    const Cycle clean = a.readLine(0, 64);
+    const Cycle contended = b.readLine(0, 64);
+    EXPECT_GT(contended, clean);
+    // A single writeback hides under the DRAM latency.
+    MainMemory c(defaultConfig());
+    c.writeLine(0, 64);
+    EXPECT_EQ(c.readLine(0, 64), clean);
+}
+
+TEST(MainMemory, StatsCountReadsWrites)
+{
+    MainMemory mem(defaultConfig());
+    mem.readLine(0, 64);
+    mem.readLine(100, 64);
+    mem.writeLine(200, 64);
+    const auto s = mem.stats();
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_GT(s.busBusyCycles, 0u);
+}
+
+TEST(MainMemory, LargerLinesTakeLonger)
+{
+    MainMemory mem(defaultConfig());
+    MainMemory mem2(defaultConfig());
+    EXPECT_GT(mem2.readLine(0, 128), mem.readLine(0, 64));
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,89 @@
+#include "sim/experiment.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(Experiment, BudgetDefaultsWithoutEnv)
+{
+    unsetenv("ADCACHE_INSTRS");
+    EXPECT_EQ(instrBudget(), 3'000'000u);
+}
+
+TEST(Experiment, BudgetReadsEnv)
+{
+    setenv("ADCACHE_INSTRS", "42000", 1);
+    EXPECT_EQ(instrBudget(), 42'000u);
+    unsetenv("ADCACHE_INSTRS");
+}
+
+TEST(Experiment, MalformedEnvFallsBack)
+{
+    setenv("ADCACHE_INSTRS", "bogus", 1);
+    EXPECT_EQ(instrBudget(), 3'000'000u);
+    unsetenv("ADCACHE_INSTRS");
+}
+
+TEST(Experiment, RunSuiteShape)
+{
+    const auto *bench = findBenchmark("parser");
+    ASSERT_NE(bench, nullptr);
+    const std::vector<L2Spec> variants = {
+        L2Spec::lru(), L2Spec::adaptiveLruLfu()};
+    const auto rows = runSuite({bench}, variants, 50'000, false);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].benchmark, "parser");
+    ASSERT_EQ(rows[0].results.size(), 2u);
+    EXPECT_GT(rows[0].results[0].l2.accesses, 0u);
+}
+
+TEST(Experiment, AverageOfMetric)
+{
+    const auto *a = findBenchmark("parser");
+    const auto *b = findBenchmark("gap");
+    const std::vector<L2Spec> variants = {L2Spec::lru()};
+    const auto rows = runSuite({a, b}, variants, 50'000, false);
+    const auto avg = averageOf(rows, metricL2Mpki);
+    ASSERT_EQ(avg.size(), 1u);
+    const double expect = (rows[0].results[0].l2Mpki +
+                           rows[1].results[0].l2Mpki) /
+                          2.0;
+    EXPECT_DOUBLE_EQ(avg[0], expect);
+}
+
+TEST(Experiment, TimedRunsFillCpi)
+{
+    const auto *bench = findBenchmark("parser");
+    const auto res = runTimed(SystemConfig{}, *bench, 50'000);
+    EXPECT_GT(res.cpi, 0.0);
+    EXPECT_EQ(res.benchmark, "parser");
+}
+
+TEST(Experiment, FunctionalRunsSkipCpi)
+{
+    const auto *bench = findBenchmark("parser");
+    const auto res = runFunctional(SystemConfig{}, *bench, 50'000);
+    EXPECT_EQ(res.cpi, 0.0);
+    EXPECT_GT(res.l2Mpki, 0.0);
+}
+
+TEST(Experiment, MetricExtractors)
+{
+    SimResult r;
+    r.cpi = 1.5;
+    r.l2Mpki = 7.0;
+    r.l1iMpki = 0.5;
+    r.l1dMpki = 20.0;
+    EXPECT_DOUBLE_EQ(metricCpi(r), 1.5);
+    EXPECT_DOUBLE_EQ(metricL2Mpki(r), 7.0);
+    EXPECT_DOUBLE_EQ(metricL1iMpki(r), 0.5);
+    EXPECT_DOUBLE_EQ(metricL1dMpki(r), 20.0);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,84 @@
+#include "sim/multicore.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(SharedL2, RunsTwoWorkloads)
+{
+    SharedL2Config config;
+    config.workloads = {"parser", "gap"};
+    const auto res = runSharedL2(config, 200'000);
+    EXPECT_EQ(res.totalInstructions, 200'000u);
+    ASSERT_EQ(res.cores.size(), 2u);
+    // Round-robin: the cores split the budget evenly.
+    EXPECT_NEAR(double(res.cores[0].instructions), 100'000.0, 2.0);
+    EXPECT_NEAR(double(res.cores[1].instructions), 100'000.0, 2.0);
+    EXPECT_GT(res.l2.accesses, 0u);
+    EXPECT_GT(res.l2Mpki, 0.0);
+}
+
+TEST(SharedL2, PerCoreMissesSumToTotal)
+{
+    SharedL2Config config;
+    config.workloads = {"parser", "swim", "gap"};
+    const auto res = runSharedL2(config, 300'000);
+    std::uint64_t sum_accesses = 0, sum_misses = 0;
+    for (const auto &core : res.cores) {
+        sum_accesses += core.l2Accesses;
+        sum_misses += core.l2Misses;
+    }
+    EXPECT_EQ(sum_accesses, res.l2.accesses);
+    EXPECT_EQ(sum_misses, res.l2.misses);
+}
+
+TEST(SharedL2, AddressSpacesDisjoint)
+{
+    // The same benchmark twice: with offset address spaces the two
+    // copies double the combined working set, so the shared cache
+    // misses more than a single copy would per instruction.
+    SharedL2Config one;
+    one.workloads = {"parser"};
+    SharedL2Config two;
+    two.workloads = {"parser", "parser"};
+    const auto r1 = runSharedL2(one, 400'000);
+    const auto r2 = runSharedL2(two, 400'000);
+    EXPECT_GT(r2.l2Mpki, r1.l2Mpki * 1.05)
+        << "co-running copies must contend";
+}
+
+TEST(SharedL2, AdaptiveHelpsDissimilarMix)
+{
+    // The future-work hypothesis: dissimilar co-runners (one LFU-
+    // friendly, one LRU-friendly) give per-set adaptivity room to
+    // help. The adaptive shared L2 must beat the LRU shared L2.
+    SharedL2Config lru;
+    lru.workloads = {"art-1", "lucas"};
+    SharedL2Config adaptive = lru;
+    adaptive.l2 = L2Spec::adaptiveLruLfu();
+    const auto r_lru = runSharedL2(lru, 2'000'000);
+    const auto r_ad = runSharedL2(adaptive, 2'000'000);
+    EXPECT_LT(r_ad.l2Mpki, r_lru.l2Mpki);
+}
+
+TEST(SharedL2, UnknownWorkloadDies)
+{
+    SharedL2Config config;
+    config.workloads = {"no-such-program"};
+    EXPECT_DEATH(runSharedL2(config, 1000), "unknown benchmark");
+}
+
+TEST(SharedL2, LabelReflectsL2)
+{
+    SharedL2Config config;
+    config.workloads = {"gap"};
+    config.l2 = L2Spec::adaptiveLruLfu(8);
+    const auto res = runSharedL2(config, 50'000);
+    EXPECT_NE(res.l2Label.find("Adaptive"), std::string::npos);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,152 @@
+#include "sim/system.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+/** A tiny deterministic workload exercising all instruction types. */
+std::vector<TraceInstr>
+mixedProgram(int n)
+{
+    std::vector<TraceInstr> v;
+    Rng rng(5);
+    for (int i = 0; i < n; ++i) {
+        TraceInstr instr;
+        instr.pc = 0x400000 + 4 * (i % 512);
+        const double u = rng.uniform();
+        if (u < 0.25) {
+            instr.cls = InstrClass::Load;
+            instr.memAddr = rng.below(1 << 16) * 8;
+            instr.dst = std::uint8_t(1 + i % 32);
+        } else if (u < 0.35) {
+            instr.cls = InstrClass::Store;
+            instr.memAddr = rng.below(1 << 16) * 8;
+        } else if (u < 0.45) {
+            instr.cls = InstrClass::Branch;
+            instr.taken = rng.chance(0.8);
+            instr.target = 0x400000;
+        } else {
+            instr.cls = InstrClass::IntAlu;
+            instr.dst = std::uint8_t(1 + i % 32);
+            instr.src1 = std::uint8_t(1 + (i + 7) % 32);
+        }
+        v.push_back(instr);
+    }
+    return v;
+}
+
+TEST(System, TimedRunProducesSaneCpi)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    VectorSource src(mixedProgram(50'000));
+    const auto res = sys.runTimed(src, UINT64_MAX);
+    EXPECT_EQ(res.core.instructions, 50'000u);
+    EXPECT_GT(res.cpi, 0.1);
+    EXPECT_LT(res.cpi, 50.0);
+    EXPECT_GT(res.l1d.accesses, 0u);
+    EXPECT_GT(res.l2.accesses, 0u);
+}
+
+TEST(System, FunctionalAndTimedSeeSameL1DStream)
+{
+    // The reference stream is program-order in both modes, so the
+    // data-side miss counts must agree exactly.
+    SystemConfig cfg;
+    System timed_sys(cfg), func_sys(cfg);
+    VectorSource s1(mixedProgram(30'000)), s2(mixedProgram(30'000));
+    const auto timed = timed_sys.runTimed(s1, UINT64_MAX);
+    const auto func = func_sys.runFunctional(s2, UINT64_MAX);
+    EXPECT_EQ(timed.l1d.misses, func.l1d.misses);
+    EXPECT_EQ(timed.l1d.accesses, func.l1d.accesses);
+}
+
+TEST(System, L2TrafficIsL1MissesPlusWritebacks)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    VectorSource src(mixedProgram(30'000));
+    const auto res = sys.runFunctional(src, UINT64_MAX);
+    EXPECT_EQ(res.l2.accesses, res.l1d.misses + res.l1i.misses +
+                                   res.l1d.writebacks +
+                                   res.l1i.writebacks);
+}
+
+TEST(System, HigherMemoryLatencyRaisesCpi)
+{
+    SystemConfig fast_cfg, slow_cfg;
+    fast_cfg.memory.accessLatency = 20;
+    slow_cfg.memory.accessLatency = 500;
+    System fast(fast_cfg), slow(slow_cfg);
+    VectorSource s1(mixedProgram(30'000)), s2(mixedProgram(30'000));
+    const double fast_cpi = fast.runTimed(s1, UINT64_MAX).cpi;
+    const double slow_cpi = slow.runTimed(s2, UINT64_MAX).cpi;
+    EXPECT_GT(slow_cpi, fast_cpi);
+}
+
+TEST(System, AdaptiveL2Pluggable)
+{
+    SystemConfig cfg;
+    cfg.l2 = L2Spec::adaptiveLruLfu();
+    System sys(cfg);
+    VectorSource src(mixedProgram(30'000));
+    const auto res = sys.runFunctional(src, UINT64_MAX);
+    EXPECT_NE(res.l2Label.find("Adaptive"), std::string::npos);
+    EXPECT_GT(res.l2.accesses, 0u);
+}
+
+TEST(System, SbarL2Pluggable)
+{
+    SystemConfig cfg;
+    cfg.l2 = L2Spec::fromSbar(SbarConfig{});
+    System sys(cfg);
+    VectorSource src(mixedProgram(30'000));
+    const auto res = sys.runFunctional(src, UINT64_MAX);
+    EXPECT_NE(res.l2Label.find("SBAR"), std::string::npos);
+}
+
+TEST(System, AdaptiveL1Supported)
+{
+    SystemConfig cfg;
+    cfg.adaptiveL1i = true;
+    cfg.adaptiveL1d = true;
+    System sys(cfg);
+    VectorSource src(mixedProgram(30'000));
+    const auto res = sys.runFunctional(src, UINT64_MAX);
+    EXPECT_GT(res.l1d.accesses, 0u);
+    EXPECT_GT(res.l1i.accesses, 0u);
+}
+
+TEST(System, MpkiAccounting)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    VectorSource src(mixedProgram(40'000));
+    const auto res = sys.runFunctional(src, UINT64_MAX);
+    EXPECT_DOUBLE_EQ(res.l2Mpki,
+                     1000.0 * double(res.l2.misses) / 40'000.0);
+}
+
+TEST(System, InstructionBudgetHonoured)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    VectorSource src(mixedProgram(50'000));
+    const auto res = sys.runTimed(src, 12'345);
+    EXPECT_EQ(res.core.instructions, 12'345u);
+}
+
+TEST(SystemConfig, DescribeMentionsTableOneEntries)
+{
+    const std::string d = SystemConfig{}.describe();
+    EXPECT_NE(d.find("16KB"), std::string::npos);
+    EXPECT_NE(d.find("512KB"), std::string::npos);
+    EXPECT_NE(d.find("store buffer"), std::string::npos);
+    EXPECT_NE(d.find("gshare"), std::string::npos);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,108 @@
+#include "trace/source.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+std::vector<TraceInstr>
+threeInstrs()
+{
+    TraceInstr a, b, c;
+    a.pc = 0x100;
+    a.cls = InstrClass::IntAlu;
+    b.pc = 0x104;
+    b.cls = InstrClass::Load;
+    b.memAddr = 0x2000;
+    c.pc = 0x108;
+    c.cls = InstrClass::Branch;
+    c.taken = true;
+    return {a, b, c};
+}
+
+TEST(VectorSource, ReplaysInOrder)
+{
+    VectorSource src(threeInstrs());
+    TraceInstr instr;
+    ASSERT_TRUE(src.next(instr));
+    EXPECT_EQ(instr.pc, 0x100u);
+    ASSERT_TRUE(src.next(instr));
+    EXPECT_EQ(instr.pc, 0x104u);
+    ASSERT_TRUE(src.next(instr));
+    EXPECT_TRUE(instr.isBranch());
+    EXPECT_FALSE(src.next(instr));
+}
+
+TEST(VectorSource, ResetRestarts)
+{
+    VectorSource src(threeInstrs());
+    TraceInstr instr;
+    while (src.next(instr)) {
+    }
+    src.reset();
+    ASSERT_TRUE(src.next(instr));
+    EXPECT_EQ(instr.pc, 0x100u);
+}
+
+TEST(LimitSource, CapsCount)
+{
+    auto inner = std::make_unique<VectorSource>(threeInstrs());
+    LimitSource src(std::move(inner), 2);
+    TraceInstr instr;
+    EXPECT_TRUE(src.next(instr));
+    EXPECT_TRUE(src.next(instr));
+    EXPECT_FALSE(src.next(instr));
+}
+
+TEST(LimitSource, ResetResetsBudget)
+{
+    auto inner = std::make_unique<VectorSource>(threeInstrs());
+    LimitSource src(std::move(inner), 1);
+    TraceInstr instr;
+    EXPECT_TRUE(src.next(instr));
+    EXPECT_FALSE(src.next(instr));
+    src.reset();
+    EXPECT_TRUE(src.next(instr));
+    EXPECT_EQ(instr.pc, 0x100u);
+}
+
+TEST(Drain, CollectsAll)
+{
+    VectorSource src(threeInstrs());
+    auto all = drain(src);
+    EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Drain, RespectsMax)
+{
+    VectorSource src(threeInstrs());
+    auto some = drain(src, 2);
+    EXPECT_EQ(some.size(), 2u);
+}
+
+TEST(Instr, Classification)
+{
+    TraceInstr instr;
+    instr.cls = InstrClass::Load;
+    EXPECT_TRUE(instr.isMem());
+    EXPECT_TRUE(instr.isLoad());
+    EXPECT_FALSE(instr.isStore());
+    instr.cls = InstrClass::Store;
+    EXPECT_TRUE(instr.isMem());
+    EXPECT_TRUE(instr.isStore());
+    instr.cls = InstrClass::FpAdd;
+    EXPECT_FALSE(instr.isMem());
+    EXPECT_FALSE(instr.isBranch());
+}
+
+TEST(Instr, ClassNames)
+{
+    EXPECT_STREQ(instrClassName(InstrClass::Load), "Load");
+    EXPECT_STREQ(instrClassName(InstrClass::Branch), "Branch");
+    EXPECT_STREQ(instrClassName(InstrClass::IntAlu), "IntAlu");
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,125 @@
+#include "trace/trace_io.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace adcache
+{
+namespace
+{
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("adcache_trace_io_" +
+                  std::to_string(::getpid()) + ".trc"))
+                    .string();
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+std::vector<TraceInstr>
+sampleTrace()
+{
+    std::vector<TraceInstr> out;
+    for (int i = 0; i < 17; ++i) {
+        TraceInstr instr;
+        instr.pc = 0x400000 + 4 * i;
+        instr.cls = static_cast<InstrClass>(
+            i % int(InstrClass::NumClasses));
+        instr.memAddr = 0x10000000ull + 64 * i;
+        instr.target = instr.pc + 32;
+        instr.src1 = std::uint8_t(i);
+        instr.src2 = std::uint8_t(63 - i);
+        instr.dst = std::uint8_t(i * 2 % 64);
+        instr.memSize = 8;
+        instr.taken = (i % 3) == 0;
+        out.push_back(instr);
+    }
+    return out;
+}
+
+TEST_F(TraceIoTest, RoundTrip)
+{
+    const auto original = sampleTrace();
+    ASSERT_TRUE(writeTrace(path_, original));
+    const auto loaded = readTrace(path_);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].pc, original[i].pc);
+        EXPECT_EQ(loaded[i].memAddr, original[i].memAddr);
+        EXPECT_EQ(loaded[i].target, original[i].target);
+        EXPECT_EQ(loaded[i].cls, original[i].cls);
+        EXPECT_EQ(loaded[i].src1, original[i].src1);
+        EXPECT_EQ(loaded[i].src2, original[i].src2);
+        EXPECT_EQ(loaded[i].dst, original[i].dst);
+        EXPECT_EQ(loaded[i].memSize, original[i].memSize);
+        EXPECT_EQ(loaded[i].taken, original[i].taken);
+    }
+}
+
+TEST_F(TraceIoTest, EmptyTrace)
+{
+    ASSERT_TRUE(writeTrace(path_, {}));
+    EXPECT_TRUE(readTrace(path_).empty());
+}
+
+TEST_F(TraceIoTest, StreamingReaderMatchesBulk)
+{
+    const auto original = sampleTrace();
+    ASSERT_TRUE(writeTrace(path_, original));
+    FileTraceSource src(path_);
+    EXPECT_EQ(src.recordCount(), original.size());
+    TraceInstr instr;
+    std::size_t n = 0;
+    while (src.next(instr)) {
+        ASSERT_LT(n, original.size());
+        EXPECT_EQ(instr.pc, original[n].pc);
+        ++n;
+    }
+    EXPECT_EQ(n, original.size());
+}
+
+TEST_F(TraceIoTest, StreamingReaderReset)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace()));
+    FileTraceSource src(path_);
+    TraceInstr instr;
+    while (src.next(instr)) {
+    }
+    src.reset();
+    std::size_t n = 0;
+    while (src.next(instr))
+        ++n;
+    EXPECT_EQ(n, sampleTrace().size());
+}
+
+TEST_F(TraceIoTest, WriteToUnwritablePathFails)
+{
+    EXPECT_FALSE(writeTrace("/nonexistent-dir/x/y.trc", sampleTrace()));
+}
+
+TEST_F(TraceIoTest, LargeAddressesSurvive)
+{
+    TraceInstr instr;
+    instr.pc = 0xFFFFFFFFFFFFULL;
+    instr.memAddr = (std::uint64_t{1} << 39) | 0x3F;
+    instr.cls = InstrClass::Store;
+    ASSERT_TRUE(writeTrace(path_, {instr}));
+    const auto loaded = readTrace(path_);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].pc, instr.pc);
+    EXPECT_EQ(loaded[0].memAddr, instr.memAddr);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,119 @@
+#include "util/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(17);
+    std::vector<int> buckets(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.below(8)];
+    for (int b : buckets)
+        EXPECT_NEAR(b, n / 8, n / 80);
+}
+
+TEST(ZipfSampler, RanksInRange)
+{
+    Rng rng(19);
+    ZipfSampler zipf(100, 0.9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(zipf(rng), 100u);
+}
+
+TEST(ZipfSampler, HeadDominatesTail)
+{
+    Rng rng(23);
+    ZipfSampler zipf(1000, 1.0);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf(rng)];
+    // Rank 0 should be drawn far more often than rank 500.
+    EXPECT_GT(counts[0], 20 * (counts[500] + 1));
+}
+
+TEST(ZipfSampler, SingleElement)
+{
+    Rng rng(29);
+    ZipfSampler zipf(1, 0.8);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform)
+{
+    Rng rng(31);
+    ZipfSampler zipf(4, 0.0);
+    std::vector<int> counts(4, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,75 @@
+#include "util/sat_counter.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(SatCounter, StartsAtInitial)
+{
+    SatCounter c(3, 5);
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(c.max(), 7u);
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, HighThreshold)
+{
+    // 2-bit counter: values 2 and 3 are "high" (taken).
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.high());
+    c.increment();  // 1
+    EXPECT_FALSE(c.high());
+    c.increment();  // 2
+    EXPECT_TRUE(c.high());
+    c.increment();  // 3
+    EXPECT_TRUE(c.high());
+}
+
+TEST(SatCounter, Halve)
+{
+    SatCounter c(5, 0);
+    c.set(21);
+    c.halve();
+    EXPECT_EQ(c.value(), 10u);
+    c.halve();
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(SatCounter, FiveBitLfuRange)
+{
+    // The paper's LFU counters are 5-bit (Table 1).
+    SatCounter c(5, 0);
+    EXPECT_EQ(c.max(), 31u);
+    for (int i = 0; i < 100; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 31u);
+}
+
+TEST(SatCounter, SetWithinRange)
+{
+    SatCounter c(4, 0);
+    c.set(15);
+    EXPECT_EQ(c.value(), 15u);
+}
+
+} // namespace
+} // namespace adcache

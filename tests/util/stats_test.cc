@@ -1,0 +1,86 @@
+#include "util/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, TracksMinMaxMean)
+{
+    RunningStat s;
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.add(-3.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), -1.0);
+}
+
+TEST(Percent, Delta)
+{
+    EXPECT_DOUBLE_EQ(percentDelta(10.0, 12.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentDelta(10.0, 8.0), -20.0);
+    EXPECT_DOUBLE_EQ(percentDelta(0.0, 5.0), 0.0);
+}
+
+TEST(Percent, Improvement)
+{
+    // Lower cost is an improvement: 10 -> 8 is +20 %.
+    EXPECT_DOUBLE_EQ(percentImprovement(10.0, 8.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentImprovement(10.0, 12.0), -20.0);
+}
+
+TEST(Mean, Vector)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Mpki, Computation)
+{
+    EXPECT_DOUBLE_EQ(mpki(5000, 1'000'000), 5.0);
+    EXPECT_DOUBLE_EQ(mpki(0, 1'000'000), 0.0);
+    EXPECT_DOUBLE_EQ(mpki(5, 0), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(5.5);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(42.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,54 @@
+#include "util/table.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"bench", "mpki"});
+    t.addRow({"art", "12.3"});
+    t.addRow({"mcf", "55.0"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("mpki"), std::string::npos);
+    EXPECT_NE(out.find("art"), std::string::npos);
+    EXPECT_NE(out.find("55.0"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"longname", "1"});
+    const std::string out = t.render();
+    // Every line has the same length (columns are padded).
+    std::size_t first = out.find('\n');
+    std::size_t prev = 0, len = first;
+    while (prev < out.size()) {
+        std::size_t next = out.find('\n', prev);
+        if (next == std::string::npos)
+            break;
+        EXPECT_EQ(next - prev, len);
+        prev = next + 1;
+    }
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+    EXPECT_EQ(TextTable::num(-2.5, 1), "-2.5");
+}
+
+TEST(TextTable, EmptyTableRenders)
+{
+    TextTable t({"only", "header"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+} // namespace
+} // namespace adcache

@@ -1,0 +1,104 @@
+#include "workloads/suite.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adcache
+{
+namespace
+{
+
+TEST(Suite, TwentySixPrimaryBenchmarks)
+{
+    // The paper's primary evaluation set has 26 programs (Sec. 4.1).
+    EXPECT_EQ(primaryBenchmarks().size(), 26u);
+}
+
+TEST(Suite, AroundOneHundredTotal)
+{
+    // "We simulated 100 applications (our extended set)".
+    const auto all = allBenchmarks();
+    EXPECT_GE(all.size(), 95u);
+    EXPECT_LE(all.size(), 110u);
+}
+
+TEST(Suite, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto *b : allBenchmarks())
+        EXPECT_TRUE(names.insert(b->name).second)
+            << "duplicate benchmark name " << b->name;
+}
+
+TEST(Suite, PaperProgramsPresent)
+{
+    for (const char *name :
+         {"ammp", "art-1", "art-2", "lucas", "mcf", "mgrid", "unepic",
+          "gcc-1", "gcc-2", "x11quake-1", "xanim", "tigr"})
+        EXPECT_NE(findBenchmark(name), nullptr) << name;
+}
+
+TEST(Suite, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(findBenchmark("not-a-benchmark"), nullptr);
+}
+
+TEST(Suite, EveryBenchmarkGenerates)
+{
+    for (const auto *b : allBenchmarks()) {
+        auto gen = makeBenchmark(*b);
+        TraceInstr instr;
+        for (int i = 0; i < 200; ++i)
+            ASSERT_TRUE(gen->next(instr)) << b->name;
+    }
+}
+
+TEST(Suite, SeedsDifferAcrossBenchmarks)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto *b : allBenchmarks())
+        seeds.insert(b->spec.seed);
+    EXPECT_GT(seeds.size(), allBenchmarks().size() - 3)
+        << "benchmarks should not share generator seeds";
+}
+
+TEST(Suite, PrimaryBenchmarksHaveMemoryTraffic)
+{
+    for (const auto *b : primaryBenchmarks()) {
+        auto gen = makeBenchmark(*b);
+        TraceInstr instr;
+        int mem = 0;
+        for (int i = 0; i < 5000; ++i) {
+            ASSERT_TRUE(gen->next(instr));
+            mem += instr.isMem() ? 1 : 0;
+        }
+        EXPECT_GT(mem, 1000) << b->name;
+    }
+}
+
+TEST(Suite, GeneratorsAreIndependentInstances)
+{
+    const auto *b = findBenchmark("mcf");
+    ASSERT_NE(b, nullptr);
+    auto g1 = makeBenchmark(*b);
+    auto g2 = makeBenchmark(*b);
+    TraceInstr i1, i2;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(g1->next(i1));
+        ASSERT_TRUE(g2->next(i2));
+        EXPECT_EQ(i1.pc, i2.pc);
+        EXPECT_EQ(i1.memAddr, i2.memAddr);
+    }
+}
+
+TEST(Suite, PhaseSwitchersHaveMultiplePhases)
+{
+    EXPECT_GE(findBenchmark("ammp")->spec.phases.size(), 3u);
+    EXPECT_GE(findBenchmark("mgrid")->spec.phases.size(), 4u);
+    EXPECT_EQ(findBenchmark("xanim")->spec.phases.size(), 2u);
+    EXPECT_EQ(findBenchmark("unepic")->spec.phases.size(), 2u);
+}
+
+} // namespace
+} // namespace adcache
