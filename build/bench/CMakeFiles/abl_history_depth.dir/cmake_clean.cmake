@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_history_depth.dir/abl_history_depth.cc.o"
+  "CMakeFiles/abl_history_depth.dir/abl_history_depth.cc.o.d"
+  "abl_history_depth"
+  "abl_history_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_history_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

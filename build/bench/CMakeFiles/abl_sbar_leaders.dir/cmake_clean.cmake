@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sbar_leaders.dir/abl_sbar_leaders.cc.o"
+  "CMakeFiles/abl_sbar_leaders.dir/abl_sbar_leaders.cc.o.d"
+  "abl_sbar_leaders"
+  "abl_sbar_leaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sbar_leaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_sbar_leaders.
+# This may be replaced when dependencies are built.

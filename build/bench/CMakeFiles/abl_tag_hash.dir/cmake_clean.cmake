@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tag_hash.dir/abl_tag_hash.cc.o"
+  "CMakeFiles/abl_tag_hash.dir/abl_tag_hash.cc.o.d"
+  "abl_tag_hash"
+  "abl_tag_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tag_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_shared_l2.dir/ext_shared_l2.cc.o"
+  "CMakeFiles/ext_shared_l2.dir/ext_shared_l2.cc.o.d"
+  "ext_shared_l2"
+  "ext_shared_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shared_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

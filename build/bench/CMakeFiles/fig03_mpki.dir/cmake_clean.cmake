@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_mpki.dir/fig03_mpki.cc.o"
+  "CMakeFiles/fig03_mpki.dir/fig03_mpki.cc.o.d"
+  "fig03_mpki"
+  "fig03_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cpi.dir/fig04_cpi.cc.o"
+  "CMakeFiles/fig04_cpi.dir/fig04_cpi.cc.o.d"
+  "fig04_cpi"
+  "fig04_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_partial_tags.dir/fig05_partial_tags.cc.o"
+  "CMakeFiles/fig05_partial_tags.dir/fig05_partial_tags.cc.o.d"
+  "fig05_partial_tags"
+  "fig05_partial_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_partial_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

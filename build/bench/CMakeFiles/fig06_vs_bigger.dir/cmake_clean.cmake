@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_vs_bigger.dir/fig06_vs_bigger.cc.o"
+  "CMakeFiles/fig06_vs_bigger.dir/fig06_vs_bigger.cc.o.d"
+  "fig06_vs_bigger"
+  "fig06_vs_bigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_vs_bigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

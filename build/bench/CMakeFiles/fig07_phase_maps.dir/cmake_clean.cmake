@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_phase_maps.dir/fig07_phase_maps.cc.o"
+  "CMakeFiles/fig07_phase_maps.dir/fig07_phase_maps.cc.o.d"
+  "fig07_phase_maps"
+  "fig07_phase_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_phase_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fifo_mru.dir/fig08_fifo_mru.cc.o"
+  "CMakeFiles/fig08_fifo_mru.dir/fig08_fifo_mru.cc.o.d"
+  "fig08_fifo_mru"
+  "fig08_fifo_mru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fifo_mru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_associativity.dir/fig09_associativity.cc.o"
+  "CMakeFiles/fig09_associativity.dir/fig09_associativity.cc.o.d"
+  "fig09_associativity"
+  "fig09_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_store_buffer.dir/fig10_store_buffer.cc.o"
+  "CMakeFiles/fig10_store_buffer.dir/fig10_store_buffer.cc.o.d"
+  "fig10_store_buffer"
+  "fig10_store_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_store_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_extended_set.dir/sec42_extended_set.cc.o"
+  "CMakeFiles/sec42_extended_set.dir/sec42_extended_set.cc.o.d"
+  "sec42_extended_set"
+  "sec42_extended_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_extended_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

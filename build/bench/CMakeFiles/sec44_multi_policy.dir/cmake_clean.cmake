@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_multi_policy.dir/sec44_multi_policy.cc.o"
+  "CMakeFiles/sec44_multi_policy.dir/sec44_multi_policy.cc.o.d"
+  "sec44_multi_policy"
+  "sec44_multi_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_multi_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

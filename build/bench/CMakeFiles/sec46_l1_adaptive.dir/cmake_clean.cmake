@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec46_l1_adaptive.dir/sec46_l1_adaptive.cc.o"
+  "CMakeFiles/sec46_l1_adaptive.dir/sec46_l1_adaptive.cc.o.d"
+  "sec46_l1_adaptive"
+  "sec46_l1_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec46_l1_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec46_l1_adaptive.
+# This may be replaced when dependencies are built.

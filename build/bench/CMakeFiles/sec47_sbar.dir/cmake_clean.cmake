@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec47_sbar.dir/sec47_sbar.cc.o"
+  "CMakeFiles/sec47_sbar.dir/sec47_sbar.cc.o.d"
+  "sec47_sbar"
+  "sec47_sbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec47_sbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec47_sbar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_duel.dir/policy_duel.cpp.o"
+  "CMakeFiles/policy_duel.dir/policy_duel.cpp.o.d"
+  "policy_duel"
+  "policy_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

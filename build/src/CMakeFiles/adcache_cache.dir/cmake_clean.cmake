@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/adcache_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/cache/policies.cc.o"
+  "CMakeFiles/adcache_cache.dir/cache/policies.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/cache/replacement.cc.o"
+  "CMakeFiles/adcache_cache.dir/cache/replacement.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/cache/tag_array.cc.o"
+  "CMakeFiles/adcache_cache.dir/cache/tag_array.cc.o.d"
+  "libadcache_cache.a"
+  "libadcache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_cache.cc" "src/CMakeFiles/adcache_core.dir/core/adaptive_cache.cc.o" "gcc" "src/CMakeFiles/adcache_core.dir/core/adaptive_cache.cc.o.d"
+  "/root/repo/src/core/miss_history.cc" "src/CMakeFiles/adcache_core.dir/core/miss_history.cc.o" "gcc" "src/CMakeFiles/adcache_core.dir/core/miss_history.cc.o.d"
+  "/root/repo/src/core/overhead.cc" "src/CMakeFiles/adcache_core.dir/core/overhead.cc.o" "gcc" "src/CMakeFiles/adcache_core.dir/core/overhead.cc.o.d"
+  "/root/repo/src/core/prefetcher.cc" "src/CMakeFiles/adcache_core.dir/core/prefetcher.cc.o" "gcc" "src/CMakeFiles/adcache_core.dir/core/prefetcher.cc.o.d"
+  "/root/repo/src/core/sbar_cache.cc" "src/CMakeFiles/adcache_core.dir/core/sbar_cache.cc.o" "gcc" "src/CMakeFiles/adcache_core.dir/core/sbar_cache.cc.o.d"
+  "/root/repo/src/core/shadow_cache.cc" "src/CMakeFiles/adcache_core.dir/core/shadow_cache.cc.o" "gcc" "src/CMakeFiles/adcache_core.dir/core/shadow_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

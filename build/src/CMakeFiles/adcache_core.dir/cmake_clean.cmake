@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_core.dir/core/adaptive_cache.cc.o"
+  "CMakeFiles/adcache_core.dir/core/adaptive_cache.cc.o.d"
+  "CMakeFiles/adcache_core.dir/core/miss_history.cc.o"
+  "CMakeFiles/adcache_core.dir/core/miss_history.cc.o.d"
+  "CMakeFiles/adcache_core.dir/core/overhead.cc.o"
+  "CMakeFiles/adcache_core.dir/core/overhead.cc.o.d"
+  "CMakeFiles/adcache_core.dir/core/prefetcher.cc.o"
+  "CMakeFiles/adcache_core.dir/core/prefetcher.cc.o.d"
+  "CMakeFiles/adcache_core.dir/core/sbar_cache.cc.o"
+  "CMakeFiles/adcache_core.dir/core/sbar_cache.cc.o.d"
+  "CMakeFiles/adcache_core.dir/core/shadow_cache.cc.o"
+  "CMakeFiles/adcache_core.dir/core/shadow_cache.cc.o.d"
+  "libadcache_core.a"
+  "libadcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

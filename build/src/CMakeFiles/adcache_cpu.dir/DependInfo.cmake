@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/adcache_cpu.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/adcache_cpu.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/btb.cc" "src/CMakeFiles/adcache_cpu.dir/cpu/btb.cc.o" "gcc" "src/CMakeFiles/adcache_cpu.dir/cpu/btb.cc.o.d"
+  "/root/repo/src/cpu/func_units.cc" "src/CMakeFiles/adcache_cpu.dir/cpu/func_units.cc.o" "gcc" "src/CMakeFiles/adcache_cpu.dir/cpu/func_units.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/adcache_cpu.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/adcache_cpu.dir/cpu/ooo_core.cc.o.d"
+  "/root/repo/src/cpu/store_buffer.cc" "src/CMakeFiles/adcache_cpu.dir/cpu/store_buffer.cc.o" "gcc" "src/CMakeFiles/adcache_cpu.dir/cpu/store_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adcache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcache_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

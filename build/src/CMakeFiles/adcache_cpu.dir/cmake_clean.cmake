@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_cpu.dir/cpu/branch_predictor.cc.o"
+  "CMakeFiles/adcache_cpu.dir/cpu/branch_predictor.cc.o.d"
+  "CMakeFiles/adcache_cpu.dir/cpu/btb.cc.o"
+  "CMakeFiles/adcache_cpu.dir/cpu/btb.cc.o.d"
+  "CMakeFiles/adcache_cpu.dir/cpu/func_units.cc.o"
+  "CMakeFiles/adcache_cpu.dir/cpu/func_units.cc.o.d"
+  "CMakeFiles/adcache_cpu.dir/cpu/ooo_core.cc.o"
+  "CMakeFiles/adcache_cpu.dir/cpu/ooo_core.cc.o.d"
+  "CMakeFiles/adcache_cpu.dir/cpu/store_buffer.cc.o"
+  "CMakeFiles/adcache_cpu.dir/cpu/store_buffer.cc.o.d"
+  "libadcache_cpu.a"
+  "libadcache_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

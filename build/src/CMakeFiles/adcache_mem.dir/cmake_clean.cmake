@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_mem.dir/mem/bus.cc.o"
+  "CMakeFiles/adcache_mem.dir/mem/bus.cc.o.d"
+  "CMakeFiles/adcache_mem.dir/mem/main_memory.cc.o"
+  "CMakeFiles/adcache_mem.dir/mem/main_memory.cc.o.d"
+  "libadcache_mem.a"
+  "libadcache_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

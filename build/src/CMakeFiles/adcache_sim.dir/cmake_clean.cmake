@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_sim.dir/sim/config.cc.o"
+  "CMakeFiles/adcache_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/adcache_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/adcache_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/adcache_sim.dir/sim/multicore.cc.o"
+  "CMakeFiles/adcache_sim.dir/sim/multicore.cc.o.d"
+  "CMakeFiles/adcache_sim.dir/sim/system.cc.o"
+  "CMakeFiles/adcache_sim.dir/sim/system.cc.o.d"
+  "libadcache_sim.a"
+  "libadcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

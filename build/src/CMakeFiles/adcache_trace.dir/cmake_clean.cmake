@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_trace.dir/trace/source.cc.o"
+  "CMakeFiles/adcache_trace.dir/trace/source.cc.o.d"
+  "CMakeFiles/adcache_trace.dir/trace/trace_io.cc.o"
+  "CMakeFiles/adcache_trace.dir/trace/trace_io.cc.o.d"
+  "libadcache_trace.a"
+  "libadcache_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

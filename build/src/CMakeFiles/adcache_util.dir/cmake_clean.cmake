@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_util.dir/util/logging.cc.o"
+  "CMakeFiles/adcache_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/adcache_util.dir/util/rng.cc.o"
+  "CMakeFiles/adcache_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/adcache_util.dir/util/stats.cc.o"
+  "CMakeFiles/adcache_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/adcache_util.dir/util/table.cc.o"
+  "CMakeFiles/adcache_util.dir/util/table.cc.o.d"
+  "libadcache_util.a"
+  "libadcache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_workloads.dir/workloads/kernels.cc.o"
+  "CMakeFiles/adcache_workloads.dir/workloads/kernels.cc.o.d"
+  "CMakeFiles/adcache_workloads.dir/workloads/suite.cc.o"
+  "CMakeFiles/adcache_workloads.dir/workloads/suite.cc.o.d"
+  "CMakeFiles/adcache_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/adcache_workloads.dir/workloads/workload.cc.o.d"
+  "libadcache_workloads.a"
+  "libadcache_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_bound_test.dir/core/adaptive_bound_test.cc.o"
+  "CMakeFiles/adaptive_bound_test.dir/core/adaptive_bound_test.cc.o.d"
+  "adaptive_bound_test"
+  "adaptive_bound_test.pdb"
+  "adaptive_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

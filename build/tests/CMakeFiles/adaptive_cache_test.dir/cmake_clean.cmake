@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_cache_test.dir/core/adaptive_cache_test.cc.o"
+  "CMakeFiles/adaptive_cache_test.dir/core/adaptive_cache_test.cc.o.d"
+  "adaptive_cache_test"
+  "adaptive_cache_test.pdb"
+  "adaptive_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/func_units_test.dir/cpu/func_units_test.cc.o"
+  "CMakeFiles/func_units_test.dir/cpu/func_units_test.cc.o.d"
+  "func_units_test"
+  "func_units_test.pdb"
+  "func_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/func_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

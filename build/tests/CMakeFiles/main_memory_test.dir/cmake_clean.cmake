@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/main_memory_test.dir/mem/main_memory_test.cc.o"
+  "CMakeFiles/main_memory_test.dir/mem/main_memory_test.cc.o.d"
+  "main_memory_test"
+  "main_memory_test.pdb"
+  "main_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/main_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_history_test.dir/core/miss_history_test.cc.o"
+  "CMakeFiles/miss_history_test.dir/core/miss_history_test.cc.o.d"
+  "miss_history_test"
+  "miss_history_test.pdb"
+  "miss_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_policy_test.dir/core/multi_policy_test.cc.o"
+  "CMakeFiles/multi_policy_test.dir/core/multi_policy_test.cc.o.d"
+  "multi_policy_test"
+  "multi_policy_test.pdb"
+  "multi_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

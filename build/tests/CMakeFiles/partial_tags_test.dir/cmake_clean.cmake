@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_tags_test.dir/core/partial_tags_test.cc.o"
+  "CMakeFiles/partial_tags_test.dir/core/partial_tags_test.cc.o.d"
+  "partial_tags_test"
+  "partial_tags_test.pdb"
+  "partial_tags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_tags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_system_test.dir/sim/prefetch_system_test.cc.o"
+  "CMakeFiles/prefetch_system_test.dir/sim/prefetch_system_test.cc.o.d"
+  "prefetch_system_test"
+  "prefetch_system_test.pdb"
+  "prefetch_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbar_cache_test.dir/core/sbar_cache_test.cc.o"
+  "CMakeFiles/sbar_cache_test.dir/core/sbar_cache_test.cc.o.d"
+  "sbar_cache_test"
+  "sbar_cache_test.pdb"
+  "sbar_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbar_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_cache_test.dir/core/shadow_cache_test.cc.o"
+  "CMakeFiles/shadow_cache_test.dir/core/shadow_cache_test.cc.o.d"
+  "shadow_cache_test"
+  "shadow_cache_test.pdb"
+  "shadow_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_buffer_test.dir/cpu/store_buffer_test.cc.o"
+  "CMakeFiles/store_buffer_test.dir/cpu/store_buffer_test.cc.o.d"
+  "store_buffer_test"
+  "store_buffer_test.pdb"
+  "store_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
