@@ -13,36 +13,35 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Ablation - miss history depth m");
-
-    std::vector<L2Spec> variants;
-    std::vector<std::string> names;
+    bench::Experiment e;
+    e.title = "Ablation - miss history depth m";
+    e.benchmarks = primaryBenchmarks();
     for (unsigned m : {2u, 4u, 8u, 16u, 32u, 64u}) {
         AdaptiveConfig c =
             AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU);
         c.historyDepth = m;
-        variants.push_back(L2Spec::fromAdaptive(c));
-        names.push_back("m=" + std::to_string(m));
+        e.variants.push_back(L2Spec::fromAdaptive(c));
+        e.variantNames.push_back("m=" + std::to_string(m));
     }
     {
         AdaptiveConfig c =
             AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU);
         c.exactCounters = true;
-        variants.push_back(L2Spec::fromAdaptive(c));
-        names.push_back("exact");
+        e.variants.push_back(L2Spec::fromAdaptive(c));
+        e.variantNames.push_back("exact");
     }
-    variants.push_back(L2Spec::lru());
-    names.push_back("LRU");
+    e.variants.push_back(L2Spec::lru());
+    e.variantNames.push_back("LRU");
 
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/false);
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
+
     const auto avg = averageOf(rows, metricL2Mpki);
-
     TextTable table({"history", "avg MPKI", "red vs LRU %"});
     const double lru = avg.back();
-    for (std::size_t v = 0; v < names.size(); ++v)
-        table.addRow({names[v], TextTable::num(avg[v], 2),
+    for (std::size_t v = 0; v < e.variantNames.size(); ++v)
+        table.addRow({e.variantNames[v], TextTable::num(avg[v], 2),
                       TextTable::num(percentImprovement(lru, avg[v]),
                                      2)});
     table.print();

@@ -13,22 +13,26 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{}, "Ablation - SBAR leader count");
-
-    std::vector<L2Spec> variants;
-    std::vector<std::string> names;
     const std::vector<unsigned> leader_counts = {8, 16, 32, 64, 128};
+
+    bench::Experiment e;
+    e.title = "Ablation - SBAR leader count";
+    e.benchmarks = primaryBenchmarks();
     for (unsigned n : leader_counts) {
         SbarConfig c;
         c.numLeaders = n;
-        variants.push_back(L2Spec::fromSbar(c));
-        names.push_back(std::to_string(n));
+        e.variants.push_back(L2Spec::fromSbar(c));
+        e.variantNames.push_back("sbar-" + std::to_string(n));
     }
-    variants.push_back(L2Spec::lru());
-    variants.push_back(L2Spec::adaptiveLruLfu());
+    e.variants.push_back(L2Spec::lru());
+    e.variantNames.push_back("LRU");
+    e.variants.push_back(L2Spec::adaptiveLruLfu());
+    e.variantNames.push_back("Adaptive");
 
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/false);
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
+
     const auto avg = averageOf(rows, metricL2Mpki);
     const double lru = avg[leader_counts.size()];
     const double full = avg[leader_counts.size() + 1];
@@ -40,7 +44,8 @@ main()
         {"leaders", "avg MPKI", "red vs LRU %", "storage +%"});
     for (std::size_t v = 0; v < leader_counts.size(); ++v) {
         table.addRow(
-            {names[v], TextTable::num(avg[v], 2),
+            {std::to_string(leader_counts[v]),
+             TextTable::num(avg[v], 2),
              TextTable::num(percentImprovement(lru, avg[v]), 2),
              TextTable::num(
                  overheadPercent(base,

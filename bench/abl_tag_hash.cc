@@ -3,70 +3,64 @@
  * Ablation: partial-tag hash function. Sec. 3.1 suggests "the
  * low-order bits of the tag or a combination (e.g., XOR of bit
  * groups)". This sweep compares the two at every width, plus the
- * adaptive fallback-eviction rate each induces.
+ * adaptive fallback-eviction rate each induces (read back from the
+ * registered "l2.fallback_evictions" statistic).
  */
 
 #include "common.hh"
-#include "core/adaptive_cache.hh"
 
 using namespace adcache;
-
-namespace
-{
-
-struct HashResult
-{
-    double avgMpki = 0;
-    double fallbacksPerMegaAccess = 0;
-};
-
-HashResult
-runHash(unsigned bits, bool xor_fold)
-{
-    HashResult out;
-    std::uint64_t fallbacks = 0, accesses = 0;
-    RunningStat mpki_stat;
-    for (const auto *bench : primaryBenchmarks()) {
-        AdaptiveConfig c =
-            AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU);
-        c.partialTagBits = bits;
-        c.xorFoldTags = xor_fold;
-        SystemConfig cfg;
-        cfg.l2 = L2Spec::fromAdaptive(c);
-        System sys(cfg);
-        auto src = makeBenchmark(*bench);
-        const auto res = sys.runFunctional(*src, instrBudget());
-        mpki_stat.add(res.l2Mpki);
-        auto &l2 = dynamic_cast<AdaptiveCache &>(sys.l2());
-        fallbacks += l2.fallbackEvictions();
-        accesses += res.l2.accesses;
-    }
-    out.avgMpki = mpki_stat.mean();
-    out.fallbacksPerMegaAccess =
-        accesses ? 1e6 * double(fallbacks) / double(accesses) : 0;
-    return out;
-}
-
-} // namespace
 
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Ablation - partial-tag hash (low bits vs XOR)");
+    const std::vector<unsigned> widths = {4u, 6u, 8u, 10u, 12u};
+
+    bench::Experiment e;
+    e.title = "Ablation - partial-tag hash (low bits vs XOR)";
+    e.benchmarks = primaryBenchmarks();
+    for (unsigned bits : widths) {
+        for (bool xor_fold : {false, true}) {
+            AdaptiveConfig c =
+                AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU);
+            c.partialTagBits = bits;
+            c.xorFoldTags = xor_fold;
+            e.variants.push_back(L2Spec::fromAdaptive(c));
+            e.variantNames.push_back((xor_fold ? "xor" : "low") +
+                                     std::string("-") +
+                                     std::to_string(bits) + "b");
+        }
+    }
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
+
+    // Aggregate per variant: average MPKI plus arbitrary-victim
+    // fallbacks per million L2 accesses.
+    const auto avg_mpki = averageOf(rows, metricL2Mpki);
+    std::vector<double> fb_per_ma(e.variants.size(), 0.0);
+    for (std::size_t v = 0; v < e.variants.size(); ++v) {
+        std::uint64_t fallbacks = 0, accesses = 0;
+        for (const auto &row : rows) {
+            const auto &res = row.results[v];
+            fallbacks += static_cast<std::uint64_t>(
+                res.stats.numeric("l2.fallback_evictions"));
+            accesses += res.l2.accesses;
+        }
+        fb_per_ma[v] = accesses ? 1e6 * double(fallbacks) /
+                                      double(accesses)
+                                : 0.0;
+    }
 
     TextTable table({"bits", "low MPKI", "low fb/Ma", "xor MPKI",
                      "xor fb/Ma"});
-    for (unsigned bits : {4u, 6u, 8u, 10u, 12u}) {
-        const auto low = runHash(bits, false);
-        const auto xored = runHash(bits, true);
-        table.addRow({std::to_string(bits),
-                      TextTable::num(low.avgMpki, 2),
-                      TextTable::num(low.fallbacksPerMegaAccess, 1),
-                      TextTable::num(xored.avgMpki, 2),
-                      TextTable::num(xored.fallbacksPerMegaAccess,
-                                     1)});
-        std::printf("... %u bits done\n", bits);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::size_t low = 2 * i, xored = 2 * i + 1;
+        table.addRow({std::to_string(widths[i]),
+                      TextTable::num(avg_mpki[low], 2),
+                      TextTable::num(fb_per_ma[low], 1),
+                      TextTable::num(avg_mpki[xored], 2),
+                      TextTable::num(fb_per_ma[xored], 1)});
     }
     table.print();
     std::printf("(fb/Ma = arbitrary-victim fallbacks per million L2 "

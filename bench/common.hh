@@ -1,9 +1,19 @@
 /**
  * @file
- * Shared plumbing for the figure/table reproduction harness. Every
- * binary prints the Table 1 banner, runs its experiment at the
- * ADCACHE_INSTRS budget, prints the paper-style rows, and closes with
- * a paper-vs-measured summary line EXPERIMENTS.md records.
+ * Shared harness for the figure/table reproduction binaries. Every
+ * driver describes its experiment as a bench::Experiment (title,
+ * benchmark list, variant list, metrics) and calls runAndReport(),
+ * which executes the grid in parallel (sim/runner.hh, ADCACHE_JOBS)
+ * and emits the results in the format selected by ADCACHE_REPORT:
+ *
+ *   - table (default): the Table 1 banner plus the paper-style
+ *     per-benchmark metric tables, exactly as EXPERIMENTS.md records;
+ *   - json / csv: one machine-readable document over every
+ *     registered statistic of every (benchmark x variant) cell, with
+ *     no other output on stdout.
+ *
+ * Drivers keep their measured-vs-paper analysis prose behind
+ * textMode() so structured output stays parseable.
  */
 
 #ifndef ADCACHE_BENCH_COMMON_HH
@@ -11,14 +21,55 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
 namespace adcache::bench
 {
+
+/** True when prose/tables may be printed (ADCACHE_REPORT=table). */
+inline bool
+textMode()
+{
+    return reportFormat() == ReportFormat::Table;
+}
+
+/** One metric column of the text-mode per-benchmark tables. */
+struct Metric
+{
+    std::string name;
+    double (*fn)(const SimResult &) = nullptr;
+    int precision = 2;
+};
+
+/** A declarative (benchmark x variant) experiment grid. */
+struct Experiment
+{
+    std::string title;
+    std::vector<const BenchmarkDef *> benchmarks;
+
+    /** L2-organisation variants (the common case)... */
+    std::vector<L2Spec> variants;
+    /** ...or whole-system variants; used instead when non-empty. */
+    std::vector<ConfigVariant> configs;
+
+    /** Display label per variant (default: the variant's label()). */
+    std::vector<std::string> variantNames;
+
+    bool timed = false;
+    /** Base configuration applied to every L2Spec variant. */
+    SystemConfig base{};
+    /** Per-benchmark tables rendered in text mode (may be empty). */
+    std::vector<Metric> metrics;
+    /** Instruction budget; 0 selects instrBudget(). */
+    InstCount instrs = 0;
+};
 
 /** Print per-benchmark metric rows for a set of variants. */
 inline void
@@ -43,6 +94,78 @@ printSuiteTable(const std::vector<SuiteRow> &rows,
         cells.push_back(TextTable::num(a, precision));
     table.addRow(cells);
     table.print();
+}
+
+/** Display labels for an experiment's variants. */
+inline std::vector<std::string>
+variantLabels(const Experiment &e)
+{
+    if (!e.variantNames.empty())
+        return e.variantNames;
+    std::vector<std::string> names;
+    if (!e.configs.empty()) {
+        for (const auto &c : e.configs)
+            names.push_back(c.label);
+    } else {
+        for (const auto &v : e.variants)
+            names.push_back(v.label());
+    }
+    return names;
+}
+
+/** Table 1 banner; suppressed in structured-output modes. */
+inline void
+banner(const std::string &title,
+       const SystemConfig &config = SystemConfig{},
+       InstCount budget = 0)
+{
+    if (textMode())
+        printConfigBanner(config, title,
+                          budget ? budget : instrBudget());
+}
+
+/**
+ * Emit a custom grid in the selected format (generic table in text
+ * mode). Drivers whose text-mode output *is* the generic table call
+ * this unconditionally; drivers with bespoke text rendering call it
+ * from the non-text path only.
+ */
+inline void
+report(const ReportGrid &grid)
+{
+    emitReport(grid, reportFormat());
+}
+
+/**
+ * The single entry point of the harness: banner + parallel grid run +
+ * result emission. Returns the suite rows for driver-side analysis
+ * (which must stay behind textMode()).
+ */
+inline std::vector<SuiteRow>
+runAndReport(const Experiment &e)
+{
+    const InstCount instrs = e.instrs ? e.instrs : instrBudget();
+    const auto names = variantLabels(e);
+
+    banner(e.title, e.base, instrs);
+    const auto rows =
+        e.configs.empty()
+            ? runSuite(e.benchmarks, e.variants, instrs, e.timed,
+                       e.base)
+            : runConfigSuite(e.benchmarks, e.configs, instrs,
+                             e.timed);
+
+    if (textMode()) {
+        for (const Metric &m : e.metrics)
+            printSuiteTable(rows, names, m.fn, m.name, m.precision);
+    } else {
+        ReportGrid grid = gridFromSuite(e.title, rows, names);
+        grid.addMeta("instr_budget", std::to_string(instrs));
+        grid.addMeta("jobs", std::to_string(runnerJobs()));
+        grid.addMeta("timed", e.timed ? "true" : "false");
+        report(grid);
+    }
+    return rows;
 }
 
 /** "paper: X, measured: Y" summary line. */

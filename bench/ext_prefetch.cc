@@ -3,7 +3,8 @@
  * Extension (paper future work, Sec. 6): the adaptivity scheme
  * applied to hybrid hardware prefetchers, with "hit/miss replaced by
  * useful/not-useful prefetch". Compares no prefetching, each
- * component alone, and the adaptive hybrid on demand L2 MPKI.
+ * component alone, and the adaptive hybrid on demand L2 MPKI, plus
+ * the adaptive-cache + adaptive-prefetcher combination.
  */
 
 #include "common.hh"
@@ -13,57 +14,51 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(
-        SystemConfig{},
-        "Extension - adaptive hybrid prefetching at the L2");
-
     const PrefetcherType kinds[] = {
         PrefetcherType::None, PrefetcherType::NextLine,
         PrefetcherType::Stride, PrefetcherType::AdaptiveHybrid};
 
+    bench::Experiment e;
+    e.title = "Extension - adaptive hybrid prefetching at the L2";
+    e.benchmarks = primaryBenchmarks();
+    for (const auto kind : kinds) {
+        SystemConfig cfg;
+        cfg.l2Prefetcher = kind;
+        e.configs.push_back({prefetcherName(kind), cfg});
+    }
+    {
+        SystemConfig cfg;
+        cfg.l2 = L2Spec::adaptiveLruLfu();
+        cfg.l2Prefetcher = PrefetcherType::AdaptiveHybrid;
+        e.configs.push_back({"adaptive-cache+hybrid", cfg});
+    }
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
+
+    const auto mpki = averageOf(rows, metricL2DemandMpki);
+    const double none_mpki = mpki[0];
+
     TextTable table({"prefetcher", "demand MPKI", "red vs none %",
                      "prefetches/kI"});
-    double none_mpki = 0;
-    for (const auto kind : kinds) {
-        RunningStat mpki_stat, pf_stat;
-        for (const auto *bench : primaryBenchmarks()) {
-            SystemConfig cfg;
-            cfg.l2Prefetcher = kind;
-            System sys(cfg);
-            auto src = makeBenchmark(*bench);
-            const auto res = sys.runFunctional(*src, instrBudget());
-            mpki_stat.add(res.l2DemandMpki);
-            pf_stat.add(1000.0 * double(res.prefetchesIssued) /
-                        double(res.core.instructions));
-        }
-        if (kind == PrefetcherType::None)
-            none_mpki = mpki_stat.mean();
-        table.addRow({prefetcherName(kind),
-                      TextTable::num(mpki_stat.mean(), 2),
-                      TextTable::num(percentImprovement(
-                                         none_mpki, mpki_stat.mean()),
-                                     2),
+    for (std::size_t v = 0; v < e.configs.size(); ++v) {
+        RunningStat pf_stat;
+        for (const auto &row : rows)
+            pf_stat.add(1000.0 *
+                        double(row.results[v].prefetchesIssued) /
+                        double(row.results[v].core.instructions));
+        table.addRow({e.configs[v].label,
+                      TextTable::num(mpki[v], 2),
+                      TextTable::num(
+                          percentImprovement(none_mpki, mpki[v]), 2),
                       TextTable::num(pf_stat.mean(), 2)});
-        std::printf("... %s done\n", prefetcherName(kind));
     }
     table.print();
     std::printf("\n(the adaptive hybrid should track the better "
                 "component per program, as the cache does for "
                 "replacement)\n");
-
-    // Combine with the adaptive cache: does prefetching stack?
-    RunningStat combined;
-    for (const auto *bench : primaryBenchmarks()) {
-        SystemConfig cfg;
-        cfg.l2 = L2Spec::adaptiveLruLfu();
-        cfg.l2Prefetcher = PrefetcherType::AdaptiveHybrid;
-        System sys(cfg);
-        auto src = makeBenchmark(*bench);
-        combined.add(
-            sys.runFunctional(*src, instrBudget()).l2DemandMpki);
-    }
     std::printf("adaptive cache + adaptive prefetcher: demand MPKI "
                 "%.2f (vs %.2f without either)\n",
-                combined.mean(), none_mpki);
+                mpki.back(), none_mpki);
     return 0;
 }

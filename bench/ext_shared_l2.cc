@@ -5,7 +5,8 @@
  * combination of memory traffic from dissimilar threads or
  * applications will provide even more opportunities for the adaptive
  * mechanism to help performance." Mixes pair LRU-friendly,
- * LFU-friendly and neutral programs on a shared 512KB L2.
+ * LFU-friendly and neutral programs on a shared 512KB L2. The
+ * (mix x variant) grid runs in parallel via runIndexed.
  */
 
 #include "common.hh"
@@ -16,15 +17,14 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Extension - shared L2, multi-programmed mixes");
+    bench::banner("Extension - shared L2, multi-programmed mixes");
 
     struct Mix
     {
         const char *name;
         std::vector<std::string> workloads;
     };
-    const Mix mixes[] = {
+    const std::vector<Mix> mixes = {
         {"lfu+lru   (art-1, lucas)", {"art-1", "lucas"}},
         {"lfu+lfu   (art-1, x11quake-1)", {"art-1", "x11quake-1"}},
         {"lru+lru   (lucas, bzip2)", {"lucas", "bzip2"}},
@@ -32,29 +32,73 @@ main()
          {"art-1", "lucas", "mcf", "parser"}},
         {"neutral   (swim, parser)", {"swim", "parser"}},
     };
+    const std::vector<L2Spec> variants = {
+        L2Spec::lru(), L2Spec::policy(PolicyType::LFU),
+        L2Spec::adaptiveLruLfu()};
+    const std::vector<std::string> variant_names = {"LRU", "LFU",
+                                                    "Adaptive"};
+
+    // Flatten the (mix x variant) grid and run it in parallel; cell
+    // i covers mix i / variants.size(), variant i % variants.size().
+    std::vector<SharedL2Result> cells(mixes.size() * variants.size());
+    runIndexed(cells.size(), effectiveJobs(cells.size(), runnerJobs()),
+               [&](std::size_t i) {
+                   SharedL2Config config;
+                   config.workloads =
+                       mixes[i / variants.size()].workloads;
+                   config.l2 = variants[i % variants.size()];
+                   cells[i] = runSharedL2(config, instrBudget());
+               });
+    auto cell = [&](std::size_t mix, std::size_t v)
+        -> const SharedL2Result & {
+        return cells[mix * variants.size() + v];
+    };
+
+    if (!bench::textMode()) {
+        ReportGrid grid;
+        grid.experiment =
+            "Extension - shared L2, multi-programmed mixes";
+        grid.benchmarkHeader = "mix";
+        grid.addMeta("instr_budget", std::to_string(instrBudget()));
+        grid.addMeta("jobs", std::to_string(runnerJobs()));
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            for (std::size_t v = 0; v < variants.size(); ++v) {
+                const auto &res = cell(m, v);
+                ReportRow &row =
+                    grid.add(mixes[m].name, variant_names[v]);
+                row.stats.text("l2_label", res.l2Label);
+                row.stats.counter("total_instructions",
+                                  res.totalInstructions);
+                row.stats.value("l2_mpki", res.l2Mpki);
+                res.l2.registerInto(row.stats, "l2.");
+                for (std::size_t c = 0; c < res.cores.size(); ++c) {
+                    const std::string p =
+                        "core" + std::to_string(c) + ".";
+                    row.stats.text(p + "workload",
+                                   res.cores[c].workload);
+                    row.stats.counter(p + "instructions",
+                                      res.cores[c].instructions);
+                    row.stats.value(p + "l2_mpki",
+                                    res.cores[c].l2Mpki);
+                }
+            }
+        }
+        bench::report(grid);
+        return 0;
+    }
 
     TextTable table({"mix", "LRU MPKI", "LFU MPKI", "Adapt MPKI",
                      "red vs LRU %"});
     RunningStat reductions;
-    for (const auto &mix : mixes) {
-        SharedL2Config config;
-        config.workloads = mix.workloads;
-        double vals[3] = {0, 0, 0};
-        const L2Spec variants[] = {
-            L2Spec::lru(), L2Spec::policy(PolicyType::LFU),
-            L2Spec::adaptiveLruLfu()};
-        for (int v = 0; v < 3; ++v) {
-            config.l2 = variants[v];
-            vals[v] =
-                runSharedL2(config, instrBudget()).l2Mpki;
-        }
-        const double red = percentImprovement(vals[0], vals[2]);
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const double red = percentImprovement(cell(m, 0).l2Mpki,
+                                              cell(m, 2).l2Mpki);
         reductions.add(red);
-        table.addRow({mix.name, TextTable::num(vals[0], 2),
-                      TextTable::num(vals[1], 2),
-                      TextTable::num(vals[2], 2),
+        table.addRow({mixes[m].name,
+                      TextTable::num(cell(m, 0).l2Mpki, 2),
+                      TextTable::num(cell(m, 1).l2Mpki, 2),
+                      TextTable::num(cell(m, 2).l2Mpki, 2),
                       TextTable::num(red, 2)});
-        std::printf("... %s done\n", mix.name);
     }
     table.print();
     std::printf("\naverage shared-L2 miss reduction across mixes: "
@@ -62,11 +106,9 @@ main()
                 "benefit)\n",
                 reductions.mean());
 
-    // Per-core fairness view of the headline mix.
-    SharedL2Config config;
-    config.workloads = {"art-1", "lucas"};
-    config.l2 = L2Spec::adaptiveLruLfu();
-    const auto res = runSharedL2(config, instrBudget());
+    // Per-core fairness view of the headline mix (grid cell 0 under
+    // the adaptive variant).
+    const auto &res = cell(0, 2);
     std::printf("\nper-core view of art-1 + lucas on %s:\n",
                 res.l2Label.c_str());
     for (const auto &core : res.cores)

@@ -14,18 +14,19 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Fig. 3 - L2 MPKI, adaptive vs LRU vs LFU");
-
-    const std::vector<L2Spec> variants = {
+    bench::Experiment e;
+    e.title = "Fig. 3 - L2 MPKI, adaptive vs LRU vs LFU";
+    e.benchmarks = primaryBenchmarks();
+    e.variants = {
         L2Spec::adaptiveLruLfu(),
         L2Spec::policy(PolicyType::LFU),
         L2Spec::lru(),
     };
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/false);
-    bench::printSuiteTable(rows, {"Adaptive", "LFU", "LRU"},
-                           metricL2Mpki, "MPKI");
+    e.variantNames = {"Adaptive", "LFU", "LRU"};
+    e.metrics = {{"MPKI", metricL2Mpki, 2}};
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
 
     const auto avg = averageOf(rows, metricL2Mpki);
     bench::paperVsMeasured(

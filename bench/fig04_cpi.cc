@@ -13,18 +13,20 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Fig. 4 - CPI, adaptive vs LRU vs LFU");
-
-    const std::vector<L2Spec> variants = {
+    bench::Experiment e;
+    e.title = "Fig. 4 - CPI, adaptive vs LRU vs LFU";
+    e.benchmarks = primaryBenchmarks();
+    e.variants = {
         L2Spec::adaptiveLruLfu(),
         L2Spec::policy(PolicyType::LFU),
         L2Spec::lru(),
     };
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/true);
-    bench::printSuiteTable(rows, {"Adaptive", "LFU", "LRU"}, metricCpi,
-                           "CPI", 3);
+    e.variantNames = {"Adaptive", "LFU", "LRU"};
+    e.timed = true;
+    e.metrics = {{"CPI", metricCpi, 3}};
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
 
     const auto avg = averageOf(rows, metricCpi);
     bench::paperVsMeasured(

@@ -13,28 +13,30 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Fig. 5 - impact of partial tags");
-
-    std::vector<L2Spec> variants = {L2Spec::adaptiveLruLfu(0)};
-    std::vector<std::string> names = {"full"};
+    bench::Experiment e;
+    e.title = "Fig. 5 - impact of partial tags";
+    e.benchmarks = primaryBenchmarks();
+    e.variants = {L2Spec::adaptiveLruLfu(0)};
+    e.variantNames = {"full"};
     for (unsigned bits : {12u, 10u, 8u, 6u, 4u}) {
-        variants.push_back(L2Spec::adaptiveLruLfu(bits));
-        names.push_back(std::to_string(bits) + "-bit");
+        e.variants.push_back(L2Spec::adaptiveLruLfu(bits));
+        e.variantNames.push_back(std::to_string(bits) + "-bit");
     }
-    variants.push_back(L2Spec::lru());
-    names.push_back("LRU");
-
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/true);
+    e.variants.push_back(L2Spec::lru());
+    e.variantNames.push_back("LRU");
+    e.timed = true;
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
 
     const auto avg_mpki = averageOf(rows, metricL2Mpki);
     const auto avg_cpi = averageOf(rows, metricCpi);
 
     TextTable table({"tag width", "avg MPKI", "MPKI +%", "avg CPI",
                      "CPI +%"});
-    for (std::size_t v = 0; v + 1 < variants.size(); ++v) {
-        table.addRow({names[v], TextTable::num(avg_mpki[v], 2),
+    for (std::size_t v = 0; v + 1 < e.variants.size(); ++v) {
+        table.addRow({e.variantNames[v],
+                      TextTable::num(avg_mpki[v], 2),
                       TextTable::num(
                           percentDelta(avg_mpki[0], avg_mpki[v]), 2),
                       TextTable::num(avg_cpi[v], 3),
@@ -43,7 +45,7 @@ main()
     }
     table.print();
 
-    const std::size_t lru = variants.size() - 1;
+    const std::size_t lru = e.variants.size() - 1;
     const std::size_t bit8 = 3;  // full, 12, 10, [8]
     bench::paperVsMeasured("CPI increase of 8-bit tags vs full",
                            "<1%",

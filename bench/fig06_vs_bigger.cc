@@ -15,24 +15,23 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(
-        SystemConfig{},
-        "Fig. 6 - adaptive vs larger conventional caches");
-
-    const std::vector<L2Spec> variants = {
+    bench::Experiment e;
+    e.title = "Fig. 6 - adaptive vs larger conventional caches";
+    e.benchmarks = primaryBenchmarks();
+    e.variants = {
         L2Spec::adaptiveLruLfu(0),
         L2Spec::adaptiveLruLfu(8),
         L2Spec::lru(512 * 1024, 8),
         L2Spec::lru(576 * 1024, 9),
         L2Spec::lru(640 * 1024, 10),
     };
-    const std::vector<std::string> names = {
-        "Ad-full", "Ad-8bit", "LRU-512K/8w", "LRU-576K/9w",
-        "LRU-640K/10w"};
-
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/true);
-    bench::printSuiteTable(rows, names, metricCpi, "CPI", 3);
+    e.variantNames = {"Ad-full", "Ad-8bit", "LRU-512K/8w",
+                      "LRU-576K/9w", "LRU-640K/10w"};
+    e.timed = true;
+    e.metrics = {{"CPI", metricCpi, 3}};
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
 
     // Storage context per organisation.
     const auto base =

@@ -7,6 +7,10 @@
  * decisions, and render the map with one row per set group and one
  * column per quantum:  'L' = mostly LRU, 'f' = mostly LFU,
  * '.' = no replacement decisions in the quantum.
+ *
+ * In json/csv mode each set-group row is emitted as a text stat
+ * ("map" = the row string) so downstream tooling can reconstruct the
+ * full map.
  */
 
 #include "common.hh"
@@ -18,11 +22,12 @@ namespace
 {
 
 void
-phaseMap(const char *bench_name)
+phaseMap(const char *bench_name, ReportGrid &grid)
 {
     const auto *def = findBenchmark(bench_name);
     if (!def) {
-        std::printf("missing benchmark %s\n", bench_name);
+        if (bench::textMode())
+            std::printf("missing benchmark %s\n", bench_name);
         return;
     }
 
@@ -60,15 +65,25 @@ phaseMap(const char *bench_name)
         l2.clearDecisions();
     }
 
-    std::printf("\n%s: per-set-group majority decision over time\n",
-                bench_name);
-    std::printf("(rows: set groups 0..%u of %u sets each; columns: "
-                "%u quanta of %llu instructions)\n",
-                groups - 1, per_group, quanta,
-                static_cast<unsigned long long>(quantum));
-    for (unsigned g = 0; g < groups; ++g)
-        std::printf("set %4u-%4u |%s|\n", g * per_group,
-                    (g + 1) * per_group - 1, map[g].c_str());
+    if (bench::textMode()) {
+        std::printf("\n%s: per-set-group majority decision over time\n",
+                    bench_name);
+        std::printf("(rows: set groups 0..%u of %u sets each; columns: "
+                    "%u quanta of %llu instructions)\n",
+                    groups - 1, per_group, quanta,
+                    static_cast<unsigned long long>(quantum));
+        for (unsigned g = 0; g < groups; ++g)
+            std::printf("set %4u-%4u |%s|\n", g * per_group,
+                        (g + 1) * per_group - 1, map[g].c_str());
+    } else {
+        for (unsigned g = 0; g < groups; ++g) {
+            ReportRow &row = grid.add(
+                bench_name, "sets " + std::to_string(g * per_group) +
+                                "-" +
+                                std::to_string((g + 1) * per_group - 1));
+            row.stats.text("map", map[g]);
+        }
+    }
 }
 
 } // namespace
@@ -76,14 +91,23 @@ phaseMap(const char *bench_name)
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Fig. 7 - ammp/mgrid replacement phase maps");
-    std::printf("legend: 'L' = majority-LRU quantum, 'f' = "
-                "majority-LFU, '.' = no decisions\n");
+    bench::banner("Fig. 7 - ammp/mgrid replacement phase maps");
+    if (bench::textMode())
+        std::printf("legend: 'L' = majority-LRU quantum, 'f' = "
+                    "majority-LFU, '.' = no decisions\n");
+
+    ReportGrid grid;
+    grid.experiment = "Fig. 7 - ammp/mgrid replacement phase maps";
+    grid.variantHeader = "set_group";
+    grid.addMeta("instr_budget", std::to_string(instrBudget()));
+
     // Paper expectations: ammp shows a mottled prologue (spatial
     // split), an LFU-dominant middle epoch and an LRU-dominant tail;
     // mgrid's LFU-favourable region recedes across the set space.
-    phaseMap("ammp");
-    phaseMap("mgrid");
+    phaseMap("ammp", grid);
+    phaseMap("mgrid", grid);
+
+    if (!bench::textMode())
+        bench::report(grid);
     return 0;
 }

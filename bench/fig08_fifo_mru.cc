@@ -13,18 +13,19 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Fig. 8 - FIFO/MRU adaptivity, L2 MPKI");
-
-    const std::vector<L2Spec> variants = {
+    bench::Experiment e;
+    e.title = "Fig. 8 - FIFO/MRU adaptivity, L2 MPKI";
+    e.benchmarks = primaryBenchmarks();
+    e.variants = {
         L2Spec::adaptiveDual(PolicyType::FIFO, PolicyType::MRU),
         L2Spec::policy(PolicyType::FIFO),
         L2Spec::policy(PolicyType::MRU),
     };
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/false);
-    bench::printSuiteTable(rows, {"FMAdaptive", "FIFO", "MRU"},
-                           metricL2Mpki, "MPKI");
+    e.variantNames = {"FMAdaptive", "FIFO", "MRU"};
+    e.metrics = {{"MPKI", metricL2Mpki, 2}};
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
 
     // Where does MRU win, and does the adaptive policy follow?
     std::printf("\nbenchmarks where MRU beats FIFO (paper: art and one"

@@ -12,31 +12,40 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Fig. 9 - benefit vs associativity (512KB)");
+    const std::vector<unsigned> assocs = {4u, 8u, 16u, 32u};
+
+    bench::Experiment e;
+    e.title = "Fig. 9 - benefit vs associativity (512KB)";
+    e.benchmarks = primaryBenchmarks();
+    for (unsigned assoc : assocs) {
+        e.variants.push_back(L2Spec::lru(512 * 1024, assoc));
+        e.variants.push_back(
+            L2Spec::adaptiveLruLfu(0, 512 * 1024, assoc));
+        e.variantNames.push_back("LRU-" + std::to_string(assoc) + "w");
+        e.variantNames.push_back("Ad-" + std::to_string(assoc) + "w");
+    }
+    e.timed = true;
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
+
+    const auto cpi = averageOf(rows, metricCpi);
+    const auto mpki = averageOf(rows, metricL2Mpki);
 
     TextTable table({"assoc", "LRU CPI", "Adapt CPI", "CPI impr %",
                      "LRU MPKI", "Adapt MPKI", "miss red %"});
-
-    for (unsigned assoc : {4u, 8u, 16u, 32u}) {
-        const std::vector<L2Spec> variants = {
-            L2Spec::lru(512 * 1024, assoc),
-            L2Spec::adaptiveLruLfu(0, 512 * 1024, assoc),
-        };
-        const auto rows = runSuite(primaryBenchmarks(), variants,
-                                   instrBudget(), /*timed=*/true);
-        const auto cpi = averageOf(rows, metricCpi);
-        const auto mpki = averageOf(rows, metricL2Mpki);
-        table.addRow({std::to_string(assoc),
-                      TextTable::num(cpi[0], 3),
-                      TextTable::num(cpi[1], 3),
-                      TextTable::num(percentImprovement(cpi[0], cpi[1]),
-                                     2),
-                      TextTable::num(mpki[0], 2),
-                      TextTable::num(mpki[1], 2),
+    for (std::size_t i = 0; i < assocs.size(); ++i) {
+        const std::size_t lru = 2 * i, ad = 2 * i + 1;
+        table.addRow({std::to_string(assocs[i]),
+                      TextTable::num(cpi[lru], 3),
+                      TextTable::num(cpi[ad], 3),
                       TextTable::num(
-                          percentImprovement(mpki[0], mpki[1]), 2)});
-        std::printf("... %u-way done\n", assoc);
+                          percentImprovement(cpi[lru], cpi[ad]), 2),
+                      TextTable::num(mpki[lru], 2),
+                      TextTable::num(mpki[ad], 2),
+                      TextTable::num(
+                          percentImprovement(mpki[lru], mpki[ad]),
+                          2)});
     }
     table.print();
     std::printf("(paper: ~12-15%% CPI and ~19-23%% miss reduction, "

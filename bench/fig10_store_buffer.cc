@@ -14,37 +14,50 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Fig. 10 - store buffer size sensitivity");
+    const std::vector<unsigned> sizes = {1u, 2u, 4u, 16u, 64u, 256u};
+
+    bench::Experiment e;
+    e.title = "Fig. 10 - store buffer size sensitivity";
+    e.benchmarks = primaryBenchmarks();
+    for (unsigned entries : sizes) {
+        SystemConfig base;
+        base.core.storeBufferEntries = entries;
+        SystemConfig lru = base;
+        lru.l2 = L2Spec::lru();
+        SystemConfig adapt = base;
+        adapt.l2 = L2Spec::adaptiveLruLfu();
+        e.configs.push_back(
+            {"LRU-sb" + std::to_string(entries), lru});
+        e.configs.push_back(
+            {"Ad-sb" + std::to_string(entries), adapt});
+    }
+    e.timed = true;
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
+
+    const auto cpi = averageOf(rows, metricCpi);
 
     TextTable table({"entries", "LRU CPI", "Adapt CPI", "impr %",
                      "stall kcycles"});
     double impr_at_4 = 0, impr_at_256 = 0;
-
-    for (unsigned entries : {1u, 2u, 4u, 16u, 64u, 256u}) {
-        SystemConfig base;
-        base.core.storeBufferEntries = entries;
-        const std::vector<L2Spec> variants = {
-            L2Spec::lru(), L2Spec::adaptiveLruLfu()};
-        const auto rows = runSuite(primaryBenchmarks(), variants,
-                                   instrBudget(), /*timed=*/true,
-                                   base);
-        const auto cpi = averageOf(rows, metricCpi);
-        const double impr = percentImprovement(cpi[0], cpi[1]);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const std::size_t lru = 2 * i, ad = 2 * i + 1;
+        const double impr = percentImprovement(cpi[lru], cpi[ad]);
         std::uint64_t stall_cycles = 0;
         for (const auto &row : rows)
-            stall_cycles += row.results[0].core.storeBuffer.stallCycles;
-        table.addRow({std::to_string(entries),
-                      TextTable::num(cpi[0], 3),
-                      TextTable::num(cpi[1], 3),
+            stall_cycles +=
+                row.results[lru].core.storeBuffer.stallCycles;
+        table.addRow({std::to_string(sizes[i]),
+                      TextTable::num(cpi[lru], 3),
+                      TextTable::num(cpi[ad], 3),
                       TextTable::num(impr, 2),
                       TextTable::num(double(stall_cycles) / 1000.0,
                                      0)});
-        if (entries == 4)
+        if (sizes[i] == 4)
             impr_at_4 = impr;
-        if (entries == 256)
+        if (sizes[i] == 256)
             impr_at_256 = impr;
-        std::printf("... %u entries done\n", entries);
     }
     table.print();
 

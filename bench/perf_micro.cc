@@ -8,11 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "cache/cache.hh"
 #include "core/adaptive_cache.hh"
 #include "core/sbar_cache.hh"
 #include "cpu/branch_predictor.hh"
 #include "sim/experiment.hh"
+#include "sim/report.hh"
 
 using namespace adcache;
 
@@ -142,4 +146,39 @@ BENCHMARK(BM_TimedSimulation);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Honour ADCACHE_REPORT by injecting the matching google-benchmark
+ * format flag, so `ADCACHE_REPORT=json ./perf_micro` emits a JSON
+ * document just like the figure drivers. Explicit command-line flags
+ * still win (they are parsed after the injected one).
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    std::string format_flag;
+    switch (reportFormat()) {
+    case ReportFormat::Json:
+        format_flag = "--benchmark_format=json";
+        break;
+    case ReportFormat::Csv:
+        format_flag = "--benchmark_format=csv";
+        break;
+    case ReportFormat::Table:
+        break;
+    }
+    if (!format_flag.empty())
+        args.push_back(format_flag.data());
+    for (int i = 1; i < argc; ++i)
+        args.push_back(argv[i]);
+
+    int injected_argc = int(args.size());
+    benchmark::Initialize(&injected_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(injected_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -14,16 +14,19 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Sec. 4.2 - extended evaluation set");
-
-    const std::vector<L2Spec> variants = {L2Spec::lru(),
-                                          L2Spec::adaptiveLruLfu()};
-    const auto all = allBenchmarks();
-    std::printf("running %zu benchmarks x 2 configurations (timed)\n",
-                all.size());
-    const auto rows =
-        runSuite(all, variants, instrBudget(), /*timed=*/true);
+    bench::Experiment e;
+    e.title = "Sec. 4.2 - extended evaluation set";
+    e.benchmarks = allBenchmarks();
+    e.variants = {L2Spec::lru(), L2Spec::adaptiveLruLfu()};
+    e.variantNames = {"LRU", "Adaptive"};
+    e.timed = true;
+    if (bench::textMode())
+        std::printf("running %zu benchmarks x 2 configurations "
+                    "(timed)\n",
+                    e.benchmarks.size());
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
 
     const auto mpki = averageOf(rows, metricL2Mpki);
     const auto cpi = averageOf(rows, metricCpi);

@@ -14,18 +14,20 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Sec. 4.4 - five-policy adaptivity");
-
-    const std::vector<L2Spec> variants = {
+    bench::Experiment e;
+    e.title = "Sec. 4.4 - five-policy adaptivity";
+    e.benchmarks = primaryBenchmarks();
+    e.variants = {
         L2Spec::fromAdaptive(AdaptiveConfig::fivePolicy()),
         L2Spec::adaptiveLruLfu(),
         L2Spec::lru(),
     };
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/true);
-    bench::printSuiteTable(rows, {"Adapt5", "Adapt2", "LRU"},
-                           metricCpi, "CPI", 3);
+    e.variantNames = {"Adapt5", "Adapt2", "LRU"};
+    e.timed = true;
+    e.metrics = {{"CPI", metricCpi, 3}};
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
 
     const auto cpi = averageOf(rows, metricCpi);
     const auto mpki = averageOf(rows, metricL2Mpki);

@@ -14,25 +14,30 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Sec. 4.6 - adaptive L1 caches");
-
     SystemConfig baseline;
     SystemConfig adaptive_l1 = baseline;
     adaptive_l1.adaptiveL1i = true;
     adaptive_l1.adaptiveL1d = true;
 
+    bench::Experiment e;
+    e.title = "Sec. 4.6 - adaptive L1 caches";
+    e.benchmarks = primaryBenchmarks();
+    e.configs = {{"baseline", baseline},
+                 {"adaptive-L1", adaptive_l1}};
+    e.timed = true;
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
+
     RunningStat l1i_base, l1i_adapt, l1d_base, l1d_adapt;
     RunningStat cpi_base, cpi_adapt;
-    for (const auto *bench : primaryBenchmarks()) {
-        const auto rb = runTimed(baseline, *bench, instrBudget());
-        const auto ra = runTimed(adaptive_l1, *bench, instrBudget());
-        l1i_base.add(rb.l1iMpki);
-        l1i_adapt.add(ra.l1iMpki);
-        l1d_base.add(rb.l1dMpki);
-        l1d_adapt.add(ra.l1dMpki);
-        cpi_base.add(rb.cpi);
-        cpi_adapt.add(ra.cpi);
+    for (const auto &row : rows) {
+        l1i_base.add(row.results[0].l1iMpki);
+        l1i_adapt.add(row.results[1].l1iMpki);
+        l1d_base.add(row.results[0].l1dMpki);
+        l1d_adapt.add(row.results[1].l1dMpki);
+        cpi_base.add(row.results[0].cpi);
+        cpi_adapt.add(row.results[1].cpi);
     }
 
     TextTable table({"cache", "LRU MPKI", "adaptive MPKI", "red %"});

@@ -15,24 +15,25 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{},
-                      "Sec. 4.7 - SBAR-like set sampling");
-
     SbarConfig sbar_full;
     SbarConfig sbar_partial;
     sbar_partial.partialTagBits = 8;
 
-    const std::vector<L2Spec> variants = {
+    bench::Experiment e;
+    e.title = "Sec. 4.7 - SBAR-like set sampling";
+    e.benchmarks = primaryBenchmarks();
+    e.variants = {
         L2Spec::lru(),
         L2Spec::adaptiveLruLfu(),
         L2Spec::fromSbar(sbar_full),
         L2Spec::fromSbar(sbar_partial),
     };
-    const auto rows = runSuite(primaryBenchmarks(), variants,
-                               instrBudget(), /*timed=*/true);
-    bench::printSuiteTable(rows,
-                           {"LRU", "Adaptive", "SBAR", "SBAR-8b"},
-                           metricCpi, "CPI", 3);
+    e.variantNames = {"LRU", "Adaptive", "SBAR", "SBAR-8b"};
+    e.timed = true;
+    e.metrics = {{"CPI", metricCpi, 3}};
+    const auto rows = bench::runAndReport(e);
+    if (!bench::textMode())
+        return 0;
 
     const auto cpi = averageOf(rows, metricCpi);
     bench::paperVsMeasured("full adaptive CPI improvement", "12.9%",

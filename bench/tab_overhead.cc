@@ -3,7 +3,8 @@
  * Reproduces the storage accounting of Sec. 3.1-3.2 and Sec. 4.7:
  * conventional vs adaptive (full / partial tags) vs SBAR overheads,
  * and the cost of simply growing a conventional cache (Fig. 6's
- * premise).
+ * premise). Pure arithmetic — no simulation — so the grid is built
+ * directly and emitted in every format via the common report path.
  */
 
 #include "common.hh"
@@ -14,18 +15,21 @@ using namespace adcache;
 int
 main()
 {
-    printConfigBanner(SystemConfig{}, "Sec. 3 storage overhead model");
+    bench::banner("Sec. 3 storage overhead model");
 
     const auto g64 = CacheGeometry::fromSize(512 * 1024, 8, 64);
     const auto g128 = CacheGeometry::fromSize(512 * 1024, 8, 128);
     const auto base64 = conventionalStorage(g64);
     const auto base128 = conventionalStorage(g128);
 
-    TextTable table({"organisation", "total KB", "overhead %"});
+    ReportGrid grid;
+    grid.experiment = "Sec. 3 storage overhead model";
+    grid.benchmarkHeader = "organisation";
     auto row = [&](const std::string &name, const StorageBits &s,
                    const StorageBits &base) {
-        table.addRow({name, TextTable::num(s.totalKB(), 1),
-                      TextTable::num(overheadPercent(base, s), 2)});
+        ReportRow &r = grid.add(name, "");
+        r.stats.value("total_kb", s.totalKB());
+        r.stats.value("overhead_pct", overheadPercent(base, s));
     };
 
     row("conventional 512KB 8-way (64B lines)", base64, base64);
@@ -47,7 +51,10 @@ main()
     row("SBAR, 32 full-tag leaders", sbarStorage(g64, 32, 0, 8),
         base64);
     row("SBAR, 32 8-bit leaders", sbarStorage(g64, 32, 8, 8), base64);
-    table.print();
+    bench::report(grid);
+
+    if (!bench::textMode())
+        return 0;
 
     const auto full = adaptiveStorage(g64, 2, 0, 8);
     const auto partial = adaptiveStorage(g64, 2, 8, 8);

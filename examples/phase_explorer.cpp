@@ -3,7 +3,9 @@
  * Interactive-style exploration of adaptivity decisions: run any
  * suite benchmark on the adaptive L2 and watch, quantum by quantum,
  * which component each region of the cache imitates and how the
- * cumulative miss rates evolve — the mechanics behind Fig. 7.
+ * cumulative miss rates evolve — the mechanics behind Fig. 7. With
+ * ADCACHE_REPORT=json|csv the per-quantum rows are emitted as a
+ * structured grid instead of the ASCII rendering.
  *
  *   $ ./phase_explorer [benchmark] [instructions] [quanta]
  */
@@ -12,8 +14,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common.hh"
 #include "core/adaptive_cache.hh"
-#include "sim/experiment.hh"
 
 using namespace adcache;
 
@@ -46,15 +48,24 @@ main(int argc, char **argv)
     const unsigned groups = 16;
     const InstCount quantum = instrs / quanta;
 
-    std::printf("%s on %s\n", def->name.c_str(),
-                l2.describe().c_str());
-    std::printf("one row per quantum of %llu instructions; one column"
-                " per group of %u sets ('L' imitating LRU, 'f' LFU,"
-                " '.' idle)\n\n",
-                static_cast<unsigned long long>(quantum),
-                sets / groups);
-    std::printf("%-10s %-*s %10s %10s\n", "instrs", int(groups),
-                "set map", "L2 misses", "missRate%");
+    ReportGrid grid;
+    grid.experiment = "phase explorer";
+    grid.variantHeader = "quantum";
+    grid.addMeta("instructions", std::to_string(instrs));
+    grid.addMeta("quanta", std::to_string(quanta));
+    grid.addMeta("l2", l2.describe());
+
+    if (bench::textMode()) {
+        std::printf("%s on %s\n", def->name.c_str(),
+                    l2.describe().c_str());
+        std::printf("one row per quantum of %llu instructions; one "
+                    "column per group of %u sets ('L' imitating LRU, "
+                    "'f' LFU, '.' idle)\n\n",
+                    static_cast<unsigned long long>(quantum),
+                    sets / groups);
+        std::printf("%-10s %-*s %10s %10s\n", "instrs", int(groups),
+                    "set map", "L2 misses", "missRate%");
+    }
 
     std::uint64_t prev_misses = 0;
     for (unsigned q = 0; q < quanta; ++q) {
@@ -72,13 +83,30 @@ main(int argc, char **argv)
         }
         l2.clearDecisions();
         const auto &stats = l2.stats();
-        std::printf("%-10llu %-*s %10llu %9.2f%%\n",
-                    static_cast<unsigned long long>((q + 1) * quantum),
-                    int(groups), map.c_str(),
-                    static_cast<unsigned long long>(stats.misses -
-                                                    prev_misses),
-                    100.0 * stats.missRate());
+        if (bench::textMode()) {
+            std::printf("%-10llu %-*s %10llu %9.2f%%\n",
+                        static_cast<unsigned long long>((q + 1) *
+                                                        quantum),
+                        int(groups), map.c_str(),
+                        static_cast<unsigned long long>(stats.misses -
+                                                        prev_misses),
+                        100.0 * stats.missRate());
+        } else {
+            ReportRow &row =
+                grid.add(def->name, "q" + std::to_string(q));
+            row.stats.text("map", map);
+            row.stats.counter("instructions", (q + 1) * quantum);
+            row.stats.counter("quantum_misses",
+                              stats.misses - prev_misses);
+            row.stats.value("cumulative_miss_rate",
+                            stats.missRate());
+        }
         prev_misses = stats.misses;
+    }
+
+    if (!bench::textMode()) {
+        bench::report(grid);
+        return 0;
     }
 
     std::printf("\ntotals: %llu accesses, %llu misses; component "

@@ -3,17 +3,19 @@
  * Duel any two replacement policies on any suite benchmark: runs the
  * two conventional caches and the adaptive combination side by side
  * and reports MPKI (plus CPI with --timed). Useful for exploring the
- * design space beyond the paper's LRU/LFU headline pair.
+ * design space beyond the paper's LRU/LFU headline pair. Honours
+ * ADCACHE_REPORT: json/csv emit the full stat registry per variant.
  *
  *   $ ./policy_duel mcf lru lfu
  *   $ ./policy_duel art-1 fifo mru --timed
+ *   $ ADCACHE_REPORT=json ./policy_duel mcf lru lfu
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "sim/experiment.hh"
+#include "common.hh"
 
 using namespace adcache;
 
@@ -44,6 +46,14 @@ main(int argc, char **argv)
     };
     const auto rows =
         runSuite({bench}, variants, instrBudget(), timed);
+
+    if (!bench::textMode()) {
+        ReportGrid grid = gridFromSuite("policy duel", rows, {});
+        grid.addMeta("instr_budget", std::to_string(instrBudget()));
+        grid.addMeta("timed", timed ? "true" : "false");
+        bench::report(grid);
+        return 0;
+    }
 
     std::printf("%s, %llu instructions%s\n\n", bench->name.c_str(),
                 static_cast<unsigned long long>(instrBudget()),

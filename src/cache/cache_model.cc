@@ -1,0 +1,29 @@
+#include "cache/cache_model.hh"
+
+#include "util/stat_registry.hh"
+
+namespace adcache
+{
+
+void
+CacheStats::registerInto(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.counter(prefix + "accesses", accesses);
+    reg.counter(prefix + "hits", hits);
+    reg.counter(prefix + "misses", misses);
+    reg.counter(prefix + "read_misses", readMisses);
+    reg.counter(prefix + "write_misses", writeMisses);
+    reg.counter(prefix + "evictions", evictions);
+    reg.counter(prefix + "writebacks", writebacks);
+    reg.value(prefix + "miss_rate", missRate());
+}
+
+void
+CacheModel::registerStats(StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    stats().registerInto(reg, prefix);
+}
+
+} // namespace adcache

@@ -22,6 +22,8 @@
 namespace adcache
 {
 
+class StatRegistry;
+
 /** Address decomposition for a numSets x assoc x lineSize cache. */
 struct CacheGeometry
 {
@@ -96,6 +98,10 @@ struct CacheStats
                    ? 0.0
                    : double(misses) / double(accesses);
     }
+
+    /** Register every counter under "<prefix><name>". */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /** Outcome of one cache access, as seen by the level above. */
@@ -123,6 +129,15 @@ class CacheModel
 
     /** Aggregate counters since construction. */
     virtual const CacheStats &stats() const = 0;
+
+    /**
+     * Register this organisation's statistics under @p prefix. The
+     * default registers the common CacheStats counters; organisations
+     * with extra observable state (shadow misses, selector flips)
+     * extend it.
+     */
+    virtual void registerStats(StatRegistry &reg,
+                               const std::string &prefix) const;
 
     /** Geometry of the real (data-holding) structure. */
     virtual const CacheGeometry &geometry() const = 0;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/stat_registry.hh"
+
 namespace adcache
 {
 
@@ -201,6 +203,20 @@ AdaptiveCache::describe() const
         out << ", exact counters";
     out << ")";
     return out.str();
+}
+
+
+void
+AdaptiveCache::registerStats(StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    stats_.registerInto(reg, prefix);
+    for (unsigned k = 0; k < numPolicies(); ++k) {
+        reg.counter(prefix + "shadow." +
+                        policyName(componentPolicy(k)) + ".misses",
+                    shadowMisses(k));
+    }
+    reg.counter(prefix + "fallback_evictions", fallbacks_);
 }
 
 } // namespace adcache

@@ -95,6 +95,8 @@ class AdaptiveCache : public CacheModel
     const CacheStats &stats() const override { return stats_; }
     const CacheGeometry &geometry() const override { return geom_; }
     std::string describe() const override;
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const override;
 
     /** Number of component policies. */
     unsigned numPolicies() const { return unsigned(shadows_.size()); }

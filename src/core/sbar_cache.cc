@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/stat_registry.hh"
+
 namespace adcache
 {
 
@@ -178,6 +180,16 @@ SbarCache::describe() const
     else
         out << config_.partialTagBits << "-bit leaders)";
     return out.str();
+}
+
+
+void
+SbarCache::registerStats(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    stats_.registerInto(reg, prefix);
+    reg.counter(prefix + "selection_flips", flips_);
+    reg.counter(prefix + "global_choice", globalChoice());
 }
 
 } // namespace adcache

@@ -69,6 +69,8 @@ class SbarCache : public CacheModel
     const CacheStats &stats() const override { return stats_; }
     const CacheGeometry &geometry() const override { return geom_; }
     std::string describe() const override;
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const override;
 
     /** True iff @p set is a leader set. */
     bool isLeader(unsigned set) const;

@@ -2,6 +2,7 @@
 
 #include "util/bits.hh"
 #include "util/logging.hh"
+#include "util/stat_registry.hh"
 
 namespace adcache
 {
@@ -71,6 +72,15 @@ BranchPredictor::update(Addr pc, bool taken)
 
     history_ = (history_ << 1) | (taken ? 1 : 0);
     return mispredict;
+}
+
+void
+BranchPredictorStats::registerInto(StatRegistry &reg,
+                                   const std::string &prefix) const
+{
+    reg.counter(prefix + "lookups", lookups);
+    reg.counter(prefix + "mispredicts", mispredicts);
+    reg.value(prefix + "accuracy", accuracy());
 }
 
 } // namespace adcache

@@ -9,6 +9,7 @@
 #define ADCACHE_CPU_BRANCH_PREDICTOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/sat_counter.hh"
@@ -16,6 +17,8 @@
 
 namespace adcache
 {
+
+class StatRegistry;
 
 /** Predictor sizing. */
 struct BranchPredictorConfig
@@ -37,6 +40,10 @@ struct BranchPredictorStats
                    ? 1.0
                    : 1.0 - double(mispredicts) / double(lookups);
     }
+
+    /** Register every counter under "<prefix><name>". */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /** gshare/bimodal/meta hybrid direction predictor. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/stat_registry.hh"
 
 namespace adcache
 {
@@ -182,6 +183,23 @@ OooCore::run(TraceSource &source, MemoryInterface &mem,
     stats.storeBuffer = store_buffer.stats();
     stats.predictor = predictor.stats();
     return stats;
+}
+
+void
+CoreStats::registerInto(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.counter(prefix + "instructions", instructions);
+    reg.counter(prefix + "cycles", cycles);
+    reg.counter(prefix + "loads", loads);
+    reg.counter(prefix + "stores", stores);
+    reg.counter(prefix + "branches", branches);
+    reg.counter(prefix + "mispredicts", mispredicts);
+    reg.counter(prefix + "btb_misses", btbMisses);
+    reg.value(prefix + "cpi", cpi());
+    reg.value(prefix + "ipc", ipc());
+    storeBuffer.registerInto(reg, prefix + "store_buffer.");
+    predictor.registerInto(reg, prefix + "predictor.");
 }
 
 } // namespace adcache

@@ -110,6 +110,13 @@ struct CoreStats
         return cycles == 0 ? 0.0
                            : double(instructions) / double(cycles);
     }
+
+    /**
+     * Register every counter (including the store-buffer and
+     * predictor sub-stats) under "<prefix><name>".
+     */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /** The out-of-order core. */

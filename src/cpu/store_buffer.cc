@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/stat_registry.hh"
 
 namespace adcache
 {
@@ -28,6 +29,15 @@ StoreBuffer::push(Cycle retire, Cycle drain_done)
     if (*slot > retire)
         panic("store buffer entry claimed before it is free");
     *slot = drain_done;
+}
+
+void
+StoreBufferStats::registerInto(StatRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.counter(prefix + "stores", stores);
+    reg.counter(prefix + "full_stalls", fullStalls);
+    reg.counter(prefix + "stall_cycles", stallCycles);
 }
 
 } // namespace adcache

@@ -12,6 +12,7 @@
 #define ADCACHE_CPU_STORE_BUFFER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/types.hh"
@@ -19,12 +20,18 @@
 namespace adcache
 {
 
+class StatRegistry;
+
 /** Store buffer occupancy statistics. */
 struct StoreBufferStats
 {
     std::uint64_t stores = 0;
     std::uint64_t fullStalls = 0;  //!< stores that found it full
     Cycle stallCycles = 0;         //!< retirement cycles lost
+
+    /** Register every counter under "<prefix><name>". */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "mem/main_memory.hh"
 
+#include "util/stat_registry.hh"
+
 namespace adcache
 {
 
@@ -38,6 +40,16 @@ MainMemory::stats() const
     s.busBusyCycles = bus_.busyCycles();
     s.busQueueCycles = bus_.queueCycles();
     return s;
+}
+
+void
+MemoryStats::registerInto(StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.counter(prefix + "reads", reads);
+    reg.counter(prefix + "writes", writes);
+    reg.counter(prefix + "bus_busy_cycles", busBusyCycles);
+    reg.counter(prefix + "bus_queue_cycles", busQueueCycles);
 }
 
 } // namespace adcache

@@ -10,10 +10,14 @@
 #ifndef ADCACHE_MEM_MAIN_MEMORY_HH
 #define ADCACHE_MEM_MAIN_MEMORY_HH
 
+#include <string>
+
 #include "mem/bus.hh"
 
 namespace adcache
 {
+
+class StatRegistry;
 
 /** Configuration of the memory + bus back end. */
 struct MemoryConfig
@@ -34,6 +38,10 @@ struct MemoryStats
     std::uint64_t writes = 0;
     Cycle busBusyCycles = 0;
     Cycle busQueueCycles = 0;
+
+    /** Register every counter under "<prefix><name>". */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /** The DRAM + bus model. */

@@ -1,9 +1,13 @@
 /**
  * @file
  * Experiment-running helpers shared by the bench harness: run suites
- * of benchmarks under L2 variants, average linear metrics the way the
- * paper does (arithmetic mean of CPI/MPKI, footnote 7), and format
- * rows.
+ * of benchmarks under L2 variants (or arbitrary whole-system
+ * configuration variants), average linear metrics the way the paper
+ * does (arithmetic mean of CPI/MPKI, footnote 7), and format rows.
+ *
+ * Grid execution is delegated to sim/runner.hh, so every suite runs
+ * its (benchmark x variant) cells concurrently under ADCACHE_JOBS
+ * while producing results bit-identical to a serial run.
  */
 
 #ifndef ADCACHE_SIM_EXPERIMENT_HH
@@ -22,9 +26,13 @@ namespace adcache
  * Per-run instruction budget: env ADCACHE_INSTRS, default 3,000,000
  * (the paper simulates 100 M-instruction SimPoint samples; the
  * synthetic workloads are stationary within phases, so shapes are
- * stable at far smaller budgets).
+ * stable at far smaller budgets). The environment is parsed exactly
+ * once; later changes to ADCACHE_INSTRS do not affect the value.
  */
 InstCount instrBudget();
+
+/** Parse an ADCACHE_INSTRS-style budget; @p fallback if malformed. */
+InstCount parseInstrBudget(const char *text, InstCount fallback);
 
 /** Run one benchmark on one configuration (timing simulation). */
 SimResult runTimed(const SystemConfig &config, const BenchmarkDef &def,
@@ -41,14 +49,32 @@ struct SuiteRow
     std::vector<SimResult> results;  //!< one per variant, same order
 };
 
+/** A whole-system configuration variant of a suite grid. */
+struct ConfigVariant
+{
+    std::string label;
+    SystemConfig config;
+};
+
 /**
- * Run @p benchmarks against @p variants.
+ * Run @p benchmarks against @p variants (executed in parallel under
+ * ADCACHE_JOBS; see sim/runner.hh).
  * @param timed false runs the fast functional model (MPKI only).
  */
 std::vector<SuiteRow>
 runSuite(const std::vector<const BenchmarkDef *> &benchmarks,
          const std::vector<L2Spec> &variants, InstCount instrs,
          bool timed, const SystemConfig &base = SystemConfig{});
+
+/**
+ * Generalised suite: variants that may differ in any part of the
+ * system configuration (store-buffer size, prefetcher, adaptive L1s),
+ * not just the L2 organisation.
+ */
+std::vector<SuiteRow>
+runConfigSuite(const std::vector<const BenchmarkDef *> &benchmarks,
+               const std::vector<ConfigVariant> &variants,
+               InstCount instrs, bool timed);
 
 /** Arithmetic mean of a metric across rows, per variant. */
 std::vector<double>
@@ -60,10 +86,15 @@ double metricCpi(const SimResult &r);
 double metricL2Mpki(const SimResult &r);
 double metricL1iMpki(const SimResult &r);
 double metricL1dMpki(const SimResult &r);
+double metricL2DemandMpki(const SimResult &r);
 
-/** Table 1 banner printed at the top of each bench binary. */
+/**
+ * Table 1 banner printed at the top of each bench binary.
+ * @param budget the instruction budget the experiment actually uses.
+ */
 void printConfigBanner(const SystemConfig &config,
-                       const std::string &experiment);
+                       const std::string &experiment,
+                       InstCount budget);
 
 } // namespace adcache
 

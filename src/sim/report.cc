@@ -1,0 +1,337 @@
+#include "sim/report.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace adcache
+{
+
+ReportFormat
+parseReportFormat(const char *text, ReportFormat fallback)
+{
+    if (!text)
+        return fallback;
+    std::string name(text);
+    for (char &c : name)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+    if (name == "table")
+        return ReportFormat::Table;
+    if (name == "json")
+        return ReportFormat::Json;
+    if (name == "csv")
+        return ReportFormat::Csv;
+    warn("ignoring unknown ADCACHE_REPORT='%s' "
+         "(expected json|csv|table)",
+         text);
+    return fallback;
+}
+
+ReportFormat
+reportFormat()
+{
+    static const ReportFormat format = parseReportFormat(
+        std::getenv("ADCACHE_REPORT"), ReportFormat::Table);
+    return format;
+}
+
+const char *
+reportFormatName(ReportFormat format)
+{
+    switch (format) {
+      case ReportFormat::Table:
+        return "table";
+      case ReportFormat::Json:
+        return "json";
+      case ReportFormat::Csv:
+        return "csv";
+    }
+    return "?";
+}
+
+ReportRow &
+ReportGrid::add(std::string benchmark, std::string variant)
+{
+    rows.emplace_back();
+    rows.back().benchmark = std::move(benchmark);
+    rows.back().variant = std::move(variant);
+    return rows.back();
+}
+
+void
+ReportGrid::addMeta(std::string key, std::string value)
+{
+    meta.emplace_back(std::move(key), std::move(value));
+}
+
+ReportGrid
+gridFromSuite(const std::string &experiment,
+              const std::vector<SuiteRow> &rows,
+              const std::vector<std::string> &variant_names)
+{
+    ReportGrid grid;
+    grid.experiment = experiment;
+    for (const SuiteRow &row : rows) {
+        for (std::size_t v = 0; v < row.results.size(); ++v) {
+            const SimResult &res = row.results[v];
+            const std::string label = v < variant_names.size()
+                                          ? variant_names[v]
+                                          : res.l2Label;
+            ReportRow &out = grid.add(row.benchmark, label);
+            out.stats = res.stats;
+            out.stats.text("l2_label", res.l2Label);
+        }
+    }
+    return grid;
+}
+
+namespace
+{
+
+/** JSON string escaping (control chars, quotes, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Round-trip double formatting; always a valid JSON number. */
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    std::string s(buf);
+    // %.17g renders nan/inf, which JSON lacks; clamp to null.
+    if (s.find("nan") != std::string::npos ||
+        s.find("inf") != std::string::npos)
+        return "null";
+    return s;
+}
+
+std::string
+statJsonValue(const StatEntry &e)
+{
+    switch (e.kind) {
+      case StatEntry::Kind::Counter: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(e.counter));
+        return buf;
+      }
+      case StatEntry::Kind::Value:
+        return jsonNumber(e.value);
+      case StatEntry::Kind::Text:
+        return "\"" + jsonEscape(e.text) + "\"";
+    }
+    return "null";
+}
+
+std::string
+statCsvValue(const StatEntry &e)
+{
+    switch (e.kind) {
+      case StatEntry::Kind::Counter: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(e.counter));
+        return buf;
+      }
+      case StatEntry::Kind::Value: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", e.value);
+        return buf;
+      }
+      case StatEntry::Kind::Text:
+        return e.text;
+    }
+    return "";
+}
+
+/** Quote a CSV field if it contains a delimiter, quote or newline. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+/** Union of all rows' stat names, in first-seen order. */
+std::vector<std::string>
+statColumns(const ReportGrid &grid)
+{
+    std::vector<std::string> names;
+    StatRegistry seen;
+    for (const ReportRow &row : grid.rows) {
+        for (const StatEntry &e : row.stats.entries()) {
+            if (!seen.find(e.name)) {
+                seen.counter(e.name, 0);
+                names.push_back(e.name);
+            }
+        }
+    }
+    return names;
+}
+
+bool
+anyVariant(const ReportGrid &grid)
+{
+    for (const ReportRow &row : grid.rows)
+        if (!row.variant.empty())
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::string
+renderJson(const ReportGrid &grid)
+{
+    std::string out = "{\n";
+    out += "  \"experiment\": \"" + jsonEscape(grid.experiment) +
+           "\",\n";
+    out += "  \"meta\": {";
+    for (std::size_t i = 0; i < grid.meta.size(); ++i) {
+        out += i ? ", " : "";
+        out += "\"" + jsonEscape(grid.meta[i].first) + "\": \"" +
+               jsonEscape(grid.meta[i].second) + "\"";
+    }
+    out += "},\n";
+    out += "  \"rows\": [\n";
+    for (std::size_t r = 0; r < grid.rows.size(); ++r) {
+        const ReportRow &row = grid.rows[r];
+        out += "    {\"benchmark\": \"" + jsonEscape(row.benchmark) +
+               "\", \"variant\": \"" + jsonEscape(row.variant) +
+               "\", \"stats\": {";
+        const auto &entries = row.stats.entries();
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            out += i ? ", " : "";
+            out += "\"" + jsonEscape(entries[i].name) +
+                   "\": " + statJsonValue(entries[i]);
+        }
+        out += "}}";
+        out += r + 1 < grid.rows.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+renderCsv(const ReportGrid &grid)
+{
+    const auto columns = statColumns(grid);
+    const bool variants = anyVariant(grid);
+
+    std::string out = csvField(grid.benchmarkHeader);
+    if (variants)
+        out += "," + csvField(grid.variantHeader);
+    for (const auto &name : columns)
+        out += "," + csvField(name);
+    out += "\n";
+
+    for (const ReportRow &row : grid.rows) {
+        out += csvField(row.benchmark);
+        if (variants)
+            out += "," + csvField(row.variant);
+        for (const auto &name : columns) {
+            out += ",";
+            if (const StatEntry *e = row.stats.find(name))
+                out += csvField(statCsvValue(*e));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+renderTable(const ReportGrid &grid)
+{
+    const auto columns = statColumns(grid);
+    const bool variants = anyVariant(grid);
+
+    std::vector<std::string> header{grid.benchmarkHeader};
+    if (variants)
+        header.push_back(grid.variantHeader);
+    for (const auto &name : columns)
+        header.push_back(name);
+
+    TextTable table(header);
+    for (const ReportRow &row : grid.rows) {
+        std::vector<std::string> cells{row.benchmark};
+        if (variants)
+            cells.push_back(row.variant);
+        for (const auto &name : columns) {
+            const StatEntry *e = row.stats.find(name);
+            if (!e) {
+                cells.emplace_back("-");
+            } else if (e->kind == StatEntry::Kind::Value) {
+                cells.push_back(TextTable::num(e->value, 3));
+            } else {
+                cells.push_back(statCsvValue(*e));
+            }
+        }
+        table.addRow(std::move(cells));
+    }
+    return table.render();
+}
+
+void
+emitReport(const ReportGrid &grid, ReportFormat format,
+           std::FILE *out)
+{
+    std::string text;
+    switch (format) {
+      case ReportFormat::Json:
+        text = renderJson(grid);
+        break;
+      case ReportFormat::Csv:
+        text = renderCsv(grid);
+        break;
+      case ReportFormat::Table:
+        text = renderTable(grid);
+        break;
+    }
+    std::fwrite(text.data(), 1, text.size(), out);
+}
+
+} // namespace adcache

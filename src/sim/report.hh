@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Structured result emission for the bench/example harness. Every
+ * experiment's results are flattened into a ReportGrid — one row per
+ * (benchmark x variant) cell, each carrying a StatRegistry — and
+ * rendered as JSON, CSV, or a plain-text table depending on
+ * ADCACHE_REPORT (default: table).
+ *
+ * JSON schema (one object):
+ *   {
+ *     "experiment": "<title>",
+ *     "meta": { "<key>": "<value>", ... },
+ *     "rows": [
+ *       { "benchmark": "<label>", "variant": "<label>",
+ *         "stats": { "<stat name>": <number or string>, ... } },
+ *       ...
+ *     ]
+ *   }
+ * Counters are emitted as JSON integers, derived metrics as doubles
+ * (round-trip precision), text stats as strings.
+ *
+ * CSV schema: a header row "benchmark,variant,<stat names...>" where
+ * the stat columns are the union of all rows' stat names in
+ * first-seen order; cells missing a stat are left empty.
+ */
+
+#ifndef ADCACHE_SIM_REPORT_HH
+#define ADCACHE_SIM_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/stat_registry.hh"
+
+namespace adcache
+{
+
+/** Output format of the result emitters. */
+enum class ReportFormat
+{
+    Table,
+    Json,
+    Csv,
+};
+
+/** Parse an ADCACHE_REPORT-style format name; @p fallback if bad. */
+ReportFormat parseReportFormat(const char *text,
+                               ReportFormat fallback);
+
+/**
+ * Format selected by ADCACHE_REPORT (json|csv|table); defaults to
+ * Table. Parsed once, like the other harness environment knobs.
+ */
+ReportFormat reportFormat();
+
+/** Canonical lower-case name of @p format. */
+const char *reportFormatName(ReportFormat format);
+
+/** One emitted row: a labelled statistics registry. */
+struct ReportRow
+{
+    std::string benchmark;
+    std::string variant;
+    StatRegistry stats;
+};
+
+/** A whole experiment's worth of rows plus metadata. */
+struct ReportGrid
+{
+    std::string experiment;
+    /** First CSV/table column header (default "benchmark"). */
+    std::string benchmarkHeader = "benchmark";
+    /** Second CSV/table column header (default "variant"). */
+    std::string variantHeader = "variant";
+    /** Free-form metadata (instruction budget, jobs, ...). */
+    std::vector<std::pair<std::string, std::string>> meta;
+
+    std::vector<ReportRow> rows;
+
+    ReportRow &add(std::string benchmark, std::string variant);
+    void addMeta(std::string key, std::string value);
+};
+
+/**
+ * Flatten suite rows into a grid: one ReportRow per (benchmark x
+ * variant), stats taken from each SimResult's registry.
+ * @param variant_names display label per variant, same order as the
+ *        suite's variants; falls back to each result's l2Label.
+ */
+ReportGrid
+gridFromSuite(const std::string &experiment,
+              const std::vector<SuiteRow> &rows,
+              const std::vector<std::string> &variant_names);
+
+/** Render @p grid as a JSON document (ends with a newline). */
+std::string renderJson(const ReportGrid &grid);
+
+/** Render @p grid as CSV (header + one line per row). */
+std::string renderCsv(const ReportGrid &grid);
+
+/** Render @p grid as a column-aligned text table. */
+std::string renderTable(const ReportGrid &grid);
+
+/** Render @p grid in @p format and write it to @p out. */
+void emitReport(const ReportGrid &grid, ReportFormat format,
+                std::FILE *out = stdout);
+
+} // namespace adcache
+
+#endif // ADCACHE_SIM_REPORT_HH

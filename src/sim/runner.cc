@@ -1,0 +1,115 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+unsigned
+parseJobs(const char *text, unsigned fallback)
+{
+    if (!text)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end && *end == '\0' && v > 0 && v <= 4096)
+        return unsigned(v);
+    warn("ignoring malformed ADCACHE_JOBS='%s'", text);
+    return fallback;
+}
+
+unsigned
+runnerJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned fallback = hw > 0 ? hw : 1;
+    return parseJobs(std::getenv("ADCACHE_JOBS"), fallback);
+}
+
+unsigned
+effectiveJobs(std::size_t grid_size, unsigned requested)
+{
+    if (grid_size <= 1 || requested <= 1)
+        return 1;
+    return unsigned(
+        std::min<std::size_t>(grid_size, requested));
+}
+
+SimResult
+executeJob(const RunJob &job)
+{
+    adcache_assert(job.benchmark != nullptr);
+    System system(job.config);
+    auto source = makeBenchmark(*job.benchmark, job.sourceSeed);
+    SimResult res = job.timed
+                        ? system.runTimed(*source, job.instrs)
+                        : system.runFunctional(*source, job.instrs);
+    res.benchmark = job.benchmark->name;
+    return res;
+}
+
+void
+runIndexed(std::size_t n, unsigned workers,
+           const std::function<void(std::size_t)> &body)
+{
+    const unsigned used = effectiveJobs(n, workers);
+    if (used <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(used);
+    for (unsigned t = 0; t < used; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::vector<SimResult>
+runGrid(const std::vector<RunJob> &jobs, unsigned workers)
+{
+    std::vector<SimResult> results(jobs.size());
+    runIndexed(jobs.size(), workers,
+               [&](std::size_t i) { results[i] = executeJob(jobs[i]); });
+    return results;
+}
+
+std::vector<SimResult>
+runGrid(const std::vector<RunJob> &jobs)
+{
+    return runGrid(jobs, runnerJobs());
+}
+
+} // namespace adcache

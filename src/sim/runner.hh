@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parallel experiment runner. Every (benchmark x variant) cell of an
+ * evaluation grid is an independent single-use System, so the grid is
+ * embarrassingly parallel; this layer executes it on a fixed-size
+ * std::thread pool while keeping the output bit-identical to a serial
+ * run:
+ *
+ *  - results land in the result vector by job index, never by
+ *    completion order;
+ *  - each job carries its own RNG seed (derived from the job
+ *    definition when the grid is built), so the generated instruction
+ *    stream is a pure function of the job and scheduling cannot
+ *    perturb it;
+ *  - no simulator state is shared between jobs.
+ *
+ * The worker count comes from ADCACHE_JOBS (default: the hardware
+ * concurrency); 1 selects the plain serial loop on the calling
+ * thread.
+ */
+
+#ifndef ADCACHE_SIM_RUNNER_HH
+#define ADCACHE_SIM_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+namespace adcache
+{
+
+/** One cell of an experiment grid: a single-use simulation. */
+struct RunJob
+{
+    const BenchmarkDef *benchmark = nullptr;
+    SystemConfig config;
+    InstCount instrs = 0;
+    bool timed = false;
+    /** Seed for the workload generator; fixed at grid construction. */
+    std::uint64_t sourceSeed = 0;
+};
+
+/**
+ * Parse an ADCACHE_JOBS-style worker count. Returns @p fallback on
+ * null/malformed/zero input.
+ */
+unsigned parseJobs(const char *text, unsigned fallback);
+
+/**
+ * Worker count for grid execution: ADCACHE_JOBS if set and valid,
+ * otherwise the hardware concurrency (at least 1).
+ */
+unsigned runnerJobs();
+
+/**
+ * Workers actually used for @p grid_size jobs given @p requested:
+ * never more than the grid size; 1 means the serial path.
+ */
+unsigned effectiveJobs(std::size_t grid_size, unsigned requested);
+
+/** Execute one job to completion. */
+SimResult executeJob(const RunJob &job);
+
+/**
+ * Execute @p jobs on @p workers threads (default runnerJobs()).
+ * Results are indexed exactly like @p jobs. With workers <= 1 the
+ * jobs run serially on the calling thread.
+ */
+std::vector<SimResult> runGrid(const std::vector<RunJob> &jobs,
+                               unsigned workers);
+std::vector<SimResult> runGrid(const std::vector<RunJob> &jobs);
+
+/**
+ * Generic fan-out: invoke @p body(i) for i in [0, n) across the pool.
+ * The body must write its result into caller-owned storage at index
+ * i; bodies for distinct i must not share mutable state. Used by
+ * experiment layers whose results are not SimResults (e.g. the
+ * shared-L2 multicore sweeps).
+ */
+void runIndexed(std::size_t n, unsigned workers,
+                const std::function<void(std::size_t)> &body);
+
+} // namespace adcache
+
+#endif // ADCACHE_SIM_RUNNER_HH

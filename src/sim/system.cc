@@ -130,6 +130,20 @@ System::gatherResult(const CoreStats &core_stats) const
     res.l2DemandMpki =
         mpki(l2DemandMisses_, core_stats.instructions);
     res.prefetchesIssued = prefetchesIssued_;
+
+    res.core.registerInto(res.stats, "core.");
+    l1i_->registerStats(res.stats, "l1i.");
+    l1d_->registerStats(res.stats, "l1d.");
+    l2_->registerStats(res.stats, "l2.");
+    res.memory.registerInto(res.stats, "mem.");
+    res.stats.value("cpi", res.cpi);
+    res.stats.value("l2_mpki", res.l2Mpki);
+    res.stats.value("l1i_mpki", res.l1iMpki);
+    res.stats.value("l1d_mpki", res.l1dMpki);
+    res.stats.counter("l2_demand_accesses", res.l2DemandAccesses);
+    res.stats.counter("l2_demand_misses", res.l2DemandMisses);
+    res.stats.value("l2_demand_mpki", res.l2DemandMpki);
+    res.stats.counter("prefetches_issued", res.prefetchesIssued);
     return res;
 }
 

@@ -14,6 +14,7 @@
 
 #include "sim/config.hh"
 #include "trace/source.hh"
+#include "util/stat_registry.hh"
 
 namespace adcache
 {
@@ -40,6 +41,15 @@ struct SimResult
     std::uint64_t l2DemandMisses = 0;
     double l2DemandMpki = 0.0;
     std::uint64_t prefetchesIssued = 0;
+
+    /**
+     * Every statistic of the run, enumerable by name: per-component
+     * counters registered by the live models (core.*, l1i.*, l1d.*,
+     * l2.*, mem.*) plus the derived top-level metrics above. This is
+     * what the report emitters consume, so a new component counter
+     * shows up in JSON/CSV output without touching any plumbing.
+     */
+    StatRegistry stats;
 };
 
 /** One simulated machine instance (single-use per run). */

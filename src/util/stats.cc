@@ -29,13 +29,15 @@ RunningStat::mean() const
 double
 RunningStat::min() const
 {
-    return count_ == 0 ? 0.0 : min_;
+    adcache_assert(count_ > 0);
+    return min_;
 }
 
 double
 RunningStat::max() const
 {
-    return count_ == 0 ? 0.0 : max_;
+    adcache_assert(count_ > 0);
+    return max_;
 }
 
 double

@@ -24,7 +24,9 @@ class RunningStat
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const;
+    /** Smallest sample; asserts that at least one sample was added. */
     double min() const;
+    /** Largest sample; asserts that at least one sample was added. */
     double max() const;
 
   private:

@@ -685,4 +685,12 @@ makeBenchmark(const BenchmarkDef &def)
     return std::make_unique<WorkloadGenerator>(def.spec);
 }
 
+std::unique_ptr<TraceSource>
+makeBenchmark(const BenchmarkDef &def, std::uint64_t seed)
+{
+    WorkloadSpec spec = def.spec;
+    spec.seed = seed;
+    return std::make_unique<WorkloadGenerator>(spec);
+}
+
 } // namespace adcache

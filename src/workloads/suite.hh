@@ -48,6 +48,15 @@ const BenchmarkDef *findBenchmark(const std::string &name);
 /** Instantiate the generator for @p def. */
 std::unique_ptr<TraceSource> makeBenchmark(const BenchmarkDef &def);
 
+/**
+ * Instantiate the generator for @p def with an explicit RNG seed.
+ * Used by the experiment runner, which carries every run's seed in
+ * its job description so the generated stream is a pure function of
+ * the job, never of scheduling order.
+ */
+std::unique_ptr<TraceSource> makeBenchmark(const BenchmarkDef &def,
+                                           std::uint64_t seed);
+
 } // namespace adcache
 
 #endif // ADCACHE_WORKLOADS_SUITE_HH

@@ -9,24 +9,36 @@ namespace adcache
 namespace
 {
 
-TEST(Experiment, BudgetDefaultsWithoutEnv)
+TEST(Experiment, ParseBudgetDefaultsWithoutEnv)
 {
-    unsetenv("ADCACHE_INSTRS");
-    EXPECT_EQ(instrBudget(), 3'000'000u);
+    EXPECT_EQ(parseInstrBudget(nullptr, 3'000'000), 3'000'000u);
 }
 
-TEST(Experiment, BudgetReadsEnv)
+TEST(Experiment, ParseBudgetReadsText)
 {
-    setenv("ADCACHE_INSTRS", "42000", 1);
-    EXPECT_EQ(instrBudget(), 42'000u);
-    unsetenv("ADCACHE_INSTRS");
+    EXPECT_EQ(parseInstrBudget("42000", 3'000'000), 42'000u);
 }
 
-TEST(Experiment, MalformedEnvFallsBack)
+TEST(Experiment, ParseBudgetRejectsMalformed)
 {
-    setenv("ADCACHE_INSTRS", "bogus", 1);
-    EXPECT_EQ(instrBudget(), 3'000'000u);
+    EXPECT_EQ(parseInstrBudget("bogus", 3'000'000), 3'000'000u);
+    EXPECT_EQ(parseInstrBudget("12x", 3'000'000), 3'000'000u);
+    EXPECT_EQ(parseInstrBudget("0", 3'000'000), 3'000'000u);
+    // strtoull would wrap these to huge positive budgets.
+    EXPECT_EQ(parseInstrBudget("-5", 3'000'000), 3'000'000u);
+    EXPECT_EQ(parseInstrBudget("+5", 3'000'000), 3'000'000u);
+    EXPECT_EQ(parseInstrBudget(" 5", 3'000'000), 3'000'000u);
+}
+
+TEST(Experiment, BudgetIsParsedOnce)
+{
+    // The suite-wide budget is cached on first use; later environment
+    // changes must not shift it mid-suite.
+    const InstCount first = instrBudget();
+    setenv("ADCACHE_INSTRS", "123456", 1);
+    EXPECT_EQ(instrBudget(), first);
     unsetenv("ADCACHE_INSTRS");
+    EXPECT_EQ(instrBudget(), first);
 }
 
 TEST(Experiment, RunSuiteShape)

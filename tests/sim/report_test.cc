@@ -1,0 +1,163 @@
+#include "sim/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace adcache
+{
+namespace
+{
+
+ReportGrid
+sampleGrid()
+{
+    ReportGrid grid;
+    grid.experiment = "unit \"grid\"";
+    grid.addMeta("instr_budget", "1000");
+    ReportRow &a = grid.add("parser", "LRU");
+    a.stats.counter("l2.misses", 1234);
+    a.stats.value("cpi", 1.5);
+    a.stats.text("label", "LRU (512KB, 8-way)");
+    ReportRow &b = grid.add("mcf", "Adaptive");
+    b.stats.counter("l2.misses", 99);
+    b.stats.value("cpi", 0.125);
+    // 'extra' exists only in this row: CSV must leave the other
+    // row's cell empty, JSON simply omits it there.
+    b.stats.counter("extra", 7);
+    return grid;
+}
+
+TEST(Report, ParseFormat)
+{
+    EXPECT_EQ(parseReportFormat("json", ReportFormat::Table),
+              ReportFormat::Json);
+    EXPECT_EQ(parseReportFormat("csv", ReportFormat::Table),
+              ReportFormat::Csv);
+    EXPECT_EQ(parseReportFormat("table", ReportFormat::Json),
+              ReportFormat::Table);
+    EXPECT_EQ(parseReportFormat("JSON", ReportFormat::Table),
+              ReportFormat::Json);
+    EXPECT_EQ(parseReportFormat(nullptr, ReportFormat::Csv),
+              ReportFormat::Csv);
+    EXPECT_EQ(parseReportFormat("bogus", ReportFormat::Table),
+              ReportFormat::Table);
+}
+
+TEST(Report, FormatNames)
+{
+    EXPECT_STREQ(reportFormatName(ReportFormat::Table), "table");
+    EXPECT_STREQ(reportFormatName(ReportFormat::Json), "json");
+    EXPECT_STREQ(reportFormatName(ReportFormat::Csv), "csv");
+}
+
+TEST(Report, JsonCarriesNamesAndValues)
+{
+    const std::string json = renderJson(sampleGrid());
+    // Escaped experiment title.
+    EXPECT_NE(json.find("\"unit \\\"grid\\\"\""), std::string::npos);
+    EXPECT_NE(json.find("\"instr_budget\": \"1000\""),
+              std::string::npos);
+    // Counters emit as integers, values as doubles, text as strings.
+    EXPECT_NE(json.find("\"l2.misses\": 1234"), std::string::npos);
+    EXPECT_NE(json.find("\"cpi\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"label\": \"LRU (512KB, 8-way)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"benchmark\": \"parser\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"variant\": \"Adaptive\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cpi\": 0.125"), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Report, JsonRoundTripsDoublePrecision)
+{
+    ReportGrid grid;
+    grid.experiment = "precision";
+    grid.add("b", "v").stats.value("pi", 3.141592653589793);
+    const std::string json = renderJson(grid);
+    const auto pos = json.find("\"pi\": ");
+    ASSERT_NE(pos, std::string::npos);
+    const double parsed = std::strtod(json.c_str() + pos + 6, nullptr);
+    EXPECT_EQ(parsed, 3.141592653589793);  // bit-exact round trip
+}
+
+TEST(Report, JsonNonFiniteBecomesNull)
+{
+    ReportGrid grid;
+    grid.experiment = "nonfinite";
+    ReportRow &row = grid.add("b", "v");
+    row.stats.value("bad", std::numeric_limits<double>::quiet_NaN());
+    row.stats.value("inf", std::numeric_limits<double>::infinity());
+    const std::string json = renderJson(grid);
+    EXPECT_NE(json.find("\"bad\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
+}
+
+TEST(Report, CsvShape)
+{
+    const std::string csv = renderCsv(sampleGrid());
+    // Header: label columns then the union of stat names in
+    // first-seen order.
+    const auto eol = csv.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    EXPECT_EQ(csv.substr(0, eol),
+              "benchmark,variant,l2.misses,cpi,label,extra");
+    // Row 1 has no 'extra' (trailing cell left empty); the label
+    // contains a comma so it must arrive quoted.
+    const auto eol2 = csv.find('\n', eol + 1);
+    EXPECT_EQ(csv.substr(eol + 1, eol2 - eol - 1),
+              "parser,LRU,1234,1.5,\"LRU (512KB, 8-way)\",");
+    // Row 2 has no 'label'.
+    EXPECT_NE(csv.find("mcf,Adaptive,99,0.125,,7"),
+              std::string::npos);
+}
+
+TEST(Report, TableListsEveryRow)
+{
+    const std::string table = renderTable(sampleGrid());
+    EXPECT_NE(table.find("parser"), std::string::npos);
+    EXPECT_NE(table.find("mcf"), std::string::npos);
+    EXPECT_NE(table.find("l2.misses"), std::string::npos);
+}
+
+TEST(Report, GridFromSuiteRoundTripsStats)
+{
+    const auto *bench = findBenchmark("parser");
+    ASSERT_NE(bench, nullptr);
+    const std::vector<L2Spec> variants = {L2Spec::lru(),
+                                          L2Spec::adaptiveLruLfu()};
+    const auto rows = runSuite({bench}, variants, 40'000, false);
+    const ReportGrid grid =
+        gridFromSuite("suite", rows, {"LRU", "Adaptive"});
+
+    ASSERT_EQ(grid.rows.size(), 2u);
+    EXPECT_EQ(grid.rows[0].benchmark, "parser");
+    EXPECT_EQ(grid.rows[0].variant, "LRU");
+    EXPECT_EQ(grid.rows[1].variant, "Adaptive");
+
+    // The registry must carry the exact values of the SimResult.
+    const auto &res = rows[0].results[0];
+    const StatRegistry &stats = grid.rows[0].stats;
+    EXPECT_EQ(stats.numeric("l2.misses"), double(res.l2.misses));
+    EXPECT_EQ(stats.numeric("core.instructions"),
+              double(res.core.instructions));
+    EXPECT_EQ(stats.numeric("l2_mpki"), res.l2Mpki);
+    const StatEntry *label = stats.find("l2_label");
+    ASSERT_NE(label, nullptr);
+    EXPECT_EQ(label->text, res.l2Label);
+
+    // And the JSON rendering of the grid names both variants.
+    const std::string json = renderJson(grid);
+    EXPECT_NE(json.find("\"variant\": \"LRU\""), std::string::npos);
+    EXPECT_NE(json.find("\"variant\": \"Adaptive\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace adcache

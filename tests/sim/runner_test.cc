@@ -1,0 +1,167 @@
+#include "sim/runner.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace adcache
+{
+namespace
+{
+
+/** The 3x3 grid used by the determinism tests. */
+std::vector<RunJob>
+testGrid(InstCount instrs)
+{
+    const std::vector<const BenchmarkDef *> benchmarks = {
+        findBenchmark("parser"), findBenchmark("art-1"),
+        findBenchmark("mcf")};
+    const std::vector<L2Spec> variants = {
+        L2Spec::lru(), L2Spec::policy(PolicyType::LFU),
+        L2Spec::adaptiveLruLfu()};
+    std::vector<RunJob> jobs;
+    for (const auto *def : benchmarks) {
+        for (const auto &spec : variants) {
+            RunJob job;
+            job.benchmark = def;
+            job.config.l2 = spec;
+            job.instrs = instrs;
+            job.timed = true;
+            job.sourceSeed = def->spec.seed;
+            jobs.push_back(job);
+        }
+    }
+    return jobs;
+}
+
+/** Every observable of a and b must match bit for bit. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.l2Label, b.l2Label);
+    EXPECT_EQ(a.core.instructions, b.core.instructions);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.l2.accesses, b.l2.accesses);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.l1d.misses, b.l1d.misses);
+    EXPECT_EQ(a.cpi, b.cpi);  // bitwise: both sides same arithmetic
+    EXPECT_EQ(a.l2Mpki, b.l2Mpki);
+
+    // The registries must agree entry-by-entry, names and values.
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (std::size_t i = 0; i < a.stats.size(); ++i) {
+        const auto &ea = a.stats.entries()[i];
+        const auto &eb = b.stats.entries()[i];
+        EXPECT_EQ(ea.name, eb.name);
+        EXPECT_EQ(ea.kind, eb.kind);
+        EXPECT_EQ(ea.counter, eb.counter);
+        EXPECT_EQ(ea.value, eb.value);
+        EXPECT_EQ(ea.text, eb.text);
+    }
+}
+
+TEST(Runner, ParallelMatchesSerialBitForBit)
+{
+    const auto jobs = testGrid(60'000);
+    const auto serial = runGrid(jobs, 1);
+    const auto parallel = runGrid(jobs, 4);
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST(Runner, ResultOrderFollowsJobOrder)
+{
+    const auto jobs = testGrid(30'000);
+    const auto results = runGrid(jobs, 3);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(results[i].benchmark, jobs[i].benchmark->name);
+}
+
+TEST(Runner, ParseJobs)
+{
+    EXPECT_EQ(parseJobs(nullptr, 7), 7u);
+    EXPECT_EQ(parseJobs("", 7), 7u);
+    EXPECT_EQ(parseJobs("1", 7), 1u);
+    EXPECT_EQ(parseJobs("16", 7), 16u);
+    EXPECT_EQ(parseJobs("bogus", 7), 7u);
+    EXPECT_EQ(parseJobs("0", 7), 7u);
+    EXPECT_EQ(parseJobs("-3", 7), 7u);
+    EXPECT_EQ(parseJobs("4x", 7), 7u);
+    EXPECT_EQ(parseJobs("1000000", 7), 7u);
+}
+
+TEST(Runner, EffectiveJobsDegradesToSerial)
+{
+    // ADCACHE_JOBS=1 must select the in-thread serial path.
+    EXPECT_EQ(effectiveJobs(9, 1), 1u);
+    // Never more workers than jobs.
+    EXPECT_EQ(effectiveJobs(2, 8), 2u);
+    EXPECT_EQ(effectiveJobs(0, 8), 1u);
+    EXPECT_EQ(effectiveJobs(9, 4), 4u);
+}
+
+TEST(Runner, RunnerJobsReadsEnvironment)
+{
+    setenv("ADCACHE_JOBS", "3", 1);
+    EXPECT_EQ(runnerJobs(), 3u);
+    unsetenv("ADCACHE_JOBS");
+    EXPECT_GE(runnerJobs(), 1u);
+}
+
+TEST(Runner, SerialWorkerCountRunsInCallingThread)
+{
+    // With one worker no thread is spawned: the body observes the
+    // calling thread's id.
+    const auto caller = std::this_thread::get_id();
+    bool same_thread = false;
+    runIndexed(1, 1, [&](std::size_t) {
+        same_thread = std::this_thread::get_id() == caller;
+    });
+    EXPECT_TRUE(same_thread);
+}
+
+TEST(Runner, RunIndexedVisitsEveryIndexOnce)
+{
+    constexpr std::size_t n = 57;
+    std::vector<std::atomic<int>> hits(n);
+    runIndexed(n, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Runner, PropagatesBodyException)
+{
+    EXPECT_THROW(runIndexed(8, 3,
+                            [](std::size_t i) {
+                                if (i == 5)
+                                    throw std::runtime_error("boom");
+                            }),
+                 std::runtime_error);
+}
+
+TEST(Runner, ExecuteJobMatchesRunTimed)
+{
+    const auto *def = findBenchmark("parser");
+    ASSERT_NE(def, nullptr);
+    RunJob job;
+    job.benchmark = def;
+    job.config.l2 = L2Spec::adaptiveLruLfu();
+    job.instrs = 40'000;
+    job.timed = true;
+    job.sourceSeed = def->spec.seed;
+    const auto direct = runTimed(job.config, *def, 40'000);
+    const auto viaJob = executeJob(job);
+    expectIdentical(direct, viaJob);
+}
+
+} // namespace
+} // namespace adcache

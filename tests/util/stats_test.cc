@@ -12,8 +12,15 @@ TEST(RunningStat, EmptyIsZero)
     RunningStat s;
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
-    EXPECT_EQ(s.min(), 0.0);
-    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatDeathTest, EmptyMinMaxAssert)
+{
+    // min()/max() of an empty accumulator are meaningless; they must
+    // trip adcache_assert instead of silently returning 0.0.
+    RunningStat s;
+    EXPECT_DEATH(s.min(), "assertion 'count_ > 0' failed");
+    EXPECT_DEATH(s.max(), "assertion 'count_ > 0' failed");
 }
 
 TEST(RunningStat, TracksMinMaxMean)
