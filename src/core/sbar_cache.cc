@@ -56,6 +56,13 @@ SbarCache::isLeader(unsigned set) const
     return leaderOrdinal_.at(set) >= 0;
 }
 
+bool
+SbarCache::contains(Addr addr) const
+{
+    return tags_.findWay(geom_.setIndex(addr), geom_.tag(addr))
+        .has_value();
+}
+
 unsigned
 SbarCache::globalChoice() const
 {

@@ -75,6 +75,9 @@ class SbarCache : public CacheModel
     /** True iff @p set is a leader set. */
     bool isLeader(unsigned set) const;
 
+    /** True iff the block containing @p addr is resident. */
+    bool contains(Addr addr) const;
+
     /** Current globally-selected policy (0 = A, 1 = B). */
     unsigned globalChoice() const;
 

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reference model of the adaptive cache (Algorithm 1), in the exact
+ * per-set differentiating-miss-counter form the Appendix's 2x
+ * theorem is proved for.
+ *
+ * Components are reference shadow arrays (RefCache), the selector is
+ * RefExactCounters, and the victim-selection cases 1-3 of Algorithm 1
+ * are transcribed directly from the paper: follow the imitated
+ * component's eviction if that block is resident, otherwise evict any
+ * resident block outside the imitated component's contents, otherwise
+ * (partial-tag aliasing only) fall back to the same rotating
+ * arbitrary choice the production cache documents.
+ */
+
+#ifndef ADCACHE_ORACLE_REF_ADAPTIVE_HH
+#define ADCACHE_ORACLE_REF_ADAPTIVE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "oracle/ref_cache.hh"
+#include "oracle/ref_history.hh"
+
+namespace adcache
+{
+
+/** Outcome of one reference to the reference adaptive cache. */
+struct RefAdaptiveOutcome
+{
+    bool hit = false;
+    bool evicted = false;
+    Addr evictedBlock = 0;  //!< full block address of the victim
+    bool evictedDirty = false;
+    bool replaced = false;  //!< a replacement decision was made
+    unsigned winner = 0;    //!< imitated component (iff replaced)
+    bool fallback = false;  //!< case-3 arbitrary eviction fired
+};
+
+/** The naive adaptive-cache model. */
+class RefAdaptiveCache
+{
+  public:
+    RefAdaptiveCache(const RefGeometry &geom,
+                     const std::vector<PolicyType> &policies,
+                     unsigned partial_bits = 0, bool xor_fold = false);
+
+    RefAdaptiveOutcome access(Addr addr, bool is_write);
+
+    bool contains(Addr addr) const;
+    std::vector<Addr> residentBlocks() const;
+
+    unsigned numPolicies() const { return unsigned(shadows_.size()); }
+    std::uint64_t shadowMisses(unsigned k) const;
+
+    /** Exact differentiating-miss counter of component @p k in @p set. */
+    std::uint64_t counterOf(unsigned set, unsigned k) const;
+
+    /** Replacement decisions imitating component @p k in @p set. */
+    std::uint64_t decisionsOf(unsigned set, unsigned k) const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t fallbacks() const { return fallbacks_; }
+
+    const RefGeometry &geometry() const { return geom_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;  //!< always the full tag
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    unsigned chooseVictim(unsigned set, unsigned winner,
+                          const RefOutcome &winner_outcome,
+                          bool *used_fallback);
+
+    RefGeometry geom_;
+    std::vector<std::unique_ptr<RefCache>> shadows_;
+    std::vector<std::vector<Way>> sets_;
+    std::vector<RefExactCounters> counters_;            // per set
+    std::vector<std::vector<std::uint64_t>> decisions_; // [set][k]
+    std::vector<unsigned> fallbackPtr_;                 // per set
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::uint64_t fallbacks_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_ORACLE_REF_ADAPTIVE_HH

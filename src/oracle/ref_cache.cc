@@ -1,0 +1,109 @@
+#include "oracle/ref_cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+RefCache::RefCache(const RefGeometry &geom, PolicyType policy,
+                   unsigned partial_bits, bool xor_fold)
+    : geom_(geom), policy_(policy), partialBits_(partial_bits),
+      xorFold_(xor_fold)
+{
+    adcache_assert(refPolicySupported(policy));
+    sets_.assign(geom.numSets, std::vector<Way>(geom.assoc));
+    policies_.reserve(geom.numSets);
+    for (unsigned s = 0; s < geom.numSets; ++s)
+        policies_.push_back(makeRefPolicy(policy, geom.assoc));
+}
+
+Addr
+RefCache::foldTag(Addr full_tag) const
+{
+    if (partialBits_ == 0)
+        return full_tag;
+    if (xorFold_)
+        return xorFold(full_tag, partialBits_);
+    return full_tag & lowMask(partialBits_);
+}
+
+bool
+RefCache::containsTag(unsigned set, Addr stored_tag) const
+{
+    for (const Way &w : sets_.at(set))
+        if (w.valid && w.tag == stored_tag)
+            return true;
+    return false;
+}
+
+bool
+RefCache::contains(Addr addr) const
+{
+    return containsTag(geom_.setOf(addr),
+                       foldTag(geom_.tagOf(addr)));
+}
+
+std::vector<Addr>
+RefCache::residentBlocks() const
+{
+    adcache_assert(partialBits_ == 0);
+    std::vector<Addr> blocks;
+    for (unsigned s = 0; s < geom_.numSets; ++s)
+        for (const Way &w : sets_[s])
+            if (w.valid)
+                blocks.push_back(geom_.blockAddr(s, w.tag));
+    return blocks;
+}
+
+RefOutcome
+RefCache::access(Addr addr, bool is_write)
+{
+    RefOutcome out;
+    const unsigned set = geom_.setOf(addr);
+    const Addr tag = foldTag(geom_.tagOf(addr));
+    std::vector<Way> &ways = sets_[set];
+    RefPolicy &policy = *policies_[set];
+
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            // With partial tags this can be an aliased false
+            // positive; the reference proceeds as a hit exactly like
+            // the production shadow (Sec. 3.1).
+            ++hits_;
+            out.hit = true;
+            out.way = w;
+            policy.onHit(w);
+            if (is_write)
+                ways[w].dirty = true;
+            return out;
+        }
+    }
+
+    ++misses_;
+
+    unsigned fill = geom_.assoc;
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        if (!ways[w].valid) {
+            fill = w;
+            break;
+        }
+    }
+    if (fill == geom_.assoc) {
+        fill = policy.victim();
+        out.evicted = true;
+        out.evictedTag = ways[fill].tag;
+        out.evictedDirty = ways[fill].dirty;
+        ++evictions_;
+        if (ways[fill].dirty)
+            ++writebacks_;
+        policy.onInvalidate(fill);
+    }
+
+    ways[fill] = Way{tag, true, is_write};
+    policy.onFill(fill);
+    out.way = fill;
+    return out;
+}
+
+} // namespace adcache

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Reference set-associative tag cache for the differential oracle.
+ *
+ * A RefCache is the naive model of one cache-shaped structure: per
+ * set, a plain vector of (tag, valid, dirty) ways plus one RefPolicy.
+ * It serves two roles:
+ *
+ *  - with full tags and dirty tracking it is the oracle for the
+ *    conventional Cache;
+ *  - with partial (folded) tags it is the reference shadow array the
+ *    reference adaptive/SBAR models consult, mirroring the production
+ *    ShadowCache semantics (false-positive partial-tag matches count
+ *    as hits, Sec. 3.1).
+ *
+ * Everything is computed by linear scan; no stamps, rings, or
+ * incremental counters.
+ */
+
+#ifndef ADCACHE_ORACLE_REF_CACHE_HH
+#define ADCACHE_ORACLE_REF_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "oracle/ref_policy.hh"
+#include "util/types.hh"
+
+namespace adcache
+{
+
+/**
+ * Naive address decomposition, independent of the production
+ * CacheGeometry (same spec: low offset bits, then index bits, the
+ * rest is the tag).
+ */
+struct RefGeometry
+{
+    unsigned lineSize = 64;
+    unsigned numSets = 16;
+    unsigned assoc = 4;
+
+    unsigned
+    offsetBits() const
+    {
+        unsigned b = 0;
+        while ((1u << b) < lineSize)
+            ++b;
+        return b;
+    }
+
+    unsigned
+    indexBits() const
+    {
+        unsigned b = 0;
+        while ((1u << b) < numSets)
+            ++b;
+        return b;
+    }
+
+    unsigned setOf(Addr a) const
+    {
+        return unsigned((a >> offsetBits()) % numSets);
+    }
+
+    Addr tagOf(Addr a) const
+    {
+        return a >> (offsetBits() + indexBits());
+    }
+
+    Addr
+    blockAddr(unsigned set, Addr full_tag) const
+    {
+        return (full_tag << (offsetBits() + indexBits())) |
+               (Addr(set) << offsetBits());
+    }
+};
+
+/** Outcome of one reference presented to a RefCache. */
+struct RefOutcome
+{
+    bool hit = false;
+    bool evicted = false;      //!< a valid block was displaced
+    Addr evictedTag = 0;       //!< stored (possibly folded) tag
+    bool evictedDirty = false;
+    unsigned way = 0;          //!< way hit or filled
+};
+
+/** The naive reference cache / reference shadow array. */
+class RefCache
+{
+  public:
+    /**
+     * @param geom         shape shared with the checked structure.
+     * @param policy       replacement policy (must be supported by
+     *                     makeRefPolicy).
+     * @param partial_bits 0 = full tags, else stored tag width.
+     * @param xor_fold     fold by XOR of bit groups, not low bits.
+     */
+    RefCache(const RefGeometry &geom, PolicyType policy,
+             unsigned partial_bits = 0, bool xor_fold = false);
+
+    /** Present one reference; @p is_write only affects dirty bits. */
+    RefOutcome access(Addr addr, bool is_write);
+
+    /** Fold a full tag into this cache's stored-tag domain. */
+    Addr foldTag(Addr full_tag) const;
+
+    /** Membership of @p stored_tag in @p set. */
+    bool containsTag(unsigned set, Addr stored_tag) const;
+
+    /** Membership of the block containing @p addr. */
+    bool contains(Addr addr) const;
+
+    /** All resident block addresses (full-tag caches only). */
+    std::vector<Addr> residentBlocks() const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    const RefGeometry &geometry() const { return geom_; }
+    PolicyType policyType() const { return policy_; }
+
+  private:
+    friend class RefAdaptiveCache;
+    friend class RefSbarCache;
+
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    RefGeometry geom_;
+    PolicyType policy_;
+    unsigned partialBits_;
+    bool xorFold_;
+    std::vector<std::vector<Way>> sets_;
+    std::vector<std::unique_ptr<RefPolicy>> policies_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_ORACLE_REF_CACHE_HH

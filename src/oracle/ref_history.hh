@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reference miss-history models for the differential oracle.
+ *
+ * RefWindowHistory keeps the literal deque of the last m
+ * differentiating-miss bitmasks and counts by scanning it — the
+ * production WindowHistory maintains incremental counts over a ring
+ * buffer, so the two agree only if both are correct.
+ * RefExactCounters is the since-start counter form the 2x theorem is
+ * proved for.
+ */
+
+#ifndef ADCACHE_ORACLE_REF_HISTORY_HH
+#define ADCACHE_ORACLE_REF_HISTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+/** Literal m-deep window of differentiating-miss masks. */
+class RefWindowHistory
+{
+  public:
+    RefWindowHistory(unsigned depth, unsigned num_policies)
+        : depth_(depth), numPolicies_(num_policies)
+    {
+        adcache_assert(depth >= 1);
+    }
+
+    void
+    record(std::uint32_t miss_mask)
+    {
+        window_.push_back(miss_mask);
+        if (window_.size() > depth_)
+            window_.pop_front();
+    }
+
+    std::uint64_t
+    count(unsigned policy) const
+    {
+        std::uint64_t c = 0;
+        for (std::uint32_t mask : window_)
+            if (mask & (1u << policy))
+                ++c;
+        return c;
+    }
+
+    /** Policy with the fewest windowed misses; ties to lowest index. */
+    unsigned
+    best() const
+    {
+        unsigned best_policy = 0;
+        std::uint64_t best_count = count(0);
+        for (unsigned p = 1; p < numPolicies_; ++p) {
+            const std::uint64_t c = count(p);
+            if (c < best_count) {
+                best_count = c;
+                best_policy = p;
+            }
+        }
+        return best_policy;
+    }
+
+  private:
+    unsigned depth_;
+    unsigned numPolicies_;
+    std::deque<std::uint32_t> window_;
+};
+
+/** Exact since-start differentiating-miss counters (theory form). */
+class RefExactCounters
+{
+  public:
+    explicit RefExactCounters(unsigned num_policies)
+        : counts_(num_policies, 0)
+    {
+    }
+
+    void
+    record(std::uint32_t miss_mask)
+    {
+        for (unsigned p = 0; p < counts_.size(); ++p)
+            if (miss_mask & (1u << p))
+                ++counts_[p];
+    }
+
+    std::uint64_t count(unsigned policy) const
+    {
+        return counts_.at(policy);
+    }
+
+    unsigned
+    best() const
+    {
+        unsigned best_policy = 0;
+        for (unsigned p = 1; p < counts_.size(); ++p)
+            if (counts_[p] < counts_[best_policy])
+                best_policy = p;
+        return best_policy;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_ORACLE_REF_HISTORY_HH

@@ -1,0 +1,185 @@
+#include "oracle/ref_policy.hh"
+
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+/**
+ * LRU / MRU / FIFO as one explicit stack of ways.
+ *
+ * The stack is ordered most-recent-first (for recency policies) or
+ * newest-fill-first (for FIFO). Ways not currently valid are simply
+ * absent from the stack; victim() is only consulted when the set is
+ * full, i.e. when every way is on the stack.
+ *
+ * Tie-breaking: the production policies break stamp ties toward the
+ * lowest way index, but stamps are unique for any way that has been
+ * touched, so the stack order is the complete specification.
+ */
+class StackPolicy : public RefPolicy
+{
+  public:
+    enum class Kind
+    {
+        Lru,  //!< victim = bottom of the recency stack
+        Mru,  //!< victim = top of the recency stack
+        Fifo, //!< fill-order stack, hits do not move entries
+    };
+
+    StackPolicy(Kind kind, unsigned assoc) : kind_(kind), assoc_(assoc)
+    {
+        adcache_assert(assoc >= 1);
+    }
+
+    void
+    onFill(unsigned way) override
+    {
+        remove(way);
+        stack_.push_front(way);
+    }
+
+    void
+    onHit(unsigned way) override
+    {
+        if (kind_ == Kind::Fifo)
+            return;  // FIFO never refreshes on a hit
+        remove(way);
+        stack_.push_front(way);
+    }
+
+    void onInvalidate(unsigned way) override { remove(way); }
+
+    unsigned
+    victim() const override
+    {
+        adcache_assert(!stack_.empty());
+        switch (kind_) {
+          case Kind::Mru:
+            return stack_.front();
+          case Kind::Lru:
+          case Kind::Fifo:
+            return stack_.back();
+        }
+        panic("unreachable");
+    }
+
+    unsigned assoc() const override { return assoc_; }
+
+  private:
+    void
+    remove(unsigned way)
+    {
+        stack_.remove(way);
+    }
+
+    Kind kind_;
+    unsigned assoc_;
+    std::list<unsigned> stack_;
+};
+
+/**
+ * LFU with plain integers: a per-way use count saturating at the same
+ * 5-bit ceiling as the production counters, plus a fill sequence
+ * number for the production tie-break (least count, then oldest
+ * fill).
+ */
+class CounterLfuPolicy : public RefPolicy
+{
+  public:
+    static constexpr unsigned countCeiling = 31;  // 5-bit saturation
+
+    explicit CounterLfuPolicy(unsigned assoc)
+        : assoc_(assoc), count_(assoc, 0), fillSeq_(assoc, 0)
+    {
+        adcache_assert(assoc >= 1);
+    }
+
+    void
+    onFill(unsigned way) override
+    {
+        count_.at(way) = 1;
+        fillSeq_.at(way) = ++clock_;
+    }
+
+    void
+    onHit(unsigned way) override
+    {
+        if (count_.at(way) < countCeiling)
+            ++count_[way];
+    }
+
+    void
+    onInvalidate(unsigned way) override
+    {
+        count_.at(way) = 0;
+        fillSeq_.at(way) = 0;
+    }
+
+    unsigned
+    victim() const override
+    {
+        unsigned best = 0;
+        for (unsigned w = 1; w < assoc_; ++w) {
+            if (count_[w] < count_[best] ||
+                (count_[w] == count_[best] &&
+                 fillSeq_[w] < fillSeq_[best])) {
+                best = w;
+            }
+        }
+        return best;
+    }
+
+    unsigned assoc() const override { return assoc_; }
+
+  private:
+    unsigned assoc_;
+    std::vector<unsigned> count_;
+    std::vector<std::uint64_t> fillSeq_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace
+
+bool
+refPolicySupported(PolicyType type)
+{
+    switch (type) {
+      case PolicyType::LRU:
+      case PolicyType::MRU:
+      case PolicyType::FIFO:
+      case PolicyType::LFU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::unique_ptr<RefPolicy>
+makeRefPolicy(PolicyType type, unsigned assoc)
+{
+    switch (type) {
+      case PolicyType::LRU:
+        return std::make_unique<StackPolicy>(StackPolicy::Kind::Lru,
+                                             assoc);
+      case PolicyType::MRU:
+        return std::make_unique<StackPolicy>(StackPolicy::Kind::Mru,
+                                             assoc);
+      case PolicyType::FIFO:
+        return std::make_unique<StackPolicy>(StackPolicy::Kind::Fifo,
+                                             assoc);
+      case PolicyType::LFU:
+        return std::make_unique<CounterLfuPolicy>(assoc);
+      default:
+        panic("no reference model for policy %s", policyName(type));
+    }
+}
+
+} // namespace adcache

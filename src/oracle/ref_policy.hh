@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reference replacement models for the differential oracle.
+ *
+ * These are deliberately naive re-implementations of the replacement
+ * policies, written in the most obviously-correct style available:
+ * LRU/FIFO/MRU as explicit stacks (ordered lists of ways) and LFU as
+ * plain integer counters. They share no code with the production
+ * policies in cache/policies.cc — the production code encodes the
+ * same orders as per-way stamps and saturating counters — so a bug
+ * in either implementation shows up as a lockstep divergence.
+ *
+ * Stochastic and heuristic policies (Random, TreePLRU, SRRIP) have no
+ * reference model; refPolicySupported() reports which types can be
+ * oracle-checked.
+ */
+
+#ifndef ADCACHE_ORACLE_REF_POLICY_HH
+#define ADCACHE_ORACLE_REF_POLICY_HH
+
+#include <memory>
+
+#include "cache/replacement.hh"
+
+namespace adcache
+{
+
+/**
+ * Reference model of one set's replacement metadata. Same event
+ * interface as the production ReplacementPolicy, but victim() is
+ * const: every reference model is a pure function of the event
+ * history.
+ */
+class RefPolicy
+{
+  public:
+    virtual ~RefPolicy() = default;
+
+    virtual void onFill(unsigned way) = 0;
+    virtual void onHit(unsigned way) = 0;
+    virtual void onInvalidate(unsigned way) = 0;
+
+    /** Way the policy would evict. Only meaningful when the owning
+     *  set is full (mirrors the production contract). */
+    virtual unsigned victim() const = 0;
+
+    virtual unsigned assoc() const = 0;
+};
+
+/** True iff @p type has a reference model. */
+bool refPolicySupported(PolicyType type);
+
+/** Build the reference model for @p type; panics if unsupported. */
+std::unique_ptr<RefPolicy> makeRefPolicy(PolicyType type,
+                                         unsigned assoc);
+
+} // namespace adcache
+
+#endif // ADCACHE_ORACLE_REF_POLICY_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reference model of the SBAR-like set-sampling adaptive cache
+ * (Sec. 4.7): leader sets run the full adaptive mechanism on
+ * reference shadow arrays and a literal miss-history window, and
+ * train a plain saturating selection counter; follower sets keep
+ * both components' reference replacement metadata on the real blocks
+ * and evict whatever the globally-selected policy would evict from
+ * the current contents.
+ */
+
+#ifndef ADCACHE_ORACLE_REF_SBAR_HH
+#define ADCACHE_ORACLE_REF_SBAR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "oracle/ref_cache.hh"
+#include "oracle/ref_history.hh"
+
+namespace adcache
+{
+
+/** Shape/behaviour parameters of the reference SBAR model. */
+struct RefSbarParams
+{
+    RefGeometry geom;
+    PolicyType policyA = PolicyType::LRU;
+    PolicyType policyB = PolicyType::LFU;
+    unsigned numLeaders = 4;
+    unsigned partialTagBits = 0;
+    bool xorFoldTags = false;
+    unsigned historyDepth = 0;  //!< 0 = associativity
+    unsigned pselBits = 10;
+};
+
+/** Outcome of one reference to the reference SBAR cache. */
+struct RefSbarOutcome
+{
+    bool hit = false;
+    bool evicted = false;
+    Addr evictedBlock = 0;
+    bool evictedDirty = false;
+};
+
+/** The naive SBAR model. */
+class RefSbarCache
+{
+  public:
+    explicit RefSbarCache(const RefSbarParams &params);
+
+    RefSbarOutcome access(Addr addr, bool is_write);
+
+    bool isLeader(unsigned set) const;
+    unsigned globalChoice() const;
+    std::uint64_t selectionFlips() const { return flips_; }
+
+    bool contains(Addr addr) const;
+    std::vector<Addr> residentBlocks() const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    const RefGeometry &geometry() const { return params_.geom; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    unsigned leaderVictim(unsigned set, unsigned winner,
+                          const RefOutcome &winner_outcome);
+
+    RefSbarParams params_;
+    std::vector<std::vector<Way>> sets_;
+    // Both components' reference metadata on every real set.
+    std::vector<std::unique_ptr<RefPolicy>> metaA_;
+    std::vector<std::unique_ptr<RefPolicy>> metaB_;
+    std::unique_ptr<RefCache> shadowA_;
+    std::unique_ptr<RefCache> shadowB_;
+    std::vector<RefWindowHistory> leaderHistory_;
+    std::vector<int> leaderOrdinal_;
+    std::vector<unsigned> fallbackPtr_;
+    std::uint32_t psel_;
+    std::uint32_t pselMax_;
+    std::uint64_t flips_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_ORACLE_REF_SBAR_HH

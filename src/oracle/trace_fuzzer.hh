@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Adversarial access-stream generation and failing-stream shrinking
+ * for the differential harness.
+ *
+ * The fuzzer knows the shape of the cache under test and composes
+ * streams from the motifs that historically break replacement logic:
+ * thrash loops sized at assoc-1/assoc/assoc+1 blocks of one set,
+ * sequential scans, abrupt phase flips, clusters of partial-tag
+ * aliases (same set, identical folded tag, distinct full tags), and
+ * store/load mixes. A failing stream is shrunk by delta debugging
+ * (chunk removal at halving granularity) down to a minimal repro the
+ * caller can print as a replayable literal.
+ *
+ * Env knobs for soak runs (parsed once, warn-and-fallback on
+ * malformed values like the other ADCACHE_* knobs):
+ *   ADCACHE_FUZZ_ITERS  accesses per fuzzed config
+ *   ADCACHE_FUZZ_SEED   base seed for stream generation
+ */
+
+#ifndef ADCACHE_ORACLE_TRACE_FUZZER_HH
+#define ADCACHE_ORACLE_TRACE_FUZZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oracle/differential.hh"
+#include "util/rng.hh"
+
+namespace adcache
+{
+
+/** Shape of the cache a fuzz stream should attack. */
+struct FuzzShape
+{
+    unsigned numSets = 16;
+    unsigned assoc = 4;
+    unsigned lineSize = 64;
+    /** Shadow partial-tag width; 0 disables alias-cluster motifs. */
+    unsigned partialTagBits = 0;
+    /** Probability an access is a store. */
+    double writeFraction = 0.4;
+};
+
+/** Seeded adversarial stream generator. */
+class TraceFuzzer
+{
+  public:
+    TraceFuzzer(std::uint64_t seed, const FuzzShape &shape);
+
+    /** Generate a stream of @p length accesses. */
+    std::vector<Access> generate(std::size_t length);
+
+    /**
+     * Shrink @p failing (which must make @p checker report a
+     * mismatch) to a minimal still-failing stream via delta
+     * debugging. Deterministic; re-runs the checker per candidate.
+     */
+    static std::vector<Access>
+    shrink(const DifferentialChecker &checker,
+           std::vector<Access> failing);
+
+    /** Render a stream as a replayable C++ initializer literal. */
+    static std::string toLiteral(const std::vector<Access> &stream);
+
+  private:
+    Addr blockAddr(std::uint64_t block) const;
+    void emitSegment(std::vector<Access> &out, std::size_t budget);
+
+    FuzzShape shape_;
+    Rng rng_;
+};
+
+/** ADCACHE_FUZZ_ITERS, default @p fallback (cached after first read). */
+std::size_t fuzzIters(std::size_t fallback);
+
+/** ADCACHE_FUZZ_SEED, default @p fallback (cached after first read). */
+std::uint64_t fuzzSeed(std::uint64_t fallback);
+
+} // namespace adcache
+
+#endif // ADCACHE_ORACLE_TRACE_FUZZER_HH

@@ -5,69 +5,83 @@
  * suffers at most 2x the misses of the better component policy, up
  * to an additive start-up term (the initial fills and the first
  * adaptation on each set).
+ *
+ * The bound is checked for every pair of reference-modelled policies
+ * {LRU, LFU, FIFO, MRU} and for three- and four-policy configs. The
+ * "best component" miss counts come from the oracle's independent
+ * RefCache models, and the production shadow arrays are
+ * cross-checked against them reference-for-reference — so a bug in
+ * the production shadows cannot quietly loosen the bound.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "core/adaptive_cache.hh"
+#include "oracle/ref_cache.hh"
+#include "support/access_streams.hh"
 
 namespace adcache
 {
 namespace
 {
 
+using teststream::Pattern;
+using teststream::StreamParams;
+
 struct BoundCase
 {
     const char *name;
-    PolicyType a;
-    PolicyType b;
+    std::vector<PolicyType> policies;
     unsigned assoc;
     unsigned sets;
-    int pattern;  // 0 random, 1 loop, 2 hot/cold, 3 phase-switch
+    Pattern pattern;
 };
 
 class AdaptiveBound : public ::testing::TestWithParam<BoundCase>
 {
-  protected:
-    /** Generate the next address of the parameterised stream. */
-    Addr
-    next(Rng &rng, const BoundCase &c, std::uint64_t i)
-    {
-        const std::uint64_t blocks = 8ull * c.assoc * c.sets;
-        switch (c.pattern) {
-          case 1:  // cyclic loop slightly deeper than the cache
-            return (i % (std::uint64_t(c.assoc + 2) * c.sets)) * 64;
-          case 2:  // hot/cold
-            if (rng.chance(0.5))
-                return rng.below(c.assoc * c.sets / 2 + 1) * 64;
-            return (blocks + (i % (4 * blocks))) * 64;
-          case 3:  // phase switch every 10k references
-            if ((i / 10000) % 2 == 0)
-                return rng.below(blocks) * 64;
-            return (i % (std::uint64_t(c.assoc + 3) * c.sets)) * 64;
-          default:
-            return rng.below(blocks) * 64;
-        }
-    }
 };
 
 TEST_P(AdaptiveBound, TwoTimesBetterComponentPlusStartup)
 {
     const BoundCase c = GetParam();
-    AdaptiveConfig conf = AdaptiveConfig::dual(
-        c.a, c.b, std::uint64_t(64) * c.assoc * c.sets, c.assoc, 64);
+    AdaptiveConfig conf;
+    conf.sizeBytes = std::uint64_t(64) * c.assoc * c.sets;
+    conf.assoc = c.assoc;
+    conf.lineSize = 64;
+    conf.policies = c.policies;
     conf.exactCounters = true;
     AdaptiveCache cache(conf);
 
-    Rng rng(0xC0FFEE);
-    const std::uint64_t refs = 200'000;
-    for (std::uint64_t i = 0; i < refs; ++i)
-        cache.access(next(rng, c, i), false);
+    // Independent oracle models of each component cache.
+    const RefGeometry geom{64, c.sets, c.assoc};
+    std::vector<std::unique_ptr<RefCache>> components;
+    for (PolicyType p : c.policies)
+        components.push_back(std::make_unique<RefCache>(geom, p));
 
-    const std::uint64_t best =
-        std::min(cache.shadowMisses(0), cache.shadowMisses(1));
+    const StreamParams params = StreamParams::forCache(c.assoc, c.sets);
+    Rng rng(0xC0FFEE);
+    const std::uint64_t refs = 150'000;
+    for (std::uint64_t i = 0; i < refs; ++i) {
+        const Addr a = patternAddr(c.pattern, params, rng, i);
+        cache.access(a, false);
+        for (auto &ref : components)
+            ref->access(a, false);
+    }
+
+    // The production shadow arrays must agree with the naive models.
+    std::uint64_t best = ~0ull;
+    for (unsigned k = 0; k < components.size(); ++k) {
+        ASSERT_EQ(cache.shadowMisses(k), components[k]->misses())
+            << "production shadow " << k << " ("
+            << policyName(c.policies[k])
+            << ") diverged from its oracle";
+        best = std::min(best, components[k]->misses());
+    }
+
     // Start-up slack: the compulsory fills plus one adaptation round
     // per set (a small constant per set in the Appendix's proof).
     const std::uint64_t slack = 4ull * c.assoc * c.sets;
@@ -76,29 +90,59 @@ TEST_P(AdaptiveBound, TwoTimesBetterComponentPlusStartup)
         << best;
 }
 
+constexpr PolicyType kLru = PolicyType::LRU;
+constexpr PolicyType kLfu = PolicyType::LFU;
+constexpr PolicyType kFifo = PolicyType::FIFO;
+constexpr PolicyType kMru = PolicyType::MRU;
+
 INSTANTIATE_TEST_SUITE_P(
-    Patterns, AdaptiveBound,
+    AllPairs, AdaptiveBound,
     ::testing::Values(
-        BoundCase{"lru_lfu_random", PolicyType::LRU, PolicyType::LFU,
-                  4, 16, 0},
-        BoundCase{"lru_lfu_loop", PolicyType::LRU, PolicyType::LFU, 4,
-                  16, 1},
-        BoundCase{"lru_lfu_hotcold", PolicyType::LRU, PolicyType::LFU,
-                  4, 16, 2},
-        BoundCase{"lru_lfu_phases", PolicyType::LRU, PolicyType::LFU,
-                  4, 16, 3},
-        BoundCase{"lru_mru_loop", PolicyType::LRU, PolicyType::MRU, 4,
-                  16, 1},
-        BoundCase{"lru_mru_phases", PolicyType::LRU, PolicyType::MRU,
-                  8, 8, 3},
-        BoundCase{"fifo_mru_loop", PolicyType::FIFO, PolicyType::MRU,
-                  4, 16, 1},
-        BoundCase{"fifo_lfu_random", PolicyType::FIFO, PolicyType::LFU,
-                  8, 8, 0},
-        BoundCase{"lru_fifo_hotcold", PolicyType::LRU, PolicyType::FIFO,
-                  2, 32, 2},
-        BoundCase{"lfu_mru_loop", PolicyType::LFU, PolicyType::MRU, 4,
-                  4, 1}),
+        // Every pair of modelled policies, each on the pattern that
+        // stresses its disagreement hardest.
+        BoundCase{"lru_lfu_loop", {kLru, kLfu}, 4, 16, Pattern::Loop},
+        BoundCase{"lru_lfu_hotcold", {kLru, kLfu}, 4, 16,
+                  Pattern::HotCold},
+        BoundCase{"lru_fifo_hotcold", {kLru, kFifo}, 2, 32,
+                  Pattern::HotCold},
+        BoundCase{"lru_fifo_loop", {kLru, kFifo}, 4, 16,
+                  Pattern::Loop},
+        BoundCase{"lru_mru_loop", {kLru, kMru}, 4, 16, Pattern::Loop},
+        BoundCase{"lru_mru_phases", {kLru, kMru}, 8, 8,
+                  Pattern::PhaseSwitch},
+        BoundCase{"lfu_fifo_random", {kLfu, kFifo}, 8, 8,
+                  Pattern::Uniform},
+        BoundCase{"lfu_fifo_loop", {kLfu, kFifo}, 4, 16,
+                  Pattern::Loop},
+        BoundCase{"lfu_mru_loop", {kLfu, kMru}, 4, 4, Pattern::Loop},
+        BoundCase{"lfu_mru_hotcold", {kLfu, kMru}, 4, 16,
+                  Pattern::HotCold},
+        BoundCase{"fifo_mru_loop", {kFifo, kMru}, 4, 16,
+                  Pattern::Loop},
+        BoundCase{"fifo_mru_phases", {kFifo, kMru}, 4, 16,
+                  Pattern::PhaseSwitch},
+        // Remaining single-pattern coverage of the headline pair.
+        BoundCase{"lru_lfu_random", {kLru, kLfu}, 4, 16,
+                  Pattern::Uniform},
+        BoundCase{"lru_lfu_phases", {kLru, kLfu}, 4, 16,
+                  Pattern::PhaseSwitch}),
+    [](const auto &info) { return info.param.name; });
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiPolicy, AdaptiveBound,
+    ::testing::Values(
+        // The bound argument (Appendix) is per *best component*, so
+        // it must also hold with three and four components.
+        BoundCase{"lru_lfu_fifo_loop", {kLru, kLfu, kFifo}, 4, 16,
+                  Pattern::Loop},
+        BoundCase{"lru_lfu_mru_hotcold", {kLru, kLfu, kMru}, 4, 16,
+                  Pattern::HotCold},
+        BoundCase{"lru_fifo_mru_phases", {kLru, kFifo, kMru}, 8, 8,
+                  Pattern::PhaseSwitch},
+        BoundCase{"all_four_loop", {kLru, kLfu, kFifo, kMru}, 4, 16,
+                  Pattern::Loop},
+        BoundCase{"all_four_random", {kLru, kLfu, kFifo, kMru}, 4, 16,
+                  Pattern::Uniform}),
     [](const auto &info) { return info.param.name; });
 
 TEST(AdaptiveBoundSingleSet, AdversarialPingPong)
@@ -114,10 +158,10 @@ TEST(AdaptiveBoundSingleSet, AdversarialPingPong)
     for (int round = 0; round < 400; ++round) {
         if (round % 2 == 0) {
             for (int i = 0; i < 40; ++i)
-                cache.access(rng.below(4) * 64, false);
+                cache.access(teststream::uniformAddr(rng, 4), false);
         } else {
             for (int i = 0; i < 40; ++i)
-                cache.access(Addr(i % 6) * 64, false);
+                cache.access(teststream::loopAddr(i, 6), false);
         }
     }
     const std::uint64_t best =
@@ -134,12 +178,9 @@ TEST(AdaptiveBoundWindow, WindowHistoryStaysNearComponents)
         PolicyType::LRU, PolicyType::LFU, 16 * 1024, 8, 64);
     AdaptiveCache cache(conf);
     Rng rng(7);
-    for (int i = 0; i < 300'000; ++i) {
-        const Addr a = rng.chance(0.5)
-                           ? rng.below(128) * 64
-                           : (128 + (std::uint64_t(i) % 2048)) * 64;
-        cache.access(a, false);
-    }
+    for (std::uint64_t i = 0; i < 300'000; ++i)
+        cache.access(
+            teststream::hotColdAddr(rng, i, 128, 128, 2048), false);
     const std::uint64_t best =
         std::min(cache.shadowMisses(0), cache.shadowMisses(1));
     EXPECT_LE(cache.stats().misses, 2 * best + 4096);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache.hh"
+#include "support/access_streams.hh"
 
 namespace adcache
 {
@@ -90,7 +91,8 @@ TEST(AdaptiveCache, NoFallbacksWithFullTags)
     AdaptiveCache cache(c);
     Rng rng(21);
     for (int i = 0; i < 100000; ++i)
-        cache.access(rng.below(4096) * 64, rng.chance(0.3));
+        cache.access(teststream::uniformAddr(rng, 4096),
+                     rng.chance(0.3));
     EXPECT_EQ(cache.fallbackEvictions(), 0u);
 }
 
@@ -120,7 +122,7 @@ TEST(AdaptiveCache, MatchesSingleComponentWhenIdentical)
 
     Rng rng(31);
     for (int i = 0; i < 50000; ++i) {
-        const Addr a = rng.below(1024) * 64;
+        const Addr a = teststream::uniformAddr(rng, 1024);
         adaptive.access(a, false);
         lru.access(a, false);
     }
@@ -141,7 +143,8 @@ TEST(AdaptiveCache, TracksBetterComponentOnLoopWorkload)
             AdaptiveCache cache(c);
             for (int cyc = 0; cyc < 300; ++cyc)
                 for (unsigned blk = 0; blk < depth; ++blk)
-                    cache.access(Addr(blk) * 64, false);
+                    cache.access(teststream::loopAddr(blk, depth),
+                                 false);
             misses = cache.stats().misses;
         } else {
             CacheConfig conf;
@@ -152,7 +155,8 @@ TEST(AdaptiveCache, TracksBetterComponentOnLoopWorkload)
             Cache cache(conf);
             for (int cyc = 0; cyc < 300; ++cyc)
                 for (unsigned blk = 0; blk < depth; ++blk)
-                    cache.access(Addr(blk) * 64, false);
+                    cache.access(teststream::loopAddr(blk, depth),
+                                 false);
             misses = cache.stats().misses;
         }
         return misses;
@@ -209,7 +213,7 @@ TEST(AdaptiveCache, HistoryDepthDefaultsToAssoc)
     AdaptiveCache cache(c);
     Rng rng(41);
     for (int i = 0; i < 10000; ++i)
-        cache.access(rng.below(2048) * 64, false);
+        cache.access(teststream::uniformAddr(rng, 2048), false);
     EXPECT_GT(cache.stats().misses, 0u);
 }
 

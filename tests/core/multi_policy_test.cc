@@ -8,6 +8,7 @@
 
 #include "cache/cache.hh"
 #include "core/adaptive_cache.hh"
+#include "support/access_streams.hh"
 
 namespace adcache
 {
@@ -30,7 +31,8 @@ TEST(MultiPolicy, RunsAndCounts)
     AdaptiveCache cache(c);
     Rng rng(3);
     for (int i = 0; i < 100'000; ++i)
-        cache.access(rng.below(4096) * 64, rng.chance(0.25));
+        cache.access(teststream::uniformAddr(rng, 4096),
+                     rng.chance(0.25));
     EXPECT_EQ(cache.stats().accesses, 100'000u);
     for (unsigned k = 0; k < 5; ++k)
         EXPECT_GT(cache.shadowMisses(k), 0u);
@@ -44,7 +46,7 @@ TEST(MultiPolicy, TracksBestOfFiveOnLoop)
     AdaptiveCache cache(c);
     for (int cyc = 0; cyc < 2000; ++cyc)
         for (int b = 0; b < 6; ++b)
-            cache.access(Addr(b) * 64, false);
+            cache.access(teststream::loopAddr(b, 6), false);
 
     std::uint64_t best = cache.shadowMisses(0);
     std::uint64_t worst = best;
@@ -65,7 +67,7 @@ TEST(MultiPolicy, ThreePolicies)
     AdaptiveCache cache(c);
     Rng rng(7);
     for (int i = 0; i < 50'000; ++i)
-        cache.access(rng.below(2048) * 64, false);
+        cache.access(teststream::uniformAddr(rng, 2048), false);
     EXPECT_EQ(cache.numPolicies(), 3u);
     EXPECT_GT(cache.stats().hits, 0u);
 }
@@ -81,15 +83,13 @@ TEST(MultiPolicy, FiveCloseToDualOnMixedStream)
                                             PolicyType::LFU, size, 8,
                                             64));
     Rng rng(13);
-    for (int i = 0; i < 300'000; ++i) {
+    for (std::uint64_t i = 0; i < 300'000; ++i) {
         Addr a;
-        const int phase = (i / 30'000) % 2;
-        if (phase == 0 && rng.chance(0.5))
-            a = rng.below(768) * 64;
-        else if (phase == 0)
-            a = (768 + std::uint64_t(i) % 8192) * 64;
+        const int phase = int((i / 30'000) % 2);
+        if (phase == 0)
+            a = teststream::hotColdAddr(rng, i, 768, 768, 8192);
         else
-            a = rng.below(3072) * 64;
+            a = teststream::uniformAddr(rng, 3072);
         five.access(a, false);
         dual.access(a, false);
     }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/adaptive_cache.hh"
+#include "support/access_streams.hh"
 
 namespace adcache
 {
@@ -30,12 +31,9 @@ runMisses(const AdaptiveConfig &c, std::uint64_t seed,
 {
     AdaptiveCache cache(c);
     Rng rng(seed);
-    for (int i = 0; i < 200'000; ++i) {
-        Addr a;
-        if (rng.chance(0.5))
-            a = rng.below(512) * 64;  // hot
-        else
-            a = (512 + std::uint64_t(i) % 8192) * 64;  // stream
+    for (std::uint64_t i = 0; i < 200'000; ++i) {
+        const Addr a =
+            teststream::hotColdAddr(rng, i, 512, 512, 8192);
         cache.access(a, rng.chance(0.2));
     }
     if (fallbacks)

@@ -4,6 +4,7 @@
 
 #include "cache/cache.hh"
 #include "core/adaptive_cache.hh"
+#include "support/access_streams.hh"
 
 namespace adcache
 {
@@ -95,12 +96,9 @@ TEST(SbarCache, CompetitiveWithFullAdaptiveOnStationaryStream)
     Cache lru(lc);
 
     Rng rng(5);
-    for (int i = 0; i < 400'000; ++i) {
-        Addr a;
-        if (rng.chance(0.5))
-            a = rng.below(1024) * 64;
-        else
-            a = (1024 + std::uint64_t(i) % 16384) * 64;
+    for (std::uint64_t i = 0; i < 400'000; ++i) {
+        const Addr a =
+            teststream::hotColdAddr(rng, i, 1024, 1024, 16384);
         sbar.access(a, false);
         adaptive.access(a, false);
         lru.access(a, false);
@@ -154,7 +152,7 @@ TEST(SbarCache, PartialTagLeadersWork)
     SbarCache cache(c);
     Rng rng(11);
     for (int i = 0; i < 50'000; ++i)
-        cache.access(rng.below(8192) * 64, false);
+        cache.access(teststream::uniformAddr(rng, 8192), false);
     EXPECT_GT(cache.stats().hits, 0u);
     EXPECT_GT(cache.stats().misses, 0u);
 }

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Replays every shrunk repro trace in tests/data/regressions/
+ * through the differential harness. Each file is a previously-failing
+ * (since fixed) or representative stream; the suite guards against
+ * those divergences coming back. docs/TESTING.md explains the file
+ * format and how to add a new trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "oracle/corpus.hh"
+
+#ifndef ADCACHE_REGRESSION_DIR
+#error "build must define ADCACHE_REGRESSION_DIR"
+#endif
+
+namespace adcache
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+regressionFiles()
+{
+    std::vector<fs::path> files;
+    for (const auto &entry :
+         fs::directory_iterator(ADCACHE_REGRESSION_DIR)) {
+        if (entry.path().extension() == ".trace")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(RegressionReplay, CorpusIsPresent)
+{
+    ASSERT_TRUE(fs::is_directory(ADCACHE_REGRESSION_DIR))
+        << "missing " << ADCACHE_REGRESSION_DIR;
+    EXPECT_FALSE(regressionFiles().empty())
+        << "regression corpus is empty";
+}
+
+TEST(RegressionReplay, AllTracesPass)
+{
+    for (const fs::path &path : regressionFiles()) {
+        SCOPED_TRACE(path.filename().string());
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good());
+        const RegressionTrace trace = parseTrace(in);
+        ASSERT_FALSE(trace.stream.empty());
+        DifferentialChecker checker(trace.factory);
+        const auto mismatch = checker.run(trace.stream);
+        EXPECT_FALSE(mismatch.has_value())
+            << "regressed on " << trace.configLine << ": "
+            << mismatch->format();
+    }
+}
+
+} // namespace
+} // namespace adcache

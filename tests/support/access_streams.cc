@@ -1,0 +1,64 @@
+#include "support/access_streams.hh"
+
+namespace adcache::teststream
+{
+
+StreamParams
+StreamParams::forCache(unsigned assoc, unsigned sets,
+                       unsigned line_size)
+{
+    const std::uint64_t capacity = std::uint64_t(assoc) * sets;
+    StreamParams p;
+    p.blocks = 8 * capacity;
+    p.loopDepth = std::uint64_t(assoc + 2) * sets;
+    p.hotBlocks = capacity / 2 + 1;
+    p.coldBase = p.blocks;
+    p.coldSpan = 4 * p.blocks;
+    p.phasePeriod = 10000;
+    p.lineSize = line_size;
+    return p;
+}
+
+Addr
+uniformAddr(Rng &rng, std::uint64_t blocks, unsigned line_size)
+{
+    return rng.below(blocks) * line_size;
+}
+
+Addr
+loopAddr(std::uint64_t i, std::uint64_t depth, unsigned line_size)
+{
+    return (i % depth) * line_size;
+}
+
+Addr
+hotColdAddr(Rng &rng, std::uint64_t i, std::uint64_t hot,
+            std::uint64_t cold_base, std::uint64_t cold_span,
+            unsigned line_size)
+{
+    if (rng.chance(0.5))
+        return rng.below(hot) * line_size;
+    return (cold_base + i % cold_span) * line_size;
+}
+
+Addr
+patternAddr(Pattern pattern, const StreamParams &params, Rng &rng,
+            std::uint64_t i)
+{
+    switch (pattern) {
+      case Pattern::Loop:
+        return loopAddr(i, params.loopDepth, params.lineSize);
+      case Pattern::HotCold:
+        return hotColdAddr(rng, i, params.hotBlocks, params.coldBase,
+                           params.coldSpan, params.lineSize);
+      case Pattern::PhaseSwitch:
+        if ((i / params.phasePeriod) % 2 == 0)
+            return uniformAddr(rng, params.blocks, params.lineSize);
+        return loopAddr(i, params.loopDepth, params.lineSize);
+      case Pattern::Uniform:
+      default:
+        return uniformAddr(rng, params.blocks, params.lineSize);
+    }
+}
+
+} // namespace adcache::teststream

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared synthetic access-stream generators for tests.
+ *
+ * Before this library every suite hand-rolled its own hot/cold,
+ * loop, and phase-switch address formulas; the motifs are collected
+ * here once so property tests, differential tests, and behavioural
+ * tests drive caches with the same, named patterns.
+ *
+ * All generators are pure functions of (Rng, index, params) and emit
+ * block-aligned addresses.
+ */
+
+#ifndef ADCACHE_TESTS_SUPPORT_ACCESS_STREAMS_HH
+#define ADCACHE_TESTS_SUPPORT_ACCESS_STREAMS_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace adcache::teststream
+{
+
+/** The classic workload motifs used across the test suite. */
+enum class Pattern
+{
+    Uniform,      //!< uniform random over a working set
+    Loop,         //!< cyclic loop (MRU-friendly when deeper than assoc)
+    HotCold,      //!< 50/50 hot working set vs streaming cold blocks
+    PhaseSwitch,  //!< alternating Uniform and Loop phases
+};
+
+/** Knobs for the pattern generators. */
+struct StreamParams
+{
+    std::uint64_t blocks = 1024;      //!< Uniform working set size
+    std::uint64_t loopDepth = 16;     //!< Loop cycle length
+    std::uint64_t hotBlocks = 512;    //!< HotCold hot-set size
+    std::uint64_t coldBase = 512;     //!< HotCold stream start block
+    std::uint64_t coldSpan = 8192;    //!< HotCold stream wrap length
+    std::uint64_t phasePeriod = 10000; //!< PhaseSwitch half-period
+    unsigned lineSize = 64;
+
+    /**
+     * The parameterisation the adaptive-bound property tests use for
+     * an assoc x sets cache: a working set of 8x capacity, loops just
+     * deeper than the associativity, and a hot set of half capacity.
+     */
+    static StreamParams forCache(unsigned assoc, unsigned sets,
+                                 unsigned line_size = 64);
+};
+
+/** Next address of @p pattern at stream position @p i. */
+Addr patternAddr(Pattern pattern, const StreamParams &params,
+                 Rng &rng, std::uint64_t i);
+
+/** Uniform random block in [0, blocks). */
+Addr uniformAddr(Rng &rng, std::uint64_t blocks,
+                 unsigned line_size = 64);
+
+/** Position @p i of a cyclic loop over @p depth blocks. */
+Addr loopAddr(std::uint64_t i, std::uint64_t depth,
+              unsigned line_size = 64);
+
+/**
+ * 50/50 mix of a hot set [0, hot) and a streaming window
+ * [cold_base, cold_base + cold_span) advanced by @p i.
+ */
+Addr hotColdAddr(Rng &rng, std::uint64_t i, std::uint64_t hot,
+                 std::uint64_t cold_base, std::uint64_t cold_span,
+                 unsigned line_size = 64);
+
+} // namespace adcache::teststream
+
+#endif // ADCACHE_TESTS_SUPPORT_ACCESS_STREAMS_HH
