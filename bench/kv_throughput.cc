@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Concurrent throughput of the sharded kv cache: a fixed operation
+ * budget is split across 1..8 threads (runIndexed pool), each thread
+ * driving its own seeded Zipf stream of mixed gets and puts against
+ * one shared cache. Shards are independent mutex domains, so
+ * scaling is bounded by min(threads, shards, hardware cores); the
+ * report records ops/sec per thread count, the scaling factor
+ * versus single-threaded, and the machine's hardware concurrency so
+ * results from core-starved CI containers read honestly.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kv/adaptive_kv_cache.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "workloads/key_stream.hh"
+
+using namespace adcache;
+using namespace adcache::kv;
+
+namespace
+{
+
+constexpr std::uint64_t kTotalOps = 1'600'000;
+
+KvConfig
+cacheConfig()
+{
+    KvConfig c;
+    c.capacity = 64 * 1024;
+    c.numShards = 16;
+    c.numBuckets = 1'024;
+    c.bucketWays = 4;
+    c.leaderEvery = 8;
+    c.shadowTagBits = 16;
+    c.scope = EvictionScope::Shard;
+    c.selector = SelectorMode::Adaptive;
+    c.keyHash = KeyHashKind::Mix;
+    return c;
+}
+
+/** One measured run; @return ops per second. */
+double
+runOne(unsigned threads)
+{
+    AdaptiveKvCache cache(cacheConfig());
+    const std::uint64_t per_thread = kTotalOps / threads;
+
+    const auto start = std::chrono::steady_clock::now();
+    runIndexed(threads, threads, [&](std::size_t t) {
+        KeyStreamSpec spec;
+        spec.pattern = KeyPattern::Zipf;
+        spec.keySpace = 1 << 18;
+        spec.skew = 0.9;
+        spec.seed = 71 + t;
+        KeyStream stream(spec);
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+            const KvKey key = stream.next();
+            if (i % 4 == 0)
+                cache.put(key, "v");
+            else
+                cache.get(key);
+        }
+    });
+    const auto elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return double(per_thread * threads) / elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    ReportGrid grid;
+    grid.experiment = "kv_throughput";
+    grid.benchmarkHeader = "threads";
+    grid.variantHeader = "cache";
+    grid.addMeta("total_ops", std::to_string(kTotalOps));
+    grid.addMeta("hardware_concurrency", std::to_string(hw));
+    grid.addMeta("shards", "16");
+
+    // Warm-up run outside the measurement (page cache, allocator).
+    runOne(1);
+
+    double base = 0.0;
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        const double ops = runOne(threads);
+        if (threads == 1)
+            base = ops;
+        const double scaling = base > 0.0 ? ops / base : 0.0;
+        ReportRow &row =
+            grid.add(std::to_string(threads), "adaptive16");
+        row.stats.value("ops_per_sec", ops);
+        row.stats.value("scaling_vs_1t", scaling);
+        if (reportFormat() == ReportFormat::Table)
+            std::printf("%u thread(s): %10.0f ops/s  (%.2fx vs 1t)\n",
+                        threads, ops, scaling);
+    }
+
+    if (reportFormat() == ReportFormat::Table) {
+        std::printf("hardware concurrency: %u\n", hw);
+        if (hw < 8)
+            std::printf("note: fewer than 8 hardware cores — "
+                        "thread scaling is bounded by the core "
+                        "count, not by shard contention.\n");
+    } else {
+        emitReport(grid, reportFormat());
+    }
+    return 0;
+}

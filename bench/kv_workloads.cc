@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hit-rate sweep of the kv cache across the key-stream families:
+ * Zipf at several skews, uniform, and a capacity-exceeding scan,
+ * each run against the adaptive selector and both fixed policies.
+ * The companion to kv_phase_flip — where that bench asks "does
+ * adaptation win when the workload shifts", this one maps how each
+ * policy behaves on the stationary patterns the shifts are built
+ * from.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kv/adaptive_kv_cache.hh"
+#include "sim/report.hh"
+#include "workloads/key_stream.hh"
+
+using namespace adcache;
+using namespace adcache::kv;
+
+namespace
+{
+
+constexpr std::uint64_t kOps = 250'000;
+constexpr std::uint64_t kCapacity = 4'096;
+
+KvConfig
+cacheConfig(SelectorMode mode)
+{
+    KvConfig c;
+    c.capacity = kCapacity;
+    c.numShards = 1;
+    c.numBuckets = 1'024;
+    c.bucketWays = 4;
+    c.leaderEvery = 8;
+    c.shadowTagBits = 16;
+    c.scope = EvictionScope::Shard;
+    c.selector = mode;
+    c.keyHash = KeyHashKind::Mix;
+    return c;
+}
+
+std::vector<std::pair<std::string, KeyStreamSpec>>
+streams()
+{
+    std::vector<std::pair<std::string, KeyStreamSpec>> out;
+    for (const double skew : {0.6, 0.9, 1.2}) {
+        KeyStreamSpec spec;
+        spec.pattern = KeyPattern::Zipf;
+        spec.keySpace = 1 << 16;
+        spec.skew = skew;
+        spec.seed = 21;
+        char name[32];
+        std::snprintf(name, sizeof name, "zipf_%.1f", skew);
+        out.emplace_back(name, spec);
+    }
+
+    KeyStreamSpec uniform;
+    uniform.pattern = KeyPattern::Uniform;
+    uniform.keySpace = 1 << 14;
+    uniform.seed = 22;
+    out.emplace_back("uniform_16k", uniform);
+
+    KeyStreamSpec scan;
+    scan.pattern = KeyPattern::Scan;
+    scan.keySpace = 1 << 16;
+    scan.scanSpan = 2 * kCapacity;
+    scan.seed = 23;
+    out.emplace_back("scan_2xcap", scan);
+
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const SelectorMode modes[] = {SelectorMode::Adaptive,
+                                  SelectorMode::FixedLru,
+                                  SelectorMode::FixedLfu};
+
+    ReportGrid grid;
+    grid.experiment = "kv_workloads";
+    grid.benchmarkHeader = "stream";
+    grid.variantHeader = "selector";
+    grid.addMeta("ops", std::to_string(kOps));
+    grid.addMeta("capacity", std::to_string(kCapacity));
+
+    for (const auto &[name, spec] : streams()) {
+        double rate[3] = {};
+        for (int m = 0; m < 3; ++m) {
+            AdaptiveKvCache cache(cacheConfig(modes[m]));
+            KeyStream stream(spec);
+            for (std::uint64_t i = 0; i < kOps; ++i)
+                cache.fetch(stream.next(),
+                            [] { return std::string("v"); });
+            ReportRow &row =
+                grid.add(name, selectorModeName(modes[m]));
+            row.stats.text("stream", spec.describe());
+            cache.registerStats(row.stats, "kv.");
+            rate[m] = row.stats.numeric("kv.hit_rate");
+        }
+        if (reportFormat() == ReportFormat::Table)
+            std::printf("[%-11s] adaptive %.4f  lru %.4f  lfu %.4f\n",
+                        name.c_str(), rate[0], rate[1], rate[2]);
+    }
+
+    if (reportFormat() != ReportFormat::Table)
+        emitReport(grid, reportFormat());
+    return 0;
+}

@@ -1,0 +1,214 @@
+#include "kv/adaptive_kv_cache.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/stat_registry.hh"
+
+namespace adcache::kv
+{
+
+AdaptiveKvCache::AdaptiveKvCache(const KvConfig &config)
+    : config_(config), shardMask_(config.numShards - 1),
+      locks_(config.numShards)
+{
+    config_.validate();
+    shards_.reserve(config_.numShards);
+    for (unsigned i = 0; i < config_.numShards; ++i)
+        shards_.push_back(std::make_unique<KvShard>(
+            KvShardConfig::fromCache(config_, i)));
+}
+
+std::uint64_t
+AdaptiveKvCache::hashOf(KvKey key) const
+{
+    return config_.keyHash == KeyHashKind::Mix ? mixKey(key) : key;
+}
+
+unsigned
+AdaptiveKvCache::shardOf(KvKey key) const
+{
+    return unsigned(hashOf(key) & shardMask_);
+}
+
+std::optional<std::string>
+AdaptiveKvCache::get(KvKey key)
+{
+    const std::uint64_t h = hashOf(key);
+    const unsigned s = unsigned(h & shardMask_);
+    std::scoped_lock lock(locks_[s]);
+    const std::string *v = shards_[s]->probe(key, h);
+    if (!v)
+        return std::nullopt;
+    return *v;
+}
+
+std::string
+AdaptiveKvCache::fetch(KvKey key,
+                       const std::function<std::string()> &loader)
+{
+    const std::uint64_t h = hashOf(key);
+    const unsigned s = unsigned(h & shardMask_);
+    std::string value;
+    std::scoped_lock lock(locks_[s]);
+    shards_[s]->reference(key, h, loader, /*overwrite=*/false,
+                          /*pin=*/false, &value);
+    return value;
+}
+
+KvOutcome
+AdaptiveKvCache::put(KvKey key, std::string_view value, bool pinned)
+{
+    const std::uint64_t h = hashOf(key);
+    const unsigned s = unsigned(h & shardMask_);
+    std::scoped_lock lock(locks_[s]);
+    return shards_[s]->reference(
+        key, h, [&] { return std::string(value); },
+        /*overwrite=*/true, pinned);
+}
+
+KvOutcome
+AdaptiveKvCache::reference(KvKey key, std::string_view value,
+                           bool overwrite)
+{
+    const std::uint64_t h = hashOf(key);
+    const unsigned s = unsigned(h & shardMask_);
+    std::scoped_lock lock(locks_[s]);
+    return shards_[s]->reference(
+        key, h, [&] { return std::string(value); }, overwrite,
+        /*pin=*/false);
+}
+
+bool
+AdaptiveKvCache::erase(KvKey key)
+{
+    const std::uint64_t h = hashOf(key);
+    const unsigned s = unsigned(h & shardMask_);
+    std::scoped_lock lock(locks_[s]);
+    return shards_[s]->erase(key, h);
+}
+
+bool
+AdaptiveKvCache::pin(KvKey key)
+{
+    const std::uint64_t h = hashOf(key);
+    const unsigned s = unsigned(h & shardMask_);
+    std::scoped_lock lock(locks_[s]);
+    return shards_[s]->setPinned(key, h, true);
+}
+
+bool
+AdaptiveKvCache::unpin(KvKey key)
+{
+    const std::uint64_t h = hashOf(key);
+    const unsigned s = unsigned(h & shardMask_);
+    std::scoped_lock lock(locks_[s]);
+    return shards_[s]->setPinned(key, h, false);
+}
+
+bool
+AdaptiveKvCache::contains(KvKey key) const
+{
+    const std::uint64_t h = hashOf(key);
+    const unsigned s = unsigned(h & shardMask_);
+    std::scoped_lock lock(locks_[s]);
+    return shards_[s]->contains(key, h);
+}
+
+std::size_t
+AdaptiveKvCache::size() const
+{
+    std::size_t total = 0;
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        std::scoped_lock lock(locks_[s]);
+        total += shards_[s]->size();
+    }
+    return total;
+}
+
+std::uint64_t
+AdaptiveKvCache::capacity() const
+{
+    return config_.totalCapacity();
+}
+
+void
+AdaptiveKvCache::registerStats(StatRegistry &reg,
+                               const std::string &prefix,
+                               bool per_shard) const
+{
+    KvShardStats total;
+    std::uint64_t shadow_misses[kvNumComponents] = {0, 0};
+    std::uint64_t flips = 0, size = 0, pinned = 0;
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        std::scoped_lock lock(locks_[s]);
+        total.add(shards_[s]->stats());
+        for (unsigned k = 0; k < kvNumComponents; ++k)
+            shadow_misses[k] += shards_[s]->shadowMisses(k);
+        flips += shards_[s]->selectionFlips();
+        size += shards_[s]->size();
+        pinned += shards_[s]->pinnedCount();
+        if (per_shard) {
+            char sub[16];
+            std::snprintf(sub, sizeof sub, "shard%02u.", s);
+            shards_[s]->registerStats(reg, prefix + sub);
+        }
+    }
+    reg.counter(prefix + "references", total.references);
+    reg.counter(prefix + "hits", total.hits);
+    reg.counter(prefix + "misses", total.misses);
+    reg.counter(prefix + "gets", total.gets);
+    reg.counter(prefix + "get_hits", total.getHits);
+    reg.counter(prefix + "inserts", total.inserts);
+    reg.counter(prefix + "updates", total.updates);
+    reg.counter(prefix + "evictions", total.evictions);
+    reg.counter(prefix + "directed_evictions",
+                total.directedEvictions);
+    reg.counter(prefix + "fallback_evictions",
+                total.fallbackEvictions);
+    reg.counter(prefix + "rejected_puts", total.rejected);
+    reg.counter(prefix + "erases", total.erases);
+    reg.counter(prefix + "decisions.lru",
+                total.decisions[kvComponentLru]);
+    reg.counter(prefix + "decisions.lfu",
+                total.decisions[kvComponentLfu]);
+    reg.counter(prefix + "shadow.lru.misses",
+                shadow_misses[kvComponentLru]);
+    reg.counter(prefix + "shadow.lfu.misses",
+                shadow_misses[kvComponentLfu]);
+    reg.counter(prefix + "selection_flips", flips);
+    reg.counter(prefix + "size", size);
+    reg.counter(prefix + "pinned", pinned);
+    reg.counter(prefix + "capacity", capacity());
+    reg.value(prefix + "hit_rate", total.hitRate());
+}
+
+std::string
+AdaptiveKvCache::describe() const
+{
+    std::ostringstream out;
+    out << "AdaptiveKV[" << selectorModeName(config_.selector)
+        << "] (" << capacity() << " entries, " << config_.numShards
+        << " shards x " << config_.numBuckets << " buckets";
+    if (config_.scope == EvictionScope::Bucket) {
+        out << ", bucket scope x" << config_.bucketWays;
+    } else {
+        out << ", shard scope, leaders every "
+            << config_.leaderEvery;
+    }
+    if (config_.selector == SelectorMode::Adaptive) {
+        if (config_.shadowTagBits == 0)
+            out << ", full shadow tags";
+        else
+            out << ", " << config_.shadowTagBits
+                << "-bit shadow tags";
+        if (config_.exactCounters)
+            out << ", exact counters";
+        else
+            out << ", m=" << shards_[0]->config().historyDepth;
+    }
+    out << ")";
+    return out.str();
+}
+
+} // namespace adcache::kv

@@ -1,0 +1,553 @@
+#include "kv/kv_shard.hh"
+
+#include <algorithm>
+
+#include "util/stat_registry.hh"
+
+namespace adcache::kv
+{
+
+void
+KvShardStats::add(const KvShardStats &o)
+{
+    references += o.references;
+    hits += o.hits;
+    misses += o.misses;
+    gets += o.gets;
+    getHits += o.getHits;
+    inserts += o.inserts;
+    updates += o.updates;
+    evictions += o.evictions;
+    directedEvictions += o.directedEvictions;
+    fallbackEvictions += o.fallbackEvictions;
+    rejected += o.rejected;
+    erases += o.erases;
+    for (unsigned k = 0; k < kvNumComponents; ++k)
+        decisions[k] += o.decisions[k];
+}
+
+double
+KvShardStats::hitRate() const
+{
+    const std::uint64_t total = references + gets;
+    return total == 0 ? 0.0
+                      : double(hits + getHits) / double(total);
+}
+
+KvShardConfig
+KvShardConfig::fromCache(const KvConfig &config, unsigned shard_index)
+{
+    KvShardConfig c;
+    const std::uint64_t base = config.capacity / config.numShards;
+    const std::uint64_t extra = config.capacity % config.numShards;
+    c.capacity = base + (shard_index < extra ? 1 : 0);
+    c.numBuckets = config.numBuckets;
+    c.bucketWays = config.bucketWays;
+    c.leaderEvery = config.leaderEvery;
+    c.shadowTagBits = config.shadowTagBits;
+    c.xorFoldTags = config.xorFoldTags;
+    c.historyDepth =
+        config.historyDepth != 0
+            ? config.historyDepth
+            : (config.scope == EvictionScope::Bucket
+                   ? config.bucketWays
+                   : 64);
+    c.exactCounters = config.exactCounters;
+    c.scope = config.scope;
+    c.selector = config.selector;
+    c.hashShift = floorLog2(config.numShards);
+    c.rngSeed = config.rngSeed ^ mixKey(shard_index + 1);
+    return c;
+}
+
+KvShard::KvShard(const KvShardConfig &config)
+    : config_(config), rng_(config.rngSeed),
+      bucketBits_(floorLog2(config.numBuckets))
+{
+    adcache_assert(isPowerOfTwo(config_.numBuckets));
+    adcache_assert(config_.bucketWays >= 1);
+    adcache_assert(config_.leaderEvery >= 1);
+
+    buckets_.assign(config_.numBuckets, Bucket{});
+    if (config_.scope == EvictionScope::Bucket) {
+        adcache_assert(config_.leaderEvery == 1);
+        adcache_assert(config_.selector == SelectorMode::Adaptive);
+        slots_.assign(config_.numBuckets,
+                      std::vector<KvEntry *>(config_.bucketWays,
+                                             nullptr));
+        fallbackPtr_.assign(config_.numBuckets, 0);
+    }
+
+    if (config_.selector == SelectorMode::Adaptive) {
+        for (unsigned k = 0; k < kvNumComponents; ++k) {
+            // Directories are sized for every bucket but only leader
+            // buckets touch them (cf. SbarCache's leader shadows).
+            shadows_[k] = std::make_unique<KvShadowDir>(
+                config_.numBuckets, config_.bucketWays,
+                k == kvComponentLru ? PolicyType::LRU
+                                    : PolicyType::LFU,
+                config_.shadowTagBits, config_.xorFoldTags, &rng_);
+        }
+    }
+
+    const unsigned domains =
+        config_.scope == EvictionScope::Bucket ? config_.numBuckets
+                                               : 1;
+    selectors_.reserve(domains);
+    for (unsigned d = 0; d < domains; ++d)
+        selectors_.emplace_back(config_.selector,
+                                config_.exactCounters,
+                                config_.historyDepth);
+}
+
+KvShard::~KvShard()
+{
+    for (Bucket &b : buckets_) {
+        KvEntry *e = b.chain;
+        while (e) {
+            KvEntry *next = e->chainNext;
+            delete e;
+            e = next;
+        }
+    }
+    for (auto &ways : slots_)
+        for (KvEntry *e : ways)
+            delete e;
+}
+
+unsigned
+KvShard::bucketOf(std::uint64_t h) const
+{
+    return unsigned((h >> config_.hashShift) &
+                    (config_.numBuckets - 1));
+}
+
+std::uint64_t
+KvShard::tagOf(std::uint64_t h) const
+{
+    return h >> (config_.hashShift + bucketBits_);
+}
+
+KvSelector &
+KvShard::selectorFor(unsigned bucket)
+{
+    return selectors_[config_.scope == EvictionScope::Bucket ? bucket
+                                                             : 0];
+}
+
+const KvSelector &
+KvShard::selectorFor(unsigned bucket) const
+{
+    return selectors_[config_.scope == EvictionScope::Bucket ? bucket
+                                                             : 0];
+}
+
+bool
+KvShard::isLeader(unsigned bucket) const
+{
+    return shadows_[0] != nullptr &&
+           bucket % config_.leaderEvery == 0;
+}
+
+KvEntry *
+KvShard::findChain(unsigned bucket, KvKey key) const
+{
+    for (KvEntry *e = buckets_[bucket].chain; e; e = e->chainNext)
+        if (e->key == key)
+            return e;
+    return nullptr;
+}
+
+KvEntry *
+KvShard::findSlot(unsigned bucket, KvKey key, unsigned *way) const
+{
+    const auto &ways = slots_[bucket];
+    for (unsigned w = 0; w < config_.bucketWays; ++w) {
+        if (ways[w] && ways[w]->key == key) {
+            if (way)
+                *way = w;
+            return ways[w];
+        }
+    }
+    return nullptr;
+}
+
+KvEntry *
+KvShard::find(unsigned bucket, KvKey key, unsigned *way) const
+{
+    return config_.scope == EvictionScope::Bucket
+               ? findSlot(bucket, key, way)
+               : findChain(bucket, key);
+}
+
+KvEntry *
+KvShard::bucketVictim(unsigned bucket, unsigned winner,
+                      const ShadowOutcome &winner_out, KvOutcome &out,
+                      unsigned *way_out)
+{
+    // Algorithm 1 transcribed verbatim (cf. AdaptiveCache::
+    // chooseVictimWay), with pinned entries skipped in every case.
+    KvShadowDir &shadow = *shadows_[winner];
+    auto &ways = slots_[bucket];
+    const unsigned n = config_.bucketWays;
+
+    if (winner_out.evicted) {
+        for (unsigned w = 0; w < n; ++w) {
+            KvEntry *e = ways[w];
+            if (e && !e->pinned &&
+                shadow.foldTag(e->tag) == winner_out.evictedTag) {
+                *way_out = w;
+                return e;
+            }
+        }
+    }
+
+    for (unsigned w = 0; w < n; ++w) {
+        KvEntry *e = ways[w];
+        if (e && !e->pinned &&
+            !shadow.containsTag(bucket, shadow.foldTag(e->tag))) {
+            *way_out = w;
+            return e;
+        }
+    }
+
+    out.fallback = true;
+    ++stats_.fallbackEvictions;
+    const unsigned start = fallbackPtr_[bucket];
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned w = (start + i) % n;
+        KvEntry *e = ways[w];
+        if (e && !e->pinned) {
+            fallbackPtr_[bucket] = (w + 1) % n;
+            *way_out = w;
+            return e;
+        }
+    }
+    return nullptr; // every entry pinned
+}
+
+KvEntry *
+KvShard::shardVictim(unsigned bucket, bool leader, unsigned winner,
+                     const ShadowOutcome &winner_out, KvOutcome &out)
+{
+    // Case-1 analog: the winner's shadow displaced a tag on this very
+    // reference; if an unpinned entry of the bucket folds to it,
+    // imitate the displacement exactly.
+    if (leader && winner_out.evicted) {
+        KvShadowDir &shadow = *shadows_[winner];
+        for (KvEntry *e = buckets_[bucket].chain; e;
+             e = e->chainNext) {
+            if (!e->pinned &&
+                shadow.foldTag(e->tag) == winner_out.evictedTag) {
+                out.directed = true;
+                ++stats_.directedEvictions;
+                return e;
+            }
+        }
+    }
+
+    // Case-2 analog: the winner component's own eviction order over
+    // the real contents (follower semantics, Sec. 4.7), walked at
+    // most bucketWays deep past pinned entries.
+    const bool use_lru = winner == kvComponentLru;
+    KvEntry *e = use_lru ? recency_.firstCandidate()
+                         : lfu_.firstCandidate();
+    for (unsigned i = 0; e && i < config_.bucketWays; ++i) {
+        if (!e->pinned)
+            return e;
+        e = use_lru ? recency_.nextCandidate(e)
+                    : lfu_.nextCandidate(e);
+    }
+
+    // Case-3 analog (the aliasing fallback of Sec. 3.1): rotate over
+    // the buckets for an arbitrary unpinned entry.
+    out.fallback = true;
+    ++stats_.fallbackEvictions;
+    for (unsigned i = 0; i < config_.numBuckets; ++i) {
+        const unsigned b =
+            (fallbackBucket_ + i) & (config_.numBuckets - 1);
+        for (KvEntry *c = buckets_[b].chain; c; c = c->chainNext) {
+            if (!c->pinned) {
+                fallbackBucket_ = (b + 1) & (config_.numBuckets - 1);
+                return c;
+            }
+        }
+    }
+    return nullptr; // every entry pinned
+}
+
+void
+KvShard::unlinkEntry(KvEntry *e)
+{
+    if (e->pinned)
+        --pinned_;
+    if (config_.scope == EvictionScope::Bucket) {
+        auto &ways = slots_[e->bucket];
+        for (unsigned w = 0; w < config_.bucketWays; ++w) {
+            if (ways[w] == e) {
+                ways[w] = nullptr;
+                break;
+            }
+        }
+    } else {
+        Bucket &b = buckets_[e->bucket];
+        if (e->chainPrev)
+            e->chainPrev->chainNext = e->chainNext;
+        else
+            b.chain = e->chainNext;
+        if (e->chainNext)
+            e->chainNext->chainPrev = e->chainPrev;
+        recency_.remove(e);
+        lfu_.remove(e);
+    }
+    --size_;
+    delete e;
+}
+
+KvOutcome
+KvShard::reference(KvKey key, std::uint64_t h,
+                   const std::function<std::string()> &make_value,
+                   bool overwrite, bool pin, std::string *value_out)
+{
+    KvOutcome out;
+    ++stats_.references;
+    const unsigned bucket = bucketOf(h);
+    const std::uint64_t tag = tagOf(h);
+    const bool leader = isLeader(bucket);
+
+    // Every filling reference updates the component simulations and
+    // (on a differentiating miss) the selection history — before the
+    // real lookup, exactly as Algorithm 1 orders it.
+    ShadowOutcome shadow_out[kvNumComponents] = {};
+    if (leader) {
+        std::uint32_t miss_mask = 0;
+        for (unsigned k = 0; k < kvNumComponents; ++k) {
+            shadow_out[k] = shadows_[k]->access(bucket, tag);
+            if (shadow_out[k].miss)
+                miss_mask |= 1u << k;
+        }
+        selectorFor(bucket).record(miss_mask);
+    }
+
+    unsigned hit_way = 0;
+    if (KvEntry *e = find(bucket, key, &hit_way)) {
+        ++stats_.hits;
+        out.hit = true;
+        if (config_.scope == EvictionScope::Shard) {
+            recency_.moveToFront(e);
+            lfu_.onHit(e);
+        }
+        if (overwrite) {
+            e->value = make_value();
+            out.updated = true;
+            ++stats_.updates;
+        }
+        if (pin && !e->pinned) {
+            e->pinned = true;
+            ++pinned_;
+        }
+        if (value_out)
+            *value_out = e->value;
+        return out;
+    }
+
+    ++stats_.misses;
+
+    unsigned fill_way = config_.bucketWays;
+    bool need_evict;
+    if (config_.scope == EvictionScope::Bucket) {
+        const auto &ways = slots_[bucket];
+        for (unsigned w = 0; w < config_.bucketWays; ++w) {
+            if (!ways[w]) {
+                fill_way = w;
+                break;
+            }
+        }
+        need_evict = fill_way == config_.bucketWays;
+    } else {
+        need_evict = size_ >= config_.capacity;
+    }
+
+    if (need_evict) {
+        const unsigned winner = selectorFor(bucket).winner();
+        out.replaced = true;
+        out.winner = winner;
+        ++stats_.decisions[winner];
+        KvEntry *victim =
+            config_.scope == EvictionScope::Bucket
+                ? bucketVictim(bucket, winner, shadow_out[winner],
+                               out, &fill_way)
+                : shardVictim(bucket, leader, winner,
+                              shadow_out[winner], out);
+        if (!victim) {
+            out.rejected = true;
+            ++stats_.rejected;
+            if (value_out)
+                *value_out = make_value();
+            return out;
+        }
+        out.evicted = true;
+        out.evictedKey = victim->key;
+        ++stats_.evictions;
+        unlinkEntry(victim);
+    }
+
+    auto *e = new KvEntry;
+    e->key = key;
+    e->tag = tag;
+    e->bucket = bucket;
+    e->pinned = pin;
+    e->value = make_value();
+    if (pin)
+        ++pinned_;
+    if (config_.scope == EvictionScope::Bucket) {
+        slots_[bucket][fill_way] = e;
+    } else {
+        Bucket &b = buckets_[bucket];
+        e->chainNext = b.chain;
+        if (b.chain)
+            b.chain->chainPrev = e;
+        b.chain = e;
+        recency_.pushFront(e);
+        lfu_.onInsert(e);
+    }
+    ++size_;
+    ++stats_.inserts;
+    out.inserted = true;
+    if (value_out)
+        *value_out = e->value;
+    return out;
+}
+
+const std::string *
+KvShard::probe(KvKey key, std::uint64_t h)
+{
+    ++stats_.gets;
+    KvEntry *e = find(bucketOf(h), key, nullptr);
+    if (!e)
+        return nullptr;
+    ++stats_.getHits;
+    if (config_.scope == EvictionScope::Shard) {
+        recency_.moveToFront(e);
+        lfu_.onHit(e);
+    }
+    return &e->value;
+}
+
+bool
+KvShard::erase(KvKey key, std::uint64_t h)
+{
+    KvEntry *e = find(bucketOf(h), key, nullptr);
+    if (!e)
+        return false;
+    ++stats_.erases;
+    unlinkEntry(e);
+    return true;
+}
+
+bool
+KvShard::setPinned(KvKey key, std::uint64_t h, bool pinned)
+{
+    KvEntry *e = find(bucketOf(h), key, nullptr);
+    if (!e)
+        return false;
+    if (e->pinned != pinned) {
+        e->pinned = pinned;
+        pinned_ += pinned ? 1 : -1;
+    }
+    return true;
+}
+
+bool
+KvShard::contains(KvKey key, std::uint64_t h) const
+{
+    return find(bucketOf(h), key, nullptr) != nullptr;
+}
+
+std::uint64_t
+KvShard::capacity() const
+{
+    return config_.scope == EvictionScope::Bucket
+               ? std::uint64_t(config_.numBuckets) *
+                     config_.bucketWays
+               : config_.capacity;
+}
+
+std::uint64_t
+KvShard::shadowMisses(unsigned k) const
+{
+    return shadows_[k] ? shadows_[k]->misses() : 0;
+}
+
+std::uint64_t
+KvShard::selectionFlips() const
+{
+    std::uint64_t flips = 0;
+    for (const KvSelector &s : selectors_)
+        flips += s.flips();
+    return flips;
+}
+
+unsigned
+KvShard::currentWinner(unsigned bucket) const
+{
+    return selectorFor(bucket).winner();
+}
+
+std::uint64_t
+KvShard::historyCount(unsigned bucket, unsigned k) const
+{
+    return selectorFor(bucket).count(k);
+}
+
+std::vector<KvKey>
+KvShard::residentKeys() const
+{
+    std::vector<KvKey> keys;
+    keys.reserve(size_);
+    if (config_.scope == EvictionScope::Bucket) {
+        for (const auto &ways : slots_)
+            for (const KvEntry *e : ways)
+                if (e)
+                    keys.push_back(e->key);
+    } else {
+        for (const Bucket &b : buckets_)
+            for (const KvEntry *e = b.chain; e; e = e->chainNext)
+                keys.push_back(e->key);
+    }
+    return keys;
+}
+
+void
+KvShard::registerStats(StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.counter(prefix + "references", stats_.references);
+    reg.counter(prefix + "hits", stats_.hits);
+    reg.counter(prefix + "misses", stats_.misses);
+    reg.counter(prefix + "gets", stats_.gets);
+    reg.counter(prefix + "get_hits", stats_.getHits);
+    reg.counter(prefix + "inserts", stats_.inserts);
+    reg.counter(prefix + "updates", stats_.updates);
+    reg.counter(prefix + "evictions", stats_.evictions);
+    reg.counter(prefix + "directed_evictions",
+                stats_.directedEvictions);
+    reg.counter(prefix + "fallback_evictions",
+                stats_.fallbackEvictions);
+    reg.counter(prefix + "rejected_puts", stats_.rejected);
+    reg.counter(prefix + "erases", stats_.erases);
+    reg.counter(prefix + "decisions.lru",
+                stats_.decisions[kvComponentLru]);
+    reg.counter(prefix + "decisions.lfu",
+                stats_.decisions[kvComponentLfu]);
+    reg.counter(prefix + "shadow.lru.misses",
+                shadowMisses(kvComponentLru));
+    reg.counter(prefix + "shadow.lfu.misses",
+                shadowMisses(kvComponentLfu));
+    reg.counter(prefix + "selection_flips", selectionFlips());
+    reg.counter(prefix + "size", size_);
+    reg.counter(prefix + "pinned", pinned_);
+    reg.value(prefix + "hit_rate", stats_.hitRate());
+}
+
+} // namespace adcache::kv

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * One lock domain of the adaptive kv cache: a hash table of
+ * key-value entries whose replacement is the paper's Algorithm 1
+ * re-hosted on software structures.
+ *
+ * In EvictionScope::Shard (production) the shard keeps an intrusive
+ * recency list and O(1) LFU frequency lists over every resident
+ * entry (both components' metadata alive at all times, the Sec. 4.7
+ * follower idea), while a sampled set of leader buckets carries
+ * partial-hash shadow directories whose differentiating misses train
+ * one per-shard m-bit selector. Victim selection mirrors Algorithm 1
+ * case by case:
+ *
+ *   1. directed — the winner's shadow displaced a tag this reference
+ *      and a resident entry of the bucket folds to it: evict it;
+ *   2. policy   — the winner component's own eviction order over the
+ *      real contents, walked at most bucketWays deep to skip pinned
+ *      entries (the software analog of the associativity-bounded
+ *      search);
+ *   3. fallback — pins defeated both searches (the aliasing case of
+ *      Sec. 3.1): a rotating cursor picks an arbitrary unpinned
+ *      entry; if everything is pinned the insertion is rejected.
+ *
+ * In EvictionScope::Bucket (verification) every bucket is a
+ * fixed-capacity set with its own shadow directories and history and
+ * the three cases are transcribed verbatim from AdaptiveCache —
+ * this configuration is lockstep-diffed against the oracle
+ * RefAdaptiveCache (src/oracle/kv_lockstep.hh).
+ *
+ * KvShard is NOT thread-safe; AdaptiveKvCache wraps each shard in
+ * its own mutex.
+ */
+
+#ifndef ADCACHE_KV_KV_SHARD_HH
+#define ADCACHE_KV_KV_SHARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kv/kv_types.hh"
+#include "kv/policy_lists.hh"
+#include "kv/selector.hh"
+#include "kv/shadow_dir.hh"
+#include "util/rng.hh"
+
+namespace adcache
+{
+class StatRegistry;
+}
+
+namespace adcache::kv
+{
+
+/** Per-shard event counters. */
+struct KvShardStats
+{
+    std::uint64_t references = 0; //!< filling references (fetch/put)
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t gets = 0; //!< non-filling probes
+    std::uint64_t getHits = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t directedEvictions = 0;
+    std::uint64_t fallbackEvictions = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t decisions[kvNumComponents] = {0, 0};
+
+    void add(const KvShardStats &o);
+
+    /** Combined hit rate over filling references and probes. */
+    double hitRate() const;
+};
+
+/** Resolved per-shard configuration. */
+struct KvShardConfig
+{
+    std::uint64_t capacity = 8 * 1024; //!< entries (Shard scope)
+    unsigned numBuckets = 1024;
+    unsigned bucketWays = 8;
+    unsigned leaderEvery = 8;
+    unsigned shadowTagBits = 16;
+    bool xorFoldTags = false;
+    unsigned historyDepth = 64; //!< resolved, nonzero
+    bool exactCounters = false;
+    EvictionScope scope = EvictionScope::Shard;
+    SelectorMode selector = SelectorMode::Adaptive;
+    unsigned hashShift = 0; //!< hash bits consumed by shard selection
+    std::uint64_t rngSeed = 1;
+
+    /** Shard @p shard_index's slice of @p config. */
+    static KvShardConfig fromCache(const KvConfig &config,
+                                   unsigned shard_index);
+};
+
+/** One shard (see file comment). Externally synchronized. */
+class KvShard
+{
+  public:
+    explicit KvShard(const KvShardConfig &config);
+    ~KvShard();
+
+    KvShard(const KvShard &) = delete;
+    KvShard &operator=(const KvShard &) = delete;
+
+    /**
+     * One filling reference: lookup; on a miss, admit the value
+     * produced by @p make_value (called at most once), evicting per
+     * Algorithm 1 if needed.
+     *
+     * @param h         full key hash (shard selection uses its low
+     *                  hashShift bits; this shard uses the rest).
+     * @param overwrite on a hit, replace the stored value (put
+     *                  semantics); false = fetch semantics.
+     * @param pin       pin the entry (on insert or hit).
+     * @param value_out if non-null, receives the resident (or, when
+     *                  rejected, the freshly produced) value.
+     */
+    KvOutcome reference(KvKey key, std::uint64_t h,
+                        const std::function<std::string()> &make_value,
+                        bool overwrite, bool pin,
+                        std::string *value_out = nullptr);
+
+    /**
+     * Non-filling probe: promotes and counts on a hit, never inserts
+     * and never trains the adaptivity machinery. Returned pointer is
+     * valid until the next mutating call.
+     */
+    const std::string *probe(KvKey key, std::uint64_t h);
+
+    /** Remove @p key. @return true iff it was resident. */
+    bool erase(KvKey key, std::uint64_t h);
+
+    /** Pin or unpin @p key. @return true iff it was resident. */
+    bool setPinned(KvKey key, std::uint64_t h, bool pinned);
+
+    /** Membership without promotion or stats. */
+    bool contains(KvKey key, std::uint64_t h) const;
+
+    std::size_t size() const { return size_; }
+    std::uint64_t capacity() const;
+    std::uint64_t pinnedCount() const { return pinned_; }
+
+    const KvShardStats &stats() const { return stats_; }
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /** True iff @p bucket carries shadow directories. */
+    bool isLeader(unsigned bucket) const;
+
+    /** Misses of component @p k's shadow directories (0 if none). */
+    std::uint64_t shadowMisses(unsigned k) const;
+
+    /** Selection flips, summed over this shard's selectors. */
+    std::uint64_t selectionFlips() const;
+
+    /** Current winner of @p bucket's selection domain. */
+    unsigned currentWinner(unsigned bucket = 0) const;
+
+    /** History weight of component @p k in @p bucket's domain. */
+    std::uint64_t historyCount(unsigned bucket, unsigned k) const;
+
+    /** All resident keys (unordered). */
+    std::vector<KvKey> residentKeys() const;
+
+    const KvShardConfig &config() const { return config_; }
+
+  private:
+    struct Bucket
+    {
+        KvEntry *chain = nullptr; //!< Shard-scope hash chain
+    };
+
+    unsigned bucketOf(std::uint64_t h) const;
+    std::uint64_t tagOf(std::uint64_t h) const;
+    KvSelector &selectorFor(unsigned bucket);
+    const KvSelector &selectorFor(unsigned bucket) const;
+
+    KvEntry *findChain(unsigned bucket, KvKey key) const;
+    KvEntry *findSlot(unsigned bucket, KvKey key,
+                      unsigned *way) const;
+    KvEntry *find(unsigned bucket, KvKey key, unsigned *way) const;
+
+    KvEntry *bucketVictim(unsigned bucket, unsigned winner,
+                          const ShadowOutcome &winner_out,
+                          KvOutcome &out, unsigned *way_out);
+    KvEntry *shardVictim(unsigned bucket, bool leader,
+                         unsigned winner,
+                         const ShadowOutcome &winner_out,
+                         KvOutcome &out);
+    void unlinkEntry(KvEntry *e);
+
+    KvShardConfig config_;
+    Rng rng_;
+    unsigned bucketBits_;
+    std::vector<Bucket> buckets_;
+    std::vector<std::vector<KvEntry *>> slots_; //!< Bucket scope
+    RecencyList recency_;                       //!< Shard scope
+    LfuLists lfu_;                              //!< Shard scope
+    std::unique_ptr<KvShadowDir> shadows_[kvNumComponents];
+    std::vector<KvSelector> selectors_; //!< 1, or one per bucket
+    std::vector<unsigned> fallbackPtr_; //!< Bucket scope, per bucket
+    unsigned fallbackBucket_ = 0;       //!< Shard scope cursor
+    std::size_t size_ = 0;
+    std::uint64_t pinned_ = 0;
+    KvShardStats stats_;
+};
+
+} // namespace adcache::kv
+
+#endif // ADCACHE_KV_KV_SHARD_HH

@@ -1,0 +1,65 @@
+#include "kv/kv_types.hh"
+
+namespace adcache::kv
+{
+
+const char *
+selectorModeName(SelectorMode mode)
+{
+    switch (mode) {
+      case SelectorMode::Adaptive:
+        return "adaptive";
+      case SelectorMode::FixedLru:
+        return "lru";
+      case SelectorMode::FixedLfu:
+        return "lfu";
+    }
+    return "?";
+}
+
+void
+KvConfig::validate() const
+{
+    adcache_assert(isPowerOfTwo(numShards));
+    adcache_assert(isPowerOfTwo(numBuckets));
+    adcache_assert(bucketWays >= 1);
+    adcache_assert(leaderEvery >= 1);
+    adcache_assert(shadowTagBits <= 40);
+    if (scope == EvictionScope::Bucket) {
+        // The verification shape: Algorithm 1 needs shadows and a
+        // history on every set.
+        adcache_assert(leaderEvery == 1);
+        adcache_assert(selector == SelectorMode::Adaptive);
+    } else {
+        adcache_assert(capacity >= numShards);
+    }
+}
+
+std::uint64_t
+KvConfig::totalCapacity() const
+{
+    if (scope == EvictionScope::Bucket)
+        return std::uint64_t(numShards) * numBuckets * bucketWays;
+    return capacity;
+}
+
+KvConfig
+KvConfig::lockstep(unsigned num_buckets, unsigned ways,
+                   unsigned shadow_tag_bits, bool xor_fold)
+{
+    KvConfig c;
+    c.numShards = 1;
+    c.numBuckets = num_buckets;
+    c.bucketWays = ways;
+    c.leaderEvery = 1;
+    c.shadowTagBits = shadow_tag_bits;
+    c.xorFoldTags = xor_fold;
+    c.historyDepth = 0;
+    c.exactCounters = true;
+    c.scope = EvictionScope::Bucket;
+    c.selector = SelectorMode::Adaptive;
+    c.keyHash = KeyHashKind::Identity;
+    return c;
+}
+
+} // namespace adcache::kv

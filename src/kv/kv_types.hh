@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared types of the concurrent adaptive key-value cache (src/kv):
+ * configuration, per-reference outcomes, and the key-hashing scheme
+ * that splits a 64-bit key hash into (shard, bucket, tag) fields the
+ * same way a hardware cache splits an address into (index, tag).
+ *
+ * The subsystem re-hosts the paper's Algorithm 1 on software
+ * structures. Two eviction scopes are provided:
+ *
+ *  - EvictionScope::Shard (production): one capacity budget per
+ *    shard, an intrusive recency (LRU) list and O(1) LFU frequency
+ *    lists spanning the whole shard as component policies, and a
+ *    sampled set of leader buckets whose partial-hash shadow
+ *    directories train a per-shard m-bit differentiating-miss
+ *    selector (the SBAR-style variant of Sec. 4.7).
+ *  - EvictionScope::Bucket (verification): every bucket is a
+ *    fixed-capacity set with its own shadow directories and history,
+ *    i.e. Algorithm 1 transcribed verbatim; this configuration is
+ *    lockstep-diffed against the oracle RefAdaptiveCache.
+ */
+
+#ifndef ADCACHE_KV_KV_TYPES_HH
+#define ADCACHE_KV_KV_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace adcache::kv
+{
+
+/** Cache keys are opaque 64-bit values. */
+using KvKey = std::uint64_t;
+
+/** How raw keys are spread over (shard, bucket, tag) fields. */
+enum class KeyHashKind
+{
+    Mix,      //!< splitmix64 finalizer (production default)
+    Identity, //!< keys used as-is (deterministic tests / lockstep)
+};
+
+/** splitmix64 finalizer: the Mix key hash. */
+inline std::uint64_t
+mixKey(KvKey key)
+{
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Where the replacement capacity budget lives. */
+enum class EvictionScope
+{
+    Shard,  //!< shard-wide budget, shard-wide component policies
+    Bucket, //!< per-bucket ways, Algorithm 1 verbatim (verification)
+};
+
+/** Replacement selection mode of a shard. */
+enum class SelectorMode
+{
+    Adaptive, //!< imitate the better component (the paper's engine)
+    FixedLru, //!< always evict by recency (baseline)
+    FixedLfu, //!< always evict by frequency (baseline)
+};
+
+/** Printable selector-mode name. */
+const char *selectorModeName(SelectorMode mode);
+
+/** Configuration of an AdaptiveKvCache. */
+struct KvConfig
+{
+    /** Total entry budget across all shards (EvictionScope::Shard).
+     *  In Bucket scope capacity is numShards*numBuckets*bucketWays. */
+    std::uint64_t capacity = 64 * 1024;
+
+    /** Independent lock domains; power of two. */
+    unsigned numShards = 8;
+
+    /** Hash buckets per shard; power of two. */
+    unsigned numBuckets = 4096;
+
+    /** Bucket capacity in Bucket scope; in Shard scope the shadow-
+     *  directory associativity and the bounded policy-walk depth. */
+    unsigned bucketWays = 8;
+
+    /** Every Nth bucket is a leader carrying shadow directories
+     *  (1 = all buckets; required in Bucket scope). */
+    unsigned leaderEvery = 8;
+
+    /** Stored shadow-tag width in bits (0 = full key tags). */
+    unsigned shadowTagBits = 16;
+
+    /** Fold shadow tags by XOR of bit groups instead of low bits. */
+    bool xorFoldTags = false;
+
+    /** Differentiating-miss window depth m; 0 selects the scope
+     *  default (bucketWays per bucket, 64 per shard). */
+    unsigned historyDepth = 0;
+
+    /** Exact since-start counters instead of the m-bit window. */
+    bool exactCounters = false;
+
+    EvictionScope scope = EvictionScope::Shard;
+    SelectorMode selector = SelectorMode::Adaptive;
+    KeyHashKind keyHash = KeyHashKind::Mix;
+
+    std::uint64_t rngSeed = 1;
+
+    /** panic() on structurally invalid combinations. */
+    void validate() const;
+
+    /** Total entries the cache can hold. */
+    std::uint64_t totalCapacity() const;
+
+    /** The verification shape: one shard, identity hash, Bucket
+     *  scope, all-leader buckets, exact counters — the configuration
+     *  the oracle lockstep runs against (docs/KVCACHE.md). */
+    static KvConfig lockstep(unsigned num_buckets, unsigned ways,
+                             unsigned shadow_tag_bits = 0,
+                             bool xor_fold = false);
+};
+
+/** Outcome of one filling reference (fetch/put) to the cache. */
+struct KvOutcome
+{
+    bool hit = false;
+    bool inserted = false; //!< a new entry was created
+    bool updated = false;  //!< an existing value was overwritten
+    bool rejected = false; //!< admission refused (all victims pinned)
+    bool evicted = false;
+    KvKey evictedKey = 0;  //!< valid iff evicted
+    bool replaced = false; //!< a replacement decision was made
+    unsigned winner = 0;   //!< imitated component (iff replaced)
+    bool fallback = false; //!< rotating arbitrary eviction fired
+    bool directed = false; //!< shadow-displacement-directed eviction
+};
+
+/** Component ordinals (fixed: the paper's headline pair). */
+constexpr unsigned kvComponentLru = 0;
+constexpr unsigned kvComponentLfu = 1;
+constexpr unsigned kvNumComponents = 2;
+
+} // namespace adcache::kv
+
+#endif // ADCACHE_KV_KV_TYPES_HH

@@ -1,0 +1,49 @@
+#include "kv/selector.hh"
+
+namespace adcache::kv
+{
+
+KvSelector::KvSelector(SelectorMode mode, bool exact, unsigned depth)
+    : mode_(mode)
+{
+    if (mode_ == SelectorMode::Adaptive)
+        history_ = makeHistory(exact, depth, kvNumComponents);
+}
+
+void
+KvSelector::record(std::uint32_t miss_mask)
+{
+    if (!history_)
+        return;
+    constexpr std::uint32_t all = (1u << kvNumComponents) - 1;
+    if (miss_mask == 0 || miss_mask == all)
+        return;
+    history_->record(miss_mask);
+    const unsigned now = history_->best(kvNumComponents);
+    if (now != lastWinner_) {
+        ++flips_;
+        lastWinner_ = now;
+    }
+}
+
+unsigned
+KvSelector::winner() const
+{
+    switch (mode_) {
+      case SelectorMode::FixedLru:
+        return kvComponentLru;
+      case SelectorMode::FixedLfu:
+        return kvComponentLfu;
+      case SelectorMode::Adaptive:
+        return history_->best(kvNumComponents);
+    }
+    return kvComponentLru;
+}
+
+std::uint64_t
+KvSelector::count(unsigned k) const
+{
+    return history_ ? history_->count(k) : 0;
+}
+
+} // namespace adcache::kv

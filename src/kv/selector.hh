@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Policy selector of the kv cache: the m-bit differentiating-miss
+ * history of Sec. 2.2 (or its exact-counter theory form) plus flip
+ * accounting, with fixed-policy modes for baseline shards.
+ *
+ * One selector serves a whole shard in EvictionScope::Shard (trained
+ * by every leader bucket, the SBAR-style global selection) or one
+ * bucket in EvictionScope::Bucket (the per-set form of Algorithm 1).
+ */
+
+#ifndef ADCACHE_KV_SELECTOR_HH
+#define ADCACHE_KV_SELECTOR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/miss_history.hh"
+#include "kv/kv_types.hh"
+
+namespace adcache::kv
+{
+
+/** Chooses the imitated component for one selection domain. */
+class KvSelector
+{
+  public:
+    /**
+     * @param mode  Adaptive or a fixed baseline.
+     * @param exact exact since-start counters (theory form).
+     * @param depth window depth m (ignored when exact).
+     */
+    KvSelector(SelectorMode mode, bool exact, unsigned depth);
+
+    KvSelector(KvSelector &&) = default;
+    KvSelector &operator=(KvSelector &&) = default;
+
+    /**
+     * Present one shadow miss mask (bit k set iff component k
+     * missed). Non-differentiating masks (none/all missed) are
+     * ignored, as is everything in fixed modes.
+     */
+    void record(std::uint32_t miss_mask);
+
+    /** The component to imitate right now. */
+    unsigned winner() const;
+
+    /** Times the selection changed sides. */
+    std::uint64_t flips() const { return flips_; }
+
+    /** Recorded miss weight of component @p k (0 in fixed modes). */
+    std::uint64_t count(unsigned k) const;
+
+    bool adaptive() const { return mode_ == SelectorMode::Adaptive; }
+
+  private:
+    SelectorMode mode_;
+    std::unique_ptr<MissHistory> history_; //!< null in fixed modes
+    unsigned lastWinner_ = kvComponentLru;
+    std::uint64_t flips_ = 0;
+};
+
+} // namespace adcache::kv
+
+#endif // ADCACHE_KV_SELECTOR_HH

@@ -1,0 +1,184 @@
+#include "oracle/kv_lockstep.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "kv/adaptive_kv_cache.hh"
+#include "oracle/ref_adaptive.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+constexpr unsigned kvLineBits = 6; // matches KvShadowDir's geometry
+
+std::optional<Mismatch>
+diffU64(std::size_t i, const std::string &field, std::uint64_t want,
+        std::uint64_t got)
+{
+    if (want == got)
+        return std::nullopt;
+    std::ostringstream out;
+    out << "expected " << want << ", got " << got;
+    return Mismatch{i, field, out.str()};
+}
+
+std::optional<Mismatch>
+diffBool(std::size_t i, const std::string &field, bool want, bool got)
+{
+    return diffU64(i, field, want, got);
+}
+
+class KvAdaptivePair : public LockstepPair
+{
+  public:
+    explicit KvAdaptivePair(const KvLockstepParams &params)
+        : params_(params),
+          production_(kv::KvConfig::lockstep(
+              params.numBuckets, params.bucketWays,
+              params.partialBits, params.xorFold)),
+          oracle_(RefGeometry{1u << kvLineBits, params.numBuckets,
+                              params.bucketWays},
+                  {PolicyType::LRU, PolicyType::LFU},
+                  params.partialBits, params.xorFold)
+    {
+    }
+
+    std::optional<Mismatch>
+    step(std::size_t i, const Access &access) override
+    {
+        const kv::KvKey key = access.addr >> kvLineBits;
+        const kv::KvOutcome p = production_.reference(key, "v");
+        const RefAdaptiveOutcome o =
+            oracle_.access(access.addr, access.write);
+
+        if (auto m = diffBool(i, "hit", o.hit, p.hit))
+            return m;
+        if (auto m = diffBool(i, "evicted", o.evicted, p.evicted))
+            return m;
+        if (o.evicted) {
+            if (auto m = diffU64(i, "victim_key",
+                                 o.evictedBlock >> kvLineBits,
+                                 p.evictedKey))
+                return m;
+        }
+        if (auto m = diffBool(i, "replaced", o.replaced, p.replaced))
+            return m;
+        if (o.replaced) {
+            if (auto m = diffU64(i, "winner", o.winner, p.winner))
+                return m;
+        }
+        if (auto m = diffBool(i, "fallback", o.fallback, p.fallback))
+            return m;
+
+        const kv::KvShard &shard = production_.shard(0);
+        for (unsigned k = 0; k < kv::kvNumComponents; ++k) {
+            if (auto m = diffU64(i, componentField("shadow_misses", k),
+                                 oracle_.shadowMisses(k),
+                                 shard.shadowMisses(k)))
+                return m;
+        }
+
+        const unsigned set = unsigned(key & (params_.numBuckets - 1));
+        for (unsigned k = 0; k < kv::kvNumComponents; ++k) {
+            if (auto m = diffU64(i, componentField("counter", k),
+                                 oracle_.counterOf(set, k),
+                                 shard.historyCount(set, k)))
+                return m;
+        }
+
+        if (params_.sweepEvery && (i + 1) % params_.sweepEvery == 0)
+            return sweep(i);
+        return std::nullopt;
+    }
+
+    std::optional<Mismatch>
+    finalCheck(std::size_t n) override
+    {
+        return sweep(n);
+    }
+
+    std::string
+    describe() const override
+    {
+        std::ostringstream out;
+        out << "kv " << production_.describe()
+            << " vs RefAdaptiveCache{lru,lfu}";
+        return out.str();
+    }
+
+  private:
+    static std::string
+    componentField(const char *what, unsigned k)
+    {
+        std::ostringstream out;
+        out << what << "[" << (k == kv::kvComponentLru ? "lru" : "lfu")
+            << "]";
+        return out.str();
+    }
+
+    /** Full residency + whole-cache totals. */
+    std::optional<Mismatch>
+    sweep(std::size_t i)
+    {
+        const kv::KvShard &shard = production_.shard(0);
+
+        std::vector<kv::KvKey> got = shard.residentKeys();
+        std::vector<kv::KvKey> want;
+        for (Addr block : oracle_.residentBlocks())
+            want.push_back(block >> kvLineBits);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        if (got != want) {
+            std::ostringstream out;
+            out << "expected " << want.size() << " resident keys, got "
+                << got.size();
+            for (std::size_t j = 0;
+                 j < want.size() && j < got.size(); ++j) {
+                if (want[j] != got[j]) {
+                    out << "; first divergence at rank " << j
+                        << ": expected key " << want[j] << ", got "
+                        << got[j];
+                    break;
+                }
+            }
+            return Mismatch{i, "residency", out.str()};
+        }
+
+        const kv::KvShardStats &stats = shard.stats();
+        if (auto m = diffU64(i, "total_evictions",
+                             oracle_.evictions(), stats.evictions))
+            return m;
+        if (auto m = diffU64(i, "total_fallbacks",
+                             oracle_.fallbacks(),
+                             stats.fallbackEvictions))
+            return m;
+        for (unsigned k = 0; k < kv::kvNumComponents; ++k) {
+            std::uint64_t want_decisions = 0;
+            for (unsigned s = 0; s < params_.numBuckets; ++s)
+                want_decisions += oracle_.decisionsOf(s, k);
+            if (auto m = diffU64(i, componentField("decisions", k),
+                                 want_decisions, stats.decisions[k]))
+                return m;
+        }
+        return std::nullopt;
+    }
+
+    KvLockstepParams params_;
+    kv::AdaptiveKvCache production_;
+    RefAdaptiveCache oracle_;
+};
+
+} // namespace
+
+PairFactory
+makeKvAdaptivePair(const KvLockstepParams &params)
+{
+    return [params] {
+        return std::make_unique<KvAdaptivePair>(params);
+    };
+}
+
+} // namespace adcache

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Lockstep differential verification of the adaptive key-value cache
+ * (src/kv) against the reference Algorithm 1 model.
+ *
+ * The kv cache in its verification shape — one shard, Bucket eviction
+ * scope, identity key hash, exact counters — is structurally the
+ * paper's cache with keys in place of addresses: bucket == set, key
+ * tag == block tag. Driving it with key = addr >> offsetBits while
+ * the oracle consumes addr directly puts every per-access observable
+ * in one-to-one correspondence: hit/miss, victim identity, whether a
+ * replacement decision was made and which component won it, case-3
+ * fallbacks, the per-set differentiating-miss counters, and (on
+ * periodic sweeps) full residency and decision totals.
+ */
+
+#ifndef ADCACHE_ORACLE_KV_LOCKSTEP_HH
+#define ADCACHE_ORACLE_KV_LOCKSTEP_HH
+
+#include <cstddef>
+
+#include "oracle/differential.hh"
+
+namespace adcache
+{
+
+/** Shape of the kv-vs-oracle pair. */
+struct KvLockstepParams
+{
+    unsigned numBuckets = 16;
+    unsigned bucketWays = 4;
+    unsigned partialBits = 0; //!< shadow tag width (0 = full)
+    bool xorFold = false;
+    std::size_t sweepEvery = 256; //!< residency sweep period
+};
+
+/**
+ * Single-shard Bucket-scope AdaptiveKvCache vs RefAdaptiveCache
+ * running {LRU, LFU} components over the same shape.
+ */
+PairFactory makeKvAdaptivePair(const KvLockstepParams &params);
+
+} // namespace adcache
+
+#endif // ADCACHE_ORACLE_KV_LOCKSTEP_HH

@@ -105,6 +105,28 @@ writeTrace(const std::string &path, const std::vector<TraceInstr> &instrs)
     return ok;
 }
 
+const char *
+traceStatusName(TraceStatus status)
+{
+    switch (status) {
+      case TraceStatus::Ok:
+        return "ok";
+      case TraceStatus::OpenFailed:
+        return "open failed";
+      case TraceStatus::TruncatedHeader:
+        return "truncated header";
+      case TraceStatus::BadMagic:
+        return "bad magic";
+      case TraceStatus::BadVersion:
+        return "unsupported version";
+      case TraceStatus::TruncatedRecord:
+        return "truncated record";
+      case TraceStatus::CorruptRecord:
+        return "corrupt record";
+    }
+    return "?";
+}
+
 std::vector<TraceInstr>
 readTrace(const std::string &path)
 {
@@ -117,22 +139,69 @@ readTrace(const std::string &path)
     return out;
 }
 
-FileTraceSource::FileTraceSource(const std::string &path)
+TraceStatus
+tryReadTrace(const std::string &path, std::vector<TraceInstr> *out)
+{
+    out->clear();
+    TraceStatus status = TraceStatus::Ok;
+    FileTraceSource src(path, status);
+    if (status != TraceStatus::Ok)
+        return status;
+    out->reserve(src.recordCount());
+    TraceInstr instr;
+    while (src.next(instr))
+        out->push_back(instr);
+    return src.status();
+}
+
+TraceStatus
+FileTraceSource::open(const std::string &path)
 {
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
-        fatal("cannot open trace file '%s'", path.c_str());
+        return TraceStatus::OpenFailed;
 
     unsigned char header[headerSize];
     if (std::fread(header, 1, headerSize, file_) != headerSize)
-        fatal("trace file '%s': truncated header", path.c_str());
+        return TraceStatus::TruncatedHeader;
     if (std::memcmp(header, traceMagic, 4) != 0)
-        fatal("trace file '%s': bad magic", path.c_str());
-    const std::uint32_t version = getU32(header + 4);
-    if (version != traceFormatVersion)
-        fatal("trace file '%s': unsupported version %u", path.c_str(),
-              version);
+        return TraceStatus::BadMagic;
+    if (getU32(header + 4) != traceFormatVersion)
+        return TraceStatus::BadVersion;
     count_ = getU64(header + 8);
+    return TraceStatus::Ok;
+}
+
+void
+FileTraceSource::failStrict(const std::string &path) const
+{
+    switch (status_) {
+      case TraceStatus::OpenFailed:
+        fatal("cannot open trace file '%s'", path.c_str());
+      case TraceStatus::BadVersion:
+        fatal("trace file '%s': unsupported version", path.c_str());
+      default:
+        fatal("trace file '%s': %s", path.c_str(),
+              traceStatusName(status_));
+    }
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+{
+    status_ = open(path);
+    if (status_ != TraceStatus::Ok)
+        failStrict(path);
+}
+
+FileTraceSource::FileTraceSource(const std::string &path,
+                                 TraceStatus &status)
+    : strict_(false)
+{
+    status_ = open(path);
+    status = status_;
+    // A failed open yields no records; next() returns false.
+    if (status_ != TraceStatus::Ok)
+        count_ = 0;
 }
 
 FileTraceSource::~FileTraceSource()
@@ -144,15 +213,23 @@ FileTraceSource::~FileTraceSource()
 bool
 FileTraceSource::next(TraceInstr &out)
 {
-    if (pos_ >= count_)
+    if (pos_ >= count_ || status_ != TraceStatus::Ok)
         return false;
     unsigned char rec[recordSize];
-    if (std::fread(rec, 1, recordSize, file_) != recordSize)
-        fatal("trace file: truncated record %llu",
-              static_cast<unsigned long long>(pos_));
-    if (!decodeRecord(rec, out))
-        fatal("trace file: corrupt record %llu",
-              static_cast<unsigned long long>(pos_));
+    if (std::fread(rec, 1, recordSize, file_) != recordSize) {
+        status_ = TraceStatus::TruncatedRecord;
+        if (strict_)
+            fatal("trace file: truncated record %llu",
+                  static_cast<unsigned long long>(pos_));
+        return false;
+    }
+    if (!decodeRecord(rec, out)) {
+        status_ = TraceStatus::CorruptRecord;
+        if (strict_)
+            fatal("trace file: corrupt record %llu",
+                  static_cast<unsigned long long>(pos_));
+        return false;
+    }
     ++pos_;
     return true;
 }
@@ -160,8 +237,15 @@ FileTraceSource::next(TraceInstr &out)
 void
 FileTraceSource::reset()
 {
+    if (!file_)
+        return;
     std::fseek(file_, headerSize, SEEK_SET);
     pos_ = 0;
+    // Header verdicts are permanent; a mid-stream record error is
+    // re-derived on the next pass.
+    if (status_ == TraceStatus::TruncatedRecord ||
+        status_ == TraceStatus::CorruptRecord)
+        status_ = TraceStatus::Ok;
 }
 
 } // namespace adcache

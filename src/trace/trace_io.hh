@@ -28,6 +28,21 @@ namespace adcache
 /** Current trace file format version. */
 constexpr std::uint32_t traceFormatVersion = 1;
 
+/** Why opening or reading a trace file failed. */
+enum class TraceStatus
+{
+    Ok,
+    OpenFailed,      //!< file could not be opened
+    TruncatedHeader, //!< shorter than the 16-byte header
+    BadMagic,        //!< header magic is not "ADCT"
+    BadVersion,      //!< format version not understood
+    TruncatedRecord, //!< fewer records than the header promised
+    CorruptRecord,   //!< a record decodes to an invalid instruction
+};
+
+/** Human-readable name of @p status. */
+const char *traceStatusName(TraceStatus status);
+
 /** Write @p instrs to @p path. @return false on I/O failure. */
 bool writeTrace(const std::string &path,
                 const std::vector<TraceInstr> &instrs);
@@ -35,9 +50,17 @@ bool writeTrace(const std::string &path,
 /**
  * Read an entire trace file.
  * Calls fatal() on malformed files; returns empty only for an empty
- * (but valid) trace.
+ * (but valid) trace. Callers that must survive malformed input use
+ * tryReadTrace().
  */
 std::vector<TraceInstr> readTrace(const std::string &path);
+
+/**
+ * Recoverable whole-file read: never terminates the process. On
+ * error, @p out holds the records decoded before the failure point.
+ */
+TraceStatus tryReadTrace(const std::string &path,
+                         std::vector<TraceInstr> *out);
 
 /** Streaming reader implementing TraceSource. */
 class FileTraceSource : public TraceSource
@@ -45,6 +68,14 @@ class FileTraceSource : public TraceSource
   public:
     /** Open @p path; fatal() on missing/malformed file. */
     explicit FileTraceSource(const std::string &path);
+
+    /**
+     * Recoverable open: @p status receives the header verdict and the
+     * source reports errors through status() instead of fatal().
+     * A source that failed to open yields no records.
+     */
+    FileTraceSource(const std::string &path, TraceStatus &status);
+
     ~FileTraceSource() override;
 
     FileTraceSource(const FileTraceSource &) = delete;
@@ -55,10 +86,18 @@ class FileTraceSource : public TraceSource
 
     std::uint64_t recordCount() const { return count_; }
 
+    /** Ok, or the first error this source encountered. */
+    TraceStatus status() const { return status_; }
+
   private:
+    TraceStatus open(const std::string &path);
+    [[noreturn]] void failStrict(const std::string &path) const;
+
     std::FILE *file_ = nullptr;
     std::uint64_t count_ = 0;
     std::uint64_t pos_ = 0;
+    TraceStatus status_ = TraceStatus::Ok;
+    bool strict_ = true; //!< fatal() on malformed input
 };
 
 } // namespace adcache

@@ -1,0 +1,134 @@
+#include "workloads/key_stream.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: a 64-bit bijection, so distinct (rank,
+ *  drift) pairs always yield distinct keys. */
+std::uint64_t
+mix64(std::uint64_t v)
+{
+    std::uint64_t z = v + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+const char *
+keyPatternName(KeyPattern pattern)
+{
+    switch (pattern) {
+      case KeyPattern::Uniform:
+        return "uniform";
+      case KeyPattern::Zipf:
+        return "zipf";
+      case KeyPattern::Scan:
+        return "scan";
+      case KeyPattern::PhaseFlip:
+        return "phase_flip";
+    }
+    return "?";
+}
+
+std::string
+KeyStreamSpec::describe() const
+{
+    std::ostringstream out;
+    out << keyPatternName(pattern);
+    if (pattern == KeyPattern::Zipf || pattern == KeyPattern::PhaseFlip)
+        out << "(" << skew << ")";
+    out << "@" << keySpace;
+    if (driftEvery)
+        out << " drift/" << driftEvery;
+    return out.str();
+}
+
+KeyStream::KeyStream(const KeyStreamSpec &spec)
+    : spec_(spec), rng_(spec.seed)
+{
+    adcache_assert(spec_.keySpace > 0);
+    if (spec_.pattern == KeyPattern::Zipf ||
+        spec_.pattern == KeyPattern::PhaseFlip)
+        zipf_ = std::make_unique<ZipfSampler>(spec_.keySpace,
+                                              spec_.skew);
+    if (spec_.pattern == KeyPattern::PhaseFlip)
+        adcache_assert(spec_.phasePeriod > 0);
+}
+
+std::uint64_t
+KeyStream::rankToKey(std::uint64_t rank) const
+{
+    // Drift relocates the whole ranking by salting the mix; without
+    // scrambling it becomes a plain shift so tests stay predictable.
+    if (spec_.scramble)
+        return mix64(rank + drift_ * spec_.keySpace);
+    return rank + drift_ * spec_.keySpace;
+}
+
+std::uint64_t
+KeyStream::drawZipf()
+{
+    return rankToKey((*zipf_)(rng_));
+}
+
+std::uint64_t
+KeyStream::drawScan()
+{
+    const std::uint64_t span =
+        spec_.scanSpan ? spec_.scanSpan : spec_.keySpace;
+    const std::uint64_t rank = scanPos_ % span;
+    ++scanPos_;
+    return rankToKey(rank);
+}
+
+bool
+KeyStream::scanPhase() const
+{
+    return spec_.pattern == KeyPattern::PhaseFlip &&
+           (pos_ / spec_.phasePeriod) % 2 == 1;
+}
+
+std::uint64_t
+KeyStream::next()
+{
+    if (spec_.driftEvery && pos_ > 0 && pos_ % spec_.driftEvery == 0)
+        ++drift_;
+
+    std::uint64_t key = 0;
+    switch (spec_.pattern) {
+      case KeyPattern::Uniform:
+        key = rankToKey(rng_.below(spec_.keySpace));
+        break;
+      case KeyPattern::Zipf:
+        key = drawZipf();
+        break;
+      case KeyPattern::Scan:
+        key = drawScan();
+        break;
+      case KeyPattern::PhaseFlip:
+        key = scanPhase() ? drawScan() : drawZipf();
+        break;
+    }
+    ++pos_;
+    return key;
+}
+
+void
+KeyStream::reset()
+{
+    rng_ = Rng(spec_.seed);
+    pos_ = 0;
+    scanPos_ = 0;
+    drift_ = 0;
+}
+
+} // namespace adcache

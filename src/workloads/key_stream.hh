@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reusable synthetic key streams for key-value cache experiments:
+ * seeded, parameterized generators producing the reference patterns
+ * the kv benches and tests share instead of hand-rolling them —
+ * uniform, Zipf (with optional hot-set drift), sequential scans, and
+ * a phase-flip composition that alternates a Zipf-friendly and a
+ * scan-friendly regime to exercise policy adaptation.
+ */
+
+#ifndef ADCACHE_WORKLOADS_KEY_STREAM_HH
+#define ADCACHE_WORKLOADS_KEY_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hh"
+
+namespace adcache
+{
+
+/** Reference key-stream shapes. */
+enum class KeyPattern
+{
+    Uniform,   //!< uniform over the key space
+    Zipf,      //!< Zipf-ranked popularity, optional hot-set drift
+    Scan,      //!< sequential sweep over a span, wrapping
+    PhaseFlip, //!< alternate Zipf and Scan every phasePeriod draws
+};
+
+/** Printable pattern name. */
+const char *keyPatternName(KeyPattern pattern);
+
+/** Parameters of a KeyStream. */
+struct KeyStreamSpec
+{
+    KeyPattern pattern = KeyPattern::Zipf;
+
+    /** Distinct key ranks [0, keySpace). */
+    std::uint64_t keySpace = 1 << 20;
+
+    /** Zipf exponent (popularity skew). */
+    double skew = 0.9;
+
+    /**
+     * Hot-set drift: after this many draws the rank-to-key mapping
+     * rotates, relocating the entire popularity ranking (0 = static).
+     */
+    std::uint64_t driftEvery = 0;
+
+    /** Scan length before wrapping (0 = the whole key space). */
+    std::uint64_t scanSpan = 0;
+
+    /** PhaseFlip: draws per phase before switching regime. */
+    std::uint64_t phasePeriod = 100'000;
+
+    /**
+     * Scatter ranks across the key space through a 64-bit mix so
+     * popular keys do not cluster in adjacent shards/buckets. Off,
+     * rank r maps to key r (deterministic tests).
+     */
+    bool scramble = true;
+
+    std::uint64_t seed = 1;
+
+    /** "zipf(0.9)@1048576" style description for reports. */
+    std::string describe() const;
+};
+
+/** Deterministic generator of one key per next() call. */
+class KeyStream
+{
+  public:
+    explicit KeyStream(const KeyStreamSpec &spec);
+
+    /** Draw the next key. */
+    std::uint64_t next();
+
+    /** Restart the stream from its seed. */
+    void reset();
+
+    /** Draws made since construction or reset(). */
+    std::uint64_t position() const { return pos_; }
+
+    /** True while a PhaseFlip stream is in its scan regime. */
+    bool scanPhase() const;
+
+    const KeyStreamSpec &spec() const { return spec_; }
+
+  private:
+    std::uint64_t drawZipf();
+    std::uint64_t drawScan();
+    std::uint64_t rankToKey(std::uint64_t rank) const;
+
+    KeyStreamSpec spec_;
+    Rng rng_;
+    std::unique_ptr<ZipfSampler> zipf_; //!< built iff pattern needs it
+    std::uint64_t pos_ = 0;
+    std::uint64_t scanPos_ = 0;
+    std::uint64_t drift_ = 0; //!< completed hot-set rotations
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_WORKLOADS_KEY_STREAM_HH

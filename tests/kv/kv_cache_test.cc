@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Behavioural tests of the adaptive key-value cache: API semantics
+ * (get/fetch/put/erase/pin), capacity enforcement, fixed-policy
+ * eviction order, pinned-entry protection including the all-pinned
+ * rejection path, and stats plumbing.
+ */
+
+#include "kv/adaptive_kv_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/stat_registry.hh"
+
+namespace adcache::kv
+{
+namespace
+{
+
+/** Small deterministic single-shard config (Shard scope). */
+KvConfig
+smallConfig(SelectorMode selector, std::uint64_t capacity = 4)
+{
+    KvConfig c;
+    c.capacity = capacity;
+    c.numShards = 1;
+    c.numBuckets = 8;
+    c.bucketWays = 4;
+    c.leaderEvery = 1;
+    c.shadowTagBits = 0;
+    c.scope = EvictionScope::Shard;
+    c.selector = selector;
+    c.keyHash = KeyHashKind::Identity;
+    return c;
+}
+
+TEST(KvCacheTest, PutGetEraseRoundTrip)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLru, 16));
+    EXPECT_FALSE(cache.get(1).has_value());
+
+    const KvOutcome put = cache.put(1, "one");
+    EXPECT_TRUE(put.inserted);
+    EXPECT_FALSE(put.hit);
+    ASSERT_TRUE(cache.get(1).has_value());
+    EXPECT_EQ(*cache.get(1), "one");
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_EQ(cache.size(), 1u);
+
+    EXPECT_TRUE(cache.erase(1));
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_FALSE(cache.erase(1));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(KvCacheTest, PutOverwritesFetchDoesNot)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLru, 16));
+    cache.put(7, "first");
+    const KvOutcome second = cache.put(7, "second");
+    EXPECT_TRUE(second.hit);
+    EXPECT_TRUE(second.updated);
+    EXPECT_EQ(*cache.get(7), "second");
+
+    // fetch on a hit returns the resident value, loader unused.
+    bool loaded = false;
+    const std::string got = cache.fetch(7, [&] {
+        loaded = true;
+        return std::string("third");
+    });
+    EXPECT_EQ(got, "second");
+    EXPECT_FALSE(loaded);
+}
+
+TEST(KvCacheTest, FetchLoadsExactlyOnceOnMiss)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLru, 16));
+    int calls = 0;
+    const std::string got = cache.fetch(9, [&] {
+        ++calls;
+        return std::string("loaded");
+    });
+    EXPECT_EQ(got, "loaded");
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(*cache.get(9), "loaded");
+}
+
+TEST(KvCacheTest, CapacityIsEnforced)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLru, 4));
+    for (KvKey k = 0; k < 100; ++k)
+        cache.put(k, "v");
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.capacity(), 4u);
+}
+
+TEST(KvCacheTest, FixedLruEvictsLeastRecentlyUsed)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLru, 3));
+    cache.put(1, "a");
+    cache.put(2, "b");
+    cache.put(3, "c");
+    cache.get(1); // 2 is now the least recently used
+    const KvOutcome out = cache.put(4, "d");
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.evictedKey, 2u);
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(KvCacheTest, FixedLfuEvictsLeastFrequentlyUsed)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLfu, 3));
+    cache.put(1, "a");
+    cache.put(2, "b");
+    cache.put(3, "c");
+    // Raise 1 and 3 to higher frequencies; 2 stays at 1 reference.
+    cache.get(1);
+    cache.get(1);
+    cache.get(3);
+    const KvOutcome out = cache.put(4, "d");
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.evictedKey, 2u);
+}
+
+TEST(KvCacheTest, LfuBreaksTiesByInsertionAge)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLfu, 3));
+    cache.put(1, "a");
+    cache.put(2, "b");
+    cache.put(3, "c");
+    // All at frequency 1: the oldest (key 1) goes first.
+    const KvOutcome out = cache.put(4, "d");
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.evictedKey, 1u);
+}
+
+TEST(KvCacheTest, PinnedEntriesSurviveEvictionPressure)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLru, 4));
+    cache.put(1000, "keep", /*pinned=*/true);
+    for (KvKey k = 0; k < 200; ++k)
+        cache.put(k, "v");
+    EXPECT_TRUE(cache.contains(1000));
+    EXPECT_EQ(*cache.get(1000), "keep");
+}
+
+TEST(KvCacheTest, AllPinnedRejectsAdmission)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLru, 2));
+    cache.put(1, "a", /*pinned=*/true);
+    cache.put(2, "b", /*pinned=*/true);
+    const KvOutcome out = cache.put(3, "c");
+    EXPECT_TRUE(out.rejected);
+    EXPECT_FALSE(out.inserted);
+    EXPECT_FALSE(cache.contains(3));
+    EXPECT_EQ(cache.size(), 2u);
+
+    // fetch still produces the value for the caller even when the
+    // cache refuses to keep it.
+    const std::string got =
+        cache.fetch(4, [] { return std::string("transient"); });
+    EXPECT_EQ(got, "transient");
+    EXPECT_FALSE(cache.contains(4));
+}
+
+TEST(KvCacheTest, UnpinReadmitsToEviction)
+{
+    AdaptiveKvCache cache(smallConfig(SelectorMode::FixedLru, 2));
+    cache.put(1, "a", /*pinned=*/true);
+    cache.put(2, "b", /*pinned=*/true);
+    EXPECT_TRUE(cache.unpin(1));
+    const KvOutcome out = cache.put(3, "c");
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.evictedKey, 1u);
+    EXPECT_FALSE(cache.pin(99)); // absent keys cannot be pinned
+}
+
+TEST(KvCacheTest, AdaptiveShardScopeRunsLeadersAndSelectors)
+{
+    KvConfig c = smallConfig(SelectorMode::Adaptive, 32);
+    c.numBuckets = 16;
+    c.leaderEvery = 2;
+    AdaptiveKvCache cache(c);
+    for (KvKey k = 0; k < 500; ++k)
+        cache.put(k % 70, "v");
+    const KvShard &shard = cache.shard(0);
+    EXPECT_TRUE(shard.isLeader(0));
+    EXPECT_FALSE(shard.isLeader(1));
+    // Leaders trained the shadows and decisions were made.
+    EXPECT_GT(shard.shadowMisses(kvComponentLru), 0u);
+    EXPECT_GT(shard.stats().decisions[kvComponentLru] +
+                  shard.stats().decisions[kvComponentLfu],
+              0u);
+    EXPECT_EQ(cache.size(), 32u);
+}
+
+TEST(KvCacheTest, BucketScopeFillsAndEvictsPerBucket)
+{
+    // The verification shape: 4 buckets x 2 ways, identity hash.
+    AdaptiveKvCache cache(KvConfig::lockstep(4, 2));
+    // Keys 0, 4, 8 all land in bucket 0 (key & 3 == 0).
+    cache.put(0, "a");
+    cache.put(4, "b");
+    const KvOutcome out = cache.put(8, "c");
+    EXPECT_TRUE(out.evicted);
+    EXPECT_TRUE(out.replaced);
+    EXPECT_EQ(cache.size(), 2u);
+    // Other buckets are untouched.
+    cache.put(1, "d");
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(KvCacheTest, ShardRoutingCoversAllShards)
+{
+    KvConfig c = smallConfig(SelectorMode::FixedLru, 64);
+    c.numShards = 4;
+    c.keyHash = KeyHashKind::Mix;
+    AdaptiveKvCache cache(c);
+    EXPECT_EQ(cache.numShards(), 4u);
+    bool seen[4] = {};
+    for (KvKey k = 0; k < 256; ++k)
+        seen[cache.shardOf(k)] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(KvCacheTest, StatsAggregateAcrossShards)
+{
+    KvConfig c = smallConfig(SelectorMode::FixedLru, 64);
+    c.numShards = 4;
+    c.keyHash = KeyHashKind::Mix;
+    AdaptiveKvCache cache(c);
+    for (KvKey k = 0; k < 100; ++k)
+        cache.put(k, "v");
+    for (KvKey k = 0; k < 100; ++k)
+        cache.get(k);
+
+    StatRegistry reg;
+    cache.registerStats(reg, "kv.");
+    EXPECT_EQ(reg.numeric("kv.references"), 100.0);
+    EXPECT_EQ(reg.numeric("kv.gets"), 100.0);
+    EXPECT_EQ(reg.numeric("kv.inserts"), 100.0);
+    EXPECT_EQ(reg.numeric("kv.size"), double(cache.size()));
+    EXPECT_EQ(reg.numeric("kv.evictions"),
+              double(100 - cache.size()));
+}
+
+TEST(KvCacheTest, DescribeNamesTheConfiguration)
+{
+    AdaptiveKvCache adaptive(smallConfig(SelectorMode::Adaptive, 8));
+    EXPECT_NE(adaptive.describe().find("adaptive"),
+              std::string::npos);
+    AdaptiveKvCache lru(smallConfig(SelectorMode::FixedLru, 8));
+    EXPECT_NE(lru.describe().find("lru"), std::string::npos);
+}
+
+} // namespace
+} // namespace adcache::kv

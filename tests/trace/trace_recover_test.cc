@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Regression tests for the recoverable trace-read path: every way a
+ * trace file can be malformed must surface as a TraceStatus, never
+ * terminate the process, and preserve the records decoded before the
+ * failure point.
+ */
+
+#include "trace/trace_io.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace adcache
+{
+namespace
+{
+
+class TraceRecoverTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("adcache_trace_recover_" +
+                  std::to_string(::getpid()) + ".trc"))
+                    .string();
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    /** Overwrite the file with @p bytes verbatim. */
+    void
+    writeRaw(const std::vector<unsigned char> &bytes)
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  std::streamsize(bytes.size()));
+    }
+
+    /** Read the file back as raw bytes. */
+    std::vector<unsigned char>
+    readRaw()
+    {
+        std::ifstream in(path_, std::ios::binary);
+        return std::vector<unsigned char>(
+            std::istreambuf_iterator<char>(in), {});
+    }
+
+    std::vector<TraceInstr>
+    sampleTrace(int n)
+    {
+        std::vector<TraceInstr> out;
+        for (int i = 0; i < n; ++i) {
+            TraceInstr instr;
+            instr.pc = 0x1000 + 4u * unsigned(i);
+            instr.cls = InstrClass::Load;
+            instr.memAddr = 64ull * unsigned(i);
+            out.push_back(instr);
+        }
+        return out;
+    }
+
+    std::string path_;
+};
+
+TEST_F(TraceRecoverTest, ValidFileReadsOk)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace(5)));
+    std::vector<TraceInstr> out;
+    EXPECT_EQ(tryReadTrace(path_, &out), TraceStatus::Ok);
+    EXPECT_EQ(out.size(), 5u);
+}
+
+TEST_F(TraceRecoverTest, MissingFile)
+{
+    std::vector<TraceInstr> out;
+    EXPECT_EQ(tryReadTrace(path_ + ".nope", &out),
+              TraceStatus::OpenFailed);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TraceRecoverTest, TruncatedHeader)
+{
+    writeRaw({'A', 'D', 'C', 'T', 1, 0});
+    std::vector<TraceInstr> out;
+    EXPECT_EQ(tryReadTrace(path_, &out),
+              TraceStatus::TruncatedHeader);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TraceRecoverTest, BadMagic)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace(2)));
+    auto bytes = readRaw();
+    bytes[0] = 'X';
+    writeRaw(bytes);
+    std::vector<TraceInstr> out;
+    EXPECT_EQ(tryReadTrace(path_, &out), TraceStatus::BadMagic);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TraceRecoverTest, BadVersion)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace(2)));
+    auto bytes = readRaw();
+    bytes[4] = 0xEE; // version field, little-endian low byte
+    writeRaw(bytes);
+    std::vector<TraceInstr> out;
+    EXPECT_EQ(tryReadTrace(path_, &out), TraceStatus::BadVersion);
+}
+
+TEST_F(TraceRecoverTest, TruncatedRecordKeepsPrefix)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace(3)));
+    auto bytes = readRaw();
+    bytes.resize(bytes.size() - 7); // clip into the last record
+    writeRaw(bytes);
+    std::vector<TraceInstr> out;
+    EXPECT_EQ(tryReadTrace(path_, &out),
+              TraceStatus::TruncatedRecord);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].pc, 0x1004u);
+}
+
+TEST_F(TraceRecoverTest, CorruptRecordKeepsPrefix)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace(3)));
+    auto bytes = readRaw();
+    // Byte 24 of the second record is the instruction class.
+    bytes[16 + 32 + 24] = 0xFF;
+    writeRaw(bytes);
+    std::vector<TraceInstr> out;
+    EXPECT_EQ(tryReadTrace(path_, &out), TraceStatus::CorruptRecord);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(TraceRecoverTest, RecoverableSourceReportsStatus)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace(3)));
+    auto bytes = readRaw();
+    bytes.resize(bytes.size() - 1);
+    writeRaw(bytes);
+
+    TraceStatus status = TraceStatus::Ok;
+    FileTraceSource src(path_, status);
+    ASSERT_EQ(status, TraceStatus::Ok); // header itself is fine
+    TraceInstr instr;
+    std::size_t n = 0;
+    while (src.next(instr))
+        ++n;
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(src.status(), TraceStatus::TruncatedRecord);
+}
+
+TEST_F(TraceRecoverTest, RecoverableSourceFailedOpenYieldsNothing)
+{
+    TraceStatus status = TraceStatus::Ok;
+    FileTraceSource src(path_ + ".nope", status);
+    EXPECT_EQ(status, TraceStatus::OpenFailed);
+    TraceInstr instr;
+    EXPECT_FALSE(src.next(instr));
+    src.reset(); // must not crash on a never-opened file
+    EXPECT_FALSE(src.next(instr));
+}
+
+TEST_F(TraceRecoverTest, ResetClearsRecordError)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace(2)));
+    auto bytes = readRaw();
+    bytes.resize(bytes.size() - 1);
+    writeRaw(bytes);
+
+    TraceStatus status = TraceStatus::Ok;
+    FileTraceSource src(path_, status);
+    TraceInstr instr;
+    while (src.next(instr)) {
+    }
+    EXPECT_EQ(src.status(), TraceStatus::TruncatedRecord);
+    src.reset();
+    EXPECT_EQ(src.status(), TraceStatus::Ok);
+    EXPECT_TRUE(src.next(instr)); // first record is intact again
+}
+
+TEST_F(TraceRecoverTest, StatusNamesAreStable)
+{
+    EXPECT_STREQ(traceStatusName(TraceStatus::Ok), "ok");
+    EXPECT_STREQ(traceStatusName(TraceStatus::BadMagic), "bad magic");
+    EXPECT_STREQ(traceStatusName(TraceStatus::CorruptRecord),
+                 "corrupt record");
+}
+
+} // namespace
+} // namespace adcache
