@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Hot-path throughput regression gate. Runs a fixed matrix of cache
+ * organisations (conventional, adaptive full/partial-tag, SBAR, KV
+ * shard) over seeded access streams that are decoded once into chunk
+ * buffers before any timing starts, measures wall-clock accesses/sec
+ * and ns/access per organisation, and emits the results as a
+ * ReportGrid JSON document (BENCH_hotpath.json).
+ *
+ * Modes:
+ *   perf_regress                    measure and write the JSON
+ *   perf_regress --check <base>     also compare against a committed
+ *                                   baseline; exit 1 if any
+ *                                   organisation's ns/access
+ *                                   regressed by more than 10%
+ *   perf_regress --smoke            short run that validates JSON
+ *                                   emission (no thresholds); wired
+ *                                   to ctest label perf_smoke
+ *
+ * Baselines live in bench/baselines/BENCH_hotpath.json and are only
+ * meaningful for Release builds on the machine that recorded them
+ * (see docs/PERFORMANCE.md for the update procedure).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/adaptive_cache.hh"
+#include "core/sbar_cache.hh"
+#include "kv/adaptive_kv_cache.hh"
+#include "sim/report.hh"
+#include "util/rng.hh"
+
+using namespace adcache;
+
+namespace
+{
+
+/**
+ * A pre-decoded access stream: addresses and write flags expanded
+ * into flat chunk buffers up front so the timed loop touches no
+ * generator or decoder state.
+ */
+struct Stream
+{
+    std::vector<Addr> addrs;
+    std::vector<std::uint8_t> writes;
+};
+
+/**
+ * Seeded mixed stream: uniform reuse over a working set, interleaved
+ * with strided scan bursts (the motif mix perf_micro's random stream
+ * lacks; scans are what stress victim search and the packed probe).
+ */
+Stream
+makeStream(std::size_t n, std::uint64_t seed)
+{
+    Stream s;
+    s.addrs.reserve(n);
+    s.writes.reserve(n);
+    Rng rng(seed);
+    Addr scan = 0;
+    while (s.addrs.size() < n) {
+        if (rng.chance(0.2)) {
+            // Scan burst: 64 sequential lines.
+            for (unsigned i = 0; i < 64 && s.addrs.size() < n; ++i) {
+                s.addrs.push_back((scan++ & 0xFFFF) * 64);
+                s.writes.push_back(0);
+            }
+        } else {
+            s.addrs.push_back(rng.below(1 << 15) * 64);
+            s.writes.push_back(rng.chance(0.3) ? 1 : 0);
+        }
+    }
+    return s;
+}
+
+/** Wall-clock seconds for one full replay of @p s through @p fn. */
+template <class Fn>
+double
+timedReplay(const Stream &s, Fn &&fn)
+{
+    constexpr std::size_t kChunk = 4096;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t base = 0; base < s.addrs.size(); base += kChunk) {
+        const std::size_t end =
+            std::min(base + kChunk, s.addrs.size());
+        for (std::size_t i = base; i < end; ++i)
+            fn(s.addrs[i], s.writes[i] != 0);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+/** Best-of-@p reps replay time for one organisation. */
+template <class Fn>
+double
+bestOf(unsigned reps, const Stream &s, Fn &&fn)
+{
+    double best = 1e300;
+    for (unsigned r = 0; r < reps; ++r)
+        best = std::min(best, timedReplay(s, fn));
+    return best;
+}
+
+struct Measurement
+{
+    std::string variant;
+    double nsPerAccess = 0.0;
+    double accessesPerSec = 0.0;
+};
+
+Measurement
+record(const std::string &variant, double seconds, std::size_t n)
+{
+    Measurement m;
+    m.variant = variant;
+    m.nsPerAccess = seconds * 1e9 / double(n);
+    m.accessesPerSec = double(n) / seconds;
+    return m;
+}
+
+std::vector<Measurement>
+runMatrix(std::size_t accesses, unsigned reps)
+{
+    const Stream s = makeStream(accesses, 42);
+    std::vector<Measurement> out;
+
+    {
+        CacheConfig conf;
+        conf.policy = PolicyType::LRU;
+        Cache cache(conf);
+        out.push_back(record(
+            "conventional-lru",
+            bestOf(reps, s,
+                   [&](Addr a, bool w) { cache.access(a, w); }),
+            s.addrs.size()));
+    }
+    {
+        CacheConfig conf;
+        conf.policy = PolicyType::LFU;
+        Cache cache(conf);
+        out.push_back(record(
+            "conventional-lfu",
+            bestOf(reps, s,
+                   [&](Addr a, bool w) { cache.access(a, w); }),
+            s.addrs.size()));
+    }
+    {
+        AdaptiveCache cache(
+            AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU));
+        out.push_back(record(
+            "adaptive-full",
+            bestOf(reps, s,
+                   [&](Addr a, bool w) { cache.access(a, w); }),
+            s.addrs.size()));
+    }
+    {
+        AdaptiveConfig conf =
+            AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU);
+        conf.partialTagBits = 8;
+        AdaptiveCache cache(conf);
+        out.push_back(record(
+            "adaptive-partial8",
+            bestOf(reps, s,
+                   [&](Addr a, bool w) { cache.access(a, w); }),
+            s.addrs.size()));
+    }
+    {
+        SbarConfig conf;
+        conf.partialTagBits = 8;
+        SbarCache cache(conf);
+        out.push_back(record(
+            "sbar-partial8",
+            bestOf(reps, s,
+                   [&](Addr a, bool w) { cache.access(a, w); }),
+            s.addrs.size()));
+    }
+    {
+        kv::KvConfig conf;
+        conf.capacity = 16 * 1024;
+        conf.numShards = 1;  // single-threaded replay; lock uncontended
+        conf.numBuckets = 2048;
+        kv::AdaptiveKvCache cache(conf);
+        const char value[8] = "v";
+        out.push_back(record(
+            "kv-shard",
+            bestOf(reps, s,
+                   [&](Addr a, bool) {
+                       cache.reference(kv::KvKey(a), value);
+                   }),
+            s.addrs.size()));
+    }
+    return out;
+}
+
+ReportGrid
+toGrid(const std::vector<Measurement> &ms, std::size_t accesses,
+       unsigned reps)
+{
+    ReportGrid grid;
+    grid.experiment = "BENCH_hotpath";
+    grid.variantHeader = "organisation";
+    grid.addMeta("accesses", std::to_string(accesses));
+    grid.addMeta("reps", std::to_string(reps));
+#ifdef NDEBUG
+    grid.addMeta("build", "release");
+#else
+    grid.addMeta("build", "debug");
+#endif
+    for (const auto &m : ms) {
+        ReportRow &row = grid.add("hotpath", m.variant);
+        row.stats.value("ns_per_access", m.nsPerAccess);
+        row.stats.value("accesses_per_sec", m.accessesPerSec);
+    }
+    return grid;
+}
+
+/**
+ * Pull "ns_per_access" per organisation out of a BENCH_hotpath.json
+ * document (our own renderJson output: one row object per
+ * organisation, "variant" preceding its "stats"). Returns false on
+ * structural surprises so --check fails closed.
+ */
+bool
+parseBaseline(const std::string &json,
+              std::vector<Measurement> &out)
+{
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t v = json.find("\"variant\": \"", pos);
+        if (v == std::string::npos)
+            break;
+        const std::size_t name_begin = v + std::strlen("\"variant\": \"");
+        const std::size_t name_end = json.find('"', name_begin);
+        if (name_end == std::string::npos)
+            return false;
+        const std::size_t stat =
+            json.find("\"ns_per_access\": ", name_end);
+        if (stat == std::string::npos)
+            return false;
+        Measurement m;
+        m.variant = json.substr(name_begin, name_end - name_begin);
+        m.nsPerAccess = std::strtod(
+            json.c_str() + stat + std::strlen("\"ns_per_access\": "),
+            nullptr);
+        if (m.nsPerAccess <= 0.0)
+            return false;
+        out.push_back(m);
+        pos = stat;
+    }
+    return !out.empty();
+}
+
+/** @return process exit code. */
+int
+check(const std::vector<Measurement> &measured,
+      const std::string &baseline_path)
+{
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::fprintf(stderr, "perf_regress: cannot read baseline %s\n",
+                     baseline_path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<Measurement> base;
+    if (!parseBaseline(text.str(), base)) {
+        std::fprintf(stderr,
+                     "perf_regress: malformed baseline %s\n",
+                     baseline_path.c_str());
+        return 1;
+    }
+
+    constexpr double kTolerance = 1.10;  // fail beyond +10% ns/access
+    int failures = 0;
+    for (const auto &m : measured) {
+        const Measurement *b = nullptr;
+        for (const auto &candidate : base)
+            if (candidate.variant == m.variant)
+                b = &candidate;
+        if (!b) {
+            std::fprintf(stderr,
+                         "perf_regress: %-18s no baseline entry\n",
+                         m.variant.c_str());
+            ++failures;
+            continue;
+        }
+        const double ratio = m.nsPerAccess / b->nsPerAccess;
+        const bool bad = ratio > kTolerance;
+        std::fprintf(stderr,
+                     "perf_regress: %-18s %8.2f ns vs baseline "
+                     "%8.2f ns (%+.1f%%)%s\n",
+                     m.variant.c_str(), m.nsPerAccess, b->nsPerAccess,
+                     100.0 * (ratio - 1.0), bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
+    return failures ? 1 : 0;
+}
+
+/** Smoke self-check: the emitted JSON carries every organisation. */
+int
+validateJson(const std::string &json,
+             const std::vector<Measurement> &ms)
+{
+    for (const auto &m : ms) {
+        if (json.find("\"" + m.variant + "\"") == std::string::npos ||
+            json.find("ns_per_access") == std::string::npos) {
+            std::fprintf(stderr,
+                         "perf_regress: JSON emission missing %s\n",
+                         m.variant.c_str());
+            return 1;
+        }
+    }
+    std::vector<Measurement> roundtrip;
+    if (!parseBaseline(json, roundtrip) ||
+        roundtrip.size() != ms.size()) {
+        std::fprintf(stderr,
+                     "perf_regress: JSON does not round-trip through "
+                     "the baseline parser\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t accesses = 4'000'000;
+    unsigned reps = 3;
+    bool smoke = false;
+    std::string baseline_path;
+    std::string out_path = "BENCH_hotpath.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+            accesses = 50'000;
+            reps = 1;
+        } else if (arg == "--check" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--accesses" && i + 1 < argc) {
+            accesses = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_regress [--smoke] "
+                         "[--check <baseline.json>] [--out <path>] "
+                         "[--accesses N]\n");
+            return 2;
+        }
+    }
+
+#ifndef NDEBUG
+    std::fprintf(stderr,
+                 "perf_regress: *** UNOPTIMIZED BUILD *** numbers are "
+                 "meaningless for baselines; build Release "
+                 "(cmake --preset release)\n");
+    if (!baseline_path.empty()) {
+        std::fprintf(stderr,
+                     "perf_regress: refusing --check in a debug "
+                     "build\n");
+        return 1;
+    }
+#endif
+
+    const auto measured = runMatrix(accesses, reps);
+    const ReportGrid grid = toGrid(measured, accesses, reps);
+    const std::string json = renderJson(grid);
+
+    {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr,
+                         "perf_regress: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << json;
+    }
+    for (const auto &m : measured)
+        std::fprintf(stderr, "perf_regress: %-18s %10.2f ns/access  "
+                             "%12.0f accesses/sec\n",
+                     m.variant.c_str(), m.nsPerAccess,
+                     m.accessesPerSec);
+    std::fprintf(stderr, "perf_regress: wrote %s\n", out_path.c_str());
+
+    if (smoke)
+        return validateJson(json, measured);
+    if (!baseline_path.empty())
+        return check(measured, baseline_path);
+    return 0;
+}

@@ -22,30 +22,28 @@ CacheGeometry::fromSize(std::uint64_t size_bytes, unsigned assoc,
 }
 
 Cache::Cache(const CacheConfig &config)
-    : config_(config), geom_(config.geometry()), rng_(config.rngSeed),
-      tags_(geom_.numSets, geom_.assoc)
+    : config_(config), geom_(config.geometry()), map_(geom_),
+      rng_(config.rngSeed), tags_(geom_.numSets, geom_.assoc),
+      policies_(config.policy, geom_.numSets, geom_.assoc, &rng_)
 {
-    policies_.reserve(geom_.numSets);
-    for (unsigned s = 0; s < geom_.numSets; ++s)
-        policies_.push_back(
-            makePolicy(config.policy, geom_.assoc, &rng_));
 }
 
+template <class Policy>
 AccessResult
-Cache::access(Addr addr, bool is_write)
+Cache::accessImpl(Policy &policy, Addr addr, bool is_write)
 {
     AccessResult result;
     ++stats_.accesses;
 
-    const unsigned set = geom_.setIndex(addr);
-    const Addr tag = geom_.tag(addr);
-    auto &policy = *policies_[set];
+    const unsigned set = map_.set(addr);
+    const Addr tag = map_.tag(addr);
 
-    if (auto way = tags_.findWay(set, tag)) {
+    const unsigned way = tags_.lookup(set, tag);
+    if (way != TagArray::kNoWay) {
         ++stats_.hits;
-        policy.onHit(*way);
+        policy.onHit(set, way);
         if (is_write)
-            tags_.entry(set, *way).dirty = true;
+            tags_.markDirty(set, way);
         result.hit = true;
         return result;
     }
@@ -56,50 +54,50 @@ Cache::access(Addr addr, bool is_write)
     else
         ++stats_.readMisses;
 
-    unsigned fill_way;
-    if (auto invalid = tags_.findInvalidWay(set)) {
-        fill_way = *invalid;
-    } else {
-        fill_way = policy.victim();
-        const auto &victim = tags_.entry(set, fill_way);
+    unsigned fill_way = tags_.invalidWay(set);
+    if (fill_way == TagArray::kNoWay) {
+        fill_way = policy.evictFill(set);
         ++stats_.evictions;
-        if (victim.dirty) {
+        if (tags_.dirty(set, fill_way)) {
             ++stats_.writebacks;
             result.writeback = true;
             result.writebackAddr =
-                geom_.reconstruct(set, victim.tag);
+                geom_.reconstruct(set, tags_.tag(set, fill_way));
         }
-        policy.onInvalidate(fill_way);
+    } else {
+        policy.onFill(set, fill_way);
     }
 
     tags_.fill(set, fill_way, tag);
-    policy.onFill(fill_way);
     if (is_write)
-        tags_.entry(set, fill_way).dirty = true;
+        tags_.markDirty(set, fill_way);
     return result;
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    return policies_.visit([&](auto &policy) {
+        return accessImpl(policy, addr, is_write);
+    });
 }
 
 bool
 Cache::contains(Addr addr) const
 {
-    return tags_.findWay(geom_.setIndex(addr), geom_.tag(addr))
-        .has_value();
+    return tags_.lookup(map_.set(addr), map_.tag(addr)) !=
+           TagArray::kNoWay;
 }
 
 void
 Cache::invalidateBlock(Addr addr)
 {
-    const unsigned set = geom_.setIndex(addr);
-    if (auto way = tags_.findWay(set, geom_.tag(addr))) {
-        tags_.invalidate(set, *way);
-        policies_[set]->onInvalidate(*way);
+    const unsigned set = map_.set(addr);
+    const unsigned way = tags_.lookup(set, map_.tag(addr));
+    if (way != TagArray::kNoWay) {
+        tags_.invalidate(set, way);
+        policies_.onInvalidate(set, way);
     }
-}
-
-ReplacementPolicy &
-Cache::policyOf(unsigned set)
-{
-    return *policies_.at(set);
 }
 
 std::string

@@ -8,10 +8,8 @@
 #ifndef ADCACHE_CACHE_CACHE_HH
 #define ADCACHE_CACHE_CACHE_HH
 
-#include <memory>
-#include <vector>
-
 #include "cache/cache_model.hh"
+#include "cache/policy_sets.hh"
 #include "cache/replacement.hh"
 #include "cache/tag_array.hh"
 #include "util/rng.hh"
@@ -52,17 +50,21 @@ class Cache : public CacheModel
     /** Invalidate the block containing @p addr if resident. */
     void invalidateBlock(Addr addr);
 
-    /** The policy managing @p set (exposed for tests). */
-    ReplacementPolicy &policyOf(unsigned set);
+    /** The replacement metadata (exposed for tests). */
+    PolicySet &policies() { return policies_; }
 
     PolicyType policyType() const { return config_.policy; }
 
   private:
+    template <class Policy>
+    AccessResult accessImpl(Policy &policy, Addr addr, bool is_write);
+
     CacheConfig config_;
     CacheGeometry geom_;
+    AddrMap map_;
     Rng rng_;
     TagArray tags_;
-    std::vector<std::unique_ptr<ReplacementPolicy>> policies_;
+    PolicySet policies_;
     CacheStats stats_;
 };
 

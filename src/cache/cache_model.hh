@@ -80,6 +80,35 @@ struct CacheGeometry
     }
 };
 
+/**
+ * Precomputed address decomposition for one geometry. Cache hot paths
+ * construct this once and reuse it per access, instead of re-deriving
+ * the offset/index widths from the geometry on every reference.
+ */
+class AddrMap
+{
+  public:
+    explicit AddrMap(const CacheGeometry &geom)
+        : offBits_(geom.offsetBits()),
+          tagShift_(geom.offsetBits() + geom.indexBits()),
+          idxMask_(lowMask(geom.indexBits()))
+    {
+    }
+
+    unsigned
+    set(Addr a) const
+    {
+        return unsigned((a >> offBits_) & idxMask_);
+    }
+
+    Addr tag(Addr a) const { return a >> tagShift_; }
+
+  private:
+    unsigned offBits_;
+    unsigned tagShift_;
+    Addr idxMask_;
+};
+
 /** Event counters common to all cache organisations. */
 struct CacheStats
 {

@@ -1,0 +1,802 @@
+/**
+ * @file
+ * Devirtualized replacement-policy state for a whole cache: one
+ * concrete *Sets class per algorithm holds the metadata of every set
+ * contiguously (no per-set heap objects), and PolicySet wraps them in
+ * a variant so the caller pays one dispatch per access — visit() once,
+ * then every onFill/onHit/victim call inside the access body is a
+ * direct, inlinable call.
+ *
+ * Semantics are kept bit-identical to the per-set virtual policies in
+ * cache/policies.cc (the configuration-boundary interface): same
+ * stamp/counter evolution, same tie-breaks, same Rng draw order for
+ * Random. tests/cache/policy_sets_test.cc locks the two in step, and
+ * the differential oracle verifies the composed caches end to end.
+ */
+
+#ifndef ADCACHE_CACHE_POLICY_SETS_HH
+#define ADCACHE_CACHE_POLICY_SETS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace adcache
+{
+
+/**
+ * Per-set event stamps packed into one 64-bit word of 8-bit lanes
+ * (assoc <= 8), with an 8-bit per-set clock. Victim scans only ever
+ * compare stamps *within* a set, and nonzero stamps of a set are
+ * pairwise distinct, so when the clock would wrap past 255 the lanes
+ * renormalize to their ranks — an order-preserving compression that
+ * leaves every victim choice identical to unbounded 64-bit stamps
+ * (zero lanes, the "never used / invalidated" marker, stay zero).
+ *
+ * The packing is what makes recency metadata L1-resident: 9 bytes
+ * per set instead of 8 * 8 + 8.
+ */
+class StampLanes8
+{
+  public:
+    StampLanes8(unsigned num_sets, unsigned assoc)
+        : assoc_(assoc), lanes_(num_sets, 0), clock_(num_sets, 0)
+    {
+        adcache_assert(assoc >= 1 && assoc <= 8);
+    }
+
+    /** Stamp (set, way) with the set's next event number. */
+    void
+    bump(unsigned set, unsigned way)
+    {
+        unsigned c = clock_[set] + 1u;
+        if (c > 0xFF)
+            c = renormalize(set) + 1u;
+        clock_[set] = std::uint8_t(c);
+        setLane(set, way, c);
+    }
+
+    void clear(unsigned set, unsigned way) { setLane(set, way, 0); }
+
+    std::uint8_t
+    stamp(unsigned set, unsigned way) const
+    {
+        return std::uint8_t(lanes_[set] >> (way * 8));
+    }
+
+    /** Lowest way with the strictly smallest stamp. */
+    unsigned minWay(unsigned set) const { return minOf(lanes_[set]); }
+
+    /** Lowest way with the strictly largest stamp. */
+    unsigned maxWay(unsigned set) const { return maxOf(lanes_[set]); }
+
+    /**
+     * Fused victim-select + restamp for the eviction path: pick the
+     * min (PickMax false) or max lane and stamp it with the set's
+     * next event number, loading and storing the lane word once.
+     * Equivalent to minWay/maxWay followed by bump on the result.
+     */
+    template <bool PickMax>
+    unsigned
+    evictBump(unsigned set)
+    {
+        const std::uint64_t w64 = lanes_[set];
+        const unsigned way = PickMax ? maxOf(w64) : minOf(w64);
+        unsigned c = clock_[set] + 1u;
+        if (c > 0xFF) {
+            c = renormalize(set) + 1u;
+            clock_[set] = std::uint8_t(c);
+            setLane(set, way, c);
+            return way;
+        }
+        clock_[set] = std::uint8_t(c);
+        const unsigned shift = way * 8;
+        lanes_[set] = (w64 & ~(std::uint64_t{0xFF} << shift)) |
+                      (std::uint64_t(c) << shift);
+        return way;
+    }
+
+  private:
+    unsigned
+    minOf(std::uint64_t w64) const
+    {
+        if (assoc_ == 8) {
+            // Depth-3 cmov tournament over stamp<<3|way keys, fully
+            // unrolled so every key lives in a register (a runtime-
+            // bounded key array spills to the stack and loses). The
+            // way in the low bits makes ties resolve to the lowest
+            // way, exactly like the serial first-occurrence scan.
+            const auto key = [w64](unsigned w) {
+                return ((unsigned(w64 >> (w * 8)) & 0xFFu) << 3) | w;
+            };
+            const unsigned a = std::min(key(0), key(1));
+            const unsigned b = std::min(key(2), key(3));
+            const unsigned c = std::min(key(4), key(5));
+            const unsigned d = std::min(key(6), key(7));
+            return std::min(std::min(a, b), std::min(c, d)) & 7;
+        }
+        unsigned best = 0;
+        std::uint8_t best_v = std::uint8_t(w64);
+        for (unsigned w = 1; w < assoc_; ++w) {
+            const std::uint8_t v = std::uint8_t(w64 >> (w * 8));
+            if (v < best_v) {
+                best_v = v;
+                best = w;
+            }
+        }
+        return best;
+    }
+
+    unsigned
+    maxOf(std::uint64_t w64) const
+    {
+        if (assoc_ == 8) {
+            // Max tournament; 7-way in the low bits so equal stamps
+            // resolve to the lowest way on a max compare.
+            const auto key = [w64](unsigned w) {
+                return ((unsigned(w64 >> (w * 8)) & 0xFFu) << 3) |
+                       (7 - w);
+            };
+            const unsigned a = std::max(key(0), key(1));
+            const unsigned b = std::max(key(2), key(3));
+            const unsigned c = std::max(key(4), key(5));
+            const unsigned d = std::max(key(6), key(7));
+            return 7 -
+                   (std::max(std::max(a, b), std::max(c, d)) & 7);
+        }
+        unsigned best = 0;
+        std::uint8_t best_v = std::uint8_t(w64);
+        for (unsigned w = 1; w < assoc_; ++w) {
+            const std::uint8_t v = std::uint8_t(w64 >> (w * 8));
+            if (v > best_v) {
+                best_v = v;
+                best = w;
+            }
+        }
+        return best;
+    }
+
+  private:
+    /** Compress stamps to ranks 1..n; @return the new clock value. */
+    unsigned
+    renormalize(unsigned set)
+    {
+        const std::uint64_t w64 = lanes_[set];
+        std::uint64_t out = 0;
+        unsigned used = 0;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const std::uint8_t v = std::uint8_t(w64 >> (w * 8));
+            if (v == 0)
+                continue;
+            unsigned rank = 1;
+            for (unsigned o = 0; o < assoc_; ++o) {
+                const std::uint8_t ov = std::uint8_t(w64 >> (o * 8));
+                rank += unsigned(ov != 0 && ov < v);
+            }
+            out |= std::uint64_t(rank) << (w * 8);
+            ++used;
+        }
+        lanes_[set] = out;
+        return used;
+    }
+
+    void
+    setLane(unsigned set, unsigned way, unsigned value)
+    {
+        const unsigned shift = way * 8;
+        std::uint64_t &w64 = lanes_[set];
+        w64 = (w64 & ~(std::uint64_t{0xFF} << shift)) |
+              (std::uint64_t(value) << shift);
+    }
+
+    unsigned assoc_;
+    std::vector<std::uint64_t> lanes_;
+    std::vector<std::uint8_t> clock_;
+};
+
+/**
+ * LRU / MRU via last-use stamps; victim is min (LRU) or max (MRU).
+ * Packed 8-bit stamp lanes for assoc <= 8, wide 64-bit stamps above.
+ */
+template <bool EvictMostRecent>
+class RecencySets
+{
+  public:
+    RecencySets(unsigned num_sets, unsigned assoc, Rng *)
+        : assoc_(assoc), packed_(assoc <= 8),
+          small_(packed_ ? num_sets : 0, packed_ ? assoc : 1),
+          stamp_(packed_ ? 0 : std::size_t(num_sets) * assoc, 0),
+          clock_(packed_ ? 0 : num_sets, 0)
+    {
+    }
+
+    void
+    onFill(unsigned set, unsigned way)
+    {
+        if (packed_)
+            small_.bump(set, way);
+        else
+            stamp_[index(set, way)] = ++clock_[set];
+    }
+
+    void
+    onHit(unsigned set, unsigned way)
+    {
+        onFill(set, way);
+    }
+
+    void onInvalidate(unsigned set, unsigned way)
+    {
+        if (packed_)
+            small_.clear(set, way);
+        else
+            stamp_[index(set, way)] = 0;
+    }
+
+    unsigned victim(unsigned set) { return peekVictim(set); }
+
+    /** Fused victim + onFill on the chosen way (see PolicySet). */
+    unsigned
+    evictFill(unsigned set)
+    {
+        if (packed_)
+            return small_.evictBump<EvictMostRecent>(set);
+        const unsigned way = peekVictim(set);
+        stamp_[index(set, way)] = ++clock_[set];
+        return way;
+    }
+
+    unsigned
+    peekVictim(unsigned set) const
+    {
+        if (packed_) {
+            return EvictMostRecent ? small_.maxWay(set)
+                                   : small_.minWay(set);
+        }
+        const std::uint64_t *s = &stamp_[std::size_t(set) * assoc_];
+        unsigned best = 0;
+        for (unsigned w = 1; w < assoc_; ++w) {
+            const bool better =
+                EvictMostRecent ? s[w] > s[best] : s[w] < s[best];
+            if (better)
+                best = w;
+        }
+        return best;
+    }
+
+  private:
+    std::size_t
+    index(unsigned set, unsigned way) const
+    {
+        return std::size_t(set) * assoc_ + way;
+    }
+
+    unsigned assoc_;
+    bool packed_;
+    StampLanes8 small_;
+    std::vector<std::uint64_t> stamp_;
+    std::vector<std::uint64_t> clock_;  // per-set event stamp
+};
+
+/** FIFO: victim is the oldest fill; hits do not refresh. */
+class FifoSets
+{
+  public:
+    FifoSets(unsigned num_sets, unsigned assoc, Rng *)
+        : assoc_(assoc), packed_(assoc <= 8),
+          small_(packed_ ? num_sets : 0, packed_ ? assoc : 1),
+          fillStamp_(packed_ ? 0 : std::size_t(num_sets) * assoc, 0),
+          clock_(packed_ ? 0 : num_sets, 0)
+    {
+    }
+
+    void
+    onFill(unsigned set, unsigned way)
+    {
+        if (packed_)
+            small_.bump(set, way);
+        else
+            fillStamp_[index(set, way)] = ++clock_[set];
+    }
+
+    void onHit(unsigned, unsigned) {}
+
+    void onInvalidate(unsigned set, unsigned way)
+    {
+        if (packed_)
+            small_.clear(set, way);
+        else
+            fillStamp_[index(set, way)] = 0;
+    }
+
+    unsigned victim(unsigned set) { return peekVictim(set); }
+
+    /** Fused victim + onFill on the chosen way (see PolicySet). */
+    unsigned
+    evictFill(unsigned set)
+    {
+        if (packed_)
+            return small_.evictBump<false>(set);
+        const unsigned way = peekVictim(set);
+        fillStamp_[index(set, way)] = ++clock_[set];
+        return way;
+    }
+
+    unsigned
+    peekVictim(unsigned set) const
+    {
+        if (packed_)
+            return small_.minWay(set);
+        const std::uint64_t *s = &fillStamp_[std::size_t(set) * assoc_];
+        unsigned best = 0;
+        for (unsigned w = 1; w < assoc_; ++w)
+            if (s[w] < s[best])
+                best = w;
+        return best;
+    }
+
+  private:
+    std::size_t
+    index(unsigned set, unsigned way) const
+    {
+        return std::size_t(set) * assoc_ + way;
+    }
+
+    unsigned assoc_;
+    bool packed_;
+    StampLanes8 small_;
+    std::vector<std::uint64_t> fillStamp_;
+    std::vector<std::uint64_t> clock_;
+};
+
+/**
+ * LFU with 5-bit saturating frequency counters (Table 1). A fill
+ * resets the counter to 1; hits increment. Victim is the minimum
+ * count, tie-broken by oldest fill.
+ */
+class LfuSets
+{
+  public:
+    static constexpr unsigned counterBits = 5;
+    static constexpr std::uint8_t counterMax = (1u << counterBits) - 1;
+
+    LfuSets(unsigned num_sets, unsigned assoc, Rng *)
+        : assoc_(assoc), packed_(assoc <= 8),
+          count_(std::size_t(num_sets) * assoc, 0),
+          small_(packed_ ? num_sets : 0, packed_ ? assoc : 1),
+          fillStamp_(packed_ ? 0 : std::size_t(num_sets) * assoc, 0),
+          clock_(packed_ ? 0 : num_sets, 0)
+    {
+    }
+
+    void
+    onFill(unsigned set, unsigned way)
+    {
+        count_[index(set, way)] = 1;
+        if (packed_)
+            small_.bump(set, way);
+        else
+            fillStamp_[index(set, way)] = ++clock_[set];
+    }
+
+    void
+    onHit(unsigned set, unsigned way)
+    {
+        std::uint8_t &c = count_[index(set, way)];
+        if (c < counterMax)
+            ++c;
+    }
+
+    void
+    onInvalidate(unsigned set, unsigned way)
+    {
+        count_[index(set, way)] = 0;
+        if (packed_)
+            small_.clear(set, way);
+        else
+            fillStamp_[index(set, way)] = 0;
+    }
+
+    unsigned victim(unsigned set) { return peekVictim(set); }
+
+    /** Fused victim + onFill on the chosen way (see PolicySet). */
+    unsigned
+    evictFill(unsigned set)
+    {
+        const unsigned way = victim(set);
+        onFill(set, way);
+        return way;
+    }
+
+    unsigned
+    peekVictim(unsigned set) const
+    {
+        const std::uint8_t *c = &count_[std::size_t(set) * assoc_];
+        unsigned best = 0;
+        if (packed_) {
+            // Branchless: (count << 8) | stamp orders exactly like
+            // "count, tie-broken by older fill stamp", and a strict-<
+            // min scan keeps the lowest way among equals.
+            unsigned best_key =
+                (unsigned(c[0]) << 8) | small_.stamp(set, 0);
+            for (unsigned w = 1; w < assoc_; ++w) {
+                const unsigned key =
+                    (unsigned(c[w]) << 8) | small_.stamp(set, w);
+                if (key < best_key) {
+                    best_key = key;
+                    best = w;
+                }
+            }
+            return best;
+        }
+        const std::uint64_t *f = &fillStamp_[std::size_t(set) * assoc_];
+        for (unsigned w = 1; w < assoc_; ++w) {
+            if (c[w] < c[best] ||
+                (c[w] == c[best] && f[w] < f[best])) {
+                best = w;
+            }
+        }
+        return best;
+    }
+
+  private:
+    std::size_t
+    index(unsigned set, unsigned way) const
+    {
+        return std::size_t(set) * assoc_ + way;
+    }
+
+    unsigned assoc_;
+    bool packed_;
+    std::vector<std::uint8_t> count_;
+    StampLanes8 small_;
+    std::vector<std::uint64_t> fillStamp_;
+    std::vector<std::uint64_t> clock_;
+};
+
+/**
+ * Random replacement. The upcoming victim is drawn lazily per set and
+ * cached so peekVictim() agrees with the following victim() call, and
+ * the shared-Rng draw order matches the virtual policy exactly.
+ */
+class RandomSets
+{
+  public:
+    RandomSets(unsigned num_sets, unsigned assoc, Rng *rng)
+        : assoc_(assoc), rng_(rng), pending_(num_sets, 0),
+          pendingValid_(num_sets, 0)
+    {
+        adcache_assert(rng != nullptr);
+    }
+
+    void onFill(unsigned, unsigned) {}
+    void onHit(unsigned, unsigned) {}
+    void onInvalidate(unsigned, unsigned) {}
+
+    unsigned
+    victim(unsigned set)
+    {
+        const unsigned v = peekVictim(set);
+        pendingValid_[set] = 0;
+        return v;
+    }
+
+    /** Fused victim + onFill on the chosen way (see PolicySet). */
+    unsigned evictFill(unsigned set) { return victim(set); }
+
+    unsigned
+    peekVictim(unsigned set) const
+    {
+        if (!pendingValid_[set]) {
+            pending_[set] = std::uint8_t(rng_->below(assoc_));
+            pendingValid_[set] = 1;
+        }
+        return pending_[set];
+    }
+
+  private:
+    unsigned assoc_;
+    Rng *rng_;
+    mutable std::vector<std::uint8_t> pending_;
+    mutable std::vector<std::uint8_t> pendingValid_;
+};
+
+/**
+ * Tree pseudo-LRU over a power-of-two associativity; each set's
+ * heap-indexed tree bits live in one 64-bit word (bit k = node k,
+ * set means "victim is in right half").
+ */
+class TreePlruSets
+{
+  public:
+    TreePlruSets(unsigned num_sets, unsigned assoc, Rng *)
+        : assoc_(assoc), bits_(num_sets, 0)
+    {
+        adcache_assert(isPowerOfTwo(assoc) && assoc <= 64);
+    }
+
+    void onFill(unsigned set, unsigned way) { touch(set, way); }
+    void onHit(unsigned set, unsigned way) { touch(set, way); }
+    void onInvalidate(unsigned, unsigned) {}
+
+    unsigned victim(unsigned set) { return peekVictim(set); }
+
+    /** Fused victim + onFill on the chosen way (see PolicySet). */
+    unsigned
+    evictFill(unsigned set)
+    {
+        const unsigned way = victim(set);
+        touch(set, way);
+        return way;
+    }
+
+    unsigned
+    peekVictim(unsigned set) const
+    {
+        if (assoc_ == 1)
+            return 0;
+        const std::uint64_t b = bits_[set];
+        unsigned node = 0;
+        unsigned lo = 0, span = assoc_;
+        while (span > 1) {
+            const bool right = (b >> node) & 1;
+            span /= 2;
+            if (right)
+                lo += span;
+            node = 2 * node + (right ? 2 : 1);
+        }
+        return lo;
+    }
+
+  private:
+    void
+    touch(unsigned set, unsigned way)
+    {
+        if (assoc_ == 1)
+            return;
+        std::uint64_t b = bits_[set];
+        unsigned node = 0;
+        unsigned lo = 0, span = assoc_;
+        while (span > 1) {
+            span /= 2;
+            const bool in_right = way >= lo + span;
+            // Point away from the touched half.
+            if (in_right) {
+                b &= ~(std::uint64_t{1} << node);
+                lo += span;
+            } else {
+                b |= std::uint64_t{1} << node;
+            }
+            node = 2 * node + (in_right ? 2 : 1);
+        }
+        bits_[set] = b;
+    }
+
+    unsigned assoc_;
+    std::vector<std::uint64_t> bits_;
+};
+
+/** Static RRIP with 2-bit re-reference prediction values. */
+class SrripSets
+{
+  public:
+    static constexpr std::uint8_t maxRrpv = 3;
+
+    SrripSets(unsigned num_sets, unsigned assoc, Rng *)
+        : assoc_(assoc),
+          rrpv_(std::size_t(num_sets) * assoc, maxRrpv)
+    {
+        adcache_assert(assoc <= 64);
+    }
+
+    void
+    onFill(unsigned set, unsigned way)
+    {
+        rrpv_[index(set, way)] = maxRrpv - 1;
+    }
+
+    void onHit(unsigned set, unsigned way)
+    {
+        rrpv_[index(set, way)] = 0;
+    }
+
+    void
+    onInvalidate(unsigned set, unsigned way)
+    {
+        rrpv_[index(set, way)] = maxRrpv;
+    }
+
+    unsigned
+    victim(unsigned set)
+    {
+        std::uint8_t *r = &rrpv_[std::size_t(set) * assoc_];
+        for (;;) {
+            for (unsigned w = 0; w < assoc_; ++w)
+                if (r[w] == maxRrpv)
+                    return w;
+            for (unsigned w = 0; w < assoc_; ++w)
+                ++r[w];
+        }
+    }
+
+    /** Fused victim + onFill on the chosen way (see PolicySet). */
+    unsigned
+    evictFill(unsigned set)
+    {
+        const unsigned way = victim(set);
+        onFill(set, way);
+        return way;
+    }
+
+    unsigned
+    peekVictim(unsigned set) const
+    {
+        // Same search as victim(), but on a scratch copy (SRRIP's
+        // aging mutates state; preview must not).
+        const std::uint8_t *r = &rrpv_[std::size_t(set) * assoc_];
+        std::uint8_t scratch[64];
+        for (unsigned w = 0; w < assoc_; ++w)
+            scratch[w] = r[w];
+        for (;;) {
+            for (unsigned w = 0; w < assoc_; ++w)
+                if (scratch[w] == maxRrpv)
+                    return w;
+            for (unsigned w = 0; w < assoc_; ++w)
+                ++scratch[w];
+        }
+    }
+
+  private:
+    std::size_t
+    index(unsigned set, unsigned way) const
+    {
+        return std::size_t(set) * assoc_ + way;
+    }
+
+    unsigned assoc_;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+/**
+ * Variant over the concrete policy-set implementations. Hot paths
+ * call visit() once per access and run a fully static body; the
+ * plain member forwarders below are for cold/boundary code.
+ */
+class PolicySet
+{
+  public:
+    using Variant =
+        std::variant<RecencySets<false>, RecencySets<true>, FifoSets,
+                     LfuSets, RandomSets, TreePlruSets, SrripSets>;
+
+    PolicySet(PolicyType type, unsigned num_sets, unsigned assoc,
+              Rng *rng)
+        : type_(type), impl_(make(type, num_sets, assoc, rng))
+    {
+    }
+
+    /*
+     * Hand-rolled visit: a switch on the variant index compiles to a
+     * direct (and, with a fixed policy, perfectly predicted) branch
+     * whose per-alternative bodies inline into the caller, where
+     * std::visit dispatches through a function-pointer table that
+     * defeats that inlining. The variant is never valueless: every
+     * alternative is nothrow-movable.
+     */
+    template <class F>
+    decltype(auto)
+    visit(F &&f)
+    {
+        static_assert(std::variant_size_v<Variant> == 7,
+                      "update the visit() switches");
+        switch (impl_.index()) {
+          case 0: return f(*std::get_if<0>(&impl_));
+          case 1: return f(*std::get_if<1>(&impl_));
+          case 2: return f(*std::get_if<2>(&impl_));
+          case 3: return f(*std::get_if<3>(&impl_));
+          case 4: return f(*std::get_if<4>(&impl_));
+          case 5: return f(*std::get_if<5>(&impl_));
+          case 6: return f(*std::get_if<6>(&impl_));
+        }
+        panic("valueless policy variant");
+    }
+
+    template <class F>
+    decltype(auto)
+    visit(F &&f) const
+    {
+        switch (impl_.index()) {
+          case 0: return f(*std::get_if<0>(&impl_));
+          case 1: return f(*std::get_if<1>(&impl_));
+          case 2: return f(*std::get_if<2>(&impl_));
+          case 3: return f(*std::get_if<3>(&impl_));
+          case 4: return f(*std::get_if<4>(&impl_));
+          case 5: return f(*std::get_if<5>(&impl_));
+          case 6: return f(*std::get_if<6>(&impl_));
+        }
+        panic("valueless policy variant");
+    }
+
+    void
+    onFill(unsigned set, unsigned way)
+    {
+        visit([&](auto &p) { p.onFill(set, way); });
+    }
+
+    void
+    onHit(unsigned set, unsigned way)
+    {
+        visit([&](auto &p) { p.onHit(set, way); });
+    }
+
+    void
+    onInvalidate(unsigned set, unsigned way)
+    {
+        visit([&](auto &p) { p.onInvalidate(set, way); });
+    }
+
+    unsigned
+    victim(unsigned set)
+    {
+        return visit([&](auto &p) { return p.victim(set); });
+    }
+
+    /**
+     * Fused eviction: victim() followed by onFill() on the chosen
+     * way, with no intermediate onInvalidate — every policy's onFill
+     * fully overwrites the per-way state onInvalidate would clear,
+     * and victim choices depend only on the relative order of the
+     * surviving ways, so the result is identical to the three-call
+     * sequence. Stamp-lane policies additionally fuse the victim
+     * scan and the restamp into one load/store of the lane word.
+     */
+    unsigned
+    evictFill(unsigned set)
+    {
+        return visit([&](auto &p) { return p.evictFill(set); });
+    }
+
+    unsigned
+    peekVictim(unsigned set) const
+    {
+        return visit([&](const auto &p) { return p.peekVictim(set); });
+    }
+
+    PolicyType type() const { return type_; }
+
+  private:
+    static Variant
+    make(PolicyType type, unsigned num_sets, unsigned assoc, Rng *rng)
+    {
+        switch (type) {
+          case PolicyType::LRU:
+            return RecencySets<false>(num_sets, assoc, rng);
+          case PolicyType::MRU:
+            return RecencySets<true>(num_sets, assoc, rng);
+          case PolicyType::FIFO:
+            return FifoSets(num_sets, assoc, rng);
+          case PolicyType::LFU:
+            return LfuSets(num_sets, assoc, rng);
+          case PolicyType::Random:
+            return RandomSets(num_sets, assoc, rng);
+          case PolicyType::TreePLRU:
+            return TreePlruSets(num_sets, assoc, rng);
+          case PolicyType::SRRIP:
+            return SrripSets(num_sets, assoc, rng);
+        }
+        panic("unknown policy type %d", int(type));
+    }
+
+    PolicyType type_;
+    Variant impl_;
+};
+
+} // namespace adcache
+
+#endif // ADCACHE_CACHE_POLICY_SETS_HH

@@ -5,75 +5,43 @@
 namespace adcache
 {
 
-TagArray::TagArray(unsigned num_sets, unsigned assoc)
-    : numSets_(num_sets), assoc_(assoc),
-      entries_(std::size_t(num_sets) * assoc)
+TagArray::TagArray(unsigned num_sets, unsigned assoc, unsigned tag_bits)
+    : numSets_(num_sets), assoc_(assoc), tagBits_(tag_bits),
+      fullMask_(lowMask(assoc)), valid_(num_sets, 0),
+      dirty_(num_sets, 0)
 {
-    adcache_assert(num_sets >= 1 && assoc >= 1);
-}
+    adcache_assert(num_sets >= 1 && assoc >= 1 && assoc <= 64);
 
-std::optional<unsigned>
-TagArray::findWay(unsigned set, Addr tag) const
-{
-    for (unsigned w = 0; w < assoc_; ++w) {
-        const auto &e = entries_[index(set, w)];
-        if (e.valid && e.tag == tag)
-            return w;
+    // The packed probe wants every way of a set inside one (8-bit
+    // lanes) or two (16-bit lanes) words, and a lane strictly wider
+    // than the stored tag so the all-ones "empty" lane can never
+    // match a probe. In packed mode the lanes are the only tag
+    // store; tags_ stays empty.
+    if (tag_bits >= 1 && tag_bits <= 15 && assoc <= 8) {
+        laneBits_ = tag_bits <= 7 ? 8 : 16;
+        emptyLane_ = lowMask(laneBits_);
+        const std::size_t words = laneBits_ == 8 ? 1 : 2;
+        lanes_.assign(std::size_t(num_sets) * words,
+                      ~std::uint64_t{0});
+    } else {
+        tags_.assign(std::size_t(num_sets) * assoc, 0);
+        // Full-width tags still get a packed probe when the set fits
+        // in two fingerprint words: the 16-bit low slice of each tag
+        // nominates candidate ways and only candidates touch the
+        // (much larger) full tag row.
+        if (assoc <= 8) {
+            fpProbe_ = true;
+            fp_.assign(std::size_t(num_sets) * 2, 0);
+        }
     }
-    return std::nullopt;
-}
-
-std::optional<unsigned>
-TagArray::findInvalidWay(unsigned set) const
-{
-    for (unsigned w = 0; w < assoc_; ++w)
-        if (!entries_[index(set, w)].valid)
-            return w;
-    return std::nullopt;
-}
-
-bool
-TagArray::setFull(unsigned set) const
-{
-    return !findInvalidWay(set).has_value();
-}
-
-TagEntry &
-TagArray::entry(unsigned set, unsigned way)
-{
-    return entries_.at(index(set, way));
-}
-
-const TagEntry &
-TagArray::entry(unsigned set, unsigned way) const
-{
-    return entries_.at(index(set, way));
-}
-
-void
-TagArray::fill(unsigned set, unsigned way, Addr tag)
-{
-    auto &e = entries_.at(index(set, way));
-    e.tag = tag;
-    e.valid = true;
-    e.dirty = false;
-}
-
-void
-TagArray::invalidate(unsigned set, unsigned way)
-{
-    auto &e = entries_.at(index(set, way));
-    e.valid = false;
-    e.dirty = false;
-    e.tag = 0;
 }
 
 std::uint64_t
 TagArray::validCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &e : entries_)
-        n += e.valid ? 1 : 0;
+    for (const std::uint64_t m : valid_)
+        n += unsigned(std::popcount(m));
     return n;
 }
 

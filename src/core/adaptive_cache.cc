@@ -23,75 +23,75 @@ AdaptiveConfig::fivePolicy(std::uint64_t size_bytes, unsigned assoc,
 }
 
 AdaptiveCache::AdaptiveCache(const AdaptiveConfig &config)
-    : config_(config), geom_(config.geometry()), rng_(config.rngSeed),
-      tags_(geom_.numSets, geom_.assoc)
+    : config_(config), geom_(config.geometry()), map_(geom_),
+      rng_(config.rngSeed), tags_(geom_.numSets, geom_.assoc),
+      history_(config.exactCounters,
+               config.historyDepth != 0 ? config.historyDepth
+                                        : geom_.assoc,
+               geom_.numSets, unsigned(config.policies.size()))
 {
     adcache_assert(config.policies.size() >= 2 &&
                    config.policies.size() <= 32);
 
+    shadows_.reserve(config.policies.size());
     for (PolicyType p : config.policies)
-        shadows_.push_back(std::make_unique<ShadowCache>(
-            geom_, p, config.partialTagBits, config.xorFoldTags, &rng_));
+        shadows_.emplace_back(geom_, p, config.partialTagBits,
+                              config.xorFoldTags, &rng_);
 
-    const unsigned depth =
-        config.historyDepth != 0 ? config.historyDepth : geom_.assoc;
     const auto num_policies = unsigned(config.policies.size());
-    history_.reserve(geom_.numSets);
-    for (unsigned s = 0; s < geom_.numSets; ++s)
-        history_.push_back(
-            makeHistory(config.exactCounters, depth, num_policies));
-
-    decisions_.assign(geom_.numSets,
-                      std::vector<std::uint64_t>(num_policies, 0));
+    decisions_.assign(std::size_t(geom_.numSets) * num_policies, 0);
     fallbackPtr_.assign(geom_.numSets, 0);
+    outcomeScratch_.assign(num_policies, ShadowOutcome{});
 }
 
 std::uint64_t
 AdaptiveCache::shadowMisses(unsigned k) const
 {
-    return shadows_.at(k)->misses();
+    return shadows_.at(k).misses();
 }
 
 PolicyType
 AdaptiveCache::componentPolicy(unsigned k) const
 {
-    return shadows_.at(k)->policyType();
+    return shadows_.at(k).policyType();
 }
 
 bool
 AdaptiveCache::contains(Addr addr) const
 {
-    return tags_.findWay(geom_.setIndex(addr), geom_.tag(addr))
-        .has_value();
+    return tags_.lookup(map_.set(addr), map_.tag(addr)) !=
+           TagArray::kNoWay;
 }
 
-const std::vector<std::uint64_t> &
+std::span<const std::uint64_t>
 AdaptiveCache::decisionsFor(unsigned set) const
 {
-    return decisions_.at(set);
+    adcache_assert(set < geom_.numSets);
+    const auto k = numPolicies();
+    return {decisions_.data() + std::size_t(set) * k, k};
 }
 
 void
 AdaptiveCache::clearDecisions()
 {
-    for (auto &per_set : decisions_)
-        for (auto &c : per_set)
-            c = 0;
+    for (auto &c : decisions_)
+        c = 0;
 }
 
 unsigned
 AdaptiveCache::chooseVictimWay(unsigned set, unsigned winner,
                                const ShadowOutcome &winner_outcome)
 {
-    ShadowCache &shadow = *shadows_[winner];
+    const ShadowCache &shadow = shadows_[winner];
+    const std::uint64_t valid = tags_.validMask(set);
 
     // Case 1: the imitated component also missed and displaced a
     // block; if that block is resident here, evict the same block.
     if (winner_outcome.evicted) {
-        for (unsigned w = 0; w < geom_.assoc; ++w) {
-            const auto &e = tags_.entry(set, w);
-            if (e.valid &&
-                shadow.foldTag(e.tag) == winner_outcome.evictedTag) {
+        for (std::uint64_t m = valid; m != 0; m &= m - 1) {
+            const unsigned w = unsigned(std::countr_zero(m));
+            if (shadow.foldTag(tags_.tag(set, w)) ==
+                winner_outcome.evictedTag) {
                 return w;
             }
         }
@@ -100,9 +100,10 @@ AdaptiveCache::chooseVictimWay(unsigned set, unsigned winner,
     // Case 2: evict any resident block not present in the imitated
     // component's shadow contents. With full tags such a block is
     // guaranteed to exist whenever case 1 did not apply.
-    for (unsigned w = 0; w < geom_.assoc; ++w) {
-        const auto &e = tags_.entry(set, w);
-        if (e.valid && !shadow.containsTag(set, shadow.foldTag(e.tag)))
+    for (std::uint64_t m = valid; m != 0; m &= m - 1) {
+        const unsigned w = unsigned(std::countr_zero(m));
+        if (!shadow.containsTag(set,
+                                shadow.foldTag(tags_.tag(set, w))))
             return w;
     }
 
@@ -121,17 +122,18 @@ AdaptiveCache::access(Addr addr, bool is_write)
     AccessResult result;
     ++stats_.accesses;
 
-    const unsigned set = geom_.setIndex(addr);
-    const Addr tag = geom_.tag(addr);
+    const unsigned set = map_.set(addr);
+    const Addr tag = map_.tag(addr);
     const auto num_policies = unsigned(shadows_.size());
 
     // Update every component simulation for this reference and build
     // the differentiating-miss mask (Sec. 2.3: "On every memory block
-    // reference, we update the parallel tag structures").
-    std::vector<ShadowOutcome> outcomes(num_policies);
+    // reference, we update the parallel tag structures"). The outcome
+    // buffer is a member so the hot path never allocates.
+    ShadowOutcome *outcomes = outcomeScratch_.data();
     std::uint32_t miss_mask = 0;
     for (unsigned k = 0; k < num_policies; ++k) {
-        outcomes[k] = shadows_[k]->access(addr);
+        outcomes[k] = shadows_[k].access(addr);
         if (outcomes[k].miss)
             miss_mask |= 1u << k;
     }
@@ -142,14 +144,15 @@ AdaptiveCache::access(Addr addr, bool is_write)
                                   ? ~std::uint32_t{0}
                                   : (1u << num_policies) - 1;
     if (miss_mask != 0 && miss_mask != all)
-        history_[set]->record(miss_mask);
+        history_.record(set, miss_mask);
 
     // Real cache lookup. Hits never consult the adaptivity logic and
     // leave the critical path untouched (Sec. 3.3).
-    if (auto way = tags_.findWay(set, tag)) {
+    const unsigned way = tags_.lookup(set, tag);
+    if (way != TagArray::kNoWay) {
         ++stats_.hits;
         if (is_write)
-            tags_.entry(set, way.value()).dirty = true;
+            tags_.markDirty(set, way);
         result.hit = true;
         return result;
     }
@@ -160,26 +163,24 @@ AdaptiveCache::access(Addr addr, bool is_write)
     else
         ++stats_.readMisses;
 
-    unsigned fill_way;
-    if (auto invalid = tags_.findInvalidWay(set)) {
-        fill_way = *invalid;
-    } else {
-        const unsigned winner = history_[set]->best(num_policies);
-        ++decisions_[set][winner];
+    unsigned fill_way = tags_.invalidWay(set);
+    if (fill_way == TagArray::kNoWay) {
+        const unsigned winner = history_.best(set);
+        ++decisions_[std::size_t(set) * num_policies + winner];
         fill_way = chooseVictimWay(set, winner, outcomes[winner]);
 
-        const auto &victim = tags_.entry(set, fill_way);
         ++stats_.evictions;
-        if (victim.dirty) {
+        if (tags_.dirty(set, fill_way)) {
             ++stats_.writebacks;
             result.writeback = true;
-            result.writebackAddr = geom_.reconstruct(set, victim.tag);
+            result.writebackAddr =
+                geom_.reconstruct(set, tags_.tag(set, fill_way));
         }
     }
 
     tags_.fill(set, fill_way, tag);
     if (is_write)
-        tags_.entry(set, fill_way).dirty = true;
+        tags_.markDirty(set, fill_way);
     return result;
 }
 

@@ -24,6 +24,7 @@
 #define ADCACHE_CORE_ADAPTIVE_CACHE_HH
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cache/cache_model.hh"
@@ -114,7 +115,7 @@ class AdaptiveCache : public CacheModel
      * Replacement decisions made in @p set, by imitated component,
      * since the last clearDecisions(). Drives the Fig. 7 phase maps.
      */
-    const std::vector<std::uint64_t> &decisionsFor(unsigned set) const;
+    std::span<const std::uint64_t> decisionsFor(unsigned set) const;
 
     /** Reset the per-set decision counters (per sampling quantum). */
     void clearDecisions();
@@ -130,12 +131,14 @@ class AdaptiveCache : public CacheModel
 
     AdaptiveConfig config_;
     CacheGeometry geom_;
+    AddrMap map_;
     Rng rng_;
     TagArray tags_;
-    std::vector<std::unique_ptr<ShadowCache>> shadows_;
-    std::vector<std::unique_ptr<MissHistory>> history_;  // per set
-    std::vector<std::vector<std::uint64_t>> decisions_;  // [set][k]
+    std::vector<ShadowCache> shadows_;
+    HistorySet history_;
+    std::vector<std::uint64_t> decisions_;  // [set * k + k], flat
     std::vector<unsigned> fallbackPtr_;                  // per set
+    std::vector<ShadowOutcome> outcomeScratch_;  // per-access reuse
     CacheStats stats_;
     std::uint64_t fallbacks_ = 0;
 };

@@ -20,6 +20,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/logging.hh"
+
 namespace adcache
 {
 
@@ -86,6 +88,135 @@ class CounterHistory : public MissHistory
 /** Build the selected representation. */
 std::unique_ptr<MissHistory>
 makeHistory(bool exact_counters, unsigned depth, unsigned num_policies);
+
+/**
+ * Miss histories of every set of a cache in flat arrays — the hot-path
+ * counterpart of the per-set MissHistory objects above (which remain
+ * the configuration-boundary/reference interface). One heap object
+ * per *cache* instead of per set, no virtual dispatch on record/best,
+ * and the per-set state of neighbouring sets shares cache lines.
+ *
+ * Event semantics are identical to WindowHistory (ring of the last
+ * depth miss masks) or, with exact_counters, CounterHistory
+ * (unbounded counts); ties in best() break toward the lowest index.
+ */
+class HistorySet
+{
+  public:
+    HistorySet(bool exact_counters, unsigned depth, unsigned num_sets,
+               unsigned num_policies)
+        : exact_(exact_counters), depth_(depth),
+          numPolicies_(num_policies)
+    {
+        adcache_assert(num_policies >= 1 && num_policies <= 32);
+        adcache_assert(exact_counters ||
+                       (depth >= 1 && depth <= 0xFFFF));
+        const std::size_t cells =
+            std::size_t(num_sets) * num_policies;
+        if (exact_counters) {
+            exactCounts_.assign(cells, 0);
+            return;
+        }
+        counts_.assign(cells, 0);
+        if (num_policies <= 8)
+            ring8_.assign(std::size_t(num_sets) * depth, 0);
+        else
+            ring32_.assign(std::size_t(num_sets) * depth, 0);
+        head_.assign(num_sets, 0);
+        filled_.assign(num_sets, 0);
+    }
+
+    void
+    record(unsigned set, std::uint32_t miss_mask)
+    {
+        if (exact_) {
+            std::uint64_t *counts =
+                &exactCounts_[std::size_t(set) * numPolicies_];
+            for (unsigned p = 0; p < numPolicies_; ++p)
+                if (miss_mask & (1u << p))
+                    ++counts[p];
+            return;
+        }
+        // Window mode: counts are bounded by depth (<= 0xFFFF) and
+        // masks by the policy count, so the whole per-set state packs
+        // into narrow arrays that stay L1-resident.
+        std::uint16_t *counts =
+            &counts_[std::size_t(set) * numPolicies_];
+        const unsigned head = head_[set];
+        if (filled_[set] == depth_) {
+            const std::uint32_t old = ringOld(set, head);
+            for (unsigned p = 0; p < numPolicies_; ++p)
+                counts[p] = std::uint16_t(counts[p] -
+                                          ((old >> p) & 1));
+        } else {
+            ++filled_[set];
+        }
+        ringStore(set, head, miss_mask);
+        head_[set] = std::uint16_t(head + 1 == depth_ ? 0 : head + 1);
+        for (unsigned p = 0; p < numPolicies_; ++p)
+            counts[p] =
+                std::uint16_t(counts[p] + ((miss_mask >> p) & 1));
+    }
+
+    std::uint64_t
+    count(unsigned set, unsigned policy) const
+    {
+        if (exact_)
+            return exactCounts_[std::size_t(set) * numPolicies_ +
+                                policy];
+        return counts_[std::size_t(set) * numPolicies_ + policy];
+    }
+
+    /** Policy with the fewest recorded misses in @p set (ties: low). */
+    unsigned
+    best(unsigned set) const
+    {
+        unsigned best_policy = 0;
+        if (exact_) {
+            const std::uint64_t *counts =
+                &exactCounts_[std::size_t(set) * numPolicies_];
+            for (unsigned p = 1; p < numPolicies_; ++p)
+                if (counts[p] < counts[best_policy])
+                    best_policy = p;
+            return best_policy;
+        }
+        const std::uint16_t *counts =
+            &counts_[std::size_t(set) * numPolicies_];
+        for (unsigned p = 1; p < numPolicies_; ++p)
+            if (counts[p] < counts[best_policy])
+                best_policy = p;
+        return best_policy;
+    }
+
+  private:
+    std::uint32_t
+    ringOld(unsigned set, unsigned head) const
+    {
+        if (!ring8_.empty())
+            return ring8_[std::size_t(set) * depth_ + head];
+        return ring32_[std::size_t(set) * depth_ + head];
+    }
+
+    void
+    ringStore(unsigned set, unsigned head, std::uint32_t mask)
+    {
+        if (!ring8_.empty())
+            ring8_[std::size_t(set) * depth_ + head] =
+                std::uint8_t(mask);
+        else
+            ring32_[std::size_t(set) * depth_ + head] = mask;
+    }
+
+    bool exact_;
+    unsigned depth_;
+    unsigned numPolicies_;
+    std::vector<std::uint16_t> counts_;       // window mode, set-major
+    std::vector<std::uint64_t> exactCounts_;  // exact mode, set-major
+    std::vector<std::uint8_t> ring8_;         // <= 8 policies
+    std::vector<std::uint32_t> ring32_;
+    std::vector<std::uint16_t> head_;
+    std::vector<std::uint16_t> filled_;
+};
 
 } // namespace adcache
 

@@ -8,44 +8,35 @@ namespace adcache
 {
 
 SbarCache::SbarCache(const SbarConfig &config)
-    : config_(config), geom_(config.geometry()), rng_(config.rngSeed),
-      tags_(geom_.numSets, geom_.assoc),
+    : config_(config), geom_(config.geometry()), map_(geom_),
+      rng_(config.rngSeed), tags_(geom_.numSets, geom_.assoc),
+      policyA_(config.policyA, geom_.numSets, geom_.assoc, &rng_),
+      policyB_(config.policyB, geom_.numSets, geom_.assoc, &rng_),
+      // Shadow structures are sized for the full set count but only
+      // leader sets ever touch them; a hardware implementation would
+      // provision numLeaders sets (the overhead model accounts bits
+      // that way, see core/overhead.cc).
+      shadowA_(geom_, config.policyA, config.partialTagBits,
+               config.xorFoldTags, &rng_),
+      shadowB_(geom_, config.policyB, config.partialTagBits,
+               config.xorFoldTags, &rng_),
+      leaderHistory_(false,
+                     config.historyDepth != 0 ? config.historyDepth
+                                              : geom_.assoc,
+                     config.numLeaders, 2),
       psel_(config.pselBits, (1u << config.pselBits) / 2)
 {
     adcache_assert(config.numLeaders >= 1 &&
                    config.numLeaders <= geom_.numSets);
 
-    policyA_.reserve(geom_.numSets);
-    policyB_.reserve(geom_.numSets);
-    for (unsigned s = 0; s < geom_.numSets; ++s) {
-        policyA_.push_back(
-            makePolicy(config.policyA, geom_.assoc, &rng_));
-        policyB_.push_back(
-            makePolicy(config.policyB, geom_.assoc, &rng_));
-    }
-
-    // Shadow structures are sized for the full set count but only
-    // leader sets ever touch them; a hardware implementation would
-    // provision numLeaders sets (the overhead model accounts bits
-    // that way, see core/overhead.cc).
-    shadowA_ = std::make_unique<ShadowCache>(geom_, config.policyA,
-                                             config.partialTagBits,
-                                             config.xorFoldTags, &rng_);
-    shadowB_ = std::make_unique<ShadowCache>(geom_, config.policyB,
-                                             config.partialTagBits,
-                                             config.xorFoldTags, &rng_);
-
     leaderSpacing_ = geom_.numSets / config.numLeaders;
     adcache_assert(leaderSpacing_ >= 1);
     leaderOrdinal_.assign(geom_.numSets, -1);
-    const unsigned depth =
-        config.historyDepth != 0 ? config.historyDepth : geom_.assoc;
     unsigned ordinal = 0;
     for (unsigned s = 0; s < geom_.numSets; s += leaderSpacing_) {
         if (ordinal >= config.numLeaders)
             break;
         leaderOrdinal_[s] = int(ordinal++);
-        leaderHistory_.push_back(makeHistory(false, depth, 2));
     }
     fallbackPtr_.assign(geom_.numSets, 0);
 }
@@ -59,8 +50,8 @@ SbarCache::isLeader(unsigned set) const
 bool
 SbarCache::contains(Addr addr) const
 {
-    return tags_.findWay(geom_.setIndex(addr), geom_.tag(addr))
-        .has_value();
+    return tags_.lookup(map_.set(addr), map_.tag(addr)) !=
+           TagArray::kNoWay;
 }
 
 unsigned
@@ -75,20 +66,22 @@ unsigned
 SbarCache::leaderVictim(unsigned set, unsigned winner,
                         const ShadowOutcome &winner_outcome)
 {
-    ShadowCache &shadow = winner == 0 ? *shadowA_ : *shadowB_;
+    const ShadowCache &shadow = winner == 0 ? shadowA_ : shadowB_;
+    const std::uint64_t valid = tags_.validMask(set);
 
     if (winner_outcome.evicted) {
-        for (unsigned w = 0; w < geom_.assoc; ++w) {
-            const auto &e = tags_.entry(set, w);
-            if (e.valid &&
-                shadow.foldTag(e.tag) == winner_outcome.evictedTag) {
+        for (std::uint64_t m = valid; m != 0; m &= m - 1) {
+            const unsigned w = unsigned(std::countr_zero(m));
+            if (shadow.foldTag(tags_.tag(set, w)) ==
+                winner_outcome.evictedTag) {
                 return w;
             }
         }
     }
-    for (unsigned w = 0; w < geom_.assoc; ++w) {
-        const auto &e = tags_.entry(set, w);
-        if (e.valid && !shadow.containsTag(set, shadow.foldTag(e.tag)))
+    for (std::uint64_t m = valid; m != 0; m &= m - 1) {
+        const unsigned w = unsigned(std::countr_zero(m));
+        if (!shadow.containsTag(set,
+                                shadow.foldTag(tags_.tag(set, w))))
             return w;
     }
     const unsigned w = fallbackPtr_[set];
@@ -96,22 +89,25 @@ SbarCache::leaderVictim(unsigned set, unsigned winner,
     return w;
 }
 
+template <class PolicyA, class PolicyB>
 AccessResult
-SbarCache::access(Addr addr, bool is_write)
+SbarCache::accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
+                      bool is_write)
 {
     AccessResult result;
     ++stats_.accesses;
 
-    const unsigned set = geom_.setIndex(addr);
-    const Addr tag = geom_.tag(addr);
+    const unsigned set = map_.set(addr);
+    const Addr tag = map_.tag(addr);
     const int ordinal = leaderOrdinal_[set];
 
     ShadowOutcome out_a, out_b;
     if (ordinal >= 0) {
-        out_a = shadowA_->access(addr);
-        out_b = shadowB_->access(addr);
+        out_a = shadowA_.access(addr);
+        out_b = shadowB_.access(addr);
         if (out_a.miss != out_b.miss) {
-            leaderHistory_[ordinal]->record(out_a.miss ? 0b01 : 0b10);
+            leaderHistory_.record(unsigned(ordinal),
+                                  out_a.miss ? 0b01 : 0b10);
             const unsigned before = globalChoice();
             if (out_a.miss)
                 psel_.increment();  // A missing -> drift toward B
@@ -122,12 +118,13 @@ SbarCache::access(Addr addr, bool is_write)
         }
     }
 
-    if (auto way = tags_.findWay(set, tag)) {
+    const unsigned way = tags_.lookup(set, tag);
+    if (way != TagArray::kNoWay) {
         ++stats_.hits;
-        policyA_[set]->onHit(*way);
-        policyB_[set]->onHit(*way);
+        pa.onHit(set, way);
+        pb.onHit(set, way);
         if (is_write)
-            tags_.entry(set, *way).dirty = true;
+            tags_.markDirty(set, way);
         result.hit = true;
         return result;
     }
@@ -138,40 +135,47 @@ SbarCache::access(Addr addr, bool is_write)
     else
         ++stats_.readMisses;
 
-    unsigned fill_way;
-    if (auto invalid = tags_.findInvalidWay(set)) {
-        fill_way = *invalid;
-    } else {
+    unsigned fill_way = tags_.invalidWay(set);
+    if (fill_way == TagArray::kNoWay) {
         unsigned winner;
         if (ordinal >= 0) {
-            winner = leaderHistory_[ordinal]->best(2);
+            winner = leaderHistory_.best(unsigned(ordinal));
             fill_way = leaderVictim(set, winner,
                                     winner == 0 ? out_a : out_b);
         } else {
             winner = globalChoice();
             // The follower runs the selected algorithm on whatever
             // blocks are currently resident (Sec. 4.7).
-            fill_way = winner == 0 ? policyA_[set]->victim()
-                                   : policyB_[set]->victim();
+            fill_way = winner == 0 ? pa.victim(set) : pb.victim(set);
         }
 
-        const auto &victim = tags_.entry(set, fill_way);
         ++stats_.evictions;
-        if (victim.dirty) {
+        if (tags_.dirty(set, fill_way)) {
             ++stats_.writebacks;
             result.writeback = true;
-            result.writebackAddr = geom_.reconstruct(set, victim.tag);
+            result.writebackAddr =
+                geom_.reconstruct(set, tags_.tag(set, fill_way));
         }
-        policyA_[set]->onInvalidate(fill_way);
-        policyB_[set]->onInvalidate(fill_way);
+        // No onInvalidate: the onFill calls below fully overwrite
+        // the victim's per-way policy state.
     }
 
     tags_.fill(set, fill_way, tag);
-    policyA_[set]->onFill(fill_way);
-    policyB_[set]->onFill(fill_way);
+    pa.onFill(set, fill_way);
+    pb.onFill(set, fill_way);
     if (is_write)
-        tags_.entry(set, fill_way).dirty = true;
+        tags_.markDirty(set, fill_way);
     return result;
+}
+
+AccessResult
+SbarCache::access(Addr addr, bool is_write)
+{
+    return policyA_.visit([&](auto &pa) {
+        return policyB_.visit([&](auto &pb) {
+            return accessImpl(pa, pb, addr, is_write);
+        });
+    });
 }
 
 std::string

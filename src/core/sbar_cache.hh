@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/cache_model.hh"
+#include "cache/policy_sets.hh"
 #include "cache/replacement.hh"
 #include "cache/tag_array.hh"
 #include "core/miss_history.hh"
@@ -90,18 +91,23 @@ class SbarCache : public CacheModel
     unsigned leaderVictim(unsigned set, unsigned winner,
                           const ShadowOutcome &winner_outcome);
 
+    template <class PolicyA, class PolicyB>
+    AccessResult accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
+                            bool is_write);
+
     SbarConfig config_;
     CacheGeometry geom_;
+    AddrMap map_;
     Rng rng_;
     TagArray tags_;
     // Both components' metadata maintained on the real blocks of
     // every set ("policy-specific meta-data are kept at all times").
-    std::vector<std::unique_ptr<ReplacementPolicy>> policyA_;
-    std::vector<std::unique_ptr<ReplacementPolicy>> policyB_;
+    PolicySet policyA_;
+    PolicySet policyB_;
     // Leader-only structures, indexed by leader ordinal.
-    std::unique_ptr<ShadowCache> shadowA_;
-    std::unique_ptr<ShadowCache> shadowB_;
-    std::vector<std::unique_ptr<MissHistory>> leaderHistory_;
+    ShadowCache shadowA_;
+    ShadowCache shadowB_;
+    HistorySet leaderHistory_;        // indexed by leader ordinal
     std::vector<int> leaderOrdinal_;  // -1 for followers
     unsigned leaderSpacing_;
     SatCounter psel_;

@@ -5,70 +5,12 @@ namespace adcache
 
 ShadowCache::ShadowCache(const CacheGeometry &geom, PolicyType policy,
                          unsigned partial_bits, bool xor_fold, Rng *rng)
-    : geom_(geom), policyType_(policy), partialBits_(partial_bits),
-      xorFold_(xor_fold), tags_(geom.numSets, geom.assoc)
+    : geom_(geom), map_(geom), policyType_(policy),
+      partialBits_(partial_bits), xorFold_(xor_fold),
+      tags_(geom.numSets, geom.assoc, partial_bits),
+      policies_(policy, geom.numSets, geom.assoc, rng)
 {
     adcache_assert(partial_bits <= geom.tagBits());
-    policies_.reserve(geom.numSets);
-    for (unsigned s = 0; s < geom.numSets; ++s)
-        policies_.push_back(makePolicy(policy, geom.assoc, rng));
-}
-
-Addr
-ShadowCache::foldTag(Addr full_tag) const
-{
-    if (partialBits_ == 0)
-        return full_tag;
-    if (xorFold_)
-        return xorFold(full_tag, partialBits_);
-    return full_tag & lowMask(partialBits_);
-}
-
-Addr
-ShadowCache::transformTag(Addr addr) const
-{
-    return foldTag(geom_.tag(addr));
-}
-
-bool
-ShadowCache::containsTag(unsigned set, Addr stored_tag) const
-{
-    return tags_.findWay(set, stored_tag).has_value();
-}
-
-ShadowOutcome
-ShadowCache::access(Addr addr)
-{
-    ShadowOutcome out;
-    ++accesses_;
-
-    const unsigned set = geom_.setIndex(addr);
-    const Addr tag = transformTag(addr);
-    auto &policy = *policies_[set];
-
-    if (auto way = tags_.findWay(set, tag)) {
-        // With partial tags this may be a false-positive match for a
-        // different block; the component simulation simply proceeds
-        // as if it were a hit (Sec. 3.1).
-        policy.onHit(*way);
-        return out;
-    }
-
-    out.miss = true;
-    ++misses_;
-
-    unsigned fill_way;
-    if (auto invalid = tags_.findInvalidWay(set)) {
-        fill_way = *invalid;
-    } else {
-        fill_way = policy.victim();
-        out.evicted = true;
-        out.evictedTag = tags_.entry(set, fill_way).tag;
-        policy.onInvalidate(fill_way);
-    }
-    tags_.fill(set, fill_way, tag);
-    policy.onFill(fill_way);
-    return out;
 }
 
 } // namespace adcache

@@ -9,10 +9,8 @@
 #ifndef ADCACHE_CORE_SHADOW_CACHE_HH
 #define ADCACHE_CORE_SHADOW_CACHE_HH
 
-#include <memory>
-#include <vector>
-
 #include "cache/cache_model.hh"
+#include "cache/policy_sets.hh"
 #include "cache/replacement.hh"
 #include "cache/tag_array.hh"
 
@@ -52,16 +50,33 @@ class ShadowCache
                 unsigned partial_bits, bool xor_fold, Rng *rng);
 
     /** Simulate the component policy for one reference. */
-    ShadowOutcome access(Addr addr);
+    ShadowOutcome
+    access(Addr addr)
+    {
+        return policies_.visit(
+            [&](auto &policy) { return accessImpl(policy, addr); });
+    }
 
     /** Map a full address to this shadow's stored-tag domain. */
-    Addr transformTag(Addr addr) const;
+    Addr transformTag(Addr addr) const { return foldTag(map_.tag(addr)); }
 
     /** Fold an already-extracted full tag into the stored domain. */
-    Addr foldTag(Addr full_tag) const;
+    Addr
+    foldTag(Addr full_tag) const
+    {
+        if (partialBits_ == 0)
+            return full_tag;
+        if (xorFold_)
+            return xorFold(full_tag, partialBits_);
+        return full_tag & lowMask(partialBits_);
+    }
 
     /** Membership test in the stored-tag domain. */
-    bool containsTag(unsigned set, Addr stored_tag) const;
+    bool
+    containsTag(unsigned set, Addr stored_tag) const
+    {
+        return tags_.lookup(set, stored_tag) != TagArray::kNoWay;
+    }
 
     /** Total misses this shadow has suffered. */
     std::uint64_t misses() const { return misses_; }
@@ -73,12 +88,47 @@ class ShadowCache
     unsigned partialTagBits() const { return partialBits_; }
 
   private:
+    template <class Policy>
+    ShadowOutcome
+    accessImpl(Policy &policy, Addr addr)
+    {
+        ShadowOutcome out;
+        ++accesses_;
+
+        const unsigned set = map_.set(addr);
+        const Addr tag = foldTag(map_.tag(addr));
+
+        const unsigned way = tags_.lookup(set, tag);
+        if (way != TagArray::kNoWay) {
+            // With partial tags this may be a false-positive match
+            // for a different block; the component simulation simply
+            // proceeds as if it were a hit (Sec. 3.1).
+            policy.onHit(set, way);
+            return out;
+        }
+
+        out.miss = true;
+        ++misses_;
+
+        unsigned fill_way = tags_.invalidWay(set);
+        if (fill_way == TagArray::kNoWay) {
+            fill_way = policy.evictFill(set);
+            out.evicted = true;
+            out.evictedTag = tags_.tag(set, fill_way);
+        } else {
+            policy.onFill(set, fill_way);
+        }
+        tags_.fill(set, fill_way, tag);
+        return out;
+    }
+
     CacheGeometry geom_;
+    AddrMap map_;
     PolicyType policyType_;
     unsigned partialBits_;
     bool xorFold_;
     TagArray tags_;
-    std::vector<std::unique_ptr<ReplacementPolicy>> policies_;
+    PolicySet policies_;
     std::uint64_t misses_ = 0;
     std::uint64_t accesses_ = 0;
 };

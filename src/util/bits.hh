@@ -6,6 +6,7 @@
 #ifndef ADCACHE_UTIL_BITS_HH
 #define ADCACHE_UTIL_BITS_HH
 
+#include <bit>
 #include <cstdint>
 
 namespace adcache
@@ -22,10 +23,7 @@ isPowerOfTwo(std::uint64_t v)
 constexpr unsigned
 floorLog2(std::uint64_t v)
 {
-    unsigned l = 0;
-    while (v >>= 1)
-        ++l;
-    return l;
+    return unsigned(std::bit_width(v)) - 1;
 }
 
 /** A mask with the low @p n bits set (n may be 0..64). */

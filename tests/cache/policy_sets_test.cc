@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Locks the devirtualized contiguous policy sets (cache/policy_sets.hh)
+ * in step with the per-set virtual policies (cache/policies.cc): the
+ * same event sequence must produce the same victims, peeks included.
+ */
+
+#include "cache/policy_sets.hh"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "util/rng.hh"
+
+namespace adcache
+{
+namespace
+{
+
+class PolicySetEquivalence
+    : public ::testing::TestWithParam<PolicyType>
+{
+};
+
+TEST_P(PolicySetEquivalence, MatchesVirtualPolicies)
+{
+    const PolicyType type = GetParam();
+    constexpr unsigned numSets = 4;
+    constexpr unsigned assoc = 8;
+
+    // Both sides share one Rng each, seeded identically; mirrored
+    // call sequences must then produce identical stochastic draws.
+    Rng setRng(99), virtRng(99);
+    PolicySet sets(type, numSets, assoc, &setRng);
+    std::vector<std::unique_ptr<ReplacementPolicy>> virt;
+    for (unsigned s = 0; s < numSets; ++s)
+        virt.push_back(makePolicy(type, assoc, &virtRng));
+
+    Rng ops(7);
+    std::vector<std::uint64_t> filled(numSets, 0);
+    for (unsigned step = 0; step < 4000; ++step) {
+        const unsigned set = unsigned(ops.below(numSets));
+        const unsigned way = unsigned(ops.below(assoc));
+        switch (ops.below(5)) {
+          case 0:
+            sets.onFill(set, way);
+            virt[set]->onFill(way);
+            filled[set] |= std::uint64_t{1} << way;
+            break;
+          case 1:
+            sets.onHit(set, way);
+            virt[set]->onHit(way);
+            break;
+          case 2:
+            sets.onInvalidate(set, way);
+            virt[set]->onInvalidate(way);
+            break;
+          case 3:
+            // victim() is only meaningful on a full set; mirror the
+            // production precondition by filling first.
+            for (unsigned w = 0; w < assoc; ++w) {
+                if (!((filled[set] >> w) & 1)) {
+                    sets.onFill(set, w);
+                    virt[set]->onFill(w);
+                }
+            }
+            filled[set] = (std::uint64_t{1} << assoc) - 1;
+            ASSERT_EQ(sets.victim(set), virt[set]->victim())
+                << "step " << step;
+            break;
+          default:
+            ASSERT_EQ(sets.peekVictim(set), virt[set]->peekVictim())
+                << "step " << step;
+            break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySetEquivalence,
+    ::testing::Values(PolicyType::LRU, PolicyType::MRU,
+                      PolicyType::FIFO, PolicyType::LFU,
+                      PolicyType::Random, PolicyType::TreePLRU,
+                      PolicyType::SRRIP),
+    [](const ::testing::TestParamInfo<PolicyType> &info) {
+        return policyName(info.param);
+    });
+
+} // namespace
+} // namespace adcache

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "util/bits.hh"
+#include "util/rng.hh"
+
 namespace adcache
 {
 namespace
@@ -13,7 +16,8 @@ TEST(TagArray, StartsInvalid)
     EXPECT_EQ(tags.validCount(), 0u);
     for (unsigned s = 0; s < 4; ++s) {
         EXPECT_FALSE(tags.setFull(s));
-        EXPECT_EQ(tags.findInvalidWay(s).value(), 0u);
+        EXPECT_EQ(tags.invalidWay(s), 0u);
+        EXPECT_EQ(tags.validMask(s), 0u);
     }
 }
 
@@ -21,10 +25,11 @@ TEST(TagArray, FillAndFind)
 {
     TagArray tags(4, 2);
     tags.fill(1, 0, 0xAB);
-    EXPECT_TRUE(tags.findWay(1, 0xAB).has_value());
-    EXPECT_EQ(tags.findWay(1, 0xAB).value(), 0u);
-    EXPECT_FALSE(tags.findWay(0, 0xAB).has_value());
-    EXPECT_FALSE(tags.findWay(1, 0xAC).has_value());
+    EXPECT_EQ(tags.lookup(1, 0xAB), 0u);
+    EXPECT_EQ(tags.lookup(0, 0xAB), TagArray::kNoWay);
+    EXPECT_EQ(tags.lookup(1, 0xAC), TagArray::kNoWay);
+    EXPECT_TRUE(tags.valid(1, 0));
+    EXPECT_FALSE(tags.valid(1, 1));
 }
 
 TEST(TagArray, SetFull)
@@ -34,27 +39,40 @@ TEST(TagArray, SetFull)
     EXPECT_FALSE(tags.setFull(0));
     tags.fill(0, 1, 2);
     EXPECT_TRUE(tags.setFull(0));
-    EXPECT_FALSE(tags.findInvalidWay(0).has_value());
+    EXPECT_EQ(tags.invalidWay(0), TagArray::kNoWay);
+}
+
+TEST(TagArray, InvalidWayIsLowestHole)
+{
+    TagArray tags(1, 4);
+    tags.fill(0, 0, 1);
+    tags.fill(0, 1, 2);
+    tags.fill(0, 2, 3);
+    tags.fill(0, 3, 4);
+    tags.invalidate(0, 1);
+    tags.invalidate(0, 3);
+    // Valid mask 0b0101: the lowest invalid way is 1, not 3.
+    EXPECT_EQ(tags.invalidWay(0), 1u);
 }
 
 TEST(TagArray, FillClearsDirty)
 {
     TagArray tags(1, 1);
     tags.fill(0, 0, 7);
-    tags.entry(0, 0).dirty = true;
+    tags.markDirty(0, 0);
     tags.fill(0, 0, 8);
-    EXPECT_FALSE(tags.entry(0, 0).dirty);
-    EXPECT_EQ(tags.entry(0, 0).tag, 8u);
+    EXPECT_FALSE(tags.dirty(0, 0));
+    EXPECT_EQ(tags.tag(0, 0), 8u);
 }
 
 TEST(TagArray, Invalidate)
 {
     TagArray tags(2, 2);
     tags.fill(1, 1, 5);
-    tags.entry(1, 1).dirty = true;
+    tags.markDirty(1, 1);
     tags.invalidate(1, 1);
-    EXPECT_FALSE(tags.findWay(1, 5).has_value());
-    EXPECT_FALSE(tags.entry(1, 1).dirty);
+    EXPECT_EQ(tags.lookup(1, 5), TagArray::kNoWay);
+    EXPECT_FALSE(tags.dirty(1, 1));
     EXPECT_EQ(tags.validCount(), 0u);
 }
 
@@ -64,7 +82,7 @@ TEST(TagArray, InvalidEntryNeverMatches)
     tags.fill(0, 0, 0);
     tags.invalidate(0, 0);
     // Tag value 0 on an invalid entry must not match.
-    EXPECT_FALSE(tags.findWay(0, 0).has_value());
+    EXPECT_EQ(tags.lookup(0, 0), TagArray::kNoWay);
 }
 
 TEST(TagArray, ValidCount)
@@ -81,7 +99,121 @@ TEST(TagArray, DuplicateTagReturnsLowestWay)
     TagArray tags(1, 4);
     tags.fill(0, 2, 9);
     tags.fill(0, 1, 9);
-    EXPECT_EQ(tags.findWay(0, 9).value(), 1u);
+    EXPECT_EQ(tags.lookup(0, 9), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Packed partial-tag probe path (SWAR compare over 8/16-bit lanes).
+// ---------------------------------------------------------------------
+
+TEST(PackedTagArray, EnabledOnlyForNarrowTags)
+{
+    EXPECT_FALSE(TagArray(8, 8).packedProbe());        // full tags
+    EXPECT_TRUE(TagArray(8, 8, 4).packedProbe());      // 8-bit lanes
+    EXPECT_TRUE(TagArray(8, 8, 7).packedProbe());      // 8-bit lanes
+    EXPECT_TRUE(TagArray(8, 8, 8).packedProbe());      // 16-bit lanes
+    EXPECT_TRUE(TagArray(8, 8, 12).packedProbe());     // 16-bit lanes
+    EXPECT_TRUE(TagArray(8, 8, 15).packedProbe());
+    EXPECT_FALSE(TagArray(8, 8, 16).packedProbe());    // lane too wide
+    EXPECT_FALSE(TagArray(8, 16, 8).packedProbe());    // assoc > 8
+}
+
+TEST(PackedTagArray, AliasingBoundaryReturnsLowestWay)
+{
+    // Two ways holding the same folded tag: the packed compare must
+    // return the lowest matching way, exactly like the linear scan.
+    for (unsigned tag_bits : {4u, 7u, 8u, 12u}) {
+        TagArray tags(2, 8, tag_bits);
+        ASSERT_TRUE(tags.packedProbe());
+        const Addr alias = lowMask(tag_bits);  // widest folded value
+        tags.fill(0, 6, alias);
+        EXPECT_EQ(tags.lookup(0, alias), 6u) << tag_bits;
+        tags.fill(0, 3, alias);
+        EXPECT_EQ(tags.lookup(0, alias), 3u) << tag_bits;
+        tags.fill(0, 0, alias);
+        EXPECT_EQ(tags.lookup(0, alias), 0u) << tag_bits;
+        tags.invalidate(0, 0);
+        EXPECT_EQ(tags.lookup(0, alias), 3u) << tag_bits;
+    }
+}
+
+TEST(PackedTagArray, LaneStraddleMatchesIn16BitMode)
+{
+    // 16-bit lanes span two words (ways 0-3 and 4-7); matches must be
+    // found on both sides of the boundary.
+    TagArray tags(1, 8, 12);
+    ASSERT_TRUE(tags.packedProbe());
+    tags.fill(0, 3, 0x123);
+    tags.fill(0, 4, 0x456);
+    EXPECT_EQ(tags.lookup(0, 0x123), 3u);
+    EXPECT_EQ(tags.lookup(0, 0x456), 4u);
+    EXPECT_EQ(tags.lookup(0, 0x789), TagArray::kNoWay);
+}
+
+TEST(PackedTagArray, ProbeWiderThanStoredTagsNeverMatches)
+{
+    TagArray tags(1, 8, 6);
+    tags.fill(0, 0, 0x2A);
+    // A probe above the folded-tag domain cannot match any stored
+    // tag, exactly as in the scan representation.
+    EXPECT_EQ(tags.lookup(0, 0x12A), TagArray::kNoWay);
+    EXPECT_EQ(tags.lookup(0, 0x2A), 0u);
+}
+
+TEST(PackedTagArray, InvalidLanesNeverMatchAnyProbe)
+{
+    for (unsigned tag_bits : {5u, 11u}) {
+        TagArray tags(1, 8, tag_bits);
+        // No fill at all: every probe value must miss.
+        for (Addr t = 0; t <= lowMask(tag_bits); ++t)
+            ASSERT_EQ(tags.lookup(0, t), TagArray::kNoWay) << tag_bits;
+        // After fill+invalidate the lane must be unmatchable again.
+        tags.fill(0, 2, 1);
+        tags.invalidate(0, 2);
+        for (Addr t = 0; t <= lowMask(tag_bits); ++t)
+            ASSERT_EQ(tags.lookup(0, t), TagArray::kNoWay) << tag_bits;
+    }
+}
+
+/** Exhaustive packed-vs-scan equivalence over random fill patterns. */
+TEST(PackedTagArray, AgreesWithScanRepresentation)
+{
+    Rng rng(2026);
+    for (unsigned tag_bits = 1; tag_bits <= 15; ++tag_bits) {
+        for (unsigned assoc : {1u, 3u, 4u, 8u}) {
+            TagArray packed(4, assoc, tag_bits);
+            TagArray scan(4, assoc);  // same contents, scan probe
+            ASSERT_TRUE(packed.packedProbe());
+            ASSERT_FALSE(scan.packedProbe());
+            for (unsigned step = 0; step < 300; ++step) {
+                const unsigned set = unsigned(rng.below(4));
+                const unsigned way = unsigned(rng.below(assoc));
+                const Addr tag = rng.below(lowMask(tag_bits) + 1);
+                switch (rng.below(3)) {
+                  case 0:
+                    packed.fill(set, way, tag);
+                    scan.fill(set, way, tag);
+                    break;
+                  case 1:
+                    packed.invalidate(set, way);
+                    scan.invalidate(set, way);
+                    break;
+                  default: {
+                    const Addr probe =
+                        rng.below(lowMask(tag_bits) + 1);
+                    ASSERT_EQ(packed.lookup(set, probe),
+                              scan.lookup(set, probe))
+                        << "bits=" << tag_bits << " assoc=" << assoc;
+                    break;
+                  }
+                }
+            }
+            for (unsigned s = 0; s < 4; ++s)
+                for (Addr t = 0; t <= lowMask(tag_bits);
+                     t += (tag_bits > 8 ? 37 : 1))
+                    ASSERT_EQ(packed.lookup(s, t), scan.lookup(s, t));
+        }
+    }
 }
 
 } // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Hot-path differential sweep: lockstep-runs the SoA/packed tag
+ * structures and devirtualized policy sets against the PR-2 reference
+ * models across every fuzz motif (thrash/scan/phase-flip/
+ * alias-cluster/store-mix via TraceFuzzer) and every partial-tag
+ * width 4..12 — the widths that engage the packed 8-bit-lane (4..7)
+ * and 16-bit-lane (8..12) SWAR probes at the paper's 8-way
+ * associativity. Every per-access observable (hit/miss, writeback
+ * identity, shadow misses, selector decisions, fallbacks, psel) must
+ * be unchanged; divergences shrink to a replayable repro.
+ */
+
+#include <gtest/gtest.h>
+
+#include "oracle/corpus.hh"
+#include "oracle/trace_fuzzer.hh"
+
+namespace adcache
+{
+namespace
+{
+
+void
+fuzzPair(const PairFactory &factory, const FuzzShape &shape,
+         const std::string &config_line, std::uint64_t seed_offset)
+{
+    const std::size_t iters = fuzzIters(6000);
+    const std::uint64_t base = fuzzSeed(1) + 77000 + seed_offset * 1000;
+    DifferentialChecker checker(factory);
+
+    const std::size_t kStreams = 2;
+    const std::size_t per = (iters + kStreams - 1) / kStreams;
+    for (std::size_t s = 0; s < kStreams; ++s) {
+        TraceFuzzer fuzzer(base + s, shape);
+        const auto stream = fuzzer.generate(per);
+        const auto mismatch = checker.run(stream);
+        if (!mismatch)
+            continue;
+        const auto repro = TraceFuzzer::shrink(checker, stream);
+        FAIL() << checker.describePair() << " diverged (seed "
+               << (base + s) << "): " << mismatch->format()
+               << "\nShrunk repro ( " << repro.size()
+               << " accesses):\n"
+               << TraceFuzzer::toLiteral(repro)
+               << "\nCorpus trace (save under "
+                  "tests/data/regressions/):\n"
+               << formatTrace(config_line, repro);
+    }
+}
+
+FuzzShape
+shapeFor(unsigned sets, unsigned assoc, unsigned partial_bits = 0)
+{
+    FuzzShape shape;
+    shape.numSets = sets;
+    shape.assoc = assoc;
+    shape.partialTagBits = partial_bits;
+    return shape;
+}
+
+/**
+ * 8-way conventional caches: full tags exercise the SoA scan probe
+ * and the valid-bitmask invalid-way/setFull fast paths under every
+ * motif, per devirtualized policy.
+ */
+TEST(HotpathDifferential, ConventionalEightWay)
+{
+    std::uint64_t offset = 0;
+    for (PolicyType p : {PolicyType::LRU, PolicyType::FIFO,
+                         PolicyType::MRU, PolicyType::LFU}) {
+        CacheConfig config;
+        config.sizeBytes = 16 * 64 * 8;
+        config.assoc = 8;
+        config.lineSize = 64;
+        config.policy = p;
+        fuzzPair(makeCachePair(config), shapeFor(16, 8),
+                 cacheConfigLine(config), ++offset);
+    }
+}
+
+/**
+ * Adaptive LRU+LFU at 8 ways for every partial-tag width 4..12, both
+ * fold functions: each width uses the packed probe in all shadow
+ * arrays, and alias-cluster motifs force the case-3 fallback.
+ */
+TEST(HotpathDifferential, AdaptiveAllPartialTagWidths)
+{
+    std::uint64_t offset = 10;
+    for (unsigned bits = 4; bits <= 12; ++bits) {
+        for (bool xf : {false, true}) {
+            AdaptiveConfig config = AdaptiveConfig::dual(
+                PolicyType::LRU, PolicyType::LFU, 16 * 64 * 8, 8);
+            config.partialTagBits = bits;
+            config.xorFoldTags = xf;
+            fuzzPair(makeAdaptivePair(config), shapeFor(16, 8, bits),
+                     adaptiveConfigLine(config), ++offset);
+        }
+    }
+}
+
+/** Full-tag adaptive at 8 ways: the scan path of the same structures. */
+TEST(HotpathDifferential, AdaptiveFullTagsEightWay)
+{
+    AdaptiveConfig config = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::LFU, 16 * 64 * 8, 8);
+    fuzzPair(makeAdaptivePair(config), shapeFor(16, 8),
+             adaptiveConfigLine(config), 40);
+}
+
+/**
+ * SBAR leaders at the lane-width extremes: 4-bit (8-bit lanes) and
+ * 12-bit (16-bit lanes) leader shadows, with psel/selection-flip
+ * observables diffed throughout.
+ */
+TEST(HotpathDifferential, SbarPartialTagLaneWidths)
+{
+    std::uint64_t offset = 50;
+    for (unsigned bits : {4u, 12u}) {
+        SbarConfig config;
+        config.sizeBytes = 32 * 64 * 8;
+        config.assoc = 8;
+        config.lineSize = 64;
+        config.numLeaders = 4;
+        config.partialTagBits = bits;
+        config.pselBits = 6;
+        fuzzPair(makeSbarPair(config), shapeFor(32, 8, bits),
+                 sbarConfigLine(config), ++offset);
+    }
+}
+
+} // namespace
+} // namespace adcache
