@@ -14,16 +14,28 @@
  *
  * Drivers keep their measured-vs-paper analysis prose behind
  * textMode() so structured output stays parseable.
+ *
+ * Observability: runAndReport() scopes an obs::Session over the grid
+ * run (arming the ADCACHE_TRACE* / ADCACHE_LAT knobs and exporting
+ * on completion, unless the driver holds its own Session) and an
+ * ADCACHE_PROGRESS=1 heartbeat that reports grid progress to stderr.
  */
 
 #ifndef ADCACHE_BENCH_COMMON_HH
 #define ADCACHE_BENCH_COMMON_HH
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "obs/session.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
@@ -32,6 +44,89 @@
 
 namespace adcache::bench
 {
+
+/**
+ * Opt-in progress heartbeat (ADCACHE_PROGRESS=1): a monitor thread
+ * prints completed jobs, percent complete, and an estimated
+ * simulated-accesses/sec figure to stderr roughly once a second
+ * while a grid runs. Off by default; when the knob is unset this
+ * class does nothing (no thread is started).
+ */
+class ProgressHeartbeat
+{
+  public:
+    /**
+     * @param total_jobs     grid size being executed.
+     * @param instrs_per_job instruction budget of each job, used to
+     *                       estimate the accesses/sec rate.
+     */
+    ProgressHeartbeat(std::size_t total_jobs,
+                      InstCount instrs_per_job)
+        : total_(total_jobs), instrs_(instrs_per_job)
+    {
+        const char *v = std::getenv("ADCACHE_PROGRESS");
+        if (!v || !*v || std::string(v) == "0")
+            return;
+        base_ = jobsCompleted();
+        start_ = Clock::now();
+        monitor_ = std::thread([this] { run(); });
+    }
+
+    ~ProgressHeartbeat()
+    {
+        if (!monitor_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        monitor_.join();
+    }
+
+    ProgressHeartbeat(const ProgressHeartbeat &) = delete;
+    ProgressHeartbeat &operator=(const ProgressHeartbeat &) = delete;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    void run()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            cv_.wait_for(lock, std::chrono::seconds(1));
+            if (stop_)
+                return;
+            report();
+        }
+    }
+
+    void report() const
+    {
+        const std::uint64_t done = jobsCompleted() - base_;
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - start_)
+                .count();
+        const double pct =
+            total_ ? 100.0 * double(done) / double(total_) : 100.0;
+        const double rate =
+            secs > 0.0 ? double(done) * double(instrs_) / secs : 0.0;
+        std::fprintf(stderr,
+                     "[progress] %llu/%zu jobs (%.0f%%), "
+                     "~%.2fM accesses/s\n",
+                     static_cast<unsigned long long>(done), total_,
+                     pct, rate / 1e6);
+    }
+
+    std::size_t total_;
+    InstCount instrs_;
+    std::uint64_t base_ = 0;
+    Clock::time_point start_{};
+    std::thread monitor_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
 
 /** True when prose/tables may be printed (ADCACHE_REPORT=table). */
 inline bool
@@ -148,12 +243,21 @@ runAndReport(const Experiment &e)
     const auto names = variantLabels(e);
 
     banner(e.title, e.base, instrs);
-    const auto rows =
-        e.configs.empty()
-            ? runSuite(e.benchmarks, e.variants, instrs, e.timed,
-                       e.base)
-            : runConfigSuite(e.benchmarks, e.configs, instrs,
-                             e.timed);
+    // Inert when a driver already holds its own Session (see
+    // obs/session.hh); otherwise this exports the job spans when the
+    // grid is done.
+    obs::Session session(e.title);
+    const std::size_t cells =
+        e.benchmarks.size() *
+        (e.configs.empty() ? e.variants.size() : e.configs.size());
+    const auto rows = [&] {
+        ProgressHeartbeat heartbeat(cells, instrs);
+        return e.configs.empty()
+                   ? runSuite(e.benchmarks, e.variants, instrs,
+                              e.timed, e.base)
+                   : runConfigSuite(e.benchmarks, e.configs, instrs,
+                                    e.timed);
+    }();
 
     if (textMode()) {
         for (const Metric &m : e.metrics)

@@ -11,10 +11,19 @@
  * In json/csv mode each set-group row is emitted as a text stat
  * ("map" = the row string) so downstream tooling can reconstruct the
  * full map.
+ *
+ * Observability: this driver is the reference consumer of the obs
+ * stack. With ADCACHE_TRACE_OUT / ADCACHE_TRACE_CHROME /
+ * ADCACHE_SERIES_OUT set, one run emits the JSONL decision trace
+ * (winner flips land at the phase boundaries visible in the map),
+ * a Chrome trace of per-quantum spans, and a time-series CSV of
+ * per-interval MPKI, winner share, and fallback rate.
  */
 
 #include "common.hh"
 #include "core/adaptive_cache.hh"
+#include "obs/snapshot.hh"
+#include "obs/trace.hh"
 
 using namespace adcache;
 
@@ -22,7 +31,8 @@ namespace
 {
 
 void
-phaseMap(const char *bench_name, ReportGrid &grid)
+phaseMap(const char *bench_name, ReportGrid &grid,
+         const obs::Session &session, ReportGrid &series_grid)
 {
     const auto *def = findBenchmark(bench_name);
     if (!def) {
@@ -47,8 +57,33 @@ phaseMap(const char *bench_name, ReportGrid &grid)
     // map[group][quantum]
     std::vector<std::string> map(groups, std::string(quanta, '.'));
 
+    // Cumulative decision totals for the snapshot sampler (the map
+    // machinery clears the per-set counters each quantum, so the
+    // series keeps its own monotone view).
+    std::uint64_t cum_lru = 0, cum_lfu = 0;
+    obs::SnapshotSeries series(
+        obs::Session::seriesInterval(quantum),
+        [&](StatRegistry &reg) {
+            l2.registerStats(reg, "l2.");
+            reg.counter("decisions.lru", cum_lru);
+            reg.counter("decisions.lfu", cum_lfu);
+            reg.counter("decisions.total", cum_lru + cum_lfu);
+        });
+    series.derive("mpki",
+                  obs::SnapshotSeries::rate("l2.misses", 1000.0));
+    series.derive("winner_lru_share",
+                  obs::SnapshotSeries::share("decisions.lru",
+                                             "decisions.total"));
+    series.derive("fallback_rate",
+                  obs::SnapshotSeries::share("l2.fallback_evictions",
+                                             "l2.evictions"));
+
     for (unsigned q = 0; q < quanta; ++q) {
-        sys.runFunctional(*source, quantum);
+        {
+            obs::ScopedSpan span(std::string(bench_name) + "/q" +
+                                 std::to_string(q));
+            sys.runFunctional(*source, quantum);
+        }
         for (unsigned g = 0; g < groups; ++g) {
             std::uint64_t lru = 0, lfu = 0;
             for (unsigned s = g * per_group; s < (g + 1) * per_group;
@@ -57,13 +92,19 @@ phaseMap(const char *bench_name, ReportGrid &grid)
                 lru += d[0];
                 lfu += d[1];
             }
+            cum_lru += lru;
+            cum_lfu += lfu;
             if (lru + lfu == 0)
                 map[g][q] = '.';
             else
                 map[g][q] = lru >= lfu ? 'L' : 'f';
         }
+        series.tick(std::uint64_t(q + 1) * quantum);
         l2.clearDecisions();
     }
+    series.finish(std::uint64_t(quanta) * quantum);
+    if (session.seriesRequested())
+        series.appendTo(series_grid, bench_name);
 
     if (bench::textMode()) {
         std::printf("\n%s: per-set-group majority decision over time\n",
@@ -91,6 +132,7 @@ phaseMap(const char *bench_name, ReportGrid &grid)
 int
 main()
 {
+    obs::Session session("fig07_phase_maps");
     bench::banner("Fig. 7 - ammp/mgrid replacement phase maps");
     if (bench::textMode())
         std::printf("legend: 'L' = majority-LRU quantum, 'f' = "
@@ -101,12 +143,18 @@ main()
     grid.variantHeader = "set_group";
     grid.addMeta("instr_budget", std::to_string(instrBudget()));
 
+    ReportGrid series_grid;
+    series_grid.experiment = "Fig. 7 - per-interval decision series";
+    series_grid.addMeta("instr_budget",
+                        std::to_string(instrBudget()));
+
     // Paper expectations: ammp shows a mottled prologue (spatial
     // split), an LFU-dominant middle epoch and an LRU-dominant tail;
     // mgrid's LFU-favourable region recedes across the set space.
-    phaseMap("ammp", grid);
-    phaseMap("mgrid", grid);
+    phaseMap("ammp", grid, session, series_grid);
+    phaseMap("mgrid", grid, session, series_grid);
 
+    session.writeSeries(series_grid);
     if (!bench::textMode())
         bench::report(grid);
     return 0;

@@ -14,11 +14,15 @@
  * beat the better fixed policy on every schedule.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "kv/adaptive_kv_cache.hh"
+#include "obs/session.hh"
+#include "obs/snapshot.hh"
 #include "sim/report.hh"
 #include "workloads/key_stream.hh"
 
@@ -91,14 +95,50 @@ cacheConfig(SelectorMode mode)
     return c;
 }
 
+/**
+ * One (schedule, selector) cell. When @p series_grid is non-null the
+ * run also samples a per-interval snapshot series (hit rate, winner
+ * share) on a reference-count cadence and appends the rows.
+ */
 double
 runOne(const Schedule &schedule, SelectorMode mode,
-       StatRegistry *stats)
+       StatRegistry *stats, ReportGrid *series_grid = nullptr)
 {
     AdaptiveKvCache cache(cacheConfig(mode));
     KeyStream stream(schedule.spec);
-    for (std::uint64_t i = 0; i < kOps; ++i)
-        cache.fetch(stream.next(), [] { return std::string("v"); });
+
+    std::optional<obs::SnapshotSeries> series;
+    if (series_grid) {
+        series.emplace(obs::Session::seriesInterval(kOps / 50),
+                       [&](StatRegistry &reg) {
+                           cache.registerStats(reg, "kv.");
+                       });
+        series->derive("interval_miss_rate",
+                       obs::SnapshotSeries::share("kv.misses",
+                                                  "kv.references"));
+        series->derive("winner_lru_share",
+                       obs::SnapshotSeries::share("kv.decisions.lru",
+                                                  "kv.evictions"));
+        series->derive(
+            "fallback_rate",
+            obs::SnapshotSeries::share("kv.fallback_evictions",
+                                       "kv.evictions"));
+    }
+
+    constexpr std::uint64_t kChunk = 4'096;
+    for (std::uint64_t i = 0; i < kOps;) {
+        const std::uint64_t end = std::min(kOps, i + kChunk);
+        for (; i < end; ++i)
+            cache.fetch(stream.next(),
+                        [] { return std::string("v"); });
+        if (series)
+            series->tick(i);
+    }
+    if (series) {
+        series->finish(kOps);
+        series->appendTo(*series_grid, schedule.name);
+    }
+
     cache.registerStats(*stats, "kv.");
     return stats->numeric("kv.hit_rate");
 }
@@ -108,6 +148,7 @@ runOne(const Schedule &schedule, SelectorMode mode,
 int
 main()
 {
+    obs::Session session("kv_phase_flip");
     const SelectorMode modes[] = {SelectorMode::Adaptive,
                                   SelectorMode::FixedLru,
                                   SelectorMode::FixedLfu};
@@ -119,6 +160,10 @@ main()
     grid.addMeta("ops", std::to_string(kOps));
     grid.addMeta("capacity", std::to_string(kCapacity));
 
+    ReportGrid series_grid;
+    series_grid.experiment = "kv_phase_flip adaptive series";
+    series_grid.addMeta("ops", std::to_string(kOps));
+
     bool adaptive_holds = true;
     for (const Schedule &schedule : schedules()) {
         double rate[3] = {};
@@ -126,7 +171,14 @@ main()
             ReportRow &row = grid.add(schedule.name,
                                       selectorModeName(modes[m]));
             row.stats.text("stream", schedule.spec.describe());
-            rate[m] = runOne(schedule, modes[m], &row.stats);
+            // Snapshot series only for the adaptive runs: the fixed
+            // policies are the flat baselines.
+            ReportGrid *series =
+                modes[m] == SelectorMode::Adaptive &&
+                        session.seriesRequested()
+                    ? &series_grid
+                    : nullptr;
+            rate[m] = runOne(schedule, modes[m], &row.stats, series);
         }
         const double best_fixed = std::max(rate[1], rate[2]);
         // "Matching" tolerance: the adaptive cache pays for its
@@ -140,6 +192,7 @@ main()
                         rate[2], ok ? "matches/beats" : "TRAILS");
     }
 
+    session.writeSeries(series_grid);
     grid.addMeta("adaptive_matches_best_fixed",
                  adaptive_holds ? "true" : "false");
     if (reportFormat() == ReportFormat::Table)

@@ -8,6 +8,12 @@
  * report records ops/sec per thread count, the scaling factor
  * versus single-threaded, and the machine's hardware concurrency so
  * results from core-starved CI containers read honestly.
+ *
+ * With ADCACHE_LAT=1 each round additionally reports merged
+ * get/fetch/put latency percentiles (p50/p95/p99, log-bucketed)
+ * across all worker threads; the timing cost itself lands inside the
+ * measured region, so latency mode and throughput mode are separate
+ * runs by design.
  */
 
 #include <chrono>
@@ -17,6 +23,9 @@
 #include <vector>
 
 #include "kv/adaptive_kv_cache.hh"
+#include "obs/latency.hh"
+#include "obs/session.hh"
+#include "obs/trace.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "workloads/key_stream.hh"
@@ -80,7 +89,9 @@ runOne(unsigned threads)
 int
 main()
 {
+    obs::Session session("kv_throughput");
     const unsigned hw = std::thread::hardware_concurrency();
+    const bool latency = obs::latencyEnabled();
 
     ReportGrid grid;
     grid.experiment = "kv_throughput";
@@ -89,12 +100,14 @@ main()
     grid.addMeta("total_ops", std::to_string(kTotalOps));
     grid.addMeta("hardware_concurrency", std::to_string(hw));
     grid.addMeta("shards", "16");
+    grid.addMeta("latency_sampled", latency ? "true" : "false");
 
     // Warm-up run outside the measurement (page cache, allocator).
     runOne(1);
 
     double base = 0.0;
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        obs::resetLatency(); // per-round distributions
         const double ops = runOne(threads);
         if (threads == 1)
             base = ops;
@@ -103,6 +116,27 @@ main()
             grid.add(std::to_string(threads), "adaptive16");
         row.stats.value("ops_per_sec", ops);
         row.stats.value("scaling_vs_1t", scaling);
+        if (latency) {
+            // Workers are joined, so the merge is race-free.
+            for (unsigned op = 0; op < obs::kNumKvOps; ++op) {
+                const auto o = static_cast<obs::KvOp>(op);
+                const auto hist = obs::latencySnapshot(o);
+                hist.registerInto(row.stats,
+                                  std::string("lat.") +
+                                      obs::kvOpName(o) + ".");
+                if (reportFormat() == ReportFormat::Table &&
+                    hist.count() > 0)
+                    std::printf(
+                        "  %u thread(s) %-5s p50 %6.0fns  p95 "
+                        "%6.0fns  p99 %6.0fns  (n=%llu)\n",
+                        threads, obs::kvOpName(o),
+                        hist.percentileNs(0.50),
+                        hist.percentileNs(0.95),
+                        hist.percentileNs(0.99),
+                        static_cast<unsigned long long>(
+                            hist.count()));
+            }
+        }
         if (reportFormat() == ReportFormat::Table)
             std::printf("%u thread(s): %10.0f ops/s  (%.2fx vs 1t)\n",
                         threads, ops, scaling);

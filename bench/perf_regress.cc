@@ -16,6 +16,16 @@
  *   perf_regress --smoke            short run that validates JSON
  *                                   emission (no thresholds); wired
  *                                   to ctest label perf_smoke
+ *   perf_regress --trace-overhead   prove the compiled-in-but-
+ *                                   disabled tracing hooks cost less
+ *                                   than 1% of adaptive-full's
+ *                                   ns/access: measures the cost of
+ *                                   one disabled gate check, counts
+ *                                   how often gates execute on a
+ *                                   replay (misses + shadow misses
+ *                                   per access — gates live off the
+ *                                   hit path), and fails closed on
+ *                                   degenerate measurements
  *
  * Baselines live in bench/baselines/BENCH_hotpath.json and are only
  * meaningful for Release builds on the machine that recorded them
@@ -35,6 +45,8 @@
 #include "core/adaptive_cache.hh"
 #include "core/sbar_cache.hh"
 #include "kv/adaptive_kv_cache.hh"
+#include "obs/run_meta.hh"
+#include "obs/trace.hh"
 #include "sim/report.hh"
 #include "util/rng.hh"
 
@@ -307,6 +319,84 @@ check(const std::vector<Measurement> &measured,
     return failures ? 1 : 0;
 }
 
+/**
+ * Tracing-disabled overhead gate (see file comment). The disabled
+ * cost of the hooks is gate_ns x gates-per-access; the gate count is
+ * an upper bound (one diff-miss-block gate per access with at least
+ * one shadow miss, one eviction-path gate per real eviction).
+ * @return process exit code.
+ */
+int
+traceOverheadCheck(const std::vector<Measurement> &measured,
+                   std::size_t accesses)
+{
+    if (!obs::kTraceCompiled) {
+        std::fprintf(stderr,
+                     "perf_regress: trace-overhead: tracing compiled "
+                     "out (ADCACHE_TRACE=OFF), overhead is zero by "
+                     "construction\n");
+        return 0;
+    }
+
+    const double gate_ns = obs::measureGateCostNs();
+
+    double ns_per_access = 0.0;
+    for (const auto &m : measured)
+        if (m.variant == "adaptive-full")
+            ns_per_access = m.nsPerAccess;
+    if (!(ns_per_access > 0.0) || !(gate_ns >= 0.0)) {
+        std::fprintf(stderr,
+                     "perf_regress: trace-overhead: degenerate "
+                     "measurement (ns/access %.3f, gate %.3f ns) — "
+                     "failing closed\n",
+                     ns_per_access, gate_ns);
+        return 1;
+    }
+
+    // Replay the matrix stream untimed and count how often the
+    // instrumented (off-hit-path) blocks run.
+    const Stream s = makeStream(accesses, 42);
+    AdaptiveCache cache(
+        AdaptiveConfig::dual(PolicyType::LRU, PolicyType::LFU));
+    for (std::size_t i = 0; i < s.addrs.size(); ++i)
+        cache.access(s.addrs[i], s.writes[i] != 0);
+    const CacheStats &st = cache.stats();
+    if (st.accesses == 0) {
+        std::fprintf(stderr, "perf_regress: trace-overhead: empty "
+                             "replay — failing closed\n");
+        return 1;
+    }
+    // One gate fires per access whose shadow block ran (at most one
+    // check covers the diff-miss event and every shadow evict; an
+    // access needs >= 1 shadow miss to reach it, so the sum over
+    // components bounds that count from above) plus one per real
+    // eviction. Hits test nothing.
+    std::uint64_t shadow_misses = 0;
+    for (unsigned k = 0; k < cache.numPolicies(); ++k)
+        shadow_misses += cache.shadowMisses(k);
+    const std::uint64_t gates =
+        std::min<std::uint64_t>(st.accesses, shadow_misses) +
+        st.evictions;
+    const double gates_per_access =
+        double(gates) / double(st.accesses);
+
+    const double overhead_ns = gate_ns * gates_per_access;
+    const double fraction = overhead_ns / ns_per_access;
+    std::fprintf(stderr,
+                 "perf_regress: trace-overhead: gate %.4f ns x %.3f "
+                 "gates/access = %.4f ns (%.3f%% of %.2f ns/access, "
+                 "budget 1%%)\n",
+                 gate_ns, gates_per_access, overhead_ns,
+                 100.0 * fraction, ns_per_access);
+    if (!(fraction < 0.01)) {
+        std::fprintf(stderr, "perf_regress: trace-overhead: "
+                             "REGRESSION — disabled tracing costs "
+                             ">= 1%%\n");
+        return 1;
+    }
+    return 0;
+}
+
 /** Smoke self-check: the emitted JSON carries every organisation. */
 int
 validateJson(const std::string &json,
@@ -340,6 +430,7 @@ main(int argc, char **argv)
     std::size_t accesses = 4'000'000;
     unsigned reps = 3;
     bool smoke = false;
+    bool trace_overhead = false;
     std::string baseline_path;
     std::string out_path = "BENCH_hotpath.json";
 
@@ -349,6 +440,8 @@ main(int argc, char **argv)
             smoke = true;
             accesses = 50'000;
             reps = 1;
+        } else if (arg == "--trace-overhead") {
+            trace_overhead = true;
         } else if (arg == "--check" && i + 1 < argc) {
             baseline_path = argv[++i];
         } else if (arg == "--out" && i + 1 < argc) {
@@ -358,6 +451,7 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: perf_regress [--smoke] "
+                         "[--trace-overhead] "
                          "[--check <baseline.json>] [--out <path>] "
                          "[--accesses N]\n");
             return 2;
@@ -378,7 +472,8 @@ main(int argc, char **argv)
 #endif
 
     const auto measured = runMatrix(accesses, reps);
-    const ReportGrid grid = toGrid(measured, accesses, reps);
+    ReportGrid grid = toGrid(measured, accesses, reps);
+    obs::appendRunMeta(grid); // artifact identifies its build
     const std::string json = renderJson(grid);
 
     {
@@ -398,9 +493,12 @@ main(int argc, char **argv)
                      m.accessesPerSec);
     std::fprintf(stderr, "perf_regress: wrote %s\n", out_path.c_str());
 
-    if (smoke)
-        return validateJson(json, measured);
-    if (!baseline_path.empty())
-        return check(measured, baseline_path);
-    return 0;
+    int rc = 0;
+    if (trace_overhead)
+        rc = traceOverheadCheck(measured, accesses);
+    if (!rc && smoke)
+        rc = validateJson(json, measured);
+    if (!rc && !baseline_path.empty())
+        rc = check(measured, baseline_path);
+    return rc;
 }

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "util/stat_registry.hh"
 
 namespace adcache
@@ -42,6 +43,7 @@ AdaptiveCache::AdaptiveCache(const AdaptiveConfig &config)
     decisions_.assign(std::size_t(geom_.numSets) * num_policies, 0);
     fallbackPtr_.assign(geom_.numSets, 0);
     outcomeScratch_.assign(num_policies, ShadowOutcome{});
+    lastWinner_.assign(geom_.numSets, 0xFF);
 }
 
 std::uint64_t
@@ -80,7 +82,8 @@ AdaptiveCache::clearDecisions()
 
 unsigned
 AdaptiveCache::chooseVictimWay(unsigned set, unsigned winner,
-                               const ShadowOutcome &winner_outcome)
+                               const ShadowOutcome &winner_outcome,
+                               obs::EvictCase &case_out)
 {
     const ShadowCache &shadow = shadows_[winner];
     const std::uint64_t valid = tags_.validMask(set);
@@ -92,6 +95,7 @@ AdaptiveCache::chooseVictimWay(unsigned set, unsigned winner,
             const unsigned w = unsigned(std::countr_zero(m));
             if (shadow.foldTag(tags_.tag(set, w)) ==
                 winner_outcome.evictedTag) {
+                case_out = obs::EvictCase::VictimMatch;
                 return w;
             }
         }
@@ -103,14 +107,17 @@ AdaptiveCache::chooseVictimWay(unsigned set, unsigned winner,
     for (std::uint64_t m = valid; m != 0; m &= m - 1) {
         const unsigned w = unsigned(std::countr_zero(m));
         if (!shadow.containsTag(set,
-                                shadow.foldTag(tags_.tag(set, w))))
+                                shadow.foldTag(tags_.tag(set, w)))) {
+            case_out = obs::EvictCase::ShadowAbsent;
             return w;
+        }
     }
 
     // Case 3: partial-tag aliasing defeated both searches — pick an
     // arbitrary block (Sec. 3.1). A per-set rotating pointer keeps
     // the arbitrary choice from pinning a single way.
     ++fallbacks_;
+    case_out = obs::EvictCase::AliasingFallback;
     const unsigned w = fallbackPtr_[set];
     fallbackPtr_[set] = (w + 1) % geom_.assoc;
     return w;
@@ -140,11 +147,25 @@ AdaptiveCache::access(Addr addr, bool is_write)
 
     // Record only differentiating misses: if all components missed
     // (or none did) the event carries no preference information.
+    // The tracing gate lives inside the some-shadow-missed block so
+    // the (dominant) all-hit path never tests it.
     const std::uint32_t all = (num_policies >= 32)
                                   ? ~std::uint32_t{0}
                                   : (1u << num_policies) - 1;
-    if (miss_mask != 0 && miss_mask != all)
-        history_.record(set, miss_mask);
+    if (miss_mask != 0) {
+        if (miss_mask != all)
+            history_.record(set, miss_mask);
+        if (obs::traceEnabled()) {
+            if (miss_mask != all)
+                obs::emit(obs::diffMissEvent(stats_.accesses, set,
+                                             miss_mask));
+            for (unsigned k = 0; k < num_policies; ++k) {
+                if (outcomes[k].evicted)
+                    shadows_[k].traceEvict(stats_.accesses, set, k,
+                                           outcomes[k]);
+            }
+        }
+    }
 
     // Real cache lookup. Hits never consult the adaptivity logic and
     // leave the critical path untouched (Sec. 3.3).
@@ -167,7 +188,23 @@ AdaptiveCache::access(Addr addr, bool is_write)
     if (fill_way == TagArray::kNoWay) {
         const unsigned winner = history_.best(set);
         ++decisions_[std::size_t(set) * num_policies + winner];
-        fill_way = chooseVictimWay(set, winner, outcomes[winner]);
+        obs::EvictCase evict_case = obs::EvictCase::VictimMatch;
+        fill_way =
+            chooseVictimWay(set, winner, outcomes[winner], evict_case);
+
+        if (obs::traceEnabled()) {
+            const std::uint8_t last = lastWinner_[set];
+            if (last != winner) {
+                if (last != 0xFF)
+                    obs::emit(obs::winnerFlipEvent(stats_.accesses,
+                                                   set, last, winner));
+                lastWinner_[set] = std::uint8_t(winner);
+            }
+            // tags_ still holds the victim: emit before the fill.
+            obs::emit(obs::evictionEvent(stats_.accesses, set, winner,
+                                         evict_case,
+                                         tags_.tag(set, fill_way)));
+        }
 
         ++stats_.evictions;
         if (tags_.dirty(set, fill_way)) {

@@ -32,6 +32,7 @@
 #include "cache/tag_array.hh"
 #include "core/miss_history.hh"
 #include "core/shadow_cache.hh"
+#include "obs/event.hh"
 
 namespace adcache
 {
@@ -127,7 +128,8 @@ class AdaptiveCache : public CacheModel
 
   private:
     unsigned chooseVictimWay(unsigned set, unsigned winner,
-                             const ShadowOutcome &winner_outcome);
+                             const ShadowOutcome &winner_outcome,
+                             obs::EvictCase &case_out);
 
     AdaptiveConfig config_;
     CacheGeometry geom_;
@@ -139,6 +141,9 @@ class AdaptiveCache : public CacheModel
     std::vector<std::uint64_t> decisions_;  // [set * k + k], flat
     std::vector<unsigned> fallbackPtr_;                  // per set
     std::vector<ShadowOutcome> outcomeScratch_;  // per-access reuse
+    /** Last imitated component per set (0xFF = none yet); only
+     *  maintained while tracing is enabled, to detect winner flips. */
+    std::vector<std::uint8_t> lastWinner_;
     CacheStats stats_;
     std::uint64_t fallbacks_ = 0;
 };

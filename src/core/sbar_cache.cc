@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "util/stat_registry.hh"
 
 namespace adcache
@@ -64,7 +65,8 @@ SbarCache::globalChoice() const
 
 unsigned
 SbarCache::leaderVictim(unsigned set, unsigned winner,
-                        const ShadowOutcome &winner_outcome)
+                        const ShadowOutcome &winner_outcome,
+                        obs::EvictCase &case_out)
 {
     const ShadowCache &shadow = winner == 0 ? shadowA_ : shadowB_;
     const std::uint64_t valid = tags_.validMask(set);
@@ -74,6 +76,7 @@ SbarCache::leaderVictim(unsigned set, unsigned winner,
             const unsigned w = unsigned(std::countr_zero(m));
             if (shadow.foldTag(tags_.tag(set, w)) ==
                 winner_outcome.evictedTag) {
+                case_out = obs::EvictCase::VictimMatch;
                 return w;
             }
         }
@@ -81,9 +84,12 @@ SbarCache::leaderVictim(unsigned set, unsigned winner,
     for (std::uint64_t m = valid; m != 0; m &= m - 1) {
         const unsigned w = unsigned(std::countr_zero(m));
         if (!shadow.containsTag(set,
-                                shadow.foldTag(tags_.tag(set, w))))
+                                shadow.foldTag(tags_.tag(set, w)))) {
+            case_out = obs::EvictCase::ShadowAbsent;
             return w;
+        }
     }
+    case_out = obs::EvictCase::AliasingFallback;
     const unsigned w = fallbackPtr_[set];
     fallbackPtr_[set] = (w + 1) % geom_.assoc;
     return w;
@@ -113,8 +119,24 @@ SbarCache::accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
                 psel_.increment();  // A missing -> drift toward B
             else
                 psel_.decrement();
-            if (globalChoice() != before)
+            if (globalChoice() != before) {
                 ++flips_;
+                if (obs::traceEnabled())
+                    obs::emit(obs::sbarPselEvent(
+                        stats_.accesses, psel_.value(), before,
+                        globalChoice()));
+            }
+            if (obs::traceEnabled())
+                obs::emit(obs::diffMissEvent(
+                    stats_.accesses, set, out_a.miss ? 0b01 : 0b10));
+        }
+        // Leader shadow displacements; gate only when some shadow
+        // missed, never on the all-hit path.
+        if ((out_a.miss || out_b.miss) && obs::traceEnabled()) {
+            if (out_a.evicted)
+                shadowA_.traceEvict(stats_.accesses, set, 0, out_a);
+            if (out_b.evicted)
+                shadowB_.traceEvict(stats_.accesses, set, 1, out_b);
         }
     }
 
@@ -140,8 +162,14 @@ SbarCache::accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
         unsigned winner;
         if (ordinal >= 0) {
             winner = leaderHistory_.best(unsigned(ordinal));
+            obs::EvictCase evict_case = obs::EvictCase::VictimMatch;
             fill_way = leaderVictim(set, winner,
-                                    winner == 0 ? out_a : out_b);
+                                    winner == 0 ? out_a : out_b,
+                                    evict_case);
+            if (obs::traceEnabled())
+                obs::emit(obs::evictionEvent(
+                    stats_.accesses, set, winner, evict_case,
+                    tags_.tag(set, fill_way)));
         } else {
             winner = globalChoice();
             // The follower runs the selected algorithm on whatever

@@ -89,7 +89,8 @@ class SbarCache : public CacheModel
 
   private:
     unsigned leaderVictim(unsigned set, unsigned winner,
-                          const ShadowOutcome &winner_outcome);
+                          const ShadowOutcome &winner_outcome,
+                          obs::EvictCase &case_out);
 
     template <class PolicyA, class PolicyB>
     AccessResult accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,

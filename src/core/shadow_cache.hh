@@ -13,6 +13,8 @@
 #include "cache/policy_sets.hh"
 #include "cache/replacement.hh"
 #include "cache/tag_array.hh"
+#include "obs/event.hh"
+#include "obs/trace.hh"
 
 namespace adcache
 {
@@ -86,6 +88,20 @@ class ShadowCache
 
     PolicyType policyType() const { return policyType_; }
     unsigned partialTagBits() const { return partialBits_; }
+
+    /**
+     * Emit the ShadowEvict event for an access() outcome that
+     * displaced a block. Owners call this from their own
+     * `obs::traceEnabled()` blocks — the shadow hot path itself
+     * carries no tracing gate.
+     */
+    void
+    traceEvict(std::uint64_t t, unsigned set, unsigned component,
+               const ShadowOutcome &out) const
+    {
+        obs::emit(
+            obs::shadowEvictEvent(t, set, component, out.evictedTag));
+    }
 
   private:
     template <class Policy>

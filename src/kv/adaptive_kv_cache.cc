@@ -3,10 +3,49 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/latency.hh"
+#include "obs/trace.hh"
 #include "util/stat_registry.hh"
 
 namespace adcache::kv
 {
+
+namespace
+{
+
+/**
+ * Times one facade operation (two clock reads) into the calling
+ * thread's latency histogram; free when ADCACHE_LAT is off. Only the
+ * public get/fetch/put are timed — the bare reference() path the
+ * perf_regress matrix drives stays untouched.
+ */
+class ScopedOpTimer
+{
+  public:
+    explicit ScopedOpTimer(obs::KvOp op) : op_(op)
+    {
+        if (obs::latencyEnabled()) {
+            t0_ = obs::nowNs();
+            live_ = true;
+        }
+    }
+
+    ~ScopedOpTimer()
+    {
+        if (live_)
+            obs::recordLatency(op_, obs::nowNs() - t0_);
+    }
+
+    ScopedOpTimer(const ScopedOpTimer &) = delete;
+    ScopedOpTimer &operator=(const ScopedOpTimer &) = delete;
+
+  private:
+    obs::KvOp op_;
+    std::uint64_t t0_ = 0;
+    bool live_ = false;
+};
+
+} // namespace
 
 AdaptiveKvCache::AdaptiveKvCache(const KvConfig &config)
     : config_(config), shardMask_(config.numShards - 1),
@@ -34,6 +73,7 @@ AdaptiveKvCache::shardOf(KvKey key) const
 std::optional<std::string>
 AdaptiveKvCache::get(KvKey key)
 {
+    ScopedOpTimer timer(obs::KvOp::Get);
     const std::uint64_t h = hashOf(key);
     const unsigned s = unsigned(h & shardMask_);
     std::scoped_lock lock(locks_[s]);
@@ -47,6 +87,7 @@ std::string
 AdaptiveKvCache::fetch(KvKey key,
                        const std::function<std::string()> &loader)
 {
+    ScopedOpTimer timer(obs::KvOp::Fetch);
     const std::uint64_t h = hashOf(key);
     const unsigned s = unsigned(h & shardMask_);
     std::string value;
@@ -59,6 +100,7 @@ AdaptiveKvCache::fetch(KvKey key,
 KvOutcome
 AdaptiveKvCache::put(KvKey key, std::string_view value, bool pinned)
 {
+    ScopedOpTimer timer(obs::KvOp::Put);
     const std::uint64_t h = hashOf(key);
     const unsigned s = unsigned(h & shardMask_);
     std::scoped_lock lock(locks_[s]);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "util/stat_registry.hh"
 
 namespace adcache::kv
@@ -56,6 +57,7 @@ KvShardConfig::fromCache(const KvConfig &config, unsigned shard_index)
     c.scope = config.scope;
     c.selector = config.selector;
     c.hashShift = floorLog2(config.numShards);
+    c.shardIndex = shard_index;
     c.rngSeed = config.rngSeed ^ mixKey(shard_index + 1);
     return c;
 }
@@ -183,7 +185,7 @@ KvShard::find(unsigned bucket, KvKey key, unsigned *way) const
 KvEntry *
 KvShard::bucketVictim(unsigned bucket, unsigned winner,
                       const ShadowOutcome &winner_out, KvOutcome &out,
-                      unsigned *way_out)
+                      unsigned *way_out, obs::EvictCase &case_out)
 {
     // Algorithm 1 transcribed verbatim (cf. AdaptiveCache::
     // chooseVictimWay), with pinned entries skipped in every case.
@@ -196,6 +198,7 @@ KvShard::bucketVictim(unsigned bucket, unsigned winner,
             KvEntry *e = ways[w];
             if (e && !e->pinned &&
                 shadow.foldTag(e->tag) == winner_out.evictedTag) {
+                case_out = obs::EvictCase::VictimMatch;
                 *way_out = w;
                 return e;
             }
@@ -206,12 +209,14 @@ KvShard::bucketVictim(unsigned bucket, unsigned winner,
         KvEntry *e = ways[w];
         if (e && !e->pinned &&
             !shadow.containsTag(bucket, shadow.foldTag(e->tag))) {
+            case_out = obs::EvictCase::ShadowAbsent;
             *way_out = w;
             return e;
         }
     }
 
     out.fallback = true;
+    case_out = obs::EvictCase::AliasingFallback;
     ++stats_.fallbackEvictions;
     const unsigned start = fallbackPtr_[bucket];
     for (unsigned i = 0; i < n; ++i) {
@@ -228,7 +233,8 @@ KvShard::bucketVictim(unsigned bucket, unsigned winner,
 
 KvEntry *
 KvShard::shardVictim(unsigned bucket, bool leader, unsigned winner,
-                     const ShadowOutcome &winner_out, KvOutcome &out)
+                     const ShadowOutcome &winner_out, KvOutcome &out,
+                     obs::EvictCase &case_out)
 {
     // Case-1 analog: the winner's shadow displaced a tag on this very
     // reference; if an unpinned entry of the bucket folds to it,
@@ -240,6 +246,7 @@ KvShard::shardVictim(unsigned bucket, bool leader, unsigned winner,
             if (!e->pinned &&
                 shadow.foldTag(e->tag) == winner_out.evictedTag) {
                 out.directed = true;
+                case_out = obs::EvictCase::VictimMatch;
                 ++stats_.directedEvictions;
                 return e;
             }
@@ -253,8 +260,10 @@ KvShard::shardVictim(unsigned bucket, bool leader, unsigned winner,
     KvEntry *e = use_lru ? recency_.firstCandidate()
                          : lfu_.firstCandidate();
     for (unsigned i = 0; e && i < config_.bucketWays; ++i) {
-        if (!e->pinned)
+        if (!e->pinned) {
+            case_out = obs::EvictCase::ShadowAbsent;
             return e;
+        }
         e = use_lru ? recency_.nextCandidate(e)
                     : lfu_.nextCandidate(e);
     }
@@ -262,6 +271,7 @@ KvShard::shardVictim(unsigned bucket, bool leader, unsigned winner,
     // Case-3 analog (the aliasing fallback of Sec. 3.1): rotate over
     // the buckets for an arbitrary unpinned entry.
     out.fallback = true;
+    case_out = obs::EvictCase::AliasingFallback;
     ++stats_.fallbackEvictions;
     for (unsigned i = 0; i < config_.numBuckets; ++i) {
         const unsigned b =
@@ -326,7 +336,15 @@ KvShard::reference(KvKey key, std::uint64_t h,
             if (shadow_out[k].miss)
                 miss_mask |= 1u << k;
         }
-        selectorFor(bucket).record(miss_mask);
+        // Flips are rare, so the tracing gate hides behind the flip
+        // check; with two components the loser is `winner ^ 1`.
+        if (selectorFor(bucket).record(miss_mask) &&
+            obs::traceEnabled()) {
+            const unsigned to = selectorFor(bucket).winner();
+            obs::emit(obs::kvWinnerFlipEvent(stats_.references,
+                                             config_.shardIndex,
+                                             to ^ 1u, to));
+        }
     }
 
     unsigned hit_way = 0;
@@ -373,12 +391,13 @@ KvShard::reference(KvKey key, std::uint64_t h,
         out.replaced = true;
         out.winner = winner;
         ++stats_.decisions[winner];
+        obs::EvictCase evict_case = obs::EvictCase::VictimMatch;
         KvEntry *victim =
             config_.scope == EvictionScope::Bucket
                 ? bucketVictim(bucket, winner, shadow_out[winner],
-                               out, &fill_way)
+                               out, &fill_way, evict_case)
                 : shardVictim(bucket, leader, winner,
-                              shadow_out[winner], out);
+                              shadow_out[winner], out, evict_case);
         if (!victim) {
             out.rejected = true;
             ++stats_.rejected;
@@ -389,6 +408,10 @@ KvShard::reference(KvKey key, std::uint64_t h,
         out.evicted = true;
         out.evictedKey = victim->key;
         ++stats_.evictions;
+        if (obs::traceEnabled())
+            obs::emit(obs::kvEvictionEvent(stats_.references,
+                                           config_.shardIndex, winner,
+                                           evict_case, victim->key));
         unlinkEntry(victim);
     }
 

@@ -44,6 +44,7 @@
 #include "kv/policy_lists.hh"
 #include "kv/selector.hh"
 #include "kv/shadow_dir.hh"
+#include "obs/event.hh"
 #include "util/rng.hh"
 
 namespace adcache
@@ -91,6 +92,7 @@ struct KvShardConfig
     EvictionScope scope = EvictionScope::Shard;
     SelectorMode selector = SelectorMode::Adaptive;
     unsigned hashShift = 0; //!< hash bits consumed by shard selection
+    unsigned shardIndex = 0; //!< position in the owning cache
     std::uint64_t rngSeed = 1;
 
     /** Shard @p shard_index's slice of @p config. */
@@ -188,11 +190,12 @@ class KvShard
 
     KvEntry *bucketVictim(unsigned bucket, unsigned winner,
                           const ShadowOutcome &winner_out,
-                          KvOutcome &out, unsigned *way_out);
+                          KvOutcome &out, unsigned *way_out,
+                          obs::EvictCase &case_out);
     KvEntry *shardVictim(unsigned bucket, bool leader,
                          unsigned winner,
                          const ShadowOutcome &winner_out,
-                         KvOutcome &out);
+                         KvOutcome &out, obs::EvictCase &case_out);
     void unlinkEntry(KvEntry *e);
 
     KvShardConfig config_;

@@ -10,20 +10,22 @@ KvSelector::KvSelector(SelectorMode mode, bool exact, unsigned depth)
         history_ = makeHistory(exact, depth, kvNumComponents);
 }
 
-void
+bool
 KvSelector::record(std::uint32_t miss_mask)
 {
     if (!history_)
-        return;
+        return false;
     constexpr std::uint32_t all = (1u << kvNumComponents) - 1;
     if (miss_mask == 0 || miss_mask == all)
-        return;
+        return false;
     history_->record(miss_mask);
     const unsigned now = history_->best(kvNumComponents);
     if (now != lastWinner_) {
         ++flips_;
         lastWinner_ = now;
+        return true;
     }
+    return false;
 }
 
 unsigned

@@ -38,9 +38,10 @@ class KvSelector
     /**
      * Present one shadow miss mask (bit k set iff component k
      * missed). Non-differentiating masks (none/all missed) are
-     * ignored, as is everything in fixed modes.
+     * ignored, as is everything in fixed modes. Returns true iff
+     * this observation changed the selection.
      */
-    void record(std::uint32_t miss_mask);
+    bool record(std::uint32_t miss_mask);
 
     /** The component to imitate right now. */
     unsigned winner() const;

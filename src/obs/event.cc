@@ -1,0 +1,42 @@
+#include "obs/event.hh"
+
+namespace adcache::obs
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::DiffMiss:
+        return "diff_miss";
+      case EventKind::WinnerFlip:
+        return "winner_flip";
+      case EventKind::Eviction:
+        return "eviction";
+      case EventKind::ShadowEvict:
+        return "shadow_evict";
+      case EventKind::SbarPselCross:
+        return "sbar_psel_cross";
+      case EventKind::KvEviction:
+        return "kv_eviction";
+      case EventKind::KvWinnerFlip:
+        return "kv_winner_flip";
+    }
+    return "?";
+}
+
+const char *
+evictCaseName(EvictCase c)
+{
+    switch (c) {
+      case EvictCase::VictimMatch:
+        return "victim_match";
+      case EvictCase::ShadowAbsent:
+        return "shadow_absent";
+      case EvictCase::AliasingFallback:
+        return "aliasing_fallback";
+    }
+    return "?";
+}
+
+} // namespace adcache::obs

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Typed trace events of the observability subsystem (src/obs). One
+ * compact POD represents every decision-level event the instrumented
+ * components emit; the kind selects how the generic payload fields
+ * are interpreted (see the per-kind constructors below and the event
+ * taxonomy in docs/OBSERVABILITY.md).
+ *
+ * Events carry a *logical* timestamp: the emitting component's own
+ * access/reference count. Wall-clock timelines (experiment-runner
+ * job spans) are recorded separately as Span records (obs/trace.hh)
+ * because they outlive a single component's access domain.
+ */
+
+#ifndef ADCACHE_OBS_EVENT_HH
+#define ADCACHE_OBS_EVENT_HH
+
+#include <cstdint>
+
+namespace adcache::obs
+{
+
+/** What a TraceEvent records. */
+enum class EventKind : std::uint16_t
+{
+    /** A differentiating miss: some but not all components missed. */
+    DiffMiss,
+    /** The per-set winner changed between replacement decisions. */
+    WinnerFlip,
+    /** A real eviction, tagged with the imitation case taken. */
+    Eviction,
+    /** A component (shadow) simulation displaced a block. */
+    ShadowEvict,
+    /** SBAR's global PSEL counter crossed the selection midpoint. */
+    SbarPselCross,
+    /** A kv shard evicted an entry. */
+    KvEviction,
+    /** A kv shard's selection domain changed winners. */
+    KvWinnerFlip,
+};
+
+/** Which of Algorithm 1's three victim searches produced the victim
+ *  (Sec. 3.1; the kv analog maps directed/policy/fallback onto the
+ *  same three cases). */
+enum class EvictCase : std::uint8_t
+{
+    VictimMatch,      //!< case 1: imitated the winner's displacement
+    ShadowAbsent,     //!< case 2: evicted a block absent from winner
+    AliasingFallback, //!< case 3: aliasing/pins defeated both searches
+};
+
+/** Canonical lower-case snake_case name of @p kind. */
+const char *eventKindName(EventKind kind);
+
+/** Canonical lower-case snake_case name of @p c. */
+const char *evictCaseName(EvictCase c);
+
+/**
+ * One trace event: 24 bytes, trivially copyable, meaning of the
+ * payload fields fixed per kind (see the constructors below).
+ */
+struct TraceEvent
+{
+    std::uint64_t t = 0;    //!< logical time: emitter's access count
+    std::uint64_t addr = 0; //!< tag / key payload (kind-specific)
+    std::uint32_t a = 0;    //!< set / shard index (kind-specific)
+    std::uint16_t b = 0;    //!< packed small fields (kind-specific)
+    EventKind kind = EventKind::DiffMiss;
+};
+
+/** Pack (from, to) component ordinals into the b field. */
+constexpr std::uint16_t
+packFromTo(unsigned from, unsigned to)
+{
+    return std::uint16_t((from << 8) | (to & 0xFF));
+}
+
+/** Pack (winner, case) into the b field. */
+constexpr std::uint16_t
+packWinnerCase(unsigned winner, EvictCase c)
+{
+    return std::uint16_t((winner << 8) |
+                         (static_cast<unsigned>(c) & 0xFF));
+}
+
+constexpr TraceEvent
+diffMissEvent(std::uint64_t t, unsigned set, std::uint32_t miss_mask)
+{
+    return {t, 0, set, std::uint16_t(miss_mask), EventKind::DiffMiss};
+}
+
+constexpr TraceEvent
+winnerFlipEvent(std::uint64_t t, unsigned set, unsigned from,
+                unsigned to)
+{
+    return {t, 0, set, packFromTo(from, to), EventKind::WinnerFlip};
+}
+
+constexpr TraceEvent
+evictionEvent(std::uint64_t t, unsigned set, unsigned winner,
+              EvictCase c, std::uint64_t victim_tag)
+{
+    return {t, victim_tag, set, packWinnerCase(winner, c),
+            EventKind::Eviction};
+}
+
+constexpr TraceEvent
+shadowEvictEvent(std::uint64_t t, unsigned set, unsigned component,
+                 std::uint64_t victim_tag)
+{
+    return {t, victim_tag, set, std::uint16_t(component),
+            EventKind::ShadowEvict};
+}
+
+constexpr TraceEvent
+sbarPselEvent(std::uint64_t t, std::uint32_t psel, unsigned from,
+              unsigned to)
+{
+    return {t, 0, psel, packFromTo(from, to),
+            EventKind::SbarPselCross};
+}
+
+constexpr TraceEvent
+kvEvictionEvent(std::uint64_t t, unsigned shard, unsigned winner,
+                EvictCase c, std::uint64_t key)
+{
+    return {t, key, shard, packWinnerCase(winner, c),
+            EventKind::KvEviction};
+}
+
+constexpr TraceEvent
+kvWinnerFlipEvent(std::uint64_t t, unsigned shard, unsigned from,
+                  unsigned to)
+{
+    return {t, 0, shard, packFromTo(from, to),
+            EventKind::KvWinnerFlip};
+}
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_EVENT_HH

@@ -1,0 +1,171 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace adcache::obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              unsigned(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", v);
+    return buf;
+}
+
+void
+appendEvent(std::ostringstream &out, const TraceEvent &ev)
+{
+    out << "{\"kind\":\"" << eventKindName(ev.kind)
+        << "\",\"t\":" << ev.t;
+    const unsigned hi = ev.b >> 8;
+    const unsigned lo = ev.b & 0xFF;
+    switch (ev.kind) {
+      case EventKind::DiffMiss:
+        out << ",\"set\":" << ev.a << ",\"miss_mask\":" << ev.b;
+        break;
+      case EventKind::WinnerFlip:
+        out << ",\"set\":" << ev.a << ",\"from\":" << hi
+            << ",\"to\":" << lo;
+        break;
+      case EventKind::Eviction:
+        out << ",\"set\":" << ev.a << ",\"winner\":" << hi
+            << ",\"case\":\"" << evictCaseName(EvictCase(lo))
+            << "\",\"victim_tag\":" << hex(ev.addr);
+        break;
+      case EventKind::ShadowEvict:
+        out << ",\"set\":" << ev.a << ",\"component\":" << ev.b
+            << ",\"victim_tag\":" << hex(ev.addr);
+        break;
+      case EventKind::SbarPselCross:
+        out << ",\"psel\":" << ev.a << ",\"from\":" << hi
+            << ",\"to\":" << lo;
+        break;
+      case EventKind::KvEviction:
+        out << ",\"shard\":" << ev.a << ",\"winner\":" << hi
+            << ",\"case\":\"" << evictCaseName(EvictCase(lo))
+            << "\",\"key\":" << hex(ev.addr);
+        break;
+      case EventKind::KvWinnerFlip:
+        out << ",\"shard\":" << ev.a << ",\"from\":" << hi
+            << ",\"to\":" << lo;
+        break;
+    }
+    out << "}\n";
+}
+
+} // namespace
+
+std::string
+eventsToJsonl(const std::vector<TraceEvent> &events,
+              const MetaPairs &meta, std::uint64_t dropped)
+{
+    std::ostringstream out;
+    out << "{\"kind\":\"header\",\"events\":" << events.size()
+        << ",\"dropped\":" << dropped;
+    for (const auto &[key, value] : meta)
+        out << ",\"" << jsonEscape(key) << "\":\""
+            << jsonEscape(value) << "\"";
+    out << "}\n";
+    for (const TraceEvent &ev : events)
+        appendEvent(out, ev);
+    return out.str();
+}
+
+std::string
+spansToChromeTrace(const std::vector<Span> &spans)
+{
+    std::uint64_t origin = 0;
+    if (!spans.empty()) {
+        origin = spans.front().t0Ns;
+        for (const Span &s : spans)
+            origin = std::min(origin, s.t0Ns);
+    }
+
+    auto micros = [](std::uint64_t ns) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u",
+                      ns / 1000, unsigned(ns % 1000));
+        return std::string(buf);
+    };
+
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const Span &s : spans) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n{\"name\":\"" << jsonEscape(s.name)
+            << "\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":"
+            << micros(s.t0Ns - origin)
+            << ",\"dur\":" << micros(s.t1Ns - s.t0Ns)
+            << ",\"pid\":1,\"tid\":" << s.tid << "}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        warn("obs: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    if (n != content.size()) {
+        warn("obs: short write to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace adcache::obs

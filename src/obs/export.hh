@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Serialisers for drained trace data: a JSONL event stream (one
+ * self-describing object per line, header line first) and the Chrome
+ * trace_event format for wall-clock spans, which loads directly in
+ * Perfetto / chrome://tracing. Both emitters are deterministic for a
+ * given input (Chrome timestamps are relative to the earliest span),
+ * so tests can golden-file them byte-exactly.
+ */
+
+#ifndef ADCACHE_OBS_EXPORT_HH
+#define ADCACHE_OBS_EXPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hh"
+#include "obs/trace.hh"
+
+namespace adcache::obs
+{
+
+/** Key/value pairs carried in the JSONL header line. */
+using MetaPairs = std::vector<std::pair<std::string, std::string>>;
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render @p events as JSONL: first a header object
+ * `{"kind":"header","events":N,"dropped":D, ...meta}` then one
+ * object per event with kind-specific field names (see
+ * docs/OBSERVABILITY.md for the taxonomy). Ends with a newline.
+ */
+std::string eventsToJsonl(const std::vector<TraceEvent> &events,
+                          const MetaPairs &meta,
+                          std::uint64_t dropped);
+
+/**
+ * Render @p spans as a Chrome trace_event JSON document of complete
+ * ("ph":"X") events, microsecond timestamps relative to the earliest
+ * span start. Loadable in Perfetto / chrome://tracing.
+ */
+std::string spansToChromeTrace(const std::vector<Span> &spans);
+
+/**
+ * Write @p content to @p path (truncating). Returns false (with a
+ * warning) on failure — exporters must never take down a run.
+ */
+bool writeFile(const std::string &path, const std::string &content);
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_EXPORT_HH

@@ -1,0 +1,162 @@
+#include "obs/latency.hh"
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/stat_registry.hh"
+
+namespace adcache::obs
+{
+
+const char *
+kvOpName(KvOp op)
+{
+    switch (op) {
+      case KvOp::Get:
+        return "get";
+      case KvOp::Fetch:
+        return "fetch";
+      case KvOp::Put:
+        return "put";
+    }
+    return "?";
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = other.min_ < min_ ? other.min_ : min_;
+        max_ = other.max_ > max_ ? other.max_ : max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    buckets_.merge(other.buckets_);
+}
+
+std::uint64_t
+LatencyHistogram::minNs() const
+{
+    adcache_assert(count_ > 0);
+    return min_;
+}
+
+std::uint64_t
+LatencyHistogram::maxNs() const
+{
+    adcache_assert(count_ > 0);
+    return max_;
+}
+
+double
+LatencyHistogram::meanNs() const
+{
+    return count_ == 0 ? 0.0 : double(sum_) / double(count_);
+}
+
+double
+LatencyHistogram::percentileNs(double p) const
+{
+    adcache_assert(count_ > 0);
+    return buckets_.percentile(p);
+}
+
+void
+LatencyHistogram::registerInto(StatRegistry &reg,
+                               const std::string &prefix) const
+{
+    if (count_ == 0)
+        return;
+    reg.counter(prefix + "count", count_);
+    reg.value(prefix + "mean_ns", meanNs());
+    reg.value(prefix + "p50_ns", percentileNs(0.50));
+    reg.value(prefix + "p95_ns", percentileNs(0.95));
+    reg.value(prefix + "p99_ns", percentileNs(0.99));
+    reg.counter(prefix + "max_ns", maxNs());
+}
+
+namespace
+{
+
+using LatencyTable = std::array<LatencyHistogram, kNumKvOps>;
+
+/** Same shared_ptr + epoch pattern as the event rings (trace.cc):
+ *  tables outlive pool threads; a reset re-attaches lazily. */
+struct LatencyState
+{
+    std::mutex mtx;
+    std::vector<std::shared_ptr<LatencyTable>> tables;
+    std::atomic<std::uint64_t> epoch{1};
+};
+
+LatencyState &
+state()
+{
+    static LatencyState s;
+    return s;
+}
+
+struct ThreadTableCache
+{
+    std::uint64_t epoch = 0;
+    LatencyTable *table = nullptr;
+};
+
+thread_local ThreadTableCache tl_table;
+
+LatencyTable &
+threadTable()
+{
+    LatencyState &s = state();
+    const std::uint64_t epoch =
+        s.epoch.load(std::memory_order_acquire);
+    if (tl_table.epoch != epoch || tl_table.table == nullptr) {
+        auto table = std::make_shared<LatencyTable>();
+        {
+            std::lock_guard<std::mutex> lock(s.mtx);
+            s.tables.push_back(table);
+        }
+        tl_table.table = table.get();
+        tl_table.epoch = epoch;
+    }
+    return *tl_table.table;
+}
+
+} // namespace
+
+void
+recordLatency(KvOp op, std::uint64_t ns)
+{
+    threadTable()[unsigned(op)].add(ns);
+}
+
+LatencyHistogram
+latencySnapshot(KvOp op)
+{
+    LatencyState &s = state();
+    LatencyHistogram merged;
+    std::lock_guard<std::mutex> lock(s.mtx);
+    for (auto &table : s.tables)
+        merged.merge((*table)[unsigned(op)]);
+    return merged;
+}
+
+void
+resetLatency()
+{
+    LatencyState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    s.tables.clear();
+    s.epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+} // namespace adcache::obs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Log-bucketed latency histograms for the kv cache's public
+ * operations. Each thread records into its own per-op histograms
+ * (no synchronisation on the record path); a snapshot merges all
+ * threads' histograms into one, so percentiles are over the whole
+ * fleet. Recording is gated by obs::latencyEnabled() (ADCACHE_LAT)
+ * independently of event tracing, because timing two clock reads per
+ * op is a real cost the throughput bench must be able to decline.
+ */
+
+#ifndef ADCACHE_OBS_LATENCY_HH
+#define ADCACHE_OBS_LATENCY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hh"
+
+namespace adcache
+{
+class StatRegistry;
+}
+
+namespace adcache::obs
+{
+
+/** The kv facade operations with latency instrumentation. */
+enum class KvOp : unsigned
+{
+    Get = 0,
+    Fetch = 1,
+    Put = 2,
+};
+
+inline constexpr unsigned kNumKvOps = 3;
+
+/** Canonical lower-case name of @p op. */
+const char *kvOpName(KvOp op);
+
+/**
+ * One latency distribution: log buckets (12.5% quantile error)
+ * plus exact count / sum / min / max. Mergeable across threads.
+ */
+class LatencyHistogram
+{
+  public:
+    void
+    add(std::uint64_t ns)
+    {
+        buckets_.addValue(ns);
+        ++count_;
+        sum_ += ns;
+        min_ = count_ == 1 ? ns : (ns < min_ ? ns : min_);
+        max_ = ns > max_ ? ns : max_;
+    }
+
+    void merge(const LatencyHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sumNs() const { return sum_; }
+    /** Smallest / largest sample; assert count() > 0. */
+    std::uint64_t minNs() const;
+    std::uint64_t maxNs() const;
+    double meanNs() const;
+
+    /** Bucket-edge estimate of the p-quantile, p in (0, 1]. */
+    double percentileNs(double p) const;
+
+    /**
+     * Register count/mean/p50/p95/p99/max under "<prefix>" into
+     * @p reg (no-op when count() == 0).
+     */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
+
+  private:
+    LogBuckets buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Record one operation latency into the calling thread's histogram.
+ * Call only inside an `if (latencyEnabled())` block.
+ */
+void recordLatency(KvOp op, std::uint64_t ns);
+
+/**
+ * Merge every thread's histogram for @p op into one. Histograms are
+ * plain (unsynchronised) accumulators, so call this only while the
+ * recording threads are quiescent (e.g. after joining a round).
+ */
+LatencyHistogram latencySnapshot(KvOp op);
+
+/** Forget all recorded latencies (all threads re-attach lazily). */
+void resetLatency();
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_LATENCY_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The obs <-> sim/report bridge: definitions of the obs API surface
+ * that constructs ReportGrid rows. Compiled into the *sim* library
+ * (see src/CMakeLists.txt) so the obs library proper has no link
+ * dependency on sim — sim depends on core depends on obs, and this
+ * file closes the loop from the sim side.
+ */
+
+#include <algorithm>
+
+#include "obs/run_meta.hh"
+#include "obs/snapshot.hh"
+#include "sim/report.hh"
+
+namespace adcache::obs
+{
+
+void
+SnapshotSeries::appendTo(ReportGrid &grid,
+                         const std::string &label) const
+{
+    grid.benchmarkHeader = "interval_end";
+    const StatRegistry *prev = nullptr;
+    std::uint64_t prev_at = 0;
+    for (const Row &row : rows_) {
+        ReportRow &out = grid.add(std::to_string(row.at), label);
+        for (const StatEntry &e : row.stats.entries()) {
+            switch (e.kind) {
+              case StatEntry::Kind::Counter: {
+                const double before =
+                    prev != nullptr && prev->find(e.name) != nullptr
+                        ? prev->numeric(e.name)
+                        : 0.0;
+                out.stats.value("d_" + e.name,
+                                double(e.counter) - before);
+                break;
+              }
+              case StatEntry::Kind::Value:
+                out.stats.value(e.name, e.value);
+                break;
+              case StatEntry::Kind::Text:
+                out.stats.text(e.name, e.text);
+                break;
+            }
+        }
+        const std::uint64_t dt = row.at - prev_at;
+        for (const auto &[name, fn] : derived_)
+            out.stats.value(name, fn(row.stats, prev, dt));
+        if (row.partial)
+            out.stats.text("partial", "yes");
+        prev = &row.stats;
+        prev_at = row.at;
+    }
+}
+
+void
+appendRunMeta(ReportGrid &grid)
+{
+    for (const auto &[key, value] : collectRunMeta()) {
+        const bool present = std::any_of(
+            grid.meta.begin(), grid.meta.end(),
+            [&key = key](const auto &kv) { return kv.first == key; });
+        if (!present)
+            grid.addMeta(key, value);
+    }
+}
+
+} // namespace adcache::obs

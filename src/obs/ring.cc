@@ -1,0 +1,30 @@
+#include "obs/ring.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace adcache::obs
+{
+
+EventRing::EventRing(std::size_t capacity)
+{
+    adcache_assert(capacity >= 2);
+    slots_.resize(std::bit_ceil(capacity));
+    mask_ = slots_.size() - 1;
+}
+
+std::size_t
+EventRing::drain(std::vector<TraceEvent> &out)
+{
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t n = head - tail;
+    out.reserve(out.size() + n);
+    for (std::size_t i = tail; i != head; ++i)
+        out.push_back(slots_[i & mask_]);
+    tail_.store(head, std::memory_order_release);
+    return n;
+}
+
+} // namespace adcache::obs

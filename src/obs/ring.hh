@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lock-free single-producer / single-consumer bounded ring buffer of
+ * TraceEvents. One ring is owned per producing thread (obs/trace.cc
+ * hands them out via a thread-local cache); the draining thread is
+ * the single consumer. When the ring is full events are *dropped and
+ * counted*, never overwritten — a trace with a known hole is more
+ * honest than one with a silently rewritten past.
+ */
+
+#ifndef ADCACHE_OBS_RING_HH
+#define ADCACHE_OBS_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace adcache::obs
+{
+
+/**
+ * SPSC bounded queue. Capacity is rounded up to a power of two so
+ * index wrap is a mask. `tryPush` may only be called from the owning
+ * producer thread; `drain` from one consumer at a time.
+ */
+class EventRing
+{
+  public:
+    /** @param capacity minimum usable slots (rounded up to 2^k). */
+    explicit EventRing(std::size_t capacity);
+
+    /**
+     * Producer side: append one event. Returns false (and counts a
+     * drop) when the ring is full.
+     */
+    bool
+    tryPush(const TraceEvent &ev)
+    {
+        const std::size_t head =
+            head_.load(std::memory_order_relaxed);
+        const std::size_t tail =
+            tail_.load(std::memory_order_acquire);
+        if (head - tail >= slots_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[head & mask_] = ev;
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: move every currently visible event into @p out
+     * (appending) and free the slots. Returns how many were moved.
+     */
+    std::size_t drain(std::vector<TraceEvent> &out);
+
+    /** Events rejected because the ring was full. */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Usable capacity after power-of-two rounding. */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Events currently buffered (racy if the producer is live). */
+    std::size_t
+    size() const
+    {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::vector<TraceEvent> slots_;
+    std::size_t mask_;
+    std::atomic<std::size_t> head_{0}; // next write (producer-owned)
+    std::atomic<std::size_t> tail_{0}; // next read (consumer-owned)
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_RING_HH

@@ -1,0 +1,104 @@
+#include "obs/run_meta.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+extern char **environ;
+
+namespace adcache::obs
+{
+
+namespace
+{
+
+std::string
+isoTimestampUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+const char *
+compilerId()
+{
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildType()
+{
+#if defined(ADCACHE_BUILD_TYPE)
+    return ADCACHE_BUILD_TYPE;
+#elif defined(NDEBUG)
+    return "Release";
+#else
+    return "Debug";
+#endif
+}
+
+const char *
+gitSha()
+{
+#if defined(ADCACHE_GIT_SHA)
+    return ADCACHE_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+std::vector<std::pair<std::string, std::string>>
+collect()
+{
+    std::vector<std::pair<std::string, std::string>> meta;
+    meta.emplace_back("run.timestamp", isoTimestampUtc());
+    meta.emplace_back("run.git_sha", gitSha());
+    meta.emplace_back("run.build_type", buildType());
+    meta.emplace_back("run.compiler", compilerId());
+#if defined(ADCACHE_TRACE_COMPILED)
+    meta.emplace_back("run.trace_compiled", "true");
+#else
+    meta.emplace_back("run.trace_compiled", "false");
+#endif
+
+    std::vector<std::pair<std::string, std::string>> knobs;
+    for (char **env = environ; env != nullptr && *env != nullptr;
+         ++env) {
+        const char *entry = *env;
+        if (std::strncmp(entry, "ADCACHE_", 8) != 0)
+            continue;
+        const char *eq = std::strchr(entry, '=');
+        if (eq == nullptr)
+            continue;
+        knobs.emplace_back(std::string(entry, eq - entry), eq + 1);
+    }
+    std::sort(knobs.begin(), knobs.end());
+    for (auto &[name, value] : knobs)
+        meta.emplace_back("run.env." + name, value);
+    return meta;
+}
+
+} // namespace
+
+const std::vector<std::pair<std::string, std::string>> &
+collectRunMeta()
+{
+    static const auto meta = collect();
+    return meta;
+}
+
+// appendRunMeta is defined in obs/report_bridge.cc (compiled into
+// the sim library) because it touches ReportGrid.
+
+} // namespace adcache::obs

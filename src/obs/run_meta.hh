@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Self-describing run metadata: git SHA, build type, compiler,
+ * every ADCACHE_* environment knob, and an ISO-8601 timestamp.
+ * Injected into every sim/report JSON/CSV artifact (keys prefixed
+ * "run.") so a result file alone identifies the build and
+ * configuration that produced it.
+ */
+
+#ifndef ADCACHE_OBS_RUN_META_HH
+#define ADCACHE_OBS_RUN_META_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adcache
+{
+struct ReportGrid;
+}
+
+namespace adcache::obs
+{
+
+/**
+ * The process's run metadata, collected once and cached. Keys are
+ * "run.timestamp", "run.git_sha", "run.build_type", "run.compiler",
+ * "run.trace_compiled", and one "run.env.<NAME>" per ADCACHE_*
+ * environment variable (sorted by name).
+ */
+const std::vector<std::pair<std::string, std::string>> &
+collectRunMeta();
+
+/**
+ * Append collectRunMeta() pairs to @p grid's metadata, skipping any
+ * key the grid already carries.
+ */
+void appendRunMeta(ReportGrid &grid);
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_RUN_META_HH

@@ -1,0 +1,138 @@
+#include "obs/session.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/export.hh"
+#include "obs/run_meta.hh"
+#include "obs/trace.hh"
+#include "sim/report.hh"
+
+namespace adcache::obs
+{
+
+namespace
+{
+
+std::string
+envString(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::string(v) : std::string();
+}
+
+bool
+envTruthy(const char *name)
+{
+    const std::string v = envString(name);
+    return !(v.empty() || v == "0" || v == "off" || v == "false");
+}
+
+/** True while a primary Session is live (see Session ctor doc). */
+bool g_sessionLive = false;
+
+} // namespace
+
+Session::Session(std::string name) : name_(std::move(name))
+{
+    if (g_sessionLive) {
+        finished_ = true; // inert: the outer Session exports
+        return;
+    }
+    g_sessionLive = true;
+    primary_ = true;
+
+    traceOut_ = envString("ADCACHE_TRACE_OUT");
+    chromeOut_ = envString("ADCACHE_TRACE_CHROME");
+    seriesOut_ = envString("ADCACHE_SERIES_OUT");
+
+    const bool want_trace = envTruthy("ADCACHE_TRACE") ||
+                            !traceOut_.empty() ||
+                            !chromeOut_.empty();
+    const bool want_latency = envTruthy("ADCACHE_LAT");
+
+    if ((want_trace || want_latency) && !kTraceCompiled) {
+        std::fprintf(stderr,
+                     "[obs] tracing requested but compiled out "
+                     "(build with -DADCACHE_TRACE=ON)\n");
+        return;
+    }
+
+    tracing_ = want_trace;
+    latency_ = want_latency;
+    setTraceEnabled(tracing_);
+    setLatencyEnabled(latency_);
+}
+
+Session::~Session() { finish(); }
+
+std::uint64_t
+Session::seriesInterval(std::uint64_t fallback)
+{
+    const std::string v = envString("ADCACHE_SERIES_EVERY");
+    if (v.empty())
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || n == 0)
+        return fallback;
+    return std::uint64_t(n);
+}
+
+void
+Session::writeSeries(const ReportGrid &grid) const
+{
+    if (seriesOut_.empty())
+        return;
+    ReportGrid copy = grid;
+    appendRunMeta(copy);
+    if (writeFile(seriesOut_, renderCsv(copy)))
+        std::fprintf(stderr, "[obs] wrote %zu series rows to %s\n",
+                     copy.rows.size(), seriesOut_.c_str());
+}
+
+void
+Session::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    g_sessionLive = false;
+    if (!tracing_ && !latency_)
+        return;
+
+    if (tracing_) {
+        const auto events = drainAll();
+        const std::uint64_t dropped = droppedTotal();
+        if (!traceOut_.empty()) {
+            MetaPairs meta;
+            meta.emplace_back("session", name_);
+            for (const auto &kv : collectRunMeta())
+                meta.push_back(kv);
+            if (writeFile(traceOut_,
+                          eventsToJsonl(events, meta, dropped)))
+                std::fprintf(
+                    stderr,
+                    "[obs] wrote %zu events (%llu dropped) to %s\n",
+                    events.size(),
+                    static_cast<unsigned long long>(dropped),
+                    traceOut_.c_str());
+        }
+        const auto spans = drainSpans();
+        if (!chromeOut_.empty()) {
+            if (writeFile(chromeOut_, spansToChromeTrace(spans)))
+                std::fprintf(
+                    stderr,
+                    "[obs] wrote %zu spans to %s (load in Perfetto "
+                    "or chrome://tracing)\n",
+                    spans.size(), chromeOut_.c_str());
+        }
+    }
+
+    setTraceEnabled(false);
+    setLatencyEnabled(false);
+}
+
+} // namespace adcache::obs

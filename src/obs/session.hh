@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Env-driven observability session for bench/example binaries. One
+ * Session at the top of main() reads the ADCACHE_* observability
+ * knobs, arms the runtime gates, and on finish() drains and exports
+ * everything that was collected:
+ *
+ *   ADCACHE_TRACE=1            enable decision-event tracing
+ *   ADCACHE_TRACE_OUT=f.jsonl  write the JSONL event stream here
+ *                              (implies ADCACHE_TRACE=1)
+ *   ADCACHE_TRACE_CHROME=f.json  write job spans as a Chrome
+ *                              trace_event file (implies tracing)
+ *   ADCACHE_SERIES_OUT=f.csv   write the bench's snapshot series CSV
+ *   ADCACHE_SERIES_EVERY=N     snapshot cadence in ticks
+ *   ADCACHE_LAT=1              enable kv latency sampling
+ *
+ * Status notes go to stderr so stdout report output stays
+ * parseable. All knobs default to off: a bench run with no
+ * ADCACHE_* observability vars behaves exactly as before.
+ *
+ * This class is compiled into the sim library (it renders report
+ * CSVs); see obs/report_bridge.cc for the layering note.
+ */
+
+#ifndef ADCACHE_OBS_SESSION_HH
+#define ADCACHE_OBS_SESSION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace adcache
+{
+struct ReportGrid;
+}
+
+namespace adcache::obs
+{
+
+class Session
+{
+  public:
+    /**
+     * @param name experiment name, recorded in export headers.
+     *
+     * The first live Session in the process is the primary one; any
+     * Session constructed while it is live is inert (no gate arming,
+     * no export), so the harness can scope a Session inside
+     * runAndReport() while a driver holds its own across main().
+     */
+    explicit Session(std::string name);
+
+    /** Calls finish(). */
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Tracing was requested (and is compiled in). */
+    bool tracing() const { return tracing_; }
+
+    /** A snapshot-series CSV destination was requested. */
+    bool seriesRequested() const { return !seriesOut_.empty(); }
+
+    /** ADCACHE_SERIES_EVERY, or @p fallback when unset/invalid. */
+    static std::uint64_t seriesInterval(std::uint64_t fallback);
+
+    /**
+     * Render @p grid as CSV (run metadata included) into
+     * ADCACHE_SERIES_OUT. No-op when no destination was requested.
+     */
+    void writeSeries(const ReportGrid &grid) const;
+
+    /**
+     * Drain and export: JSONL events to ADCACHE_TRACE_OUT, spans to
+     * ADCACHE_TRACE_CHROME, then disarm the gates. Idempotent.
+     */
+    void finish();
+
+  private:
+    std::string name_;
+    std::string traceOut_;
+    std::string chromeOut_;
+    std::string seriesOut_;
+    bool primary_ = false;
+    bool tracing_ = false;
+    bool latency_ = false;
+    bool finished_ = false;
+};
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_SESSION_HH

@@ -1,0 +1,89 @@
+#include "obs/snapshot.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace adcache::obs
+{
+
+SnapshotSeries::SnapshotSeries(std::uint64_t interval,
+                               Sampler sampler)
+    : interval_(interval), next_(interval),
+      sampler_(std::move(sampler))
+{
+    adcache_assert(interval_ > 0);
+    adcache_assert(sampler_);
+}
+
+void
+SnapshotSeries::fire(std::uint64_t at, bool partial)
+{
+    Row row;
+    row.index = rows_.size();
+    row.at = at;
+    row.partial = partial;
+    sampler_(row.stats);
+    rows_.push_back(std::move(row));
+}
+
+void
+SnapshotSeries::tick(std::uint64_t now)
+{
+    while (now >= next_) {
+        fire(next_, false);
+        next_ += interval_;
+    }
+}
+
+void
+SnapshotSeries::finish(std::uint64_t now)
+{
+    tick(now);
+    const std::uint64_t last = rows_.empty() ? 0 : rows_.back().at;
+    if (now > last)
+        fire(now, true);
+}
+
+void
+SnapshotSeries::derive(std::string name, Derive fn)
+{
+    derived_.emplace_back(std::move(name), std::move(fn));
+}
+
+SnapshotSeries::Derive
+SnapshotSeries::rate(std::string counter, double scale)
+{
+    return [counter = std::move(counter),
+            scale](const StatRegistry &cur, const StatRegistry *prev,
+                   std::uint64_t dt) {
+        if (dt == 0)
+            return 0.0;
+        const double before =
+            prev != nullptr ? prev->numeric(counter) : 0.0;
+        return (cur.numeric(counter) - before) * scale / double(dt);
+    };
+}
+
+SnapshotSeries::Derive
+SnapshotSeries::share(std::string numerator, std::string denominator)
+{
+    return [num = std::move(numerator), den = std::move(denominator)](
+               const StatRegistry &cur, const StatRegistry *prev,
+               std::uint64_t) {
+        const double num_before =
+            prev != nullptr ? prev->numeric(num) : 0.0;
+        const double den_before =
+            prev != nullptr ? prev->numeric(den) : 0.0;
+        const double d_den = cur.numeric(den) - den_before;
+        if (d_den == 0.0)
+            return 0.0;
+        return (cur.numeric(num) - num_before) / d_den;
+    };
+}
+
+// SnapshotSeries::appendTo is defined in obs/report_bridge.cc
+// (compiled into the sim library) because it constructs ReportGrid
+// rows; the obs library itself stays independent of sim/report.
+
+} // namespace adcache::obs

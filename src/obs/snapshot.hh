@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Periodic snapshot engine: samples every registered stat on an
+ * access-count cadence into time-series rows, so a bench can emit
+ * per-interval MPKI / winner-share / fallback-rate curves (a
+ * machine-readable Fig. 7 phase map) without bespoke plumbing.
+ *
+ * The engine is clock-agnostic: "time" is whatever monotone counter
+ * the caller passes to tick() — instructions retired, cache
+ * accesses, kv references. Rows fire at exact multiples of the
+ * interval regardless of how coarsely tick() is called, so cadences
+ * are comparable across runs with different chunk sizes.
+ */
+
+#ifndef ADCACHE_OBS_SNAPSHOT_HH
+#define ADCACHE_OBS_SNAPSHOT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stat_registry.hh"
+
+namespace adcache
+{
+struct ReportGrid;
+}
+
+namespace adcache::obs
+{
+
+/**
+ * Accumulates time-series rows by invoking a sampler callback at
+ * interval boundaries. The sampler re-registers current counter
+ * values into a fresh StatRegistry per row; appendTo() then emits
+ * per-interval deltas plus any registered derived columns.
+ */
+class SnapshotSeries
+{
+  public:
+    /** Fills @p reg with the current value of every sampled stat. */
+    using Sampler = std::function<void(StatRegistry &reg)>;
+
+    /**
+     * Derived per-interval column: computed from the row's sampled
+     * registry, the previous row's (nullptr for the first row), and
+     * the interval length @p dt in ticks.
+     */
+    using Derive = std::function<double(
+        const StatRegistry &cur, const StatRegistry *prev,
+        std::uint64_t dt)>;
+
+    /** One fired snapshot. */
+    struct Row
+    {
+        std::uint64_t index = 0; //!< 0-based row number
+        std::uint64_t at = 0;    //!< tick count the row covers up to
+        bool partial = false;    //!< finish() tail, shorter interval
+        StatRegistry stats;
+    };
+
+    /**
+     * @param interval cadence in ticks (> 0).
+     * @param sampler  invoked once per fired row.
+     */
+    SnapshotSeries(std::uint64_t interval, Sampler sampler);
+
+    /**
+     * Advance logical time to @p now, firing one row per interval
+     * boundary crossed (each row samples *at the boundary*, i.e.
+     * immediately after the caller simulated up to at least that
+     * many ticks).
+     */
+    void tick(std::uint64_t now);
+
+    /** Fire a final partial row covering (last boundary, now]. */
+    void finish(std::uint64_t now);
+
+    /** Register a derived column (applied in appendTo). */
+    void derive(std::string name, Derive fn);
+
+    /** Δcounter(name) × @p scale / Δticks — e.g. per-interval MPKI
+     *  is `rate("l2.misses", 1000.0)` over an instruction clock. */
+    static Derive rate(std::string counter, double scale);
+
+    /** Δnumerator / Δdenominator (0 when the denominator is flat) —
+     *  e.g. winner share is decisions_a over total decisions. */
+    static Derive share(std::string numerator,
+                        std::string denominator);
+
+    const std::vector<Row> &rows() const { return rows_; }
+    std::uint64_t interval() const { return interval_; }
+
+    /**
+     * Append one ReportRow per snapshot to @p grid: benchmark column
+     * = interval-end tick, variant = @p label, stats = per-interval
+     * counter deltas (named "d_<stat>"), sampled Value/Text entries
+     * verbatim, then derived columns. Sets the grid's benchmark
+     * header to "interval_end".
+     */
+    void appendTo(ReportGrid &grid, const std::string &label) const;
+
+  private:
+    void fire(std::uint64_t at, bool partial);
+
+    std::uint64_t interval_;
+    std::uint64_t next_;
+    Sampler sampler_;
+    std::vector<Row> rows_;
+    std::vector<std::pair<std::string, Derive>> derived_;
+};
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_SNAPSHOT_HH

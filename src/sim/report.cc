@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "obs/run_meta.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -230,12 +231,16 @@ renderJson(const ReportGrid &grid)
     std::string out = "{\n";
     out += "  \"experiment\": \"" + jsonEscape(grid.experiment) +
            "\",\n";
+    // One pair per line so line-oriented tools (and the verify
+    // recipe's determinism filter) can match individual meta keys.
     out += "  \"meta\": {";
     for (std::size_t i = 0; i < grid.meta.size(); ++i) {
-        out += i ? ", " : "";
+        out += i ? ",\n    " : "\n    ";
         out += "\"" + jsonEscape(grid.meta[i].first) + "\": \"" +
                jsonEscape(grid.meta[i].second) + "\"";
     }
+    if (!grid.meta.empty())
+        out += "\n  ";
     out += "},\n";
     out += "  \"rows\": [\n";
     for (std::size_t r = 0; r < grid.rows.size(); ++r) {
@@ -262,7 +267,20 @@ renderCsv(const ReportGrid &grid)
     const auto columns = statColumns(grid);
     const bool variants = anyVariant(grid);
 
-    std::string out = csvField(grid.benchmarkHeader);
+    // Metadata rides along as "# key: value" comment lines ahead of
+    // the header row; consumers that dislike comments can drop
+    // leading '#' lines without parsing.
+    std::string out;
+    for (const auto &kv : grid.meta) {
+        std::string line = kv.first + ": " + kv.second;
+        // Keep the comment block line-oriented even if a value
+        // carries newlines.
+        for (char &c : line)
+            if (c == '\n' || c == '\r')
+                c = ' ';
+        out += "# " + line + "\n";
+    }
+    out += csvField(grid.benchmarkHeader);
     if (variants)
         out += "," + csvField(grid.variantHeader);
     for (const auto &name : columns)
@@ -322,11 +340,16 @@ emitReport(const ReportGrid &grid, ReportFormat format,
     std::string text;
     switch (format) {
       case ReportFormat::Json:
-        text = renderJson(grid);
+      case ReportFormat::Csv: {
+        // Machine-readable artifacts are self-describing: stamp the
+        // run metadata (git SHA, build type, env knobs, timestamp)
+        // into the grid's meta block. Tables stay human-sized.
+        ReportGrid stamped = grid;
+        obs::appendRunMeta(stamped);
+        text = format == ReportFormat::Json ? renderJson(stamped)
+                                            : renderCsv(stamped);
         break;
-      case ReportFormat::Csv:
-        text = renderCsv(grid);
-        break;
+      }
       case ReportFormat::Table:
         text = renderTable(grid);
         break;

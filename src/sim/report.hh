@@ -19,9 +19,15 @@
  * Counters are emitted as JSON integers, derived metrics as doubles
  * (round-trip precision), text stats as strings.
  *
- * CSV schema: a header row "benchmark,variant,<stat names...>" where
- * the stat columns are the union of all rows' stat names in
- * first-seen order; cells missing a stat are left empty.
+ * CSV schema: "# key: value" metadata comment lines, then a header
+ * row "benchmark,variant,<stat names...>" where the stat columns are
+ * the union of all rows' stat names in first-seen order; cells
+ * missing a stat are left empty.
+ *
+ * emitReport() additionally stamps run metadata (git SHA, build
+ * type, compiler, ADCACHE_* environment, timestamp; keys prefixed
+ * "run.") into JSON and CSV output so an artifact alone identifies
+ * the build that produced it. Tables omit it.
  */
 
 #ifndef ADCACHE_SIM_REPORT_HH

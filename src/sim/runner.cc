@@ -7,10 +7,22 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace adcache
 {
+
+namespace
+{
+std::atomic<std::uint64_t> g_jobsCompleted{0};
+}
+
+std::uint64_t
+jobsCompleted()
+{
+    return g_jobsCompleted.load(std::memory_order_relaxed);
+}
 
 unsigned
 parseJobs(const char *text, unsigned fallback)
@@ -46,12 +58,19 @@ SimResult
 executeJob(const RunJob &job)
 {
     adcache_assert(job.benchmark != nullptr);
+    // Capture the wall-clock span of the whole job for the Chrome
+    // trace timeline. One gate check per job, not per access.
+    const bool spanning = obs::traceEnabled();
+    const std::uint64_t t0 = spanning ? obs::nowNs() : 0;
     System system(job.config);
     auto source = makeBenchmark(*job.benchmark, job.sourceSeed);
     SimResult res = job.timed
                         ? system.runTimed(*source, job.instrs)
                         : system.runFunctional(*source, job.instrs);
     res.benchmark = job.benchmark->name;
+    if (spanning)
+        obs::recordSpan({res.benchmark + "/" + res.l2Label,
+                         obs::currentTid(), t0, obs::nowNs()});
     return res;
 }
 
@@ -61,8 +80,11 @@ runIndexed(std::size_t n, unsigned workers,
 {
     const unsigned used = effectiveJobs(n, workers);
     if (used <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
             body(i);
+            g_jobsCompleted.fetch_add(1,
+                                      std::memory_order_relaxed);
+        }
         return;
     }
 
@@ -83,6 +105,8 @@ runIndexed(std::size_t n, unsigned workers,
                 if (!error)
                     error = std::current_exception();
             }
+            g_jobsCompleted.fetch_add(1,
+                                      std::memory_order_relaxed);
         }
     };
 

@@ -65,6 +65,13 @@ unsigned effectiveJobs(std::size_t grid_size, unsigned requested);
 SimResult executeJob(const RunJob &job);
 
 /**
+ * Jobs (runIndexed bodies, including every grid cell) completed
+ * process-wide so far. Monotone; read by the bench progress
+ * heartbeat (ADCACHE_PROGRESS) from its monitor thread.
+ */
+std::uint64_t jobsCompleted();
+
+/**
  * Execute @p jobs on @p workers threads (default runnerJobs()).
  * Results are indexed exactly like @p jobs. With workers <= 1 the
  * jobs run serially on the calling thread.

@@ -1,0 +1,106 @@
+#include "obs/export.hh"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace adcache::obs
+{
+namespace
+{
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// Byte-exact golden: every event kind renders with its own field
+// names, header line first. If this changes, downstream consumers
+// of the JSONL stream break — update docs/OBSERVABILITY.md too.
+TEST(EventsToJsonl, GoldenCoversEveryKind)
+{
+    const std::vector<TraceEvent> events = {
+        diffMissEvent(5, 3, 0b01),
+        winnerFlipEvent(6, 3, 0, 1),
+        evictionEvent(7, 3, 1, EvictCase::VictimMatch, 0xABC),
+        shadowEvictEvent(8, 4, 1, 0xFF),
+        sbarPselEvent(9, 512, 0, 1),
+        kvEvictionEvent(10, 2, 0, EvictCase::AliasingFallback, 0x10),
+        kvWinnerFlipEvent(11, 2, 1, 0),
+    };
+    const MetaPairs meta = {{"session", "unit"}};
+
+    const std::string expected =
+        "{\"kind\":\"header\",\"events\":7,\"dropped\":2,"
+        "\"session\":\"unit\"}\n"
+        "{\"kind\":\"diff_miss\",\"t\":5,\"set\":3,\"miss_mask\":1}\n"
+        "{\"kind\":\"winner_flip\",\"t\":6,\"set\":3,\"from\":0,"
+        "\"to\":1}\n"
+        "{\"kind\":\"eviction\",\"t\":7,\"set\":3,\"winner\":1,"
+        "\"case\":\"victim_match\",\"victim_tag\":\"0xabc\"}\n"
+        "{\"kind\":\"shadow_evict\",\"t\":8,\"set\":4,"
+        "\"component\":1,\"victim_tag\":\"0xff\"}\n"
+        "{\"kind\":\"sbar_psel_cross\",\"t\":9,\"psel\":512,"
+        "\"from\":0,\"to\":1}\n"
+        "{\"kind\":\"kv_eviction\",\"t\":10,\"shard\":2,"
+        "\"winner\":0,\"case\":\"aliasing_fallback\","
+        "\"key\":\"0x10\"}\n"
+        "{\"kind\":\"kv_winner_flip\",\"t\":11,\"shard\":2,"
+        "\"from\":1,\"to\":0}\n";
+
+    EXPECT_EQ(eventsToJsonl(events, meta, 2), expected);
+}
+
+TEST(EventsToJsonl, EmptyStreamIsJustTheHeader)
+{
+    EXPECT_EQ(eventsToJsonl({}, {}, 0),
+              "{\"kind\":\"header\",\"events\":0,\"dropped\":0}\n");
+}
+
+// Byte-exact golden for the Chrome trace_event document: timestamps
+// in microseconds with 3 decimals, relative to the earliest span.
+TEST(SpansToChromeTrace, GoldenRelativeMicroseconds)
+{
+    const std::vector<Span> spans = {
+        {"grid/a", 0, 1'000, 2'500},
+        {"grid/b", 1, 1'500, 4'000},
+    };
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{\"name\":\"grid/a\",\"cat\":\"job\",\"ph\":\"X\","
+        "\"ts\":0.000,\"dur\":1.500,\"pid\":1,\"tid\":0},\n"
+        "{\"name\":\"grid/b\",\"cat\":\"job\",\"ph\":\"X\","
+        "\"ts\":0.500,\"dur\":2.500,\"pid\":1,\"tid\":1}\n"
+        "]}\n";
+    EXPECT_EQ(spansToChromeTrace(spans), expected);
+}
+
+TEST(SpansToChromeTrace, EmptyDocumentIsStillLoadable)
+{
+    EXPECT_EQ(spansToChromeTrace({}),
+              "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+TEST(WriteFile, RoundTripsAndReportsFailure)
+{
+    const std::string path =
+        ::testing::TempDir() + "obs_export_test.txt";
+    EXPECT_TRUE(writeFile(path, "hello\n"));
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), "hello\n");
+
+    // Unwritable destination: returns false, never throws.
+    EXPECT_FALSE(writeFile("/nonexistent-dir/x/y.txt", "x"));
+}
+
+} // namespace
+} // namespace adcache::obs

@@ -1,0 +1,126 @@
+#include "obs/latency.hh"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hh"
+#include "util/stat_registry.hh"
+
+namespace adcache::obs
+{
+namespace
+{
+
+TEST(KvOpName, CanonicalNames)
+{
+    EXPECT_STREQ(kvOpName(KvOp::Get), "get");
+    EXPECT_STREQ(kvOpName(KvOp::Fetch), "fetch");
+    EXPECT_STREQ(kvOpName(KvOp::Put), "put");
+}
+
+TEST(LatencyHistogram, TracksExactExtremaAndMean)
+{
+    LatencyHistogram h;
+    h.add(100);
+    h.add(300);
+    h.add(200);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sumNs(), 600u);
+    EXPECT_EQ(h.minNs(), 100u);
+    EXPECT_EQ(h.maxNs(), 300u);
+    EXPECT_DOUBLE_EQ(h.meanNs(), 200.0);
+}
+
+TEST(LatencyHistogram, PercentileWithinLogBucketError)
+{
+    LatencyHistogram h;
+    for (std::uint64_t ns = 1; ns <= 1'000; ++ns)
+        h.add(ns);
+    // Bucket upper edges overestimate by at most 12.5%.
+    const double p50 = h.percentileNs(0.50);
+    EXPECT_GE(p50, 500.0);
+    EXPECT_LE(p50, 500.0 * 1.125);
+    const double p99 = h.percentileNs(0.99);
+    EXPECT_GE(p99, 990.0);
+    EXPECT_LE(p99, 990.0 * 1.125);
+}
+
+TEST(LatencyHistogram, MergeCombinesCountsAndExtrema)
+{
+    LatencyHistogram a, b, empty;
+    a.add(10);
+    a.add(20);
+    b.add(5);
+    b.add(40);
+
+    a.merge(empty); // identity
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.minNs(), 10u);
+
+    empty.merge(b); // empty side adopts the other's extrema
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.minNs(), 5u);
+    EXPECT_EQ(empty.maxNs(), 40u);
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.minNs(), 5u);
+    EXPECT_EQ(a.maxNs(), 40u);
+    EXPECT_EQ(a.sumNs(), 75u);
+}
+
+TEST(LatencyHistogram, RegisterIntoEmitsPercentileStats)
+{
+    LatencyHistogram h;
+    for (std::uint64_t ns = 1; ns <= 100; ++ns)
+        h.add(ns);
+    StatRegistry reg;
+    h.registerInto(reg, "lat.get.");
+    EXPECT_EQ(reg.numeric("lat.get.count"), 100.0);
+    EXPECT_GT(reg.numeric("lat.get.p50_ns"), 0.0);
+    EXPECT_GE(reg.numeric("lat.get.p99_ns"),
+              reg.numeric("lat.get.p50_ns"));
+    EXPECT_EQ(reg.numeric("lat.get.max_ns"), 100.0);
+
+    // Empty histograms register nothing rather than zeros.
+    StatRegistry empty_reg;
+    LatencyHistogram().registerInto(empty_reg, "lat.put.");
+    EXPECT_EQ(empty_reg.find("lat.put.count"), nullptr);
+}
+
+TEST(LatencyRecording, SnapshotMergesAcrossJoinedThreads)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "tracing compiled out";
+    resetLatency();
+
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint64_t kPerThread = 250;
+    std::vector<std::thread> threads;
+    for (unsigned w = 0; w < kThreads; ++w)
+        threads.emplace_back([w] {
+            for (std::uint64_t i = 1; i <= kPerThread; ++i)
+                recordLatency(KvOp::Get, i * (w + 1));
+        });
+    for (auto &t : threads)
+        t.join();
+    recordLatency(KvOp::Put, 77);
+
+    const LatencyHistogram get = latencySnapshot(KvOp::Get);
+    EXPECT_EQ(get.count(), kThreads * kPerThread);
+    EXPECT_EQ(get.minNs(), 1u);
+    EXPECT_EQ(get.maxNs(), kPerThread * kThreads);
+
+    const LatencyHistogram put = latencySnapshot(KvOp::Put);
+    EXPECT_EQ(put.count(), 1u);
+    EXPECT_EQ(put.minNs(), 77u);
+    EXPECT_EQ(latencySnapshot(KvOp::Fetch).count(), 0u);
+
+    resetLatency();
+    EXPECT_EQ(latencySnapshot(KvOp::Get).count(), 0u);
+}
+
+} // namespace
+} // namespace adcache::obs

@@ -1,0 +1,134 @@
+#include "obs/snapshot.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/report.hh"
+
+namespace adcache::obs
+{
+namespace
+{
+
+TEST(SnapshotSeries, FiresAtExactBoundariesRegardlessOfTickGrain)
+{
+    std::uint64_t counter = 0;
+    SnapshotSeries series(100, [&](StatRegistry &reg) {
+        reg.counter("c", counter);
+    });
+
+    counter = 5;
+    series.tick(50); // before the first boundary: nothing
+    EXPECT_TRUE(series.rows().empty());
+
+    counter = 12;
+    series.tick(250); // one coarse tick crosses two boundaries
+    ASSERT_EQ(series.rows().size(), 2u);
+    EXPECT_EQ(series.rows()[0].at, 100u);
+    EXPECT_EQ(series.rows()[1].at, 200u);
+    EXPECT_EQ(series.rows()[0].index, 0u);
+    EXPECT_EQ(series.rows()[1].index, 1u);
+    EXPECT_FALSE(series.rows()[0].partial);
+    // Both rows sampled the state at drain time (coarse ticking is
+    // honest about its resolution: the sampler runs when tick runs).
+    EXPECT_EQ(series.rows()[0].stats.numeric("c"), 12.0);
+
+    counter = 40;
+    series.tick(400);
+    ASSERT_EQ(series.rows().size(), 4u);
+    EXPECT_EQ(series.rows()[3].at, 400u);
+}
+
+TEST(SnapshotSeries, FinishEmitsPartialTailOnlyWhenPastLastBoundary)
+{
+    std::uint64_t counter = 0;
+    SnapshotSeries exact(100, [&](StatRegistry &reg) {
+        reg.counter("c", counter);
+    });
+    exact.tick(200);
+    exact.finish(200); // now == last boundary: no partial row
+    ASSERT_EQ(exact.rows().size(), 2u);
+    EXPECT_FALSE(exact.rows().back().partial);
+
+    SnapshotSeries tail(100, [&](StatRegistry &reg) {
+        reg.counter("c", counter);
+    });
+    tail.finish(250); // fires 100, 200, then a partial row at 250
+    ASSERT_EQ(tail.rows().size(), 3u);
+    EXPECT_EQ(tail.rows()[2].at, 250u);
+    EXPECT_TRUE(tail.rows()[2].partial);
+}
+
+TEST(SnapshotSeries, AppendToEmitsDeltasAndDerivedColumns)
+{
+    std::uint64_t misses = 0, wins = 0, total = 0;
+    SnapshotSeries series(1'000, [&](StatRegistry &reg) {
+        reg.counter("misses", misses);
+        reg.counter("wins", wins);
+        reg.counter("total", total);
+        reg.text("label", "adaptive");
+    });
+    series.derive("mpki", SnapshotSeries::rate("misses", 1000.0));
+    series.derive("win_share",
+                  SnapshotSeries::share("wins", "total"));
+
+    misses = 10;
+    wins = 4;
+    total = 8;
+    series.tick(1'000);
+    misses = 16; // +6 this interval
+    wins = 5;    // +1 of +2 decisions
+    total = 10;
+    series.tick(2'000);
+
+    ReportGrid grid;
+    series.appendTo(grid, "ammp");
+    EXPECT_EQ(grid.benchmarkHeader, "interval_end");
+    ASSERT_EQ(grid.rows.size(), 2u);
+
+    const ReportRow &r0 = grid.rows[0];
+    EXPECT_EQ(r0.benchmark, "1000");
+    EXPECT_EQ(r0.variant, "ammp");
+    EXPECT_EQ(r0.stats.numeric("d_misses"), 10.0);
+    EXPECT_EQ(r0.stats.numeric("mpki"), 10.0); // 10 * 1000 / 1000
+    EXPECT_EQ(r0.stats.numeric("win_share"), 0.5);
+    ASSERT_NE(r0.stats.find("label"), nullptr);
+    EXPECT_EQ(r0.stats.find("label")->text, "adaptive");
+
+    const ReportRow &r1 = grid.rows[1];
+    EXPECT_EQ(r1.benchmark, "2000");
+    EXPECT_EQ(r1.stats.numeric("d_misses"), 6.0);
+    EXPECT_EQ(r1.stats.numeric("mpki"), 6.0);
+    EXPECT_EQ(r1.stats.numeric("win_share"), 0.5); // 1 of 2
+    EXPECT_EQ(r1.stats.find("partial"), nullptr);
+}
+
+TEST(SnapshotSeries, AppendToMarksPartialRows)
+{
+    std::uint64_t c = 0;
+    SnapshotSeries series(100, [&](StatRegistry &reg) {
+        reg.counter("c", c);
+    });
+    c = 3;
+    series.finish(150);
+    ReportGrid grid;
+    series.appendTo(grid, "x");
+    ASSERT_EQ(grid.rows.size(), 2u);
+    EXPECT_EQ(grid.rows[1].benchmark, "150");
+    ASSERT_NE(grid.rows[1].stats.find("partial"), nullptr);
+    EXPECT_EQ(grid.rows[1].stats.find("partial")->text, "yes");
+}
+
+TEST(SnapshotSeries, RateAndShareGuardZeroDenominators)
+{
+    StatRegistry cur;
+    cur.counter("n", 5);
+    cur.counter("d", 0);
+    EXPECT_EQ(SnapshotSeries::rate("n", 1.0)(cur, nullptr, 0), 0.0);
+    EXPECT_EQ(SnapshotSeries::share("n", "d")(cur, nullptr, 100),
+              0.0);
+}
+
+} // namespace
+} // namespace adcache::obs

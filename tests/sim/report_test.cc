@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <string>
@@ -102,11 +103,15 @@ TEST(Report, JsonNonFiniteBecomesNull)
 TEST(Report, CsvShape)
 {
     const std::string csv = renderCsv(sampleGrid());
+    // Metadata rides ahead of the header as '#' comment lines.
+    const auto eol0 = csv.find('\n');
+    ASSERT_NE(eol0, std::string::npos);
+    EXPECT_EQ(csv.substr(0, eol0), "# instr_budget: 1000");
     // Header: label columns then the union of stat names in
     // first-seen order.
-    const auto eol = csv.find('\n');
+    const auto eol = csv.find('\n', eol0 + 1);
     ASSERT_NE(eol, std::string::npos);
-    EXPECT_EQ(csv.substr(0, eol),
+    EXPECT_EQ(csv.substr(eol0 + 1, eol - eol0 - 1),
               "benchmark,variant,l2.misses,cpi,label,extra");
     // Row 1 has no 'extra' (trailing cell left empty); the label
     // contains a comma so it must arrive quoted.
@@ -115,6 +120,57 @@ TEST(Report, CsvShape)
               "parser,LRU,1234,1.5,\"LRU (512KB, 8-way)\",");
     // Row 2 has no 'label'.
     EXPECT_NE(csv.find("mcf,Adaptive,99,0.125,,7"),
+              std::string::npos);
+}
+
+TEST(Report, JsonMetaIsOnePairPerLine)
+{
+    ReportGrid grid;
+    grid.experiment = "meta";
+    grid.addMeta("alpha", "1");
+    grid.addMeta("beta", "2");
+    const std::string json = renderJson(grid);
+    // Each pair on its own line so line-oriented filters can match
+    // individual keys (the verify recipe greps out "run." lines).
+    EXPECT_NE(json.find("\n    \"alpha\": \"1\",\n"),
+              std::string::npos);
+    EXPECT_NE(json.find("\n    \"beta\": \"2\"\n"),
+              std::string::npos);
+}
+
+TEST(Report, EmitReportStampsRunMetadata)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    emitReport(sampleGrid(), ReportFormat::Json, tmp);
+    std::fseek(tmp, 0, SEEK_SET);
+    std::string text(1 << 16, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), tmp));
+    std::fclose(tmp);
+
+    // Machine-readable artifacts are self-describing.
+    EXPECT_NE(text.find("\"run.build_type\""), std::string::npos);
+    EXPECT_NE(text.find("\"run.compiler\""), std::string::npos);
+    EXPECT_NE(text.find("\"run.timestamp\""), std::string::npos);
+    EXPECT_NE(text.find("\"run.trace_compiled\""),
+              std::string::npos);
+    // The grid's own metadata is preserved ahead of it.
+    EXPECT_NE(text.find("\"instr_budget\": \"1000\""),
+              std::string::npos);
+
+    // CSV gets the same pairs as comment lines.
+    std::FILE *tmp2 = std::tmpfile();
+    ASSERT_NE(tmp2, nullptr);
+    emitReport(sampleGrid(), ReportFormat::Csv, tmp2);
+    std::fseek(tmp2, 0, SEEK_SET);
+    std::string csv(1 << 16, '\0');
+    csv.resize(std::fread(csv.data(), 1, csv.size(), tmp2));
+    std::fclose(tmp2);
+    EXPECT_NE(csv.find("# run.build_type: "), std::string::npos);
+    EXPECT_NE(csv.find("# instr_budget: 1000"), std::string::npos);
+
+    // Tables stay human-sized: no run metadata.
+    EXPECT_EQ(renderTable(sampleGrid()).find("run.build_type"),
               std::string::npos);
 }
 
