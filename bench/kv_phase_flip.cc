@@ -96,15 +96,32 @@ cacheConfig(SelectorMode mode)
 }
 
 /**
+ * The admission duel's contenders: the adapted dimension is the
+ * TinyLFU filter itself. Both components evict by recency; one fills
+ * through the filter, the other fills unconditionally, and the
+ * selection engine imitates whichever wastes fewer fills. The fixed
+ * baselines pin the filter always-on / always-off.
+ */
+KvConfig
+admissionConfig(bool adaptive, bool filter_on)
+{
+    KvConfig c = cacheConfig(adaptive ? SelectorMode::Adaptive
+                                      : SelectorMode::FixedLru);
+    c.components[0] = {PolicyType::LRU, adaptive || filter_on};
+    c.components[1] = {PolicyType::LRU, false};
+    return c;
+}
+
+/**
  * One (schedule, selector) cell. When @p series_grid is non-null the
  * run also samples a per-interval snapshot series (hit rate, winner
  * share) on a reference-count cadence and appends the rows.
  */
 double
-runOne(const Schedule &schedule, SelectorMode mode,
+runOne(const Schedule &schedule, const KvConfig &config,
        StatRegistry *stats, ReportGrid *series_grid = nullptr)
 {
-    AdaptiveKvCache cache(cacheConfig(mode));
+    AdaptiveKvCache cache(config);
     KeyStream stream(schedule.spec);
 
     std::optional<obs::SnapshotSeries> series;
@@ -140,6 +157,13 @@ runOne(const Schedule &schedule, SelectorMode mode,
     }
 
     cache.registerStats(*stats, "kv.");
+    // Admission-rate column: fills the filter refused, per reference
+    // (0 when the configuration carries no filter).
+    const StatEntry *rejects = stats->find("kv.admit_rejects");
+    stats->value("kv.admission_reject_rate",
+                 rejects ? rejects->numeric() /
+                               stats->numeric("kv.references")
+                         : 0.0);
     return stats->numeric("kv.hit_rate");
 }
 
@@ -178,7 +202,8 @@ main()
                         session.seriesRequested()
                     ? &series_grid
                     : nullptr;
-            rate[m] = runOne(schedule, modes[m], &row.stats, series);
+            rate[m] = runOne(schedule, cacheConfig(modes[m]),
+                             &row.stats, series);
         }
         const double best_fixed = std::max(rate[1], rate[2]);
         // "Matching" tolerance: the adaptive cache pays for its
@@ -192,14 +217,63 @@ main()
                         rate[2], ok ? "matches/beats" : "TRAILS");
     }
 
+    // ---- Admission duel ------------------------------------------
+    // Adaptive admission (filter-on vs filter-off LRU twins) against
+    // the always-on and always-off baselines. On the phase-flip
+    // schedules neither baseline wins both regimes: the filter saves
+    // the working set during scans but starves a shifting hot set.
+    // Adaptivity must match or beat the better baseline on at least
+    // one skewed-vs-scan schedule.
+    struct Duelist
+    {
+        const char *name;
+        bool adaptive;
+        bool filterOn;
+    };
+    const Duelist duelists[] = {{"adm_adaptive", true, false},
+                                {"adm_on", false, true},
+                                {"adm_off", false, false}};
+    unsigned duel_wins = 0;
+    for (const Schedule &schedule : schedules()) {
+        if (schedule.spec.pattern != KeyPattern::PhaseFlip)
+            continue;
+        double rate[3] = {};
+        double adm[3] = {};
+        for (int d = 0; d < 3; ++d) {
+            ReportRow &row =
+                grid.add(schedule.name, duelists[d].name);
+            row.stats.text("stream", schedule.spec.describe());
+            rate[d] = runOne(schedule,
+                             admissionConfig(duelists[d].adaptive,
+                                             duelists[d].filterOn),
+                             &row.stats);
+            adm[d] =
+                row.stats.numeric("kv.admission_reject_rate");
+        }
+        const double best_fixed = std::max(rate[1], rate[2]);
+        const bool ok = rate[0] >= best_fixed - 0.01;
+        duel_wins += ok ? 1 : 0;
+        if (reportFormat() == ReportFormat::Table)
+            std::printf("[%-11s] adm-adaptive %.4f (rej %.3f)  "
+                        "adm-on %.4f (rej %.3f)  adm-off %.4f"
+                        "  -> %s best fixed\n",
+                        schedule.name.c_str(), rate[0], adm[0],
+                        rate[1], adm[1], rate[2],
+                        ok ? "matches/beats" : "TRAILS");
+    }
+    const bool admission_holds = duel_wins >= 1;
+
     session.writeSeries(series_grid);
     grid.addMeta("adaptive_matches_best_fixed",
                  adaptive_holds ? "true" : "false");
+    grid.addMeta("admission_adaptivity_holds",
+                 admission_holds ? "true" : "false");
     if (reportFormat() == ReportFormat::Table)
         std::printf("verdict: adaptive %s the better fixed policy on "
-                    "every schedule\n",
-                    adaptive_holds ? "matches or beats" : "TRAILS");
+                    "every schedule; admission adaptivity %s\n",
+                    adaptive_holds ? "matches or beats" : "TRAILS",
+                    admission_holds ? "holds" : "FAILS");
     else
         emitReport(grid, reportFormat());
-    return adaptive_holds ? 0 : 1;
+    return adaptive_holds && admission_holds ? 0 : 1;
 }

@@ -42,6 +42,31 @@ cacheConfig(SelectorMode mode)
     return c;
 }
 
+/** The benchmarked variants: the three shard-scope selector modes,
+ *  the bucket-scope LRU-vs-CMS-LFU pairing (the sketch policy has no
+ *  shard-wide intrusive order), and admission adaptivity over
+ *  filter-on/filter-off LRU twins. */
+std::vector<std::pair<std::string, KvConfig>>
+variants()
+{
+    std::vector<std::pair<std::string, KvConfig>> out;
+    out.emplace_back("adaptive", cacheConfig(SelectorMode::Adaptive));
+    out.emplace_back("lru", cacheConfig(SelectorMode::FixedLru));
+    out.emplace_back("lfu", cacheConfig(SelectorMode::FixedLfu));
+
+    KvConfig cms = KvConfig::lockstep(1'024, 4, 16);
+    cms.keyHash = KeyHashKind::Mix;
+    cms.exactCounters = false;
+    cms.components[1] = {PolicyType::CmsLfu, false};
+    out.emplace_back("cmslfu", cms);
+
+    KvConfig adm = cacheConfig(SelectorMode::Adaptive);
+    adm.components[0] = {PolicyType::LRU, true};
+    adm.components[1] = {PolicyType::LRU, false};
+    out.emplace_back("adm", adm);
+    return out;
+}
+
 std::vector<std::pair<std::string, KeyStreamSpec>>
 streams()
 {
@@ -78,9 +103,7 @@ streams()
 int
 main()
 {
-    const SelectorMode modes[] = {SelectorMode::Adaptive,
-                                  SelectorMode::FixedLru,
-                                  SelectorMode::FixedLfu};
+    const auto configs = variants();
 
     ReportGrid grid;
     grid.experiment = "kv_workloads";
@@ -90,22 +113,23 @@ main()
     grid.addMeta("capacity", std::to_string(kCapacity));
 
     for (const auto &[name, spec] : streams()) {
-        double rate[3] = {};
-        for (int m = 0; m < 3; ++m) {
-            AdaptiveKvCache cache(cacheConfig(modes[m]));
+        std::vector<double> rate(configs.size());
+        for (std::size_t m = 0; m < configs.size(); ++m) {
+            AdaptiveKvCache cache(configs[m].second);
             KeyStream stream(spec);
             for (std::uint64_t i = 0; i < kOps; ++i)
                 cache.fetch(stream.next(),
                             [] { return std::string("v"); });
-            ReportRow &row =
-                grid.add(name, selectorModeName(modes[m]));
+            ReportRow &row = grid.add(name, configs[m].first);
             row.stats.text("stream", spec.describe());
             cache.registerStats(row.stats, "kv.");
             rate[m] = row.stats.numeric("kv.hit_rate");
         }
         if (reportFormat() == ReportFormat::Table)
-            std::printf("[%-11s] adaptive %.4f  lru %.4f  lfu %.4f\n",
-                        name.c_str(), rate[0], rate[1], rate[2]);
+            std::printf("[%-11s] adaptive %.4f  lru %.4f  lfu %.4f"
+                        "  cmslfu %.4f  adm %.4f\n",
+                        name.c_str(), rate[0], rate[1], rate[2],
+                        rate[3], rate[4]);
     }
 
     if (reportFormat() != ReportFormat::Table)

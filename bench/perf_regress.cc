@@ -186,6 +186,21 @@ runMatrix(std::size_t accesses, unsigned reps)
             s.addrs.size()));
     }
     {
+        // The sketch-backed adaptive path: CMS-LFU eviction plus a
+        // TinyLFU admission filter — every new src/adapt hot-path
+        // component (sketch probes, decay, admission verdicts) in one
+        // organisation.
+        AdaptiveConfig conf =
+            AdaptiveConfig::dual(PolicyType::LRU, PolicyType::CmsLfu);
+        conf.admission = {0, 1};
+        AdaptiveCache cache(conf);
+        out.push_back(record(
+            "adaptive-sketch",
+            bestOf(reps, s,
+                   [&](Addr a, bool w) { cache.access(a, w); }),
+            s.addrs.size()));
+    }
+    {
         SbarConfig conf;
         conf.partialTagBits = 8;
         SbarCache cache(conf);

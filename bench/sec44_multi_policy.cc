@@ -14,15 +14,27 @@ using namespace adcache;
 int
 main()
 {
+    // Sketch-based rows ride the same matrix: CMS-LFU replaces the
+    // exact-LFU component, and TinyLFU admission gates the fills of
+    // the LFU component of the headline dual.
+    AdaptiveConfig cms = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::CmsLfu, 512 * 1024, 8);
+    AdaptiveConfig admit = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::LFU, 512 * 1024, 8);
+    admit.admission = {0, 1};
+
     bench::Experiment e;
     e.title = "Sec. 4.4 - five-policy adaptivity";
     e.benchmarks = primaryBenchmarks();
     e.variants = {
         L2Spec::fromAdaptive(AdaptiveConfig::fivePolicy()),
         L2Spec::adaptiveLruLfu(),
+        L2Spec::fromAdaptive(cms),
+        L2Spec::fromAdaptive(admit),
         L2Spec::lru(),
     };
-    e.variantNames = {"Adapt5", "Adapt2", "LRU"};
+    e.variantNames = {"Adapt5", "Adapt2", "Adapt2cms", "Adapt2adm",
+                      "LRU"};
     e.timed = true;
     e.metrics = {{"CPI", metricCpi, 3}};
     const auto rows = bench::runAndReport(e);
@@ -31,9 +43,9 @@ main()
 
     const auto cpi = averageOf(rows, metricCpi);
     const auto mpki = averageOf(rows, metricL2Mpki);
-    std::printf("\navg MPKI: five-policy %.2f, LRU+LFU %.2f, LRU "
-                "%.2f\n",
-                mpki[0], mpki[1], mpki[2]);
+    std::printf("\navg MPKI: five-policy %.2f, LRU+LFU %.2f, "
+                "LRU+CMS-LFU %.2f, LRU+LFU/adm %.2f, LRU %.2f\n",
+                mpki[0], mpki[1], mpki[2], mpki[3], mpki[4]);
     bench::paperVsMeasured(
         "five-policy vs LRU+LFU cumulative CPI delta", "~0%",
         percentDelta(cpi[1], cpi[0]), "%");

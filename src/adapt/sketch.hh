@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Frequency sketches for the adaptive engine's approximate-LFU
+ * component and TinyLFU admission filter (ROADMAP item 2; cf.
+ * "Analyzing Adaptive Cache Replacement Strategies" and AWRP in
+ * PAPERS.md).
+ *
+ * A Count-Min sketch estimates per-key reference frequency in O(1)
+ * memory: `rows` hash rows of `width` saturating counters; add()
+ * increments one counter per row, estimate() takes the row minimum
+ * (an over-approximation — collisions only inflate). Every
+ * `decayEvery` adds all counters are halved (`decay_half`), so stale
+ * popularity ages out and the sketch tracks the *recent* frequency
+ * distribution — the property both CMS-LFU eviction and TinyLFU
+ * admission depend on under phase changes.
+ *
+ * The row hash and parameter derivation below are the spec shared
+ * with the oracle models in src/oracle/ref_sketch.hh: both sides
+ * call sketchRowHash()/SketchParams::forGeometry() so production and
+ * reference sketches index the same cells in the same order and stay
+ * bit-identical under lockstep.
+ */
+
+#ifndef ADCACHE_ADAPT_SKETCH_HH
+#define ADCACHE_ADAPT_SKETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace adcache::adapt
+{
+
+/**
+ * Row hash of the sketch spec: splitmix64 finalizer over the key,
+ * offset per row so rows are independent. Deterministic and
+ * seed-stable across platforms.
+ */
+constexpr std::uint64_t
+sketchRowHash(std::uint64_t key, unsigned row, std::uint64_t seed)
+{
+    std::uint64_t z =
+        key + seed + (std::uint64_t(row) + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Sketch key of one resident entry: the set/bucket index composed
+ * into the (folded) tag so equal tags in different sets count as
+ * distinct keys. Part of the shared spec.
+ */
+constexpr std::uint64_t
+sketchEntryKey(std::uint64_t tag, unsigned set, unsigned set_bits)
+{
+    return (tag << set_bits) | set;
+}
+
+/** Geometry-derived sketch dimensions (the shared spec). */
+struct SketchParams {
+    unsigned width = 1024;  ///< counters per row; power of two
+    unsigned rows = 4;
+    std::uint8_t counterMax = 15; ///< saturation ceiling per counter
+    std::uint64_t decayEvery = 16 * 1024; ///< adds between decay_half
+    std::uint64_t seed = 0x51e7c4a11dULL;
+
+    /**
+     * Standard sizing for a structure of @p num_sets x @p assoc
+     * entries: width = next power of two >= 4x the entry count,
+     * clamped to [64, 4096]; one decay_half per 16*width adds. Small
+     * geometries (the lockstep shapes) decay every few thousand
+     * accesses, so fuzz runs cross several decay windows.
+     */
+    static SketchParams forGeometry(unsigned num_sets, unsigned assoc);
+};
+
+/** Count-Min sketch with saturating counters and periodic decay. */
+class CountMinSketch
+{
+  public:
+    explicit CountMinSketch(const SketchParams &params);
+
+    /** Count one reference to @p key; may trigger decay_half. */
+    void
+    add(std::uint64_t key)
+    {
+        for (unsigned r = 0; r < params_.rows; ++r) {
+            std::uint8_t &cell = cells_[cellIndex(key, r)];
+            if (cell < params_.counterMax)
+                ++cell;
+        }
+        if (++adds_ % params_.decayEvery == 0)
+            decayHalf();
+    }
+
+    /** Frequency estimate: minimum over the key's row counters. */
+    std::uint32_t
+    estimate(std::uint64_t key) const
+    {
+        std::uint32_t est = params_.counterMax;
+        for (unsigned r = 0; r < params_.rows; ++r) {
+            const std::uint32_t cell = cells_[cellIndex(key, r)];
+            if (cell < est)
+                est = cell;
+        }
+        return est;
+    }
+
+    /** Halve every counter (aging). Public for tests. */
+    void decayHalf();
+
+    const SketchParams &params() const { return params_; }
+    std::uint64_t adds() const { return adds_; }
+    std::uint64_t decays() const { return decays_; }
+
+  private:
+    std::size_t
+    cellIndex(std::uint64_t key, unsigned row) const
+    {
+        return std::size_t(row) * params_.width +
+               (sketchRowHash(key, row, params_.seed) &
+                (params_.width - 1));
+    }
+
+    SketchParams params_;
+    std::vector<std::uint8_t> cells_; ///< rows x width, row-major
+    std::uint64_t adds_ = 0;
+    std::uint64_t decays_ = 0;
+};
+
+/**
+ * TinyLFU admission filter: a frequency doorkeeper in front of a
+ * cache. Every candidate key is touch()ed on access; on a full-set
+ * miss the owner asks admit(candidate, victim) and *bypasses* the
+ * fill when the candidate's estimated frequency does not strictly
+ * exceed the victim's — the incumbent keeps its slot on ties, so a
+ * scan cannot displace an established working set.
+ */
+class TinyLfuAdmission
+{
+  public:
+    explicit TinyLfuAdmission(const SketchParams &params)
+        : sketch_(params)
+    {
+    }
+
+    /** Record one reference to @p key (call once per access). */
+    void touch(std::uint64_t key) { sketch_.add(key); }
+
+    /** True iff @p candidate should displace @p victim. */
+    bool
+    admit(std::uint64_t candidate, std::uint64_t victim) const
+    {
+        return sketch_.estimate(candidate) > sketch_.estimate(victim);
+    }
+
+    const CountMinSketch &sketch() const { return sketch_; }
+
+  private:
+    CountMinSketch sketch_;
+};
+
+} // namespace adcache::adapt
+
+#endif // ADCACHE_ADAPT_SKETCH_HH

@@ -318,6 +318,10 @@ makePolicy(PolicyType type, unsigned assoc, Rng *rng)
         return std::make_unique<TreePlruPolicy>(assoc);
       case PolicyType::SRRIP:
         return std::make_unique<SrripPolicy>(assoc);
+      case PolicyType::CmsLfu:
+        // The sketch is shared across sets; there is no per-set
+        // virtual form. Use PolicySet (cache/policy_sets.hh).
+        panic("CmsLfu has no per-set virtual policy");
     }
     panic("unknown policy type %d", int(type));
 }

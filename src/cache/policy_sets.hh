@@ -22,6 +22,7 @@
 #include <variant>
 #include <vector>
 
+#include "adapt/sketch.hh"
 #include "cache/replacement.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -664,6 +665,156 @@ class SrripSets
 };
 
 /**
+ * Approximate LFU over a shared Count-Min sketch (ROADMAP item 2).
+ * Unlike LfuSets' per-way 5-bit counters, the frequency state is one
+ * per-cache sketch: O(1) memory in the number of entries, with
+ * periodic decay_half aging so popularity estimates track the recent
+ * phase. Victim is the way whose stored key has the smallest
+ * estimate, tie-broken by oldest fill, then lowest way.
+ *
+ * This policy is *key-aware*: it must see the (folded) tag of every
+ * reference, so owners call the *Tagged hooks via the policyOn*
+ * dispatch helpers below; the address-free hooks panic. Sketch keys
+ * compose the set index into the tag (adapt::sketchEntryKey) so
+ * same-tag blocks in different sets count separately.
+ */
+class CmsLfuSets
+{
+  public:
+    CmsLfuSets(unsigned num_sets, unsigned assoc, Rng *)
+        : assoc_(assoc),
+          setBits_(num_sets <= 1 ? 0 : floorLog2(num_sets)),
+          sketch_(adapt::SketchParams::forGeometry(num_sets, assoc)),
+          key_(std::size_t(num_sets) * assoc, 0),
+          fillStamp_(std::size_t(num_sets) * assoc, 0),
+          clock_(num_sets, 0)
+    {
+        adcache_assert(isPowerOfTwo(num_sets) || num_sets == 1);
+    }
+
+    void
+    onFillTagged(unsigned set, unsigned way, std::uint64_t tag)
+    {
+        const std::uint64_t k =
+            adapt::sketchEntryKey(tag, set, setBits_);
+        key_[index(set, way)] = k;
+        fillStamp_[index(set, way)] = ++clock_[set];
+        sketch_.add(k);
+    }
+
+    void
+    onHitTagged(unsigned set, unsigned way, std::uint64_t tag)
+    {
+        (void)way;
+        sketch_.add(adapt::sketchEntryKey(tag, set, setBits_));
+    }
+
+    /** Fused victim + fill: the victim scan runs strictly before the
+     *  candidate's sketch add (the add could inflate a colliding
+     *  resident key's estimate and change the choice). */
+    unsigned
+    evictFillTagged(unsigned set, std::uint64_t tag)
+    {
+        const unsigned way = peekVictim(set);
+        onFillTagged(set, way, tag);
+        return way;
+    }
+
+    void onFill(unsigned, unsigned)
+    {
+        panic("CmsLfu requires tagged calls (policyOnFill)");
+    }
+    void onHit(unsigned, unsigned)
+    {
+        panic("CmsLfu requires tagged calls (policyOnHit)");
+    }
+    unsigned evictFill(unsigned)
+    {
+        panic("CmsLfu requires tagged calls (policyEvictFill)");
+    }
+
+    void
+    onInvalidate(unsigned set, unsigned way)
+    {
+        key_[index(set, way)] = 0;
+        fillStamp_[index(set, way)] = 0;
+    }
+
+    unsigned victim(unsigned set) { return peekVictim(set); }
+
+    unsigned
+    peekVictim(unsigned set) const
+    {
+        const std::uint64_t *k = &key_[std::size_t(set) * assoc_];
+        const std::uint64_t *f = &fillStamp_[std::size_t(set) * assoc_];
+        unsigned best = 0;
+        std::uint32_t best_est = sketch_.estimate(k[0]);
+        for (unsigned w = 1; w < assoc_; ++w) {
+            const std::uint32_t est = sketch_.estimate(k[w]);
+            if (est < best_est ||
+                (est == best_est && f[w] < f[best])) {
+                best_est = est;
+                best = w;
+            }
+        }
+        return best;
+    }
+
+    const adapt::CountMinSketch &sketch() const { return sketch_; }
+
+  private:
+    std::size_t
+    index(unsigned set, unsigned way) const
+    {
+        return std::size_t(set) * assoc_ + way;
+    }
+
+    unsigned assoc_;
+    unsigned setBits_;
+    adapt::CountMinSketch sketch_;
+    std::vector<std::uint64_t> key_;       // stored sketch key per way
+    std::vector<std::uint64_t> fillStamp_; // tie-break: oldest fill
+    std::vector<std::uint64_t> clock_;
+};
+
+/*
+ * Key-aware dispatch: policies that track reference frequency by key
+ * (CmsLfuSets) implement the *Tagged hooks; address-free policies
+ * take the way-only form. Owners that have the tag at hand (Cache,
+ * ShadowCache, SbarCache) route every policy event through these so
+ * a key-aware policy can slot into any host.
+ */
+template <class P>
+inline void
+policyOnFill(P &p, unsigned set, unsigned way, std::uint64_t tag)
+{
+    if constexpr (requires { p.onFillTagged(set, way, tag); })
+        p.onFillTagged(set, way, tag);
+    else
+        p.onFill(set, way);
+}
+
+template <class P>
+inline void
+policyOnHit(P &p, unsigned set, unsigned way, std::uint64_t tag)
+{
+    if constexpr (requires { p.onHitTagged(set, way, tag); })
+        p.onHitTagged(set, way, tag);
+    else
+        p.onHit(set, way);
+}
+
+template <class P>
+inline unsigned
+policyEvictFill(P &p, unsigned set, std::uint64_t tag)
+{
+    if constexpr (requires { p.evictFillTagged(set, tag); })
+        return p.evictFillTagged(set, tag);
+    else
+        return p.evictFill(set);
+}
+
+/**
  * Variant over the concrete policy-set implementations. Hot paths
  * call visit() once per access and run a fully static body; the
  * plain member forwarders below are for cold/boundary code.
@@ -673,7 +824,8 @@ class PolicySet
   public:
     using Variant =
         std::variant<RecencySets<false>, RecencySets<true>, FifoSets,
-                     LfuSets, RandomSets, TreePlruSets, SrripSets>;
+                     LfuSets, RandomSets, TreePlruSets, SrripSets,
+                     CmsLfuSets>;
 
     PolicySet(PolicyType type, unsigned num_sets, unsigned assoc,
               Rng *rng)
@@ -693,7 +845,7 @@ class PolicySet
     decltype(auto)
     visit(F &&f)
     {
-        static_assert(std::variant_size_v<Variant> == 7,
+        static_assert(std::variant_size_v<Variant> == 8,
                       "update the visit() switches");
         switch (impl_.index()) {
           case 0: return f(*std::get_if<0>(&impl_));
@@ -703,6 +855,7 @@ class PolicySet
           case 4: return f(*std::get_if<4>(&impl_));
           case 5: return f(*std::get_if<5>(&impl_));
           case 6: return f(*std::get_if<6>(&impl_));
+          case 7: return f(*std::get_if<7>(&impl_));
         }
         panic("valueless policy variant");
     }
@@ -719,6 +872,7 @@ class PolicySet
           case 4: return f(*std::get_if<4>(&impl_));
           case 5: return f(*std::get_if<5>(&impl_));
           case 6: return f(*std::get_if<6>(&impl_));
+          case 7: return f(*std::get_if<7>(&impl_));
         }
         panic("valueless policy variant");
     }
@@ -789,6 +943,8 @@ class PolicySet
             return TreePlruSets(num_sets, assoc, rng);
           case PolicyType::SRRIP:
             return SrripSets(num_sets, assoc, rng);
+          case PolicyType::CmsLfu:
+            return CmsLfuSets(num_sets, assoc, rng);
         }
         panic("unknown policy type %d", int(type));
     }

@@ -29,6 +29,8 @@ parsePolicyType(const std::string &name)
         return PolicyType::TreePLRU;
     if (n == "srrip")
         return PolicyType::SRRIP;
+    if (n == "cmslfu" || n == "cms-lfu" || n == "cms")
+        return PolicyType::CmsLfu;
     fatal("unknown replacement policy '%s'", name.c_str());
 }
 
@@ -43,6 +45,7 @@ policyName(PolicyType type)
       case PolicyType::Random: return "Random";
       case PolicyType::TreePLRU: return "TreePLRU";
       case PolicyType::SRRIP: return "SRRIP";
+      case PolicyType::CmsLfu: return "CmsLfu";
     }
     return "?";
 }
@@ -65,6 +68,11 @@ policyMetaBits(PolicyType type, unsigned assoc)
         return 1;  // amortised: assoc-1 tree bits per set
       case PolicyType::SRRIP:
         return 2;
+      case PolicyType::CmsLfu:
+        // The frequency state is a per-cache sketch (O(1), not per
+        // entry); the per-entry cost is the fill stamp used for tie
+        // breaking, same as a FIFO ordering.
+        return assoc <= 1 ? 1 : floorLog2(assoc - 1) + 1;
     }
     return 0;
 }

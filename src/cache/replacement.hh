@@ -26,6 +26,7 @@ enum class PolicyType
     Random,   //!< uniform random victim
     TreePLRU, //!< tree pseudo-LRU (extension baseline)
     SRRIP,    //!< static RRIP (extension baseline, 2-bit RRPV)
+    CmsLfu,   //!< approximate LFU over a Count-Min sketch (O(1) memory)
 };
 
 /** Parse a policy name ("lru", "lfu", ...); fatal() on unknown names. */

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "adapt/imitation.hh"
 #include "obs/trace.hh"
 #include "util/stat_registry.hh"
 
@@ -26,18 +27,31 @@ AdaptiveConfig::fivePolicy(std::uint64_t size_bytes, unsigned assoc,
 AdaptiveCache::AdaptiveCache(const AdaptiveConfig &config)
     : config_(config), geom_(config.geometry()), map_(geom_),
       rng_(config.rngSeed), tags_(geom_.numSets, geom_.assoc),
-      history_(config.exactCounters,
-               config.historyDepth != 0 ? config.historyDepth
-                                        : geom_.assoc,
-               geom_.numSets, unsigned(config.policies.size()))
+      selector_(adapt::Selector::makeAdaptive(
+          geom_.numSets, unsigned(config.policies.size()),
+          config.exactCounters,
+          config.historyDepth != 0 ? config.historyDepth
+                                   : geom_.assoc))
 {
     adcache_assert(config.policies.size() >= 2 &&
                    config.policies.size() <= 32);
+    adcache_assert(config.admission.empty() ||
+                   config.admission.size() == config.policies.size());
+
+    if (config.anyAdmission())
+        admission_ = std::make_unique<adapt::TinyLfuAdmission>(
+            adapt::SketchParams::forGeometry(geom_.numSets,
+                                             geom_.assoc));
 
     shadows_.reserve(config.policies.size());
-    for (PolicyType p : config.policies)
-        shadows_.emplace_back(geom_, p, config.partialTagBits,
-                              config.xorFoldTags, &rng_);
+    for (std::size_t k = 0; k < config.policies.size(); ++k) {
+        const bool admit =
+            k < config.admission.size() && config.admission[k];
+        shadows_.emplace_back(geom_, config.policies[k],
+                              config.partialTagBits,
+                              config.xorFoldTags, &rng_,
+                              admit ? admission_.get() : nullptr);
+    }
 
     const auto num_policies = unsigned(config.policies.size());
     decisions_.assign(std::size_t(geom_.numSets) * num_policies, 0);
@@ -80,49 +94,6 @@ AdaptiveCache::clearDecisions()
         c = 0;
 }
 
-unsigned
-AdaptiveCache::chooseVictimWay(unsigned set, unsigned winner,
-                               const ShadowOutcome &winner_outcome,
-                               obs::EvictCase &case_out)
-{
-    const ShadowCache &shadow = shadows_[winner];
-    const std::uint64_t valid = tags_.validMask(set);
-
-    // Case 1: the imitated component also missed and displaced a
-    // block; if that block is resident here, evict the same block.
-    if (winner_outcome.evicted) {
-        for (std::uint64_t m = valid; m != 0; m &= m - 1) {
-            const unsigned w = unsigned(std::countr_zero(m));
-            if (shadow.foldTag(tags_.tag(set, w)) ==
-                winner_outcome.evictedTag) {
-                case_out = obs::EvictCase::VictimMatch;
-                return w;
-            }
-        }
-    }
-
-    // Case 2: evict any resident block not present in the imitated
-    // component's shadow contents. With full tags such a block is
-    // guaranteed to exist whenever case 1 did not apply.
-    for (std::uint64_t m = valid; m != 0; m &= m - 1) {
-        const unsigned w = unsigned(std::countr_zero(m));
-        if (!shadow.containsTag(set,
-                                shadow.foldTag(tags_.tag(set, w)))) {
-            case_out = obs::EvictCase::ShadowAbsent;
-            return w;
-        }
-    }
-
-    // Case 3: partial-tag aliasing defeated both searches — pick an
-    // arbitrary block (Sec. 3.1). A per-set rotating pointer keeps
-    // the arbitrary choice from pinning a single way.
-    ++fallbacks_;
-    case_out = obs::EvictCase::AliasingFallback;
-    const unsigned w = fallbackPtr_[set];
-    fallbackPtr_[set] = (w + 1) % geom_.assoc;
-    return w;
-}
-
 AccessResult
 AdaptiveCache::access(Addr addr, bool is_write)
 {
@@ -132,6 +103,11 @@ AdaptiveCache::access(Addr addr, bool is_write)
     const unsigned set = map_.set(addr);
     const Addr tag = map_.tag(addr);
     const auto num_policies = unsigned(shadows_.size());
+
+    // The admission filter sees every candidate before any component
+    // simulation consults it (the oracle follows the same order).
+    if (admission_)
+        admission_->touch(shadows_[0].foldTag(tag));
 
     // Update every component simulation for this reference and build
     // the differentiating-miss mask (Sec. 2.3: "On every memory block
@@ -153,8 +129,7 @@ AdaptiveCache::access(Addr addr, bool is_write)
                                   ? ~std::uint32_t{0}
                                   : (1u << num_policies) - 1;
     if (miss_mask != 0) {
-        if (miss_mask != all)
-            history_.record(set, miss_mask);
+        selector_.record(set, miss_mask);
         if (obs::traceEnabled()) {
             if (miss_mask != all)
                 obs::emit(obs::diffMissEvent(stats_.accesses, set,
@@ -186,11 +161,28 @@ AdaptiveCache::access(Addr addr, bool is_write)
 
     unsigned fill_way = tags_.invalidWay(set);
     if (fill_way == TagArray::kNoWay) {
-        const unsigned winner = history_.best(set);
+        const unsigned winner = selector_.winner(set);
         ++decisions_[std::size_t(set) * num_policies + winner];
-        obs::EvictCase evict_case = obs::EvictCase::VictimMatch;
-        fill_way =
-            chooseVictimWay(set, winner, outcomes[winner], evict_case);
+
+        // Imitate the winner's admission verdict: when its shadow
+        // refused to fill, the real cache keeps its contents too.
+        // The decision is still counted — "bypass" was the winning
+        // component's replacement choice.
+        if (outcomes[winner].bypassed) {
+            ++bypasses_;
+            return result;
+        }
+
+        adapt::WaySetView<TagArray, ShadowCache> view(
+            tags_, shadows_[winner], set, geom_.assoc,
+            &fallbackPtr_[set]);
+        const auto choice = adapt::imitateVictim(
+            view, outcomes[winner].evicted,
+            outcomes[winner].evictedTag);
+        if (choice.kind == adapt::VictimCase::Fallback)
+            ++fallbacks_;
+        fill_way = choice.handle;
+        const obs::EvictCase evict_case = toEvictCase(choice.kind);
 
         if (obs::traceEnabled()) {
             const std::uint8_t last = lastWinner_[set];
@@ -230,6 +222,8 @@ AdaptiveCache::describe() const
         if (k)
             out << "+";
         out << policyName(config_.policies[k]);
+        if (k < config_.admission.size() && config_.admission[k])
+            out << "/adm";
     }
     out << "] (" << (geom_.sizeBytes() / 1024) << "KB, " << geom_.assoc
         << "-way, ";
@@ -255,6 +249,8 @@ AdaptiveCache::registerStats(StatRegistry &reg,
                     shadowMisses(k));
     }
     reg.counter(prefix + "fallback_evictions", fallbacks_);
+    if (admission_)
+        reg.counter(prefix + "admission_bypasses", bypasses_);
 }
 
 } // namespace adcache

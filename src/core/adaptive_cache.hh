@@ -27,10 +27,11 @@
 #include <span>
 #include <vector>
 
+#include "adapt/selector.hh"
+#include "adapt/sketch.hh"
 #include "cache/cache_model.hh"
 #include "cache/replacement.hh"
 #include "cache/tag_array.hh"
-#include "core/miss_history.hh"
 #include "core/shadow_cache.hh"
 #include "obs/event.hh"
 
@@ -60,7 +61,25 @@ struct AdaptiveConfig
     /** Use exact since-start counters (the theory variant). */
     bool exactCounters = false;
 
+    /**
+     * Per-component TinyLFU admission flags (parallel to policies;
+     * empty = admission off everywhere). A flagged component's shadow
+     * bypasses full-set fills the filter refuses, and the real cache
+     * imitates the bypass when that component wins — adaptivity over
+     * *admission*, not just eviction.
+     */
+    std::vector<std::uint8_t> admission;
+
     std::uint64_t rngSeed = 1;
+
+    bool
+    anyAdmission() const
+    {
+        for (std::uint8_t f : admission)
+            if (f)
+                return true;
+        return false;
+    }
 
     CacheGeometry
     geometry() const
@@ -124,20 +143,23 @@ class AdaptiveCache : public CacheModel
     /** Times the partial-tag fallback ("arbitrary victim") fired. */
     std::uint64_t fallbackEvictions() const { return fallbacks_; }
 
+    /** Full-set misses left unfilled because the winning component's
+     *  admission filter refused the candidate. */
+    std::uint64_t admissionBypasses() const { return bypasses_; }
+
     const AdaptiveConfig &config() const { return config_; }
 
   private:
-    unsigned chooseVictimWay(unsigned set, unsigned winner,
-                             const ShadowOutcome &winner_outcome,
-                             obs::EvictCase &case_out);
-
     AdaptiveConfig config_;
     CacheGeometry geom_;
     AddrMap map_;
     Rng rng_;
     TagArray tags_;
+    /** Shared TinyLFU filter of the admission-flagged components;
+     *  declared before shadows_, which hold pointers into it. */
+    std::unique_ptr<adapt::TinyLfuAdmission> admission_;
     std::vector<ShadowCache> shadows_;
-    HistorySet history_;
+    adapt::Selector selector_;
     std::vector<std::uint64_t> decisions_;  // [set * k + k], flat
     std::vector<unsigned> fallbackPtr_;                  // per set
     std::vector<ShadowOutcome> outcomeScratch_;  // per-access reuse
@@ -146,6 +168,7 @@ class AdaptiveCache : public CacheModel
     std::vector<std::uint8_t> lastWinner_;
     CacheStats stats_;
     std::uint64_t fallbacks_ = 0;
+    std::uint64_t bypasses_ = 0;
 };
 
 } // namespace adcache

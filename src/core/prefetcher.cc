@@ -133,7 +133,8 @@ StridePrefetcher::describe() const
 AdaptiveHybridPrefetcher::AdaptiveHybridPrefetcher(unsigned line_size,
                                                    unsigned window_depth,
                                                    unsigned tracker_size)
-    : uselessness_(window_depth, 2), trackerSize_(tracker_size)
+    : uselessness_(false, window_depth, 1, 2),
+      trackerSize_(tracker_size)
 {
     adcache_assert(tracker_size >= 1);
     components_[0] = std::make_unique<NextLinePrefetcher>(line_size, 2);
@@ -145,7 +146,7 @@ unsigned
 AdaptiveHybridPrefetcher::activeComponent() const
 {
     // Fewest recently-useless suggestions wins (ties: next-line).
-    return uselessness_.best(2);
+    return uselessness_.best(0);
 }
 
 const PrefetcherStats &
@@ -173,7 +174,7 @@ AdaptiveHybridPrefetcher::track(unsigned k, Addr block)
             ++stats_[k].useless;
             // Record a "useless" event against component k — the
             // prefetch analogue of a differentiating miss.
-            uselessness_.record(1u << k);
+            uselessness_.record(0, 1u << k);
         }
     }
     ring.push_back({block, false});

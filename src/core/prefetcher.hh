@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "core/miss_history.hh"
+#include "adapt/history.hh"
 #include "util/types.hh"
 
 namespace adcache
@@ -168,7 +168,9 @@ class AdaptiveHybridPrefetcher : public Prefetcher
     std::unique_ptr<Prefetcher> components_[2];
     std::deque<Tracked> outstanding_[2];
     PrefetcherStats stats_[2];
-    WindowHistory uselessness_;
+    /** Single-domain window history of recently-useless suggestions
+     *  per component (the prefetch analogue of a miss history). */
+    adapt::HistorySet uselessness_;
     unsigned trackerSize_;
     std::vector<Addr> scratch_;
 };

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "adapt/imitation.hh"
 #include "obs/trace.hh"
 #include "util/stat_registry.hh"
 
@@ -21,11 +22,11 @@ SbarCache::SbarCache(const SbarConfig &config)
                config.xorFoldTags, &rng_),
       shadowB_(geom_, config.policyB, config.partialTagBits,
                config.xorFoldTags, &rng_),
-      leaderHistory_(false,
-                     config.historyDepth != 0 ? config.historyDepth
-                                              : geom_.assoc,
-                     config.numLeaders, 2),
-      psel_(config.pselBits, (1u << config.pselBits) / 2)
+      leaderSelector_(adapt::Selector::makeAdaptive(
+          config.numLeaders, 2, false,
+          config.historyDepth != 0 ? config.historyDepth
+                                   : geom_.assoc)),
+      psel_(config.pselBits)
 {
     adcache_assert(config.numLeaders >= 1 &&
                    config.numLeaders <= geom_.numSets);
@@ -60,39 +61,7 @@ SbarCache::globalChoice() const
 {
     // High half of the counter range means "A has been missing more;
     // prefer B".
-    return psel_.high() ? 1 : 0;
-}
-
-unsigned
-SbarCache::leaderVictim(unsigned set, unsigned winner,
-                        const ShadowOutcome &winner_outcome,
-                        obs::EvictCase &case_out)
-{
-    const ShadowCache &shadow = winner == 0 ? shadowA_ : shadowB_;
-    const std::uint64_t valid = tags_.validMask(set);
-
-    if (winner_outcome.evicted) {
-        for (std::uint64_t m = valid; m != 0; m &= m - 1) {
-            const unsigned w = unsigned(std::countr_zero(m));
-            if (shadow.foldTag(tags_.tag(set, w)) ==
-                winner_outcome.evictedTag) {
-                case_out = obs::EvictCase::VictimMatch;
-                return w;
-            }
-        }
-    }
-    for (std::uint64_t m = valid; m != 0; m &= m - 1) {
-        const unsigned w = unsigned(std::countr_zero(m));
-        if (!shadow.containsTag(set,
-                                shadow.foldTag(tags_.tag(set, w)))) {
-            case_out = obs::EvictCase::ShadowAbsent;
-            return w;
-        }
-    }
-    case_out = obs::EvictCase::AliasingFallback;
-    const unsigned w = fallbackPtr_[set];
-    fallbackPtr_[set] = (w + 1) % geom_.assoc;
-    return w;
+    return psel_.choice();
 }
 
 template <class PolicyA, class PolicyB>
@@ -112,19 +81,14 @@ SbarCache::accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
         out_a = shadowA_.access(addr);
         out_b = shadowB_.access(addr);
         if (out_a.miss != out_b.miss) {
-            leaderHistory_.record(unsigned(ordinal),
-                                  out_a.miss ? 0b01 : 0b10);
-            const unsigned before = globalChoice();
-            if (out_a.miss)
-                psel_.increment();  // A missing -> drift toward B
-            else
-                psel_.decrement();
-            if (globalChoice() != before) {
-                ++flips_;
+            leaderSelector_.record(unsigned(ordinal),
+                                   out_a.miss ? 0b01 : 0b10);
+            // A missing drifts the counter toward B and vice versa.
+            if (psel_.record(out_a.miss)) {
                 if (obs::traceEnabled())
                     obs::emit(obs::sbarPselEvent(
-                        stats_.accesses, psel_.value(), before,
-                        globalChoice()));
+                        stats_.accesses, psel_.value(),
+                        psel_.choice() ^ 1u, psel_.choice()));
             }
             if (obs::traceEnabled())
                 obs::emit(obs::diffMissEvent(
@@ -143,8 +107,8 @@ SbarCache::accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
     const unsigned way = tags_.lookup(set, tag);
     if (way != TagArray::kNoWay) {
         ++stats_.hits;
-        pa.onHit(set, way);
-        pb.onHit(set, way);
+        policyOnHit(pa, set, way, tag);
+        policyOnHit(pb, set, way, tag);
         if (is_write)
             tags_.markDirty(set, way);
         result.hit = true;
@@ -161,14 +125,18 @@ SbarCache::accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
     if (fill_way == TagArray::kNoWay) {
         unsigned winner;
         if (ordinal >= 0) {
-            winner = leaderHistory_.best(unsigned(ordinal));
-            obs::EvictCase evict_case = obs::EvictCase::VictimMatch;
-            fill_way = leaderVictim(set, winner,
-                                    winner == 0 ? out_a : out_b,
-                                    evict_case);
+            winner = leaderSelector_.winner(unsigned(ordinal));
+            const ShadowOutcome &wo = winner == 0 ? out_a : out_b;
+            adapt::WaySetView<TagArray, ShadowCache> view(
+                tags_, winner == 0 ? shadowA_ : shadowB_, set,
+                geom_.assoc, &fallbackPtr_[set]);
+            const auto choice =
+                adapt::imitateVictim(view, wo.evicted, wo.evictedTag);
+            fill_way = choice.handle;
             if (obs::traceEnabled())
                 obs::emit(obs::evictionEvent(
-                    stats_.accesses, set, winner, evict_case,
+                    stats_.accesses, set, winner,
+                    toEvictCase(choice.kind),
                     tags_.tag(set, fill_way)));
         } else {
             winner = globalChoice();
@@ -189,8 +157,8 @@ SbarCache::accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
     }
 
     tags_.fill(set, fill_way, tag);
-    pa.onFill(set, fill_way);
-    pb.onFill(set, fill_way);
+    policyOnFill(pa, set, fill_way, tag);
+    policyOnFill(pb, set, fill_way, tag);
     if (is_write)
         tags_.markDirty(set, fill_way);
     return result;
@@ -227,7 +195,7 @@ SbarCache::registerStats(StatRegistry &reg,
                          const std::string &prefix) const
 {
     stats_.registerInto(reg, prefix);
-    reg.counter(prefix + "selection_flips", flips_);
+    reg.counter(prefix + "selection_flips", psel_.flips());
     reg.counter(prefix + "global_choice", globalChoice());
 }
 

@@ -23,13 +23,12 @@
 #include <memory>
 #include <vector>
 
+#include "adapt/selector.hh"
 #include "cache/cache_model.hh"
 #include "cache/policy_sets.hh"
 #include "cache/replacement.hh"
 #include "cache/tag_array.hh"
-#include "core/miss_history.hh"
 #include "core/shadow_cache.hh"
-#include "util/sat_counter.hh"
 
 namespace adcache
 {
@@ -83,15 +82,11 @@ class SbarCache : public CacheModel
     unsigned globalChoice() const;
 
     /** Times the global selection changed sides. */
-    std::uint64_t selectionFlips() const { return flips_; }
+    std::uint64_t selectionFlips() const { return psel_.flips(); }
 
     const SbarConfig &config() const { return config_; }
 
   private:
-    unsigned leaderVictim(unsigned set, unsigned winner,
-                          const ShadowOutcome &winner_outcome,
-                          obs::EvictCase &case_out);
-
     template <class PolicyA, class PolicyB>
     AccessResult accessImpl(PolicyA &pa, PolicyB &pb, Addr addr,
                             bool is_write);
@@ -108,13 +103,12 @@ class SbarCache : public CacheModel
     // Leader-only structures, indexed by leader ordinal.
     ShadowCache shadowA_;
     ShadowCache shadowB_;
-    HistorySet leaderHistory_;        // indexed by leader ordinal
+    adapt::Selector leaderSelector_;  // domains = leader ordinals
     std::vector<int> leaderOrdinal_;  // -1 for followers
     unsigned leaderSpacing_;
-    SatCounter psel_;
+    adapt::PselSelector psel_;
     std::vector<unsigned> fallbackPtr_;
     CacheStats stats_;
-    std::uint64_t flips_ = 0;
 };
 
 } // namespace adcache

@@ -4,11 +4,13 @@ namespace adcache
 {
 
 ShadowCache::ShadowCache(const CacheGeometry &geom, PolicyType policy,
-                         unsigned partial_bits, bool xor_fold, Rng *rng)
+                         unsigned partial_bits, bool xor_fold, Rng *rng,
+                         const adapt::TinyLfuAdmission *admission)
     : geom_(geom), map_(geom), policyType_(policy),
       partialBits_(partial_bits), xorFold_(xor_fold),
       tags_(geom.numSets, geom.assoc, partial_bits),
-      policies_(policy, geom.numSets, geom.assoc, rng)
+      policies_(policy, geom.numSets, geom.assoc, rng),
+      admission_(admission)
 {
     adcache_assert(partial_bits <= geom.tagBits());
 }

@@ -9,6 +9,8 @@
 #ifndef ADCACHE_CORE_SHADOW_CACHE_HH
 #define ADCACHE_CORE_SHADOW_CACHE_HH
 
+#include "adapt/imitation.hh"
+#include "adapt/sketch.hh"
 #include "cache/cache_model.hh"
 #include "cache/policy_sets.hh"
 #include "cache/replacement.hh"
@@ -19,6 +21,20 @@
 namespace adcache
 {
 
+/** Map an engine victim case onto the obs trace encoding. */
+inline obs::EvictCase
+toEvictCase(adapt::VictimCase c)
+{
+    switch (c) {
+      case adapt::VictimCase::VictimMatch:
+        return obs::EvictCase::VictimMatch;
+      case adapt::VictimCase::ShadowAbsent:
+        return obs::EvictCase::ShadowAbsent;
+      default:
+        return obs::EvictCase::AliasingFallback;
+    }
+}
+
 /** Result of presenting one reference to a shadow cache. */
 struct ShadowOutcome
 {
@@ -27,6 +43,8 @@ struct ShadowOutcome
     bool evicted = false;
     /** Stored tag of the displaced block, in this shadow's domain. */
     Addr evictedTag = 0;
+    /** Full-set miss the admission filter refused to fill. */
+    bool bypassed = false;
 };
 
 /**
@@ -47,9 +65,15 @@ class ShadowCache
      * @param xor_fold    fold via XOR of tag groups instead of
      *                    keeping the low-order bits.
      * @param rng         shared generator for stochastic policies.
+     * @param admission   optional TinyLFU admission filter; on a
+     *                    full-set miss the fill is bypassed when the
+     *                    filter refuses the candidate (the outcome
+     *                    reports bypassed). Not owned; the owner
+     *                    touch()es it once per reference.
      */
     ShadowCache(const CacheGeometry &geom, PolicyType policy,
-                unsigned partial_bits, bool xor_fold, Rng *rng);
+                unsigned partial_bits, bool xor_fold, Rng *rng,
+                const adapt::TinyLfuAdmission *admission = nullptr);
 
     /** Simulate the component policy for one reference. */
     ShadowOutcome
@@ -119,7 +143,7 @@ class ShadowCache
             // With partial tags this may be a false-positive match
             // for a different block; the component simulation simply
             // proceeds as if it were a hit (Sec. 3.1).
-            policy.onHit(set, way);
+            policyOnHit(policy, set, way, tag);
             return out;
         }
 
@@ -128,11 +152,18 @@ class ShadowCache
 
         unsigned fill_way = tags_.invalidWay(set);
         if (fill_way == TagArray::kNoWay) {
-            fill_way = policy.evictFill(set);
+            if (admission_ != nullptr) {
+                const unsigned vw = policy.peekVictim(set);
+                if (!admission_->admit(tag, tags_.tag(set, vw))) {
+                    out.bypassed = true;
+                    return out;
+                }
+            }
+            fill_way = policyEvictFill(policy, set, tag);
             out.evicted = true;
             out.evictedTag = tags_.tag(set, fill_way);
         } else {
-            policy.onFill(set, fill_way);
+            policyOnFill(policy, set, fill_way, tag);
         }
         tags_.fill(set, fill_way, tag);
         return out;
@@ -145,6 +176,7 @@ class ShadowCache
     bool xorFold_;
     TagArray tags_;
     PolicySet policies_;
+    const adapt::TinyLfuAdmission *admission_;
     std::uint64_t misses_ = 0;
     std::uint64_t accesses_ = 0;
 };

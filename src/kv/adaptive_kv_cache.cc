@@ -210,15 +210,17 @@ AdaptiveKvCache::registerStats(StatRegistry &reg,
                 total.fallbackEvictions);
     reg.counter(prefix + "rejected_puts", total.rejected);
     reg.counter(prefix + "erases", total.erases);
-    reg.counter(prefix + "decisions.lru",
-                total.decisions[kvComponentLru]);
-    reg.counter(prefix + "decisions.lfu",
-                total.decisions[kvComponentLfu]);
-    reg.counter(prefix + "shadow.lru.misses",
-                shadow_misses[kvComponentLru]);
-    reg.counter(prefix + "shadow.lfu.misses",
-                shadow_misses[kvComponentLfu]);
+    for (unsigned k = 0; k < kvNumComponents; ++k) {
+        const std::string name =
+            kvComponentName(config_.components[k]);
+        reg.counter(prefix + "decisions." + name,
+                    total.decisions[k]);
+        reg.counter(prefix + "shadow." + name + ".misses",
+                    shadow_misses[k]);
+    }
     reg.counter(prefix + "selection_flips", flips);
+    if (config_.anyAdmission())
+        reg.counter(prefix + "admit_rejects", total.admitRejects);
     reg.counter(prefix + "size", size);
     reg.counter(prefix + "pinned", pinned);
     reg.counter(prefix + "capacity", capacity());
@@ -229,8 +231,11 @@ std::string
 AdaptiveKvCache::describe() const
 {
     std::ostringstream out;
-    out << "AdaptiveKV[" << selectorModeName(config_.selector)
-        << "] (" << capacity() << " entries, " << config_.numShards
+    out << "AdaptiveKV[" << selectorModeName(config_.selector);
+    if (config_.selector == SelectorMode::Adaptive)
+        out << ": " << kvComponentName(config_.components[0]) << "+"
+            << kvComponentName(config_.components[1]);
+    out << "] (" << capacity() << " entries, " << config_.numShards
         << " shards x " << config_.numBuckets << " buckets";
     if (config_.scope == EvictionScope::Bucket) {
         out << ", bucket scope x" << config_.bucketWays;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/shadow_cache.hh"
 #include "obs/trace.hh"
 #include "util/stat_registry.hh"
 
@@ -22,6 +23,7 @@ KvShardStats::add(const KvShardStats &o)
     directedEvictions += o.directedEvictions;
     fallbackEvictions += o.fallbackEvictions;
     rejected += o.rejected;
+    admitRejects += o.admitRejects;
     erases += o.erases;
     for (unsigned k = 0; k < kvNumComponents; ++k)
         decisions[k] += o.decisions[k];
@@ -56,15 +58,185 @@ KvShardConfig::fromCache(const KvConfig &config, unsigned shard_index)
     c.exactCounters = config.exactCounters;
     c.scope = config.scope;
     c.selector = config.selector;
+    for (unsigned k = 0; k < kvNumComponents; ++k)
+        c.components[k] = config.components[k];
     c.hashShift = floorLog2(config.numShards);
     c.shardIndex = shard_index;
     c.rngSeed = config.rngSeed ^ mixKey(shard_index + 1);
     return c;
 }
 
+namespace
+{
+
+adapt::Selector
+makeShardSelector(const KvShardConfig &config)
+{
+    const unsigned domains =
+        config.scope == EvictionScope::Bucket ? config.numBuckets : 1;
+    if (config.selector == SelectorMode::Adaptive)
+        return adapt::Selector::makeAdaptive(domains, kvNumComponents,
+                                             config.exactCounters,
+                                             config.historyDepth);
+    return adapt::Selector::makeFixed(
+        domains, kvNumComponents,
+        config.selector == SelectorMode::FixedLru ? kvComponentLru
+                                                  : kvComponentLfu);
+}
+
+bool
+anyShardAdmission(const KvShardConfig &config)
+{
+    for (unsigned k = 0; k < kvNumComponents; ++k)
+        if (config.components[k].admission)
+            return true;
+    return false;
+}
+
+} // namespace
+
+/**
+ * Bucket-scope view: the slot array of one bucket against the
+ * winner's shadow directory — the kv twin of the sim layer's
+ * WaySetView, with pinned entries invisible in every case.
+ */
+class KvShard::BucketScopeView
+{
+  public:
+    using Handle = unsigned;
+    static constexpr Handle kNone = ~0u;
+
+    BucketScopeView(KvShard &shard, unsigned bucket,
+                    const KvShadowDir &shadow)
+        : shard_(shard), bucket_(bucket), shadow_(shadow),
+          ways_(shard.slots_[bucket]), n_(shard.config_.bucketWays)
+    {
+    }
+
+    Handle
+    findDisplacedMatch(std::uint64_t displaced_tag) const
+    {
+        for (unsigned w = 0; w < n_; ++w) {
+            const KvEntry *e = ways_[w];
+            if (e && !e->pinned &&
+                shadow_.foldTag(e->tag) == displaced_tag)
+                return w;
+        }
+        return kNone;
+    }
+
+    Handle
+    findOutsideWinner() const
+    {
+        for (unsigned w = 0; w < n_; ++w) {
+            const KvEntry *e = ways_[w];
+            if (e && !e->pinned &&
+                !shadow_.containsTag(bucket_,
+                                     shadow_.foldTag(e->tag)))
+                return w;
+        }
+        return kNone;
+    }
+
+    Handle
+    fallback() const
+    {
+        const unsigned start = shard_.fallbackPtr_[bucket_];
+        for (unsigned i = 0; i < n_; ++i) {
+            const unsigned w = (start + i) % n_;
+            const KvEntry *e = ways_[w];
+            if (e && !e->pinned) {
+                shard_.fallbackPtr_[bucket_] = (w + 1) % n_;
+                return w;
+            }
+        }
+        return kNone; // every entry pinned
+    }
+
+  private:
+    KvShard &shard_;
+    unsigned bucket_;
+    const KvShadowDir &shadow_;
+    const std::vector<KvEntry *> &ways_;
+    unsigned n_;
+};
+
+/**
+ * Shard-scope view: case 1 walks the referenced bucket's chain for
+ * the shadow-displaced tag, case 2 walks the winner component's own
+ * eviction order over the real contents (follower semantics,
+ * Sec. 4.7) at most bucketWays deep past pinned entries, case 3
+ * rotates over the buckets for an arbitrary unpinned entry.
+ */
+class KvShard::ShardScopeView
+{
+  public:
+    using Handle = KvEntry *;
+    static constexpr Handle kNone = nullptr;
+
+    ShardScopeView(KvShard &shard, unsigned bucket, unsigned winner)
+        : shard_(shard), bucket_(bucket), winner_(winner)
+    {
+    }
+
+    Handle
+    findDisplacedMatch(std::uint64_t displaced_tag) const
+    {
+        const KvShadowDir &shadow = *shard_.shadows_[winner_];
+        for (KvEntry *e = shard_.buckets_[bucket_].chain; e;
+             e = e->chainNext) {
+            if (!e->pinned &&
+                shadow.foldTag(e->tag) == displaced_tag)
+                return e;
+        }
+        return kNone;
+    }
+
+    Handle
+    findOutsideWinner() const
+    {
+        const bool use_lru =
+            shard_.config_.components[winner_].evict ==
+            PolicyType::LRU;
+        KvEntry *e = use_lru ? shard_.recency_.firstCandidate()
+                             : shard_.lfu_.firstCandidate();
+        for (unsigned i = 0; e && i < shard_.config_.bucketWays;
+             ++i) {
+            if (!e->pinned)
+                return e;
+            e = use_lru ? shard_.recency_.nextCandidate(e)
+                        : shard_.lfu_.nextCandidate(e);
+        }
+        return kNone;
+    }
+
+    Handle
+    fallback() const
+    {
+        const unsigned mask = shard_.config_.numBuckets - 1;
+        for (unsigned i = 0; i < shard_.config_.numBuckets; ++i) {
+            const unsigned b = (shard_.fallbackBucket_ + i) & mask;
+            for (KvEntry *c = shard_.buckets_[b].chain; c;
+                 c = c->chainNext) {
+                if (!c->pinned) {
+                    shard_.fallbackBucket_ = (b + 1) & mask;
+                    return c;
+                }
+            }
+        }
+        return kNone; // every entry pinned
+    }
+
+  private:
+    KvShard &shard_;
+    unsigned bucket_;
+    unsigned winner_;
+};
+
 KvShard::KvShard(const KvShardConfig &config)
     : config_(config), rng_(config.rngSeed),
-      bucketBits_(floorLog2(config.numBuckets))
+      bucketBits_(floorLog2(config.numBuckets)),
+      selector_(makeShardSelector(config))
 {
     adcache_assert(isPowerOfTwo(config_.numBuckets));
     adcache_assert(config_.bucketWays >= 1);
@@ -80,26 +252,23 @@ KvShard::KvShard(const KvShardConfig &config)
         fallbackPtr_.assign(config_.numBuckets, 0);
     }
 
+    if (anyShardAdmission(config_))
+        admission_ = std::make_unique<adapt::TinyLfuAdmission>(
+            adapt::SketchParams::forGeometry(config_.numBuckets,
+                                             config_.bucketWays));
+
     if (config_.selector == SelectorMode::Adaptive) {
         for (unsigned k = 0; k < kvNumComponents; ++k) {
             // Directories are sized for every bucket but only leader
             // buckets touch them (cf. SbarCache's leader shadows).
             shadows_[k] = std::make_unique<KvShadowDir>(
                 config_.numBuckets, config_.bucketWays,
-                k == kvComponentLru ? PolicyType::LRU
-                                    : PolicyType::LFU,
-                config_.shadowTagBits, config_.xorFoldTags, &rng_);
+                config_.components[k].evict, config_.shadowTagBits,
+                config_.xorFoldTags, &rng_,
+                config_.components[k].admission ? admission_.get()
+                                                : nullptr);
         }
     }
-
-    const unsigned domains =
-        config_.scope == EvictionScope::Bucket ? config_.numBuckets
-                                               : 1;
-    selectors_.reserve(domains);
-    for (unsigned d = 0; d < domains; ++d)
-        selectors_.emplace_back(config_.selector,
-                                config_.exactCounters,
-                                config_.historyDepth);
 }
 
 KvShard::~KvShard()
@@ -130,18 +299,11 @@ KvShard::tagOf(std::uint64_t h) const
     return h >> (config_.hashShift + bucketBits_);
 }
 
-KvSelector &
-KvShard::selectorFor(unsigned bucket)
+std::uint64_t
+KvShard::admitKey(std::uint64_t tag) const
 {
-    return selectors_[config_.scope == EvictionScope::Bucket ? bucket
-                                                             : 0];
-}
-
-const KvSelector &
-KvShard::selectorFor(unsigned bucket) const
-{
-    return selectors_[config_.scope == EvictionScope::Bucket ? bucket
-                                                             : 0];
+    return shadows_[0] ? std::uint64_t(shadows_[0]->foldTag(tag))
+                       : tag;
 }
 
 bool
@@ -184,106 +346,30 @@ KvShard::find(unsigned bucket, KvKey key, unsigned *way) const
 
 KvEntry *
 KvShard::bucketVictim(unsigned bucket, unsigned winner,
-                      const ShadowOutcome &winner_out, KvOutcome &out,
-                      unsigned *way_out, obs::EvictCase &case_out)
+                      const ShadowOutcome &winner_out,
+                      unsigned *way_out, adapt::VictimCase &case_out)
 {
-    // Algorithm 1 transcribed verbatim (cf. AdaptiveCache::
-    // chooseVictimWay), with pinned entries skipped in every case.
-    KvShadowDir &shadow = *shadows_[winner];
-    auto &ways = slots_[bucket];
-    const unsigned n = config_.bucketWays;
-
-    if (winner_out.evicted) {
-        for (unsigned w = 0; w < n; ++w) {
-            KvEntry *e = ways[w];
-            if (e && !e->pinned &&
-                shadow.foldTag(e->tag) == winner_out.evictedTag) {
-                case_out = obs::EvictCase::VictimMatch;
-                *way_out = w;
-                return e;
-            }
-        }
-    }
-
-    for (unsigned w = 0; w < n; ++w) {
-        KvEntry *e = ways[w];
-        if (e && !e->pinned &&
-            !shadow.containsTag(bucket, shadow.foldTag(e->tag))) {
-            case_out = obs::EvictCase::ShadowAbsent;
-            *way_out = w;
-            return e;
-        }
-    }
-
-    out.fallback = true;
-    case_out = obs::EvictCase::AliasingFallback;
-    ++stats_.fallbackEvictions;
-    const unsigned start = fallbackPtr_[bucket];
-    for (unsigned i = 0; i < n; ++i) {
-        const unsigned w = (start + i) % n;
-        KvEntry *e = ways[w];
-        if (e && !e->pinned) {
-            fallbackPtr_[bucket] = (w + 1) % n;
-            *way_out = w;
-            return e;
-        }
-    }
-    return nullptr; // every entry pinned
+    // Algorithm 1 (cf. AdaptiveCache), run by the shared engine.
+    BucketScopeView view(*this, bucket, *shadows_[winner]);
+    const auto choice = adapt::imitateVictim(
+        view, winner_out.evicted, winner_out.evictedTag);
+    case_out = choice.kind;
+    if (choice.handle == BucketScopeView::kNone)
+        return nullptr;
+    *way_out = choice.handle;
+    return slots_[bucket][choice.handle];
 }
 
 KvEntry *
 KvShard::shardVictim(unsigned bucket, bool leader, unsigned winner,
-                     const ShadowOutcome &winner_out, KvOutcome &out,
-                     obs::EvictCase &case_out)
+                     const ShadowOutcome &winner_out,
+                     adapt::VictimCase &case_out)
 {
-    // Case-1 analog: the winner's shadow displaced a tag on this very
-    // reference; if an unpinned entry of the bucket folds to it,
-    // imitate the displacement exactly.
-    if (leader && winner_out.evicted) {
-        KvShadowDir &shadow = *shadows_[winner];
-        for (KvEntry *e = buckets_[bucket].chain; e;
-             e = e->chainNext) {
-            if (!e->pinned &&
-                shadow.foldTag(e->tag) == winner_out.evictedTag) {
-                out.directed = true;
-                case_out = obs::EvictCase::VictimMatch;
-                ++stats_.directedEvictions;
-                return e;
-            }
-        }
-    }
-
-    // Case-2 analog: the winner component's own eviction order over
-    // the real contents (follower semantics, Sec. 4.7), walked at
-    // most bucketWays deep past pinned entries.
-    const bool use_lru = winner == kvComponentLru;
-    KvEntry *e = use_lru ? recency_.firstCandidate()
-                         : lfu_.firstCandidate();
-    for (unsigned i = 0; e && i < config_.bucketWays; ++i) {
-        if (!e->pinned) {
-            case_out = obs::EvictCase::ShadowAbsent;
-            return e;
-        }
-        e = use_lru ? recency_.nextCandidate(e)
-                    : lfu_.nextCandidate(e);
-    }
-
-    // Case-3 analog (the aliasing fallback of Sec. 3.1): rotate over
-    // the buckets for an arbitrary unpinned entry.
-    out.fallback = true;
-    case_out = obs::EvictCase::AliasingFallback;
-    ++stats_.fallbackEvictions;
-    for (unsigned i = 0; i < config_.numBuckets; ++i) {
-        const unsigned b =
-            (fallbackBucket_ + i) & (config_.numBuckets - 1);
-        for (KvEntry *c = buckets_[b].chain; c; c = c->chainNext) {
-            if (!c->pinned) {
-                fallbackBucket_ = (b + 1) & (config_.numBuckets - 1);
-                return c;
-            }
-        }
-    }
-    return nullptr; // every entry pinned
+    ShardScopeView view(*this, bucket, winner);
+    const auto choice = adapt::imitateVictim(
+        view, leader && winner_out.evicted, winner_out.evictedTag);
+    case_out = choice.kind;
+    return choice.handle;
 }
 
 void
@@ -325,6 +411,12 @@ KvShard::reference(KvKey key, std::uint64_t h,
     const std::uint64_t tag = tagOf(h);
     const bool leader = isLeader(bucket);
 
+    // The admission filter sees every candidate before any component
+    // simulation consults it (same order as AdaptiveCache and the
+    // oracle).
+    if (admission_)
+        admission_->touch(admitKey(tag));
+
     // Every filling reference updates the component simulations and
     // (on a differentiating miss) the selection history — before the
     // real lookup, exactly as Algorithm 1 orders it.
@@ -338,9 +430,9 @@ KvShard::reference(KvKey key, std::uint64_t h,
         }
         // Flips are rare, so the tracing gate hides behind the flip
         // check; with two components the loser is `winner ^ 1`.
-        if (selectorFor(bucket).record(miss_mask) &&
+        if (selector_.record(domainOf(bucket), miss_mask) &&
             obs::traceEnabled()) {
-            const unsigned to = selectorFor(bucket).winner();
+            const unsigned to = selector_.winner(domainOf(bucket));
             obs::emit(obs::kvWinnerFlipEvent(stats_.references,
                                              config_.shardIndex,
                                              to ^ 1u, to));
@@ -387,31 +479,88 @@ KvShard::reference(KvKey key, std::uint64_t h,
     }
 
     if (need_evict) {
-        const unsigned winner = selectorFor(bucket).winner();
+        const unsigned winner = selector_.winner(domainOf(bucket));
         out.replaced = true;
         out.winner = winner;
         ++stats_.decisions[winner];
-        obs::EvictCase evict_case = obs::EvictCase::VictimMatch;
+
+        // Bucket scope imitates the winner's admission verdict: when
+        // its shadow refused to fill, the real bucket keeps its
+        // contents too. The decision is still counted — "bypass" was
+        // the winning component's replacement choice.
+        if (config_.scope == EvictionScope::Bucket &&
+            shadow_out[winner].bypassed) {
+            out.admitRejected = true;
+            ++stats_.admitRejects;
+            if (obs::traceEnabled())
+                obs::emit(obs::kvAdmitRejectEvent(stats_.references,
+                                                  config_.shardIndex,
+                                                  winner, key));
+            if (value_out)
+                *value_out = make_value();
+            return out;
+        }
+
+        adapt::VictimCase evict_case = adapt::VictimCase::VictimMatch;
         KvEntry *victim =
             config_.scope == EvictionScope::Bucket
                 ? bucketVictim(bucket, winner, shadow_out[winner],
-                               out, &fill_way, evict_case)
+                               &fill_way, evict_case)
                 : shardVictim(bucket, leader, winner,
-                              shadow_out[winner], out, evict_case);
+                              shadow_out[winner], evict_case);
         if (!victim) {
+            // Pins defeated every search: the fallback rotation is
+            // still accounted (it ran and found nothing) and the
+            // insertion is rejected.
+            out.fallback = true;
+            ++stats_.fallbackEvictions;
             out.rejected = true;
             ++stats_.rejected;
             if (value_out)
                 *value_out = make_value();
             return out;
         }
+
+        // Shard scope queries the filter on the real (candidate,
+        // victim) pair — there is no per-reference shadow verdict to
+        // imitate for follower buckets or fixed selectors.
+        if (config_.scope == EvictionScope::Shard && admission_ &&
+            config_.components[winner].admission &&
+            !admission_->admit(admitKey(tag),
+                               admitKey(victim->tag))) {
+            out.admitRejected = true;
+            ++stats_.admitRejects;
+            if (obs::traceEnabled())
+                obs::emit(obs::kvAdmitRejectEvent(stats_.references,
+                                                  config_.shardIndex,
+                                                  winner, key));
+            if (value_out)
+                *value_out = make_value();
+            return out;
+        }
+
+        switch (evict_case) {
+          case adapt::VictimCase::VictimMatch:
+            if (config_.scope == EvictionScope::Shard) {
+                out.directed = true;
+                ++stats_.directedEvictions;
+            }
+            break;
+          case adapt::VictimCase::ShadowAbsent:
+            break;
+          default:
+            out.fallback = true;
+            ++stats_.fallbackEvictions;
+            break;
+        }
+
         out.evicted = true;
         out.evictedKey = victim->key;
         ++stats_.evictions;
         if (obs::traceEnabled())
-            obs::emit(obs::kvEvictionEvent(stats_.references,
-                                           config_.shardIndex, winner,
-                                           evict_case, victim->key));
+            obs::emit(obs::kvEvictionEvent(
+                stats_.references, config_.shardIndex, winner,
+                toEvictCase(evict_case), victim->key));
         unlinkEntry(victim);
     }
 
@@ -505,22 +654,19 @@ KvShard::shadowMisses(unsigned k) const
 std::uint64_t
 KvShard::selectionFlips() const
 {
-    std::uint64_t flips = 0;
-    for (const KvSelector &s : selectors_)
-        flips += s.flips();
-    return flips;
+    return selector_.flips();
 }
 
 unsigned
 KvShard::currentWinner(unsigned bucket) const
 {
-    return selectorFor(bucket).winner();
+    return selector_.winner(domainOf(bucket));
 }
 
 std::uint64_t
 KvShard::historyCount(unsigned bucket, unsigned k) const
 {
-    return selectorFor(bucket).count(k);
+    return selector_.count(domainOf(bucket), k);
 }
 
 std::vector<KvKey>
@@ -559,15 +705,17 @@ KvShard::registerStats(StatRegistry &reg,
                 stats_.fallbackEvictions);
     reg.counter(prefix + "rejected_puts", stats_.rejected);
     reg.counter(prefix + "erases", stats_.erases);
-    reg.counter(prefix + "decisions.lru",
-                stats_.decisions[kvComponentLru]);
-    reg.counter(prefix + "decisions.lfu",
-                stats_.decisions[kvComponentLfu]);
-    reg.counter(prefix + "shadow.lru.misses",
-                shadowMisses(kvComponentLru));
-    reg.counter(prefix + "shadow.lfu.misses",
-                shadowMisses(kvComponentLfu));
+    for (unsigned k = 0; k < kvNumComponents; ++k) {
+        const std::string name =
+            kvComponentName(config_.components[k]);
+        reg.counter(prefix + "decisions." + name,
+                    stats_.decisions[k]);
+        reg.counter(prefix + "shadow." + name + ".misses",
+                    shadowMisses(k));
+    }
     reg.counter(prefix + "selection_flips", selectionFlips());
+    if (admission_)
+        reg.counter(prefix + "admit_rejects", stats_.admitRejects);
     reg.counter(prefix + "size", size_);
     reg.counter(prefix + "pinned", pinned_);
     reg.value(prefix + "hit_rate", stats_.hitRate());

@@ -37,12 +37,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "adapt/imitation.hh"
+#include "adapt/selector.hh"
+#include "adapt/sketch.hh"
 #include "kv/kv_types.hh"
 #include "kv/policy_lists.hh"
-#include "kv/selector.hh"
 #include "kv/shadow_dir.hh"
 #include "obs/event.hh"
 #include "util/rng.hh"
@@ -69,6 +72,7 @@ struct KvShardStats
     std::uint64_t directedEvictions = 0;
     std::uint64_t fallbackEvictions = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t admitRejects = 0; //!< TinyLFU refused the candidate
     std::uint64_t erases = 0;
     std::uint64_t decisions[kvNumComponents] = {0, 0};
 
@@ -91,6 +95,8 @@ struct KvShardConfig
     bool exactCounters = false;
     EvictionScope scope = EvictionScope::Shard;
     SelectorMode selector = SelectorMode::Adaptive;
+    KvComponentSpec components[kvNumComponents] = {
+        {PolicyType::LRU, false}, {PolicyType::LFU, false}};
     unsigned hashShift = 0; //!< hash bits consumed by shard selection
     unsigned shardIndex = 0; //!< position in the owning cache
     std::uint64_t rngSeed = 1;
@@ -178,10 +184,24 @@ class KvShard
         KvEntry *chain = nullptr; //!< Shard-scope hash chain
     };
 
+    /** adapt::imitateVictim views (defined in kv_shard.cc). */
+    class BucketScopeView;
+    class ShardScopeView;
+
     unsigned bucketOf(std::uint64_t h) const;
     std::uint64_t tagOf(std::uint64_t h) const;
-    KvSelector &selectorFor(unsigned bucket);
-    const KvSelector &selectorFor(unsigned bucket) const;
+
+    /** Selection domain of @p bucket (per bucket, or the shard). */
+    unsigned
+    domainOf(unsigned bucket) const
+    {
+        return config_.scope == EvictionScope::Bucket ? bucket : 0;
+    }
+
+    /** Admission-filter key of a key tag: the shadow-folded tag, so
+     *  filter and directories agree on item identity; raw tags when
+     *  no directories exist (fixed selectors). */
+    std::uint64_t admitKey(std::uint64_t tag) const;
 
     KvEntry *findChain(unsigned bucket, KvKey key) const;
     KvEntry *findSlot(unsigned bucket, KvKey key,
@@ -190,12 +210,12 @@ class KvShard
 
     KvEntry *bucketVictim(unsigned bucket, unsigned winner,
                           const ShadowOutcome &winner_out,
-                          KvOutcome &out, unsigned *way_out,
-                          obs::EvictCase &case_out);
+                          unsigned *way_out,
+                          adapt::VictimCase &case_out);
     KvEntry *shardVictim(unsigned bucket, bool leader,
                          unsigned winner,
                          const ShadowOutcome &winner_out,
-                         KvOutcome &out, obs::EvictCase &case_out);
+                         adapt::VictimCase &case_out);
     void unlinkEntry(KvEntry *e);
 
     KvShardConfig config_;
@@ -205,8 +225,11 @@ class KvShard
     std::vector<std::vector<KvEntry *>> slots_; //!< Bucket scope
     RecencyList recency_;                       //!< Shard scope
     LfuLists lfu_;                              //!< Shard scope
+    /** Shared TinyLFU filter (declared before the directories that
+     *  point at it). Present iff some component has admission. */
+    std::unique_ptr<adapt::TinyLfuAdmission> admission_;
     std::unique_ptr<KvShadowDir> shadows_[kvNumComponents];
-    std::vector<KvSelector> selectors_; //!< 1, or one per bucket
+    adapt::Selector selector_; //!< domains: buckets, or the shard
     std::vector<unsigned> fallbackPtr_; //!< Bucket scope, per bucket
     unsigned fallbackBucket_ = 0;       //!< Shard scope cursor
     std::size_t size_ = 0;

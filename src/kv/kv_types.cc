@@ -1,5 +1,7 @@
 #include "kv/kv_types.hh"
 
+#include <cctype>
+
 namespace adcache::kv
 {
 
@@ -17,6 +19,26 @@ selectorModeName(SelectorMode mode)
     return "?";
 }
 
+std::string
+kvComponentName(const KvComponentSpec &spec)
+{
+    std::string name = policyName(spec.evict);
+    for (char &c : name)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+    if (spec.admission)
+        name += "/adm";
+    return name;
+}
+
+bool
+KvConfig::anyAdmission() const
+{
+    for (const KvComponentSpec &c : components)
+        if (c.admission)
+            return true;
+    return false;
+}
+
 void
 KvConfig::validate() const
 {
@@ -25,6 +47,18 @@ KvConfig::validate() const
     adcache_assert(bucketWays >= 1);
     adcache_assert(leaderEvery >= 1);
     adcache_assert(shadowTagBits <= 40);
+    for (const KvComponentSpec &c : components) {
+        // Shard scope walks the intrusive shard-wide orders; CmsLfu
+        // has no such order and is a Bucket-scope (shadow-directory)
+        // component only.
+        if (scope == EvictionScope::Shard)
+            adcache_assert(c.evict == PolicyType::LRU ||
+                           c.evict == PolicyType::LFU);
+        else
+            adcache_assert(c.evict == PolicyType::LRU ||
+                           c.evict == PolicyType::LFU ||
+                           c.evict == PolicyType::CmsLfu);
+    }
     if (scope == EvictionScope::Bucket) {
         // The verification shape: Algorithm 1 needs shadows and a
         // history on every set.

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/replacement.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -70,6 +71,27 @@ enum class SelectorMode
 /** Printable selector-mode name. */
 const char *selectorModeName(SelectorMode mode);
 
+/** Component ordinals (the paper's headline pair by default). */
+constexpr unsigned kvComponentLru = 0;
+constexpr unsigned kvComponentLfu = 1;
+constexpr unsigned kvNumComponents = 2;
+
+/**
+ * One competing component of a shard's selection engine: which pure
+ * eviction order it simulates, and whether its fills pass through the
+ * shared TinyLFU admission filter. Pitting an admission-on component
+ * against its admission-off twin makes the *filter itself* the
+ * adapted dimension.
+ */
+struct KvComponentSpec
+{
+    PolicyType evict = PolicyType::LRU;
+    bool admission = false;
+};
+
+/** Printable component label, e.g. "lru" or "lru/adm". */
+std::string kvComponentName(const KvComponentSpec &spec);
+
 /** Configuration of an AdaptiveKvCache. */
 struct KvConfig
 {
@@ -108,6 +130,19 @@ struct KvConfig
     SelectorMode selector = SelectorMode::Adaptive;
     KeyHashKind keyHash = KeyHashKind::Mix;
 
+    /**
+     * The two competing components. Shard scope restricts evict to
+     * LRU/LFU (the intrusive shard-wide orders); Bucket scope also
+     * admits CmsLfu, whose order lives entirely in the shadow
+     * directories' sketch. FixedLru/FixedLfu pin components[0] /
+     * components[1] respectively.
+     */
+    KvComponentSpec components[kvNumComponents] = {
+        {PolicyType::LRU, false}, {PolicyType::LFU, false}};
+
+    /** True iff any component fills through the admission filter. */
+    bool anyAdmission() const;
+
     std::uint64_t rngSeed = 1;
 
     /** panic() on structurally invalid combinations. */
@@ -130,19 +165,17 @@ struct KvOutcome
     bool hit = false;
     bool inserted = false; //!< a new entry was created
     bool updated = false;  //!< an existing value was overwritten
-    bool rejected = false; //!< admission refused (all victims pinned)
+    bool rejected = false; //!< insert refused (all victims pinned)
     bool evicted = false;
     KvKey evictedKey = 0;  //!< valid iff evicted
     bool replaced = false; //!< a replacement decision was made
     unsigned winner = 0;   //!< imitated component (iff replaced)
     bool fallback = false; //!< rotating arbitrary eviction fired
     bool directed = false; //!< shadow-displacement-directed eviction
+    /** The winning component's TinyLFU filter refused the candidate:
+     *  the resident set is kept and nothing is inserted. */
+    bool admitRejected = false;
 };
-
-/** Component ordinals (fixed: the paper's headline pair). */
-constexpr unsigned kvComponentLru = 0;
-constexpr unsigned kvComponentLfu = 1;
-constexpr unsigned kvNumComponents = 2;
 
 } // namespace adcache::kv
 

@@ -34,9 +34,12 @@ class KvShadowDir
      * @param partial_bits stored tag width (0 = full key tags).
      * @param xor_fold     fold via XOR of bit groups, not low bits.
      * @param rng          shared generator (stochastic policies).
+     * @param admission    optional TinyLFU filter (not owned); the
+     *                     owning shard touch()es it per reference.
      */
     KvShadowDir(unsigned num_buckets, unsigned ways, PolicyType policy,
-                unsigned partial_bits, bool xor_fold, Rng *rng);
+                unsigned partial_bits, bool xor_fold, Rng *rng,
+                const adapt::TinyLfuAdmission *admission = nullptr);
 
     /** Simulate the component policy for one key reference. */
     ShadowOutcome access(std::uint32_t bucket, std::uint64_t key_tag);

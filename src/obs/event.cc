@@ -21,6 +21,8 @@ eventKindName(EventKind kind)
         return "kv_eviction";
       case EventKind::KvWinnerFlip:
         return "kv_winner_flip";
+      case EventKind::KvAdmitReject:
+        return "kv_admit_reject";
     }
     return "?";
 }

@@ -37,6 +37,8 @@ enum class EventKind : std::uint16_t
     KvEviction,
     /** A kv shard's selection domain changed winners. */
     KvWinnerFlip,
+    /** A kv shard's TinyLFU filter refused to admit a candidate. */
+    KvAdmitReject,
 };
 
 /** Which of Algorithm 1's three victim searches produced the victim
@@ -134,6 +136,14 @@ kvWinnerFlipEvent(std::uint64_t t, unsigned shard, unsigned from,
 {
     return {t, 0, shard, packFromTo(from, to),
             EventKind::KvWinnerFlip};
+}
+
+constexpr TraceEvent
+kvAdmitRejectEvent(std::uint64_t t, unsigned shard, unsigned winner,
+                   std::uint64_t key)
+{
+    return {t, key, shard, std::uint16_t(winner),
+            EventKind::KvAdmitReject};
 }
 
 } // namespace adcache::obs

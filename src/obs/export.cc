@@ -94,6 +94,10 @@ appendEvent(std::ostringstream &out, const TraceEvent &ev)
         out << ",\"shard\":" << ev.a << ",\"from\":" << hi
             << ",\"to\":" << lo;
         break;
+      case EventKind::KvAdmitReject:
+        out << ",\"shard\":" << ev.a << ",\"winner\":" << ev.b
+            << ",\"key\":" << hex(ev.addr);
+        break;
     }
     out << "}\n";
 }

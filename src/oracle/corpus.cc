@@ -99,6 +99,12 @@ pairFactoryFor(const std::string &config_line)
         std::string name;
         while (std::getline(list, name, '+'))
             c.policies.push_back(parsePolicyType(name));
+        const std::string admit = stringOr(kv, "admit", "");
+        if (!admit.empty()) {
+            std::istringstream flags(admit);
+            while (std::getline(flags, name, '+'))
+                c.admission.push_back(name == "1" ? 1 : 0);
+        }
         return makeAdaptivePair(c);
     }
     if (kind == "sbar") {
@@ -203,6 +209,14 @@ adaptiveConfigLine(const AdaptiveConfig &config)
         << " line=" << config.lineSize
         << " partial=" << config.partialTagBits
         << " xor=" << (config.xorFoldTags ? 1 : 0);
+    if (!config.admission.empty()) {
+        out << " admit=";
+        for (std::size_t k = 0; k < config.admission.size(); ++k) {
+            if (k)
+                out << "+";
+            out << (config.admission[k] ? 1 : 0);
+        }
+    }
     return out.str();
 }
 

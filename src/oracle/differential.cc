@@ -153,7 +153,8 @@ class AdaptivePair : public LockstepPair
     explicit AdaptivePair(const AdaptiveConfig &config)
         : production_(withExactCounters(config)),
           oracle_(refGeometryOf(config.geometry()), config.policies,
-                  config.partialTagBits, config.xorFoldTags)
+                  config.partialTagBits, config.xorFoldTags,
+                  config.admission)
     {
         for (PolicyType p : config.policies)
             adcache_assert(refPolicySupported(p));
@@ -191,6 +192,10 @@ class AdaptivePair : public LockstepPair
         if (production_.fallbackEvictions() != oracle_.fallbacks())
             return diff(i, "fallback_evictions", oracle_.fallbacks(),
                         production_.fallbackEvictions());
+
+        if (production_.admissionBypasses() != oracle_.bypasses())
+            return diff(i, "admission_bypasses", oracle_.bypasses(),
+                        production_.admissionBypasses());
 
         const CacheStats &s = production_.stats();
         if (s.hits != oracle_.hits())

@@ -31,18 +31,47 @@ diffBool(std::size_t i, const std::string &field, bool want, bool got)
     return diffU64(i, field, want, got);
 }
 
+kv::KvConfig
+lockstepConfig(const KvLockstepParams &params)
+{
+    kv::KvConfig config = kv::KvConfig::lockstep(
+        params.numBuckets, params.bucketWays, params.partialBits,
+        params.xorFold);
+    for (unsigned k = 0; k < kv::kvNumComponents; ++k)
+        config.components[k] = params.components[k];
+    return config;
+}
+
+std::vector<PolicyType>
+oraclePolicies(const KvLockstepParams &params)
+{
+    std::vector<PolicyType> policies;
+    for (unsigned k = 0; k < kv::kvNumComponents; ++k)
+        policies.push_back(params.components[k].evict);
+    return policies;
+}
+
+std::vector<std::uint8_t>
+oracleAdmission(const KvLockstepParams &params)
+{
+    std::vector<std::uint8_t> admission;
+    bool any = false;
+    for (unsigned k = 0; k < kv::kvNumComponents; ++k) {
+        admission.push_back(params.components[k].admission ? 1 : 0);
+        any = any || params.components[k].admission;
+    }
+    return any ? admission : std::vector<std::uint8_t>{};
+}
+
 class KvAdaptivePair : public LockstepPair
 {
   public:
     explicit KvAdaptivePair(const KvLockstepParams &params)
-        : params_(params),
-          production_(kv::KvConfig::lockstep(
-              params.numBuckets, params.bucketWays,
-              params.partialBits, params.xorFold)),
+        : params_(params), production_(lockstepConfig(params)),
           oracle_(RefGeometry{1u << kvLineBits, params.numBuckets,
                               params.bucketWays},
-                  {PolicyType::LRU, PolicyType::LFU},
-                  params.partialBits, params.xorFold)
+                  oraclePolicies(params), params.partialBits,
+                  params.xorFold, oracleAdmission(params))
     {
     }
 
@@ -71,6 +100,9 @@ class KvAdaptivePair : public LockstepPair
                 return m;
         }
         if (auto m = diffBool(i, "fallback", o.fallback, p.fallback))
+            return m;
+        if (auto m = diffBool(i, "admit_rejected", o.bypassed,
+                              p.admitRejected))
             return m;
 
         const kv::KvShard &shard = production_.shard(0);
@@ -105,17 +137,19 @@ class KvAdaptivePair : public LockstepPair
     {
         std::ostringstream out;
         out << "kv " << production_.describe()
-            << " vs RefAdaptiveCache{lru,lfu}";
+            << " vs RefAdaptiveCache{"
+            << kv::kvComponentName(params_.components[0]) << ","
+            << kv::kvComponentName(params_.components[1]) << "}";
         return out.str();
     }
 
   private:
-    static std::string
-    componentField(const char *what, unsigned k)
+    std::string
+    componentField(const char *what, unsigned k) const
     {
         std::ostringstream out;
-        out << what << "[" << (k == kv::kvComponentLru ? "lru" : "lfu")
-            << "]";
+        out << what << "["
+            << kv::kvComponentName(params_.components[k]) << "]";
         return out.str();
     }
 
@@ -154,6 +188,9 @@ class KvAdaptivePair : public LockstepPair
         if (auto m = diffU64(i, "total_fallbacks",
                              oracle_.fallbacks(),
                              stats.fallbackEvictions))
+            return m;
+        if (auto m = diffU64(i, "total_admit_rejects",
+                             oracle_.bypasses(), stats.admitRejects))
             return m;
         for (unsigned k = 0; k < kv::kvNumComponents; ++k) {
             std::uint64_t want_decisions = 0;

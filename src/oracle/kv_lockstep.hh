@@ -19,6 +19,7 @@
 
 #include <cstddef>
 
+#include "kv/kv_types.hh"
 #include "oracle/differential.hh"
 
 namespace adcache
@@ -32,11 +33,17 @@ struct KvLockstepParams
     unsigned partialBits = 0; //!< shadow tag width (0 = full)
     bool xorFold = false;
     std::size_t sweepEvery = 256; //!< residency sweep period
+
+    /** Competing components (evict policy + admission flag); the
+     *  oracle runs the same pair, so CMS-LFU eviction and TinyLFU
+     *  admission are lockstep-verified through here too. */
+    kv::KvComponentSpec components[kv::kvNumComponents] = {
+        {PolicyType::LRU, false}, {PolicyType::LFU, false}};
 };
 
 /**
  * Single-shard Bucket-scope AdaptiveKvCache vs RefAdaptiveCache
- * running {LRU, LFU} components over the same shape.
+ * running the configured components over the same shape.
  */
 PairFactory makeKvAdaptivePair(const KvLockstepParams &params);
 

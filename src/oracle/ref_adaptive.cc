@@ -7,13 +7,27 @@ namespace adcache
 
 RefAdaptiveCache::RefAdaptiveCache(
     const RefGeometry &geom, const std::vector<PolicyType> &policies,
-    unsigned partial_bits, bool xor_fold)
+    unsigned partial_bits, bool xor_fold,
+    const std::vector<std::uint8_t> &admission)
     : geom_(geom)
 {
     adcache_assert(policies.size() >= 2);
-    for (PolicyType p : policies)
+    adcache_assert(admission.empty() ||
+                   admission.size() == policies.size());
+    for (std::uint8_t f : admission) {
+        if (f) {
+            admission_ = std::make_unique<RefTinyLfu>(
+                adapt::SketchParams::forGeometry(geom.numSets,
+                                                 geom.assoc));
+            break;
+        }
+    }
+    for (std::size_t k = 0; k < policies.size(); ++k) {
+        const bool admit = k < admission.size() && admission[k];
         shadows_.push_back(std::make_unique<RefCache>(
-            geom, p, partial_bits, xor_fold));
+            geom, policies[k], partial_bits, xor_fold,
+            admit ? admission_.get() : nullptr));
+    }
     sets_.assign(geom.numSets, std::vector<Way>(geom.assoc));
     counters_.assign(geom.numSets,
                      RefExactCounters(unsigned(policies.size())));
@@ -103,6 +117,11 @@ RefAdaptiveCache::access(Addr addr, bool is_write)
     const Addr tag = geom_.tagOf(addr);
     const auto num_policies = unsigned(shadows_.size());
 
+    // The admission filter sees every candidate before any component
+    // simulation consults it (same order as the production cache).
+    if (admission_)
+        admission_->touch(shadows_[0]->foldTag(tag));
+
     // Every reference updates every component simulation.
     std::vector<RefOutcome> shadow_out(num_policies);
     std::uint32_t miss_mask = 0;
@@ -143,6 +162,15 @@ RefAdaptiveCache::access(Addr addr, bool is_write)
         out.replaced = true;
         out.winner = winner;
         ++decisions_[set][winner];
+
+        // Imitate the winner's admission verdict: a bypass is still a
+        // counted decision, but nothing is evicted or filled.
+        if (shadow_out[winner].bypassed) {
+            ++bypasses_;
+            out.bypassed = true;
+            return out;
+        }
+
         fill = chooseVictim(set, winner, shadow_out[winner],
                             &out.fallback);
 

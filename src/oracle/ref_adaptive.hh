@@ -36,15 +36,24 @@ struct RefAdaptiveOutcome
     bool replaced = false;  //!< a replacement decision was made
     unsigned winner = 0;    //!< imitated component (iff replaced)
     bool fallback = false;  //!< case-3 arbitrary eviction fired
+    bool bypassed = false;  //!< winner's admission refused the fill
 };
 
 /** The naive adaptive-cache model. */
 class RefAdaptiveCache
 {
   public:
+    /**
+     * @param admission per-component TinyLFU flags, parallel to
+     *                  @p policies (empty = admission off). A flagged
+     *                  component's shadow bypasses refused fills and
+     *                  the adaptive array imitates the winner's
+     *                  verdict, matching the production AdaptiveCache.
+     */
     RefAdaptiveCache(const RefGeometry &geom,
                      const std::vector<PolicyType> &policies,
-                     unsigned partial_bits = 0, bool xor_fold = false);
+                     unsigned partial_bits = 0, bool xor_fold = false,
+                     const std::vector<std::uint8_t> &admission = {});
 
     RefAdaptiveOutcome access(Addr addr, bool is_write);
 
@@ -65,6 +74,7 @@ class RefAdaptiveCache
     std::uint64_t evictions() const { return evictions_; }
     std::uint64_t writebacks() const { return writebacks_; }
     std::uint64_t fallbacks() const { return fallbacks_; }
+    std::uint64_t bypasses() const { return bypasses_; }
 
     const RefGeometry &geometry() const { return geom_; }
 
@@ -81,6 +91,9 @@ class RefAdaptiveCache
                           bool *used_fallback);
 
     RefGeometry geom_;
+    /** Shared admission filter of the flagged components; declared
+     *  before shadows_, which hold pointers into it. */
+    std::unique_ptr<RefTinyLfu> admission_;
     std::vector<std::unique_ptr<RefCache>> shadows_;
     std::vector<std::vector<Way>> sets_;
     std::vector<RefExactCounters> counters_;            // per set
@@ -91,6 +104,7 @@ class RefAdaptiveCache
     std::uint64_t evictions_ = 0;
     std::uint64_t writebacks_ = 0;
     std::uint64_t fallbacks_ = 0;
+    std::uint64_t bypasses_ = 0;
 };
 
 } // namespace adcache

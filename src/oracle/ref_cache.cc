@@ -7,15 +7,30 @@ namespace adcache
 {
 
 RefCache::RefCache(const RefGeometry &geom, PolicyType policy,
-                   unsigned partial_bits, bool xor_fold)
+                   unsigned partial_bits, bool xor_fold,
+                   const RefTinyLfu *admission)
     : geom_(geom), policy_(policy), partialBits_(partial_bits),
-      xorFold_(xor_fold)
+      xorFold_(xor_fold), admission_(admission)
 {
     adcache_assert(refPolicySupported(policy));
     sets_.assign(geom.numSets, std::vector<Way>(geom.assoc));
     policies_.reserve(geom.numSets);
-    for (unsigned s = 0; s < geom.numSets; ++s)
-        policies_.push_back(makeRefPolicy(policy, geom.assoc));
+    if (policy == PolicyType::CmsLfu) {
+        // All sets share one frequency sketch (the production
+        // CmsLfuSets layout); each per-set model composes its own
+        // set index into the sketch keys.
+        const unsigned set_bits =
+            geom.numSets <= 1 ? 0 : floorLog2(geom.numSets);
+        cmsSketch_ = std::make_unique<RefCountMinSketch>(
+            adapt::SketchParams::forGeometry(geom.numSets,
+                                             geom.assoc));
+        for (unsigned s = 0; s < geom.numSets; ++s)
+            policies_.push_back(makeRefCmsLfuPolicy(
+                geom.assoc, s, set_bits, cmsSketch_.get()));
+    } else {
+        for (unsigned s = 0; s < geom.numSets; ++s)
+            policies_.push_back(makeRefPolicy(policy, geom.assoc));
+    }
 }
 
 Addr
@@ -73,7 +88,7 @@ RefCache::access(Addr addr, bool is_write)
             ++hits_;
             out.hit = true;
             out.way = w;
-            policy.onHit(w);
+            policy.onHitTag(w, tag);
             if (is_write)
                 ways[w].dirty = true;
             return out;
@@ -90,6 +105,16 @@ RefCache::access(Addr addr, bool is_write)
         }
     }
     if (fill == geom_.assoc) {
+        // The admission filter sees the candidate against the way the
+        // policy would evict; a refused candidate leaves the set (and
+        // the policy metadata) untouched.
+        if (admission_ != nullptr) {
+            const unsigned vw = policy.victim();
+            if (!admission_->admit(tag, ways[vw].tag)) {
+                out.bypassed = true;
+                return out;
+            }
+        }
         fill = policy.victim();
         out.evicted = true;
         out.evictedTag = ways[fill].tag;
@@ -101,7 +126,7 @@ RefCache::access(Addr addr, bool is_write)
     }
 
     ways[fill] = Way{tag, true, is_write};
-    policy.onFill(fill);
+    policy.onFillTag(fill, tag);
     out.way = fill;
     return out;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "oracle/ref_policy.hh"
+#include "oracle/ref_sketch.hh"
 #include "util/types.hh"
 
 namespace adcache
@@ -85,6 +86,7 @@ struct RefOutcome
     Addr evictedTag = 0;       //!< stored (possibly folded) tag
     bool evictedDirty = false;
     unsigned way = 0;          //!< way hit or filled
+    bool bypassed = false;     //!< admission refused a full-set fill
 };
 
 /** The naive reference cache / reference shadow array. */
@@ -97,9 +99,15 @@ class RefCache
      *                     makeRefPolicy).
      * @param partial_bits 0 = full tags, else stored tag width.
      * @param xor_fold     fold by XOR of bit groups, not low bits.
+     * @param admission    optional TinyLFU filter consulted on
+     *                     full-set misses (stored-tag keys); not
+     *                     owned, and not touch()ed here — the owner
+     *                     touches it once per reference, mirroring
+     *                     the production ShadowCache contract.
      */
     RefCache(const RefGeometry &geom, PolicyType policy,
-             unsigned partial_bits = 0, bool xor_fold = false);
+             unsigned partial_bits = 0, bool xor_fold = false,
+             const RefTinyLfu *admission = nullptr);
 
     /** Present one reference; @p is_write only affects dirty bits. */
     RefOutcome access(Addr addr, bool is_write);
@@ -139,6 +147,10 @@ class RefCache
     PolicyType policy_;
     unsigned partialBits_;
     bool xorFold_;
+    const RefTinyLfu *admission_;
+    /** Shared CMS-LFU sketch; null for every other policy. Declared
+     *  before policies_, which hold pointers into it. */
+    std::unique_ptr<RefCountMinSketch> cmsSketch_;
     std::vector<std::vector<Way>> sets_;
     std::vector<std::unique_ptr<RefPolicy>> policies_;
     std::uint64_t hits_ = 0;

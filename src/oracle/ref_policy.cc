@@ -156,6 +156,7 @@ refPolicySupported(PolicyType type)
       case PolicyType::MRU:
       case PolicyType::FIFO:
       case PolicyType::LFU:
+      case PolicyType::CmsLfu:
         return true;
       default:
         return false;
@@ -177,6 +178,11 @@ makeRefPolicy(PolicyType type, unsigned assoc)
                                              assoc);
       case PolicyType::LFU:
         return std::make_unique<CounterLfuPolicy>(assoc);
+      case PolicyType::CmsLfu:
+        // Supported, but its sets share one sketch: RefCache builds
+        // it per set through makeRefCmsLfuPolicy (ref_sketch.hh).
+        panic("CMS-LFU needs a shared sketch; use "
+              "makeRefCmsLfuPolicy");
       default:
         panic("no reference model for policy %s", policyName(type));
     }

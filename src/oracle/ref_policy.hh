@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "cache/replacement.hh"
+#include "util/types.hh"
 
 namespace adcache
 {
@@ -39,6 +40,26 @@ class RefPolicy
     virtual void onFill(unsigned way) = 0;
     virtual void onHit(unsigned way) = 0;
     virtual void onInvalidate(unsigned way) = 0;
+
+    /**
+     * Tag-carrying variants for policies whose metadata derives from
+     * the referenced (stored) tag — CMS-LFU re-keys its sketch from
+     * the tag on every fill *and* hit. Order-only policies ignore the
+     * tag; owners always call these so the dispatch stays uniform.
+     */
+    virtual void
+    onFillTag(unsigned way, Addr stored_tag)
+    {
+        (void)stored_tag;
+        onFill(way);
+    }
+
+    virtual void
+    onHitTag(unsigned way, Addr stored_tag)
+    {
+        (void)stored_tag;
+        onHit(way);
+    }
 
     /** Way the policy would evict. Only meaningful when the owning
      *  set is full (mirrors the production contract). */

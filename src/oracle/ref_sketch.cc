@@ -1,0 +1,149 @@
+#include "oracle/ref_sketch.hh"
+
+#include "util/logging.hh"
+
+namespace adcache
+{
+
+RefCountMinSketch::RefCountMinSketch(const adapt::SketchParams &params)
+    : params_(params)
+{
+    adcache_assert(params_.width >= 2 && params_.rows >= 1);
+    rows_.assign(params_.rows,
+                 std::vector<std::uint32_t>(params_.width, 0));
+}
+
+void
+RefCountMinSketch::add(std::uint64_t key)
+{
+    for (unsigned r = 0; r < params_.rows; ++r) {
+        const std::uint64_t h =
+            adapt::sketchRowHash(key, r, params_.seed);
+        std::uint32_t &cell = rows_[r][h % params_.width];
+        if (cell < params_.counterMax)
+            ++cell;
+    }
+    ++adds_;
+    if (adds_ % params_.decayEvery == 0) {
+        for (auto &row : rows_)
+            for (std::uint32_t &cell : row)
+                cell = cell / 2;
+        ++decays_;
+    }
+}
+
+std::uint32_t
+RefCountMinSketch::estimate(std::uint64_t key) const
+{
+    std::uint32_t est = params_.counterMax;
+    for (unsigned r = 0; r < params_.rows; ++r) {
+        const std::uint64_t h =
+            adapt::sketchRowHash(key, r, params_.seed);
+        const std::uint32_t cell = rows_[r][h % params_.width];
+        if (cell < est)
+            est = cell;
+    }
+    return est;
+}
+
+namespace
+{
+
+/**
+ * One set's CMS-LFU metadata: the sketch key recorded at fill time,
+ * a per-set fill clock for the age tie-break, and the shared sketch.
+ * Mirrors CmsLfuSets exactly: fills record and count the entry key,
+ * hits re-derive the key from the referenced tag and count it, and
+ * victim() scans for (least estimate, then oldest fill, then lowest
+ * way).
+ */
+class RefCmsLfuPolicy : public RefPolicy
+{
+  public:
+    RefCmsLfuPolicy(unsigned assoc, unsigned set, unsigned set_bits,
+                    RefCountMinSketch *sketch)
+        : assoc_(assoc), set_(set), setBits_(set_bits),
+          sketch_(sketch), key_(assoc, 0), fillSeq_(assoc, 0)
+    {
+        adcache_assert(assoc >= 1 && sketch != nullptr);
+    }
+
+    // CMS-LFU derives its sketch keys from the referenced tag; the
+    // tag-free events have no meaning for it (the production policy
+    // panics the same way).
+    void
+    onFill(unsigned)  override
+    {
+        panic("RefCmsLfuPolicy requires tag-carrying fill events");
+    }
+
+    void
+    onHit(unsigned) override
+    {
+        panic("RefCmsLfuPolicy requires tag-carrying hit events");
+    }
+
+    void
+    onFillTag(unsigned way, Addr stored_tag) override
+    {
+        const std::uint64_t k =
+            adapt::sketchEntryKey(stored_tag, set_, setBits_);
+        key_.at(way) = k;
+        fillSeq_.at(way) = ++clock_;
+        sketch_->add(k);
+    }
+
+    void
+    onHitTag(unsigned way, Addr stored_tag) override
+    {
+        (void)way;
+        sketch_->add(
+            adapt::sketchEntryKey(stored_tag, set_, setBits_));
+    }
+
+    void
+    onInvalidate(unsigned way) override
+    {
+        key_.at(way) = 0;
+        fillSeq_.at(way) = 0;
+    }
+
+    unsigned
+    victim() const override
+    {
+        unsigned best = 0;
+        std::uint32_t best_est = sketch_->estimate(key_[0]);
+        for (unsigned w = 1; w < assoc_; ++w) {
+            const std::uint32_t est = sketch_->estimate(key_[w]);
+            if (est < best_est ||
+                (est == best_est && fillSeq_[w] < fillSeq_[best])) {
+                best = w;
+                best_est = est;
+            }
+        }
+        return best;
+    }
+
+    unsigned assoc() const override { return assoc_; }
+
+  private:
+    unsigned assoc_;
+    unsigned set_;
+    unsigned setBits_;
+    RefCountMinSketch *sketch_; // shared by all sets; not owned
+    std::vector<std::uint64_t> key_;
+    std::vector<std::uint64_t> fillSeq_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<RefPolicy>
+makeRefCmsLfuPolicy(unsigned assoc, unsigned set, unsigned set_bits,
+                    RefCountMinSketch *sketch)
+{
+    return std::make_unique<RefCmsLfuPolicy>(assoc, set, set_bits,
+                                             sketch);
+}
+
+} // namespace adcache

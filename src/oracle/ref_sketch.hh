@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reference frequency-sketch models for the differential oracle.
+ *
+ * The production CountMinSketch packs saturating uint8 counters into
+ * one flat row-major array and masks hashes with a power-of-two
+ * width; these models store plain 2-D vectors of integers and take
+ * the modulus. Both sides share only the *spec* pieces —
+ * adapt::sketchRowHash(), adapt::sketchEntryKey() and
+ * adapt::SketchParams — so they index the same cells in the same
+ * order, and any divergence in bookkeeping (saturation, decay
+ * scheduling, estimate minimisation) shows up under lockstep.
+ */
+
+#ifndef ADCACHE_ORACLE_REF_SKETCH_HH
+#define ADCACHE_ORACLE_REF_SKETCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adapt/sketch.hh"
+#include "oracle/ref_policy.hh"
+
+namespace adcache
+{
+
+/** Naive Count-Min sketch: one vector of counters per hash row. */
+class RefCountMinSketch
+{
+  public:
+    explicit RefCountMinSketch(const adapt::SketchParams &params);
+
+    /** Count one reference; every decayEvery adds halve all cells. */
+    void add(std::uint64_t key);
+
+    /** Minimum of the key's per-row counters. */
+    std::uint32_t estimate(std::uint64_t key) const;
+
+    std::uint64_t adds() const { return adds_; }
+    std::uint64_t decays() const { return decays_; }
+    const adapt::SketchParams &params() const { return params_; }
+
+  private:
+    adapt::SketchParams params_;
+    std::vector<std::vector<std::uint32_t>> rows_; // [row][column]
+    std::uint64_t adds_ = 0;
+    std::uint64_t decays_ = 0;
+};
+
+/** Naive TinyLFU admission filter over a RefCountMinSketch. */
+class RefTinyLfu
+{
+  public:
+    explicit RefTinyLfu(const adapt::SketchParams &params)
+        : sketch_(params)
+    {
+    }
+
+    void touch(std::uint64_t key) { sketch_.add(key); }
+
+    /** Candidate wins only a *strict* frequency majority. */
+    bool
+    admit(std::uint64_t candidate, std::uint64_t victim) const
+    {
+        return sketch_.estimate(candidate) > sketch_.estimate(victim);
+    }
+
+    const RefCountMinSketch &sketch() const { return sketch_; }
+
+  private:
+    RefCountMinSketch sketch_;
+};
+
+/**
+ * Reference model of one set's CMS-LFU replacement metadata
+ * (production: CmsLfuSets in cache/policy_sets.hh). All sets of one
+ * cache share a single sketch, so the model is built per set via
+ * this factory rather than makeRefPolicy(); @p sketch must outlive
+ * the returned policy. Victim order: least estimated frequency, then
+ * oldest fill, then lowest way.
+ */
+std::unique_ptr<RefPolicy>
+makeRefCmsLfuPolicy(unsigned assoc, unsigned set, unsigned set_bits,
+                    RefCountMinSketch *sketch);
+
+} // namespace adcache
+
+#endif // ADCACHE_ORACLE_REF_SKETCH_HH

@@ -79,7 +79,7 @@ TraceFuzzer::emitSegment(std::vector<Access> &out, std::size_t budget)
         return std::uint64_t(set) + t * sets;
     };
 
-    switch (rng_.below(6)) {
+    switch (rng_.below(7)) {
       case 0: {
         // Thrash loop at assoc-1 / assoc / assoc+1 / assoc+2 blocks
         // of one set — the boundary where stack policies diverge.
@@ -137,6 +137,29 @@ TraceFuzzer::emitSegment(std::vector<Access> &out, std::size_t budget)
                 push(rng_.below(capacity / 2 + 1));
             else
                 push(capacity + rng_.below(4 * capacity + 1));
+        }
+        break;
+      }
+      case 5: {
+        // Frequency phase shift: hammer one small block group until
+        // its sketch estimates saturate, then move the hot group and
+        // only occasionally re-touch the old one. Long runs cross
+        // several decay_half windows, so CMS-LFU eviction order and
+        // TinyLFU admission verdicts must track the *aging* counts —
+        // the motif that catches decay-scheduling bugs.
+        const unsigned set = unsigned(rng_.below(sets));
+        const std::uint64_t group = 1 + rng_.below(assoc);
+        const std::uint64_t old_base = rng_.below(16) * group;
+        const std::uint64_t new_base = old_base + group +
+                                       rng_.below(8) * group;
+        for (std::size_t i = 0; i < budget; ++i) {
+            const bool shifted = i >= budget / 2;
+            if (shifted && rng_.chance(0.1))
+                push(setBlock(set, old_base + rng_.below(group)));
+            else
+                push(setBlock(set,
+                              (shifted ? new_base : old_base) +
+                                  rng_.below(group)));
         }
         break;
       }

@@ -1,0 +1,85 @@
+#include "adapt/history.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache::adapt
+{
+namespace
+{
+
+TEST(HistorySet, FreshBufferTiesTowardComponentZero)
+{
+    HistorySet h(false, 4, 2, 2);
+    EXPECT_EQ(h.best(0), 0u);
+    EXPECT_EQ(h.best(1), 0u);
+    EXPECT_EQ(h.count(0, 0), 0u);
+    EXPECT_EQ(h.count(0, 1), 0u);
+}
+
+TEST(HistorySet, CountsPerComponentPerDomain)
+{
+    HistorySet h(false, 8, 2, 2);
+    h.record(0, 0b01); // component 0 missed in domain 0
+    h.record(0, 0b01);
+    h.record(1, 0b10); // component 1 missed in domain 1
+    EXPECT_EQ(h.count(0, 0), 2u);
+    EXPECT_EQ(h.count(0, 1), 0u);
+    EXPECT_EQ(h.count(1, 0), 0u);
+    EXPECT_EQ(h.count(1, 1), 1u);
+    EXPECT_EQ(h.best(0), 1u);
+    EXPECT_EQ(h.best(1), 0u);
+}
+
+TEST(HistorySet, WindowEvictsOldestMask)
+{
+    HistorySet h(false, 2, 1, 2);
+    h.record(0, 0b01);
+    h.record(0, 0b01);
+    EXPECT_EQ(h.count(0, 0), 2u);
+    // Third record overwrites the oldest component-0 miss.
+    h.record(0, 0b10);
+    EXPECT_EQ(h.count(0, 0), 1u);
+    EXPECT_EQ(h.count(0, 1), 1u);
+    h.record(0, 0b10);
+    EXPECT_EQ(h.count(0, 0), 0u);
+    EXPECT_EQ(h.count(0, 1), 2u);
+    EXPECT_EQ(h.best(0), 0u);
+}
+
+TEST(HistorySet, ExactModeNeverForgets)
+{
+    HistorySet h(true, 0, 1, 2);
+    for (int i = 0; i < 1000; ++i)
+        h.record(0, 0b01);
+    h.record(0, 0b10);
+    EXPECT_EQ(h.count(0, 0), 1000u);
+    EXPECT_EQ(h.count(0, 1), 1u);
+    EXPECT_EQ(h.best(0), 1u);
+}
+
+TEST(HistorySet, WideComponentMasksUseWordRing)
+{
+    // > 8 components exercises the 32-bit ring representation.
+    HistorySet h(false, 3, 1, 12);
+    h.record(0, 1u << 11);
+    h.record(0, 1u << 11);
+    EXPECT_EQ(h.count(0, 11), 2u);
+    EXPECT_EQ(h.best(0), 0u); // ties toward the lowest index
+    h.record(0, 1u << 3);
+    h.record(0, 1u << 3); // evicts one of the component-11 masks
+    EXPECT_EQ(h.count(0, 11), 1u);
+    EXPECT_EQ(h.count(0, 3), 2u);
+}
+
+TEST(HistorySet, DomainsAreIndependent)
+{
+    HistorySet h(false, 4, 3, 2);
+    h.record(0, 0b01);
+    h.record(2, 0b10);
+    EXPECT_EQ(h.best(0), 1u);
+    EXPECT_EQ(h.best(1), 0u);
+    EXPECT_EQ(h.best(2), 0u);
+}
+
+} // namespace
+} // namespace adcache::adapt

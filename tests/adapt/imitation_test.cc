@@ -1,0 +1,150 @@
+#include "adapt/imitation.hh"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adcache::adapt
+{
+namespace
+{
+
+/** Scripted view: each case returns a preset handle. */
+struct ScriptView {
+    using Handle = int;
+    static constexpr Handle kNone = -1;
+
+    Handle displacedMatch = kNone;
+    Handle outsideWinner = kNone;
+    Handle fallbackHandle = kNone;
+    mutable int displacedCalls = 0;
+    mutable int fallbackCalls = 0;
+
+    Handle
+    findDisplacedMatch(std::uint64_t) const
+    {
+        ++displacedCalls;
+        return displacedMatch;
+    }
+
+    Handle findOutsideWinner() const { return outsideWinner; }
+
+    Handle
+    fallback() const
+    {
+        ++fallbackCalls;
+        return fallbackHandle;
+    }
+};
+
+TEST(ImitateVictim, Case1WinsWhenWinnerDisplacedAndMatchExists)
+{
+    ScriptView v;
+    v.displacedMatch = 3;
+    v.outsideWinner = 5;
+    const auto c = imitateVictim(v, true, 0xAB);
+    EXPECT_EQ(c.kind, VictimCase::VictimMatch);
+    EXPECT_EQ(c.handle, 3);
+}
+
+TEST(ImitateVictim, Case1SkippedWhenWinnerDidNotDisplace)
+{
+    ScriptView v;
+    v.displacedMatch = 3; // would match, but must not be consulted
+    v.outsideWinner = 5;
+    const auto c = imitateVictim(v, false, 0xAB);
+    EXPECT_EQ(c.kind, VictimCase::ShadowAbsent);
+    EXPECT_EQ(c.handle, 5);
+    EXPECT_EQ(v.displacedCalls, 0);
+}
+
+TEST(ImitateVictim, Case2WhenNoDisplacedMatch)
+{
+    ScriptView v;
+    v.outsideWinner = 7;
+    const auto c = imitateVictim(v, true, 0xAB);
+    EXPECT_EQ(c.kind, VictimCase::ShadowAbsent);
+    EXPECT_EQ(c.handle, 7);
+}
+
+TEST(ImitateVictim, Case3FallbackWhenBothSearchesFail)
+{
+    ScriptView v;
+    v.fallbackHandle = 1;
+    const auto c = imitateVictim(v, true, 0xAB);
+    EXPECT_EQ(c.kind, VictimCase::Fallback);
+    EXPECT_EQ(c.handle, 1);
+    EXPECT_EQ(v.fallbackCalls, 1);
+}
+
+TEST(ImitateVictim, RejectWhenNothingIsEvictable)
+{
+    ScriptView v;
+    const auto c = imitateVictim(v, false, 0);
+    EXPECT_EQ(c.kind, VictimCase::Reject);
+    EXPECT_EQ(c.handle, ScriptView::kNone);
+}
+
+// ---------------------------------------------------------------- //
+
+/** Minimal tag-array stand-in for WaySetView. */
+struct FakeTags {
+    std::vector<std::uint64_t> tags;
+    std::uint64_t valid = 0;
+
+    std::uint64_t validMask(unsigned) const { return valid; }
+    std::uint64_t tag(unsigned, unsigned w) const { return tags[w]; }
+};
+
+/** Shadow stand-in: folds to low 4 bits, fixed membership set. */
+struct FakeShadow {
+    std::vector<std::uint64_t> resident;
+
+    std::uint64_t foldTag(std::uint64_t t) const { return t & 0xF; }
+
+    bool
+    containsTag(unsigned, std::uint64_t stored) const
+    {
+        for (std::uint64_t r : resident)
+            if (r == stored)
+                return true;
+        return false;
+    }
+};
+
+TEST(WaySetView, FindsDisplacedMatchByFoldedTag)
+{
+    FakeTags tags{{0x12, 0x23, 0x34, 0x45}, 0xF};
+    FakeShadow shadow;
+    unsigned fb = 0;
+    WaySetView<FakeTags, FakeShadow> view(tags, shadow, 0, 4, &fb);
+    // 0x23 folds to 0x3.
+    EXPECT_EQ(view.findDisplacedMatch(0x3), 1u);
+    EXPECT_EQ(view.findDisplacedMatch(0x9),
+              (WaySetView<FakeTags, FakeShadow>::kNone));
+}
+
+TEST(WaySetView, SkipsInvalidWaysAndFindsOutsideWinner)
+{
+    FakeTags tags{{0x12, 0x23, 0x34, 0x45}, 0b1010}; // ways 1 and 3
+    FakeShadow shadow{{0x3}}; // way 1's folded tag is resident
+    unsigned fb = 0;
+    WaySetView<FakeTags, FakeShadow> view(tags, shadow, 0, 4, &fb);
+    EXPECT_EQ(view.findOutsideWinner(), 3u); // way 3 not in shadow
+}
+
+TEST(WaySetView, FallbackRotatesThroughWays)
+{
+    FakeTags tags{{0, 0, 0, 0}, 0xF};
+    FakeShadow shadow;
+    unsigned fb = 2;
+    WaySetView<FakeTags, FakeShadow> view(tags, shadow, 0, 4, &fb);
+    EXPECT_EQ(view.fallback(), 2u);
+    EXPECT_EQ(view.fallback(), 3u);
+    EXPECT_EQ(view.fallback(), 0u); // wraps
+    EXPECT_EQ(fb, 1u);
+}
+
+} // namespace
+} // namespace adcache::adapt

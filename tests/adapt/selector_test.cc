@@ -1,0 +1,88 @@
+#include "adapt/selector.hh"
+
+#include <gtest/gtest.h>
+
+namespace adcache::adapt
+{
+namespace
+{
+
+TEST(Selector, IgnoresNonDifferentiatingMasks)
+{
+    Selector s = Selector::makeAdaptive(1, 2, true, 0);
+    EXPECT_FALSE(s.record(0, 0b00));
+    EXPECT_FALSE(s.record(0, 0b11));
+    EXPECT_EQ(s.count(0, 0), 0u);
+    EXPECT_EQ(s.count(0, 1), 0u);
+    EXPECT_EQ(s.flips(), 0u);
+}
+
+TEST(Selector, FlipsWhenTheBetterComponentChanges)
+{
+    Selector s = Selector::makeAdaptive(1, 2, true, 0);
+    EXPECT_EQ(s.winner(0), 0u);
+    // Component 0 misses: 1 now has fewer misses... but ties break
+    // toward 0, so one miss by 0 already flips to 1.
+    EXPECT_TRUE(s.record(0, 0b01));
+    EXPECT_EQ(s.winner(0), 1u);
+    EXPECT_FALSE(s.record(0, 0b01)); // still 1, no flip
+    // Two misses by component 1: tie at 2-2 flips back to 0.
+    EXPECT_FALSE(s.record(0, 0b10));
+    EXPECT_TRUE(s.record(0, 0b10));
+    EXPECT_EQ(s.winner(0), 0u);
+    EXPECT_EQ(s.flips(), 2u);
+}
+
+TEST(Selector, WindowModeMatchesHistoryBest)
+{
+    Selector s = Selector::makeAdaptive(2, 2, false, 4);
+    for (int i = 0; i < 6; ++i)
+        s.record(0, 0b01);
+    EXPECT_EQ(s.winner(0), 1u);
+    EXPECT_EQ(s.count(0, 0), 4u); // window-bounded
+    EXPECT_EQ(s.winner(1), 0u);   // other domain untouched
+}
+
+TEST(Selector, FixedModePinsTheWinner)
+{
+    Selector s = Selector::makeFixed(4, 2, 1);
+    EXPECT_FALSE(s.adaptive());
+    EXPECT_FALSE(s.record(2, 0b01));
+    EXPECT_EQ(s.winner(2), 1u);
+    EXPECT_EQ(s.count(2, 0), 0u);
+    EXPECT_EQ(s.flips(), 0u);
+}
+
+TEST(PselSelector, StartsAtMidpointChoosingB)
+{
+    // Midpoint of a 4-bit counter is 8, which is "high": component 1.
+    PselSelector p(4);
+    EXPECT_EQ(p.value(), 8u);
+    EXPECT_EQ(p.choice(), 1u);
+}
+
+TEST(PselSelector, CrossesAndCountsFlips)
+{
+    PselSelector p(2); // starts at 2 (high)
+    EXPECT_TRUE(p.record(false));  // B missed -> drift to A: 1, low
+    EXPECT_EQ(p.choice(), 0u);
+    EXPECT_FALSE(p.record(false)); // 0, still low
+    EXPECT_FALSE(p.record(true));  // 1, still low
+    EXPECT_TRUE(p.record(true));   // 2, high again
+    EXPECT_EQ(p.flips(), 2u);
+}
+
+TEST(PselSelector, Saturates)
+{
+    PselSelector p(2);
+    for (int i = 0; i < 10; ++i)
+        p.record(true);
+    EXPECT_EQ(p.value(), 3u);
+    for (int i = 0; i < 10; ++i)
+        p.record(false);
+    EXPECT_EQ(p.value(), 0u);
+    EXPECT_EQ(p.choice(), 0u);
+}
+
+} // namespace
+} // namespace adcache::adapt

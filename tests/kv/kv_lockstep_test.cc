@@ -92,6 +92,52 @@ TEST(KvLockstepTest, SmallDirectMappedShapeAgrees)
     expectAgreement(params, teststream::Pattern::Loop, 6);
 }
 
+TEST(KvLockstepTest, CmsLfuComponentAgrees)
+{
+    // CMS-LFU as a bucket-scope component: eviction order lives in
+    // the shadow directories' shared sketch, so decay epochs and
+    // fill-stamp tie-breaks must match the oracle bit-for-bit.
+    KvLockstepParams params;
+    params.numBuckets = 16;
+    params.bucketWays = 4;
+    params.components[0] = {PolicyType::LRU, false};
+    params.components[1] = {PolicyType::CmsLfu, false};
+    for (const auto pattern :
+         {teststream::Pattern::Uniform, teststream::Pattern::HotCold,
+          teststream::Pattern::PhaseSwitch})
+        expectAgreement(params, pattern, 211 + unsigned(pattern));
+}
+
+TEST(KvLockstepTest, TinyLfuAdmissionAgrees)
+{
+    // Admission-on vs admission-off twins: the adapted dimension is
+    // the filter itself, and the production cache must imitate the
+    // winner's bypass verdicts exactly.
+    KvLockstepParams params;
+    params.numBuckets = 16;
+    params.bucketWays = 4;
+    params.components[0] = {PolicyType::LRU, true};
+    params.components[1] = {PolicyType::LRU, false};
+    for (const auto pattern :
+         {teststream::Pattern::Uniform, teststream::Pattern::HotCold,
+          teststream::Pattern::PhaseSwitch})
+        expectAgreement(params, pattern, 223 + unsigned(pattern));
+}
+
+TEST(KvLockstepTest, SketchPolicyWithAdmissionAndPartialTagsAgrees)
+{
+    // Everything at once: CMS-LFU eviction, TinyLFU admission, and
+    // folded shadow keys feeding both sketches.
+    KvLockstepParams params;
+    params.numBuckets = 8;
+    params.bucketWays = 4;
+    params.partialBits = 6;
+    params.components[0] = {PolicyType::LRU, false};
+    params.components[1] = {PolicyType::CmsLfu, true};
+    expectAgreement(params, teststream::Pattern::HotCold, 307);
+    expectAgreement(params, teststream::Pattern::PhaseSwitch, 308);
+}
+
 TEST(KvLockstepTest, TinySweepPeriodCatchesNothingExtra)
 {
     // Sweeping every step is the strongest form of the check; it

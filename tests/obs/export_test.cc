@@ -34,11 +34,12 @@ TEST(EventsToJsonl, GoldenCoversEveryKind)
         sbarPselEvent(9, 512, 0, 1),
         kvEvictionEvent(10, 2, 0, EvictCase::AliasingFallback, 0x10),
         kvWinnerFlipEvent(11, 2, 1, 0),
+        kvAdmitRejectEvent(12, 2, 1, 0x2F),
     };
     const MetaPairs meta = {{"session", "unit"}};
 
     const std::string expected =
-        "{\"kind\":\"header\",\"events\":7,\"dropped\":2,"
+        "{\"kind\":\"header\",\"events\":8,\"dropped\":2,"
         "\"session\":\"unit\"}\n"
         "{\"kind\":\"diff_miss\",\"t\":5,\"set\":3,\"miss_mask\":1}\n"
         "{\"kind\":\"winner_flip\",\"t\":6,\"set\":3,\"from\":0,"
@@ -53,7 +54,9 @@ TEST(EventsToJsonl, GoldenCoversEveryKind)
         "\"winner\":0,\"case\":\"aliasing_fallback\","
         "\"key\":\"0x10\"}\n"
         "{\"kind\":\"kv_winner_flip\",\"t\":11,\"shard\":2,"
-        "\"from\":1,\"to\":0}\n";
+        "\"from\":1,\"to\":0}\n"
+        "{\"kind\":\"kv_admit_reject\",\"t\":12,\"shard\":2,"
+        "\"winner\":1,\"key\":\"0x2f\"}\n";
 
     EXPECT_EQ(eventsToJsonl(events, meta, 2), expected);
 }

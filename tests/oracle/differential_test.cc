@@ -45,7 +45,8 @@ expectAgreement(const PairFactory &factory, const FuzzShape &shape,
 TEST(Differential, PlainCachesMatchTheirOracles)
 {
     for (PolicyType p : {PolicyType::LRU, PolicyType::FIFO,
-                         PolicyType::MRU, PolicyType::LFU}) {
+                         PolicyType::MRU, PolicyType::LFU,
+                         PolicyType::CmsLfu}) {
         CacheConfig config;
         config.sizeBytes = 16 * 64 * 4;  // 16 sets x 4 ways
         config.assoc = 4;
@@ -102,6 +103,63 @@ TEST(Differential, MultiPolicyAdaptiveMatches)
     shape.assoc = 4;
     expectAgreement(makeAdaptivePair(three), shape);
     expectAgreement(makeAdaptivePair(four), shape);
+}
+
+TEST(Differential, SketchLfuAdaptiveMatches)
+{
+    // CMS-LFU as an adaptive component: the shared sketch's decay
+    // schedule and fill-stamp tie-breaks must agree bit-for-bit.
+    for (unsigned partial : {0u, 8u}) {
+        AdaptiveConfig config = AdaptiveConfig::dual(
+            PolicyType::LRU, PolicyType::CmsLfu, 16 * 64 * 4, 4);
+        config.partialTagBits = partial;
+        FuzzShape shape;
+        shape.numSets = 16;
+        shape.assoc = 4;
+        shape.partialTagBits = partial;
+        expectAgreement(makeAdaptivePair(config), shape);
+    }
+}
+
+TEST(Differential, TinyLfuAdmissionMatches)
+{
+    // Admission changes what enters the cache, not just what leaves:
+    // bypass verdicts, imitated rejects, and the shared filter's
+    // decay schedule must all stay in lockstep.
+    struct Case
+    {
+        std::vector<std::uint8_t> admission;
+        unsigned partial;
+    };
+    const Case cases[] = {
+        {{0, 1}, 0}, // admission on the LFU component only
+        {{1, 1}, 0}, // admission everywhere
+        {{0, 1}, 8}, // folded keys feed the filter
+    };
+    for (const Case &c : cases) {
+        AdaptiveConfig config = AdaptiveConfig::dual(
+            PolicyType::LRU, PolicyType::LFU, 16 * 64 * 4, 4);
+        config.admission = c.admission;
+        config.partialTagBits = c.partial;
+        FuzzShape shape;
+        shape.numSets = 16;
+        shape.assoc = 4;
+        shape.partialTagBits = c.partial;
+        expectAgreement(makeAdaptivePair(config), shape);
+    }
+}
+
+TEST(Differential, SketchPolicyWithAdmissionMatches)
+{
+    // Both sketch consumers at once: CMS-LFU eviction plus TinyLFU
+    // admission, each with its own sketch instance.
+    AdaptiveConfig config = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::CmsLfu, 16 * 64 * 4, 4);
+    config.admission = {0, 1};
+    FuzzShape shape;
+    shape.numSets = 16;
+    shape.assoc = 4;
+    expectAgreement(makeAdaptivePair(config), shape);
 }
 
 TEST(Differential, SbarLeadersAndFollowersMatch)

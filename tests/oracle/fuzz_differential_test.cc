@@ -70,7 +70,8 @@ TEST(FuzzDifferential, PlainCaches)
 {
     std::uint64_t offset = 0;
     for (PolicyType p : {PolicyType::LRU, PolicyType::FIFO,
-                         PolicyType::MRU, PolicyType::LFU}) {
+                         PolicyType::MRU, PolicyType::LFU,
+                         PolicyType::CmsLfu}) {
         CacheConfig config;
         config.sizeBytes = 16 * 64 * 4;
         config.assoc = 4;
@@ -124,6 +125,32 @@ TEST(FuzzDifferential, AdaptiveMultiPolicy)
                        PolicyType::FIFO, PolicyType::MRU};
     fuzzPair(makeAdaptivePair(config), shapeFor(8, 4),
              adaptiveConfigLine(config), 30);
+}
+
+TEST(FuzzDifferential, SketchPoliciesAndAdmission)
+{
+    // Sketch-backed configs: CMS-LFU eviction and TinyLFU admission
+    // ride the frequency-phase-shift motif hard enough to cross decay
+    // epochs many times per stream.
+    std::uint64_t offset = 50;
+
+    AdaptiveConfig cms = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::CmsLfu, 16 * 64 * 4, 4);
+    fuzzPair(makeAdaptivePair(cms), shapeFor(16, 4),
+             adaptiveConfigLine(cms), ++offset);
+
+    AdaptiveConfig admit = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::LFU, 16 * 64 * 4, 4);
+    admit.admission = {0, 1};
+    fuzzPair(makeAdaptivePair(admit), shapeFor(16, 4),
+             adaptiveConfigLine(admit), ++offset);
+
+    AdaptiveConfig both = AdaptiveConfig::dual(
+        PolicyType::LRU, PolicyType::CmsLfu, 16 * 64 * 4, 4);
+    both.admission = {1, 1};
+    both.partialTagBits = 8;
+    fuzzPair(makeAdaptivePair(both), shapeFor(16, 4, 8),
+             adaptiveConfigLine(both), ++offset);
 }
 
 TEST(FuzzDifferential, Sbar)
