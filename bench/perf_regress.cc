@@ -5,7 +5,11 @@
  * shard) over seeded access streams that are decoded once into chunk
  * buffers before any timing starts, measures wall-clock accesses/sec
  * and ns/access per organisation, and emits the results as a
- * ReportGrid JSON document (BENCH_hotpath.json).
+ * ReportGrid JSON document (BENCH_hotpath.json). Two additional rows
+ * (kv-read-1t, kv-read-mt) drive the kv cache's lock-free read path
+ * with a Zipf(0.99) read-mostly mix, single-threaded and with 4 real
+ * threads; --check enforces a hardware-concurrency-aware scaling
+ * floor between them on top of the per-row ns/access envelope.
  *
  * Modes:
  *   perf_regress                    measure and write the JSON
@@ -32,13 +36,16 @@
  * (see docs/PERFORMANCE.md for the update procedure).
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -127,6 +134,7 @@ struct Measurement
     std::string variant;
     double nsPerAccess = 0.0;
     double accessesPerSec = 0.0;
+    double scalingVs1t = 0.0; //!< kv-read-mt only; 0 = not set
 };
 
 Measurement
@@ -228,6 +236,106 @@ runMatrix(std::size_t accesses, unsigned reps)
     return out;
 }
 
+/** Number of worker threads in the kv-read-mt row (fixed, so the
+ *  committed baseline is comparable across runs; the --check floor
+ *  adapts to the machine's core count instead). */
+constexpr unsigned kKvReadThreads = 4;
+
+/**
+ * The lock-free read path rows: a prepopulated 16-shard cache
+ * driven by pre-generated Zipf(0.99) read-mostly streams (90% get /
+ * 10% put), measured single-threaded and with kKvReadThreads real
+ * std::threads released together off a spin barrier. Wall-clock
+ * ns/op, best-of-@p reps; the same cache instance is reused across
+ * reps so every rep measures the steady state.
+ */
+std::vector<Measurement>
+runKvReadRows(std::size_t total_ops, unsigned reps)
+{
+    kv::KvConfig conf;
+    conf.capacity = 16 * 1024;
+    conf.numShards = 16;
+    conf.numBuckets = 256;
+    kv::AdaptiveKvCache cache(conf);
+
+    const std::uint64_t keyspace = 1 << 17;
+    const ZipfSampler zipf(keyspace, 0.99);
+    {
+        Rng rng(7);
+        for (std::uint64_t i = 0; i < 2 * conf.capacity; ++i)
+            cache.put(zipf(rng), "v");
+    }
+
+    // Pre-generated per-thread programs: no sampler in the timed
+    // loop, mirroring the decoded streams of the cache matrix.
+    const std::size_t per_thread = total_ops / kKvReadThreads;
+    std::vector<std::vector<kv::KvKey>> keys(kKvReadThreads);
+    std::vector<std::vector<std::uint8_t>> puts(kKvReadThreads);
+    for (unsigned t = 0; t < kKvReadThreads; ++t) {
+        Rng rng(71 + t);
+        keys[t].reserve(per_thread);
+        puts[t].reserve(per_thread);
+        for (std::size_t i = 0; i < per_thread; ++i) {
+            keys[t].push_back(zipf(rng));
+            puts[t].push_back(i % 10 == 0 ? 1 : 0);
+        }
+    }
+
+    auto runThread = [&cache](const std::vector<kv::KvKey> &ks,
+                              const std::vector<std::uint8_t> &ps) {
+        for (std::size_t i = 0; i < ks.size(); ++i) {
+            if (ps[i])
+                cache.put(ks[i], "v");
+            else
+                cache.get(ks[i]);
+        }
+    };
+
+    auto timedRound = [&](unsigned threads) {
+        if (threads == 1) {
+            const auto start = std::chrono::steady_clock::now();
+            for (unsigned t = 0; t < kKvReadThreads; ++t)
+                runThread(keys[t], puts[t]);
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                .count();
+        }
+        std::atomic<unsigned> arrived{0};
+        std::atomic<bool> go{false};
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back([&, t] {
+                arrived.fetch_add(1);
+                while (!go.load(std::memory_order_acquire)) {
+                }
+                runThread(keys[t], puts[t]);
+            });
+        while (arrived.load() < threads) {
+        }
+        const auto start = std::chrono::steady_clock::now();
+        go.store(true, std::memory_order_release);
+        for (auto &th : pool)
+            th.join();
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    const std::size_t n = per_thread * kKvReadThreads;
+    std::vector<Measurement> out;
+    double best_1t = 1e300, best_mt = 1e300;
+    for (unsigned r = 0; r < reps; ++r)
+        best_1t = std::min(best_1t, timedRound(1));
+    for (unsigned r = 0; r < reps; ++r)
+        best_mt = std::min(best_mt, timedRound(kKvReadThreads));
+
+    out.push_back(record("kv-read-1t", best_1t, n));
+    out.push_back(record("kv-read-mt", best_mt, n));
+    out.back().scalingVs1t = best_1t / best_mt;
+    return out;
+}
+
 ReportGrid
 toGrid(const std::vector<Measurement> &ms, std::size_t accesses,
        unsigned reps)
@@ -242,10 +350,19 @@ toGrid(const std::vector<Measurement> &ms, std::size_t accesses,
 #else
     grid.addMeta("build", "debug");
 #endif
+    grid.addMeta("kv_read_mt_threads",
+                 std::to_string(kKvReadThreads));
+    grid.addMeta("hardware_concurrency",
+                 std::to_string(std::thread::hardware_concurrency()));
     for (const auto &m : ms) {
         ReportRow &row = grid.add("hotpath", m.variant);
+        // ns_per_access must stay the FIRST stat of every variant:
+        // parseBaseline pairs each "variant" with the next
+        // "ns_per_access" occurrence.
         row.stats.value("ns_per_access", m.nsPerAccess);
         row.stats.value("accesses_per_sec", m.accessesPerSec);
+        if (m.scalingVs1t > 0.0)
+            row.stats.value("scaling_vs_1t", m.scalingVs1t);
     }
     return grid;
 }
@@ -328,6 +445,42 @@ check(const std::vector<Measurement> &measured,
                      "%8.2f ns (%+.1f%%)%s\n",
                      m.variant.c_str(), m.nsPerAccess, b->nsPerAccess,
                      100.0 * (ratio - 1.0), bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
+
+    // Multi-threaded read scaling gate: the kv-read rows share one
+    // operation count, so throughput scaling is the ns/op ratio.
+    // The floor adapts to this machine's core count — a 4-thread
+    // 2.5x demand is physics on >= 4 cores and fiction on 1 — and
+    // the rows are required, so a build that silently dropped them
+    // fails closed.
+    double kv_1t = 0.0, kv_mt = 0.0;
+    for (const auto &m : measured) {
+        if (m.variant == "kv-read-1t")
+            kv_1t = m.nsPerAccess;
+        else if (m.variant == "kv-read-mt")
+            kv_mt = m.nsPerAccess;
+    }
+    if (kv_1t <= 0.0 || kv_mt <= 0.0) {
+        std::fprintf(stderr,
+                     "perf_regress: kv-read scaling rows missing "
+                     "from the measurement — failing closed\n");
+        ++failures;
+    } else {
+        const unsigned hw = std::thread::hardware_concurrency();
+        // >= 4 cores: demand real parallel speedup. 2-3 cores:
+        // partial. <= 1 core: threads time-slice; only bound the
+        // synchronization overhead of the lock-free path.
+        const double floor =
+            hw >= 4 ? 2.5 : (hw >= 2 ? 1.2 : 0.40);
+        const double scaling = kv_1t / kv_mt;
+        const bool bad = scaling < floor;
+        std::fprintf(stderr,
+                     "perf_regress: kv-read-mt scaling %.2fx vs 1t "
+                     "(floor %.2fx at hw=%u)%s\n",
+                     scaling, floor, hw,
+                     bad ? "  REGRESSION" : "");
         if (bad)
             ++failures;
     }
@@ -486,7 +639,14 @@ main(int argc, char **argv)
     }
 #endif
 
-    const auto measured = runMatrix(accesses, reps);
+    auto measured = runMatrix(accesses, reps);
+    {
+        // The kv read rows use a quarter of the matrix budget: two
+        // timed configurations x reps over a prepopulated cache.
+        const auto kv_rows = runKvReadRows(accesses / 4, reps);
+        measured.insert(measured.end(), kv_rows.begin(),
+                        kv_rows.end());
+    }
     ReportGrid grid = toGrid(measured, accesses, reps);
     obs::appendRunMeta(grid); // artifact identifies its build
     const std::string json = renderJson(grid);

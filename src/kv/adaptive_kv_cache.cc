@@ -39,6 +39,10 @@ class ScopedOpTimer
     ScopedOpTimer(const ScopedOpTimer &) = delete;
     ScopedOpTimer &operator=(const ScopedOpTimer &) = delete;
 
+    /** Reclassify before destruction (Get -> GetSlow when the
+     *  lock-free path fell back to the mutex). */
+    void reclass(obs::KvOp op) { op_ = op; }
+
   private:
     obs::KvOp op_;
     std::uint64_t t0_ = 0;
@@ -76,8 +80,38 @@ AdaptiveKvCache::get(KvKey key)
     ScopedOpTimer timer(obs::KvOp::Get);
     const std::uint64_t h = hashOf(key);
     const unsigned s = unsigned(h & shardMask_);
+    KvShard &shard = *shards_[s];
+
+    unsigned retries = 0;
+    if (shard.lockFreeEnabled()) {
+        std::string value;
+        auto result = KvShard::ProbeResult::NeedSlow;
+        {
+            // The guard scope ends before any mutex wait so a
+            // blocked reader never stalls epoch advancement.
+            EpochGuard guard;
+            if (guard.engaged())
+                result = shard.tryProbe(key, h, &value, &retries);
+        }
+        switch (result) {
+          case KvShard::ProbeResult::Hit:
+            return value;
+          case KvShard::ProbeResult::Miss:
+            return std::nullopt;
+          case KvShard::ProbeResult::NeedTouchDrain: {
+            timer.reclass(obs::KvOp::GetSlow);
+            std::scoped_lock lock(locks_[s]);
+            shard.touchSlow(key, h);
+            return value;
+          }
+          case KvShard::ProbeResult::NeedSlow:
+            timer.reclass(obs::KvOp::GetSlow);
+            break;
+        }
+    }
+
     std::scoped_lock lock(locks_[s]);
-    const std::string *v = shards_[s]->probe(key, h);
+    const std::string *v = shard.probe(key, h, retries);
     if (!v)
         return std::nullopt;
     return *v;
@@ -131,21 +165,35 @@ AdaptiveKvCache::erase(KvKey key)
 }
 
 bool
-AdaptiveKvCache::pin(KvKey key)
+AdaptiveKvCache::setPinned(KvKey key, bool pinned)
 {
     const std::uint64_t h = hashOf(key);
     const unsigned s = unsigned(h & shardMask_);
+    KvShard &shard = *shards_[s];
+    if (shard.lockFreeEnabled()) {
+        int done = -1;
+        {
+            EpochGuard guard;
+            if (guard.engaged())
+                done = shard.trySetPinned(key, h, pinned);
+        }
+        if (done >= 0)
+            return done == 1;
+    }
     std::scoped_lock lock(locks_[s]);
-    return shards_[s]->setPinned(key, h, true);
+    return shard.setPinned(key, h, pinned);
+}
+
+bool
+AdaptiveKvCache::pin(KvKey key)
+{
+    return setPinned(key, true);
 }
 
 bool
 AdaptiveKvCache::unpin(KvKey key)
 {
-    const std::uint64_t h = hashOf(key);
-    const unsigned s = unsigned(h & shardMask_);
-    std::scoped_lock lock(locks_[s]);
-    return shards_[s]->setPinned(key, h, false);
+    return setPinned(key, false);
 }
 
 bool
@@ -153,8 +201,19 @@ AdaptiveKvCache::contains(KvKey key) const
 {
     const std::uint64_t h = hashOf(key);
     const unsigned s = unsigned(h & shardMask_);
+    const KvShard &shard = *shards_[s];
+    if (shard.lockFreeEnabled()) {
+        int resident = -1;
+        {
+            EpochGuard guard;
+            if (guard.engaged())
+                resident = shard.containsRelaxed(key, h);
+        }
+        if (resident >= 0)
+            return resident == 1;
+    }
     std::scoped_lock lock(locks_[s]);
-    return shards_[s]->contains(key, h);
+    return shard.contains(key, h);
 }
 
 std::size_t
@@ -210,6 +269,8 @@ AdaptiveKvCache::registerStats(StatRegistry &reg,
                 total.fallbackEvictions);
     reg.counter(prefix + "rejected_puts", total.rejected);
     reg.counter(prefix + "erases", total.erases);
+    reg.counter(prefix + "read_retries", total.readRetries);
+    reg.counter(prefix + "slow_probes", total.slowProbes);
     for (unsigned k = 0; k < kvNumComponents; ++k) {
         const std::string name =
             kvComponentName(config_.components[k]);

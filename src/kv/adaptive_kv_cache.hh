@@ -8,10 +8,15 @@
  * within it, and the remainder is the key tag the shadow directories
  * fold — the software analog of an address's index/tag split.
  *
- * Every operation takes exactly one shard mutex; shards share no
+ * Mutating operations take exactly one shard mutex; shards share no
  * mutable state, so the cache scales with the number of shards until
  * the key distribution itself serializes (kv_throughput measures
- * this). Stats aggregate through StatRegistry so kv experiments flow
+ * this). With KvConfig::lockFreeReads (the Shard-scope default),
+ * get/contains/pin/unpin serve their common cases without any mutex
+ * at all: an epoch-guarded optimistic probe validated by per-bucket
+ * seqlocks, with LRU/LFU promotion deferred into a bounded ring the
+ * mutating operations drain (docs/KVCACHE.md "Concurrency model").
+ * Stats aggregate through StatRegistry so kv experiments flow
  * through the same report pipeline as the simulator benches.
  */
 
@@ -99,6 +104,7 @@ class AdaptiveKvCache
 
   private:
     std::uint64_t hashOf(KvKey key) const;
+    bool setPinned(KvKey key, bool pinned);
 
     KvConfig config_;
     unsigned shardMask_;

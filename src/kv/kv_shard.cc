@@ -25,6 +25,8 @@ KvShardStats::add(const KvShardStats &o)
     rejected += o.rejected;
     admitRejects += o.admitRejects;
     erases += o.erases;
+    readRetries += o.readRetries;
+    slowProbes += o.slowProbes;
     for (unsigned k = 0; k < kvNumComponents; ++k)
         decisions[k] += o.decisions[k];
 }
@@ -63,6 +65,8 @@ KvShardConfig::fromCache(const KvConfig &config, unsigned shard_index)
     c.hashShift = floorLog2(config.numShards);
     c.shardIndex = shard_index;
     c.rngSeed = config.rngSeed ^ mixKey(shard_index + 1);
+    c.lockFreeReads = config.lockFreeReads;
+    c.touchCapacity = config.touchCapacity;
     return c;
 }
 
@@ -118,7 +122,7 @@ class KvShard::BucketScopeView
     {
         for (unsigned w = 0; w < n_; ++w) {
             const KvEntry *e = ways_[w];
-            if (e && !e->pinned &&
+            if (e && !e->isPinned() &&
                 shadow_.foldTag(e->tag) == displaced_tag)
                 return w;
         }
@@ -130,7 +134,7 @@ class KvShard::BucketScopeView
     {
         for (unsigned w = 0; w < n_; ++w) {
             const KvEntry *e = ways_[w];
-            if (e && !e->pinned &&
+            if (e && !e->isPinned() &&
                 !shadow_.containsTag(bucket_,
                                      shadow_.foldTag(e->tag)))
                 return w;
@@ -145,7 +149,7 @@ class KvShard::BucketScopeView
         for (unsigned i = 0; i < n_; ++i) {
             const unsigned w = (start + i) % n_;
             const KvEntry *e = ways_[w];
-            if (e && !e->pinned) {
+            if (e && !e->isPinned()) {
                 shard_.fallbackPtr_[bucket_] = (w + 1) % n_;
                 return w;
             }
@@ -183,9 +187,11 @@ class KvShard::ShardScopeView
     findDisplacedMatch(std::uint64_t displaced_tag) const
     {
         const KvShadowDir &shadow = *shard_.shadows_[winner_];
-        for (KvEntry *e = shard_.buckets_[bucket_].chain; e;
-             e = e->chainNext) {
-            if (!e->pinned &&
+        for (KvEntry *e = shard_.buckets_[bucket_].chain.load(
+                 std::memory_order_seq_cst);
+             e;
+             e = e->chainNext.load(std::memory_order_seq_cst)) {
+            if (!e->isPinned() &&
                 shadow.foldTag(e->tag) == displaced_tag)
                 return e;
         }
@@ -202,7 +208,7 @@ class KvShard::ShardScopeView
                              : shard_.lfu_.firstCandidate();
         for (unsigned i = 0; e && i < shard_.config_.bucketWays;
              ++i) {
-            if (!e->pinned)
+            if (!e->isPinned())
                 return e;
             e = use_lru ? shard_.recency_.nextCandidate(e)
                         : shard_.lfu_.nextCandidate(e);
@@ -216,9 +222,11 @@ class KvShard::ShardScopeView
         const unsigned mask = shard_.config_.numBuckets - 1;
         for (unsigned i = 0; i < shard_.config_.numBuckets; ++i) {
             const unsigned b = (shard_.fallbackBucket_ + i) & mask;
-            for (KvEntry *c = shard_.buckets_[b].chain; c;
-                 c = c->chainNext) {
-                if (!c->pinned) {
+            for (KvEntry *c = shard_.buckets_[b].chain.load(
+                     std::memory_order_seq_cst);
+                 c;
+                 c = c->chainNext.load(std::memory_order_seq_cst)) {
+                if (!c->isPinned()) {
                     shard_.fallbackBucket_ = (b + 1) & mask;
                     return c;
                 }
@@ -242,7 +250,9 @@ KvShard::KvShard(const KvShardConfig &config)
     adcache_assert(config_.bucketWays >= 1);
     adcache_assert(config_.leaderEvery >= 1);
 
-    buckets_.assign(config_.numBuckets, Bucket{});
+    buckets_ = std::make_unique<Bucket[]>(config_.numBuckets);
+    if (lockFreeEnabled())
+        touches_ = std::make_unique<TouchRing>(config_.touchCapacity);
     if (config_.scope == EvictionScope::Bucket) {
         adcache_assert(config_.leaderEvery == 1);
         adcache_assert(config_.selector == SelectorMode::Adaptive);
@@ -273,10 +283,18 @@ KvShard::KvShard(const KvShardConfig &config)
 
 KvShard::~KvShard()
 {
-    for (Bucket &b : buckets_) {
-        KvEntry *e = b.chain;
+    // The owner guarantees quiescence at destruction time, so the
+    // limbo list can be freed regardless of epoch age.
+    for (const Retired &r : limbo_) {
+        delete r.entry;
+        delete r.str;
+    }
+    for (unsigned i = 0; i < config_.numBuckets; ++i) {
+        KvEntry *e =
+            buckets_[i].chain.load(std::memory_order_relaxed);
         while (e) {
-            KvEntry *next = e->chainNext;
+            KvEntry *next =
+                e->chainNext.load(std::memory_order_relaxed);
             delete e;
             e = next;
         }
@@ -316,7 +334,9 @@ KvShard::isLeader(unsigned bucket) const
 KvEntry *
 KvShard::findChain(unsigned bucket, KvKey key) const
 {
-    for (KvEntry *e = buckets_[bucket].chain; e; e = e->chainNext)
+    for (KvEntry *e =
+             buckets_[bucket].chain.load(std::memory_order_seq_cst);
+         e; e = e->chainNext.load(std::memory_order_seq_cst))
         if (e->key == key)
             return e;
     return nullptr;
@@ -373,10 +393,114 @@ KvShard::shardVictim(unsigned bucket, bool leader, unsigned winner,
 }
 
 void
+KvShard::beginBucketChange(unsigned bucket)
+{
+    buckets_[bucket].seq.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void
+KvShard::endBucketChange(unsigned bucket)
+{
+    buckets_[bucket].seq.fetch_add(1, std::memory_order_seq_cst);
+}
+
+bool
+KvShard::killForRemoval(KvEntry *e)
+{
+    std::uint32_t expected = 0;
+    return e->pinState.compare_exchange_strong(
+        expected, KvEntry::kDyingBit, std::memory_order_seq_cst,
+        std::memory_order_seq_cst);
+}
+
+void
+KvShard::setValue(KvEntry *e, std::string &&v)
+{
+    const std::string *old =
+        e->value.load(std::memory_order_seq_cst);
+    if (*old == v)
+        return; // identical overwrite: keep the published string
+    e->value.store(new std::string(std::move(v)),
+                   std::memory_order_seq_cst);
+    retireString(old);
+}
+
+void
+KvShard::retireEntry(KvEntry *e)
+{
+    if (!lockFreeEnabled()) {
+        delete e;
+        return;
+    }
+    limbo_.push_back(
+        {EpochDomain::instance().current(), e, nullptr});
+    maybeReclaim();
+}
+
+void
+KvShard::retireString(const std::string *s)
+{
+    if (!lockFreeEnabled()) {
+        delete s;
+        return;
+    }
+    limbo_.push_back(
+        {EpochDomain::instance().current(), nullptr, s});
+    maybeReclaim();
+}
+
+void
+KvShard::maybeReclaim(bool force)
+{
+    constexpr std::size_t kReclaimBatch = 64;
+    if (!force && limbo_.size() < kReclaimBatch)
+        return;
+    EpochDomain &domain = EpochDomain::instance();
+    // Freeing a retirement needs the epoch two past it; two gated
+    // attempts cover the idle case in a single call.
+    domain.tryAdvance();
+    domain.tryAdvance();
+    const std::uint64_t cur = domain.current();
+    std::size_t kept = 0;
+    for (const Retired &r : limbo_) {
+        if (r.epoch + 2 <= cur) {
+            delete r.entry;
+            delete r.str;
+        } else {
+            limbo_[kept++] = r;
+        }
+    }
+    limbo_.resize(kept);
+}
+
+void
+KvShard::promote(KvEntry *e)
+{
+    recency_.moveToFront(e);
+    lfu_.onHit(e);
+}
+
+void
+KvShard::drainTouches()
+{
+    if (!touches_)
+        return;
+    touches_->drain([this](KvKey key, std::uint64_t hash) {
+        // The entry may have been evicted, erased, or replaced by a
+        // fresh insert since the touch was queued; promoting by key
+        // identity is exactly the relaxed semantics documented.
+        if (KvEntry *e = findChain(bucketOf(hash), key))
+            promote(e);
+    });
+}
+
+void
 KvShard::unlinkEntry(KvEntry *e)
 {
-    if (e->pinned)
-        --pinned_;
+    const std::uint32_t old = e->pinState.fetch_or(
+        KvEntry::kDyingBit, std::memory_order_seq_cst);
+    if (old & KvEntry::kPinnedBit)
+        pinned_.fetch_sub(1, std::memory_order_seq_cst);
     if (config_.scope == EvictionScope::Bucket) {
         auto &ways = slots_[e->bucket];
         for (unsigned w = 0; w < config_.bucketWays; ++w) {
@@ -385,19 +509,27 @@ KvShard::unlinkEntry(KvEntry *e)
                 break;
             }
         }
-    } else {
-        Bucket &b = buckets_[e->bucket];
-        if (e->chainPrev)
-            e->chainPrev->chainNext = e->chainNext;
-        else
-            b.chain = e->chainNext;
-        if (e->chainNext)
-            e->chainNext->chainPrev = e->chainPrev;
-        recency_.remove(e);
-        lfu_.remove(e);
+        --size_;
+        delete e;
+        return;
     }
+    Bucket &b = buckets_[e->bucket];
+    beginBucketChange(e->bucket);
+    KvEntry *next = e->chainNext.load(std::memory_order_seq_cst);
+    if (e->chainPrev)
+        e->chainPrev->chainNext.store(next,
+                                      std::memory_order_seq_cst);
+    else
+        b.chain.store(next, std::memory_order_seq_cst);
+    if (next)
+        next->chainPrev = e->chainPrev;
+    endBucketChange(e->bucket);
+    recency_.remove(e);
+    lfu_.remove(e);
     --size_;
-    delete e;
+    // The victim's own chainNext is left intact so a reader paused
+    // on it mid-walk still reaches the rest of the chain.
+    retireEntry(e);
 }
 
 KvOutcome
@@ -406,6 +538,7 @@ KvShard::reference(KvKey key, std::uint64_t h,
                    bool overwrite, bool pin, std::string *value_out)
 {
     KvOutcome out;
+    drainTouches();
     ++stats_.references;
     const unsigned bucket = bucketOf(h);
     const std::uint64_t tag = tagOf(h);
@@ -443,21 +576,21 @@ KvShard::reference(KvKey key, std::uint64_t h,
     if (KvEntry *e = find(bucket, key, &hit_way)) {
         ++stats_.hits;
         out.hit = true;
-        if (config_.scope == EvictionScope::Shard) {
-            recency_.moveToFront(e);
-            lfu_.onHit(e);
-        }
+        if (config_.scope == EvictionScope::Shard)
+            promote(e);
         if (overwrite) {
-            e->value = make_value();
+            setValue(e, make_value());
             out.updated = true;
             ++stats_.updates;
         }
-        if (pin && !e->pinned) {
-            e->pinned = true;
-            ++pinned_;
+        if (pin) {
+            const std::uint32_t old = e->pinState.fetch_or(
+                KvEntry::kPinnedBit, std::memory_order_seq_cst);
+            if (!(old & KvEntry::kPinnedBit))
+                pinned_.fetch_add(1, std::memory_order_seq_cst);
         }
         if (value_out)
-            *value_out = e->value;
+            *value_out = *e->value.load(std::memory_order_seq_cst);
         return out;
     }
 
@@ -502,12 +635,51 @@ KvShard::reference(KvKey key, std::uint64_t h,
         }
 
         adapt::VictimCase evict_case = adapt::VictimCase::VictimMatch;
-        KvEntry *victim =
-            config_.scope == EvictionScope::Bucket
-                ? bucketVictim(bucket, winner, shadow_out[winner],
-                               &fill_way, evict_case)
-                : shardVictim(bucket, leader, winner,
-                              shadow_out[winner], evict_case);
+        KvEntry *victim = nullptr;
+        bool admit_rejected = false;
+        for (;;) {
+            evict_case = adapt::VictimCase::VictimMatch;
+            victim = config_.scope == EvictionScope::Bucket
+                         ? bucketVictim(bucket, winner,
+                                        shadow_out[winner],
+                                        &fill_way, evict_case)
+                         : shardVictim(bucket, leader, winner,
+                                       shadow_out[winner],
+                                       evict_case);
+            if (!victim)
+                break;
+            // Shard scope queries the filter on the real
+            // (candidate, victim) pair — there is no per-reference
+            // shadow verdict to imitate for follower buckets or
+            // fixed selectors. Checked before the removal claim so
+            // a refused candidate never marks a victim dying.
+            if (config_.scope == EvictionScope::Shard &&
+                admission_ &&
+                config_.components[winner].admission &&
+                !admission_->admit(admitKey(tag),
+                                   admitKey(victim->tag))) {
+                admit_rejected = true;
+                break;
+            }
+            // Claim the victim against concurrent lock-free
+            // pinners; on a lost race it is pinned now and the
+            // re-run search skips it.
+            if (!lockFreeEnabled() || killForRemoval(victim))
+                break;
+        }
+
+        if (admit_rejected) {
+            out.admitRejected = true;
+            ++stats_.admitRejects;
+            if (obs::traceEnabled())
+                obs::emit(obs::kvAdmitRejectEvent(stats_.references,
+                                                  config_.shardIndex,
+                                                  winner, key));
+            if (value_out)
+                *value_out = make_value();
+            return out;
+        }
+
         if (!victim) {
             // Pins defeated every search: the fallback rotation is
             // still accounted (it ran and found nothing) and the
@@ -516,24 +688,6 @@ KvShard::reference(KvKey key, std::uint64_t h,
             ++stats_.fallbackEvictions;
             out.rejected = true;
             ++stats_.rejected;
-            if (value_out)
-                *value_out = make_value();
-            return out;
-        }
-
-        // Shard scope queries the filter on the real (candidate,
-        // victim) pair — there is no per-reference shadow verdict to
-        // imitate for follower buckets or fixed selectors.
-        if (config_.scope == EvictionScope::Shard && admission_ &&
-            config_.components[winner].admission &&
-            !admission_->admit(admitKey(tag),
-                               admitKey(victim->tag))) {
-            out.admitRejected = true;
-            ++stats_.admitRejects;
-            if (obs::traceEnabled())
-                obs::emit(obs::kvAdmitRejectEvent(stats_.references,
-                                                  config_.shardIndex,
-                                                  winner, key));
             if (value_out)
                 *value_out = make_value();
             return out;
@@ -568,18 +722,25 @@ KvShard::reference(KvKey key, std::uint64_t h,
     e->key = key;
     e->tag = tag;
     e->bucket = bucket;
-    e->pinned = pin;
-    e->value = make_value();
+    e->pinState.store(pin ? KvEntry::kPinnedBit : 0u,
+                      std::memory_order_relaxed);
+    e->value.store(new std::string(make_value()),
+                   std::memory_order_relaxed);
     if (pin)
-        ++pinned_;
+        pinned_.fetch_add(1, std::memory_order_seq_cst);
     if (config_.scope == EvictionScope::Bucket) {
         slots_[bucket][fill_way] = e;
     } else {
         Bucket &b = buckets_[bucket];
-        e->chainNext = b.chain;
-        if (b.chain)
-            b.chain->chainPrev = e;
-        b.chain = e;
+        KvEntry *head = b.chain.load(std::memory_order_seq_cst);
+        e->chainNext.store(head, std::memory_order_relaxed);
+        beginBucketChange(bucket);
+        if (head)
+            head->chainPrev = e;
+        // Publication point: every field above is initialized
+        // before the head store makes the entry reachable.
+        b.chain.store(e, std::memory_order_seq_cst);
+        endBucketChange(bucket);
         recency_.pushFront(e);
         lfu_.onInsert(e);
     }
@@ -587,28 +748,181 @@ KvShard::reference(KvKey key, std::uint64_t h,
     ++stats_.inserts;
     out.inserted = true;
     if (value_out)
-        *value_out = e->value;
+        *value_out = *e->value.load(std::memory_order_relaxed);
     return out;
 }
 
 const std::string *
-KvShard::probe(KvKey key, std::uint64_t h)
+KvShard::probe(KvKey key, std::uint64_t h, unsigned retries)
 {
-    ++stats_.gets;
+    drainTouches();
+    if (retries > 0) {
+        // A lock-free probe exhausted its optimism and fell in
+        // here; make the storm observable.
+        readRetries_.fetch_add(retries, std::memory_order_relaxed);
+        slowProbes_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::traceEnabled())
+            obs::emit(obs::kvReadRetryEvent(
+                gets_.load(std::memory_order_relaxed),
+                config_.shardIndex, retries, key));
+    }
+    gets_.fetch_add(1, std::memory_order_relaxed);
     KvEntry *e = find(bucketOf(h), key, nullptr);
     if (!e)
         return nullptr;
-    ++stats_.getHits;
-    if (config_.scope == EvictionScope::Shard) {
-        recency_.moveToFront(e);
-        lfu_.onHit(e);
+    getHits_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.scope == EvictionScope::Shard)
+        promote(e);
+    return e->value.load(std::memory_order_seq_cst);
+}
+
+KvShard::ProbeResult
+KvShard::tryProbe(KvKey key, std::uint64_t h,
+                  std::string *value_out, unsigned *retries_out)
+{
+    constexpr unsigned kMaxOptimism = 4;
+    const unsigned bucket = bucketOf(h);
+    const Bucket &b = buckets_[bucket];
+    unsigned retries = 0;
+    while (retries < kMaxOptimism) {
+        const std::uint32_t s1 =
+            b.seq.load(std::memory_order_seq_cst);
+        if (s1 & 1) {
+            // A writer is restructuring this bucket right now; the
+            // mutex slow path is the correct backoff.
+            ++retries;
+            continue;
+        }
+        KvEntry *found = nullptr;
+        for (KvEntry *e =
+                 b.chain.load(std::memory_order_seq_cst);
+             e; e = e->chainNext.load(std::memory_order_seq_cst)) {
+            if (e->key == key) {
+                found = e;
+                break;
+            }
+        }
+        if (!found) {
+            if (b.seq.load(std::memory_order_seq_cst) != s1) {
+                // The chain changed under the walk; a concurrent
+                // insert of this very key may have been skipped.
+                ++retries;
+                continue;
+            }
+            *retries_out = retries;
+            gets_.fetch_add(1, std::memory_order_relaxed);
+            return ProbeResult::Miss;
+        }
+        // Hits need no seqlock validation: key/tag are immutable
+        // once published, the value is an immutable heap string
+        // swapped by pointer, and the epoch guard keeps both the
+        // entry and the string alive — so whatever pointer this
+        // load returns was the published value of `key` at some
+        // point during the probe (the identity/ABA torture tests
+        // pin down exactly this claim).
+        *value_out = *found->value.load(std::memory_order_seq_cst);
+        *retries_out = retries;
+        gets_.fetch_add(1, std::memory_order_relaxed);
+        getHits_.fetch_add(1, std::memory_order_relaxed);
+        if (retries > 0)
+            readRetries_.fetch_add(retries,
+                                   std::memory_order_relaxed);
+        if (touches_->tryPush(key, h))
+            return ProbeResult::Hit;
+        return ProbeResult::NeedTouchDrain;
     }
-    return &e->value;
+    *retries_out = retries;
+    return ProbeResult::NeedSlow;
+}
+
+void
+KvShard::touchSlow(KvKey key, std::uint64_t h)
+{
+    // The hit was already counted by tryProbe; this call only
+    // applies the promotion the full ring could not absorb.
+    slowProbes_.fetch_add(1, std::memory_order_relaxed);
+    drainTouches();
+    if (KvEntry *e = findChain(bucketOf(h), key))
+        promote(e);
+}
+
+int
+KvShard::containsRelaxed(KvKey key, std::uint64_t h) const
+{
+    constexpr unsigned kMaxOptimism = 4;
+    const unsigned bucket = bucketOf(h);
+    const Bucket &b = buckets_[bucket];
+    for (unsigned attempt = 0; attempt < kMaxOptimism; ++attempt) {
+        const std::uint32_t s1 =
+            b.seq.load(std::memory_order_seq_cst);
+        if (s1 & 1)
+            continue;
+        for (const KvEntry *e =
+                 b.chain.load(std::memory_order_seq_cst);
+             e; e = e->chainNext.load(std::memory_order_seq_cst))
+            if (e->key == key)
+                return 1;
+        if (b.seq.load(std::memory_order_seq_cst) == s1)
+            return 0;
+    }
+    return -1;
+}
+
+int
+KvShard::trySetPinned(KvKey key, std::uint64_t h, bool pinned)
+{
+    constexpr unsigned kMaxOptimism = 4;
+    const unsigned bucket = bucketOf(h);
+    const Bucket &b = buckets_[bucket];
+    for (unsigned attempt = 0; attempt < kMaxOptimism; ++attempt) {
+        const std::uint32_t s1 =
+            b.seq.load(std::memory_order_seq_cst);
+        if (s1 & 1)
+            continue;
+        KvEntry *found = nullptr;
+        for (KvEntry *e =
+                 b.chain.load(std::memory_order_seq_cst);
+             e; e = e->chainNext.load(std::memory_order_seq_cst)) {
+            if (e->key == key) {
+                found = e;
+                break;
+            }
+        }
+        if (!found) {
+            if (b.seq.load(std::memory_order_seq_cst) == s1)
+                return 0;
+            continue;
+        }
+        std::uint32_t old =
+            found->pinState.load(std::memory_order_seq_cst);
+        for (;;) {
+            if (old & KvEntry::kDyingBit)
+                return 0; // mid-eviction: linearize after removal
+            const std::uint32_t want =
+                pinned ? (old | KvEntry::kPinnedBit)
+                       : (old & ~KvEntry::kPinnedBit);
+            if (want == old)
+                return 1;
+            if (found->pinState.compare_exchange_weak(
+                    old, want, std::memory_order_seq_cst,
+                    std::memory_order_seq_cst)) {
+                if (pinned)
+                    pinned_.fetch_add(1,
+                                      std::memory_order_seq_cst);
+                else
+                    pinned_.fetch_sub(1,
+                                      std::memory_order_seq_cst);
+                return 1;
+            }
+        }
+    }
+    return -1;
 }
 
 bool
 KvShard::erase(KvKey key, std::uint64_t h)
 {
+    drainTouches();
     KvEntry *e = find(bucketOf(h), key, nullptr);
     if (!e)
         return false;
@@ -620,12 +934,21 @@ KvShard::erase(KvKey key, std::uint64_t h)
 bool
 KvShard::setPinned(KvKey key, std::uint64_t h, bool pinned)
 {
+    drainTouches();
     KvEntry *e = find(bucketOf(h), key, nullptr);
     if (!e)
         return false;
-    if (e->pinned != pinned) {
-        e->pinned = pinned;
-        pinned_ += pinned ? 1 : -1;
+    const std::uint32_t old =
+        pinned ? e->pinState.fetch_or(KvEntry::kPinnedBit,
+                                      std::memory_order_seq_cst)
+               : e->pinState.fetch_and(~KvEntry::kPinnedBit,
+                                       std::memory_order_seq_cst);
+    const bool was = (old & KvEntry::kPinnedBit) != 0;
+    if (was != pinned) {
+        if (pinned)
+            pinned_.fetch_add(1, std::memory_order_seq_cst);
+        else
+            pinned_.fetch_sub(1, std::memory_order_seq_cst);
     }
     return true;
 }
@@ -680,45 +1003,62 @@ KvShard::residentKeys() const
                 if (e)
                     keys.push_back(e->key);
     } else {
-        for (const Bucket &b : buckets_)
-            for (const KvEntry *e = b.chain; e; e = e->chainNext)
+        for (unsigned i = 0; i < config_.numBuckets; ++i)
+            for (const KvEntry *e = buckets_[i].chain.load(
+                     std::memory_order_seq_cst);
+                 e;
+                 e = e->chainNext.load(std::memory_order_seq_cst))
                 keys.push_back(e->key);
     }
     return keys;
+}
+
+KvShardStats
+KvShard::stats() const
+{
+    KvShardStats s = stats_;
+    s.gets = gets_.load(std::memory_order_seq_cst);
+    s.getHits = getHits_.load(std::memory_order_seq_cst);
+    s.readRetries = readRetries_.load(std::memory_order_seq_cst);
+    s.slowProbes = slowProbes_.load(std::memory_order_seq_cst);
+    return s;
 }
 
 void
 KvShard::registerStats(StatRegistry &reg,
                        const std::string &prefix) const
 {
-    reg.counter(prefix + "references", stats_.references);
-    reg.counter(prefix + "hits", stats_.hits);
-    reg.counter(prefix + "misses", stats_.misses);
-    reg.counter(prefix + "gets", stats_.gets);
-    reg.counter(prefix + "get_hits", stats_.getHits);
-    reg.counter(prefix + "inserts", stats_.inserts);
-    reg.counter(prefix + "updates", stats_.updates);
-    reg.counter(prefix + "evictions", stats_.evictions);
+    const KvShardStats snap = stats();
+    reg.counter(prefix + "references", snap.references);
+    reg.counter(prefix + "hits", snap.hits);
+    reg.counter(prefix + "misses", snap.misses);
+    reg.counter(prefix + "gets", snap.gets);
+    reg.counter(prefix + "get_hits", snap.getHits);
+    reg.counter(prefix + "inserts", snap.inserts);
+    reg.counter(prefix + "updates", snap.updates);
+    reg.counter(prefix + "evictions", snap.evictions);
     reg.counter(prefix + "directed_evictions",
-                stats_.directedEvictions);
+                snap.directedEvictions);
     reg.counter(prefix + "fallback_evictions",
-                stats_.fallbackEvictions);
-    reg.counter(prefix + "rejected_puts", stats_.rejected);
-    reg.counter(prefix + "erases", stats_.erases);
+                snap.fallbackEvictions);
+    reg.counter(prefix + "rejected_puts", snap.rejected);
+    reg.counter(prefix + "erases", snap.erases);
+    reg.counter(prefix + "read_retries", snap.readRetries);
+    reg.counter(prefix + "slow_probes", snap.slowProbes);
     for (unsigned k = 0; k < kvNumComponents; ++k) {
         const std::string name =
             kvComponentName(config_.components[k]);
         reg.counter(prefix + "decisions." + name,
-                    stats_.decisions[k]);
+                    snap.decisions[k]);
         reg.counter(prefix + "shadow." + name + ".misses",
                     shadowMisses(k));
     }
     reg.counter(prefix + "selection_flips", selectionFlips());
     if (admission_)
-        reg.counter(prefix + "admit_rejects", stats_.admitRejects);
+        reg.counter(prefix + "admit_rejects", snap.admitRejects);
     reg.counter(prefix + "size", size_);
-    reg.counter(prefix + "pinned", pinned_);
-    reg.value(prefix + "hit_rate", stats_.hitRate());
+    reg.counter(prefix + "pinned", pinnedCount());
+    reg.value(prefix + "hit_rate", snap.hitRate());
 }
 
 } // namespace adcache::kv

@@ -28,13 +28,19 @@
  * this configuration is lockstep-diffed against the oracle
  * RefAdaptiveCache (src/oracle/kv_lockstep.hh).
  *
- * KvShard is NOT thread-safe; AdaptiveKvCache wraps each shard in
- * its own mutex.
+ * Mutating operations are externally synchronized (AdaptiveKvCache
+ * wraps each shard in its own mutex). In Shard scope with
+ * lockFreeReads, the read-only surface — tryProbe / containsRelaxed
+ * / trySetPinned — may additionally run WITHOUT the mutex from any
+ * thread holding an EpochGuard; see docs/KVCACHE.md "Concurrency
+ * model" for the protocol (per-bucket seqlock validation, deferred
+ * touches, epoch-based reclamation).
  */
 
 #ifndef ADCACHE_KV_KV_SHARD_HH
 #define ADCACHE_KV_KV_SHARD_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -46,6 +52,7 @@
 #include "adapt/sketch.hh"
 #include "kv/kv_types.hh"
 #include "kv/policy_lists.hh"
+#include "kv/read_path.hh"
 #include "kv/shadow_dir.hh"
 #include "obs/event.hh"
 #include "util/rng.hh"
@@ -74,6 +81,8 @@ struct KvShardStats
     std::uint64_t rejected = 0;
     std::uint64_t admitRejects = 0; //!< TinyLFU refused the candidate
     std::uint64_t erases = 0;
+    std::uint64_t readRetries = 0; //!< optimistic probe re-walks
+    std::uint64_t slowProbes = 0;  //!< gets that took the mutex
     std::uint64_t decisions[kvNumComponents] = {0, 0};
 
     void add(const KvShardStats &o);
@@ -100,6 +109,8 @@ struct KvShardConfig
     unsigned hashShift = 0; //!< hash bits consumed by shard selection
     unsigned shardIndex = 0; //!< position in the owning cache
     std::uint64_t rngSeed = 1;
+    bool lockFreeReads = true; //!< effective only in Shard scope
+    unsigned touchCapacity = 256; //!< deferred-touch ring size
 
     /** Shard @p shard_index's slice of @p config. */
     static KvShardConfig fromCache(const KvConfig &config,
@@ -137,9 +148,66 @@ class KvShard
     /**
      * Non-filling probe: promotes and counts on a hit, never inserts
      * and never trains the adaptivity machinery. Returned pointer is
-     * valid until the next mutating call.
+     * valid until the next mutating call. Requires the shard mutex.
+     *
+     * @param retries optimistic re-walks a preceding tryProbe spent
+     *                before falling back here (accounted as
+     *                readRetries; also emits the kv_read_retry
+     *                event when tracing is on).
      */
-    const std::string *probe(KvKey key, std::uint64_t h);
+    const std::string *probe(KvKey key, std::uint64_t h,
+                             unsigned retries = 0);
+
+    /** What one optimistic (mutex-free) probe concluded. */
+    enum class ProbeResult
+    {
+        Hit,            //!< value copied out, touch deferred
+        Miss,           //!< validated miss
+        NeedTouchDrain, //!< hit copied out, but the ring was full:
+                        //!< take the mutex and call touchSlow()
+        NeedSlow,       //!< conflicts exhausted the retry budget:
+                        //!< take the mutex and call probe()
+    };
+
+    /**
+     * Lock-free probe attempt. Caller must hold an engaged
+     * EpochGuard and must NOT hold the shard mutex. Only valid when
+     * lockFreeEnabled(). Hits and validated misses are fully
+     * accounted here; the two Need* results defer to the locked
+     * calls named above.
+     */
+    ProbeResult tryProbe(KvKey key, std::uint64_t h,
+                         std::string *value_out,
+                         unsigned *retries_out);
+
+    /**
+     * Complete a tryProbe() == NeedTouchDrain hit: drain the ring
+     * and apply this hit's promotion eagerly. Requires the mutex.
+     */
+    void touchSlow(KvKey key, std::uint64_t h);
+
+    /**
+     * Lock-free membership attempt under an engaged EpochGuard:
+     * 1 = resident, 0 = validated absent, -1 = conflict (retry
+     * under the mutex via contains()).
+     */
+    int containsRelaxed(KvKey key, std::uint64_t h) const;
+
+    /**
+     * Lock-free pin/unpin attempt under an engaged EpochGuard:
+     * 1 = done, 0 = validated absent (or the entry is mid-eviction,
+     * which linearizes after its removal), -1 = conflict (retry
+     * under the mutex via setPinned()).
+     */
+    int trySetPinned(KvKey key, std::uint64_t h, bool pinned);
+
+    /** True iff the mutex-free read surface is active. */
+    bool
+    lockFreeEnabled() const
+    {
+        return config_.lockFreeReads &&
+               config_.scope == EvictionScope::Shard;
+    }
 
     /** Remove @p key. @return true iff it was resident. */
     bool erase(KvKey key, std::uint64_t h);
@@ -152,9 +220,15 @@ class KvShard
 
     std::size_t size() const { return size_; }
     std::uint64_t capacity() const;
-    std::uint64_t pinnedCount() const { return pinned_; }
+    std::uint64_t
+    pinnedCount() const
+    {
+        return pinned_.load(std::memory_order_seq_cst);
+    }
 
-    const KvShardStats &stats() const { return stats_; }
+    /** Counter snapshot: the mutex-owned counters plus the atomics
+     *  the lock-free read path maintains, folded together. */
+    KvShardStats stats() const;
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
 
@@ -179,9 +253,22 @@ class KvShard
     const KvShardConfig &config() const { return config_; }
 
   private:
-    struct Bucket
+    struct alignas(64) Bucket
     {
-        KvEntry *chain = nullptr; //!< Shard-scope hash chain
+        /** Shard-scope hash chain head (readers traverse it). */
+        std::atomic<KvEntry *> chain{nullptr};
+        /** Per-bucket seqlock: odd while a writer restructures the
+         *  chain. Readers use it to validate misses and bound their
+         *  optimism; hits never need it (see tryProbe). */
+        std::atomic<std::uint32_t> seq{0};
+    };
+
+    /** One unit of deferred reclamation (see EpochDomain). */
+    struct Retired
+    {
+        std::uint64_t epoch = 0;
+        KvEntry *entry = nullptr;         //!< exclusive-or
+        const std::string *str = nullptr; //!< ... with entry
     };
 
     /** adapt::imitateVictim views (defined in kv_shard.cc). */
@@ -218,10 +305,33 @@ class KvShard
                          adapt::VictimCase &case_out);
     void unlinkEntry(KvEntry *e);
 
+    /** Apply every pending deferred touch FIFO (mutex held). Runs
+     *  at the head of each mutating operation, so single-threaded
+     *  execution is indistinguishable from eager promotion. */
+    void drainTouches();
+
+    /** Promote @p e in both component orders (mutex held). */
+    void promote(KvEntry *e);
+
+    /** Writer-side seqlock brackets (mutex held). */
+    void beginBucketChange(unsigned bucket);
+    void endBucketChange(unsigned bucket);
+
+    /** Claim @p e for removal: CAS its pin word 0 -> dying. Fails
+     *  iff a concurrent (or prior) pin got there first. */
+    bool killForRemoval(KvEntry *e);
+
+    /** Swap in a freshly built value, retiring the old string. */
+    void setValue(KvEntry *e, std::string &&v);
+
+    void retireEntry(KvEntry *e);
+    void retireString(const std::string *s);
+    void maybeReclaim(bool force = false);
+
     KvShardConfig config_;
     Rng rng_;
     unsigned bucketBits_;
-    std::vector<Bucket> buckets_;
+    std::unique_ptr<Bucket[]> buckets_;
     std::vector<std::vector<KvEntry *>> slots_; //!< Bucket scope
     RecencyList recency_;                       //!< Shard scope
     LfuLists lfu_;                              //!< Shard scope
@@ -233,8 +343,16 @@ class KvShard
     std::vector<unsigned> fallbackPtr_; //!< Bucket scope, per bucket
     unsigned fallbackBucket_ = 0;       //!< Shard scope cursor
     std::size_t size_ = 0;
-    std::uint64_t pinned_ = 0;
-    KvShardStats stats_;
+    std::atomic<std::uint64_t> pinned_{0};
+    KvShardStats stats_; //!< mutex-owned counters only
+
+    // Lock-free read-path state (Shard scope with lockFreeReads).
+    std::unique_ptr<TouchRing> touches_;
+    std::vector<Retired> limbo_; //!< mutex-owned retire list
+    std::atomic<std::uint64_t> gets_{0};
+    std::atomic<std::uint64_t> getHits_{0};
+    std::atomic<std::uint64_t> readRetries_{0};
+    std::atomic<std::uint64_t> slowProbes_{0};
 };
 
 } // namespace adcache::kv

@@ -131,6 +131,18 @@ struct KvConfig
     KeyHashKind keyHash = KeyHashKind::Mix;
 
     /**
+     * Serve get()/contains()/pin() hits without the shard mutex
+     * (Shard scope only; Bucket scope is the verification shape and
+     * stays fully locked). See docs/KVCACHE.md "Concurrency model".
+     */
+    bool lockFreeReads = true;
+
+    /** Capacity of each shard's deferred-touch ring (rounded up to
+     *  a power of two, minimum 2). This is the LRU/LFU staleness
+     *  bound of the lock-free read path. */
+    unsigned touchCapacity = 256;
+
+    /**
      * The two competing components. Shard scope restricts evict to
      * LRU/LFU (the intrusive shard-wide orders); Bucket scope also
      * admits CmsLfu, whose order lives entirely in the shadow

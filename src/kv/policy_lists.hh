@@ -16,11 +16,18 @@
  * one LFU frequency node, exactly the way the paper keeps every
  * component's metadata alive on the real blocks at all times
  * (Sec. 4.7 follower semantics).
+ *
+ * Concurrency split (docs/KVCACHE.md "Concurrency model"): the
+ * fields lock-free readers may touch are atomic — the forward chain
+ * link, the value pointer, and the pin word. key/tag/bucket are
+ * immutable once the entry is published into its bucket chain, and
+ * every other link is owned by the shard mutex.
  */
 
 #ifndef ADCACHE_KV_POLICY_LISTS_HH
 #define ADCACHE_KV_POLICY_LISTS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -34,15 +41,37 @@ struct FreqNode;
 /** One resident key-value entry (intrusively linked everywhere). */
 struct KvEntry
 {
+    /** pinState layout: bit 31 = dying (claimed for removal), bit 0
+     *  = pinned. Pinning is a flag, not a refcount — pin() of an
+     *  already-pinned entry is a no-op, matching the locked
+     *  semantics this replaces. */
+    static constexpr std::uint32_t kPinnedBit = 1u;
+    static constexpr std::uint32_t kDyingBit = 0x8000'0000u;
+
     KvKey key = 0;
     std::uint64_t tag = 0; //!< key tag (hash above shard+bucket bits)
     std::uint32_t bucket = 0;
-    bool pinned = false;
-    std::string value;
+    std::atomic<std::uint32_t> pinState{0};
 
-    // Hash-bucket chain (EvictionScope::Shard lookup).
+    /** The stored value, published as an immutable heap string so a
+     *  lock-free reader can copy it without tearing; overwrites swap
+     *  the pointer and retire the old string through the epoch
+     *  domain. Never null while the entry is linked. */
+    std::atomic<const std::string *> value{nullptr};
+
+    ~KvEntry() { delete value.load(std::memory_order_relaxed); }
+
+    bool
+    isPinned() const
+    {
+        return (pinState.load(std::memory_order_seq_cst) &
+                kPinnedBit) != 0;
+    }
+
+    // Hash-bucket chain (EvictionScope::Shard lookup). chainNext is
+    // the readers' traversal link; chainPrev is mutex-only.
     KvEntry *chainPrev = nullptr;
-    KvEntry *chainNext = nullptr;
+    std::atomic<KvEntry *> chainNext{nullptr};
 
     // Recency (LRU) list; head = most recent.
     KvEntry *lruPrev = nullptr;

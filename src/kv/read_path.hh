@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Primitives of the kv cache's lock-free read path
+ * (docs/KVCACHE.md "Concurrency model"):
+ *
+ *  - EpochDomain / EpochGuard: a process-wide three-epoch
+ *    reclamation domain. A reader pins its per-thread slot to the
+ *    global epoch for the duration of one optimistic probe; writers
+ *    retire unlinked entries (and replaced value strings) tagged
+ *    with the epoch current at unlink time and free a batch only
+ *    once the global epoch has advanced twice past it — by then no
+ *    pinned reader can still hold a path to the retired node.
+ *    The epoch advances only when every pinned slot has caught up
+ *    with the current epoch (gated advance), so a single load of
+ *    the global epoch bounds what any active reader may reference.
+ *
+ *  - TouchRing: a bounded multi-producer single-consumer queue of
+ *    deferred LRU/LFU touches. Lock-free readers record hits here
+ *    instead of mutating the intrusive component lists; the shard
+ *    drains the ring FIFO under its mutex at the head of every
+ *    mutating operation. Capacity bounds the rank staleness: an
+ *    entry touched K accesses ago is never ranked older than
+ *    K + capacity positions (tests/kv/kv_touch_test.cc).
+ *
+ * Memory-order discipline: every atomic the probe path and the
+ * reclamation protocol share uses seq_cst. The loads are free on
+ * x86/ARM-acquire hardware and the stores sit on rare writer paths;
+ * in exchange the correctness argument is a single total order (the
+ * unlink store precedes the epoch load that tags the retirement,
+ * which precedes the epoch CAS any later-pinned reader observed —
+ * so that reader's chain walk reads the post-unlink pointers), and
+ * ThreadSanitizer models it without standalone fences.
+ */
+
+#ifndef ADCACHE_KV_READ_PATH_HH
+#define ADCACHE_KV_READ_PATH_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "kv/kv_types.hh"
+
+namespace adcache::kv
+{
+
+/** Process-wide epoch-based reclamation domain (see file comment). */
+class EpochDomain
+{
+  public:
+    /** Per-thread reader slots; threads past the supply fall back to
+     *  the mutex read path (EpochGuard::engaged() == false). */
+    static constexpr unsigned kMaxSlots = 64;
+
+    static EpochDomain &instance();
+
+    /**
+     * The calling thread's slot index, or -1 when the slot supply is
+     * exhausted. Allocated on first use, returned at thread exit.
+     */
+    static int threadSlot();
+
+    /** Pin @p slot to the current epoch. @return that epoch. */
+    std::uint64_t
+    pin(int slot)
+    {
+        auto &e = slots_[slot].epoch;
+        std::uint64_t cur = epoch_.load(std::memory_order_relaxed);
+        for (;;) {
+            // Publish the claim, then confirm the epoch did not move
+            // past it (the store and the re-load are both seq_cst, so
+            // a concurrent gated advance either sees this slot or is
+            // seen by the re-load).
+            e.store(cur, std::memory_order_seq_cst);
+            const std::uint64_t now =
+                epoch_.load(std::memory_order_seq_cst);
+            if (now == cur)
+                return cur;
+            cur = now;
+        }
+    }
+
+    void
+    unpin(int slot)
+    {
+        slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+    }
+
+    std::uint64_t
+    current() const
+    {
+        return epoch_.load(std::memory_order_seq_cst);
+    }
+
+    /**
+     * Advance the global epoch iff every pinned slot is at it.
+     * @return true iff the epoch moved.
+     */
+    bool tryAdvance();
+
+  private:
+    EpochDomain() = default;
+
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> epoch{0}; //!< 0 = not pinned
+    };
+
+    /** Epochs start at 2 so slot value 0 can mean "unpinned". */
+    std::atomic<std::uint64_t> epoch_{2};
+    Slot slots_[kMaxSlots];
+
+    friend class EpochGuard;
+};
+
+/** RAII reader pin. Probe lock-free only while engaged(). */
+class EpochGuard
+{
+  public:
+    EpochGuard() : slot_(EpochDomain::threadSlot())
+    {
+        if (slot_ >= 0)
+            epoch_ = EpochDomain::instance().pin(slot_);
+    }
+
+    ~EpochGuard()
+    {
+        if (slot_ >= 0)
+            EpochDomain::instance().unpin(slot_);
+    }
+
+    EpochGuard(const EpochGuard &) = delete;
+    EpochGuard &operator=(const EpochGuard &) = delete;
+
+    /** False when the thread-slot supply ran out: use the mutex. */
+    bool engaged() const { return slot_ >= 0; }
+
+    std::uint64_t epoch() const { return epoch_; }
+
+  private:
+    int slot_;
+    std::uint64_t epoch_ = 0;
+};
+
+/** One deferred touch: a key and its full hash (so the drain can
+ *  re-locate the entry without re-hashing). */
+struct DeferredTouch
+{
+    KvKey key = 0;
+    std::uint64_t hash = 0;
+};
+
+/**
+ * Bounded MPSC ring of deferred touches (Vyukov bounded-queue cell
+ * sequencing). Producers (lock-free readers) tryPush concurrently;
+ * the single consumer drains under the shard mutex. A full ring
+ * makes the reader fall into the mutex slow path, which drains and
+ * applies the touch eagerly — so capacity is exactly the staleness
+ * bound, never a correctness concern.
+ */
+class TouchRing
+{
+  public:
+    /** @p capacity is rounded up to a power of two, minimum 2. */
+    explicit TouchRing(unsigned capacity);
+
+    TouchRing(const TouchRing &) = delete;
+    TouchRing &operator=(const TouchRing &) = delete;
+
+    /** @return false iff the ring is full (caller goes slow). */
+    bool tryPush(KvKey key, std::uint64_t hash);
+
+    /**
+     * Pop every published record FIFO into @p fn(key, hash). Single
+     * consumer: callers must hold the owning shard's mutex.
+     * @return the number of records applied.
+     */
+    template <typename Fn>
+    std::size_t
+    drain(Fn &&fn)
+    {
+        std::size_t n = 0;
+        for (;;) {
+            Cell &c = cells_[tail_ & mask_];
+            // A producer publishes by bumping the cell sequence to
+            // pos + 1; stopping at the first unpublished cell keeps
+            // the drain FIFO even when a claimant is mid-write.
+            if (c.seq.load(std::memory_order_acquire) != tail_ + 1)
+                break;
+            const KvKey key = c.touch.key;
+            const std::uint64_t hash = c.touch.hash;
+            c.seq.store(tail_ + mask_ + 1,
+                        std::memory_order_release);
+            ++tail_;
+            fn(key, hash);
+            ++n;
+        }
+        return n;
+    }
+
+    unsigned capacity() const { return mask_ + 1; }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::uint64_t> seq{0};
+        DeferredTouch touch;
+    };
+
+    std::unique_ptr<Cell[]> cells_;
+    unsigned mask_;
+    alignas(64) std::atomic<std::uint64_t> head_{0}; //!< producers
+    alignas(64) std::uint64_t tail_ = 0; //!< consumer (under mutex)
+};
+
+} // namespace adcache::kv
+
+#endif // ADCACHE_KV_READ_PATH_HH

@@ -23,6 +23,8 @@ eventKindName(EventKind kind)
         return "kv_winner_flip";
       case EventKind::KvAdmitReject:
         return "kv_admit_reject";
+      case EventKind::KvReadRetry:
+        return "kv_read_retry";
     }
     return "?";
 }

@@ -39,6 +39,9 @@ enum class EventKind : std::uint16_t
     KvWinnerFlip,
     /** A kv shard's TinyLFU filter refused to admit a candidate. */
     KvAdmitReject,
+    /** An optimistic kv read exhausted its retry budget and fell
+     *  back to the mutex slow path. */
+    KvReadRetry,
 };
 
 /** Which of Algorithm 1's three victim searches produced the victim
@@ -144,6 +147,14 @@ kvAdmitRejectEvent(std::uint64_t t, unsigned shard, unsigned winner,
 {
     return {t, key, shard, std::uint16_t(winner),
             EventKind::KvAdmitReject};
+}
+
+constexpr TraceEvent
+kvReadRetryEvent(std::uint64_t t, unsigned shard, unsigned retries,
+                 std::uint64_t key)
+{
+    return {t, key, shard, std::uint16_t(retries),
+            EventKind::KvReadRetry};
 }
 
 } // namespace adcache::obs

@@ -98,6 +98,10 @@ appendEvent(std::ostringstream &out, const TraceEvent &ev)
         out << ",\"shard\":" << ev.a << ",\"winner\":" << ev.b
             << ",\"key\":" << hex(ev.addr);
         break;
+      case EventKind::KvReadRetry:
+        out << ",\"shard\":" << ev.a << ",\"retries\":" << ev.b
+            << ",\"key\":" << hex(ev.addr);
+        break;
     }
     out << "}\n";
 }

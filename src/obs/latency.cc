@@ -22,6 +22,8 @@ kvOpName(KvOp op)
         return "fetch";
       case KvOp::Put:
         return "put";
+      case KvOp::GetSlow:
+        return "get_slow";
     }
     return "?";
 }

@@ -31,9 +31,14 @@ enum class KvOp : unsigned
     Get = 0,
     Fetch = 1,
     Put = 2,
+    /** A get that could not complete lock-free (optimistic-retry
+     *  exhaustion or a full deferred-touch ring) and took the shard
+     *  mutex — split out so hit-path and slow-path latency
+     *  distributions stay distinguishable. */
+    GetSlow = 3,
 };
 
-inline constexpr unsigned kNumKvOps = 3;
+inline constexpr unsigned kNumKvOps = 4;
 
 /** Canonical lower-case name of @p op. */
 const char *kvOpName(KvOp op);
