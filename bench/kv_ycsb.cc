@@ -1,0 +1,212 @@
+/**
+ * @file
+ * YCSB A–F over the serving subsystem: hosts a KvService in-process
+ * and drives it with the multi-client ycsb driver over either
+ * transport — the deterministic loopback (default) or a real
+ * KvServer socket round-trip (--transport socket: the server binds
+ * an ephemeral port on 127.0.0.1 and every client speaks the wire
+ * protocol through its own KvClient). One report row per workload
+ * with ops/s and per-op-class p50/p95/p99/p999, via the standard
+ * report path (ADCACHE_REPORT=json|csv|table).
+ *
+ * Scenario injection rides the same flag surface the SLO gate uses:
+ *   kv_ycsb --workload b --scenario backend_slowdown
+ * arms the read-through loader stall halfway through the run and the
+ * read p99 shows the backend's trouble — the demonstration wired
+ * into perf_regress --slo.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "net/server.hh"
+#include "net/service.hh"
+#include "sim/report.hh"
+#include "ycsb/ycsb.hh"
+
+using namespace adcache;
+
+namespace
+{
+
+struct Options
+{
+    std::string workloads = "abcdef";
+    std::string transport = "loopback";
+    unsigned clients = 4;
+    std::uint64_t opsPerClient = 50'000;
+    std::uint64_t records = 1 << 20;
+    double zipfSkew = 0.99;
+    std::size_t valueMin = 64;
+    std::size_t valueMax = 256;
+    std::uint32_t ttl = 0;
+    double deleteRatio = 0.0;
+    ycsb::Scenario scenario = ycsb::Scenario::None;
+    std::uint32_t slowdownUs = 1000;
+    unsigned serverWorkers = 2;
+    std::uint64_t seed = 1;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: kv_ycsb [--workload a..f|abcdef] "
+        "[--transport loopback|socket]\n"
+        "               [--clients N] [--ops N] [--records N] "
+        "[--skew S]\n"
+        "               [--value-min B] [--value-max B] [--ttl T] "
+        "[--deletes R]\n"
+        "               [--scenario none|hot_key_storm|"
+        "backend_slowdown|shard_loss]\n"
+        "               [--slowdown-us N] [--workers N] "
+        "[--seed N]\n");
+    return 2;
+}
+
+ycsb::YcsbResult
+runWorkload(char workload, const Options &opt)
+{
+    net::KvServiceConfig sc;
+    sc.readThrough = true;
+    sc.loaderValues = ValueSpec{opt.valueMin, opt.valueMax};
+    sc.loaderTtl = opt.ttl;
+    net::KvService service(sc);
+
+    ycsb::YcsbConfig yc;
+    yc.workload = workload;
+    yc.records = opt.records;
+    yc.opsPerClient = opt.opsPerClient;
+    yc.clients = opt.clients;
+    yc.zipfSkew = opt.zipfSkew;
+    yc.values = ValueSpec{opt.valueMin, opt.valueMax};
+    yc.ttl = opt.ttl;
+    yc.deleteRatio = opt.deleteRatio;
+    yc.scenario = opt.scenario;
+    yc.slowdownUs = opt.slowdownUs;
+    yc.seed = opt.seed;
+
+    if (opt.transport == "socket") {
+        net::KvServerConfig server_conf;
+        server_conf.workers = opt.serverWorkers;
+        net::KvServer server(service, server_conf);
+        if (!server.start()) {
+            std::fprintf(stderr, "kv_ycsb: server start failed: %s\n",
+                         server.lastError().c_str());
+            std::exit(1);
+        }
+        ycsb::YcsbDriver driver(
+            yc, &service, [&server](unsigned) {
+                return ycsb::makeSocketConnection("127.0.0.1",
+                                                  server.port());
+            });
+        ycsb::YcsbResult result = driver.run();
+        server.stop();
+        return result;
+    }
+    ycsb::YcsbDriver driver(yc, &service, [&service](unsigned) {
+        return ycsb::makeLoopbackConnection(service);
+    });
+    return driver.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_next = i + 1 < argc;
+        if (arg == "--workload" && has_next) {
+            opt.workloads = argv[++i];
+        } else if (arg == "--transport" && has_next) {
+            opt.transport = argv[++i];
+        } else if (arg == "--clients" && has_next) {
+            opt.clients = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--ops" && has_next) {
+            opt.opsPerClient = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--records" && has_next) {
+            opt.records = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--skew" && has_next) {
+            opt.zipfSkew = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--value-min" && has_next) {
+            opt.valueMin = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--value-max" && has_next) {
+            opt.valueMax = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--ttl" && has_next) {
+            opt.ttl =
+                std::uint32_t(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--deletes" && has_next) {
+            opt.deleteRatio = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--scenario" && has_next) {
+            const std::string s = argv[++i];
+            if (s == "none")
+                opt.scenario = ycsb::Scenario::None;
+            else if (s == "hot_key_storm")
+                opt.scenario = ycsb::Scenario::HotKeyStorm;
+            else if (s == "backend_slowdown")
+                opt.scenario = ycsb::Scenario::BackendSlowdown;
+            else if (s == "shard_loss")
+                opt.scenario = ycsb::Scenario::ShardLoss;
+            else
+                return usage();
+        } else if (arg == "--slowdown-us" && has_next) {
+            opt.slowdownUs =
+                std::uint32_t(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--workers" && has_next) {
+            opt.serverWorkers =
+                unsigned(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--seed" && has_next) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
+    if (opt.transport != "loopback" && opt.transport != "socket")
+        return usage();
+    for (const char w : opt.workloads)
+        if (w < 'a' || w > 'f')
+            return usage();
+
+    ReportGrid grid;
+    grid.experiment = "kv_ycsb";
+    grid.benchmarkHeader = "workload";
+    grid.variantHeader = "transport";
+    grid.addMeta("clients", std::to_string(opt.clients));
+    grid.addMeta("ops_per_client", std::to_string(opt.opsPerClient));
+    grid.addMeta("records", std::to_string(opt.records));
+    grid.addMeta("scenario", ycsb::scenarioName(opt.scenario));
+
+    for (const char w : opt.workloads) {
+        const ycsb::YcsbResult r = runWorkload(w, opt);
+        ReportRow &row =
+            grid.add(std::string(1, w), opt.transport);
+        r.registerInto(row.stats);
+        if (bench::textMode()) {
+            // The read-dominated class: Read, or Scan for workload E
+            // (same fallback readP99Ns uses).
+            const ycsb::OpClassResult &read =
+                r.of(ycsb::OpClass::Read).latency.count()
+                    ? r.of(ycsb::OpClass::Read)
+                    : r.of(ycsb::OpClass::Scan);
+            std::printf("workload %c (%s): %10.0f ops/s  "
+                        "read p50 %.0fns p99 %.0fns p999 %.0fns  "
+                        "errors %llu\n",
+                        w, opt.transport.c_str(), r.opsPerSec(),
+                        read.latency.percentileNs(0.50),
+                        r.readP99Ns(),
+                        read.latency.percentileNs(0.999),
+                        static_cast<unsigned long long>(r.errors));
+        }
+    }
+    if (!bench::textMode())
+        bench::report(grid);
+    return 0;
+}

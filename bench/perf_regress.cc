@@ -20,6 +20,15 @@
  *   perf_regress --smoke            short run that validates JSON
  *                                   emission (no thresholds); wired
  *                                   to ctest label perf_smoke
+ *   perf_regress --slo <base>       serving SLO gate: run a YCSB B
+ *                                   mix through the loopback
+ *                                   transport and fail (closed)
+ *                                   unless read p99 stays within the
+ *                                   budget committed in the
+ *                                   baseline's kv-slo row;
+ *                                   --slo-slowdown-us N arms the
+ *                                   backend-slowdown scenario to
+ *                                   demonstrate the gate trips
  *   perf_regress --trace-overhead   prove the compiled-in-but-
  *                                   disabled tracing hooks cost less
  *                                   than 1% of adaptive-full's
@@ -52,10 +61,13 @@
 #include "core/adaptive_cache.hh"
 #include "core/sbar_cache.hh"
 #include "kv/adaptive_kv_cache.hh"
+#include "net/service.hh"
 #include "obs/run_meta.hh"
 #include "obs/trace.hh"
 #include "sim/report.hh"
 #include "util/rng.hh"
+#include "workloads/key_stream.hh"
+#include "ycsb/ycsb.hh"
 
 using namespace adcache;
 
@@ -258,12 +270,21 @@ runKvReadRows(std::size_t total_ops, unsigned reps)
     conf.numBuckets = 256;
     kv::AdaptiveKvCache cache(conf);
 
-    const std::uint64_t keyspace = 1 << 17;
-    const ZipfSampler zipf(keyspace, 0.99);
+    // The shared workload shape: every thread draws the same full
+    // Zipf distribution from its own salted seed (forClient,
+    // non-disjoint) — the thread-key-partitioning helper the kv
+    // drivers share instead of hand-rolled "seed + thread" copies.
+    KeyStreamSpec base;
+    base.pattern = KeyPattern::Zipf;
+    base.keySpace = 1 << 17;
+    base.skew = 0.99;
+    base.seed = 71;
     {
-        Rng rng(7);
+        KeyStreamSpec warm = base;
+        warm.seed = 7;
+        KeyStream stream(warm);
         for (std::uint64_t i = 0; i < 2 * conf.capacity; ++i)
-            cache.put(zipf(rng), "v");
+            cache.put(stream.next(), "v");
     }
 
     // Pre-generated per-thread programs: no sampler in the timed
@@ -272,11 +293,11 @@ runKvReadRows(std::size_t total_ops, unsigned reps)
     std::vector<std::vector<kv::KvKey>> keys(kKvReadThreads);
     std::vector<std::vector<std::uint8_t>> puts(kKvReadThreads);
     for (unsigned t = 0; t < kKvReadThreads; ++t) {
-        Rng rng(71 + t);
+        KeyStream stream(base.forClient(t, kKvReadThreads));
         keys[t].reserve(per_thread);
         puts[t].reserve(per_thread);
         for (std::size_t i = 0; i < per_thread; ++i) {
-            keys[t].push_back(zipf(rng));
+            keys[t].push_back(stream.next());
             puts[t].push_back(i % 10 == 0 ? 1 : 0);
         }
     }
@@ -565,6 +586,92 @@ traceOverheadCheck(const std::vector<Measurement> &measured,
     return 0;
 }
 
+/**
+ * Serving SLO gate — fail-closed by construction. Serves a
+ * read-heavy YCSB B mix through the in-process loopback transport
+ * and demands the observed read p99 stay within the budget committed
+ * in the baseline's "kv-slo" row (carried in its ns_per_access stat,
+ * which parseBaseline requires to be the row's first stat). Missing
+ * baseline, missing budget row, or a degenerate run all fail; with
+ * @p slowdown_us nonzero the backend-slowdown scenario is armed from
+ * the first op, which is the standing demonstration that a stalled
+ * backend actually trips the gate.
+ * @return process exit code.
+ */
+int
+sloCheck(const std::string &baseline_path,
+         std::uint32_t slowdown_us)
+{
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "perf_regress: slo: cannot read baseline %s\n",
+                     baseline_path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<Measurement> base;
+    if (!parseBaseline(text.str(), base)) {
+        std::fprintf(stderr,
+                     "perf_regress: slo: malformed baseline %s\n",
+                     baseline_path.c_str());
+        return 1;
+    }
+    double budget_ns = 0.0;
+    for (const auto &b : base)
+        if (b.variant == "kv-slo")
+            budget_ns = b.nsPerAccess;
+    if (!(budget_ns > 0.0)) {
+        std::fprintf(stderr,
+                     "perf_regress: slo: no kv-slo budget row in %s "
+                     "— failing closed\n",
+                     baseline_path.c_str());
+        return 1;
+    }
+
+    net::KvServiceConfig sc;
+    sc.readThrough = true;
+    sc.loaderValues = ValueSpec{64, 64};
+    net::KvService service(sc);
+
+    ycsb::YcsbConfig yc;
+    yc.workload = 'b';
+    yc.records = 1 << 18;
+    yc.opsPerClient = 40'000;
+    yc.clients = 2;
+    yc.seed = 9;
+    if (slowdown_us) {
+        yc.scenario = ycsb::Scenario::BackendSlowdown;
+        yc.slowdownUs = slowdown_us;
+        yc.scenarioAt = 0.0; // armed from the first op
+    }
+    ycsb::YcsbDriver driver(yc, &service, [&service](unsigned) {
+        return ycsb::makeLoopbackConnection(service);
+    });
+    const ycsb::YcsbResult r = driver.run();
+
+    const double p99 = r.readP99Ns();
+    if (!(p99 > 0.0) || r.runOps == 0) {
+        std::fprintf(stderr,
+                     "perf_regress: slo: degenerate run (p99 %.0f, "
+                     "ops %llu) — failing closed\n",
+                     p99,
+                     static_cast<unsigned long long>(r.runOps));
+        return 1;
+    }
+    const bool bad = p99 > budget_ns;
+    std::fprintf(stderr,
+                 "perf_regress: slo: read p99 %.0f ns vs budget "
+                 "%.0f ns over %llu ops (%.0f ops/s%s)%s\n",
+                 p99, budget_ns,
+                 static_cast<unsigned long long>(r.runOps),
+                 r.opsPerSec(),
+                 slowdown_us ? ", backend slowdown armed" : "",
+                 bad ? "  SLO VIOLATION" : "");
+    return bad ? 1 : 0;
+}
+
 /** Smoke self-check: the emitted JSON carries every organisation. */
 int
 validateJson(const std::string &json,
@@ -600,6 +707,8 @@ main(int argc, char **argv)
     bool smoke = false;
     bool trace_overhead = false;
     std::string baseline_path;
+    std::string slo_path;
+    std::uint32_t slo_slowdown_us = 0;
     std::string out_path = "BENCH_hotpath.json";
 
     for (int i = 1; i < argc; ++i) {
@@ -612,6 +721,11 @@ main(int argc, char **argv)
             trace_overhead = true;
         } else if (arg == "--check" && i + 1 < argc) {
             baseline_path = argv[++i];
+        } else if (arg == "--slo" && i + 1 < argc) {
+            slo_path = argv[++i];
+        } else if (arg == "--slo-slowdown-us" && i + 1 < argc) {
+            slo_slowdown_us = std::uint32_t(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (arg == "--accesses" && i + 1 < argc) {
@@ -620,7 +734,9 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: perf_regress [--smoke] "
                          "[--trace-overhead] "
-                         "[--check <baseline.json>] [--out <path>] "
+                         "[--check <baseline.json>] "
+                         "[--slo <baseline.json>] "
+                         "[--slo-slowdown-us N] [--out <path>] "
                          "[--accesses N]\n");
             return 2;
         }
@@ -631,13 +747,18 @@ main(int argc, char **argv)
                  "perf_regress: *** UNOPTIMIZED BUILD *** numbers are "
                  "meaningless for baselines; build Release "
                  "(cmake --preset release)\n");
-    if (!baseline_path.empty()) {
+    if (!baseline_path.empty() || !slo_path.empty()) {
         std::fprintf(stderr,
-                     "perf_regress: refusing --check in a debug "
-                     "build\n");
+                     "perf_regress: refusing --check/--slo in a "
+                     "debug build\n");
         return 1;
     }
 #endif
+
+    // The SLO gate is self-contained: it does not need the hot-path
+    // matrix, so it runs (and exits) on its own.
+    if (!slo_path.empty())
+        return sloCheck(slo_path, slo_slowdown_us);
 
     auto measured = runMatrix(accesses, reps);
     {

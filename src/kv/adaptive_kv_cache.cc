@@ -57,9 +57,34 @@ AdaptiveKvCache::AdaptiveKvCache(const KvConfig &config)
 {
     config_.validate();
     shards_.reserve(config_.numShards);
-    for (unsigned i = 0; i < config_.numShards; ++i)
-        shards_.push_back(std::make_unique<KvShard>(
-            KvShardConfig::fromCache(config_, i)));
+    for (unsigned i = 0; i < config_.numShards; ++i) {
+        KvShardConfig sc = KvShardConfig::fromCache(config_, i);
+        sc.clock = &clock_;
+        shards_.push_back(std::make_unique<KvShard>(sc));
+    }
+}
+
+std::uint64_t
+AdaptiveKvCache::clockNow() const
+{
+    return clock_.load(std::memory_order_seq_cst);
+}
+
+void
+AdaptiveKvCache::clockAdvance(std::uint64_t ticks)
+{
+    clock_.fetch_add(ticks, std::memory_order_seq_cst);
+}
+
+void
+AdaptiveKvCache::clockAdvanceTo(std::uint64_t now)
+{
+    std::uint64_t cur = clock_.load(std::memory_order_seq_cst);
+    while (cur < now &&
+           !clock_.compare_exchange_weak(cur, now,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst)) {
+    }
 }
 
 std::uint64_t
@@ -119,7 +144,8 @@ AdaptiveKvCache::get(KvKey key)
 
 std::string
 AdaptiveKvCache::fetch(KvKey key,
-                       const std::function<std::string()> &loader)
+                       const std::function<std::string()> &loader,
+                       std::uint64_t ttl)
 {
     ScopedOpTimer timer(obs::KvOp::Fetch);
     const std::uint64_t h = hashOf(key);
@@ -127,12 +153,13 @@ AdaptiveKvCache::fetch(KvKey key,
     std::string value;
     std::scoped_lock lock(locks_[s]);
     shards_[s]->reference(key, h, loader, /*overwrite=*/false,
-                          /*pin=*/false, &value);
+                          /*pin=*/false, &value, ttl);
     return value;
 }
 
 KvOutcome
-AdaptiveKvCache::put(KvKey key, std::string_view value, bool pinned)
+AdaptiveKvCache::put(KvKey key, std::string_view value, bool pinned,
+                     std::uint64_t ttl)
 {
     ScopedOpTimer timer(obs::KvOp::Put);
     const std::uint64_t h = hashOf(key);
@@ -140,19 +167,19 @@ AdaptiveKvCache::put(KvKey key, std::string_view value, bool pinned)
     std::scoped_lock lock(locks_[s]);
     return shards_[s]->reference(
         key, h, [&] { return std::string(value); },
-        /*overwrite=*/true, pinned);
+        /*overwrite=*/true, pinned, nullptr, ttl);
 }
 
 KvOutcome
 AdaptiveKvCache::reference(KvKey key, std::string_view value,
-                           bool overwrite)
+                           bool overwrite, std::uint64_t ttl)
 {
     const std::uint64_t h = hashOf(key);
     const unsigned s = unsigned(h & shardMask_);
     std::scoped_lock lock(locks_[s]);
     return shards_[s]->reference(
         key, h, [&] { return std::string(value); }, overwrite,
-        /*pin=*/false);
+        /*pin=*/false, nullptr, ttl);
 }
 
 bool
@@ -269,6 +296,7 @@ AdaptiveKvCache::registerStats(StatRegistry &reg,
                 total.fallbackEvictions);
     reg.counter(prefix + "rejected_puts", total.rejected);
     reg.counter(prefix + "erases", total.erases);
+    reg.counter(prefix + "expirations", total.expirations);
     reg.counter(prefix + "read_retries", total.readRetries);
     reg.counter(prefix + "slow_probes", total.slowProbes);
     for (unsigned k = 0; k < kvNumComponents; ++k) {

@@ -23,6 +23,7 @@
 #ifndef ADCACHE_KV_ADAPTIVE_KV_CACHE_HH
 #define ADCACHE_KV_ADAPTIVE_KV_CACHE_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -52,21 +53,25 @@ class AdaptiveKvCache
     /**
      * Read-through fetch: on a miss, @p loader produces the value
      * (called under the shard lock, at most once) and the result is
-     * admitted per Algorithm 1.
+     * admitted per Algorithm 1. @p ttl stamps a freshly admitted
+     * entry with an expiry @p ttl clock ticks from now (0 = never).
      */
     std::string fetch(KvKey key,
-                      const std::function<std::string()> &loader);
+                      const std::function<std::string()> &loader,
+                      std::uint64_t ttl = 0);
 
-    /** Insert or overwrite. @p pinned pins the entry. */
+    /** Insert or overwrite. @p pinned pins the entry; @p ttl stamps
+     *  (or, on overwrite, re-stamps) its expiry (0 = never). */
     KvOutcome put(KvKey key, std::string_view value,
-                  bool pinned = false);
+                  bool pinned = false, std::uint64_t ttl = 0);
 
     /**
      * One filling reference with explicit outcome — the advanced /
      * lockstep surface. fetch() and put() are thin wrappers.
      */
     KvOutcome reference(KvKey key, std::string_view value,
-                        bool overwrite = false);
+                        bool overwrite = false,
+                        std::uint64_t ttl = 0);
 
     /** Remove @p key. @return true iff it was resident. */
     bool erase(KvKey key);
@@ -86,6 +91,21 @@ class AdaptiveKvCache
 
     /** Shard an arbitrary key maps to. */
     unsigned shardOf(KvKey key) const;
+
+    /**
+     * TTL clock: a monotone logical tick counter shared by every
+     * shard. Entries stamped with a ttl expire once the clock
+     * reaches (stamp-time + ttl); the cache never advances the clock
+     * itself, so callers choose the time base — per-op ticks in
+     * deterministic tests, wall-clock milliseconds in the server.
+     */
+    std::uint64_t clockNow() const;
+
+    /** Advance the clock by @p ticks. */
+    void clockAdvance(std::uint64_t ticks = 1);
+
+    /** Advance the clock to at least @p now (never backwards). */
+    void clockAdvanceTo(std::uint64_t now);
 
     /**
      * Aggregate (and, with @p per_shard, per-shard "shardNN."-
@@ -108,6 +128,8 @@ class AdaptiveKvCache
 
     KvConfig config_;
     unsigned shardMask_;
+    /** TTL clock (declared before the shards that point at it). */
+    std::atomic<std::uint64_t> clock_{0};
     std::vector<std::unique_ptr<KvShard>> shards_;
     mutable std::vector<std::mutex> locks_;
 };

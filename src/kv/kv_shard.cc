@@ -25,6 +25,7 @@ KvShardStats::add(const KvShardStats &o)
     rejected += o.rejected;
     admitRejects += o.admitRejects;
     erases += o.erases;
+    expirations += o.expirations;
     readRetries += o.readRetries;
     slowProbes += o.slowProbes;
     for (unsigned k = 0; k < kvNumComponents; ++k)
@@ -364,6 +365,25 @@ KvShard::find(unsigned bucket, KvKey key, unsigned *way) const
                : findChain(bucket, key);
 }
 
+std::uint64_t
+KvShard::nowTick() const
+{
+    return config_.clock
+               ? config_.clock->load(std::memory_order_seq_cst)
+               : 0;
+}
+
+bool
+KvShard::isExpired(const KvEntry *e) const
+{
+    if (!config_.clock)
+        return false;
+    const std::uint64_t now = nowTick();
+    const std::uint64_t stamp =
+        e->expiry.load(std::memory_order_seq_cst);
+    return stamp != 0 && stamp <= now;
+}
+
 KvEntry *
 KvShard::bucketVictim(unsigned bucket, unsigned winner,
                       const ShadowOutcome &winner_out,
@@ -535,7 +555,8 @@ KvShard::unlinkEntry(KvEntry *e)
 KvOutcome
 KvShard::reference(KvKey key, std::uint64_t h,
                    const std::function<std::string()> &make_value,
-                   bool overwrite, bool pin, std::string *value_out)
+                   bool overwrite, bool pin, std::string *value_out,
+                   std::uint64_t ttl)
 {
     KvOutcome out;
     drainTouches();
@@ -573,13 +594,25 @@ KvShard::reference(KvKey key, std::uint64_t h,
     }
 
     unsigned hit_way = 0;
-    if (KvEntry *e = find(bucket, key, &hit_way)) {
+    KvEntry *resident = find(bucket, key, &hit_way);
+    if (resident && isExpired(resident)) {
+        // Lazy TTL: the stale twin is logically absent, so purge it
+        // and run the rest of the reference as a miss (the fresh
+        // value below re-enters with a fresh stamp).
+        out.expired = true;
+        ++stats_.expirations;
+        unlinkEntry(resident);
+        resident = nullptr;
+    }
+    if (KvEntry *e = resident) {
         ++stats_.hits;
         out.hit = true;
         if (config_.scope == EvictionScope::Shard)
             promote(e);
         if (overwrite) {
             setValue(e, make_value());
+            e->expiry.store(ttl ? nowTick() + ttl : 0,
+                            std::memory_order_seq_cst);
             out.updated = true;
             ++stats_.updates;
         }
@@ -724,6 +757,8 @@ KvShard::reference(KvKey key, std::uint64_t h,
     e->bucket = bucket;
     e->pinState.store(pin ? KvEntry::kPinnedBit : 0u,
                       std::memory_order_relaxed);
+    e->expiry.store(ttl ? nowTick() + ttl : 0,
+                    std::memory_order_relaxed);
     e->value.store(new std::string(make_value()),
                    std::memory_order_relaxed);
     if (pin)
@@ -770,6 +805,11 @@ KvShard::probe(KvKey key, std::uint64_t h, unsigned retries)
     KvEntry *e = find(bucketOf(h), key, nullptr);
     if (!e)
         return nullptr;
+    if (isExpired(e)) {
+        ++stats_.expirations;
+        unlinkEntry(e);
+        return nullptr;
+    }
     getHits_.fetch_add(1, std::memory_order_relaxed);
     if (config_.scope == EvictionScope::Shard)
         promote(e);
@@ -809,6 +849,16 @@ KvShard::tryProbe(KvKey key, std::uint64_t h,
                 ++retries;
                 continue;
             }
+            *retries_out = retries;
+            gets_.fetch_add(1, std::memory_order_relaxed);
+            return ProbeResult::Miss;
+        }
+        // A lapsed stamp is a validated miss without any seqlock
+        // check: the clock was read before the stamp and only moves
+        // forward, so the entry was provably expired at the instant
+        // of the stamp load. The unlink itself stays lazy (it needs
+        // the mutex) — the next locked contact purges the entry.
+        if (isExpired(found)) {
             *retries_out = retries;
             gets_.fetch_add(1, std::memory_order_relaxed);
             return ProbeResult::Miss;
@@ -861,7 +911,7 @@ KvShard::containsRelaxed(KvKey key, std::uint64_t h) const
                  b.chain.load(std::memory_order_seq_cst);
              e; e = e->chainNext.load(std::memory_order_seq_cst))
             if (e->key == key)
-                return 1;
+                return isExpired(e) ? 0 : 1;
         if (b.seq.load(std::memory_order_seq_cst) == s1)
             return 0;
     }
@@ -893,6 +943,8 @@ KvShard::trySetPinned(KvKey key, std::uint64_t h, bool pinned)
                 return 0;
             continue;
         }
+        if (isExpired(found))
+            return 0; // logically absent; purged on locked contact
         std::uint32_t old =
             found->pinState.load(std::memory_order_seq_cst);
         for (;;) {
@@ -926,6 +978,13 @@ KvShard::erase(KvKey key, std::uint64_t h)
     KvEntry *e = find(bucketOf(h), key, nullptr);
     if (!e)
         return false;
+    if (isExpired(e)) {
+        // Already logically gone: account the purge as an
+        // expiration, and report the erase as a no-op.
+        ++stats_.expirations;
+        unlinkEntry(e);
+        return false;
+    }
     ++stats_.erases;
     unlinkEntry(e);
     return true;
@@ -938,6 +997,11 @@ KvShard::setPinned(KvKey key, std::uint64_t h, bool pinned)
     KvEntry *e = find(bucketOf(h), key, nullptr);
     if (!e)
         return false;
+    if (isExpired(e)) {
+        ++stats_.expirations;
+        unlinkEntry(e);
+        return false;
+    }
     const std::uint32_t old =
         pinned ? e->pinState.fetch_or(KvEntry::kPinnedBit,
                                       std::memory_order_seq_cst)
@@ -956,7 +1020,8 @@ KvShard::setPinned(KvKey key, std::uint64_t h, bool pinned)
 bool
 KvShard::contains(KvKey key, std::uint64_t h) const
 {
-    return find(bucketOf(h), key, nullptr) != nullptr;
+    const KvEntry *e = find(bucketOf(h), key, nullptr);
+    return e != nullptr && !isExpired(e);
 }
 
 std::uint64_t
@@ -1043,6 +1108,7 @@ KvShard::registerStats(StatRegistry &reg,
                 snap.fallbackEvictions);
     reg.counter(prefix + "rejected_puts", snap.rejected);
     reg.counter(prefix + "erases", snap.erases);
+    reg.counter(prefix + "expirations", snap.expirations);
     reg.counter(prefix + "read_retries", snap.readRetries);
     reg.counter(prefix + "slow_probes", snap.slowProbes);
     for (unsigned k = 0; k < kvNumComponents; ++k) {

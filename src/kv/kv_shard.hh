@@ -81,6 +81,7 @@ struct KvShardStats
     std::uint64_t rejected = 0;
     std::uint64_t admitRejects = 0; //!< TinyLFU refused the candidate
     std::uint64_t erases = 0;
+    std::uint64_t expirations = 0; //!< lazy TTL removals
     std::uint64_t readRetries = 0; //!< optimistic probe re-walks
     std::uint64_t slowProbes = 0;  //!< gets that took the mutex
     std::uint64_t decisions[kvNumComponents] = {0, 0};
@@ -112,6 +113,11 @@ struct KvShardConfig
     bool lockFreeReads = true; //!< effective only in Shard scope
     unsigned touchCapacity = 256; //!< deferred-touch ring size
 
+    /** TTL clock (logical ticks), owned by the facade and shared by
+     *  every shard; null = entries never expire regardless of their
+     *  stamp. Set by AdaptiveKvCache after fromCache(). */
+    const std::atomic<std::uint64_t> *clock = nullptr;
+
     /** Shard @p shard_index's slice of @p config. */
     static KvShardConfig fromCache(const KvConfig &config,
                                    unsigned shard_index);
@@ -139,11 +145,16 @@ class KvShard
      * @param pin       pin the entry (on insert or hit).
      * @param value_out if non-null, receives the resident (or, when
      *                  rejected, the freshly produced) value.
+     * @param ttl       expiry horizon in clock ticks (0 = never).
+     *                  Stamped on insert and refreshed by overwriting
+     *                  hits; an entry whose stamp has lapsed is
+     *                  unlinked on contact and treated as a miss.
      */
     KvOutcome reference(KvKey key, std::uint64_t h,
                         const std::function<std::string()> &make_value,
                         bool overwrite, bool pin,
-                        std::string *value_out = nullptr);
+                        std::string *value_out = nullptr,
+                        std::uint64_t ttl = 0);
 
     /**
      * Non-filling probe: promotes and counts on a hit, never inserts
@@ -294,6 +305,14 @@ class KvShard
     KvEntry *findSlot(unsigned bucket, KvKey key,
                       unsigned *way) const;
     KvEntry *find(unsigned bucket, KvKey key, unsigned *way) const;
+
+    /** Current TTL clock reading (0 when no clock is wired). */
+    std::uint64_t nowTick() const;
+
+    /** True iff @p e's stamp has lapsed. Reads the clock BEFORE the
+     *  stamp so a true verdict proves the entry was expired at the
+     *  instant of the stamp load (the clock is monotonic). */
+    bool isExpired(const KvEntry *e) const;
 
     KvEntry *bucketVictim(unsigned bucket, unsigned winner,
                           const ShadowOutcome &winner_out,

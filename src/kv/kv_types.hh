@@ -187,6 +187,10 @@ struct KvOutcome
     /** The winning component's TinyLFU filter refused the candidate:
      *  the resident set is kept and nothing is inserted. */
     bool admitRejected = false;
+    /** The key was physically resident but its TTL had lapsed: the
+     *  stale entry was unlinked and the reference proceeded as a
+     *  miss. */
+    bool expired = false;
 };
 
 } // namespace adcache::kv

@@ -59,6 +59,13 @@ struct KvEntry
      *  domain. Never null while the entry is linked. */
     std::atomic<const std::string *> value{nullptr};
 
+    /** Logical-clock expiry stamp; 0 = never expires. Written at
+     *  insert (and refreshed by overwriting puts) under the shard
+     *  mutex; lock-free probes read it and treat an expired entry as
+     *  a validated miss. Removal is lazy: the physical unlink waits
+     *  for the next locked contact with the entry. */
+    std::atomic<std::uint64_t> expiry{0};
+
     ~KvEntry() { delete value.load(std::memory_order_relaxed); }
 
     bool

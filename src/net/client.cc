@@ -1,0 +1,170 @@
+#include "net/client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace adcache::net
+{
+
+KvClient::~KvClient()
+{
+    close();
+}
+
+void
+KvClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    responses_ = FrameReader();
+}
+
+bool
+KvClient::connect(const std::string &host, std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        lastError_ = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        lastError_ = "bad host address: " + host;
+        close();
+        return false;
+    }
+    for (;;) {
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        lastError_ = std::string("connect: ") + std::strerror(errno);
+        close();
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return true;
+}
+
+bool
+KvClient::writeAll(const char *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd_, data + off, size - off);
+        if (n > 0) {
+            off += std::size_t(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        lastError_ = std::string("write: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+KvClient::readFrame(std::string *body)
+{
+    for (;;) {
+        switch (responses_.next(body)) {
+          case FrameReader::Status::Frame:
+            return true;
+          case FrameReader::Status::Corrupt:
+            lastError_ = "corrupt response framing";
+            return false;
+          case FrameReader::Status::NeedMore:
+            break;
+        }
+        char buf[16 * 1024];
+        const ssize_t n = ::read(fd_, buf, sizeof buf);
+        if (n > 0) {
+            responses_.feed(std::string_view(buf, std::size_t(n)));
+            continue;
+        }
+        if (n == 0) {
+            lastError_ = "server closed connection mid-response";
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        lastError_ = std::string("read: ") + std::strerror(errno);
+        return false;
+    }
+}
+
+Message
+KvClient::fail(const std::string &why)
+{
+    close();
+    return Message::error(why);
+}
+
+Message
+KvClient::call(const Message &request)
+{
+    if (fd_ < 0)
+        return Message::error(lastError_.empty() ? "not connected"
+                                                 : lastError_);
+    const std::string frame = encodedFrame(request);
+    if (!writeAll(frame.data(), frame.size()))
+        return fail(lastError_);
+    std::string body;
+    if (!readFrame(&body))
+        return fail(lastError_);
+    Message resp;
+    if (!decodeBody(body, &resp))
+        return fail("undecodable response body");
+    return resp;
+}
+
+std::optional<std::string>
+KvClient::get(std::uint64_t key)
+{
+    Message r = call(Message::get(key));
+    if (r.kind == MsgKind::Value)
+        return std::move(r.payload);
+    return std::nullopt;
+}
+
+bool
+KvClient::put(std::uint64_t key, std::string_view value,
+              std::uint32_t ttl)
+{
+    return call(Message::put(key, value, ttl)).kind == MsgKind::Ok;
+}
+
+bool
+KvClient::del(std::uint64_t key)
+{
+    return call(Message::del(key)).kind == MsgKind::Ok;
+}
+
+bool
+KvClient::ping()
+{
+    return call(Message::ping()).kind == MsgKind::Ok;
+}
+
+std::string
+KvClient::stats()
+{
+    Message r = call(Message::stats());
+    return r.kind == MsgKind::Value ? std::move(r.payload)
+                                    : std::string();
+}
+
+} // namespace adcache::net

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Blocking TCP client for the serving subsystem's wire protocol —
+ * the transport the YCSB driver and examples/kv_server.cpp peers
+ * speak. One connection per client; call() writes one request frame
+ * and blocks until the matching response frame arrives (the protocol
+ * is strictly request/response per connection, so no pipelining
+ * bookkeeping is needed).
+ *
+ * All syscalls retry on EINTR; short reads/writes loop until the
+ * frame completes. A torn connection (peer EOF mid-frame, ECONNRESET)
+ * marks the client dead; every later call answers Error locally.
+ */
+
+#ifndef ADCACHE_NET_CLIENT_HH
+#define ADCACHE_NET_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.hh"
+
+namespace adcache::net
+{
+
+/** Blocking request/response socket client (see file comment). */
+class KvClient
+{
+  public:
+    KvClient() = default;
+    ~KvClient();
+
+    KvClient(const KvClient &) = delete;
+    KvClient &operator=(const KvClient &) = delete;
+
+    /**
+     * Connect to @p host:@p port.
+     * @return false (with the reason in lastError()) on failure.
+     */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Issue one request and block for its response. On transport
+     * failure the connection is closed and a local Error message is
+     * returned (kind == MsgKind::Error, payload = lastError()).
+     */
+    Message call(const Message &request);
+
+    /** Typed conveniences over call(). */
+    std::optional<std::string> get(std::uint64_t key);
+    bool put(std::uint64_t key, std::string_view value,
+             std::uint32_t ttl = 0);
+    bool del(std::uint64_t key);
+    bool ping();
+    std::string stats();
+
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    bool writeAll(const char *data, std::size_t size);
+    /** Read until the response FrameReader yields one frame. */
+    bool readFrame(std::string *body);
+    Message fail(const std::string &why);
+
+    int fd_ = -1;
+    FrameReader responses_;
+    std::string lastError_;
+};
+
+} // namespace adcache::net
+
+#endif // ADCACHE_NET_CLIENT_HH

@@ -1,0 +1,98 @@
+#include "net/loopback.hh"
+
+#include "util/logging.hh"
+
+namespace adcache::net
+{
+
+bool
+KvChannel::ingest(std::string_view bytes, std::string *out)
+{
+    if (dead_)
+        return false;
+    reader_.feed(bytes);
+    std::string body;
+    for (;;) {
+        switch (reader_.next(&body)) {
+          case FrameReader::Status::NeedMore:
+            return true;
+          case FrameReader::Status::Corrupt:
+            dead_ = true;
+            return false;
+          case FrameReader::Status::Frame: {
+            ++requests_;
+            Message req;
+            if (!decodeBody(body, &req) ||
+                !isRequestKind(req.kind)) {
+                // Request-fatal only: answer Error, keep framing.
+                encodeFrame(Message::error("malformed request"),
+                            out);
+                break;
+            }
+            encodeFrame(service_.handle(req), out);
+            break;
+          }
+        }
+    }
+}
+
+Message
+LoopbackConnection::call(const Message &request, std::size_t chunk)
+{
+    adcache_assert(!channel_.dead());
+    const std::string frame = encodedFrame(request);
+    std::string out;
+    if (chunk == 0) {
+        channel_.ingest(frame, &out);
+    } else {
+        for (std::size_t i = 0; i < frame.size(); i += chunk)
+            channel_.ingest(
+                std::string_view(frame).substr(i, chunk), &out);
+    }
+    responses_.feed(out);
+    std::string body;
+    const auto status = responses_.next(&body);
+    adcache_assert(status == FrameReader::Status::Frame);
+    Message resp;
+    const bool ok = decodeBody(body, &resp);
+    adcache_assert(ok);
+    return resp;
+}
+
+std::optional<std::string>
+LoopbackConnection::get(std::uint64_t key)
+{
+    Message r = call(Message::get(key));
+    if (r.kind == MsgKind::Value)
+        return std::move(r.payload);
+    return std::nullopt;
+}
+
+bool
+LoopbackConnection::put(std::uint64_t key, std::string_view value,
+                        std::uint32_t ttl)
+{
+    return call(Message::put(key, value, ttl)).kind == MsgKind::Ok;
+}
+
+bool
+LoopbackConnection::del(std::uint64_t key)
+{
+    return call(Message::del(key)).kind == MsgKind::Ok;
+}
+
+bool
+LoopbackConnection::ping()
+{
+    return call(Message::ping()).kind == MsgKind::Ok;
+}
+
+std::string
+LoopbackConnection::stats()
+{
+    Message r = call(Message::stats());
+    return r.kind == MsgKind::Value ? std::move(r.payload)
+                                    : std::string();
+}
+
+} // namespace adcache::net

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The deterministic in-process transport of the serving subsystem.
+ *
+ * KvChannel is the per-connection protocol engine BOTH transports
+ * share: it reassembles frames from arbitrarily chunked bytes,
+ * decodes and dispatches each request to the KvService, and appends
+ * the encoded responses to an output buffer. The socket server owns
+ * one per connection; LoopbackConnection wraps one directly so every
+ * protocol/service path is unit-testable — and TSan-checkable —
+ * without a single real socket or syscall.
+ *
+ * Error isolation matches the wire contract (net/protocol.hh): a
+ * well-framed but undecodable body answers Error and the channel
+ * keeps going; a corrupt length prefix (or a truncated frame at
+ * close) kills the channel, mirroring a connection teardown.
+ */
+
+#ifndef ADCACHE_NET_LOOPBACK_HH
+#define ADCACHE_NET_LOOPBACK_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.hh"
+#include "net/service.hh"
+
+namespace adcache::net
+{
+
+/** Per-connection protocol engine (see file comment). */
+class KvChannel
+{
+  public:
+    explicit KvChannel(KvService &service) : service_(service) {}
+
+    /**
+     * Ingest @p bytes from the peer; responses for every completed
+     * request are appended to @p out.
+     * @return false when the stream is corrupt and the connection
+     *         must be closed (any buffered output should still be
+     *         flushed by the transport).
+     */
+    bool ingest(std::string_view bytes, std::string *out);
+
+    /** True once a framing error killed the channel. */
+    bool dead() const { return dead_; }
+
+    /** Bytes of an incomplete trailing frame (nonzero at peer EOF
+     *  means the peer died mid-frame). */
+    std::size_t pendingBytes() const { return reader_.buffered(); }
+
+    /** Requests dispatched on this channel. */
+    std::uint64_t requestsHandled() const { return requests_; }
+
+  private:
+    KvService &service_;
+    FrameReader reader_;
+    bool dead_ = false;
+    std::uint64_t requests_ = 0;
+};
+
+/**
+ * One in-process client "connection": requests go straight through
+ * a KvChannel, responses are parsed back out of its output buffer.
+ * Strictly sequential and allocation-deterministic — the unit-test
+ * and YCSB-loopback transport.
+ */
+class LoopbackConnection
+{
+  public:
+    explicit LoopbackConnection(KvService &service)
+        : channel_(service)
+    {
+    }
+
+    /**
+     * Issue one request and return its response.
+     * @param chunk when nonzero, the encoded request is fed to the
+     *        channel @p chunk bytes at a time (partial-read path
+     *        coverage).
+     */
+    Message call(const Message &request, std::size_t chunk = 0);
+
+    /** Typed conveniences over call(). */
+    std::optional<std::string> get(std::uint64_t key);
+    bool put(std::uint64_t key, std::string_view value,
+             std::uint32_t ttl = 0);
+    bool del(std::uint64_t key);
+    bool ping();
+    std::string stats();
+
+    bool dead() const { return channel_.dead(); }
+
+  private:
+    KvChannel channel_;
+    FrameReader responses_;
+};
+
+} // namespace adcache::net
+
+#endif // ADCACHE_NET_LOOPBACK_HH

@@ -1,0 +1,266 @@
+#include "net/protocol.hh"
+
+namespace adcache::net
+{
+
+namespace
+{
+
+void
+putU32(std::uint32_t v, std::string *out)
+{
+    out->push_back(char(v & 0xff));
+    out->push_back(char((v >> 8) & 0xff));
+    out->push_back(char((v >> 16) & 0xff));
+    out->push_back(char((v >> 24) & 0xff));
+}
+
+void
+putU64(std::uint64_t v, std::string *out)
+{
+    putU32(std::uint32_t(v & 0xffffffffu), out);
+    putU32(std::uint32_t(v >> 32), out);
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+           (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    return std::uint64_t(getU32(p)) |
+           (std::uint64_t(getU32(p + 4)) << 32);
+}
+
+} // namespace
+
+const char *
+msgKindName(MsgKind kind)
+{
+    switch (kind) {
+      case MsgKind::Get:
+        return "get";
+      case MsgKind::Put:
+        return "put";
+      case MsgKind::Del:
+        return "del";
+      case MsgKind::Ping:
+        return "ping";
+      case MsgKind::Stats:
+        return "stats";
+      case MsgKind::Ok:
+        return "ok";
+      case MsgKind::Value:
+        return "value";
+      case MsgKind::NotFound:
+        return "not_found";
+      case MsgKind::Error:
+        return "error";
+    }
+    return "?";
+}
+
+bool
+isRequestKind(MsgKind kind)
+{
+    return std::uint8_t(kind) < 0x80;
+}
+
+Message
+Message::get(std::uint64_t key)
+{
+    Message m;
+    m.kind = MsgKind::Get;
+    m.key = key;
+    return m;
+}
+
+Message
+Message::put(std::uint64_t key, std::string_view value,
+             std::uint32_t ttl)
+{
+    Message m;
+    m.kind = MsgKind::Put;
+    m.key = key;
+    m.ttl = ttl;
+    m.payload = value;
+    return m;
+}
+
+Message
+Message::del(std::uint64_t key)
+{
+    Message m;
+    m.kind = MsgKind::Del;
+    m.key = key;
+    return m;
+}
+
+Message
+Message::ping()
+{
+    Message m;
+    m.kind = MsgKind::Ping;
+    return m;
+}
+
+Message
+Message::stats()
+{
+    Message m;
+    m.kind = MsgKind::Stats;
+    return m;
+}
+
+Message
+Message::ok()
+{
+    Message m;
+    m.kind = MsgKind::Ok;
+    return m;
+}
+
+Message
+Message::value(std::string_view v)
+{
+    Message m;
+    m.kind = MsgKind::Value;
+    m.payload = v;
+    return m;
+}
+
+Message
+Message::notFound()
+{
+    Message m;
+    m.kind = MsgKind::NotFound;
+    return m;
+}
+
+Message
+Message::error(std::string_view text)
+{
+    Message m;
+    m.kind = MsgKind::Error;
+    m.payload = text;
+    return m;
+}
+
+void
+encodeFrame(const Message &m, std::string *out)
+{
+    std::string body;
+    body.push_back(char(m.kind));
+    switch (m.kind) {
+      case MsgKind::Get:
+      case MsgKind::Del:
+        putU64(m.key, &body);
+        break;
+      case MsgKind::Put:
+        putU64(m.key, &body);
+        putU32(m.ttl, &body);
+        body.append(m.payload);
+        break;
+      case MsgKind::Ping:
+      case MsgKind::Stats:
+      case MsgKind::Ok:
+      case MsgKind::NotFound:
+        break;
+      case MsgKind::Value:
+      case MsgKind::Error:
+        body.append(m.payload);
+        break;
+    }
+    putU32(std::uint32_t(body.size()), out);
+    out->append(body);
+}
+
+std::string
+encodedFrame(const Message &m)
+{
+    std::string out;
+    encodeFrame(m, &out);
+    return out;
+}
+
+bool
+decodeBody(std::string_view body, Message *out)
+{
+    if (body.empty())
+        return false;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(body.data());
+    const auto kind = MsgKind(p[0]);
+    Message m;
+    m.kind = kind;
+    switch (kind) {
+      case MsgKind::Get:
+      case MsgKind::Del:
+        if (body.size() != 1 + 8)
+            return false;
+        m.key = getU64(p + 1);
+        break;
+      case MsgKind::Put:
+        if (body.size() < 1 + 8 + 4)
+            return false;
+        m.key = getU64(p + 1);
+        m.ttl = getU32(p + 9);
+        m.payload.assign(body.substr(13));
+        break;
+      case MsgKind::Ping:
+      case MsgKind::Stats:
+      case MsgKind::Ok:
+      case MsgKind::NotFound:
+        if (body.size() != 1)
+            return false;
+        break;
+      case MsgKind::Value:
+      case MsgKind::Error:
+        m.payload.assign(body.substr(1));
+        break;
+      default:
+        return false;
+    }
+    *out = m;
+    return true;
+}
+
+void
+FrameReader::feed(std::string_view bytes)
+{
+    if (corrupt_)
+        return;
+    // Compact the consumed prefix before it outgrows one max frame.
+    if (pos_ > maxFrame_) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(bytes);
+}
+
+FrameReader::Status
+FrameReader::next(std::string *body)
+{
+    if (corrupt_)
+        return Status::Corrupt;
+    if (buffered() < 4)
+        return Status::NeedMore;
+    const auto *p = reinterpret_cast<const unsigned char *>(
+        buf_.data() + pos_);
+    const std::uint32_t len = getU32(p);
+    if (len > maxFrame_) {
+        corrupt_ = true;
+        return Status::Corrupt;
+    }
+    if (buffered() < 4 + std::size_t(len))
+        return Status::NeedMore;
+    body->assign(buf_, pos_ + 4, len);
+    pos_ += 4 + len;
+    return Status::Frame;
+}
+
+} // namespace adcache::net

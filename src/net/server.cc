@@ -1,0 +1,341 @@
+#include "net/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace adcache::net
+{
+
+namespace
+{
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+KvServer::KvServer(KvService &service, const KvServerConfig &config)
+    : service_(service), config_(config)
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+}
+
+KvServer::~KvServer()
+{
+    stop();
+}
+
+void
+KvServer::closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+KvServer::start()
+{
+    if (running_.load(std::memory_order_seq_cst))
+        return true;
+    stopping_.store(false, std::memory_order_seq_cst);
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        lastError_ = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(),
+                    &addr.sin_addr) != 1) {
+        lastError_ = "bad host address: " + config_.host;
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        lastError_ = std::string("bind: ") + std::strerror(errno);
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, config_.backlog) != 0) {
+        lastError_ = std::string("listen: ") + std::strerror(errno);
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    if (::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &blen) == 0)
+        port_ = ntohs(bound.sin_port);
+    setNonBlocking(listenFd_);
+
+    workers_.clear();
+    for (unsigned i = 0; i < config_.workers; ++i) {
+        auto w = std::make_unique<Worker>();
+        int pipefd[2];
+        if (::pipe(pipefd) != 0) {
+            lastError_ =
+                std::string("pipe: ") + std::strerror(errno);
+            closeFd(listenFd_);
+            listenFd_ = -1;
+            for (auto &prev : workers_) {
+                closeFd(prev->wakeRead);
+                closeFd(prev->wakeWrite);
+            }
+            workers_.clear();
+            return false;
+        }
+        w->wakeRead = pipefd[0];
+        w->wakeWrite = pipefd[1];
+        setNonBlocking(w->wakeRead);
+        workers_.push_back(std::move(w));
+    }
+
+    running_.store(true, std::memory_order_seq_cst);
+    for (auto &w : workers_) {
+        Worker *wp = w.get();
+        wp->thread = std::thread([this, wp] { workerLoop(*wp); });
+    }
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+KvServer::stop()
+{
+    if (!running_.exchange(false, std::memory_order_seq_cst))
+        return;
+    stopping_.store(true, std::memory_order_seq_cst);
+    // Wake everyone: the acceptor polls the listen fd with a
+    // timeout, the workers block in poll on their wake pipes.
+    for (auto &w : workers_) {
+        const char byte = 1;
+        for (;;) {
+            const ssize_t n = ::write(w->wakeWrite, &byte, 1);
+            if (n >= 0 || errno != EINTR)
+                break;
+        }
+    }
+    if (acceptor_.joinable())
+        acceptor_.join();
+    for (auto &w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
+        closeFd(w->wakeRead);
+        closeFd(w->wakeWrite);
+        // Undispatched handoffs the worker never saw.
+        for (int fd : w->inbox)
+            closeFd(fd);
+        w->inbox.clear();
+    }
+    workers_.clear();
+    closeFd(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+KvServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_seq_cst)) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int n = ::poll(&pfd, 1, 100);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0 || !(pfd.revents & POLLIN))
+            continue;
+        for (;;) {
+            const int fd = ::accept(listenFd_, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // EAGAIN (or a transient error): re-poll
+            }
+            setNonBlocking(fd);
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof one);
+            accepted_.fetch_add(1, std::memory_order_seq_cst);
+            Worker &w = *workers_[nextWorker_];
+            nextWorker_ = (nextWorker_ + 1) % workers_.size();
+            {
+                std::lock_guard<std::mutex> lock(w.mtx);
+                w.inbox.push_back(fd);
+            }
+            const char byte = 1;
+            for (;;) {
+                const ssize_t written =
+                    ::write(w.wakeWrite, &byte, 1);
+                if (written >= 0 || errno != EINTR)
+                    break;
+            }
+        }
+    }
+}
+
+bool
+KvServer::serviceConn(Conn &c, short revents)
+{
+    if (revents & (POLLERR | POLLNVAL))
+        return false;
+    if (revents & (POLLIN | POLLHUP)) {
+        char buf[16 * 1024];
+        for (;;) {
+            const ssize_t n = ::read(c.fd, buf, sizeof buf);
+            if (n > 0) {
+                if (!c.channel->ingest(
+                        std::string_view(buf, std::size_t(n)),
+                        &c.outbuf)) {
+                    // Corrupt framing: flush what we owe, then
+                    // close (error isolation — only this peer).
+                    c.closing = true;
+                    break;
+                }
+                continue;
+            }
+            if (n == 0) {
+                // Peer EOF. A partial trailing frame is a protocol
+                // violation but, either way, flush-and-close.
+                c.closing = true;
+                break;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            return false; // connection reset etc.
+        }
+    }
+    // Drain pending output (partial writes leave the tail for the
+    // next POLLOUT round).
+    while (!c.outbuf.empty()) {
+        const ssize_t n =
+            ::write(c.fd, c.outbuf.data(), c.outbuf.size());
+        if (n > 0) {
+            c.outbuf.erase(0, std::size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        return false;
+    }
+    return !(c.closing && c.outbuf.empty());
+}
+
+void
+KvServer::workerLoop(Worker &w)
+{
+    std::vector<Conn> conns;
+    std::vector<pollfd> pfds;
+    const auto close_all = [&] {
+        for (Conn &c : conns)
+            closeFd(c.fd);
+        conns.clear();
+    };
+
+    for (;;) {
+        const bool stopping =
+            stopping_.load(std::memory_order_seq_cst);
+        if (stopping && conns.empty())
+            break;
+
+        pfds.clear();
+        pollfd wake{};
+        wake.fd = w.wakeRead;
+        wake.events = POLLIN;
+        pfds.push_back(wake);
+        for (const Conn &c : conns) {
+            pollfd p{};
+            p.fd = c.fd;
+            p.events = POLLIN;
+            if (!c.outbuf.empty())
+                p.events |= POLLOUT;
+            pfds.push_back(p);
+        }
+
+        const int n =
+            ::poll(pfds.data(), nfds_t(pfds.size()), 100);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            close_all();
+            break;
+        }
+
+        if (pfds[0].revents & POLLIN) {
+            char drain[64];
+            for (;;) {
+                const ssize_t r =
+                    ::read(w.wakeRead, drain, sizeof drain);
+                if (r > 0)
+                    continue;
+                if (r < 0 && errno == EINTR)
+                    continue;
+                break;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(w.mtx);
+            for (int fd : w.inbox) {
+                Conn c;
+                c.fd = fd;
+                c.channel = std::make_unique<KvChannel>(service_);
+                conns.push_back(std::move(c));
+            }
+            w.inbox.clear();
+        }
+
+        if (stopping_.load(std::memory_order_seq_cst)) {
+            // Graceful: stop reading, flush what is owed, close.
+            for (Conn &c : conns)
+                c.closing = true;
+        }
+
+        // pfds[i + 1] pairs conns[i]; iterate backwards so erase()
+        // keeps earlier pairings intact.
+        for (std::size_t i = conns.size(); i-- > 0;) {
+            const short revents =
+                i + 1 < pfds.size() ? pfds[i + 1].revents : 0;
+            Conn &c = conns[i];
+            const bool keep =
+                serviceConn(c, stopping ? (revents | POLLOUT)
+                                        : revents);
+            if (!keep || (stopping && c.outbuf.empty())) {
+                closeFd(c.fd);
+                conns.erase(conns.begin() + long(i));
+            }
+        }
+    }
+    close_all();
+}
+
+} // namespace adcache::net

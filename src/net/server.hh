@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The socket transport of the serving subsystem: a poll(2)-driven
+ * TCP server hosting one KvService.
+ *
+ * Threading model: one acceptor thread owns the listening socket and
+ * hands each accepted connection to a worker round-robin; each of N
+ * worker threads runs its own poll loop over { its wake pipe, its
+ * connections }. Workers share nothing but the KvService (whose data
+ * path is the cache's own shard locking), so the transport adds no
+ * locks on the request path.
+ *
+ * Robustness contract (exercised by tests/net/server_test.cc):
+ *   - partial reads/writes: per-connection KvChannel reassembly and
+ *     a pending-output buffer drained under POLLOUT;
+ *   - EINTR: every syscall loop retries;
+ *   - per-connection error isolation: a peer that sends garbage
+ *     framing, dies mid-frame, or breaks its socket costs only its
+ *     own connection;
+ *   - graceful shutdown: stop() stops accepting, wakes every
+ *     worker, flushes what can be flushed, closes all sockets and
+ *     joins all threads.
+ *
+ * Bind with port 0 to get an ephemeral port (port() reports the
+ * real one) — the test-suite and same-process bench default.
+ */
+
+#ifndef ADCACHE_NET_SERVER_HH
+#define ADCACHE_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/loopback.hh"
+#include "net/service.hh"
+
+namespace adcache::net
+{
+
+/** Configuration of a KvServer. */
+struct KvServerConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0; //!< 0 = ephemeral (see port())
+    unsigned workers = 2;   //!< poll-loop worker threads
+    int backlog = 64;
+};
+
+/** Poll-driven TCP server (see file comment). */
+class KvServer
+{
+  public:
+    KvServer(KvService &service, const KvServerConfig &config);
+    ~KvServer();
+
+    KvServer(const KvServer &) = delete;
+    KvServer &operator=(const KvServer &) = delete;
+
+    /**
+     * Bind, listen and spawn the acceptor + workers.
+     * @return false (with the reason in lastError()) on bind/listen
+     *         failure.
+     */
+    bool start();
+
+    /** Graceful shutdown; idempotent. */
+    void stop();
+
+    /** The bound port (after start(); resolves port 0 binds). */
+    std::uint16_t port() const { return port_; }
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_seq_cst);
+    }
+
+    std::uint64_t
+    connectionsAccepted() const
+    {
+        return accepted_.load(std::memory_order_seq_cst);
+    }
+
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::unique_ptr<KvChannel> channel;
+        std::string outbuf; //!< bytes not yet written to the peer
+        bool closing = false; //!< flush outbuf, then close
+    };
+
+    struct Worker
+    {
+        std::thread thread;
+        int wakeRead = -1; //!< pipe the acceptor pokes
+        int wakeWrite = -1;
+        std::mutex mtx;
+        std::vector<int> inbox; //!< fds handed over by the acceptor
+    };
+
+    void acceptLoop();
+    void workerLoop(Worker &w);
+    /** Pump one connection's socket; @return false to close it. */
+    bool serviceConn(Conn &c, short revents);
+    static void closeFd(int fd);
+
+    KvService &service_;
+    KvServerConfig config_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::string lastError_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::thread acceptor_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    unsigned nextWorker_ = 0; //!< acceptor-only round-robin cursor
+};
+
+} // namespace adcache::net
+
+#endif // ADCACHE_NET_SERVER_HH

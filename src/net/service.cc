@@ -1,0 +1,124 @@
+#include "net/service.hh"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "util/stat_registry.hh"
+
+namespace adcache::net
+{
+
+KvService::KvService(const KvServiceConfig &config)
+    : config_(config), cache_(config.cache)
+{
+}
+
+bool
+KvService::shardDead(kv::KvKey key) const
+{
+    const std::uint64_t mask =
+        deadShardMask_.load(std::memory_order_seq_cst);
+    if (mask == 0)
+        return false;
+    return (mask >> cache_.shardOf(key)) & 1;
+}
+
+std::uint64_t
+KvService::requestsServed() const
+{
+    return requests_.load(std::memory_order_seq_cst);
+}
+
+std::uint64_t
+KvService::errorsAnswered() const
+{
+    return errors_.load(std::memory_order_seq_cst);
+}
+
+Message
+KvService::handle(const Message &request)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    switch (request.kind) {
+      case MsgKind::Get: {
+        if (shardDead(request.key)) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            return Message::error("shard down");
+        }
+        if (config_.readThrough) {
+            const std::uint32_t delay_us =
+                fetchDelayUs_.load(std::memory_order_seq_cst);
+            std::string v = cache_.fetch(
+                request.key,
+                [&] {
+                    // The loader body is the "backend": derive the
+                    // canonical value, stalled by the slowdown
+                    // scenario when it is armed.
+                    if (delay_us)
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(delay_us));
+                    return valueFor(request.key,
+                                    config_.loaderValues);
+                },
+                config_.loaderTtl);
+            return Message::value(v);
+        }
+        if (auto v = cache_.get(request.key))
+            return Message::value(*v);
+        return Message::notFound();
+      }
+      case MsgKind::Put: {
+        if (shardDead(request.key)) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            return Message::error("shard down");
+        }
+        cache_.put(request.key, request.payload, /*pinned=*/false,
+                   request.ttl);
+        return Message::ok();
+      }
+      case MsgKind::Del: {
+        if (shardDead(request.key)) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            return Message::error("shard down");
+        }
+        return cache_.erase(request.key) ? Message::ok()
+                                         : Message::notFound();
+      }
+      case MsgKind::Ping:
+        return Message::ok();
+      case MsgKind::Stats:
+        return Message::value(statsText());
+      default:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return Message::error("bad request kind");
+    }
+}
+
+std::string
+KvService::statsText() const
+{
+    StatRegistry reg;
+    cache_.registerStats(reg, "kv.");
+    reg.counter("net.requests", requestsServed());
+    reg.counter("net.errors", errorsAnswered());
+    std::ostringstream out;
+    for (const StatEntry &e : reg.entries()) {
+        out << e.name << " ";
+        switch (e.kind) {
+          case StatEntry::Kind::Counter:
+            out << e.counter;
+            break;
+          case StatEntry::Kind::Value:
+            out << e.value;
+            break;
+          case StatEntry::Kind::Text:
+            out << e.text;
+            break;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace adcache::net

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * KvService: the transport-independent request handler of the
+ * serving subsystem. Both transports — the loopback channel and the
+ * socket server's connections — decode frames into Messages and pass
+ * them here; the service maps each request onto the hosted
+ * AdaptiveKvCache and produces the response Message.
+ *
+ * The service is thread-safe by construction: the cache's own
+ * shard locking carries the data path, and the scenario knobs are
+ * plain atomics, so any number of transport threads may call
+ * handle() concurrently.
+ *
+ * Scenario injection (the failure catalog of docs/SERVING.md):
+ *
+ *  - backend slowdown: setFetchDelayUs() makes the read-through
+ *    loader stall, modelling a slow backing store behind the cache
+ *    (this is what drives the SLO gate's fail-closed demonstration);
+ *  - shard loss: setDeadShardMask() fails every request routed to a
+ *    dead shard with an Error response, without touching the cache —
+ *    clients observe partial unavailability while other shards keep
+ *    serving.
+ */
+
+#ifndef ADCACHE_NET_SERVICE_HH
+#define ADCACHE_NET_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "kv/adaptive_kv_cache.hh"
+#include "net/protocol.hh"
+#include "workloads/key_stream.hh"
+
+namespace adcache::net
+{
+
+/** Configuration of a KvService. */
+struct KvServiceConfig
+{
+    /** Shape of the hosted cache. */
+    kv::KvConfig cache;
+
+    /**
+     * Serve GET misses through the read-through loader (a miss
+     * fetches the backend value derived from the key and admits it
+     * per Algorithm 1). Off, a GET miss answers NotFound.
+     */
+    bool readThrough = true;
+
+    /** Payload shape of read-through loads. */
+    ValueSpec loaderValues{};
+
+    /** TTL stamped on read-through loads (clock ticks; 0 = never). */
+    std::uint32_t loaderTtl = 0;
+};
+
+/** Transport-independent request handler (see file comment). */
+class KvService
+{
+  public:
+    explicit KvService(const KvServiceConfig &config);
+
+    KvService(const KvService &) = delete;
+    KvService &operator=(const KvService &) = delete;
+
+    /** Serve one request; always returns a response message. */
+    Message handle(const Message &request);
+
+    kv::AdaptiveKvCache &cache() { return cache_; }
+    const kv::AdaptiveKvCache &cache() const { return cache_; }
+
+    const KvServiceConfig &config() const { return config_; }
+
+    /** Backend-slowdown scenario: read-through loads stall this
+     *  long (0 = healthy backend). */
+    void
+    setFetchDelayUs(std::uint32_t us)
+    {
+        fetchDelayUs_.store(us, std::memory_order_seq_cst);
+    }
+
+    std::uint32_t
+    fetchDelayUs() const
+    {
+        return fetchDelayUs_.load(std::memory_order_seq_cst);
+    }
+
+    /** Shard-loss scenario: requests routed to a shard whose bit is
+     *  set answer Error (0 = all shards healthy). */
+    void
+    setDeadShardMask(std::uint64_t mask)
+    {
+        deadShardMask_.store(mask, std::memory_order_seq_cst);
+    }
+
+    std::uint64_t
+    deadShardMask() const
+    {
+        return deadShardMask_.load(std::memory_order_seq_cst);
+    }
+
+    /** Requests served, by terminal status. */
+    std::uint64_t requestsServed() const;
+    std::uint64_t errorsAnswered() const;
+
+    /** STATS payload: "name value" lines over the cache's registry
+     *  plus the service's own counters. */
+    std::string statsText() const;
+
+  private:
+    bool shardDead(kv::KvKey key) const;
+
+    KvServiceConfig config_;
+    kv::AdaptiveKvCache cache_;
+    std::atomic<std::uint32_t> fetchDelayUs_{0};
+    std::atomic<std::uint64_t> deadShardMask_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> errors_{0};
+};
+
+} // namespace adcache::net
+
+#endif // ADCACHE_NET_SERVICE_HH

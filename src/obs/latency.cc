@@ -83,6 +83,7 @@ LatencyHistogram::registerInto(StatRegistry &reg,
     reg.value(prefix + "p50_ns", percentileNs(0.50));
     reg.value(prefix + "p95_ns", percentileNs(0.95));
     reg.value(prefix + "p99_ns", percentileNs(0.99));
+    reg.value(prefix + "p999_ns", percentileNs(0.999));
     reg.counter(prefix + "max_ns", maxNs());
 }
 

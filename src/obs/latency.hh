@@ -73,8 +73,8 @@ class LatencyHistogram
     double percentileNs(double p) const;
 
     /**
-     * Register count/mean/p50/p95/p99/max under "<prefix>" into
-     * @p reg (no-op when count() == 0).
+     * Register count/mean/p50/p95/p99/p999/max under "<prefix>"
+     * into @p reg (no-op when count() == 0).
      */
     void registerInto(StatRegistry &reg,
                       const std::string &prefix) const;

@@ -26,6 +26,10 @@ kvFuzzOpName(KvFuzzOpKind kind)
         return "pin";
       case KvFuzzOpKind::Unpin:
         return "unpin";
+      case KvFuzzOpKind::PutTtl:
+        return "put_ttl";
+      case KvFuzzOpKind::Advance:
+        return "advance";
     }
     return "?";
 }
@@ -54,7 +58,7 @@ KvConcurrencyFuzzer::emitSegment(KvFuzzSchedule &out,
     };
     auto key = [&] { return kv::KvKey(rng_.below(keyspace_)); };
 
-    switch (rng_.below(5)) {
+    switch (rng_.below(6)) {
       case 0: {
         // Hot-spot hammering: every thread converges on one key so
         // promotion, seqlock validation, and the touch ring all
@@ -97,6 +101,25 @@ KvConcurrencyFuzzer::emitSegment(KvFuzzSchedule &out,
                            rng_.chance(0.4) ? KvFuzzOpKind::Erase
                                             : KvFuzzOpKind::Get,
                            key()});
+        break;
+      }
+      case 4: {
+        // TTL churn: short-lived puts racing clock advances and
+        // readers on a small key range, so expiry verdicts land on
+        // both the locked and lock-free probe paths mid-flight.
+        const kv::KvKey base = key();
+        for (std::size_t i = 0; i < budget; ++i) {
+            const kv::KvKey k = (base + rng_.below(8)) % keyspace_;
+            const double r = rng_.uniform();
+            KvFuzzOp op{thread(), KvFuzzOpKind::Get, k};
+            if (r < 0.3)
+                op.kind = KvFuzzOpKind::PutTtl;
+            else if (r < 0.45)
+                op.kind = KvFuzzOpKind::Advance;
+            else if (r < 0.55)
+                op.kind = KvFuzzOpKind::Put;
+            out.push_back(op);
+        }
         break;
       }
       default: {
@@ -179,6 +202,13 @@ applyOp(kv::AdaptiveKvCache &cache, const KvFuzzOp &op)
       case KvFuzzOpKind::Unpin:
         cache.unpin(op.key);
         break;
+      case KvFuzzOpKind::PutTtl:
+        cache.put(op.key, kvExpectedValue(op.key),
+                  /*pinned=*/false, 1 + op.key % 4);
+        break;
+      case KvFuzzOpKind::Advance:
+        cache.clockAdvance();
+        break;
     }
     return "";
 }
@@ -215,12 +245,13 @@ auditCache(kv::AdaptiveKvCache &cache)
                 << " > gets " << st.gets;
             return out.str();
         }
-        const std::uint64_t retained =
-            st.inserts - st.evictions - st.erases;
+        const std::uint64_t retained = st.inserts - st.evictions -
+                                       st.erases - st.expirations;
         if (shard.size() != retained) {
             out << "shard " << s << ": size " << shard.size()
                 << " != inserts " << st.inserts << " - evictions "
-                << st.evictions << " - erases " << st.erases;
+                << st.evictions << " - erases " << st.erases
+                << " - expirations " << st.expirations;
             return out.str();
         }
         if (shard.pinnedCount() > shard.size()) {
@@ -259,6 +290,12 @@ auditCache(kv::AdaptiveKvCache &cache)
     for (kv::KvKey k : resident) {
         auto v = cache.get(k);
         if (!v) {
+            // Lazy expiry keeps TTL-lapsed entries physically
+            // resident until the next locked contact; a missed get
+            // on one of those is correct, not a lost key. contains()
+            // is expiry-aware, so it separates the two.
+            if (!cache.contains(k))
+                continue;
             out << "resident key " << k << " missed on get";
             return out.str();
         }
@@ -404,6 +441,12 @@ KvConcurrencyFuzzer::toLiteral(const KvFuzzSchedule &sched)
             break;
           case KvFuzzOpKind::Unpin:
             out << "Unpin";
+            break;
+          case KvFuzzOpKind::PutTtl:
+            out << "PutTtl";
+            break;
+          case KvFuzzOpKind::Advance:
+            out << "Advance";
             break;
         }
         out << ", " << op.key << "ull},\n";

@@ -13,9 +13,12 @@
  *
  * After the threads join, runOnce audits the quiescent cache: the
  * per-shard accounting identities (references = hits + misses,
- * misses = inserts + rejected, size = inserts - evictions - erases)
- * and residency consistency (per-shard key lists are duplicate-free,
- * shard-local, and sum to size()).
+ * misses = inserts + rejected, size = inserts - evictions - erases
+ * - expirations) and residency consistency (per-shard key lists are
+ * duplicate-free, shard-local, and sum to size()). TTL ops (PutTtl /
+ * Advance) race lazy expiry against the lock-free probes; the audit
+ * tolerates TTL-lapsed entries that are physically resident but
+ * logically absent.
  *
  * A failing schedule shrinks by the same ddmin chunk-removal loop
  * the trace fuzzer uses; because thread interleaving is
@@ -48,6 +51,11 @@ enum class KvFuzzOpKind : std::uint8_t
     Erase,
     Pin,
     Unpin,
+    /** put with a short key-derived TTL (1 + key % 4 ticks). */
+    PutTtl,
+    /** Advance the cache's logical clock one tick (key unused) —
+     *  racing expiry against readers is the point. */
+    Advance,
 };
 
 /** Printable op-kind name ("get", "put", ...). */

@@ -101,4 +101,63 @@ ZipfSampler::operator()(Rng &rng) const
     return static_cast<std::uint64_t>(it - cdf_.begin());
 }
 
+namespace
+{
+
+/**
+ * zeta(n, theta) = sum_{i=1..n} i^-theta, via an exact head of up to
+ * 1024 terms plus the Euler-Maclaurin tail
+ *   integral_k^n x^-theta dx + (k^-theta + n^-theta) / 2,
+ * whose relative error at k = 1024 is far below the sampler's own
+ * bucket granularity.
+ */
+double
+zetaApprox(std::uint64_t n, double theta)
+{
+    const std::uint64_t k =
+        std::min<std::uint64_t>(n, 1024);
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= k; ++i)
+        sum += std::pow(double(i), -theta);
+    if (k == n)
+        return sum;
+    const double a = double(k), b = double(n);
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+           (1.0 - theta);
+    sum += 0.5 * (std::pow(a, -theta) + std::pow(b, -theta));
+    return sum;
+}
+
+} // namespace
+
+ZipfApproxSampler::ZipfApproxSampler(std::uint64_t n, double s)
+    : n_(n)
+{
+    adcache_assert(n > 0);
+    // The closed-form inverse needs theta in (0, 1); clamp just
+    // inside both ends (theta ~ 1 is the 1/x harmonic edge case).
+    theta_ = std::min(std::max(s, 1e-6), 0.999);
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = zetaApprox(n, theta_);
+    const double zeta2 = zetaApprox(std::min<std::uint64_t>(n, 2),
+                                    theta_);
+    eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfApproxSampler::operator()(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0 || n_ == 1)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const double r =
+        double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    auto rank = static_cast<std::uint64_t>(r);
+    return std::min(rank, n_ - 1);
+}
+
 } // namespace adcache

@@ -72,6 +72,35 @@ class ZipfSampler
     std::vector<double> cdf_;
 };
 
+/**
+ * O(1)-memory Zipf sampler over ranks [0, n) for the large key
+ * spaces (~10M) the YCSB-style driver draws from, where
+ * ZipfSampler's cumulative table would cost 8 bytes per rank per
+ * client. The classic Gray et al. inverted-CDF construction (the one
+ * YCSB's ZipfianGenerator uses): a closed-form inverse built from
+ * zeta(n, theta), itself approximated by an exact partial sum plus
+ * the Euler-Maclaurin integral tail, so construction is O(1024)
+ * regardless of n. Requires theta < 1 (clamped); rank 0 is the most
+ * popular.
+ */
+class ZipfApproxSampler
+{
+  public:
+    ZipfApproxSampler(std::uint64_t n, double s);
+
+    /** Draw one rank using @p rng. O(1). */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t size() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+};
+
 } // namespace adcache
 
 #endif // ADCACHE_UTIL_RNG_HH

@@ -1,5 +1,6 @@
 #include "workloads/key_stream.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -39,6 +40,19 @@ keyPatternName(KeyPattern pattern)
     return "?";
 }
 
+KeyStreamSpec
+KeyStreamSpec::forClient(unsigned client, unsigned num_clients,
+                         bool disjoint_slice) const
+{
+    adcache_assert(num_clients >= 1 && client < num_clients);
+    KeyStreamSpec c = *this;
+    c.numClients = num_clients;
+    c.clientIndex = client;
+    c.disjoint = disjoint_slice;
+    c.seed = mix64(seed ^ (std::uint64_t(client) + 1));
+    return c;
+}
+
 std::string
 KeyStreamSpec::describe() const
 {
@@ -49,24 +63,91 @@ KeyStreamSpec::describe() const
     out << "@" << keySpace;
     if (driftEvery)
         out << " drift/" << driftEvery;
+    if (numClients > 1)
+        out << " client " << clientIndex << "/" << numClients
+            << (disjoint ? " disjoint" : "");
     return out.str();
+}
+
+std::string
+ValueSpec::describe() const
+{
+    std::ostringstream out;
+    if (minBytes == maxBytes)
+        out << minBytes << "B";
+    else
+        out << minBytes << "-" << maxBytes << "B";
+    return out.str();
+}
+
+std::size_t
+valueSizeFor(std::uint64_t key, const ValueSpec &spec)
+{
+    adcache_assert(spec.minBytes <= spec.maxBytes);
+    if (spec.minBytes == spec.maxBytes)
+        return spec.minBytes;
+    const std::uint64_t span = spec.maxBytes - spec.minBytes + 1;
+    return spec.minBytes +
+           std::size_t(mix64(key ^ 0x517e'5eedULL) % span);
+}
+
+std::string
+valueFor(std::uint64_t key, const ValueSpec &spec)
+{
+    std::string v = "v" + std::to_string(key) + ":";
+    const std::size_t size =
+        std::max(valueSizeFor(key, spec), v.size());
+    v.reserve(size);
+    std::uint64_t fill = mix64(key);
+    while (v.size() < size) {
+        // Printable padding keeps report dumps and test failures
+        // readable.
+        v.push_back(char('a' + (fill & 15)));
+        fill = (fill >> 4) | (fill << 60);
+    }
+    return v;
 }
 
 KeyStream::KeyStream(const KeyStreamSpec &spec)
     : spec_(spec), rng_(spec.seed)
 {
     adcache_assert(spec_.keySpace > 0);
+    adcache_assert(spec_.numClients >= 1 &&
+                   spec_.clientIndex < spec_.numClients);
     if (spec_.pattern == KeyPattern::Zipf ||
-        spec_.pattern == KeyPattern::PhaseFlip)
-        zipf_ = std::make_unique<ZipfSampler>(spec_.keySpace,
-                                              spec_.skew);
+        spec_.pattern == KeyPattern::PhaseFlip) {
+        // Above ~4M ranks the exact sampler's cumulative table costs
+        // more memory than the cache under test; switch to the O(1)
+        // Gray construction (same shape, bucket-level accuracy).
+        constexpr std::uint64_t kTableMax = 1ULL << 22;
+        if (rankSpace() <= kTableMax)
+            zipf_ = std::make_unique<ZipfSampler>(rankSpace(),
+                                                  spec_.skew);
+        else
+            zipfApprox_ = std::make_unique<ZipfApproxSampler>(
+                rankSpace(), spec_.skew);
+    }
     if (spec_.pattern == KeyPattern::PhaseFlip)
         adcache_assert(spec_.phasePeriod > 0);
 }
 
 std::uint64_t
+KeyStream::rankSpace() const
+{
+    if (!spec_.disjoint || spec_.numClients <= 1)
+        return spec_.keySpace;
+    const std::uint64_t slice = spec_.keySpace / spec_.numClients;
+    return slice > 0 ? slice : 1;
+}
+
+std::uint64_t
 KeyStream::rankToKey(std::uint64_t rank) const
 {
+    // A disjoint client's ranks interleave across the key space
+    // (global rank % numClients == clientIndex), the Nautilus-style
+    // ownership split, before drift and scrambling apply.
+    if (spec_.disjoint && spec_.numClients > 1)
+        rank = rank * spec_.numClients + spec_.clientIndex;
     // Drift relocates the whole ranking by salting the mix; without
     // scrambling it becomes a plain shift so tests stay predictable.
     if (spec_.scramble)
@@ -77,17 +158,17 @@ KeyStream::rankToKey(std::uint64_t rank) const
 std::uint64_t
 KeyStream::drawZipf()
 {
-    return rankToKey((*zipf_)(rng_));
+    return zipf_ ? (*zipf_)(rng_) : (*zipfApprox_)(rng_);
 }
 
 std::uint64_t
 KeyStream::drawScan()
 {
     const std::uint64_t span =
-        spec_.scanSpan ? spec_.scanSpan : spec_.keySpace;
+        spec_.scanSpan ? spec_.scanSpan : rankSpace();
     const std::uint64_t rank = scanPos_ % span;
     ++scanPos_;
-    return rankToKey(rank);
+    return rank;
 }
 
 bool
@@ -98,28 +179,34 @@ KeyStream::scanPhase() const
 }
 
 std::uint64_t
-KeyStream::next()
+KeyStream::nextRank()
 {
     if (spec_.driftEvery && pos_ > 0 && pos_ % spec_.driftEvery == 0)
         ++drift_;
 
-    std::uint64_t key = 0;
+    std::uint64_t rank = 0;
     switch (spec_.pattern) {
       case KeyPattern::Uniform:
-        key = rankToKey(rng_.below(spec_.keySpace));
+        rank = rng_.below(rankSpace());
         break;
       case KeyPattern::Zipf:
-        key = drawZipf();
+        rank = drawZipf();
         break;
       case KeyPattern::Scan:
-        key = drawScan();
+        rank = drawScan();
         break;
       case KeyPattern::PhaseFlip:
-        key = scanPhase() ? drawScan() : drawZipf();
+        rank = scanPhase() ? drawScan() : drawZipf();
         break;
     }
     ++pos_;
-    return key;
+    return rank;
+}
+
+std::uint64_t
+KeyStream::next()
+{
+    return rankToKey(nextRank());
 }
 
 void

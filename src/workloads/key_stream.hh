@@ -64,9 +64,52 @@ struct KeyStreamSpec
 
     std::uint64_t seed = 1;
 
+    /**
+     * Per-client partitioning (numClients > 1): this stream is
+     * client clientIndex of numClients. With disjoint set, the
+     * stream draws only keys whose unscrambled rank satisfies
+     * rank % numClients == clientIndex — each client owns a slice of
+     * the key space (the YCSB load-phase split). Without disjoint,
+     * every client draws the full distribution and only the seed is
+     * salted (independent same-shape streams).
+     */
+    unsigned numClients = 1;
+    unsigned clientIndex = 0;
+    bool disjoint = false;
+
+    /**
+     * Client @p client's slice of an @p num_clients-way run: salts
+     * the seed per client and records the partition. This replaces
+     * the ad-hoc "seed + thread" copies the kv bench drivers used to
+     * hand-roll.
+     */
+    KeyStreamSpec forClient(unsigned client, unsigned num_clients,
+                            bool disjoint_slice = false) const;
+
     /** "zipf(0.9)@1048576" style description for reports. */
     std::string describe() const;
 };
+
+/**
+ * Deterministic variable-size value generation: payload bytes and
+ * size derive from the key alone, so any client (or the server's
+ * read-through loader) can both produce and validate any entry
+ * without coordination.
+ */
+struct ValueSpec
+{
+    std::size_t minBytes = 16;
+    std::size_t maxBytes = 16; //!< inclusive; == minBytes for fixed
+
+    std::string describe() const;
+};
+
+/** Size of @p key's value under @p spec (deterministic). */
+std::size_t valueSizeFor(std::uint64_t key, const ValueSpec &spec);
+
+/** @p key's value under @p spec: a "v<key>:" identity header padded
+ *  with key-derived bytes to valueSizeFor(). */
+std::string valueFor(std::uint64_t key, const ValueSpec &spec);
 
 /** Deterministic generator of one key per next() call. */
 class KeyStream
@@ -76,6 +119,24 @@ class KeyStream
 
     /** Draw the next key. */
     std::uint64_t next();
+
+    /**
+     * Draw the next rank (the popularity index before key mapping);
+     * next() is keyAt(nextRank()). Rank-level access is what scan
+     * runs and latest-window composition (the YCSB driver) build on.
+     */
+    std::uint64_t nextRank();
+
+    /**
+     * The key of @p rank under this stream's partition, drift and
+     * scrambling. Seed-independent: every client of the same spec
+     * shape agrees on the mapping, which is what makes cross-client
+     * reads of loaded records meaningful.
+     */
+    std::uint64_t keyAt(std::uint64_t rank) const
+    {
+        return rankToKey(rank);
+    }
 
     /** Restart the stream from its seed. */
     void reset();
@@ -88,6 +149,10 @@ class KeyStream
 
     const KeyStreamSpec &spec() const { return spec_; }
 
+    /** Ranks this stream draws from: the client's slice when the
+     *  partition is disjoint, the whole key space otherwise. */
+    std::uint64_t rankSpace() const;
+
   private:
     std::uint64_t drawZipf();
     std::uint64_t drawScan();
@@ -95,7 +160,8 @@ class KeyStream
 
     KeyStreamSpec spec_;
     Rng rng_;
-    std::unique_ptr<ZipfSampler> zipf_; //!< built iff pattern needs it
+    std::unique_ptr<ZipfSampler> zipf_; //!< small key spaces
+    std::unique_ptr<ZipfApproxSampler> zipfApprox_; //!< large ones
     std::uint64_t pos_ = 0;
     std::uint64_t scanPos_ = 0;
     std::uint64_t drift_ = 0; //!< completed hot-set rotations

@@ -47,6 +47,48 @@ TEST(LatencyHistogram, PercentileWithinLogBucketError)
     EXPECT_LE(p99, 990.0 * 1.125);
 }
 
+TEST(LatencyHistogram, P999ExactCountSanity)
+{
+    // Exact-count check for the tail quantile: with 10'000 samples,
+    // p999 must land at or above the 9'990th smallest sample and
+    // within one log-bucket (12.5%) of it; p9999 likewise covers the
+    // single largest sample.
+    LatencyHistogram h;
+    for (std::uint64_t ns = 1; ns <= 10'000; ++ns)
+        h.add(ns);
+    const double p999 = h.percentileNs(0.999);
+    EXPECT_GE(p999, 9'990.0);
+    EXPECT_LE(p999, 9'990.0 * 1.125);
+    // The tail orders correctly and p=1 is the exact max.
+    EXPECT_GE(p999, h.percentileNs(0.99));
+    EXPECT_GE(h.percentileNs(1.0), 10'000.0);
+
+    // One outlier in an otherwise tight distribution: p999 must see
+    // it once the outlier crosses the 0.1% population threshold.
+    LatencyHistogram spiky;
+    for (int i = 0; i < 999; ++i)
+        spiky.add(100);
+    spiky.add(1'000'000); // sample 1000 of 1000 => rank 0.999
+    EXPECT_GE(spiky.percentileNs(0.999), 100.0);
+    EXPECT_GE(spiky.percentileNs(1.0), 1'000'000.0);
+    EXPECT_EQ(spiky.maxNs(), 1'000'000u);
+}
+
+TEST(LatencyHistogram, RegisterIntoEmitsP999)
+{
+    LatencyHistogram h;
+    for (std::uint64_t ns = 1; ns <= 10'000; ++ns)
+        h.add(ns);
+    StatRegistry reg;
+    h.registerInto(reg, "lat.");
+    EXPECT_GE(reg.numeric("lat.p999_ns"),
+              reg.numeric("lat.p99_ns"));
+    // p999 is a bucket upper edge, so it may overestimate the exact
+    // max by at most one sub-bucket (12.5%).
+    EXPECT_LE(reg.numeric("lat.p999_ns"),
+              reg.numeric("lat.max_ns") * 1.125);
+}
+
 TEST(LatencyHistogram, MergeCombinesCountsAndExtrema)
 {
     LatencyHistogram a, b, empty;
