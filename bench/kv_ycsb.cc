@@ -37,6 +37,7 @@ struct Options
 {
     std::string workloads = "abcdef";
     std::string transport = "loopback";
+    std::vector<unsigned> pipelineDepths = {1};
     unsigned clients = 4;
     std::uint64_t opsPerClient = 50'000;
     std::uint64_t records = 1 << 20;
@@ -65,12 +66,35 @@ usage()
         "               [--scenario none|hot_key_storm|"
         "backend_slowdown|shard_loss]\n"
         "               [--slowdown-us N] [--workers N] "
-        "[--seed N]\n");
+        "[--seed N] [--pipeline D1,D2,...]\n");
     return 2;
 }
 
+/** "1,4,16" -> {1, 4, 16}; empty on malformed input. */
+std::vector<unsigned>
+parseDepths(const std::string &spec)
+{
+    std::vector<unsigned> depths;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        char *end = nullptr;
+        const unsigned long d =
+            std::strtoul(spec.c_str() + pos, &end, 10);
+        if (end == spec.c_str() + pos || d == 0)
+            return {};
+        depths.push_back(unsigned(d));
+        pos = std::size_t(end - spec.c_str());
+        if (pos < spec.size()) {
+            if (spec[pos] != ',')
+                return {};
+            ++pos;
+        }
+    }
+    return depths;
+}
+
 ycsb::YcsbResult
-runWorkload(char workload, const Options &opt)
+runWorkload(char workload, unsigned depth, const Options &opt)
 {
     net::KvServiceConfig sc;
     sc.readThrough = true;
@@ -87,6 +111,7 @@ runWorkload(char workload, const Options &opt)
     yc.values = ValueSpec{opt.valueMin, opt.valueMax};
     yc.ttl = opt.ttl;
     yc.deleteRatio = opt.deleteRatio;
+    yc.pipelineDepth = depth;
     yc.scenario = opt.scenario;
     yc.slowdownUs = opt.slowdownUs;
     yc.seed = opt.seed;
@@ -165,6 +190,10 @@ main(int argc, char **argv)
                 unsigned(std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--seed" && has_next) {
             opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--pipeline" && has_next) {
+            opt.pipelineDepths = parseDepths(argv[++i]);
+            if (opt.pipelineDepths.empty())
+                return usage();
         } else {
             return usage();
         }
@@ -185,25 +214,33 @@ main(int argc, char **argv)
     grid.addMeta("scenario", ycsb::scenarioName(opt.scenario));
 
     for (const char w : opt.workloads) {
-        const ycsb::YcsbResult r = runWorkload(w, opt);
-        ReportRow &row =
-            grid.add(std::string(1, w), opt.transport);
-        r.registerInto(row.stats);
-        if (bench::textMode()) {
-            // The read-dominated class: Read, or Scan for workload E
-            // (same fallback readP99Ns uses).
-            const ycsb::OpClassResult &read =
-                r.of(ycsb::OpClass::Read).latency.count()
-                    ? r.of(ycsb::OpClass::Read)
-                    : r.of(ycsb::OpClass::Scan);
-            std::printf("workload %c (%s): %10.0f ops/s  "
-                        "read p50 %.0fns p99 %.0fns p999 %.0fns  "
-                        "errors %llu\n",
-                        w, opt.transport.c_str(), r.opsPerSec(),
-                        read.latency.percentileNs(0.50),
-                        r.readP99Ns(),
-                        read.latency.percentileNs(0.999),
-                        static_cast<unsigned long long>(r.errors));
+        for (const unsigned depth : opt.pipelineDepths) {
+            const ycsb::YcsbResult r = runWorkload(w, depth, opt);
+            const std::string variant =
+                depth > 1 ? opt.transport + "-p" +
+                                std::to_string(depth)
+                          : opt.transport;
+            ReportRow &row = grid.add(std::string(1, w), variant);
+            r.registerInto(row.stats);
+            if (bench::textMode()) {
+                // The read-dominated class: Read, MGet under
+                // pipelining, or Scan for workload E (same fallback
+                // readP99Ns uses).
+                const ycsb::OpClassResult &read =
+                    r.of(ycsb::OpClass::Read).latency.count()
+                        ? r.of(ycsb::OpClass::Read)
+                    : r.of(ycsb::OpClass::MGet).latency.count()
+                        ? r.of(ycsb::OpClass::MGet)
+                        : r.of(ycsb::OpClass::Scan);
+                std::printf(
+                    "workload %c (%s): %10.0f ops/s  "
+                    "read p50 %.0fns p99 %.0fns p999 %.0fns  "
+                    "errors %llu\n",
+                    w, variant.c_str(), r.opsPerSec(),
+                    read.latency.percentileNs(0.50), r.readP99Ns(),
+                    read.latency.percentileNs(0.999),
+                    static_cast<unsigned long long>(r.errors));
+            }
         }
     }
     if (!bench::textMode())

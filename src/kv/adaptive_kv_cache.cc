@@ -142,6 +142,140 @@ AdaptiveKvCache::get(KvKey key)
     return *v;
 }
 
+std::size_t
+AdaptiveKvCache::getMany(std::span<const KvKey> keys,
+                         std::optional<std::string> *out)
+{
+    const std::size_t n = keys.size();
+    if (n == 0)
+        return 0;
+    if (n == 1) {
+        out[0] = get(keys[0]);
+        return out[0].has_value() ? 1 : 0;
+    }
+    ScopedOpTimer timer(obs::KvOp::GetMany);
+
+    // Scratch: key hashes, a to-do index list, the current shard
+    // group, per-member lock-free verdicts and retry counts. Stack
+    // for the common pipeline depths, one heap block beyond.
+    constexpr std::size_t kStackBatch = 64;
+    struct Scratch
+    {
+        std::uint64_t h;
+        std::uint32_t todo;
+        std::uint32_t group;
+        std::uint32_t retries;
+        std::uint8_t verdict;
+    };
+    Scratch stack[kStackBatch];
+    std::vector<Scratch> heap;
+    Scratch *sc = stack;
+    if (n > kStackBatch) {
+        heap.resize(n);
+        sc = heap.data();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        sc[i].h = hashOf(keys[i]);
+        sc[i].todo = std::uint32_t(i);
+        out[i].reset();
+    }
+
+    enum : std::uint8_t { kDone, kTouch, kSlow };
+    std::size_t hits = 0;
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        // Peel the first pending key's shard group off the to-do
+        // list; both the group and the remainder keep their relative
+        // order, so within-shard processing order matches a serial
+        // replay of the batch.
+        const unsigned s = unsigned(sc[sc[0].todo].h & shardMask_);
+        std::size_t m = 0, rest = 0;
+        for (std::size_t i = 0; i < remaining; ++i) {
+            const std::uint32_t idx = sc[i].todo;
+            if (unsigned(sc[idx].h & shardMask_) == s)
+                sc[m++].group = idx;
+            else
+                sc[rest++].todo = idx;
+        }
+        remaining = rest;
+
+        KvShard &shard = *shards_[s];
+        bool need_lock = true;
+        if (shard.lockFreeEnabled()) {
+            need_lock = false;
+            // One epoch guard covers the whole shard group.
+            EpochGuard guard;
+            std::string value;
+            for (std::size_t j = 0; j < m; ++j) {
+                const std::uint32_t idx = sc[j].group;
+                if (!guard.engaged()) {
+                    sc[j].verdict = kSlow;
+                    sc[idx].retries = 0;
+                    need_lock = true;
+                    continue;
+                }
+                unsigned retries = 0;
+                const auto result = shard.tryProbe(
+                    keys[idx], sc[idx].h, &value, &retries);
+                sc[idx].retries = retries;
+                switch (result) {
+                  case KvShard::ProbeResult::Hit:
+                    out[idx].emplace(std::move(value));
+                    ++hits;
+                    sc[j].verdict = kDone;
+                    break;
+                  case KvShard::ProbeResult::Miss:
+                    sc[j].verdict = kDone;
+                    break;
+                  case KvShard::ProbeResult::NeedTouchDrain:
+                    out[idx].emplace(std::move(value));
+                    ++hits;
+                    sc[j].verdict = kTouch;
+                    need_lock = true;
+                    break;
+                  case KvShard::ProbeResult::NeedSlow:
+                    sc[j].verdict = kSlow;
+                    need_lock = true;
+                    break;
+                }
+            }
+        } else {
+            for (std::size_t j = 0; j < m; ++j) {
+                sc[j].verdict = kSlow;
+                sc[sc[j].group].retries = 0;
+            }
+        }
+        if (!need_lock)
+            continue;
+        // One mutex window (after the guard scope, so a blocked
+        // batch never stalls epoch advancement) resolves every
+        // deferred member in group order.
+        std::scoped_lock lock(locks_[s]);
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::uint32_t idx = sc[j].group;
+            if (sc[j].verdict == kTouch) {
+                shard.touchSlow(keys[idx], sc[idx].h);
+            } else if (sc[j].verdict == kSlow) {
+                const std::string *v = shard.probe(
+                    keys[idx], sc[idx].h, sc[idx].retries);
+                if (v) {
+                    out[idx].emplace(*v);
+                    ++hits;
+                }
+            }
+        }
+    }
+    return hits;
+}
+
+std::vector<std::optional<std::string>>
+AdaptiveKvCache::getMany(std::span<const KvKey> keys)
+{
+    std::vector<std::optional<std::string>> out(keys.size());
+    getMany(keys, out.data());
+    return out;
+}
+
 std::string
 AdaptiveKvCache::fetch(KvKey key,
                        const std::function<std::string()> &loader,

@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +50,23 @@ class AdaptiveKvCache
 
     /** Non-filling probe; promotes the entry on a hit. */
     std::optional<std::string> get(KvKey key);
+
+    /**
+     * Batched non-filling probe: resolves keys[i] into out[i]
+     * exactly as keys.size() serial get() calls would, but groups
+     * the keys by shard first so each shard group pays for one epoch
+     * guard, one latency sample, and (when any key needs the slow
+     * path) one mutex acquisition instead of one per key. Keys keep
+     * their relative order within a shard group, so promotion order
+     * matches the serial replay. Duplicates are fine.
+     * @return the number of hits.
+     */
+    std::size_t getMany(std::span<const KvKey> keys,
+                        std::optional<std::string> *out);
+
+    /** Vector convenience over the span overload. */
+    std::vector<std::optional<std::string>>
+    getMany(std::span<const KvKey> keys);
 
     /**
      * Read-through fetch: on a miss, @p loader produces the value

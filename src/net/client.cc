@@ -27,7 +27,8 @@ KvClient::close()
 }
 
 bool
-KvClient::connect(const std::string &host, std::uint16_t port)
+KvClient::connect(const std::string &host, std::uint16_t port,
+                  bool no_delay)
 {
     close();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -53,8 +54,11 @@ KvClient::connect(const std::string &host, std::uint16_t port)
         close();
         return false;
     }
-    int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (no_delay) {
+        int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof one);
+    }
     return true;
 }
 
@@ -129,6 +133,59 @@ KvClient::call(const Message &request)
     if (!decodeBody(body, &resp))
         return fail("undecodable response body");
     return resp;
+}
+
+std::size_t
+KvClient::sendMany(const std::vector<Message> &requests,
+                   std::vector<Message> *responses)
+{
+    responses->clear();
+    responses->reserve(requests.size());
+    const auto fail_rest = [&](const std::string &why) {
+        close();
+        lastError_ = why;
+        while (responses->size() < requests.size())
+            responses->push_back(Message::error(why));
+    };
+    if (fd_ < 0) {
+        fail_rest(lastError_.empty() ? "not connected" : lastError_);
+        return 0;
+    }
+    std::string frames;
+    for (const Message &request : requests)
+        encodeFrame(request, &frames);
+    if (!writeAll(frames.data(), frames.size())) {
+        fail_rest(lastError_);
+        return 0;
+    }
+    std::string body;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!readFrame(&body)) {
+            fail_rest(lastError_);
+            return i;
+        }
+        Message resp;
+        if (!decodeBody(body, &resp)) {
+            fail_rest("undecodable response body");
+            return i;
+        }
+        responses->push_back(std::move(resp));
+    }
+    return requests.size();
+}
+
+std::vector<std::optional<std::string>>
+KvClient::mget(const std::vector<std::uint64_t> &keys)
+{
+    std::vector<std::optional<std::string>> out(keys.size());
+    Message r = call(Message::mget(keys));
+    if (r.kind != MsgKind::Values ||
+        r.entries.size() != keys.size())
+        return out;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        if (r.entries[i].status == MGetStatus::Found)
+            out[i].emplace(std::move(r.entries[i].value));
+    return out;
 }
 
 std::optional<std::string>

@@ -3,9 +3,11 @@
  * Blocking TCP client for the serving subsystem's wire protocol —
  * the transport the YCSB driver and examples/kv_server.cpp peers
  * speak. One connection per client; call() writes one request frame
- * and blocks until the matching response frame arrives (the protocol
- * is strictly request/response per connection, so no pipelining
- * bookkeeping is needed).
+ * and blocks until the matching response frame arrives. sendMany()
+ * pipelines: it writes a whole batch of request frames in one
+ * gather, then reads the batch's responses back in order (the
+ * protocol answers strictly in request order per connection, so no
+ * correlation bookkeeping is needed).
  *
  * All syscalls retry on EINTR; short reads/writes loop until the
  * frame completes. A torn connection (peer EOF mid-frame, ECONNRESET)
@@ -19,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "net/protocol.hh"
 
@@ -36,10 +39,13 @@ class KvClient
     KvClient &operator=(const KvClient &) = delete;
 
     /**
-     * Connect to @p host:@p port.
+     * Connect to @p host:@p port. @p no_delay disables Nagle on the
+     * socket (the default: the client writes whole frames / whole
+     * pipelines, so delaying them only adds latency).
      * @return false (with the reason in lastError()) on failure.
      */
-    bool connect(const std::string &host, std::uint16_t port);
+    bool connect(const std::string &host, std::uint16_t port,
+                 bool no_delay = true);
 
     void close();
 
@@ -52,6 +58,16 @@ class KvClient
      */
     Message call(const Message &request);
 
+    /**
+     * Pipeline @p requests: one gathered write of every frame, then
+     * the responses read back in request order into @p responses.
+     * On transport failure the connection closes and the unanswered
+     * tail is filled with local Error messages, mirroring call().
+     * @return the number of real responses received.
+     */
+    std::size_t sendMany(const std::vector<Message> &requests,
+                         std::vector<Message> *responses);
+
     /** Typed conveniences over call(). */
     std::optional<std::string> get(std::uint64_t key);
     bool put(std::uint64_t key, std::string_view value,
@@ -59,6 +75,12 @@ class KvClient
     bool del(std::uint64_t key);
     bool ping();
     std::string stats();
+
+    /** One MGet round trip: out[i] answers keys[i] (Found maps to a
+     *  value; Miss, per-key Error, and transport failure all map to
+     *  nullopt). */
+    std::vector<std::optional<std::string>>
+    mget(const std::vector<std::uint64_t> &keys);
 
     const std::string &lastError() const { return lastError_; }
 

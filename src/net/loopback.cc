@@ -59,6 +59,51 @@ LoopbackConnection::call(const Message &request, std::size_t chunk)
     return resp;
 }
 
+std::vector<Message>
+LoopbackConnection::callMany(const std::vector<Message> &requests,
+                             std::size_t chunk)
+{
+    adcache_assert(!channel_.dead());
+    std::string frames;
+    for (const Message &request : requests)
+        encodeFrame(request, &frames);
+    std::string out;
+    if (chunk == 0) {
+        channel_.ingest(frames, &out);
+    } else {
+        for (std::size_t i = 0; i < frames.size(); i += chunk)
+            channel_.ingest(
+                std::string_view(frames).substr(i, chunk), &out);
+    }
+    responses_.feed(out);
+    std::vector<Message> resps;
+    resps.reserve(requests.size());
+    std::string body;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto status = responses_.next(&body);
+        adcache_assert(status == FrameReader::Status::Frame);
+        Message resp;
+        const bool ok = decodeBody(body, &resp);
+        adcache_assert(ok);
+        resps.push_back(std::move(resp));
+    }
+    return resps;
+}
+
+std::vector<std::optional<std::string>>
+LoopbackConnection::mget(const std::vector<std::uint64_t> &keys)
+{
+    std::vector<std::optional<std::string>> out(keys.size());
+    Message r = call(Message::mget(keys));
+    if (r.kind != MsgKind::Values ||
+        r.entries.size() != keys.size())
+        return out;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        if (r.entries[i].status == MGetStatus::Found)
+            out[i].emplace(std::move(r.entries[i].value));
+    return out;
+}
+
 std::optional<std::string>
 LoopbackConnection::get(std::uint64_t key)
 {

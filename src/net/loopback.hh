@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "net/protocol.hh"
 #include "net/service.hh"
@@ -84,6 +85,15 @@ class LoopbackConnection
      */
     Message call(const Message &request, std::size_t chunk = 0);
 
+    /**
+     * Pipeline: encode every request back-to-back, feed the channel
+     * the whole batch (optionally @p chunk bytes at a time), and
+     * return the matching responses in request order — the loopback
+     * twin of KvClient::sendMany.
+     */
+    std::vector<Message> callMany(const std::vector<Message> &requests,
+                                  std::size_t chunk = 0);
+
     /** Typed conveniences over call(). */
     std::optional<std::string> get(std::uint64_t key);
     bool put(std::uint64_t key, std::string_view value,
@@ -91,6 +101,11 @@ class LoopbackConnection
     bool del(std::uint64_t key);
     bool ping();
     std::string stats();
+
+    /** One MGet round trip: out[i] answers keys[i] (Found maps to a
+     *  value; Miss and per-key Error both map to nullopt). */
+    std::vector<std::optional<std::string>>
+    mget(const std::vector<std::uint64_t> &keys);
 
     bool dead() const { return channel_.dead(); }
 

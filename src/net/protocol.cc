@@ -52,6 +52,8 @@ msgKindName(MsgKind kind)
         return "ping";
       case MsgKind::Stats:
         return "stats";
+      case MsgKind::MGet:
+        return "mget";
       case MsgKind::Ok:
         return "ok";
       case MsgKind::Value:
@@ -60,6 +62,8 @@ msgKindName(MsgKind kind)
         return "not_found";
       case MsgKind::Error:
         return "error";
+      case MsgKind::Values:
+        return "values";
     }
     return "?";
 }
@@ -117,6 +121,15 @@ Message::stats()
 }
 
 Message
+Message::mget(std::vector<std::uint64_t> keys)
+{
+    Message m;
+    m.kind = MsgKind::MGet;
+    m.keys = std::move(keys);
+    return m;
+}
+
+Message
 Message::ok()
 {
     Message m;
@@ -150,6 +163,15 @@ Message::error(std::string_view text)
     return m;
 }
 
+Message
+Message::values(std::vector<MGetEntry> entries)
+{
+    Message m;
+    m.kind = MsgKind::Values;
+    m.entries = std::move(entries);
+    return m;
+}
+
 void
 encodeFrame(const Message &m, std::string *out)
 {
@@ -174,6 +196,24 @@ encodeFrame(const Message &m, std::string *out)
       case MsgKind::Error:
         body.append(m.payload);
         break;
+      case MsgKind::MGet:
+        putU32(std::uint32_t(m.keys.size()), &body);
+        for (const std::uint64_t k : m.keys)
+            putU64(k, &body);
+        break;
+      case MsgKind::Values: {
+        std::size_t bytes = 4;
+        for (const MGetEntry &e : m.entries)
+            bytes += 5 + e.value.size();
+        body.reserve(1 + bytes);
+        putU32(std::uint32_t(m.entries.size()), &body);
+        for (const MGetEntry &e : m.entries) {
+            body.push_back(char(e.status));
+            putU32(std::uint32_t(e.value.size()), &body);
+            body.append(e.value);
+        }
+        break;
+      }
     }
     putU32(std::uint32_t(body.size()), out);
     out->append(body);
@@ -222,10 +262,50 @@ decodeBody(std::string_view body, Message *out)
       case MsgKind::Error:
         m.payload.assign(body.substr(1));
         break;
+      case MsgKind::MGet: {
+        if (body.size() < 1 + 4)
+            return false;
+        const std::size_t count = getU32(p + 1);
+        if (count > kMaxMGetKeys ||
+            body.size() != 1 + 4 + 8 * count)
+            return false;
+        m.keys.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            m.keys.push_back(getU64(p + 5 + 8 * i));
+        break;
+      }
+      case MsgKind::Values: {
+        if (body.size() < 1 + 4)
+            return false;
+        const std::size_t count = getU32(p + 1);
+        if (count > kMaxMGetKeys)
+            return false;
+        m.entries.reserve(count);
+        std::size_t off = 5;
+        for (std::size_t i = 0; i < count; ++i) {
+            if (body.size() - off < 5)
+                return false;
+            const std::uint8_t status = p[off];
+            if (status > std::uint8_t(MGetStatus::Error))
+                return false;
+            const std::size_t len = getU32(p + off + 1);
+            off += 5;
+            if (body.size() - off < len)
+                return false;
+            MGetEntry e;
+            e.status = MGetStatus(status);
+            e.value.assign(body.substr(off, len));
+            m.entries.push_back(std::move(e));
+            off += len;
+        }
+        if (off != body.size())
+            return false;
+        break;
+      }
       default:
         return false;
     }
-    *out = m;
+    *out = std::move(m);
     return true;
 }
 

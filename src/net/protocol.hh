@@ -15,12 +15,17 @@
  *   Del   u64 key
  *   Ping  (empty)
  *   Stats (empty)
+ *   MGet  u32 count, count x u64 keys (count <= kMaxMGetKeys)
  *
  * Responses:
  *   Ok        (empty)                 put/del/ping acknowledgement
  *   Value     value bytes             get hit / stats text
  *   NotFound  (empty)                 get miss / del of absent key
  *   Error     utf-8 message           per-request failure
+ *   Values    u32 count, count x (u8 status, u32 len, len bytes)
+ *             MGet answer, one entry per requested key in request
+ *             order; status Miss/Error entries carry len == 0 and
+ *             error text respectively
  *
  * Error handling is two-tiered, mirroring production wire formats:
  * a frame whose declared length exceeds kMaxFrameBytes (or an EOF
@@ -41,6 +46,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace adcache::net
 {
@@ -53,11 +59,13 @@ enum class MsgKind : std::uint8_t
     Del = 3,
     Ping = 4,
     Stats = 5,
+    MGet = 6,
 
     Ok = 0x80,
     Value = 0x81,
     NotFound = 0x82,
     Error = 0x83,
+    Values = 0x84,
 };
 
 /** Printable kind name ("get", "ok", ...). */
@@ -70,6 +78,25 @@ bool isRequestKind(MsgKind kind);
  *  makes a desynchronized length prefix detectable. */
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
+/** Largest key count one MGet request may carry (bounds the decode
+ *  allocation a hostile count prefix could demand). */
+inline constexpr std::size_t kMaxMGetKeys = 4096;
+
+/** Per-key outcome inside a Values response. */
+enum class MGetStatus : std::uint8_t
+{
+    Miss = 0,  //!< absent (value empty)
+    Found = 1, //!< value carries the entry
+    Error = 2, //!< per-key failure (value carries the error text)
+};
+
+/** One Values entry: a key's outcome plus its value / error text. */
+struct MGetEntry
+{
+    MGetStatus status = MGetStatus::Miss;
+    std::string value;
+};
+
 /** One decoded message (request or response). */
 struct Message
 {
@@ -77,6 +104,8 @@ struct Message
     std::uint64_t key = 0;     //!< Get / Put / Del
     std::uint32_t ttl = 0;     //!< Put: expiry ticks (0 = never)
     std::string payload;       //!< Put value / Value / Error text
+    std::vector<std::uint64_t> keys; //!< MGet request keys
+    std::vector<MGetEntry> entries;  //!< Values response entries
 
     static Message get(std::uint64_t key);
     static Message put(std::uint64_t key, std::string_view value,
@@ -84,11 +113,13 @@ struct Message
     static Message del(std::uint64_t key);
     static Message ping();
     static Message stats();
+    static Message mget(std::vector<std::uint64_t> keys);
 
     static Message ok();
     static Message value(std::string_view v);
     static Message notFound();
     static Message error(std::string_view text);
+    static Message values(std::vector<MGetEntry> entries);
 };
 
 /** Append @p m's complete frame (length prefix + body) to @p out. */

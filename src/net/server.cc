@@ -179,9 +179,11 @@ KvServer::acceptLoop()
                 break; // EAGAIN (or a transient error): re-poll
             }
             setNonBlocking(fd);
-            int one = 1;
-            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
-                         sizeof one);
+            if (config_.noDelay) {
+                int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof one);
+            }
             accepted_.fetch_add(1, std::memory_order_seq_cst);
             Worker &w = *workers_[nextWorker_];
             nextWorker_ = (nextWorker_ + 1) % workers_.size();
@@ -206,13 +208,17 @@ KvServer::serviceConn(Conn &c, short revents)
     if (revents & (POLLERR | POLLNVAL))
         return false;
     if (revents & (POLLIN | POLLHUP)) {
-        char buf[16 * 1024];
+        // Drain the socket completely per readable event: a
+        // pipelining client's whole burst of frames is decoded and
+        // serviced here, and every response lands in c.out before
+        // the single flush loop below runs.
+        char buf[64 * 1024];
         for (;;) {
             const ssize_t n = ::read(c.fd, buf, sizeof buf);
             if (n > 0) {
                 if (!c.channel->ingest(
                         std::string_view(buf, std::size_t(n)),
-                        &c.outbuf)) {
+                        &c.out.data)) {
                     // Corrupt framing: flush what we owe, then
                     // close (error isolation — only this peer).
                     c.closing = true;
@@ -233,22 +239,24 @@ KvServer::serviceConn(Conn &c, short revents)
             return false; // connection reset etc.
         }
     }
-    // Drain pending output (partial writes leave the tail for the
-    // next POLLOUT round).
-    while (!c.outbuf.empty()) {
-        const ssize_t n =
-            ::write(c.fd, c.outbuf.data(), c.outbuf.size());
+    // Drain pending output (partial writes advance the consumed
+    // head; the tail waits for the next POLLOUT round). MSG_NOSIGNAL
+    // turns a peer that hung up mid-flush into an EPIPE on this
+    // connection instead of a process-wide SIGPIPE.
+    while (!c.out.empty()) {
+        const ssize_t n = ::send(c.fd, c.out.front(),
+                                 c.out.pending(), MSG_NOSIGNAL);
         if (n > 0) {
-            c.outbuf.erase(0, std::size_t(n));
+            c.out.consume(std::size_t(n));
             continue;
         }
         if (n < 0 && errno == EINTR)
             continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             break;
-        return false;
+        return false; // EPIPE/ECONNRESET: only this peer dies
     }
-    return !(c.closing && c.outbuf.empty());
+    return !(c.closing && c.out.empty());
 }
 
 void
@@ -277,7 +285,7 @@ KvServer::workerLoop(Worker &w)
             pollfd p{};
             p.fd = c.fd;
             p.events = POLLIN;
-            if (!c.outbuf.empty())
+            if (!c.out.empty())
                 p.events |= POLLOUT;
             pfds.push_back(p);
         }
@@ -329,7 +337,7 @@ KvServer::workerLoop(Worker &w)
             const bool keep =
                 serviceConn(c, stopping ? (revents | POLLOUT)
                                         : revents);
-            if (!keep || (stopping && c.outbuf.empty())) {
+            if (!keep || (stopping && c.out.empty())) {
                 closeFd(c.fd);
                 conns.erase(conns.begin() + long(i));
             }

@@ -49,6 +49,10 @@ struct KvServerConfig
     std::uint16_t port = 0; //!< 0 = ephemeral (see port())
     unsigned workers = 2;   //!< poll-loop worker threads
     int backlog = 64;
+    /** TCP_NODELAY on accepted sockets. The server writes whole
+     *  response batches in one flush, so Nagle can only delay them;
+     *  off exists for experiments. */
+    bool noDelay = true;
 };
 
 /** Poll-driven TCP server (see file comment). */
@@ -88,12 +92,46 @@ class KvServer
     const std::string &lastError() const { return lastError_; }
 
   private:
+    /**
+     * Reused per-connection output accumulator: KvChannel appends
+     * response frames to @c data, the flush loop consumes from
+     * @c head. A fully drained buffer resets to offset 0 keeping its
+     * capacity, so the steady state allocates nothing per flush; a
+     * consumed prefix a backpressured peer leaves behind is
+     * compacted once it outgrows kCompactAt instead of being
+     * memmoved on every partial write.
+     */
+    struct OutBuf
+    {
+        static constexpr std::size_t kCompactAt = 256 * 1024;
+
+        std::string data;
+        std::size_t head = 0; //!< consumed prefix of data
+
+        bool empty() const { return head == data.size(); }
+        std::size_t pending() const { return data.size() - head; }
+        const char *front() const { return data.data() + head; }
+
+        void
+        consume(std::size_t n)
+        {
+            head += n;
+            if (head == data.size()) {
+                data.clear();
+                head = 0;
+            } else if (head > kCompactAt) {
+                data.erase(0, head);
+                head = 0;
+            }
+        }
+    };
+
     struct Conn
     {
         int fd = -1;
         std::unique_ptr<KvChannel> channel;
-        std::string outbuf; //!< bytes not yet written to the peer
-        bool closing = false; //!< flush outbuf, then close
+        OutBuf out; //!< bytes not yet written to the peer
+        bool closing = false; //!< flush out, then close
     };
 
     struct Worker

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "util/stat_registry.hh"
 
@@ -85,6 +86,8 @@ KvService::handle(const Message &request)
         return cache_.erase(request.key) ? Message::ok()
                                          : Message::notFound();
       }
+      case MsgKind::MGet:
+        return handleMGet(request);
       case MsgKind::Ping:
         return Message::ok();
       case MsgKind::Stats:
@@ -93,6 +96,81 @@ KvService::handle(const Message &request)
         errors_.fetch_add(1, std::memory_order_relaxed);
         return Message::error("bad request kind");
     }
+}
+
+Message
+KvService::handleMGet(const Message &request)
+{
+    const std::size_t n = request.keys.size();
+    std::vector<MGetEntry> entries(n);
+
+    // Keys on dead shards answer per-key Error entries, so one lost
+    // shard degrades the batch instead of failing it wholesale; the
+    // live remainder goes through one shard-grouped getMany, which
+    // is the point of the opcode — cache hits stay on the lock-free
+    // path even with read-through on (a plain Get under readThrough
+    // always takes the shard mutex via fetch()). With every shard
+    // alive — the steady state — the keys span probes as-is, with
+    // no live-subset copy.
+    std::vector<kv::KvKey> live;
+    std::vector<std::uint32_t> live_idx;
+    const bool all_alive =
+        deadShardMask_.load(std::memory_order_seq_cst) == 0;
+    if (!all_alive) {
+        live.reserve(n);
+        live_idx.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (shardDead(request.keys[i])) {
+                errors_.fetch_add(1, std::memory_order_relaxed);
+                entries[i].status = MGetStatus::Error;
+                entries[i].value = "shard down";
+            } else {
+                live.push_back(request.keys[i]);
+                live_idx.push_back(std::uint32_t(i));
+            }
+        }
+    }
+    const std::span<const kv::KvKey> probe_keys =
+        all_alive ? std::span<const kv::KvKey>(request.keys)
+                  : std::span<const kv::KvKey>(live);
+
+    std::vector<std::optional<std::string>> got(probe_keys.size());
+    cache_.getMany(probe_keys, got.data());
+
+    const std::uint32_t delay_us =
+        fetchDelayUs_.load(std::memory_order_seq_cst);
+    for (std::size_t j = 0; j < probe_keys.size(); ++j) {
+        MGetEntry &e = entries[all_alive ? j : live_idx[j]];
+        if (got[j]) {
+            e.status = MGetStatus::Found;
+            e.value = std::move(*got[j]);
+        } else if (config_.readThrough) {
+            const kv::KvKey key = probe_keys[j];
+            e.status = MGetStatus::Found;
+            e.value = cache_.fetch(
+                key,
+                [&] {
+                    if (delay_us)
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(delay_us));
+                    return valueFor(key, config_.loaderValues);
+                },
+                config_.loaderTtl);
+        }
+        // else: stays MGetStatus::Miss.
+    }
+
+    // The response must itself be one legal frame; a batch of fat
+    // values that would overflow it is a request-level error (the
+    // client should split the batch), not a dead connection.
+    std::size_t body = 1 + 4;
+    for (const MGetEntry &e : entries)
+        body += 5 + e.value.size();
+    if (body > kMaxFrameBytes) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return Message::error("mget response too large");
+    }
+    return Message::values(std::move(entries));
 }
 
 std::string

@@ -111,6 +111,8 @@ class KvService
 
   private:
     bool shardDead(kv::KvKey key) const;
+    /** MGet: shard-grouped batch probe + read-through backfill. */
+    Message handleMGet(const Message &request);
 
     KvServiceConfig config_;
     kv::AdaptiveKvCache cache_;

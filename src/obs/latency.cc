@@ -24,6 +24,8 @@ kvOpName(KvOp op)
         return "put";
       case KvOp::GetSlow:
         return "get_slow";
+      case KvOp::GetMany:
+        return "get_many";
     }
     return "?";
 }

@@ -36,9 +36,12 @@ enum class KvOp : unsigned
      *  mutex — split out so hit-path and slow-path latency
      *  distributions stay distinguishable. */
     GetSlow = 3,
+    /** One getMany() batch (the whole batch is one sample, whatever
+     *  its size — batched callers care about per-batch latency). */
+    GetMany = 4,
 };
 
-inline constexpr unsigned kNumKvOps = 4;
+inline constexpr unsigned kNumKvOps = 5;
 
 /** Canonical lower-case name of @p op. */
 const char *kvOpName(KvOp op);

@@ -1,7 +1,10 @@
 #include "oracle/kv_fuzzer.hh"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <thread>
 
@@ -30,6 +33,8 @@ kvFuzzOpName(KvFuzzOpKind kind)
         return "put_ttl";
       case KvFuzzOpKind::Advance:
         return "advance";
+      case KvFuzzOpKind::MGet:
+        return "mget";
     }
     return "?";
 }
@@ -82,7 +87,8 @@ KvConcurrencyFuzzer::emitSegment(KvFuzzSchedule &out,
       }
       case 2:
         // Skewed read-mostly mix: the steady-state workload the
-        // lock-free path is optimized for.
+        // lock-free path is optimized for, with batched reads mixed
+        // in so getMany's grouped epoch windows race the writers.
         for (std::size_t i = 0; i < budget; ++i) {
             const kv::KvKey k = rng_.zipfApprox(keyspace_, 0.99);
             KvFuzzOpKind kind = KvFuzzOpKind::Get;
@@ -90,6 +96,8 @@ KvConcurrencyFuzzer::emitSegment(KvFuzzSchedule &out,
                 kind = KvFuzzOpKind::Put;
             else if (rng_.chance(0.05))
                 kind = KvFuzzOpKind::Fetch;
+            else if (rng_.chance(0.10))
+                kind = KvFuzzOpKind::MGet;
             out.push_back({thread(), kind, k});
         }
         break;
@@ -209,6 +217,29 @@ applyOp(kv::AdaptiveKvCache &cache, const KvFuzzOp &op)
       case KvFuzzOpKind::Advance:
         cache.clockAdvance();
         break;
+      case KvFuzzOpKind::MGet: {
+        // A batch over a contiguous window lands members on several
+        // shards, so one call exercises the per-shard-group epoch
+        // and mutex windows; each returned member gets the same
+        // identity check a lone get would.
+        std::array<kv::KvKey, 8> keys;
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            keys[i] = op.key + i;
+        std::array<std::optional<std::string>, 8> got;
+        cache.getMany(std::span<const kv::KvKey>(keys),
+                      got.data());
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            if (got[i] && *got[i] != kvExpectedValue(keys[i])) {
+                std::ostringstream out;
+                out << "mget(" << op.key << ")[" << i
+                    << "] returned \"" << *got[i]
+                    << "\", expected \""
+                    << kvExpectedValue(keys[i]) << "\"";
+                return out.str();
+            }
+        }
+        break;
+      }
     }
     return "";
 }
@@ -447,6 +478,9 @@ KvConcurrencyFuzzer::toLiteral(const KvFuzzSchedule &sched)
             break;
           case KvFuzzOpKind::Advance:
             out << "Advance";
+            break;
+          case KvFuzzOpKind::MGet:
+            out << "MGet";
             break;
         }
         out << ", " << op.key << "ull},\n";

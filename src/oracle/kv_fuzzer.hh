@@ -56,6 +56,10 @@ enum class KvFuzzOpKind : std::uint8_t
     /** Advance the cache's logical clock one tick (key unused) —
      *  racing expiry against readers is the point. */
     Advance,
+    /** getMany over the window [key, key + 8): the shard-grouped
+     *  batch path racing writers, with the identity check applied
+     *  to every returned member. */
+    MGet,
 };
 
 /** Printable op-kind name ("get", "put", ...). */

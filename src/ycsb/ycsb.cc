@@ -91,6 +91,12 @@ class LoopbackYcsbConnection final : public Connection
 
     bool del(std::uint64_t key) override { return conn_.del(key); }
 
+    std::vector<std::optional<std::string>>
+    mget(const std::vector<std::uint64_t> &keys) override
+    {
+        return conn_.mget(keys);
+    }
+
   private:
     net::LoopbackConnection conn_;
 };
@@ -112,6 +118,12 @@ class SocketYcsbConnection final : public Connection
     }
 
     bool del(std::uint64_t key) override { return client_.del(key); }
+
+    std::vector<std::optional<std::string>>
+    mget(const std::vector<std::uint64_t> &keys) override
+    {
+        return client_.mget(keys);
+    }
 
     net::KvClient &client() { return client_; }
 
@@ -147,6 +159,8 @@ opClassName(OpClass c)
         return "rmw";
       case OpClass::Delete:
         return "delete";
+      case OpClass::MGet:
+        return "mget";
     }
     return "?";
 }
@@ -195,6 +209,8 @@ YcsbConfig::describe() const
         out << " ttl" << ttl;
     if (deleteRatio > 0)
         out << " del" << deleteRatio;
+    if (pipelineDepth > 1)
+        out << " p" << pipelineDepth;
     if (scenario != Scenario::None)
         out << " +" << scenarioName(scenario);
     return out.str();
@@ -212,6 +228,9 @@ YcsbResult::readP99Ns() const
     const OpClassResult &read = of(OpClass::Read);
     if (read.latency.count() > 0)
         return read.latency.percentileNs(0.99);
+    const OpClassResult &mget = of(OpClass::MGet);
+    if (mget.latency.count() > 0)
+        return mget.latency.percentileNs(0.99);
     const OpClassResult &scan = of(OpClass::Scan);
     if (scan.latency.count() > 0)
         return scan.latency.percentileNs(0.99);
@@ -379,6 +398,17 @@ YcsbDriver::run()
                 r.latency.add(ns);
             };
 
+            // Batched variant: the whole batch is one latency
+            // sample, ops/failures count per key.
+            const auto timeBatch = [&](OpClass c, std::uint64_t ns,
+                                       std::uint64_t ops,
+                                       std::uint64_t failures) {
+                OpClassResult &r = st.classes[unsigned(c)];
+                r.ops += ops;
+                r.failures += failures;
+                r.latency.add(ns);
+            };
+
             const auto checkValue =
                 [&](std::uint64_t key, const std::string &value) {
                     if (!config_.validate)
@@ -389,15 +419,24 @@ YcsbDriver::run()
                         ++st.validationFailures;
                 };
 
-            for (std::uint64_t op = 0; op < config_.opsPerClient;
-                 ++op) {
+            std::vector<std::uint64_t> batchKeys; // reused
+            // Batched ops can step over any given multiple of
+            // clockEvery, so the TTL clock advances on a threshold
+            // cursor instead of op % clockEvery.
+            std::uint64_t next_clock_at = 0;
+            for (std::uint64_t op = 0;
+                 op < config_.opsPerClient;) {
+                // Ops consumed this draw: 1, or the batch size when
+                // a pipelined Read issues an MGet.
+                std::uint64_t advanced = 1;
                 const bool post_trigger = op >= trigger_op;
                 if (op == trigger_op)
                     armScenario();
                 if (config_.ttl && service_ &&
-                    config_.clockEvery &&
-                    op % config_.clockEvery == 0)
+                    config_.clockEvery && op >= next_clock_at) {
                     service_->cache().clockAdvance();
+                    next_clock_at = op + config_.clockEvery;
+                }
 
                 // Pick the op class: deletes carve the top of the
                 // unit interval, the workload mix shares the rest.
@@ -424,6 +463,35 @@ YcsbDriver::run()
 
                 switch (cls) {
                   case OpClass::Read: {
+                    if (config_.pipelineDepth > 1) {
+                        // One MGet batch consumes up to depth ops,
+                        // never crossing the scenario trigger (it
+                        // must arm at exactly trigger_op).
+                        std::uint64_t batch = std::min<std::uint64_t>(
+                            config_.pipelineDepth,
+                            config_.opsPerClient - op);
+                        if (op < trigger_op)
+                            batch = std::min(batch, trigger_op - op);
+                        batchKeys.clear();
+                        for (std::uint64_t i = 0; i < batch; ++i)
+                            batchKeys.push_back(
+                                readKey(post_trigger));
+                        const Clock::time_point t0 = Clock::now();
+                        const auto vs = conn->mget(batchKeys);
+                        const std::uint64_t ns = elapsedNs(t0);
+                        std::uint64_t misses = 0;
+                        for (std::size_t i = 0; i < batchKeys.size();
+                             ++i) {
+                            if (i < vs.size() && vs[i])
+                                checkValue(batchKeys[i], *vs[i]);
+                            else
+                                ++misses;
+                        }
+                        st.errors += misses;
+                        timeBatch(OpClass::MGet, ns, batch, misses);
+                        advanced = batch;
+                        break;
+                    }
                     const std::uint64_t key = readKey(post_trigger);
                     const Clock::time_point t0 = Clock::now();
                     const auto v = conn->get(key);
@@ -503,7 +571,8 @@ YcsbDriver::run()
                     break;
                   }
                 }
-                ++st.runOps;
+                op += advanced;
+                st.runOps += advanced;
             }
         });
     }

@@ -44,6 +44,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/latency.hh"
 #include "workloads/key_stream.hh"
@@ -70,9 +71,12 @@ enum class OpClass : unsigned
     Scan = 3,
     ReadModifyWrite = 4,
     Delete = 5,
+    /** Pipelined read batch (YcsbConfig::pipelineDepth > 1): one
+     *  latency sample per batch, ops counted per key. */
+    MGet = 6,
 };
 
-inline constexpr unsigned kNumOpClasses = 6;
+inline constexpr unsigned kNumOpClasses = 7;
 
 /** Canonical lower-case name ("read", "rmw", ...). */
 const char *opClassName(OpClass c);
@@ -102,6 +106,21 @@ class Connection
     virtual bool put(std::uint64_t key, std::string_view value,
                      std::uint32_t ttl) = 0;
     virtual bool del(std::uint64_t key) = 0;
+
+    /**
+     * Batched read: out[i] answers keys[i]. The default loops get()
+     * so every transport supports pipelined mode; both bundled
+     * transports override it with one MGet round trip.
+     */
+    virtual std::vector<std::optional<std::string>>
+    mget(const std::vector<std::uint64_t> &keys)
+    {
+        std::vector<std::optional<std::string>> out;
+        out.reserve(keys.size());
+        for (const std::uint64_t key : keys)
+            out.push_back(get(key));
+        return out;
+    }
 };
 
 /** In-process connection straight into @p service. */
@@ -151,6 +170,15 @@ struct YcsbConfig
 
     /** Workload D: recency window reads draw over. */
     std::uint64_t latestWindow = 1 << 16;
+
+    /**
+     * Read-class pipelining: when > 1, each Read draw issues a batch
+     * of this many keys through Connection::mget (one round trip on
+     * both bundled transports) and is timed into OpClass::MGet —
+     * one latency sample per batch, ops counted per key. 1 = the
+     * classic one-get-per-op driver.
+     */
+    unsigned pipelineDepth = 1;
 
     /** Validate the identity header of every read value. */
     bool validate = true;
@@ -204,7 +232,8 @@ struct YcsbResult
 
     /**
      * The SLO metric: p99 over the read-dominated op class (Read,
-     * falling back to Scan for workload E). 0 when nothing ran.
+     * falling back to MGet under pipelining, then Scan for workload
+     * E). 0 when nothing ran.
      */
     double readP99Ns() const;
 

@@ -10,6 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "util/stat_registry.hh"
 
 namespace adcache::kv
@@ -243,6 +249,158 @@ TEST(KvCacheTest, StatsAggregateAcrossShards)
     EXPECT_EQ(reg.numeric("kv.size"), double(cache.size()));
     EXPECT_EQ(reg.numeric("kv.evictions"),
               double(100 - cache.size()));
+}
+
+/** Multi-shard lock-free-reads config for the getMany tests. */
+KvConfig
+mgetConfig(unsigned touch_capacity = 256)
+{
+    KvConfig c;
+    c.capacity = 64;
+    c.numShards = 4;
+    c.numBuckets = 16;
+    c.bucketWays = 4;
+    c.leaderEvery = 1;
+    c.shadowTagBits = 0;
+    c.scope = EvictionScope::Shard;
+    c.selector = SelectorMode::FixedLru;
+    c.keyHash = KeyHashKind::Mix;
+    c.lockFreeReads = true;
+    c.touchCapacity = touch_capacity;
+    return c;
+}
+
+/** Deterministic key program over [0, keyspace). */
+std::vector<KvKey>
+keyProgram(std::uint64_t seed, std::size_t n, KvKey keyspace)
+{
+    std::vector<KvKey> keys;
+    keys.reserve(n);
+    std::uint64_t x = seed;
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        keys.push_back(KvKey((x >> 33) % keyspace));
+    }
+    return keys;
+}
+
+/**
+ * Drives two identically populated caches through the same key
+ * program — one via getMany batches of @p depth, one via serial
+ * get() calls — and checks that results, per-shard residency, and
+ * the gets/getHits counters all converge. (slowProbes/readRetries
+ * may legitimately diverge: a batch pays one slow-path entry per
+ * shard group.)
+ */
+void
+expectGetManyMatchesSerial(const KvConfig &config, std::size_t depth)
+{
+    AdaptiveKvCache batched(config);
+    AdaptiveKvCache serial(config);
+    const std::vector<KvKey> warm = keyProgram(7, 128, 96);
+    for (const KvKey k : warm)
+    {
+        batched.put(k, "v" + std::to_string(k));
+        serial.put(k, "v" + std::to_string(k));
+    }
+
+    const std::vector<KvKey> program = keyProgram(71, 256, 96);
+    std::vector<std::optional<std::string>> out(depth);
+    std::size_t batched_hits = 0;
+    std::size_t serial_hits = 0;
+    for (std::size_t i = 0; i < program.size(); i += depth)
+    {
+        const std::size_t n = std::min(depth, program.size() - i);
+        const std::span<const KvKey> keys(program.data() + i, n);
+        batched_hits += batched.getMany(keys, out.data());
+        for (std::size_t j = 0; j < n; ++j)
+        {
+            const std::optional<std::string> got =
+                serial.get(keys[j]);
+            if (got.has_value())
+                ++serial_hits;
+            ASSERT_EQ(out[j], got) << "key " << keys[j]
+                                   << " at batch offset " << j;
+        }
+    }
+    EXPECT_EQ(batched_hits, serial_hits);
+
+    ASSERT_EQ(batched.numShards(), serial.numShards());
+    for (unsigned s = 0; s < batched.numShards(); ++s)
+    {
+        std::vector<KvKey> br = batched.shard(s).residentKeys();
+        std::vector<KvKey> sr = serial.shard(s).residentKeys();
+        std::sort(br.begin(), br.end());
+        std::sort(sr.begin(), sr.end());
+        EXPECT_EQ(br, sr) << "shard " << s << " residency";
+        EXPECT_EQ(batched.shard(s).stats().gets,
+                  serial.shard(s).stats().gets)
+            << "shard " << s;
+        EXPECT_EQ(batched.shard(s).stats().getHits,
+                  serial.shard(s).stats().getHits)
+            << "shard " << s;
+    }
+}
+
+TEST(KvCacheTest, GetManyMatchesSerialGetsLockstep)
+{
+    expectGetManyMatchesSerial(mgetConfig(), 16);
+}
+
+TEST(KvCacheTest, GetManyOddBatchSizesMatchSerial)
+{
+    expectGetManyMatchesSerial(mgetConfig(), 1);
+    expectGetManyMatchesSerial(mgetConfig(), 3);
+    expectGetManyMatchesSerial(mgetConfig(), 64);
+}
+
+TEST(KvCacheTest, GetManyTinyTouchRingMatchesSerial)
+{
+    // touchCapacity 2 forces the deferred-touch ring to overflow
+    // inside a single batch, exercising the NeedTouchDrain slow
+    // path on the grouped walk.
+    expectGetManyMatchesSerial(mgetConfig(2), 16);
+}
+
+TEST(KvCacheTest, GetManyLockedReadsMatchSerial)
+{
+    KvConfig c = mgetConfig();
+    c.lockFreeReads = false;
+    expectGetManyMatchesSerial(c, 16);
+}
+
+TEST(KvCacheTest, GetManyHandlesDuplicatesAndMisses)
+{
+    AdaptiveKvCache cache(mgetConfig());
+    cache.put(1, "one");
+    cache.put(5, "five");
+
+    const KvKey keys[] = {1, 2, 5, 1, 1, 99};
+    std::optional<std::string> out[6];
+    EXPECT_EQ(cache.getMany(std::span<const KvKey>(keys), out), 4u);
+    EXPECT_EQ(out[0], std::optional<std::string>("one"));
+    EXPECT_FALSE(out[1].has_value());
+    EXPECT_EQ(out[2], std::optional<std::string>("five"));
+    EXPECT_EQ(out[3], std::optional<std::string>("one"));
+    EXPECT_EQ(out[4], std::optional<std::string>("one"));
+    EXPECT_FALSE(out[5].has_value());
+}
+
+TEST(KvCacheTest, GetManyVectorOverloadAndEmptyBatch)
+{
+    AdaptiveKvCache cache(mgetConfig());
+    cache.put(3, "three");
+
+    EXPECT_TRUE(
+        cache.getMany(std::span<const KvKey>()).empty());
+
+    const KvKey keys[] = {3, 4};
+    const std::vector<std::optional<std::string>> got =
+        cache.getMany(std::span<const KvKey>(keys));
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], std::optional<std::string>("three"));
+    EXPECT_FALSE(got[1].has_value());
 }
 
 TEST(KvCacheTest, DescribeNamesTheConfiguration)

@@ -220,6 +220,145 @@ TEST(Loopback, StatsPayloadCarriesServiceCounters)
     EXPECT_NE(text.find("kv.hits"), std::string::npos);
 }
 
+TEST(Loopback, MGetMixesHitsAndMisses)
+{
+    KvService service(smallService());
+    LoopbackConnection conn(service);
+    EXPECT_TRUE(conn.put(1, "one"));
+    EXPECT_TRUE(conn.put(3, "three"));
+
+    const auto got = conn.mget({1, 2, 3, 1});
+    ASSERT_EQ(got.size(), 4u);
+    ASSERT_TRUE(got[0].has_value());
+    EXPECT_EQ(*got[0], "one");
+    EXPECT_FALSE(got[1].has_value());
+    ASSERT_TRUE(got[2].has_value());
+    EXPECT_EQ(*got[2], "three");
+    ASSERT_TRUE(got[3].has_value()); // duplicate key answers twice
+    EXPECT_EQ(*got[3], "one");
+    EXPECT_FALSE(conn.dead());
+}
+
+TEST(Loopback, MGetByteAtATimeMatchesWholeFrame)
+{
+    KvService service(smallService());
+    LoopbackConnection conn(service);
+    EXPECT_TRUE(conn.put(7, "chunky"));
+
+    const Message whole = conn.call(Message::mget({7, 8}));
+    const Message split = conn.call(Message::mget({7, 8}), 1);
+    ASSERT_EQ(whole.kind, MsgKind::Values);
+    ASSERT_EQ(split.kind, MsgKind::Values);
+    ASSERT_EQ(whole.entries.size(), 2u);
+    ASSERT_EQ(split.entries.size(), 2u);
+    EXPECT_EQ(split.entries[0].status, MGetStatus::Found);
+    EXPECT_EQ(split.entries[0].value, whole.entries[0].value);
+    EXPECT_EQ(split.entries[1].status, MGetStatus::Miss);
+}
+
+TEST(Loopback, CallManyPipelinesConcatenatedFramesByteAtATime)
+{
+    // K frames of mixed kinds delivered one byte at a time: the
+    // channel must decode every complete frame per feed and answer
+    // all of them in request order — the pipelined hot path the
+    // socket server runs per readable event.
+    KvService service(smallService());
+    LoopbackConnection conn(service);
+
+    const std::vector<Message> requests = {
+        Message::put(1, "a"),  Message::put(2, "bb"),
+        Message::get(1),       Message::mget({1, 2, 3}),
+        Message::del(2),       Message::get(2),
+        Message::ping(),
+    };
+    const std::vector<Message> resps = conn.callMany(requests, 1);
+    ASSERT_EQ(resps.size(), requests.size());
+    EXPECT_EQ(resps[0].kind, MsgKind::Ok);
+    EXPECT_EQ(resps[1].kind, MsgKind::Ok);
+    ASSERT_EQ(resps[2].kind, MsgKind::Value);
+    EXPECT_EQ(resps[2].payload, "a");
+    ASSERT_EQ(resps[3].kind, MsgKind::Values);
+    ASSERT_EQ(resps[3].entries.size(), 3u);
+    EXPECT_EQ(resps[3].entries[0].value, "a");
+    EXPECT_EQ(resps[3].entries[1].value, "bb");
+    EXPECT_EQ(resps[3].entries[2].status, MGetStatus::Miss);
+    EXPECT_EQ(resps[4].kind, MsgKind::Ok);
+    EXPECT_EQ(resps[5].kind, MsgKind::NotFound);
+    EXPECT_EQ(resps[6].kind, MsgKind::Ok);
+    EXPECT_FALSE(conn.dead());
+}
+
+TEST(Loopback, MGetDeadShardAnswersPerKeyErrors)
+{
+    KvService service(smallService());
+    LoopbackConnection conn(service);
+
+    const unsigned shards = service.cache().numShards();
+    std::vector<std::uint64_t> key_for(shards, 0);
+    std::vector<bool> found(shards, false);
+    for (std::uint64_t k = 0; k < 10'000; ++k) {
+        const unsigned s = service.cache().shardOf(k);
+        if (!found[s]) {
+            found[s] = true;
+            key_for[s] = k;
+        }
+    }
+    ASSERT_TRUE(found[0] && found[1]);
+    EXPECT_TRUE(conn.put(key_for[1], "alive"));
+
+    service.setDeadShardMask(1); // shard 0 down
+    const Message r =
+        conn.call(Message::mget({key_for[0], key_for[1]}));
+    ASSERT_EQ(r.kind, MsgKind::Values);
+    ASSERT_EQ(r.entries.size(), 2u);
+    EXPECT_EQ(r.entries[0].status, MGetStatus::Error);
+    EXPECT_EQ(r.entries[1].status, MGetStatus::Found);
+    EXPECT_EQ(r.entries[1].value, "alive");
+    EXPECT_GT(service.errorsAnswered(), 0u);
+}
+
+TEST(Loopback, MGetReadThroughBackfillsMisses)
+{
+    KvService service(smallService(/*read_through=*/true));
+    LoopbackConnection conn(service);
+
+    const std::vector<std::uint64_t> keys = {100, 200, 300};
+    const auto got = conn.mget(keys);
+    ASSERT_EQ(got.size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_TRUE(got[i].has_value()) << "key " << keys[i];
+        EXPECT_EQ(*got[i],
+                  valueFor(keys[i],
+                           service.config().loaderValues));
+    }
+    // Backfilled: the same batch now hits in cache.
+    const auto again = conn.mget(keys);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_TRUE(again[i].has_value());
+        EXPECT_EQ(*again[i], *got[i]);
+    }
+}
+
+TEST(Loopback, OversizedMGetResponseAnswersErrorNotCorruption)
+{
+    // kMaxMGetKeys keys of read-through values big enough that the
+    // Values response would blow kMaxFrameBytes: the service must
+    // answer a request-fatal Error frame (the connection and its
+    // framing survive), never emit an unframeable response.
+    KvServiceConfig cfg = smallService(/*read_through=*/true);
+    cfg.loaderValues = ValueSpec{512, 512};
+    KvService service(cfg);
+    LoopbackConnection conn(service);
+
+    std::vector<std::uint64_t> keys(kMaxMGetKeys);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        keys[i] = i;
+    const Message r = conn.call(Message::mget(keys));
+    EXPECT_EQ(r.kind, MsgKind::Error);
+    EXPECT_FALSE(conn.dead());
+    EXPECT_TRUE(conn.ping()); // still serving
+}
+
 TEST(Loopback, ConcurrentConnectionsShareOneService)
 {
     // The loopback concurrency test: N threads, each with its own

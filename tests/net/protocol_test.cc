@@ -187,10 +187,135 @@ TEST(Protocol, RequestKindPredicate)
     EXPECT_TRUE(isRequestKind(MsgKind::Del));
     EXPECT_TRUE(isRequestKind(MsgKind::Ping));
     EXPECT_TRUE(isRequestKind(MsgKind::Stats));
+    EXPECT_TRUE(isRequestKind(MsgKind::MGet));
     EXPECT_FALSE(isRequestKind(MsgKind::Ok));
     EXPECT_FALSE(isRequestKind(MsgKind::Value));
     EXPECT_FALSE(isRequestKind(MsgKind::NotFound));
     EXPECT_FALSE(isRequestKind(MsgKind::Error));
+    EXPECT_FALSE(isRequestKind(MsgKind::Values));
+}
+
+TEST(Protocol, MGetFrameGolden)
+{
+    // [len=13 LE][kind=6][count=2 LE][key0 LE][key1 LE]
+    const std::string frame =
+        encodedFrame(Message::mget({0x01, 0x0203}));
+    const std::string expected{
+        '\x15', '\x00', '\x00', '\x00', // length = 1 + 4 + 16
+        '\x06',                         // MsgKind::MGet
+        '\x02', '\x00', '\x00', '\x00', // count
+        '\x01', '\x00', '\x00', '\x00', '\x00', '\x00', '\x00',
+        '\x00',                         // key 0
+        '\x03', '\x02', '\x00', '\x00', '\x00', '\x00', '\x00',
+        '\x00',                         // key 1
+    };
+    EXPECT_EQ(frame, expected);
+}
+
+TEST(Protocol, MGetAndValuesRoundTrip)
+{
+    {
+        const Message m = Message::mget({1, 2, 0xffffffffffffffffULL});
+        const std::string frame = encodedFrame(m);
+        FrameReader reader;
+        reader.feed(frame);
+        std::string body;
+        ASSERT_EQ(reader.next(&body), FrameReader::Status::Frame);
+        Message back;
+        ASSERT_TRUE(decodeBody(body, &back));
+        EXPECT_EQ(back.kind, MsgKind::MGet);
+        EXPECT_EQ(back.keys, m.keys);
+    }
+    {
+        std::vector<MGetEntry> entries(3);
+        entries[0] = {MGetStatus::Found, "hello"};
+        entries[1] = {MGetStatus::Miss, ""};
+        entries[2] = {MGetStatus::Error, "shard down"};
+        const std::string frame =
+            encodedFrame(Message::values(entries));
+        FrameReader reader;
+        reader.feed(frame);
+        std::string body;
+        ASSERT_EQ(reader.next(&body), FrameReader::Status::Frame);
+        Message back;
+        ASSERT_TRUE(decodeBody(body, &back));
+        EXPECT_EQ(back.kind, MsgKind::Values);
+        ASSERT_EQ(back.entries.size(), 3u);
+        EXPECT_EQ(back.entries[0].status, MGetStatus::Found);
+        EXPECT_EQ(back.entries[0].value, "hello");
+        EXPECT_EQ(back.entries[1].status, MGetStatus::Miss);
+        EXPECT_EQ(back.entries[2].status, MGetStatus::Error);
+        EXPECT_EQ(back.entries[2].value, "shard down");
+    }
+    // Empty batches are legal in both directions.
+    {
+        const std::string frame = encodedFrame(Message::mget({}));
+        FrameReader reader;
+        reader.feed(frame);
+        std::string body;
+        ASSERT_EQ(reader.next(&body), FrameReader::Status::Frame);
+        Message back;
+        ASSERT_TRUE(decodeBody(body, &back));
+        EXPECT_EQ(back.kind, MsgKind::MGet);
+        EXPECT_TRUE(back.keys.empty());
+    }
+}
+
+TEST(Protocol, MGetBodyRejections)
+{
+    Message m;
+    // Count larger than the keys actually present.
+    std::string short_keys(1, '\x06');
+    short_keys += std::string("\x02\x00\x00\x00", 4); // count = 2
+    short_keys += std::string(8, '\0');               // one key only
+    EXPECT_FALSE(decodeBody(short_keys, &m));
+
+    // Trailing bytes beyond count * 8.
+    std::string fat(1, '\x06');
+    fat += std::string("\x01\x00\x00\x00", 4);
+    fat += std::string(8, '\0');
+    fat += "x";
+    EXPECT_FALSE(decodeBody(fat, &m));
+
+    // Count beyond kMaxMGetKeys is rejected before any allocation.
+    std::string huge(1, '\x06');
+    const std::uint32_t over = kMaxMGetKeys + 1;
+    huge.push_back(char(over & 0xff));
+    huge.push_back(char((over >> 8) & 0xff));
+    huge.push_back(char((over >> 16) & 0xff));
+    huge.push_back(char((over >> 24) & 0xff));
+    EXPECT_FALSE(decodeBody(huge, &m));
+
+    // Truncated header: kind byte + partial count.
+    EXPECT_FALSE(decodeBody(std::string("\x06\x01", 2), &m));
+}
+
+TEST(Protocol, ValuesBodyRejections)
+{
+    Message m;
+    const std::string good =
+        encodedFrame(Message::values({{MGetStatus::Found, "ab"}}));
+    // Strip the 4-byte length prefix to get the body.
+    std::string body = good.substr(4);
+    ASSERT_TRUE(decodeBody(body, &m));
+
+    // Entry value length pointing past the end of the body. The
+    // body is [kind][count u32][status][len u32]["ab"]; index 9 is
+    // the high byte of len.
+    std::string overrun = body;
+    overrun[9] = '\x7f';
+    EXPECT_FALSE(decodeBody(overrun, &m));
+
+    // Unknown status byte.
+    std::string bad_status = body;
+    bad_status[5] = '\x03'; // first entry's status
+    EXPECT_FALSE(decodeBody(bad_status, &m));
+
+    // Trailing bytes after the last entry.
+    std::string fat = body;
+    // Count says 1 entry; append a stray byte.
+    fat += "z";
+    EXPECT_FALSE(decodeBody(fat, &m));
 }
 
 } // namespace

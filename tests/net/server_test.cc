@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/client.hh"
+#include "net/loopback.hh"
 #include "net/protocol.hh"
 #include "net/server.hh"
 #include "net/service.hh"
@@ -303,6 +304,164 @@ TEST_F(ServerTest, GracefulShutdownWithLiveClients)
     EXPECT_TRUE(again.connect("127.0.0.1", server2.port()));
     EXPECT_TRUE(again.ping());
     server2.stop();
+}
+
+TEST_F(ServerTest, PipelinedSendManyMatchesSerialCalls)
+{
+    // The same mixed request program through sendMany (one gathered
+    // write, responses in order) and through one-at-a-time call()s
+    // on a second connection must answer identically — and both must
+    // match the loopback transport, the socket server's oracle.
+    startServer();
+    std::vector<Message> requests;
+    for (std::uint64_t k = 0; k < 24; ++k)
+        requests.push_back(
+            Message::put(k, "v" + std::to_string(k)));
+    for (std::uint64_t k = 0; k < 24; ++k)
+        requests.push_back(Message::get(k * 2)); // half miss
+    requests.push_back(Message::mget({1, 2, 3, 99}));
+    requests.push_back(Message::ping());
+
+    KvClient pipelined;
+    ASSERT_TRUE(pipelined.connect("127.0.0.1", server_->port()));
+    std::vector<Message> piped;
+    ASSERT_EQ(pipelined.sendMany(requests, &piped),
+              requests.size());
+
+    KvClient serial;
+    ASSERT_TRUE(serial.connect("127.0.0.1", server_->port()));
+    LoopbackConnection loop(*service_);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const Message s = serial.call(requests[i]);
+        const Message l = loop.call(requests[i]);
+        EXPECT_EQ(piped[i].kind, s.kind) << "request " << i;
+        EXPECT_EQ(piped[i].payload, s.payload) << "request " << i;
+        EXPECT_EQ(piped[i].kind, l.kind) << "request " << i;
+        EXPECT_EQ(piped[i].payload, l.payload) << "request " << i;
+        ASSERT_EQ(piped[i].entries.size(), l.entries.size());
+        for (std::size_t e = 0; e < piped[i].entries.size(); ++e) {
+            EXPECT_EQ(piped[i].entries[e].status,
+                      l.entries[e].status);
+            EXPECT_EQ(piped[i].entries[e].value,
+                      l.entries[e].value);
+        }
+    }
+}
+
+TEST_F(ServerTest, MGetOverTheWire)
+{
+    startServer(/*read_through=*/true);
+    KvClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server_->port()));
+    const std::vector<std::uint64_t> keys = {5, 6, 7, 8};
+    const auto got = client.mget(keys);
+    ASSERT_EQ(got.size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_TRUE(got[i].has_value());
+        EXPECT_EQ(*got[i],
+                  valueFor(keys[i],
+                           service_->config().loaderValues));
+    }
+}
+
+TEST_F(ServerTest, BackpressuredFlushDeliversEverything)
+{
+    // Short-write injection: a client with a tiny receive buffer
+    // pipelines many large-value reads and only starts reading after
+    // the whole burst is sent. The server's flush hits EAGAIN, parks
+    // the tail in the per-connection output buffer, and drains it
+    // under POLLOUT — every response must still arrive, in order.
+    startServer();
+    KvClient writer;
+    ASSERT_TRUE(writer.connect("127.0.0.1", server_->port()));
+    const std::string big(8 * 1024, 'B');
+    ASSERT_TRUE(writer.put(42, big));
+
+    const int fd = rawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    {
+        const int tiny = 4096;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny,
+                     sizeof tiny);
+    }
+    constexpr int kRequests = 128; // ~1MB of responses
+    std::string burst;
+    for (int i = 0; i < kRequests; ++i)
+        encodeFrame(Message::get(42), &burst);
+    ASSERT_TRUE(rawSendAll(fd, burst));
+    // Let the server read the burst and jam against the socket.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // One FrameReader across the whole stream: a recv can deliver
+    // bytes of several frames, and none may be dropped.
+    FrameReader reader;
+    std::string body;
+    char buf[4096];
+    int seen = 0;
+    while (seen < kRequests) {
+        switch (reader.next(&body)) {
+          case FrameReader::Status::Frame: {
+            Message resp;
+            ASSERT_TRUE(decodeBody(body, &resp));
+            ASSERT_EQ(resp.kind, MsgKind::Value)
+                << "response " << seen;
+            EXPECT_EQ(resp.payload, big) << "response " << seen;
+            ++seen;
+            continue;
+          }
+          case FrameReader::Status::Corrupt:
+            FAIL() << "corrupt framing at response " << seen;
+          case FrameReader::Status::NeedMore:
+            break;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        ASSERT_GT(n, 0) << "EOF/error at response " << seen;
+        reader.feed(std::string_view(buf, std::size_t(n)));
+    }
+    ::close(fd);
+}
+
+TEST_F(ServerTest, PeerHangupMidFlushKillsOnlyThatConnection)
+{
+    // A peer that pipelines a burst and vanishes without reading
+    // forces the flush into EPIPE/ECONNRESET territory. With one
+    // worker, that same thread must keep serving other connections.
+    startServer(/*read_through=*/false, /*workers=*/1);
+    KvClient writer;
+    ASSERT_TRUE(writer.connect("127.0.0.1", server_->port()));
+    const std::string big(8 * 1024, 'B');
+    ASSERT_TRUE(writer.put(42, big));
+
+    const int fd = rawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    {
+        const int tiny = 4096;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny,
+                     sizeof tiny);
+        // RST on close, so the server's flush errors rather than
+        // quietly draining into a closed-but-lingering socket.
+        struct linger lg{1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    }
+    std::string burst;
+    for (int i = 0; i < 128; ++i)
+        encodeFrame(Message::get(42), &burst);
+    ASSERT_TRUE(rawSendAll(fd, burst));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ::close(fd); // vanish mid-flush
+
+    // The lone worker survives and keeps serving.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    for (int i = 0; i < 5; ++i) {
+        const auto got = writer.get(42);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, big);
+    }
+    KvClient fresh;
+    ASSERT_TRUE(fresh.connect("127.0.0.1", server_->port()));
+    EXPECT_TRUE(fresh.ping());
 }
 
 TEST_F(ServerTest, EofMidFrameClosesTheConnection)

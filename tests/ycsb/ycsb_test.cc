@@ -119,6 +119,58 @@ TEST(Ycsb, MixesLandInTheRightOpClasses)
     EXPECT_GT(f.of(OpClass::ReadModifyWrite).ops, f.runOps / 3);
 }
 
+TEST(Ycsb, PipelinedDepthBatchesReadsIntoMGet)
+{
+    net::KvService service(smallService());
+    YcsbConfig config = smallRun('c'); // 100% read
+    config.pipelineDepth = 16;
+    const YcsbResult r = runLoopback(config, service);
+
+    // Every read draw is served through the batch path.
+    EXPECT_EQ(r.of(OpClass::Read).ops, 0u);
+    EXPECT_EQ(r.of(OpClass::MGet).ops, r.runOps);
+    EXPECT_EQ(r.runOps,
+              std::uint64_t(config.clients) * config.opsPerClient);
+    EXPECT_EQ(totalClassOps(r), r.runOps);
+    EXPECT_EQ(r.validationFailures, 0u);
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_GT(r.readP99Ns(), 0.0); // falls back to the MGet class
+}
+
+TEST(Ycsb, PipelinedMixedWorkloadKeepsExactAccounting)
+{
+    net::KvService service(smallService());
+    YcsbConfig config = smallRun('b'); // 95% read, 5% update
+    config.pipelineDepth = 7;          // deliberately odd depth
+    const YcsbResult r = runLoopback(config, service);
+
+    EXPECT_GT(r.of(OpClass::MGet).ops, 0u);
+    EXPECT_EQ(r.of(OpClass::Read).ops, 0u);
+    EXPECT_GT(r.of(OpClass::Update).ops, 0u);
+    EXPECT_EQ(r.runOps,
+              std::uint64_t(config.clients) * config.opsPerClient);
+    EXPECT_EQ(totalClassOps(r), r.runOps);
+    EXPECT_EQ(r.validationFailures, 0u);
+    EXPECT_EQ(r.errors, 0u);
+}
+
+TEST(Ycsb, DepthOneIsIdenticalToUnpipelined)
+{
+    net::KvService s1(smallService());
+    const YcsbResult plain = runLoopback(smallRun('b'), s1);
+
+    net::KvService s2(smallService());
+    YcsbConfig config = smallRun('b');
+    config.pipelineDepth = 1;
+    const YcsbResult depth1 = runLoopback(config, s2);
+
+    EXPECT_EQ(depth1.of(OpClass::MGet).ops, 0u);
+    for (std::size_t i = 0; i < plain.classes.size(); ++i)
+        EXPECT_EQ(depth1.classes[i].ops, plain.classes[i].ops)
+            << "class " << i;
+    EXPECT_EQ(depth1.validationFailures, 0u);
+}
+
 TEST(Ycsb, DeleteRatioCarvesDeletes)
 {
     net::KvService service(smallService());
