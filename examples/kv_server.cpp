@@ -11,6 +11,12 @@
  * — selection, admission, lock-free reads — is always exercised.
  * SIGINT/SIGTERM shut the server down gracefully: accepting stops,
  * in-flight responses flush, workers join.
+ *
+ * Live telemetry (docs/OBSERVABILITY.md): --metrics-port starts a
+ * Prometheus exposition endpoint (GET /metrics, GET /healthz) plus
+ * the TelemetryPump — drift EWMAs per shard, kv_drift crossings to
+ * stderr — and --slow-budget-us arms the slow-request log. The
+ * Stats-v2 opcode (kv_top's feed) always answers, metrics or not.
  */
 
 #include <atomic>
@@ -19,11 +25,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "net/server.hh"
 #include "net/service.hh"
+#include "obs/metrics.hh"
+#include "obs/metrics_http.hh"
+#include "obs/pump.hh"
 
 using namespace adcache;
 
@@ -47,6 +57,7 @@ main(int argc, char **argv)
     server_conf.port = 4150;
     net::KvServiceConfig service_conf;
     std::uint32_t stats_every_s = 0;
+    int metrics_port = -1; //!< -1 = no metrics endpoint
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -70,24 +81,70 @@ main(int argc, char **argv)
         } else if (arg == "--stats-every" && has_next) {
             stats_every_s = std::uint32_t(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--metrics-port" && has_next) {
+            metrics_port =
+                int(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--slow-budget-us" && has_next) {
+            service_conf.slowRequestBudgetNs =
+                std::strtoull(argv[++i], nullptr, 10) * 1000;
         } else {
             std::fprintf(
                 stderr,
                 "usage: kv_server [--host H] [--port P] "
                 "[--workers N] [--capacity N]\n"
                 "                 [--no-read-through] [--ttl T] "
-                "[--stats-every SECONDS]\n");
+                "[--stats-every SECONDS]\n"
+                "                 [--metrics-port P] "
+                "[--slow-budget-us N]\n");
             return 2;
         }
     }
 
     net::KvService service(service_conf);
     net::KvServer server(service, server_conf);
+    server.installStatsProvider(); // Stats v2 carries transport rows
     if (!server.start()) {
         std::fprintf(stderr, "kv_server: %s\n",
                      server.lastError().c_str());
         return 1;
     }
+
+    // Live telemetry: registry + /metrics endpoint + pump.
+    obs::MetricsRegistry registry;
+    std::unique_ptr<obs::MetricsHttpServer> metrics_http;
+    std::unique_ptr<obs::TelemetryPump> pump;
+    if (metrics_port >= 0) {
+        service.registerMetrics(registry); // includes the cache
+        server.registerMetrics(registry);
+        obs::registerTraceMetrics(registry);
+
+        obs::MetricsHttpConfig http_conf;
+        http_conf.host = server_conf.host;
+        http_conf.port = std::uint16_t(metrics_port);
+        metrics_http = std::make_unique<obs::MetricsHttpServer>(
+            registry, http_conf);
+        if (!metrics_http->start()) {
+            std::fprintf(stderr, "kv_server: metrics: %s\n",
+                         metrics_http->lastError().c_str());
+            server.stop();
+            return 1;
+        }
+
+        obs::TelemetryPumpConfig pump_conf;
+        pump_conf.metrics = &registry;
+        pump_conf.driftSampler =
+            [&service]() -> std::vector<obs::DriftShardSample> {
+            std::vector<obs::DriftShardSample> out;
+            for (const auto &t : service.cache().shardTelemetry())
+                out.push_back(
+                    {t.selectionFlips, t.diffMisses, t.ops()});
+            return out;
+        };
+        pump = std::make_unique<obs::TelemetryPump>(
+            std::move(pump_conf));
+        pump->start();
+    }
+
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     std::printf("kv_server: serving on %s:%u (%u workers, capacity "
@@ -97,6 +154,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     service.cache().capacity()),
                 service_conf.readThrough ? "on" : "off");
+    if (metrics_http)
+        std::printf("kv_server: metrics on http://%s:%u/metrics\n",
+                    server_conf.host.c_str(),
+                    unsigned(metrics_http->port()));
+    std::fflush(stdout);
 
     std::uint32_t since_stats = 0;
     while (!g_stop.load(std::memory_order_seq_cst)) {
@@ -115,6 +177,10 @@ main(int argc, char **argv)
         }
     }
     std::printf("kv_server: shutting down\n");
+    if (pump)
+        pump->stop();
+    if (metrics_http)
+        metrics_http->stop();
     server.stop();
     return 0;
 }

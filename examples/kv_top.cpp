@@ -1,0 +1,229 @@
+/**
+ * @file
+ * kv_top: the `top`-style admin client of the serving subsystem.
+ * Polls a running kv_server over the wire protocol's Stats-v2
+ * opcode (one request per refresh, ~a few hundred bytes back) and
+ * renders the adaptation picture live: per-shard hit rate, current
+ * winner, winner-flip and differentiating-miss rates, plus the
+ * service-wide request rate and latency percentiles.
+ *
+ *   ./kv_top --port 4150              # refresh every second
+ *   ./kv_top --port 4150 --once      # one decoded dump, no screen
+ *
+ * Rates are per-second deltas between consecutive polls; the first
+ * frame shows cumulative values. Winners are component ordinals —
+ * GET /metrics on the server's --metrics-port carries the ordinal →
+ * policy decoder ring (adcache_kv_component_info).
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hh"
+#include "net/stats_v2.hh"
+
+using namespace adcache;
+using net::StatSample;
+using net::StatTag;
+
+namespace
+{
+
+/** One poll, indexed for rendering: samples[tag][shard] = value
+ *  (shard kStatsGlobalShard = the global row). */
+struct Frame
+{
+    std::uint16_t shards = 0;
+    std::map<std::uint16_t, std::map<std::uint16_t, std::uint64_t>>
+        at;
+
+    std::uint64_t
+    global(StatTag tag) const
+    {
+        return shard(tag, net::kStatsGlobalShard);
+    }
+
+    std::uint64_t
+    shard(StatTag tag, std::uint16_t s) const
+    {
+        const auto byTag = at.find(std::uint16_t(tag));
+        if (byTag == at.end())
+            return 0;
+        const auto v = byTag->second.find(s);
+        return v == byTag->second.end() ? 0 : v->second;
+    }
+};
+
+bool
+poll(net::KvClient &client, Frame *frame)
+{
+    std::vector<StatSample> samples;
+    if (!client.stats2(&frame->shards, &samples))
+        return false;
+    frame->at.clear();
+    for (const StatSample &s : samples)
+        frame->at[std::uint16_t(s.tag)][s.shard] = s.value;
+    return true;
+}
+
+double
+perSec(std::uint64_t now, std::uint64_t before, double seconds)
+{
+    if (seconds <= 0 || now < before)
+        return 0;
+    return double(now - before) / seconds;
+}
+
+void
+render(const Frame &f, const Frame &prev, double dt, bool clear)
+{
+    if (clear)
+        std::printf("\033[H\033[2J");
+
+    const std::uint64_t reqs = f.global(StatTag::Requests);
+    const std::uint64_t hits = f.global(StatTag::Hits);
+    const std::uint64_t misses = f.global(StatTag::Misses);
+    const std::uint64_t lookups = hits + misses;
+    std::printf(
+        "kv_top  %u shards  %.0f req/s  hit %5.2f%%  "
+        "p50 %.1fus p99 %.1fus  err/s %.0f\n",
+        unsigned(f.shards),
+        perSec(reqs, prev.global(StatTag::Requests), dt),
+        lookups ? 100.0 * double(hits) / double(lookups) : 0.0,
+        double(f.global(StatTag::RequestP50Ns)) / 1e3,
+        double(f.global(StatTag::RequestP99Ns)) / 1e3,
+        perSec(f.global(StatTag::Errors),
+               prev.global(StatTag::Errors), dt));
+    std::printf(
+        "        size %" PRIu64 "/%" PRIu64 "  conns %" PRIu64
+        "  frames/s %.0f  in %.1f MB out %.1f MB  drops %" PRIu64
+        "\n",
+        f.global(StatTag::Size), f.global(StatTag::Capacity),
+        f.global(StatTag::Connections),
+        perSec(f.global(StatTag::FramesIn),
+               prev.global(StatTag::FramesIn), dt),
+        double(f.global(StatTag::BytesIn)) / 1e6,
+        double(f.global(StatTag::BytesOut)) / 1e6,
+        f.global(StatTag::TraceDrops));
+
+    std::printf("%5s %9s %7s %6s %8s %9s %9s\n", "shard", "ops/s",
+                "hit%", "win", "flips/s", "dmiss/s", "size");
+    for (std::uint16_t s = 0; s < f.shards; ++s) {
+        const std::uint64_t h = f.shard(StatTag::Hits, s);
+        const std::uint64_t m = f.shard(StatTag::Misses, s);
+        std::printf(
+            "%5u %9.0f %6.2f%% %6" PRIu64 " %8.2f %9.2f %9" PRIu64
+            "\n",
+            unsigned(s),
+            perSec(f.shard(StatTag::References, s) +
+                       f.shard(StatTag::Gets, s),
+                   prev.shard(StatTag::References, s) +
+                       prev.shard(StatTag::Gets, s),
+                   dt),
+            h + m ? 100.0 * double(h) / double(h + m) : 0.0,
+            f.shard(StatTag::Winner, s),
+            perSec(f.shard(StatTag::SelectionFlips, s),
+                   prev.shard(StatTag::SelectionFlips, s), dt),
+            perSec(f.shard(StatTag::DiffMisses, s),
+                   prev.shard(StatTag::DiffMisses, s), dt),
+            f.shard(StatTag::Size, s));
+    }
+    std::fflush(stdout);
+}
+
+/** --once: every sample on its own line, tag names resolved —
+ *  the scriptable / test-harness output mode. */
+void
+dump(const Frame &f)
+{
+    for (const auto &[tag, byShard] : f.at)
+        for (const auto &[shard, value] : byShard) {
+            if (shard == net::kStatsGlobalShard)
+                std::printf("%s %" PRIu64 "\n",
+                            net::statTagName(net::StatTag(tag)),
+                            value);
+            else
+                std::printf("%s[%u] %" PRIu64 "\n",
+                            net::statTagName(net::StatTag(tag)),
+                            unsigned(shard), value);
+        }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 4150;
+    unsigned interval_ms = 1000;
+    bool once = false;
+    bool clear = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_next = i + 1 < argc;
+        if (arg == "--host" && has_next) {
+            host = argv[++i];
+        } else if (arg == "--port" && has_next) {
+            port = std::uint16_t(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--interval-ms" && has_next) {
+            interval_ms =
+                unsigned(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--once") {
+            once = true;
+        } else if (arg == "--no-clear") {
+            clear = false;
+        } else {
+            std::fprintf(stderr,
+                         "usage: kv_top [--host H] [--port P] "
+                         "[--interval-ms N] [--once] [--no-clear]\n");
+            return 2;
+        }
+    }
+
+    net::KvClient client;
+    if (!client.connect(host, port)) {
+        std::fprintf(stderr, "kv_top: connect %s:%u: %s\n",
+                     host.c_str(), unsigned(port),
+                     client.lastError().c_str());
+        return 1;
+    }
+
+    Frame prev;
+    if (once) {
+        Frame f;
+        if (!poll(client, &f)) {
+            std::fprintf(stderr,
+                         "kv_top: stats2 failed (pre-v2 server?): "
+                         "%s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        dump(f);
+        return 0;
+    }
+
+    const double dt = double(interval_ms) / 1e3;
+    for (bool first = true;; first = false) {
+        Frame f;
+        if (!poll(client, &f)) {
+            std::fprintf(stderr, "kv_top: server went away: %s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        render(f, first ? Frame{} : prev, first ? 0 : dt, clear);
+        prev = std::move(f);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+}

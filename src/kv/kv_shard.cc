@@ -28,6 +28,7 @@ KvShardStats::add(const KvShardStats &o)
     expirations += o.expirations;
     readRetries += o.readRetries;
     slowProbes += o.slowProbes;
+    diffMisses += o.diffMisses;
     for (unsigned k = 0; k < kvNumComponents; ++k)
         decisions[k] += o.decisions[k];
 }
@@ -582,6 +583,9 @@ KvShard::reference(KvKey key, std::uint64_t h,
             if (shadow_out[k].miss)
                 miss_mask |= 1u << k;
         }
+        if (miss_mask != 0 &&
+            miss_mask != (1u << kvNumComponents) - 1)
+            ++stats_.diffMisses;
         // Flips are rare, so the tracing gate hides behind the flip
         // check; with two components the loser is `winner ^ 1`.
         if (selector_.record(domainOf(bucket), miss_mask) &&
@@ -1111,6 +1115,7 @@ KvShard::registerStats(StatRegistry &reg,
     reg.counter(prefix + "expirations", snap.expirations);
     reg.counter(prefix + "read_retries", snap.readRetries);
     reg.counter(prefix + "slow_probes", snap.slowProbes);
+    reg.counter(prefix + "diff_misses", snap.diffMisses);
     for (unsigned k = 0; k < kvNumComponents; ++k) {
         const std::string name =
             kvComponentName(config_.components[k]);

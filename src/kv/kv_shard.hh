@@ -84,6 +84,8 @@ struct KvShardStats
     std::uint64_t expirations = 0; //!< lazy TTL removals
     std::uint64_t readRetries = 0; //!< optimistic probe re-walks
     std::uint64_t slowProbes = 0;  //!< gets that took the mutex
+    std::uint64_t diffMisses = 0;  //!< leader refs where components
+                                   //!< disagreed (drift signal)
     std::uint64_t decisions[kvNumComponents] = {0, 0};
 
     void add(const KvShardStats &o);

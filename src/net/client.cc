@@ -224,4 +224,14 @@ KvClient::stats()
                                     : std::string();
 }
 
+bool
+KvClient::stats2(std::uint16_t *shardCount,
+                 std::vector<StatSample> *samples)
+{
+    Message r = call(Message::stats2());
+    if (r.kind != MsgKind::StatsV2)
+        return false;
+    return decodeStatsV2(r.payload, shardCount, samples);
+}
+
 } // namespace adcache::net

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/protocol.hh"
+#include "net/stats_v2.hh"
 
 namespace adcache::net
 {
@@ -75,6 +76,12 @@ class KvClient
     bool del(std::uint64_t key);
     bool ping();
     std::string stats();
+
+    /** One Stats-v2 round trip, decoded. @return false on transport
+     *  failure, an Error response (pre-v2 server), or a malformed
+     *  blob — callers fall back to stats() text. */
+    bool stats2(std::uint16_t *shardCount,
+                std::vector<StatSample> *samples);
 
     /** One MGet round trip: out[i] answers keys[i] (Found maps to a
      *  value; Miss, per-key Error, and transport failure all map to

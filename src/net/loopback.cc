@@ -1,5 +1,7 @@
 #include "net/loopback.hh"
 
+#include "net/stats_v2.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace adcache::net
@@ -22,13 +24,19 @@ KvChannel::ingest(std::string_view bytes, std::string *out)
           case FrameReader::Status::Frame: {
             ++requests_;
             Message req;
-            if (!decodeBody(body, &req) ||
-                !isRequestKind(req.kind)) {
+            bool ok;
+            {
+                obs::ScopedSpan span("srv.decode");
+                ok = decodeBody(body, &req) &&
+                     isRequestKind(req.kind);
+            }
+            if (!ok) {
                 // Request-fatal only: answer Error, keep framing.
                 encodeFrame(Message::error("malformed request"),
                             out);
                 break;
             }
+            obs::ScopedSpan span("srv.execute");
             encodeFrame(service_.handle(req), out);
             break;
           }
@@ -138,6 +146,16 @@ LoopbackConnection::stats()
     Message r = call(Message::stats());
     return r.kind == MsgKind::Value ? std::move(r.payload)
                                     : std::string();
+}
+
+bool
+LoopbackConnection::stats2(std::uint16_t *shardCount,
+                           std::vector<StatSample> *samples)
+{
+    Message r = call(Message::stats2());
+    if (r.kind != MsgKind::StatsV2)
+        return false;
+    return decodeStatsV2(r.payload, shardCount, samples);
 }
 
 } // namespace adcache::net

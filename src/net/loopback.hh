@@ -102,6 +102,11 @@ class LoopbackConnection
     bool ping();
     std::string stats();
 
+    /** One Stats-v2 round trip, decoded. @return false on an Error
+     *  response or a malformed blob. */
+    bool stats2(std::uint16_t *shardCount,
+                std::vector<StatSample> *samples);
+
     /** One MGet round trip: out[i] answers keys[i] (Found maps to a
      *  value; Miss and per-key Error both map to nullopt). */
     std::vector<std::optional<std::string>>

@@ -64,6 +64,8 @@ msgKindName(MsgKind kind)
         return "error";
       case MsgKind::Values:
         return "values";
+      case MsgKind::StatsV2:
+        return "stats_v2";
     }
     return "?";
 }
@@ -121,6 +123,15 @@ Message::stats()
 }
 
 Message
+Message::stats2()
+{
+    Message m;
+    m.kind = MsgKind::Stats;
+    m.statsVersion = 2;
+    return m;
+}
+
+Message
 Message::mget(std::vector<std::uint64_t> keys)
 {
     Message m;
@@ -172,6 +183,15 @@ Message::values(std::vector<MGetEntry> entries)
     return m;
 }
 
+Message
+Message::statsV2Response(std::string blob)
+{
+    Message m;
+    m.kind = MsgKind::StatsV2;
+    m.payload = std::move(blob);
+    return m;
+}
+
 void
 encodeFrame(const Message &m, std::string *out)
 {
@@ -188,12 +208,18 @@ encodeFrame(const Message &m, std::string *out)
         body.append(m.payload);
         break;
       case MsgKind::Ping:
-      case MsgKind::Stats:
       case MsgKind::Ok:
       case MsgKind::NotFound:
         break;
+      case MsgKind::Stats:
+        // v1 keeps the historical empty body; later versions carry
+        // one version byte.
+        if (m.statsVersion > 1)
+            body.push_back(char(m.statsVersion));
+        break;
       case MsgKind::Value:
       case MsgKind::Error:
+      case MsgKind::StatsV2:
         body.append(m.payload);
         break;
       case MsgKind::MGet:
@@ -252,14 +278,21 @@ decodeBody(std::string_view body, Message *out)
         m.payload.assign(body.substr(13));
         break;
       case MsgKind::Ping:
-      case MsgKind::Stats:
       case MsgKind::Ok:
       case MsgKind::NotFound:
         if (body.size() != 1)
             return false;
         break;
+      case MsgKind::Stats:
+        if (body.size() > 2)
+            return false;
+        // An out-of-range version still decodes (the service
+        // answers Error); only the frame shape is validated here.
+        m.statsVersion = body.size() == 2 ? p[1] : 1;
+        break;
       case MsgKind::Value:
       case MsgKind::Error:
+      case MsgKind::StatsV2:
         m.payload.assign(body.substr(1));
         break;
       case MsgKind::MGet: {

@@ -14,18 +14,25 @@
  *   Put   u64 key, u32 ttl, value bytes (rest of frame)
  *   Del   u64 key
  *   Ping  (empty)
- *   Stats (empty)
+ *   Stats (empty = v1 text; one byte 0x02 = structured v2)
  *   MGet  u32 count, count x u64 keys (count <= kMaxMGetKeys)
  *
  * Responses:
  *   Ok        (empty)                 put/del/ping acknowledgement
- *   Value     value bytes             get hit / stats text
+ *   Value     value bytes             get hit / v1 stats text
  *   NotFound  (empty)                 get miss / del of absent key
  *   Error     utf-8 message           per-request failure
  *   Values    u32 count, count x (u8 status, u32 len, len bytes)
  *             MGet answer, one entry per requested key in request
  *             order; status Miss/Error entries carry len == 0 and
  *             error text respectively
+ *   StatsV2   tag/value samples       see net/stats_v2.hh
+ *
+ * The empty-body Stats request predates versioning, so the version
+ * byte is optional: an empty body means v1 (old clients keep
+ * working byte-for-byte), 0x02 selects the structured response,
+ * and any other version answers Error (request-fatal, not
+ * connection-fatal).
  *
  * Error handling is two-tiered, mirroring production wire formats:
  * a frame whose declared length exceeds kMaxFrameBytes (or an EOF
@@ -66,6 +73,7 @@ enum class MsgKind : std::uint8_t
     NotFound = 0x82,
     Error = 0x83,
     Values = 0x84,
+    StatsV2 = 0x85,
 };
 
 /** Printable kind name ("get", "ok", ...). */
@@ -104,8 +112,10 @@ struct Message
     std::uint64_t key = 0;     //!< Get / Put / Del
     std::uint32_t ttl = 0;     //!< Put: expiry ticks (0 = never)
     std::string payload;       //!< Put value / Value / Error text
+                               //!< / StatsV2 blob
     std::vector<std::uint64_t> keys; //!< MGet request keys
     std::vector<MGetEntry> entries;  //!< Values response entries
+    std::uint8_t statsVersion = 1;   //!< Stats request: 1 or 2
 
     static Message get(std::uint64_t key);
     static Message put(std::uint64_t key, std::string_view value,
@@ -113,6 +123,7 @@ struct Message
     static Message del(std::uint64_t key);
     static Message ping();
     static Message stats();
+    static Message stats2();
     static Message mget(std::vector<std::uint64_t> keys);
 
     static Message ok();
@@ -120,6 +131,7 @@ struct Message
     static Message notFound();
     static Message error(std::string_view text);
     static Message values(std::vector<MGetEntry> entries);
+    static Message statsV2Response(std::string blob);
 };
 
 /** Append @p m's complete frame (length prefix + body) to @p out. */

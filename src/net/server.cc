@@ -1,5 +1,7 @@
 #include "net/server.hh"
 
+#include "obs/trace.hh"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -27,10 +29,93 @@ setNonBlocking(int fd)
 } // namespace
 
 KvServer::KvServer(KvService &service, const KvServerConfig &config)
-    : service_(service), config_(config)
+    : service_(service), config_(config),
+      counters_(std::make_shared<Counters>())
 {
     if (config_.workers == 0)
         config_.workers = 1;
+}
+
+std::uint64_t
+KvServer::bytesReceived() const
+{
+    return counters_->bytesIn.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+KvServer::bytesSent() const
+{
+    return counters_->bytesOut.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+KvServer::framesReceived() const
+{
+    return counters_->framesIn.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+KvServer::backpressureParks() const
+{
+    return counters_->parks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+KvServer::outBufHighWater() const
+{
+    return counters_->outHighWater.load(std::memory_order_relaxed);
+}
+
+void
+KvServer::installStatsProvider()
+{
+    service_.addStatsProvider(
+        [c = counters_](std::vector<StatSample> &samples) {
+            const auto g = kStatsGlobalShard;
+            const auto rd = [](const std::atomic<std::uint64_t> &a) {
+                return a.load(std::memory_order_relaxed);
+            };
+            samples.push_back(
+                {StatTag::Connections, g, rd(c->accepted)});
+            samples.push_back(
+                {StatTag::FramesIn, g, rd(c->framesIn)});
+            samples.push_back(
+                {StatTag::BytesIn, g, rd(c->bytesIn)});
+            samples.push_back(
+                {StatTag::BytesOut, g, rd(c->bytesOut)});
+            samples.push_back(
+                {StatTag::BackpressureParks, g, rd(c->parks)});
+            samples.push_back(
+                {StatTag::OutBufHighWater, g, rd(c->outHighWater)});
+        });
+}
+
+void
+KvServer::registerMetrics(obs::MetricsRegistry &reg)
+{
+    reg.addCollector([c = counters_](obs::MetricsSink &sink) {
+        const auto rd = [](const std::atomic<std::uint64_t> &a) {
+            return a.load(std::memory_order_relaxed);
+        };
+        sink.counter("adcache_srv_connections_total", {},
+                     double(rd(c->accepted)),
+                     "Connections accepted");
+        sink.counter("adcache_srv_frames_in_total", {},
+                     double(rd(c->framesIn)),
+                     "Request frames decoded off sockets");
+        sink.counter("adcache_srv_bytes_in_total", {},
+                     double(rd(c->bytesIn)),
+                     "Bytes read off sockets");
+        sink.counter("adcache_srv_bytes_out_total", {},
+                     double(rd(c->bytesOut)),
+                     "Bytes written to sockets");
+        sink.counter("adcache_srv_backpressure_parks_total", {},
+                     double(rd(c->parks)),
+                     "Response flushes parked on a full socket");
+        sink.gauge("adcache_srv_outbuf_high_water_bytes", {},
+                   double(rd(c->outHighWater)),
+                   "Largest pending output buffer seen");
+    });
 }
 
 KvServer::~KvServer()
@@ -184,7 +269,8 @@ KvServer::acceptLoop()
                 ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                              sizeof one);
             }
-            accepted_.fetch_add(1, std::memory_order_seq_cst);
+            counters_->accepted.fetch_add(
+                1, std::memory_order_relaxed);
             Worker &w = *workers_[nextWorker_];
             nextWorker_ = (nextWorker_ + 1) % workers_.size();
             {
@@ -212,10 +298,15 @@ KvServer::serviceConn(Conn &c, short revents)
         // pipelining client's whole burst of frames is decoded and
         // serviced here, and every response lands in c.out before
         // the single flush loop below runs.
+        obs::ScopedSpan span("srv.read");
+        const std::uint64_t framesBefore =
+            c.channel->requestsHandled();
         char buf[64 * 1024];
         for (;;) {
             const ssize_t n = ::read(c.fd, buf, sizeof buf);
             if (n > 0) {
+                counters_->bytesIn.fetch_add(
+                    std::uint64_t(n), std::memory_order_relaxed);
                 if (!c.channel->ingest(
                         std::string_view(buf, std::size_t(n)),
                         &c.out.data)) {
@@ -238,23 +329,38 @@ KvServer::serviceConn(Conn &c, short revents)
                 break;
             return false; // connection reset etc.
         }
+        counters_->framesIn.fetch_add(
+            c.channel->requestsHandled() - framesBefore,
+            std::memory_order_relaxed);
     }
     // Drain pending output (partial writes advance the consumed
     // head; the tail waits for the next POLLOUT round). MSG_NOSIGNAL
     // turns a peer that hung up mid-flush into an EPIPE on this
     // connection instead of a process-wide SIGPIPE.
-    while (!c.out.empty()) {
-        const ssize_t n = ::send(c.fd, c.out.front(),
-                                 c.out.pending(), MSG_NOSIGNAL);
-        if (n > 0) {
-            c.out.consume(std::size_t(n));
-            continue;
+    if (!c.out.empty()) {
+        obs::ScopedSpan span("srv.flush");
+        counters_->noteHighWater(c.out.pending());
+        for (;;) {
+            const ssize_t n = ::send(c.fd, c.out.front(),
+                                     c.out.pending(), MSG_NOSIGNAL);
+            if (n > 0) {
+                counters_->bytesOut.fetch_add(
+                    std::uint64_t(n), std::memory_order_relaxed);
+                c.out.consume(std::size_t(n));
+                if (c.out.empty())
+                    break;
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 &&
+                (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                counters_->parks.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+            }
+            return false; // EPIPE/ECONNRESET: only this peer dies
         }
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-            break;
-        return false; // EPIPE/ECONNRESET: only this peer dies
     }
     return !(c.closing && c.out.empty());
 }

@@ -86,8 +86,29 @@ class KvServer
     std::uint64_t
     connectionsAccepted() const
     {
-        return accepted_.load(std::memory_order_seq_cst);
+        return counters_->accepted.load(std::memory_order_relaxed);
     }
+
+    /** Transport counters, summed over all workers (monotonic for
+     *  the server's lifetime; high-water is a running max). */
+    std::uint64_t bytesReceived() const;
+    std::uint64_t bytesSent() const;
+    std::uint64_t framesReceived() const;
+    std::uint64_t backpressureParks() const;
+    std::uint64_t outBufHighWater() const;
+
+    /**
+     * Register the transport counters as a Stats-v2 provider on the
+     * hosted service, so one Stats opcode answers for the whole
+     * process (tags Connections..OutBufHighWater). Call once per
+     * server; the provider shares ownership of the counters and
+     * keeps answering (frozen) if the server is destroyed first.
+     */
+    void installStatsProvider();
+
+    /** Scrape-time transport metrics (adcache_srv_*) in @p reg. The
+     *  collector shares the counters like installStatsProvider(). */
+    void registerMetrics(obs::MetricsRegistry &reg);
 
     const std::string &lastError() const { return lastError_; }
 
@@ -134,6 +155,35 @@ class KvServer
         bool closing = false; //!< flush out, then close
     };
 
+    /**
+     * Transport counters, heap-shared so the Stats-v2 provider and
+     * metrics collector installed on the (longer-lived) service
+     * never dangle. Workers update with relaxed RMWs off the
+     * per-event paths — never per byte.
+     */
+    struct Counters
+    {
+        std::atomic<std::uint64_t> accepted{0};
+        std::atomic<std::uint64_t> bytesIn{0};
+        std::atomic<std::uint64_t> bytesOut{0};
+        std::atomic<std::uint64_t> framesIn{0};
+        /** send() hit EAGAIN: the peer backpressured us and the
+         *  response tail parked in OutBuf until the next POLLOUT. */
+        std::atomic<std::uint64_t> parks{0};
+        std::atomic<std::uint64_t> outHighWater{0};
+
+        void
+        noteHighWater(std::uint64_t pending)
+        {
+            std::uint64_t cur =
+                outHighWater.load(std::memory_order_relaxed);
+            while (pending > cur &&
+                   !outHighWater.compare_exchange_weak(
+                       cur, pending, std::memory_order_relaxed)) {
+            }
+        }
+    };
+
     struct Worker
     {
         std::thread thread;
@@ -156,7 +206,7 @@ class KvServer
     std::string lastError_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
-    std::atomic<std::uint64_t> accepted_{0};
+    std::shared_ptr<Counters> counters_;
     std::thread acceptor_;
     std::vector<std::unique_ptr<Worker>> workers_;
     unsigned nextWorker_ = 0; //!< acceptor-only round-robin cursor

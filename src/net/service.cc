@@ -1,10 +1,13 @@
 #include "net/service.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "obs/run_meta.hh"
+#include "obs/trace.hh"
 #include "util/stat_registry.hh"
 
 namespace adcache::net
@@ -13,6 +16,10 @@ namespace adcache::net
 KvService::KvService(const KvServiceConfig &config)
     : config_(config), cache_(config.cache)
 {
+    if (!config_.logSink)
+        config_.logSink = [](const std::string &line) {
+            std::fprintf(stderr, "%s\n", line.c_str());
+        };
 }
 
 bool
@@ -37,8 +44,75 @@ KvService::errorsAnswered() const
     return errors_.load(std::memory_order_seq_cst);
 }
 
+std::uint64_t
+KvService::opCount(MsgKind kind) const
+{
+    const unsigned op = unsigned(kind);
+    if (op >= kOpSlots)
+        return 0;
+    return opCounts_[op].load(std::memory_order_seq_cst);
+}
+
+void
+KvService::recordLatency(std::uint64_t ns)
+{
+    latBuckets_[obs::histBucketOf(ns)].fetch_add(
+        1, std::memory_order_relaxed);
+    latCount_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+KvService::requestPercentileNs(double p) const
+{
+    const std::uint64_t count =
+        latCount_.load(std::memory_order_seq_cst);
+    if (count == 0)
+        return 0;
+    const auto rank = std::uint64_t(double(count) * p);
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b <= obs::kHistBuckets; ++b) {
+        cum += latBuckets_[b].load(std::memory_order_seq_cst);
+        if (cum > rank) {
+            if (b >= obs::kHistBuckets)
+                return std::uint64_t(1)
+                       << (obs::kHistHiBit + 1);
+            return std::uint64_t(1) << (obs::kHistLoBit + b);
+        }
+    }
+    return std::uint64_t(1) << (obs::kHistHiBit + 1);
+}
+
 Message
 KvService::handle(const Message &request)
+{
+    const std::uint64_t t0 = obs::nowNs();
+    const unsigned op = unsigned(request.kind);
+    if (op < kOpSlots)
+        opCounts_[op].fetch_add(1, std::memory_order_relaxed);
+
+    Message response = handleInner(request);
+
+    const std::uint64_t dur = obs::nowNs() - t0;
+    recordLatency(dur);
+    if (config_.slowRequestBudgetNs != 0 &&
+        dur > config_.slowRequestBudgetNs) {
+        char line[160];
+        std::snprintf(
+            line, sizeof line,
+            "slow_request op=%s key=%llu dur_us=%llu "
+            "budget_us=%llu",
+            msgKindName(request.kind),
+            (unsigned long long)request.key,
+            (unsigned long long)(dur / 1000),
+            (unsigned long long)(config_.slowRequestBudgetNs /
+                                 1000));
+        config_.logSink(line);
+    }
+    return response;
+}
+
+Message
+KvService::handleInner(const Message &request)
 {
     requests_.fetch_add(1, std::memory_order_relaxed);
     switch (request.kind) {
@@ -91,7 +165,12 @@ KvService::handle(const Message &request)
       case MsgKind::Ping:
         return Message::ok();
       case MsgKind::Stats:
-        return Message::value(statsText());
+        if (request.statsVersion == 1)
+            return Message::value(statsText());
+        if (request.statsVersion == kStatsV2Version)
+            return Message::statsV2Response(statsV2());
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return Message::error("unsupported stats version");
       default:
         errors_.fetch_add(1, std::memory_order_relaxed);
         return Message::error("bad request kind");
@@ -177,10 +256,21 @@ std::string
 KvService::statsText() const
 {
     StatRegistry reg;
-    cache_.registerStats(reg, "kv.");
+    cache_.registerStats(reg, "kv.", /*per_shard=*/true);
     reg.counter("net.requests", requestsServed());
     reg.counter("net.errors", errorsAnswered());
+    for (const MsgKind kind :
+         {MsgKind::Get, MsgKind::Put, MsgKind::Del, MsgKind::Ping,
+          MsgKind::Stats, MsgKind::MGet})
+        reg.counter(std::string("net.op.") + msgKindName(kind),
+                    opCount(kind));
+
     std::ostringstream out;
+    // Run metadata first: a captured stats dump should identify the
+    // build and configuration that produced it, like every report
+    // artifact does.
+    for (const auto &[key, value] : obs::collectRunMeta())
+        out << key << " " << value << "\n";
     for (const StatEntry &e : reg.entries()) {
         out << e.name << " ";
         switch (e.kind) {
@@ -197,6 +287,144 @@ KvService::statsText() const
         out << "\n";
     }
     return out.str();
+}
+
+std::string
+KvService::statsV2() const
+{
+    const std::vector<kv::KvShardTelemetry> shards =
+        cache_.shardTelemetry();
+
+    kv::KvShardTelemetry total;
+    for (const kv::KvShardTelemetry &t : shards) {
+        total.references += t.references;
+        total.hits += t.hits;
+        total.misses += t.misses;
+        total.gets += t.gets;
+        total.getHits += t.getHits;
+        total.evictions += t.evictions;
+        total.admitRejects += t.admitRejects;
+        total.expirations += t.expirations;
+        total.readRetries += t.readRetries;
+        total.slowProbes += t.slowProbes;
+        total.selectionFlips += t.selectionFlips;
+        total.diffMisses += t.diffMisses;
+        total.size += t.size;
+        total.pinned += t.pinned;
+    }
+
+    std::vector<StatSample> samples;
+    samples.reserve(16 + shards.size() * 16);
+    auto g = [&](StatTag tag, std::uint64_t v) {
+        samples.push_back({tag, kStatsGlobalShard, v});
+    };
+
+    g(StatTag::ShardCount, shards.size());
+    g(StatTag::Capacity, cache_.capacity());
+    g(StatTag::Size, total.size);
+    g(StatTag::Pinned, total.pinned);
+    g(StatTag::ClockNow, cache_.clockNow());
+    g(StatTag::References, total.references);
+    g(StatTag::Hits, total.hits + total.getHits);
+    g(StatTag::Misses,
+      total.misses + (total.gets - total.getHits));
+    g(StatTag::Gets, total.gets);
+    g(StatTag::GetHits, total.getHits);
+    g(StatTag::Evictions, total.evictions);
+    g(StatTag::AdmitRejects, total.admitRejects);
+    g(StatTag::Expirations, total.expirations);
+    g(StatTag::ReadRetries, total.readRetries);
+    g(StatTag::SlowProbes, total.slowProbes);
+    g(StatTag::SelectionFlips, total.selectionFlips);
+    g(StatTag::DiffMisses, total.diffMisses);
+    g(StatTag::HitRatePpm,
+      std::uint64_t(total.hitRate() * 1e6));
+
+    g(StatTag::Requests, requestsServed());
+    g(StatTag::Errors, errorsAnswered());
+    g(StatTag::OpGet, opCount(MsgKind::Get));
+    g(StatTag::OpPut, opCount(MsgKind::Put));
+    g(StatTag::OpDel, opCount(MsgKind::Del));
+    g(StatTag::OpPing, opCount(MsgKind::Ping));
+    g(StatTag::OpStats, opCount(MsgKind::Stats));
+    g(StatTag::OpMGet, opCount(MsgKind::MGet));
+    g(StatTag::RequestP50Ns, requestPercentileNs(0.50));
+    g(StatTag::RequestP99Ns, requestPercentileNs(0.99));
+
+    g(StatTag::TraceCompiled, obs::kTraceCompiled ? 1 : 0);
+    g(StatTag::TraceEnabled, obs::traceEnabled() ? 1 : 0);
+    g(StatTag::TraceDrops, obs::droppedTotal());
+    const std::vector<std::uint64_t> ringDrops =
+        obs::perRingDrops();
+    for (std::size_t i = 0;
+         i < ringDrops.size() && i < kStatsGlobalShard; ++i)
+        if (ringDrops[i] != 0)
+            samples.push_back({StatTag::TraceDrops,
+                               std::uint16_t(i), ringDrops[i]});
+
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const kv::KvShardTelemetry &t = shards[s];
+        auto ps = [&](StatTag tag, std::uint64_t v) {
+            samples.push_back({tag, std::uint16_t(s), v});
+        };
+        ps(StatTag::References, t.references);
+        ps(StatTag::Hits, t.hits + t.getHits);
+        ps(StatTag::Misses, t.misses + (t.gets - t.getHits));
+        ps(StatTag::Gets, t.gets);
+        ps(StatTag::GetHits, t.getHits);
+        ps(StatTag::Evictions, t.evictions);
+        ps(StatTag::AdmitRejects, t.admitRejects);
+        ps(StatTag::Expirations, t.expirations);
+        ps(StatTag::ReadRetries, t.readRetries);
+        ps(StatTag::SlowProbes, t.slowProbes);
+        ps(StatTag::SelectionFlips, t.selectionFlips);
+        ps(StatTag::DiffMisses, t.diffMisses);
+        ps(StatTag::Winner, t.winner);
+        ps(StatTag::Size, t.size);
+        ps(StatTag::Pinned, t.pinned);
+        ps(StatTag::HitRatePpm, std::uint64_t(t.hitRate() * 1e6));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(providersMtx_);
+        for (const StatsProvider &p : providers_)
+            p(samples);
+    }
+    return encodeStatsV2(std::uint16_t(shards.size()), samples);
+}
+
+void
+KvService::addStatsProvider(StatsProvider fn)
+{
+    std::lock_guard<std::mutex> lock(providersMtx_);
+    providers_.push_back(std::move(fn));
+}
+
+void
+KvService::registerMetrics(obs::MetricsRegistry &reg)
+{
+    cache_.registerMetrics(reg);
+    reg.addCollector([this](obs::MetricsSink &sink) {
+        sink.counter("adcache_net_requests_total", {},
+                     double(requestsServed()),
+                     "Requests served (any status)");
+        sink.counter("adcache_net_errors_total", {},
+                     double(errorsAnswered()),
+                     "Requests answered with Error");
+        for (const MsgKind kind :
+             {MsgKind::Get, MsgKind::Put, MsgKind::Del,
+              MsgKind::Ping, MsgKind::Stats, MsgKind::MGet})
+            sink.counter("adcache_net_op_total",
+                         {{"op", msgKindName(kind)}},
+                         double(opCount(kind)),
+                         "Requests by opcode");
+        sink.gauge("adcache_net_request_p50_ns", {},
+                   double(requestPercentileNs(0.50)),
+                   "Request latency median (bucket upper edge)");
+        sink.gauge("adcache_net_request_p99_ns", {},
+                   double(requestPercentileNs(0.99)),
+                   "Request latency p99 (bucket upper edge)");
+    });
 }
 
 } // namespace adcache::net

@@ -27,10 +27,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "kv/adaptive_kv_cache.hh"
 #include "net/protocol.hh"
+#include "net/stats_v2.hh"
+#include "obs/metrics.hh"
 #include "workloads/key_stream.hh"
 
 namespace adcache::net
@@ -54,6 +59,17 @@ struct KvServiceConfig
 
     /** TTL stamped on read-through loads (clock ticks; 0 = never). */
     std::uint32_t loaderTtl = 0;
+
+    /**
+     * Slow-request log: a request whose handle() time exceeds this
+     * budget emits one structured line to logSink (0 = disabled).
+     * The log is the "which op blew the SLO" companion to the
+     * latency histogram's "how often".
+     */
+    std::uint64_t slowRequestBudgetNs = 0;
+
+    /** Receives slow-request lines; defaults to stderr. */
+    std::function<void(const std::string &)> logSink;
 };
 
 /** Transport-independent request handler (see file comment). */
@@ -105,14 +121,48 @@ class KvService
     std::uint64_t requestsServed() const;
     std::uint64_t errorsAnswered() const;
 
-    /** STATS payload: "name value" lines over the cache's registry
-     *  plus the service's own counters. */
+    /** Requests served carrying @p kind (request kinds only). */
+    std::uint64_t opCount(MsgKind kind) const;
+
+    /**
+     * STATS v1 payload: "name value" lines — run metadata first
+     * ("run.git_sha" etc., so a captured dump identifies its build),
+     * then the cache's aggregate AND per-shard counters, then the
+     * service's own.
+     */
     std::string statsText() const;
+
+    /** STATS v2 payload (see net/stats_v2.hh). */
+    std::string statsV2() const;
+
+    /**
+     * Extra Stats-v2 samples from outside the service — the socket
+     * server registers its transport counters here so one opcode
+     * answers for the whole process. Providers run on every
+     * statsV2() call; they must be thread-safe.
+     */
+    using StatsProvider =
+        std::function<void(std::vector<StatSample> &)>;
+    void addStatsProvider(StatsProvider fn);
+
+    /**
+     * Register the service (and its cache) as scrape-time
+     * collectors in @p reg: request/error/per-opcode counters,
+     * request latency p50/p99 gauges, cache counters per
+     * AdaptiveKvCache::registerMetrics. Hot-path cost is zero — the
+     * handle() counters below are plain atomics the collector reads.
+     */
+    void registerMetrics(obs::MetricsRegistry &reg);
+
+    /** Request-latency percentile over all served requests (ns). */
+    std::uint64_t requestPercentileNs(double p) const;
 
   private:
     bool shardDead(kv::KvKey key) const;
     /** MGet: shard-grouped batch probe + read-through backfill. */
     Message handleMGet(const Message &request);
+    Message handleInner(const Message &request);
+    void recordLatency(std::uint64_t ns);
 
     KvServiceConfig config_;
     kv::AdaptiveKvCache cache_;
@@ -120,6 +170,20 @@ class KvService
     std::atomic<std::uint64_t> deadShardMask_{0};
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> errors_{0};
+
+    /** Indexed by raw request opcode (Get=1 .. MGet=6). */
+    static constexpr unsigned kOpSlots = 8;
+    std::atomic<std::uint64_t> opCounts_[kOpSlots] = {};
+
+    /** Shared log-bucket request-latency histogram (same bounds as
+     *  obs::MetricsRegistry histograms). One relaxed RMW per
+     *  request — request work is microseconds, this is noise. */
+    std::atomic<std::uint64_t> latBuckets_[obs::kHistBuckets + 1] =
+        {};
+    std::atomic<std::uint64_t> latCount_{0};
+
+    mutable std::mutex providersMtx_;
+    std::vector<StatsProvider> providers_;
 };
 
 } // namespace adcache::net

@@ -1,0 +1,183 @@
+#include "net/stats_v2.hh"
+
+namespace adcache::net
+{
+
+const char *
+statTagName(StatTag tag)
+{
+    switch (tag) {
+      case StatTag::ShardCount:
+        return "shard_count";
+      case StatTag::Capacity:
+        return "capacity";
+      case StatTag::Size:
+        return "size";
+      case StatTag::Pinned:
+        return "pinned";
+      case StatTag::ClockNow:
+        return "clock_now";
+      case StatTag::References:
+        return "references";
+      case StatTag::Hits:
+        return "hits";
+      case StatTag::Misses:
+        return "misses";
+      case StatTag::Gets:
+        return "gets";
+      case StatTag::GetHits:
+        return "get_hits";
+      case StatTag::Evictions:
+        return "evictions";
+      case StatTag::AdmitRejects:
+        return "admit_rejects";
+      case StatTag::Expirations:
+        return "expirations";
+      case StatTag::ReadRetries:
+        return "read_retries";
+      case StatTag::SlowProbes:
+        return "slow_probes";
+      case StatTag::SelectionFlips:
+        return "selection_flips";
+      case StatTag::DiffMisses:
+        return "diff_misses";
+      case StatTag::Winner:
+        return "winner";
+      case StatTag::HitRatePpm:
+        return "hit_rate_ppm";
+      case StatTag::Requests:
+        return "requests";
+      case StatTag::Errors:
+        return "errors";
+      case StatTag::OpGet:
+        return "op_get";
+      case StatTag::OpPut:
+        return "op_put";
+      case StatTag::OpDel:
+        return "op_del";
+      case StatTag::OpPing:
+        return "op_ping";
+      case StatTag::OpStats:
+        return "op_stats";
+      case StatTag::OpMGet:
+        return "op_mget";
+      case StatTag::RequestP50Ns:
+        return "request_p50_ns";
+      case StatTag::RequestP99Ns:
+        return "request_p99_ns";
+      case StatTag::Connections:
+        return "connections";
+      case StatTag::FramesIn:
+        return "frames_in";
+      case StatTag::BytesIn:
+        return "bytes_in";
+      case StatTag::BytesOut:
+        return "bytes_out";
+      case StatTag::BackpressureParks:
+        return "backpressure_parks";
+      case StatTag::OutBufHighWater:
+        return "outbuf_high_water";
+      case StatTag::TraceCompiled:
+        return "trace_compiled";
+      case StatTag::TraceEnabled:
+        return "trace_enabled";
+      case StatTag::TraceDrops:
+        return "trace_drops";
+    }
+    return "?";
+}
+
+namespace
+{
+
+void
+putU16(std::uint16_t v, std::string *out)
+{
+    out->push_back(char(v & 0xff));
+    out->push_back(char((v >> 8) & 0xff));
+}
+
+void
+putU32(std::uint32_t v, std::string *out)
+{
+    putU16(std::uint16_t(v & 0xffff), out);
+    putU16(std::uint16_t(v >> 16), out);
+}
+
+void
+putU64(std::uint64_t v, std::string *out)
+{
+    putU32(std::uint32_t(v & 0xffffffffu), out);
+    putU32(std::uint32_t(v >> 32), out);
+}
+
+std::uint16_t
+getU16(const unsigned char *p)
+{
+    return std::uint16_t(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return std::uint32_t(getU16(p)) |
+           (std::uint32_t(getU16(p + 2)) << 16);
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    return std::uint64_t(getU32(p)) |
+           (std::uint64_t(getU32(p + 4)) << 32);
+}
+
+} // namespace
+
+std::string
+encodeStatsV2(std::uint16_t shardCount,
+              const std::vector<StatSample> &samples)
+{
+    std::string out;
+    out.reserve(1 + 2 + 4 + samples.size() * 12);
+    out.push_back(char(kStatsV2Version));
+    putU16(shardCount, &out);
+    putU32(std::uint32_t(samples.size()), &out);
+    for (const StatSample &s : samples) {
+        putU16(std::uint16_t(s.tag), &out);
+        putU16(s.shard, &out);
+        putU64(s.value, &out);
+    }
+    return out;
+}
+
+bool
+decodeStatsV2(std::string_view blob, std::uint16_t *shardCount,
+              std::vector<StatSample> *samples)
+{
+    if (blob.size() < 1 + 2 + 4)
+        return false;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(blob.data());
+    if (p[0] != kStatsV2Version)
+        return false;
+    const std::uint16_t shards = getU16(p + 1);
+    const std::size_t count = getU32(p + 3);
+    if (blob.size() != 7 + count * 12)
+        return false;
+    std::vector<StatSample> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const unsigned char *e = p + 7 + i * 12;
+        StatSample s;
+        s.tag = StatTag(getU16(e));
+        s.shard = getU16(e + 2);
+        s.value = getU64(e + 4);
+        out.push_back(s);
+    }
+    if (shardCount != nullptr)
+        *shardCount = shards;
+    *samples = std::move(out);
+    return true;
+}
+
+} // namespace adcache::net

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Stats v2: the versioned, structured form of the STATS opcode.
+ *
+ * The v1 response is a human-oriented text blob ("name value"
+ * lines) with no version marker — fine for a person with netcat,
+ * useless for a poller that wants per-shard deltas without parsing
+ * free text that changes shape across builds. v2 is a flat list of
+ * (tag, shard, u64) samples:
+ *
+ *   u8  version        == kStatsV2Version
+ *   u16 shard_count    shards in the serving cache
+ *   u32 count          samples that follow
+ *   count x { u16 tag, u16 shard, u64 value }
+ *
+ * shard == kStatsGlobalShard marks a process/cache-global sample.
+ * Tags are append-only: decoders MUST skip unknown tags (that is
+ * the whole point of tagging), so old kv_top binaries keep working
+ * against newer servers. Integers little-endian like the rest of
+ * the protocol; non-integer quantities ride as scaled integers
+ * (rates in parts-per-million, latencies in nanoseconds).
+ *
+ * Requests select the version with an optional body byte on the
+ * Stats request: absent = v1 text (byte-compatible with every
+ * pre-v2 client), 0x02 = this format.
+ */
+
+#ifndef ADCACHE_NET_STATS_V2_HH
+#define ADCACHE_NET_STATS_V2_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adcache::net
+{
+
+inline constexpr std::uint8_t kStatsV2Version = 2;
+inline constexpr std::uint16_t kStatsGlobalShard = 0xFFFF;
+
+/** Sample tags. APPEND ONLY — never renumber. */
+enum class StatTag : std::uint16_t
+{
+    // Cache shape / identity (global).
+    ShardCount = 1,
+    Capacity = 2,
+    Size = 3,
+    Pinned = 4,
+    ClockNow = 5,
+
+    // Cache counters (global and per-shard; per-shard Hits/Misses
+    // fold filling and non-filling outcomes together).
+    References = 16,
+    Hits = 17,
+    Misses = 18,
+    Gets = 19,
+    GetHits = 20,
+    Evictions = 21,
+    AdmitRejects = 22,
+    Expirations = 23,
+    ReadRetries = 24,
+    SlowProbes = 25,
+    SelectionFlips = 26,
+    DiffMisses = 27,
+    Winner = 28,     //!< component ordinal (per-shard)
+    HitRatePpm = 29, //!< hit rate x 1e6
+
+    // Service counters (global).
+    Requests = 48,
+    Errors = 49,
+    OpGet = 50,
+    OpPut = 51,
+    OpDel = 52,
+    OpPing = 53,
+    OpStats = 54,
+    OpMGet = 55,
+    RequestP50Ns = 56,
+    RequestP99Ns = 57,
+
+    // Transport counters (global; absent on loopback-only setups).
+    Connections = 64,
+    FramesIn = 65,
+    BytesIn = 66,
+    BytesOut = 67,
+    BackpressureParks = 68,
+    OutBufHighWater = 69,
+
+    // Trace-plane health (global; TraceDrops also per-ring with
+    // shard = ring index).
+    TraceCompiled = 80,
+    TraceEnabled = 81,
+    TraceDrops = 82,
+};
+
+/** Canonical lower-case snake_case name, "?" for unknown tags. */
+const char *statTagName(StatTag tag);
+
+/** One sample. */
+struct StatSample
+{
+    StatTag tag = StatTag::ShardCount;
+    std::uint16_t shard = kStatsGlobalShard;
+    std::uint64_t value = 0;
+
+    friend bool operator==(const StatSample &,
+                           const StatSample &) = default;
+};
+
+/** Encode @p samples into a v2 blob (rides in a StatsV2 payload). */
+std::string encodeStatsV2(std::uint16_t shardCount,
+                          const std::vector<StatSample> &samples);
+
+/**
+ * Decode a v2 blob. @return false on wrong version or truncation;
+ * unknown tags are preserved (callers skip what they don't know).
+ */
+bool decodeStatsV2(std::string_view blob,
+                   std::uint16_t *shardCount,
+                   std::vector<StatSample> *samples);
+
+} // namespace adcache::net
+
+#endif // ADCACHE_NET_STATS_V2_HH

@@ -1,0 +1,56 @@
+#include "obs/drift.hh"
+
+#include "util/logging.hh"
+
+namespace adcache::obs
+{
+
+DriftMonitor::DriftMonitor(DriftConfig config, std::size_t shards)
+    : config_(config), shards_(shards)
+{
+    adcache_assert(config_.alpha > 0.0 && config_.alpha <= 1.0);
+}
+
+bool
+DriftMonitor::judge(Signal &sig, double rate, double threshold,
+                    bool warm)
+{
+    sig.ewma = config_.alpha * rate +
+               (1.0 - config_.alpha) * sig.ewma;
+    if (sig.cooldown > 0) {
+        --sig.cooldown;
+        return false;
+    }
+    if (!warm || sig.ewma < threshold)
+        return false;
+    sig.cooldown = config_.cooldownSamples;
+    return true;
+}
+
+DriftVerdict
+DriftMonitor::sample(std::size_t shard, std::uint64_t flips,
+                     std::uint64_t diffMisses, std::uint64_t ops)
+{
+    if (shard >= shards_.size())
+        shards_.resize(shard + 1);
+    ShardState &st = shards_[shard];
+
+    DriftVerdict v;
+    if (ops == 0) {
+        v.flipEwma = st.flip.ewma;
+        v.diffMissEwma = st.diffMiss.ewma;
+        return v;
+    }
+    ++st.periods;
+    const bool warm = st.periods > config_.warmupSamples;
+    const double inv = 1.0 / double(ops);
+    v.flipDrift = judge(st.flip, double(flips) * inv,
+                        config_.flipRateThreshold, warm);
+    v.diffMissDrift = judge(st.diffMiss, double(diffMisses) * inv,
+                            config_.diffMissRateThreshold, warm);
+    v.flipEwma = st.flip.ewma;
+    v.diffMissEwma = st.diffMiss.ewma;
+    return v;
+}
+
+} // namespace adcache::obs

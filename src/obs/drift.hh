@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Adaptation-drift monitor: per-shard EWMAs of the two signals that
+ * say "the workload is phase-changing under this shard" — the
+ * winner-flip rate (selection keeps reversing itself) and the
+ * differentiating-miss rate (the candidate policies keep
+ * disagreeing). A sustained high value of either means the shard is
+ * re-adapting faster than its observation window settles, which is
+ * exactly the situation Fig. 7's phase maps capture offline; this
+ * class makes it a live, thresholded signal (and the sensor input
+ * ROADMAP item 2's capacity rebalancer will read).
+ *
+ * The monitor is pure state + arithmetic: callers feed it cumulative
+ * counter deltas per sampling period (TelemetryPump does this at 1
+ * Hz) and act on the returned verdicts. Crossings are edge-triggered
+ * with a cooldown so a shard sitting just above the threshold logs
+ * once per cooldown window, not once per second.
+ */
+
+#ifndef ADCACHE_OBS_DRIFT_HH
+#define ADCACHE_OBS_DRIFT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace adcache::obs
+{
+
+struct DriftConfig
+{
+    /** EWMA smoothing: new = alpha * sample + (1 - alpha) * old. */
+    double alpha = 0.3;
+    /** Flips per op above which a shard is drifting (a flip every
+     *  2000 ops sustained = thrashing selection). */
+    double flipRateThreshold = 5e-4;
+    /** Differentiating misses per op above which a shard is
+     *  drifting. */
+    double diffMissRateThreshold = 2e-2;
+    /** Periods a signal stays latched after firing before it may
+     *  fire again (still-above re-arms a fresh crossing). */
+    std::uint32_t cooldownSamples = 10;
+    /** Periods to observe a shard before it may fire at all, so the
+     *  fill-phase flip burst does not alarm. */
+    std::uint32_t warmupSamples = 3;
+};
+
+/** One period's judgement for one shard. */
+struct DriftVerdict
+{
+    /** Edge-triggered: this period crossed the flip threshold (and
+     *  was not in cooldown). */
+    bool flipDrift = false;
+    /** Likewise for the differentiating-miss signal. */
+    bool diffMissDrift = false;
+    /** Current EWMAs, events per op (reported even when quiet). */
+    double flipEwma = 0.0;
+    double diffMissEwma = 0.0;
+};
+
+class DriftMonitor
+{
+  public:
+    explicit DriftMonitor(DriftConfig config = {},
+                          std::size_t shards = 0);
+
+    /**
+     * Feed one period of one shard: @p flips and @p diffMisses are
+     * the counter DELTAS over the period, @p ops the operation
+     * (reference) delta. Periods with no traffic leave the EWMAs
+     * untouched (an idle shard is not "calm", it is unobserved).
+     */
+    DriftVerdict sample(std::size_t shard, std::uint64_t flips,
+                        std::uint64_t diffMisses,
+                        std::uint64_t ops);
+
+    const DriftConfig &config() const { return config_; }
+    std::size_t shardCount() const { return shards_.size(); }
+
+  private:
+    struct Signal
+    {
+        double ewma = 0.0;
+        std::uint32_t cooldown = 0;
+    };
+    struct ShardState
+    {
+        Signal flip;
+        Signal diffMiss;
+        std::uint32_t periods = 0;
+    };
+
+    bool judge(Signal &sig, double rate, double threshold,
+               bool warm);
+
+    DriftConfig config_;
+    std::vector<ShardState> shards_;
+};
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_DRIFT_HH

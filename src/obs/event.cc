@@ -25,6 +25,20 @@ eventKindName(EventKind kind)
         return "kv_admit_reject";
       case EventKind::KvReadRetry:
         return "kv_read_retry";
+      case EventKind::KvDrift:
+        return "kv_drift";
+    }
+    return "?";
+}
+
+const char *
+driftSignalName(DriftSignal s)
+{
+    switch (s) {
+      case DriftSignal::WinnerFlips:
+        return "winner_flips";
+      case DriftSignal::DiffMisses:
+        return "diff_misses";
     }
     return "?";
 }

@@ -42,7 +42,22 @@ enum class EventKind : std::uint16_t
     /** An optimistic kv read exhausted its retry budget and fell
      *  back to the mutex slow path. */
     KvReadRetry,
+    /** The drift monitor's EWMA of a shard's adaptation signal
+     *  (winner flips or differentiating misses) crossed its
+     *  threshold: the workload is phase-changing faster than the
+     *  cadence assumes. */
+    KvDrift,
 };
+
+/** Which adaptation signal a KvDrift event fired on. */
+enum class DriftSignal : std::uint8_t
+{
+    WinnerFlips, //!< winner-flip rate EWMA
+    DiffMisses,  //!< differentiating-miss rate EWMA
+};
+
+/** Canonical lower-case snake_case name of @p s. */
+const char *driftSignalName(DriftSignal s);
 
 /** Which of Algorithm 1's three victim searches produced the victim
  *  (Sec. 3.1; the kv analog maps directed/policy/fallback onto the
@@ -155,6 +170,17 @@ kvReadRetryEvent(std::uint64_t t, unsigned shard, unsigned retries,
 {
     return {t, key, shard, std::uint16_t(retries),
             EventKind::KvReadRetry};
+}
+
+/** @p ewma_ppm is the crossing EWMA expressed in events-per-million
+ *  ops (fits the 64-bit payload without a float field). */
+constexpr TraceEvent
+kvDriftEvent(std::uint64_t t, unsigned shard, DriftSignal signal,
+             std::uint64_t ewma_ppm)
+{
+    return {t, ewma_ppm, shard,
+            std::uint16_t(static_cast<unsigned>(signal)),
+            EventKind::KvDrift};
 }
 
 } // namespace adcache::obs

@@ -102,6 +102,11 @@ appendEvent(std::ostringstream &out, const TraceEvent &ev)
         out << ",\"shard\":" << ev.a << ",\"retries\":" << ev.b
             << ",\"key\":" << hex(ev.addr);
         break;
+      case EventKind::KvDrift:
+        out << ",\"shard\":" << ev.a << ",\"signal\":\""
+            << driftSignalName(DriftSignal(lo))
+            << "\",\"ewma_ppm\":" << ev.addr;
+        break;
     }
     out << "}\n";
 }

@@ -1,0 +1,307 @@
+#include "obs/metrics_http.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <memory>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+namespace adcache::obs
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+/** One accepted connection: buffered request until the blank line,
+ *  then a fully-built response drained by the poll loop. */
+struct HttpConn
+{
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t sent = 0;
+    bool responding = false;
+};
+
+std::string
+httpResponse(int status, const char *reason,
+             const char *contentType, const std::string &body)
+{
+    std::string r = "HTTP/1.0 ";
+    r += std::to_string(status);
+    r += ' ';
+    r += reason;
+    r += "\r\nContent-Type: ";
+    r += contentType;
+    r += "\r\nContent-Length: ";
+    r += std::to_string(body.size());
+    r += "\r\nConnection: close\r\n\r\n";
+    r += body;
+    return r;
+}
+
+/** Request line target, or empty if the request is not a GET. */
+std::string
+parseGetTarget(const std::string &request)
+{
+    if (request.rfind("GET ", 0) != 0)
+        return "";
+    const std::size_t sp = request.find(' ', 4);
+    if (sp == std::string::npos)
+        return "";
+    return request.substr(4, sp - 4);
+}
+
+} // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry &registry,
+                                     MetricsHttpConfig config)
+    : registry_(registry), config_(std::move(config))
+{
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool
+MetricsHttpServer::start()
+{
+    if (running_.load(std::memory_order_seq_cst))
+        return true;
+    stopping_.store(false, std::memory_order_seq_cst);
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        lastError_ = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(),
+                    &addr.sin_addr) != 1) {
+        lastError_ = "bad host address: " + config_.host;
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        lastError_ = std::string("bind: ") + std::strerror(errno);
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 16) != 0) {
+        lastError_ = std::string("listen: ") + std::strerror(errno);
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    if (::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &blen) == 0)
+        port_ = ntohs(bound.sin_port);
+    setNonBlocking(listenFd_);
+
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+        lastError_ = std::string("pipe: ") + std::strerror(errno);
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    wakeRead_ = pipefd[0];
+    wakeWrite_ = pipefd[1];
+    setNonBlocking(wakeRead_);
+
+    running_.store(true, std::memory_order_seq_cst);
+    thread_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (!running_.load(std::memory_order_seq_cst))
+        return;
+    stopping_.store(true, std::memory_order_seq_cst);
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &b, 1);
+    thread_.join();
+    closeFd(listenFd_);
+    closeFd(wakeRead_);
+    closeFd(wakeWrite_);
+    listenFd_ = wakeRead_ = wakeWrite_ = -1;
+    running_.store(false, std::memory_order_seq_cst);
+}
+
+std::uint64_t
+MetricsHttpServer::requestsServed() const
+{
+    return requests_.load(std::memory_order_seq_cst);
+}
+
+void
+MetricsHttpServer::loop()
+{
+    std::vector<std::unique_ptr<HttpConn>> conns;
+    std::vector<pollfd> pfds;
+
+    while (!stopping_.load(std::memory_order_seq_cst)) {
+        pfds.clear();
+        pfds.push_back({listenFd_, POLLIN, 0});
+        pfds.push_back({wakeRead_, POLLIN, 0});
+        for (const auto &c : conns)
+            pfds.push_back(
+                {c->fd,
+                 short(c->responding ? POLLOUT : POLLIN), 0});
+
+        const int rc = ::poll(pfds.data(), nfds_t(pfds.size()), -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+
+        if (pfds[1].revents & POLLIN) {
+            char buf[64];
+            while (::read(wakeRead_, buf, sizeof buf) > 0) {
+            }
+        }
+
+        if (pfds[0].revents & POLLIN) {
+            for (;;) {
+                const int fd = ::accept(listenFd_, nullptr, nullptr);
+                if (fd < 0)
+                    break;
+                setNonBlocking(fd);
+                auto c = std::make_unique<HttpConn>();
+                c->fd = fd;
+                conns.push_back(std::move(c));
+            }
+        }
+
+        for (std::size_t i = 0; i < conns.size();) {
+            HttpConn &c = *conns[i];
+            // The pollfd for conns[i] sits at i + 2, but conns may
+            // have grown after poll(): skip fds poll never saw.
+            const std::size_t pi = i + 2;
+            const short revents =
+                pi < pfds.size() && pfds[pi].fd == c.fd
+                    ? pfds[pi].revents
+                    : 0;
+            bool dead = (revents & (POLLERR | POLLHUP)) != 0 &&
+                        !c.responding;
+
+            if (!dead && !c.responding && (revents & POLLIN)) {
+                char buf[4096];
+                for (;;) {
+                    const ssize_t n = ::read(c.fd, buf, sizeof buf);
+                    if (n > 0) {
+                        c.in.append(buf, std::size_t(n));
+                        continue;
+                    }
+                    if (n == 0)
+                        dead = true; // EOF before a full request
+                    break;
+                }
+                std::string body;
+                if (c.in.find("\r\n\r\n") != std::string::npos ||
+                    c.in.find("\n\n") != std::string::npos) {
+                    requests_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    const std::string target = parseGetTarget(c.in);
+                    if (target == "/metrics" ||
+                        target.rfind("/metrics?", 0) == 0) {
+                        c.out = httpResponse(
+                            200, "OK",
+                            "text/plain; version=0.0.4; "
+                            "charset=utf-8",
+                            renderPrometheus(registry_.scrape()));
+                    } else if (target == "/healthz") {
+                        c.out = httpResponse(200, "OK",
+                                             "text/plain", "ok\n");
+                    } else if (target.empty()) {
+                        c.out = httpResponse(
+                            400, "Bad Request", "text/plain",
+                            "only GET is supported\n");
+                    } else {
+                        c.out = httpResponse(404, "Not Found",
+                                             "text/plain",
+                                             "not found\n");
+                    }
+                    c.responding = true;
+                    dead = false;
+                } else if (c.in.size() > kMaxRequestBytes) {
+                    requests_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    c.out = httpResponse(400, "Bad Request",
+                                         "text/plain",
+                                         "request too large\n");
+                    c.responding = true;
+                    dead = false;
+                }
+            }
+
+            if (!dead && c.responding &&
+                (revents & (POLLOUT | POLLERR | POLLHUP))) {
+                while (c.sent < c.out.size()) {
+                    const ssize_t n =
+                        ::send(c.fd, c.out.data() + c.sent,
+                               c.out.size() - c.sent, MSG_NOSIGNAL);
+                    if (n > 0) {
+                        c.sent += std::size_t(n);
+                        continue;
+                    }
+                    if (n < 0 &&
+                        (errno == EAGAIN || errno == EWOULDBLOCK))
+                        break;
+                    dead = true;
+                    break;
+                }
+                if (c.sent == c.out.size())
+                    dead = true; // response done: close
+            }
+
+            if (dead) {
+                closeFd(c.fd);
+                conns.erase(conns.begin() + long(i));
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    for (const auto &c : conns)
+        closeFd(c->fd);
+}
+
+} // namespace adcache::obs

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * MetricsHttpServer: the smallest HTTP/1.0-ish listener that can
+ * satisfy a Prometheus scraper — GET /metrics renders the attached
+ * MetricsRegistry in the text exposition format, GET /healthz
+ * answers "ok", anything else is 404. One background thread, one
+ * poll(2) loop (the same nonblocking-fd idiom as net/server.cc),
+ * Connection: close on every response. This is deliberately not a
+ * web server: no keep-alive, no chunking, no TLS; a scrape a second
+ * from a handful of collectors is the design load.
+ */
+
+#ifndef ADCACHE_OBS_METRICS_HTTP_HH
+#define ADCACHE_OBS_METRICS_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hh"
+
+namespace adcache::obs
+{
+
+struct MetricsHttpConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0; //!< 0 = ephemeral; see port() after start
+};
+
+class MetricsHttpServer
+{
+  public:
+    MetricsHttpServer(MetricsRegistry &registry,
+                      MetricsHttpConfig config = {});
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /** Bind + listen + spawn the loop. False (with lastError()) on
+     *  bind failure. */
+    bool start();
+
+    /** Stop the loop and join the thread (idempotent). */
+    void stop();
+
+    /** The bound port (after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** Requests answered (any status). */
+    std::uint64_t requestsServed() const;
+
+    const std::string &lastError() const { return lastError_; }
+
+  private:
+    void loop();
+
+    MetricsRegistry &registry_;
+    MetricsHttpConfig config_;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    std::string lastError_;
+};
+
+} // namespace adcache::obs
+
+#endif // ADCACHE_OBS_METRICS_HTTP_HH

@@ -134,6 +134,18 @@ droppedTotal()
     return total;
 }
 
+std::vector<std::uint64_t>
+perRingDrops()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mtx);
+    std::vector<std::uint64_t> out;
+    out.reserve(s.rings.size());
+    for (auto &ring : s.rings)
+        out.push_back(ring->dropped());
+    return out;
+}
+
 void
 setRingCapacity(std::size_t capacity)
 {

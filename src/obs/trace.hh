@@ -87,6 +87,11 @@ std::vector<TraceEvent> drainAll();
 /** Sum of per-ring drop counters since the last resetTrace(). */
 std::uint64_t droppedTotal();
 
+/** Per-ring drop counters (index = ring creation order since the
+ *  last resetTrace()). Feeds the metrics registry so silent trace
+ *  loss is scrapeable live, not just a JSONL header footnote. */
+std::vector<std::uint64_t> perRingDrops();
+
 /** Capacity used for rings created after this call (min 2, rounded
  *  up to a power of two). Existing rings keep their size. */
 void setRingCapacity(std::size_t capacity);

@@ -10,6 +10,7 @@
 #include "net/client.hh"
 #include "net/loopback.hh"
 #include "net/service.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/stat_registry.hh"
 
@@ -296,6 +297,33 @@ YcsbDriver::run()
     std::vector<std::thread> threads;
     std::atomic<unsigned> loadFailures{0};
 
+    // Live-metrics handles (inert when no registry is wired). Each
+    // client thread increments through its own per-thread shard, so
+    // sharing the handles across the fleet costs nothing.
+    struct OpHandles
+    {
+        obs::Counter ops;
+        obs::Counter failures;
+        obs::HistogramHandle latency;
+    };
+    obs::Counter loadOpsCounter;
+    std::array<OpHandles, kNumOpClasses> handles{};
+    if (config_.metrics) {
+        loadOpsCounter = config_.metrics->counter(
+            "ycsb_load_ops_total", "LOAD-phase puts issued");
+        for (unsigned c = 0; c < kNumOpClasses; ++c) {
+            const obs::MetricLabels labels{
+                {"op", opClassName(OpClass(c))}};
+            handles[c].ops = config_.metrics->counter(
+                "ycsb_ops_total", "RUN-phase ops issued", labels);
+            handles[c].failures = config_.metrics->counter(
+                "ycsb_failures_total",
+                "RUN-phase ops answered NotFound/Error", labels);
+            handles[c].latency = config_.metrics->histogram(
+                "ycsb_op_latency_ns", "Per-op latency", labels);
+        }
+    }
+
     // --- LOAD phase: each client PUTs its disjoint record slice. ---
     const Clock::time_point load_start = Clock::now();
     for (unsigned ci = 0; ci < config_.clients; ++ci) {
@@ -321,6 +349,7 @@ YcsbDriver::run()
                                config_.ttl))
                     ++st.errors;
                 ++st.loadOps;
+                loadOpsCounter.inc();
             }
         });
     }
@@ -396,6 +425,11 @@ YcsbDriver::run()
                 if (!ok)
                     ++r.failures;
                 r.latency.add(ns);
+                OpHandles &h = handles[unsigned(c)];
+                h.ops.inc();
+                if (!ok)
+                    h.failures.inc();
+                h.latency.observe(ns);
             };
 
             // Batched variant: the whole batch is one latency
@@ -407,6 +441,10 @@ YcsbDriver::run()
                 r.ops += ops;
                 r.failures += failures;
                 r.latency.add(ns);
+                OpHandles &h = handles[unsigned(c)];
+                h.ops.inc(ops);
+                h.failures.inc(failures);
+                h.latency.observe(ns);
             };
 
             const auto checkValue =

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * MetricsRegistry tests: handle semantics (counters, gauges,
+ * histograms, label sets), scrape-time collectors, the Prometheus
+ * text exposition (family ordering, HELP/TYPE announcement, label
+ * escaping, bucket cumulativity), and the concurrency contract —
+ * any number of threads incrementing through handles while another
+ * thread scrapes (the TSan tier of the obstel label).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+using namespace adcache::obs;
+
+namespace
+{
+
+const MetricSample *
+find(const MetricsSnapshot &snap, const std::string &name,
+     const MetricLabels &labels = {})
+{
+    for (const MetricSample &s : snap.samples)
+        if (s.name == name && s.labels == labels)
+            return &s;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Metrics, CounterAccumulatesAcrossHandlesAndThreads)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("requests_total", "Requests");
+    c.inc();
+    c.inc(4);
+
+    // Re-registering the same (name, labels) yields the same family.
+    Counter same = reg.counter("requests_total", "Requests");
+    same.inc(5);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 1000; ++i)
+                c.inc();
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(c.value(), 10u + 4000u);
+    const MetricsSnapshot snap = reg.scrape();
+    const MetricSample *s = find(snap, "requests_total");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->value, 4010.0);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreInert)
+{
+    Counter c;
+    Gauge g;
+    HistogramHandle h;
+    EXPECT_FALSE(c.attached());
+    c.inc();
+    g.set(5);
+    h.observe(100);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, LabelSetsAreDistinctFamilies)
+{
+    MetricsRegistry reg;
+    Counter a = reg.counter("ops_total", "Ops", {{"op", "get"}});
+    Counter b = reg.counter("ops_total", "Ops", {{"op", "put"}});
+    a.inc(3);
+    b.inc(7);
+
+    const MetricsSnapshot snap = reg.scrape();
+    const MetricSample *ga = find(snap, "ops_total", {{"op", "get"}});
+    const MetricSample *gb = find(snap, "ops_total", {{"op", "put"}});
+    ASSERT_NE(ga, nullptr);
+    ASSERT_NE(gb, nullptr);
+    EXPECT_EQ(ga->value, 3.0);
+    EXPECT_EQ(gb->value, 7.0);
+}
+
+TEST(Metrics, GaugeIsLastWriterWins)
+{
+    MetricsRegistry reg;
+    Gauge g = reg.gauge("temperature", "Now");
+    g.set(1.5);
+    g.set(-3.25);
+    EXPECT_EQ(g.value(), -3.25);
+    const MetricsSnapshot snap = reg.scrape();
+    const MetricSample *s = find(snap, "temperature");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->value, -3.25);
+}
+
+TEST(Metrics, HistogramBucketsCountAndSum)
+{
+    MetricsRegistry reg;
+    HistogramHandle h = reg.histogram("lat_ns", "Latency");
+    // 1st bucket boundary is 2^kHistLoBit; observe below, inside,
+    // and beyond the top boundary (+Inf bucket).
+    h.observe(1);                   // bucket 0
+    h.observe(1ull << kHistLoBit);  // bucket 0 (le is inclusive)
+    h.observe((1ull << kHistLoBit) + 1); // bucket 1
+    h.observe(1ull << (kHistHiBit + 2)); // +Inf
+
+    const MetricsSnapshot snap = reg.scrape();
+    const MetricSample *s = find(snap, "lat_ns");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->buckets.size(), std::size_t(kHistBuckets) + 1);
+    EXPECT_EQ(s->buckets[0], 2u);
+    EXPECT_EQ(s->buckets[1], 1u);
+    EXPECT_EQ(s->buckets[kHistBuckets], 1u); // +Inf
+    EXPECT_EQ(s->count, 4u);
+    EXPECT_EQ(s->sum, double(1 + (1ull << kHistLoBit) +
+                             ((1ull << kHistLoBit) + 1) +
+                             (1ull << (kHistHiBit + 2))));
+
+    // Percentile estimate returns a bucket upper edge.
+    EXPECT_GE(snap.percentileNs("lat_ns", 0.5),
+              double(1ull << kHistLoBit));
+}
+
+TEST(Metrics, CollectorsRunAtScrapeTime)
+{
+    MetricsRegistry reg;
+    int calls = 0;
+    reg.addCollector([&calls](MetricsSink &sink) {
+        ++calls;
+        sink.counter("sampled_total", {}, 42.0, "Sampled");
+        sink.gauge("sampled_now", {{"k", "v"}}, 7.0);
+    });
+
+    const MetricsSnapshot snap = reg.scrape();
+    EXPECT_EQ(calls, 1);
+    const MetricSample *c = find(snap, "sampled_total");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, 42.0);
+    EXPECT_EQ(c->kind, MetricKind::Counter);
+    const MetricSample *g =
+        find(snap, "sampled_now", {{"k", "v"}});
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->kind, MetricKind::Gauge);
+}
+
+TEST(Metrics, PrometheusExpositionGolden)
+{
+    MetricsRegistry reg;
+    reg.counter("a_total", "First counter").inc(3);
+    reg.gauge("b_now", "A gauge", {{"shard", "0"}}).set(1.5);
+    reg.counter("a_total", "First counter", {{"op", "get"}}).inc();
+
+    const std::string text = renderPrometheus(reg.scrape());
+    const std::string expect =
+        "# HELP a_total First counter\n"
+        "# TYPE a_total counter\n"
+        "a_total 3\n"
+        "# HELP b_now A gauge\n"
+        "# TYPE b_now gauge\n"
+        "b_now{shard=\"0\"} 1.5\n"
+        "a_total{op=\"get\"} 1\n";
+    EXPECT_EQ(text, expect);
+}
+
+TEST(Metrics, PrometheusEscapesLabelValues)
+{
+    MetricsRegistry reg;
+    reg.counter("esc_total", "Escapes",
+                {{"path", "a\\b\"c\nd"}})
+        .inc();
+    const std::string text = renderPrometheus(reg.scrape());
+    EXPECT_NE(
+        text.find("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+        std::string::npos)
+        << text;
+}
+
+TEST(Metrics, PrometheusHistogramBucketsAreCumulative)
+{
+    MetricsRegistry reg;
+    HistogramHandle h = reg.histogram("h_ns", "H");
+    h.observe(1);                        // first bucket
+    h.observe((1ull << kHistLoBit) + 1); // second bucket
+    h.observe(1ull << (kHistHiBit + 2)); // +Inf
+
+    const std::string text = renderPrometheus(reg.scrape());
+    // le="1024" sees 1, le="2048" sees 2 (cumulative), +Inf sees 3.
+    EXPECT_NE(text.find("h_ns_bucket{le=\"1024\"} 1\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("h_ns_bucket{le=\"2048\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("h_ns_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("h_ns_count 3\n"), std::string::npos);
+    EXPECT_NE(text.find("h_ns_sum"), std::string::npos);
+}
+
+TEST(Metrics, ScrapeUnderConcurrentIncrementIsConsistent)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("torn_total", "Torn reads check");
+    HistogramHandle h = reg.histogram("torn_ns", "Torn histogram");
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 3; ++t)
+        writers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                c.inc();
+                h.observe(2000);
+            }
+        });
+
+    std::uint64_t last = 0;
+    for (int i = 0; i < 50; ++i) {
+        const MetricsSnapshot snap = reg.scrape();
+        const MetricSample *s = find(snap, "torn_total");
+        ASSERT_NE(s, nullptr);
+        // Monotone under concurrent increments: no torn/shrinking
+        // reads across scrapes.
+        EXPECT_GE(std::uint64_t(s->value), last);
+        last = std::uint64_t(s->value);
+        const MetricSample *hs = find(snap, "torn_ns");
+        ASSERT_NE(hs, nullptr);
+        std::uint64_t bucketTotal = 0;
+        for (const std::uint64_t b : hs->buckets)
+            bucketTotal += b;
+        EXPECT_EQ(bucketTotal, hs->count);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread &t : writers)
+        t.join();
+
+    const MetricsSnapshot final_snap = reg.scrape();
+    const MetricSample *s = find(final_snap, "torn_total");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(std::uint64_t(s->value), c.value());
+}
+
+TEST(Metrics, ThreadShardsOutliveTheirThreads)
+{
+    MetricsRegistry reg;
+    Counter c = reg.counter("ghost_total", "From dead threads");
+    std::thread([&c] { c.inc(11); }).join();
+    std::thread([&c] { c.inc(31); }).join();
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, TwoRegistriesDoNotAlias)
+{
+    auto first = std::make_unique<MetricsRegistry>();
+    Counter a = first->counter("x_total", "X");
+    a.inc(5);
+    first.reset(); // TLS entries for it become stale
+
+    MetricsRegistry second;
+    Counter b = second.counter("x_total", "X");
+    b.inc(2);
+    EXPECT_EQ(b.value(), 2u);
+}
+
+TEST(Metrics, KindMismatchAsserts)
+{
+    MetricsRegistry reg;
+    reg.counter("dual", "As counter");
+    EXPECT_DEATH((void)reg.gauge("dual", "As gauge"), "");
+}
+
+TEST(Metrics, TraceMetricsReportRingStateAndDrops)
+{
+    MetricsRegistry reg;
+    registerTraceMetrics(reg);
+    const MetricsSnapshot snap = reg.scrape();
+    const MetricSample *compiled =
+        find(snap, "adcache_trace_compiled");
+    ASSERT_NE(compiled, nullptr);
+    EXPECT_EQ(compiled->value, kTraceCompiled ? 1.0 : 0.0);
+    ASSERT_NE(find(snap, "adcache_trace_enabled"), nullptr);
+    // Per-ring drop counters appear once rings exist; the registry
+    // call itself must not require any.
+    for (const MetricSample &s : snap.samples)
+        if (s.name == "adcache_trace_dropped_total")
+            EXPECT_EQ(s.labels.at(0).first, "ring");
+}
